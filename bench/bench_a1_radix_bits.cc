@@ -1,0 +1,76 @@
+// A1 (ablation) -- radix-bit / fan-out tuning in the radix join. A fixed
+// 2^20 x 2^22 join sweeps radix bits 0..16 (1- and 2-pass). Expected
+// shape: a U-curve. Too few bits leave partitions bigger than cache (probe
+// phase thrashes); too many bits blow the partitioning pass's write
+// fan-out past the TLB/write-buffer reach. The 2-pass variant flattens the
+// right side of the U at high fan-out -- the reason multi-pass
+// partitioning exists.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "hwstar/ops/join_radix.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+using hwstar::ops::RadixHashJoin;
+using hwstar::ops::RadixJoinOptions;
+using hwstar::ops::RadixJoinTiming;
+using hwstar::ops::Relation;
+
+const Relation& Build() {
+  static Relation* r =
+      new Relation(hwstar::workload::MakeBuildRelation(1 << 20, 31));
+  return *r;
+}
+const Relation& Probe() {
+  static Relation* s = new Relation(
+      hwstar::workload::MakeProbeRelation(1 << 22, 1 << 20, 0.0, 32));
+  return *s;
+}
+
+void BM_RadixBits(benchmark::State& state, uint32_t passes,
+                  bool buffered = false) {
+  const uint32_t bits = static_cast<uint32_t>(state.range(0));
+  RadixJoinOptions opts;
+  opts.radix_bits = bits;
+  opts.num_passes = bits == 0 ? 1 : passes;
+  opts.buffered_scatter = buffered;
+  RadixJoinTiming timing;
+  for (auto _ : state) {
+    auto result = RadixHashJoin(Build(), Probe(), opts, &timing);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  state.counters["radix_bits"] = bits;
+  state.counters["passes"] = opts.num_passes;
+  state.counters["partition_ms"] = timing.partition_seconds * 1e3;
+  state.counters["join_ms"] = timing.join_seconds * 1e3;
+  state.counters["Mprobes_per_s"] = benchmark::Counter(
+      static_cast<double>(Probe().size()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Build();
+  Probe();
+  for (int64_t bits : {0, 2, 4, 6, 8, 10, 12, 14, 16}) {
+    benchmark::RegisterBenchmark("radix/1pass", BM_RadixBits, 1u, false)
+        ->Arg(bits)
+        ->Iterations(3);
+    if (bits >= 8) {
+      benchmark::RegisterBenchmark("radix/2pass", BM_RadixBits, 2u, false)
+          ->Arg(bits)
+          ->Iterations(3);
+      // Software write-combining: the single-pass answer to high fan-out.
+      benchmark::RegisterBenchmark("radix/1pass-swwc", BM_RadixBits, 1u, true)
+          ->Arg(bits)
+          ->Iterations(3);
+    }
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv, "A1: radix bits sweep, 2^20 build x 2^22 probe",
+      {"radix_bits", "passes", "partition_ms", "join_ms", "Mprobes_per_s"});
+}

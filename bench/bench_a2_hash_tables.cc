@@ -1,0 +1,87 @@
+// A2 (ablation) -- hash table organization. Probe-heavy workload over
+// (a) flat linear-probing at varying fill and (b) a chained table.
+// The linear-probing capacity is pinned at 2^21 slots (32MB: out of LLC)
+// and the build count varied, so the *effective* load factor actually
+// sweeps (power-of-two capacity rounding would otherwise quantize it).
+// Expected shape: linear probing beats chaining at moderate fill (no
+// pointer chasing: a probe touches 1-2 adjacent lines); its probe cost
+// grows steeply past ~0.7 fill as occupied-slot runs lengthen, while
+// chaining degrades more gently but from a worse, dependent-miss-bound
+// baseline.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+using hwstar::ops::ChainedTable;
+using hwstar::ops::LinearProbeTable;
+
+constexpr uint64_t kCapacity = 1 << 21;  // fixed slot count
+constexpr uint64_t kProbes = 4 << 20;
+
+void BM_LinearProbe(benchmark::State& state) {
+  const double lf = static_cast<double>(state.range(0)) / 100.0;
+  const uint64_t build = static_cast<uint64_t>(lf * kCapacity);
+  // expected/load_factor == kCapacity exactly -> capacity == kCapacity.
+  LinearProbeTable table(build, lf);
+  auto keys = hwstar::workload::ShuffledDenseKeys(build, 41);
+  for (uint64_t k : keys) table.Insert(k, k);
+
+  auto probes = hwstar::workload::UniformKeys(kProbes, build, 42);
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    for (uint64_t k : probes) matches += table.CountMatches(k);
+    benchmark::DoNotOptimize(matches);
+  }
+  std::vector<uint64_t> sample(probes.begin(), probes.begin() + 10000);
+  state.counters["load_factor"] =
+      static_cast<double>(table.size()) / static_cast<double>(table.capacity());
+  state.counters["avg_probe_len"] = table.MeasureAvgProbeLength(sample);
+  state.counters["table_mb"] =
+      static_cast<double>(table.MemoryBytes()) / (1 << 20);
+  state.counters["Mprobes_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Chained(benchmark::State& state) {
+  const uint64_t build = kCapacity / 2;  // comparable to LF 0.5
+  ChainedTable table(build);
+  auto keys = hwstar::workload::ShuffledDenseKeys(build, 41);
+  for (uint64_t k : keys) table.Insert(k, k);
+  auto probes = hwstar::workload::UniformKeys(kProbes, build, 42);
+  for (auto _ : state) {
+    uint64_t matches = 0;
+    for (uint64_t k : probes) matches += table.CountMatches(k);
+    benchmark::DoNotOptimize(matches);
+  }
+  std::vector<uint64_t> sample(probes.begin(), probes.begin() + 10000);
+  state.counters["load_factor"] = 0.5;
+  state.counters["avg_probe_len"] = table.MeasureAvgProbeLength(sample);
+  state.counters["table_mb"] =
+      static_cast<double>(table.MemoryBytes()) / (1 << 20);
+  state.counters["Mprobes_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int64_t lf : {25, 50, 70, 80, 90, 95}) {
+    benchmark::RegisterBenchmark("linear", BM_LinearProbe)
+        ->Arg(lf)
+        ->Iterations(3);
+  }
+  benchmark::RegisterBenchmark("chained", BM_Chained)->Iterations(3);
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "A2: hash table organization at fixed 2^21-slot capacity, 4M probes",
+      {"load_factor", "avg_probe_len", "table_mb", "Mprobes_per_s"});
+}

@@ -1,0 +1,82 @@
+#ifndef HWSTAR_BENCH_BENCH_COMMON_H_
+#define HWSTAR_BENCH_BENCH_COMMON_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "hwstar/perf/report.h"
+
+namespace hwstar::bench {
+
+/// One captured benchmark result.
+struct CapturedRun {
+  std::string name;
+  double real_seconds = 0;
+  std::map<std::string, double> counters;
+};
+
+/// A console reporter that additionally captures every run so the bench
+/// binary can print the experiment's summary table (the "rows the paper
+/// would report") after the raw google-benchmark output.
+class CollectingReporter : public benchmark::ConsoleReporter {
+ public:
+  bool ReportContext(const Context& context) override {
+    return benchmark::ConsoleReporter::ReportContext(context);
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    for (const Run& run : runs) {
+      CapturedRun captured;
+      captured.name = run.benchmark_name();
+      captured.real_seconds = run.GetAdjustedRealTime() * 1e-9;
+      for (const auto& [name, counter] : run.counters) {
+        captured.counters[name] = counter.value;
+      }
+      captured_.push_back(std::move(captured));
+    }
+    benchmark::ConsoleReporter::ReportRuns(runs);
+  }
+
+  /// Prints a ReportTable: one row per captured run, columns = seconds +
+  /// the requested counters.
+  void PrintTable(const std::string& title,
+                  const std::vector<std::string>& counter_names) const {
+    std::vector<std::string> columns = {"config", "seconds"};
+    for (const auto& n : counter_names) columns.push_back(n);
+    perf::ReportTable table(title, columns);
+    for (const auto& run : captured_) {
+      std::vector<std::string> cells = {run.name,
+                                        perf::ReportTable::Num(run.real_seconds)};
+      for (const auto& n : counter_names) {
+        auto it = run.counters.find(n);
+        cells.push_back(
+            perf::ReportTable::Num(it == run.counters.end() ? 0.0 : it->second));
+      }
+      table.AddRow(std::move(cells));
+    }
+    table.Print();
+  }
+
+  const std::vector<CapturedRun>& captured() const { return captured_; }
+
+ private:
+  std::vector<CapturedRun> captured_;
+};
+
+/// Standard bench main body: parse flags, run, print the summary table.
+inline int RunBenchMain(int argc, char** argv, const std::string& table_title,
+                        const std::vector<std::string>& counter_names) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.PrintTable(table_title, counter_names);
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace hwstar::bench
+
+#endif  // HWSTAR_BENCH_BENCH_COMMON_H_

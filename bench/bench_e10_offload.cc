@@ -1,0 +1,69 @@
+// E10 -- heterogeneity: offload pays only past a data-size threshold. A
+// streaming filter over 1KB..1GB is costed on the CPU path (1 and 8 cores)
+// and on the accelerator path (setup latency + transfer + streaming).
+// Expected shape: the accelerator loses badly on small inputs (setup
+// dominates), crosses over in the tens-of-MB range for a single CPU core,
+// and the crossover moves up (or vanishes) as CPU cores are added -- the
+// decision the paper says engines must start making explicitly.
+
+#include <benchmark/benchmark.h>
+
+#include "bench_common.h"
+#include "hwstar/sim/offload_model.h"
+
+namespace {
+
+using hwstar::sim::OffloadModel;
+
+void BM_Offload(benchmark::State& state, uint32_t cpu_cores) {
+  const uint64_t bytes = static_cast<uint64_t>(state.range(0));
+  OffloadModel model;
+  double cpu = 0, accel = 0;
+  for (auto _ : state) {
+    cpu = model.CpuSeconds(bytes, cpu_cores);
+    accel = model.AccelSeconds(bytes);
+    benchmark::DoNotOptimize(cpu);
+    benchmark::DoNotOptimize(accel);
+  }
+  state.counters["bytes"] = static_cast<double>(bytes);
+  state.counters["cpu_cores"] = cpu_cores;
+  state.counters["cpu_ms"] = cpu * 1e3;
+  state.counters["accel_ms"] = accel * 1e3;
+  state.counters["accel_speedup"] = accel > 0 ? cpu / accel : 0;
+}
+
+void BM_BreakEven(benchmark::State& state) {
+  const uint32_t cores = static_cast<uint32_t>(state.range(0));
+  OffloadModel model;
+  uint64_t be = 0;
+  for (auto _ : state) {
+    be = model.BreakEvenBytes(cores);
+    benchmark::DoNotOptimize(be);
+  }
+  state.counters["cpu_cores"] = cores;
+  state.counters["breakeven_mb"] =
+      static_cast<double>(be) / (1024.0 * 1024.0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int64_t log2b = 10; log2b <= 30; log2b += 4) {
+    benchmark::RegisterBenchmark("offload/1core", BM_Offload, 1u)
+        ->Arg(int64_t{1} << log2b)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark("offload/8core", BM_Offload, 8u)
+        ->Arg(int64_t{1} << log2b)
+        ->Iterations(1);
+  }
+  for (int64_t cores : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("breakeven", BM_BreakEven)
+        ->Arg(cores)
+        ->Iterations(1);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E10: accelerator offload cost model (setup + transfer + streaming)",
+      {"bytes", "cpu_cores", "cpu_ms", "accel_ms", "accel_speedup",
+       "breakeven_mb"});
+}

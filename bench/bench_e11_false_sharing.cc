@@ -1,0 +1,109 @@
+// E11 -- multicore means coherence, and coherence has a price. Two series:
+//  (a) real hardware: N threads incrementing per-thread counters that are
+//      either packed into one cache line (false sharing) or padded to a
+//      line each. Expected shape: the packed layout gets *slower* as
+//      threads are added -- negative scaling -- while padded scales.
+//  (b) simulated MSI model: the same two layouts through CoherenceModel,
+//      reporting invalidations and coherence-miss fractions, so the cause
+//      is visible, not just the symptom.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/sim/coherence.h"
+
+namespace {
+
+constexpr uint64_t kIncrements = 4'000'000;
+
+void BM_CounterIncrements(benchmark::State& state, bool padded) {
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  struct alignas(64) Padded {
+    std::atomic<uint64_t> v{0};
+  };
+  for (auto _ : state) {
+    // Packed: adjacent atomics share a line. Padded: one line each.
+    std::vector<std::atomic<uint64_t>> packed(threads);
+    std::vector<Padded> pad(threads);
+    std::vector<std::thread> workers;
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        const uint64_t per_thread = kIncrements / threads;
+        if (padded) {
+          for (uint64_t i = 0; i < per_thread; ++i) {
+            pad[t].v.fetch_add(1, std::memory_order_relaxed);
+          }
+        } else {
+          for (uint64_t i = 0; i < per_thread; ++i) {
+            packed[t].fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    for (auto& w : workers) w.join();
+    benchmark::DoNotOptimize(padded ? pad[0].v.load() : packed[0].load());
+  }
+  state.counters["threads"] = threads;
+  state.counters["padded"] = padded ? 1 : 0;
+  state.counters["Mincr_per_s"] = benchmark::Counter(
+      static_cast<double>(kIncrements) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SimulatedSharing(benchmark::State& state, bool padded) {
+  const uint32_t cores = static_cast<uint32_t>(state.range(0));
+  hwstar::sim::CoherenceModel model(cores);
+  for (auto _ : state) {
+    // Round-robin interleaving approximates concurrent execution.
+    const uint64_t per_core = 100000;
+    for (uint64_t i = 0; i < per_core; ++i) {
+      for (uint32_t c = 0; c < cores; ++c) {
+        const uint64_t addr = padded ? c * 64 : c * 8;
+        model.Access(c, addr, /*is_write=*/true);
+      }
+    }
+    benchmark::DoNotOptimize(model.stats().total_cycles);
+  }
+  state.counters["threads"] = cores;
+  state.counters["padded"] = padded ? 1 : 0;
+  state.counters["sim_cycles_per_access"] = model.stats().cycles_per_access();
+  state.counters["sim_invalidations"] =
+      static_cast<double>(model.stats().invalidations_sent);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int64_t t : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        "real/packed", [](benchmark::State& s) { BM_CounterIncrements(s, false); })
+        ->Arg(t)
+        ->Iterations(3)
+        ->UseRealTime();
+    benchmark::RegisterBenchmark(
+        "real/padded", [](benchmark::State& s) { BM_CounterIncrements(s, true); })
+        ->Arg(t)
+        ->Iterations(3)
+        ->UseRealTime();
+  }
+  for (int64_t t : {2, 4, 8}) {
+    benchmark::RegisterBenchmark(
+        "sim/packed", [](benchmark::State& s) { BM_SimulatedSharing(s, false); })
+        ->Arg(t)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "sim/padded", [](benchmark::State& s) { BM_SimulatedSharing(s, true); })
+        ->Arg(t)
+        ->Iterations(1);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E11: false sharing -- packed vs padded per-thread counters "
+      "(real + simulated MSI)",
+      {"threads", "padded", "Mincr_per_s", "sim_cycles_per_access",
+       "sim_invalidations"});
+}

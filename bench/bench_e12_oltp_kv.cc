@@ -1,0 +1,114 @@
+// E12 -- the OLTP side of hardware-consciousness: point-access throughput
+// of the embedded KV store under a YCSB-shaped mix, sweeping index
+// structure (ART vs. B+-tree), shard count, skew and read fraction.
+// Expected shape: ART leads the B+-tree on point ops (bounded-depth trie
+// vs. log-depth tree); more shards raise multi-threaded throughput until
+// the core count caps it; skew concentrates traffic on one shard's latch
+// and flattens the scaling -- the same contention story the paper tells
+// for multicore software generally.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "bench_common.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/workload/ycsb_like.h"
+
+namespace {
+
+using hwstar::kv::IndexKind;
+using hwstar::kv::KvOptions;
+using hwstar::kv::KvStore;
+
+constexpr uint64_t kRecords = 1 << 20;
+constexpr uint64_t kOps = 1 << 20;
+
+const std::vector<hwstar::workload::YcsbRequest>& Ops(double theta,
+                                                      double read_fraction) {
+  static std::map<std::pair<int, int>, std::vector<hwstar::workload::YcsbRequest>*>
+      cache;
+  auto key = std::make_pair(static_cast<int>(theta * 100),
+                            static_cast<int>(read_fraction * 100));
+  auto*& slot = cache[key];
+  if (slot == nullptr) {
+    hwstar::workload::YcsbConfig cfg;
+    cfg.record_count = kRecords;
+    cfg.operation_count = kOps;
+    cfg.read_fraction = read_fraction;
+    cfg.zipf_theta = theta;
+    slot = new std::vector<hwstar::workload::YcsbRequest>(
+        hwstar::workload::MakeYcsbWorkload(cfg));
+  }
+  return *slot;
+}
+
+void BM_Ycsb(benchmark::State& state, IndexKind index, uint32_t shards,
+             uint32_t threads, double theta, double read_fraction) {
+  KvOptions opts;
+  opts.index = index;
+  opts.shards = shards;
+  KvStore store(opts);
+  for (uint64_t k = 0; k < kRecords; ++k) store.Put(k, k);
+  const auto& ops = Ops(theta, read_fraction);
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> sink{0};
+    const uint64_t per_thread = ops.size() / threads;
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        uint64_t local = 0;
+        const uint64_t begin = t * per_thread;
+        const uint64_t end = begin + per_thread;
+        for (uint64_t i = begin; i < end; ++i) {
+          if (ops[i].op == hwstar::workload::YcsbOp::kRead) {
+            local += store.Get(ops[i].key).value_or(0);
+          } else {
+            store.Put(ops[i].key, i);
+          }
+        }
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& w : workers) w.join();
+    benchmark::DoNotOptimize(sink.load());
+  }
+  state.counters["shards"] = shards;
+  state.counters["threads"] = threads;
+  state.counters["zipf"] = theta;
+  state.counters["read_frac"] = read_fraction;
+  state.counters["Mops_per_s"] = benchmark::Counter(
+      static_cast<double>(kOps) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Index comparison, single-threaded.
+  benchmark::RegisterBenchmark("art/1t", BM_Ycsb, IndexKind::kArt, 1u, 1u,
+                               0.6, 0.95)
+      ->Iterations(2)->UseRealTime();
+  benchmark::RegisterBenchmark("btree/1t", BM_Ycsb, IndexKind::kBTree, 1u, 1u,
+                               0.6, 0.95)
+      ->Iterations(2)->UseRealTime();
+  // Shard scaling with 2 threads, uniform and skewed.
+  for (uint32_t shards : {1u, 2u, 8u}) {
+    benchmark::RegisterBenchmark("art/2t/uniform", BM_Ycsb, IndexKind::kArt,
+                                 shards, 2u, 0.0, 0.95)
+        ->Iterations(2)->UseRealTime();
+    benchmark::RegisterBenchmark("art/2t/zipf.9", BM_Ycsb, IndexKind::kArt,
+                                 shards, 2u, 0.9, 0.95)
+        ->Iterations(2)->UseRealTime();
+  }
+  // Write-heavy mix.
+  benchmark::RegisterBenchmark("art/2t/writeheavy", BM_Ycsb, IndexKind::kArt,
+                               8u, 2u, 0.6, 0.5)
+      ->Iterations(2)->UseRealTime();
+  return hwstar::bench::RunBenchMain(
+      argc, argv, "E12: YCSB over the KV store (1M records, 1M ops)",
+      {"shards", "threads", "zipf", "read_frac", "Mops_per_s"});
+}

@@ -1,0 +1,118 @@
+// E13 -- hot/cold tiering under flash economics (Levandoski et al., same
+// proceedings). A skewed access stream runs over the tiered store with a
+// DRAM tier of 5%..50% of the records, comparing inline LRU against
+// offline exponential-smoothing classification. Expected shape: on a
+// plain Zipf stream the two are close (LRU approximates frequency); add
+// periodic full scans and LRU's hit rate collapses (scan pollution) while
+// the classifier holds -- and the hit-rate gap multiplies into average
+// latency and flash wear through the asymmetric flash cost model.
+
+#include <benchmark/benchmark.h>
+
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/kv/tiered_store.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+using hwstar::kv::TieredKvStore;
+using hwstar::kv::TierPolicy;
+
+constexpr uint64_t kRecords = 1 << 17;  // 128K records
+constexpr uint64_t kAccesses = 1 << 20;
+
+/// Access trace: Zipf reads with optional periodic scans.
+const std::vector<uint64_t>& Trace(bool with_scans) {
+  static std::vector<uint64_t>* plain = nullptr;
+  static std::vector<uint64_t>* scans = nullptr;
+  auto*& slot = with_scans ? scans : plain;
+  if (slot == nullptr) {
+    slot = new std::vector<uint64_t>(
+        hwstar::workload::ZipfKeys(kAccesses, kRecords, 0.8, 123));
+    if (with_scans) {
+      // Splice a full scan after every 128K accesses.
+      std::vector<uint64_t> mixed;
+      mixed.reserve(slot->size() + 8 * kRecords);
+      for (uint64_t i = 0; i < slot->size(); ++i) {
+        mixed.push_back((*slot)[i]);
+        if ((i + 1) % (128 * 1024) == 0) {
+          for (uint64_t k = 0; k < kRecords; ++k) mixed.push_back(k);
+        }
+      }
+      *slot = std::move(mixed);
+    }
+  }
+  return *slot;
+}
+
+void BM_Tiering(benchmark::State& state, TierPolicy policy, bool with_scans) {
+  const uint64_t mem_percent = static_cast<uint64_t>(state.range(0));
+  TieredKvStore::Options opts;
+  opts.memory_capacity = kRecords * mem_percent / 100;
+  opts.policy = policy;
+  // Half-life spans the whole trace so estimates approximate true
+  // frequencies; 10% log sampling as in the original design.
+  opts.es_alpha = 1e-6;
+  opts.es_sample_permille = 100;
+
+  double hit_rate = 0, avg_latency = 0, wear = 0;
+  for (auto _ : state) {
+    TieredKvStore store(opts);
+    for (uint64_t k = 0; k < kRecords; ++k) store.Load(k, k);
+    const auto& trace = Trace(with_scans);
+    uint64_t now = 0;
+    const uint64_t warmup = trace.size() / 4;
+    const uint64_t reclassify_every = 64 * 1024;
+    for (uint64_t i = 0; i < trace.size(); ++i) {
+      (void)store.Read(trace[i], ++now);
+      if (policy == TierPolicy::kExpSmoothing &&
+          (i + 1) % reclassify_every == 0) {
+        store.Reclassify(now);
+      }
+      // Measure the steady state: drop warmup statistics.
+      if (i + 1 == warmup) store.ResetStats();
+    }
+    hit_rate = store.stats().hit_rate();
+    avg_latency = store.stats().avg_latency_us();
+    wear = store.flash().WearFraction(kRecords / 64);
+    benchmark::DoNotOptimize(hit_rate);
+  }
+  state.counters["mem_pct"] = static_cast<double>(mem_percent);
+  state.counters["scans"] = with_scans ? 1 : 0;
+  state.counters["hit_rate"] = hit_rate;
+  state.counters["avg_us"] = avg_latency;
+  state.counters["wear_frac"] = wear;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int64_t mem : {5, 10, 25, 50}) {
+    benchmark::RegisterBenchmark(
+        "lru/zipf", [](benchmark::State& s) { BM_Tiering(s, TierPolicy::kLru, false); })
+        ->Arg(mem)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "expsmooth/zipf",
+        [](benchmark::State& s) { BM_Tiering(s, TierPolicy::kExpSmoothing, false); })
+        ->Arg(mem)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "lru/zipf+scans",
+        [](benchmark::State& s) { BM_Tiering(s, TierPolicy::kLru, true); })
+        ->Arg(mem)
+        ->Iterations(1);
+    benchmark::RegisterBenchmark(
+        "expsmooth/zipf+scans",
+        [](benchmark::State& s) { BM_Tiering(s, TierPolicy::kExpSmoothing, true); })
+        ->Arg(mem)
+        ->Iterations(1);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E13: hot/cold tiering -- LRU vs exp-smoothing classifier "
+      "(128K records, Zipf 0.8 reads, optional scan pollution)",
+      {"mem_pct", "scans", "hit_rate", "avg_us", "wear_frac"});
+}

@@ -1,0 +1,91 @@
+// E1 -- "The free lunch is over": the only way to more performance is
+// parallelism. Scan+aggregate a large column with 1..N threads; the series
+// to reproduce is near-linear scaling for the morsel-driven scan up to the
+// physical core count (then memory-bus saturation), with static
+// partitioning matching it on uniform data but trailing under skew (see
+// E9 for the interference variant).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/exec/morsel.h"
+#include "hwstar/exec/thread_pool.h"
+#include "hwstar/ops/aggregation.h"
+
+namespace {
+
+using hwstar::exec::Morsel;
+using hwstar::exec::ParallelForMorsels;
+using hwstar::exec::ParallelForStatic;
+using hwstar::exec::ThreadPool;
+
+constexpr uint64_t kRows = 16 << 20;  // 16M int64 = 128MB
+
+const std::vector<int64_t>& Data() {
+  static std::vector<int64_t>* data = [] {
+    auto* v = new std::vector<int64_t>(kRows);
+    for (uint64_t i = 0; i < kRows; ++i) {
+      (*v)[i] = static_cast<int64_t>(i % 1000);
+    }
+    return v;
+  }();
+  return *data;
+}
+
+void SetThroughput(benchmark::State& state, uint32_t threads) {
+  state.counters["threads"] = threads;
+  state.counters["Mtuples_per_s"] = benchmark::Counter(
+      static_cast<double>(kRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_SequentialSum(benchmark::State& state) {
+  const auto& data = Data();
+  for (auto _ : state) {
+    int64_t sum = hwstar::ops::Sum(data);
+    benchmark::DoNotOptimize(sum);
+  }
+  SetThroughput(state, 1);
+}
+
+void ParallelSumBody(benchmark::State& state, bool morsel_driven) {
+  const auto& data = Data();
+  const uint32_t threads = static_cast<uint32_t>(state.range(0));
+  ThreadPool pool(threads);
+  for (auto _ : state) {
+    std::atomic<int64_t> total{0};
+    auto body = [&](uint32_t, Morsel m) {
+      int64_t local = 0;
+      for (uint64_t i = m.begin; i < m.end; ++i) local += data[i];
+      total.fetch_add(local, std::memory_order_relaxed);
+    };
+    if (morsel_driven) {
+      ParallelForMorsels(&pool, kRows, 1 << 16, body);
+    } else {
+      ParallelForStatic(&pool, kRows, body);
+    }
+    benchmark::DoNotOptimize(total.load());
+  }
+  SetThroughput(state, threads);
+}
+
+void BM_MorselSum(benchmark::State& state) { ParallelSumBody(state, true); }
+void BM_StaticSum(benchmark::State& state) { ParallelSumBody(state, false); }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Data();  // materialize before timing
+  benchmark::RegisterBenchmark("seq/1", BM_SequentialSum)->Iterations(5);
+  for (int t : {1, 2, 4}) {
+    benchmark::RegisterBenchmark("morsel", BM_MorselSum)->Arg(t)->Iterations(5)->UseRealTime();
+    benchmark::RegisterBenchmark("static", BM_StaticSum)->Arg(t)->Iterations(5)->UseRealTime();
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E1: multicore scaling of scan+aggregate (16M tuples, 128MB)",
+      {"threads", "Mtuples_per_s"});
+}

@@ -1,0 +1,131 @@
+// E2 -- the anchor experiment: hardware-conscious radix join vs. the
+// hardware-oblivious no-partitioning join (plus sort-merge), across build
+// sizes and probe-key skew. Expected shape (per Balkesen et al., ICDE'13):
+// while the build side fits in the LLC the two hash joins are comparable
+// (NPO can even win -- no partitioning cost); once the build relation
+// spills past the cache, the radix join wins and its margin grows with
+// build size. Skew helps NPO (hot keys stay cached) and narrows the gap.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/hw/topology.h"
+#include "hwstar/ops/join_nop.h"
+#include "hwstar/ops/join_radix.h"
+#include "hwstar/ops/join_sort_merge.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+using hwstar::ops::NoPartitionHashJoin;
+using hwstar::ops::RadixHashJoin;
+using hwstar::ops::RadixJoinOptions;
+using hwstar::ops::Relation;
+using hwstar::ops::SortMergeJoin;
+
+struct JoinInput {
+  Relation build;
+  Relation probe;
+};
+
+/// Probe = 4x build, per the standard setup.
+const JoinInput& Input(uint64_t build_log2, double theta) {
+  static std::map<std::pair<uint64_t, int>, std::unique_ptr<JoinInput>> cache;
+  auto key = std::make_pair(build_log2, static_cast<int>(theta * 100));
+  auto& slot = cache[key];
+  if (!slot) {
+    slot = std::make_unique<JoinInput>();
+    const uint64_t n = uint64_t{1} << build_log2;
+    slot->build = hwstar::workload::MakeBuildRelation(n, 101 + build_log2);
+    slot->probe =
+        hwstar::workload::MakeProbeRelation(4 * n, n, theta, 202 + build_log2);
+  }
+  return *slot;
+}
+
+void SetCounters(benchmark::State& state, uint64_t build_log2, double theta,
+                 uint64_t probe_tuples) {
+  state.counters["build_log2"] = static_cast<double>(build_log2);
+  state.counters["zipf"] = theta;
+  state.counters["Mprobes_per_s"] = benchmark::Counter(
+      static_cast<double>(probe_tuples) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_NPO(benchmark::State& state, double theta) {
+  const uint64_t build_log2 = static_cast<uint64_t>(state.range(0));
+  const JoinInput& in = Input(build_log2, theta);
+  for (auto _ : state) {
+    auto result = NoPartitionHashJoin(in.build, in.probe);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  SetCounters(state, build_log2, theta, in.probe.size());
+}
+
+void BM_Radix(benchmark::State& state, double theta) {
+  const uint64_t build_log2 = static_cast<uint64_t>(state.range(0));
+  const JoinInput& in = Input(build_log2, theta);
+  static const uint64_t kLlc = [] {
+    auto topo = hwstar::hw::DiscoverTopology();
+    uint64_t llc = topo.CacheSizeBytes(3);
+    if (llc == 0) llc = topo.CacheSizeBytes(2);
+    return llc == 0 ? (8u << 20) : llc;
+  }();
+  RadixJoinOptions opts;
+  opts.radix_bits = hwstar::ops::RecommendRadixBits(in.build.size(), kLlc);
+  if (opts.radix_bits > 14) opts.num_passes = 2;
+  for (auto _ : state) {
+    auto result = RadixHashJoin(in.build, in.probe, opts);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  SetCounters(state, build_log2, theta, in.probe.size());
+  state.counters["radix_bits"] = opts.radix_bits;
+}
+
+void BM_SortMerge(benchmark::State& state, double theta) {
+  const uint64_t build_log2 = static_cast<uint64_t>(state.range(0));
+  const JoinInput& in = Input(build_log2, theta);
+  for (auto _ : state) {
+    auto result = SortMergeJoin(in.build, in.probe);
+    benchmark::DoNotOptimize(result.matches);
+  }
+  SetCounters(state, build_log2, theta, in.probe.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<int64_t> sizes = {16, 18, 20, 22};
+  // The literature sweeps Zipf 0 / 0.75 / 1.05; our generator supports
+  // theta < 1, so the heavy-skew point is 0.99.
+  const std::vector<double> thetas = {0.0, 0.75, 0.99};
+  for (double theta : thetas) {
+    const std::string suffix =
+        theta == 0.0 ? "uniform" : "zipf" + std::to_string(theta).substr(0, 4);
+    for (int64_t s : sizes) {
+      benchmark::RegisterBenchmark(("npo/" + suffix).c_str(), BM_NPO, theta)
+          ->Arg(s)
+          ->Iterations(3);
+      benchmark::RegisterBenchmark(("radix/" + suffix).c_str(), BM_Radix,
+                                   theta)
+          ->Arg(s)
+          ->Iterations(3);
+      if (theta == 0.0) {
+        benchmark::RegisterBenchmark(("sortmerge/" + suffix).c_str(),
+                                     BM_SortMerge, theta)
+            ->Arg(s)
+            ->Iterations(3);
+      }
+    }
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E2: radix join (conscious) vs no-partitioning join (oblivious), "
+      "probe=4x build",
+      {"build_log2", "zipf", "radix_bits", "Mprobes_per_s"});
+}

@@ -1,0 +1,183 @@
+// E3 -- data layout must follow the access pattern. The same projection
+// query (sum k of 8 columns over 10M rows) runs against NSM (row store),
+// DSM (column store) and PAX. Expected shape: for narrow projections
+// (k=1,2) the column store wins big -- it moves only the touched bytes;
+// as k approaches the full width the gap closes and the row store becomes
+// competitive; PAX tracks the column store for scans while keeping rows
+// page-local (its OLTP advantage shows in the point-access series).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/storage/column_store.h"
+#include "hwstar/storage/pax.h"
+#include "hwstar/storage/row_store.h"
+#include "hwstar/storage/table.h"
+
+namespace {
+
+using hwstar::storage::ColumnStore;
+using hwstar::storage::Field;
+using hwstar::storage::PaxStore;
+using hwstar::storage::RowStore;
+using hwstar::storage::Schema;
+using hwstar::storage::Table;
+using hwstar::storage::TypeId;
+
+constexpr uint64_t kRows = 10'000'000;
+constexpr size_t kCols = 8;
+
+struct Stores {
+  std::unique_ptr<RowStore> row;
+  std::unique_ptr<ColumnStore> col;
+  std::unique_ptr<PaxStore> pax;
+};
+
+const Stores& GetStores() {
+  static Stores* stores = [] {
+    std::vector<Field> fields;
+    for (size_t c = 0; c < kCols; ++c) {
+      fields.push_back({"c" + std::to_string(c), TypeId::kInt64});
+    }
+    Table table(Schema{fields});
+    hwstar::Xoshiro256 rng(17);
+    for (size_t c = 0; c < kCols; ++c) table.column(c).Reserve(kRows);
+    for (uint64_t r = 0; r < kRows; ++r) {
+      for (size_t c = 0; c < kCols; ++c) {
+        table.column(c).AppendInt64(
+            static_cast<int64_t>(rng.NextBounded(1000)));
+      }
+    }
+    (void)table.SetRowCount(kRows);
+    auto* s = new Stores();
+    s->row = std::make_unique<RowStore>(
+        std::move(RowStore::FromTable(table)).value());
+    s->col = std::make_unique<ColumnStore>(
+        std::move(ColumnStore::FromTable(table)).value());
+    s->pax = std::make_unique<PaxStore>(
+        std::move(PaxStore::FromTable(table)).value());
+    return s;
+  }();
+  return *stores;
+}
+
+void SetCounters(benchmark::State& state, size_t k) {
+  state.counters["cols_touched"] = static_cast<double>(k);
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_RowScan(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const RowStore& store = *GetStores().row;
+  for (auto _ : state) {
+    int64_t sum = 0;
+    const uint8_t* base = store.data();
+    const uint32_t width = store.row_width();
+    for (uint64_t r = 0; r < kRows; ++r) {
+      const uint8_t* row = base + r * width;
+      for (size_t c = 0; c < k; ++c) {
+        int64_t v;
+        __builtin_memcpy(&v, row + c * 8, 8);
+        sum += v;
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  SetCounters(state, k);
+}
+
+void BM_ColumnScan(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const ColumnStore& store = *GetStores().col;
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (size_t c = 0; c < k; ++c) {
+      const int64_t* data = store.IntColumn(c).data();
+      for (uint64_t r = 0; r < kRows; ++r) sum += data[r];
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  SetCounters(state, k);
+}
+
+void BM_PaxScan(benchmark::State& state) {
+  const size_t k = static_cast<size_t>(state.range(0));
+  const PaxStore& store = *GetStores().pax;
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (uint64_t p = 0; p < store.num_pages(); ++p) {
+      const uint32_t in_page = store.RowsInPage(p);
+      for (size_t c = 0; c < k; ++c) {
+        const int64_t* mini = store.IntMinipage(p, c);
+        for (uint32_t i = 0; i < in_page; ++i) sum += mini[i];
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  SetCounters(state, k);
+}
+
+/// Point accesses: read all k columns of random rows (OLTP pattern).
+void PointAccessBody(benchmark::State& state, int layout) {
+  const size_t k = kCols;  // whole row
+  const Stores& stores = GetStores();
+  hwstar::Xoshiro256 rng(23);
+  constexpr uint64_t kProbes = 1'000'000;
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (uint64_t i = 0; i < kProbes; ++i) {
+      const uint64_t r = rng.NextBounded(kRows);
+      for (size_t c = 0; c < k; ++c) {
+        switch (layout) {
+          case 0:
+            sum += stores.row->GetInt(r, c);
+            break;
+          case 1:
+            sum += stores.col->IntColumn(c)[r];
+            break;
+          default:
+            sum += stores.pax->GetInt(r, c);
+            break;
+        }
+      }
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["cols_touched"] = static_cast<double>(k);
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  GetStores();
+  for (int64_t k : {1, 2, 4, 8}) {
+    benchmark::RegisterBenchmark("scan/nsm", BM_RowScan)->Arg(k)->Iterations(3);
+    benchmark::RegisterBenchmark("scan/dsm", BM_ColumnScan)
+        ->Arg(k)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark("scan/pax", BM_PaxScan)->Arg(k)->Iterations(3);
+  }
+  benchmark::RegisterBenchmark(
+      "point/nsm", [](benchmark::State& s) { PointAccessBody(s, 0); })
+      ->Iterations(3);
+  benchmark::RegisterBenchmark(
+      "point/dsm", [](benchmark::State& s) { PointAccessBody(s, 1); })
+      ->Iterations(3);
+  benchmark::RegisterBenchmark(
+      "point/pax", [](benchmark::State& s) { PointAccessBody(s, 2); })
+      ->Iterations(3);
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E3: layout (NSM/DSM/PAX), projection width sweep + point access "
+      "(10M rows x 8 cols)",
+      {"cols_touched", "Mrows_per_s"});
+}

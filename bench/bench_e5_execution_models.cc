@@ -1,0 +1,131 @@
+// E5 -- execution models embody hardware-consciousness. The same query
+// (SELECT SUM(d) WHERE 10 <= b < 20, ~10% selectivity) runs tuple-at-a-time
+// (Volcano), vectorized (batch sweep), and template-fused. Expected shape:
+// Volcano is 1-2 orders of magnitude slower than fused (virtual dispatch
+// + per-row interpretation); vectorized sits between, with a batch-size
+// sweet spot -- tiny batches re-pay interpretation, huge batches spill the
+// intermediate vectors out of cache.
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "bench_common.h"
+#include "hwstar/engine/parallel.h"
+#include "hwstar/engine/planner.h"
+#include "hwstar/storage/table.h"
+
+namespace {
+
+using hwstar::engine::ExecuteFused;
+using hwstar::engine::ExecuteVectorized;
+using hwstar::engine::ExecuteVolcano;
+using hwstar::engine::Query;
+using hwstar::engine::VectorizedOptions;
+using hwstar::storage::ColumnStore;
+using hwstar::storage::Schema;
+using hwstar::storage::Table;
+using hwstar::storage::TypeId;
+
+constexpr uint64_t kRows = 8'000'000;
+
+const ColumnStore& Store() {
+  static ColumnStore* store = [] {
+    Schema schema({{"a", TypeId::kInt64},
+                   {"b", TypeId::kInt64},
+                   {"c", TypeId::kInt64},
+                   {"d", TypeId::kInt64}});
+    Table t(schema);
+    for (size_t c = 0; c < 4; ++c) t.column(c).Reserve(kRows);
+    for (uint64_t i = 0; i < kRows; ++i) {
+      t.column(0).AppendInt64(static_cast<int64_t>(i));
+      t.column(1).AppendInt64(static_cast<int64_t>((i * 2654435761u) % 100));
+      t.column(2).AppendInt64(static_cast<int64_t>(i % 7));
+      t.column(3).AppendInt64(static_cast<int64_t>(i % 1000));
+    }
+    (void)t.SetRowCount(kRows);
+    return new ColumnStore(std::move(ColumnStore::FromTable(t)).value());
+  }();
+  return *store;
+}
+
+Query MakeQuery() {
+  using namespace hwstar::engine;
+  Query q;
+  q.input = &Store();
+  q.filter = And(Ge(Col(1), Lit(10)), Lt(Col(1), Lit(20)));
+  q.aggregate = Col(3);
+  return q;
+}
+
+void SetCounters(benchmark::State& state, double batch) {
+  state.counters["batch"] = batch;
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Volcano(benchmark::State& state) {
+  Query q = MakeQuery();
+  for (auto _ : state) {
+    auto r = ExecuteVolcano(q);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  SetCounters(state, 1);
+}
+
+void BM_Vectorized(benchmark::State& state) {
+  Query q = MakeQuery();
+  VectorizedOptions opts;
+  opts.batch_size = static_cast<uint32_t>(state.range(0));
+  for (auto _ : state) {
+    auto r = ExecuteVectorized(q, opts);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  SetCounters(state, static_cast<double>(state.range(0)));
+}
+
+void BM_Fused(benchmark::State& state) {
+  Query q = MakeQuery();
+  for (auto _ : state) {
+    auto r = ExecuteFused(q);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  SetCounters(state, static_cast<double>(kRows));
+}
+
+void BM_FusedParallel(benchmark::State& state) {
+  Query q = MakeQuery();
+  hwstar::exec::ThreadPool pool(static_cast<uint32_t>(state.range(0)));
+  hwstar::engine::ExecuteOptions opts;
+  opts.model = hwstar::engine::ExecutionModel::kFused;
+  for (auto _ : state) {
+    auto r = hwstar::engine::ExecuteParallel(q, &pool, opts, 1 << 16);
+    benchmark::DoNotOptimize(r.sum);
+  }
+  SetCounters(state, static_cast<double>(kRows));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Store();
+  benchmark::RegisterBenchmark("volcano", BM_Volcano)->Iterations(2);
+  for (int64_t batch : {64, 256, 1024, 4096, 16384, 65536, 262144}) {
+    benchmark::RegisterBenchmark("vectorized", BM_Vectorized)
+        ->Arg(batch)
+        ->Iterations(3);
+  }
+  benchmark::RegisterBenchmark("fused", BM_Fused)->Iterations(5);
+  for (int64_t t : {1, 2}) {
+    benchmark::RegisterBenchmark("fused-parallel", BM_FusedParallel)
+        ->Arg(t)
+        ->Iterations(5)
+        ->UseRealTime();
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E5: execution models, SELECT SUM(d) WHERE 10<=b<20 over 8M rows",
+      {"batch", "threads", "Mrows_per_s"});
+}

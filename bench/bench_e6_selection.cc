@@ -1,0 +1,91 @@
+// E6 -- data-dependent branches waste the pipeline. The same selection
+// (indices of values under a threshold) runs with a branching kernel, a
+// branch-free (predicated) kernel, and a bitmap kernel across the
+// selectivity spectrum. Expected shape: branching is fastest at the
+// extremes (predictor nearly always right) and collapses around 50%
+// selectivity; branch-free is flat everywhere; the crossover points --
+// where flat beats branchy -- are the experiment's signature.
+
+#include <benchmark/benchmark.h>
+
+#include <map>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/ops/selection.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+constexpr uint64_t kRows = 16'000'000;
+constexpr int64_t kThreshold = 1000;
+constexpr int64_t kMaxValue = 1'000'000;
+
+const std::vector<int64_t>& Input(int sel_permille) {
+  static std::map<int, std::vector<int64_t>*> cache;
+  auto*& slot = cache[sel_permille];
+  if (slot == nullptr) {
+    slot = new std::vector<int64_t>(hwstar::workload::MakeSelectionInput(
+        kRows, sel_permille / 1000.0, kThreshold, kMaxValue,
+        static_cast<uint64_t>(sel_permille)));
+  }
+  return *slot;
+}
+
+void SetCounters(benchmark::State& state, int sel_permille) {
+  state.counters["selectivity"] = sel_permille / 1000.0;
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_Branching(benchmark::State& state) {
+  const int sel = static_cast<int>(state.range(0));
+  const auto& v = Input(sel);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    uint64_t n = hwstar::ops::SelectBranching(v, 0, kThreshold, &out);
+    benchmark::DoNotOptimize(n);
+  }
+  SetCounters(state, sel);
+}
+
+void BM_BranchFree(benchmark::State& state) {
+  const int sel = static_cast<int>(state.range(0));
+  const auto& v = Input(sel);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    uint64_t n = hwstar::ops::SelectBranchFree(v, 0, kThreshold, &out);
+    benchmark::DoNotOptimize(n);
+  }
+  SetCounters(state, sel);
+}
+
+void BM_Bitmap(benchmark::State& state) {
+  const int sel = static_cast<int>(state.range(0));
+  const auto& v = Input(sel);
+  std::vector<uint32_t> out;
+  for (auto _ : state) {
+    uint64_t n = hwstar::ops::SelectBitmap(v, 0, kThreshold, &out);
+    benchmark::DoNotOptimize(n);
+  }
+  SetCounters(state, sel);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::vector<int64_t> sels = {1, 10, 100, 250, 500, 750, 900, 990, 999};
+  for (int64_t s : sels) {
+    benchmark::RegisterBenchmark("branching", BM_Branching)
+        ->Arg(s)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark("branchfree", BM_BranchFree)
+        ->Arg(s)
+        ->Iterations(3);
+    benchmark::RegisterBenchmark("bitmap", BM_Bitmap)->Arg(s)->Iterations(3);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv, "E6: selection kernels across selectivity (16M rows)",
+      {"selectivity", "Mrows_per_s"});
+}

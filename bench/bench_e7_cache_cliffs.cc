@@ -1,0 +1,140 @@
+// E7 -- caches dominate: performance falls off a cliff each time the
+// working set outgrows a cache level. Two series:
+//  (a) random pointer-chase over arrays from 16KB to 256MB, measured in
+//      host nanoseconds per access AND in simulated cycles per access on
+//      the server2013 model -- the cliffs at L1/L2/L3 capacity should
+//      align between the two;
+//  (b) point lookups, cache-conscious B+-tree vs. binary search over a
+//      sorted array: identical O(log n) comparisons, but the B+-tree's
+//      wide nodes mean ~4x fewer dependent cache misses, so it wins and
+//      the margin grows with the working set.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/ops/btree.h"
+#include "hwstar/sim/hierarchy.h"
+
+namespace {
+
+/// Builds a random cyclic permutation for pointer chasing (every element
+/// visited once per cycle: defeats the prefetcher, exposes raw latency).
+std::vector<uint32_t> MakeChase(uint64_t elements, uint64_t seed) {
+  std::vector<uint32_t> order(elements);
+  for (uint64_t i = 0; i < elements; ++i) order[i] = static_cast<uint32_t>(i);
+  hwstar::Xoshiro256 rng(seed);
+  for (uint64_t i = elements; i > 1; --i) {
+    std::swap(order[i - 1], order[rng.NextBounded(i)]);
+  }
+  std::vector<uint32_t> next(elements);
+  for (uint64_t i = 0; i < elements; ++i) {
+    next[order[i]] = order[(i + 1) % elements];
+  }
+  return next;
+}
+
+void BM_PointerChase(benchmark::State& state) {
+  const uint64_t kb = static_cast<uint64_t>(state.range(0));
+  const uint64_t elements = kb * 1024 / 64;  // one element per cache line
+  // Pad each element to a cache line.
+  struct alignas(64) Node {
+    uint32_t next;
+  };
+  std::vector<uint32_t> chase = MakeChase(elements, kb);
+  std::vector<Node> nodes(elements);
+  for (uint64_t i = 0; i < elements; ++i) nodes[i].next = chase[i];
+
+  const uint64_t kAccesses = 4'000'000;
+  for (auto _ : state) {
+    uint32_t p = 0;
+    for (uint64_t i = 0; i < kAccesses; ++i) p = nodes[p].next;
+    benchmark::DoNotOptimize(p);
+  }
+  state.counters["working_set_kb"] = static_cast<double>(kb);
+  state.counters["sec_per_access"] =
+      benchmark::Counter(static_cast<double>(kAccesses),
+                         benchmark::Counter::kIsIterationInvariantRate |
+                             benchmark::Counter::kInvert);
+  // Simulated cycles/access on the modeled machine for the same pattern
+  // (sampled at 100K accesses to bound simulation time).
+  hwstar::sim::MemoryHierarchy hier(hwstar::hw::MachineModel::Server2013());
+  uint32_t p = 0;
+  const uint64_t kSim = 100'000;
+  for (uint64_t i = 0; i < kSim; ++i) {
+    hier.Access(reinterpret_cast<uint64_t>(&nodes[p]));
+    p = nodes[p].next;
+  }
+  state.counters["sim_cycles_per_access"] = hier.Stats().cycles_per_access();
+}
+
+void BM_BTreeLookup(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  std::vector<uint64_t> keys(n), values(n);
+  for (uint64_t i = 0; i < n; ++i) {
+    keys[i] = i * 2;
+    values[i] = i;
+  }
+  auto tree = hwstar::ops::BPlusTree::BulkLoad(keys, values, 32);
+  hwstar::Xoshiro256 rng(n);
+  const uint64_t kLookups = 1'000'000;
+  std::vector<uint64_t> probes(kLookups);
+  for (auto& p : probes) p = rng.NextBounded(n) * 2;
+  for (auto _ : state) {
+    uint64_t found = 0, v = 0;
+    for (uint64_t p : probes) found += tree.value().Find(p, &v);
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["keys"] = static_cast<double>(n);
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kLookups) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_BinarySearchLookup(benchmark::State& state) {
+  const uint64_t n = static_cast<uint64_t>(state.range(0));
+  std::vector<uint64_t> keys(n);
+  for (uint64_t i = 0; i < n; ++i) keys[i] = i * 2;
+  hwstar::Xoshiro256 rng(n);
+  const uint64_t kLookups = 1'000'000;
+  std::vector<uint64_t> probes(kLookups);
+  for (auto& p : probes) p = rng.NextBounded(n) * 2;
+  for (auto _ : state) {
+    uint64_t found = 0;
+    for (uint64_t p : probes) {
+      found += std::binary_search(keys.begin(), keys.end(), p);
+    }
+    benchmark::DoNotOptimize(found);
+  }
+  state.counters["keys"] = static_cast<double>(n);
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kLookups) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  for (int64_t kb : {16, 64, 256, 1024, 4096, 16384, 65536, 262144}) {
+    benchmark::RegisterBenchmark("chase", BM_PointerChase)
+        ->Arg(kb)
+        ->Iterations(1);
+  }
+  for (int64_t n : {1 << 14, 1 << 18, 1 << 22}) {
+    benchmark::RegisterBenchmark("lookup/btree", BM_BTreeLookup)
+        ->Arg(n)
+        ->Iterations(2);
+    benchmark::RegisterBenchmark("lookup/binsearch", BM_BinarySearchLookup)
+        ->Arg(n)
+        ->Iterations(2);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E7: cache capacity cliffs (pointer chase; B+-tree vs binary search)",
+      {"working_set_kb", "sec_per_access", "sim_cycles_per_access", "keys",
+       "Mlookups_per_s"});
+}

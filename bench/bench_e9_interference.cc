@@ -1,0 +1,110 @@
+// E9 -- virtualization/co-location: performance assumptions break when the
+// machine is shared. An OLAP scan (sum over 64MB) runs (a) alone, (b)
+// co-run with a cache/bandwidth-thrashing antagonist, under both static
+// partitioning and morsel-driven scheduling. Expected shape: co-running
+// degrades throughput for both (shared memory bus), but morsel-driven
+// scheduling degrades more gracefully -- the antagonist slows one worker,
+// and with dynamic morsels the other workers absorb its share, while a
+// static split waits on the victim (straggler effect).
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/exec/morsel.h"
+#include "hwstar/exec/thread_pool.h"
+
+namespace {
+
+using hwstar::exec::Morsel;
+using hwstar::exec::ParallelForMorsels;
+using hwstar::exec::ParallelForStatic;
+using hwstar::exec::ThreadPool;
+
+constexpr uint64_t kRows = 8 << 20;  // 64MB of int64
+
+const std::vector<int64_t>& Data() {
+  static std::vector<int64_t>* data = [] {
+    auto* v = new std::vector<int64_t>(kRows);
+    for (uint64_t i = 0; i < kRows; ++i) (*v)[i] = static_cast<int64_t>(i & 1023);
+    return v;
+  }();
+  return *data;
+}
+
+/// The antagonist: strides through a 64MB buffer trashing the LLC and
+/// burning bus bandwidth until told to stop.
+class Antagonist {
+ public:
+  Antagonist() : buffer_(8 << 20), stop_(false) {
+    thread_ = std::thread([this] {
+      uint64_t x = 1;
+      while (!stop_.load(std::memory_order_acquire)) {
+        for (size_t i = 0; i < buffer_.size(); i += 8) {
+          buffer_[i] += static_cast<int64_t>(++x);
+        }
+      }
+    });
+  }
+  ~Antagonist() {
+    stop_.store(true, std::memory_order_release);
+    thread_.join();
+  }
+
+ private:
+  std::vector<int64_t> buffer_;
+  std::atomic<bool> stop_;
+  std::thread thread_;
+};
+
+void ScanBody(benchmark::State& state, bool with_antagonist,
+              bool morsel_driven) {
+  const auto& data = Data();
+  ThreadPool pool(2);
+  std::unique_ptr<Antagonist> antagonist;
+  if (with_antagonist) antagonist = std::make_unique<Antagonist>();
+  for (auto _ : state) {
+    std::atomic<int64_t> total{0};
+    auto body = [&](uint32_t, Morsel m) {
+      int64_t local = 0;
+      for (uint64_t i = m.begin; i < m.end; ++i) local += data[i];
+      total.fetch_add(local, std::memory_order_relaxed);
+    };
+    if (morsel_driven) {
+      ParallelForMorsels(&pool, kRows, 1 << 15, body);
+    } else {
+      ParallelForStatic(&pool, kRows, body);
+    }
+    benchmark::DoNotOptimize(total.load());
+  }
+  state.counters["antagonist"] = with_antagonist ? 1 : 0;
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  Data();
+  benchmark::RegisterBenchmark("morsel/alone", [](benchmark::State& s) {
+    ScanBody(s, false, true);
+  })->Iterations(5)->UseRealTime();
+  benchmark::RegisterBenchmark("static/alone", [](benchmark::State& s) {
+    ScanBody(s, false, false);
+  })->Iterations(5)->UseRealTime();
+  benchmark::RegisterBenchmark("morsel/corun", [](benchmark::State& s) {
+    ScanBody(s, true, true);
+  })->Iterations(5)->UseRealTime();
+  benchmark::RegisterBenchmark("static/corun", [](benchmark::State& s) {
+    ScanBody(s, true, false);
+  })->Iterations(5)->UseRealTime();
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E9: co-location interference on an OLAP scan (2 workers + antagonist)",
+      {"antagonist", "Mrows_per_s"});
+}

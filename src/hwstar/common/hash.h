@@ -1,0 +1,47 @@
+#ifndef HWSTAR_COMMON_HASH_H_
+#define HWSTAR_COMMON_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace hwstar {
+
+/// 64-bit finalizer from MurmurHash3 (fmix64). Good avalanche behaviour;
+/// this is the hash used by the join/aggregation hash tables, where hashing
+/// throughput directly determines probe cost.
+inline uint64_t Mix64(uint64_t k) {
+  k ^= k >> 33;
+  k *= 0xff51afd7ed558ccdULL;
+  k ^= k >> 33;
+  k *= 0xc4ceb9fe1a85ec53ULL;
+  k ^= k >> 33;
+  return k;
+}
+
+/// Cheap multiplicative hash (Knuth); used where speed matters more than
+/// avalanche quality (e.g., radix partitioning pre-hash).
+inline uint64_t MultiplicativeHash(uint64_t k) {
+  return k * 0x9e3779b97f4a7c15ULL;
+}
+
+/// Combines two hashes (boost-style).
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  return seed ^ (v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2));
+}
+
+/// Bytewise FNV-1a for strings and raw buffers.
+uint64_t HashBytes(const void* data, size_t len, uint64_t seed = 0xcbf29ce484222325ULL);
+
+/// Convenience overload for string views.
+inline uint64_t HashString(std::string_view s) {
+  return HashBytes(s.data(), s.size());
+}
+
+/// CRC32 (software, slice-by-1, polynomial 0xEDB88320). Used by storage
+/// checksums.
+uint32_t Crc32(const void* data, size_t len, uint32_t seed = 0);
+
+}  // namespace hwstar
+
+#endif  // HWSTAR_COMMON_HASH_H_

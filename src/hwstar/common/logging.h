@@ -1,0 +1,48 @@
+#ifndef HWSTAR_COMMON_LOGGING_H_
+#define HWSTAR_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace hwstar {
+
+/// Log severities in increasing order of importance.
+enum class LogLevel : int {
+  kDebug = 0,
+  kInfo = 1,
+  kWarning = 2,
+  kError = 3,
+};
+
+/// Global minimum severity; messages below it are dropped. Defaults to
+/// kWarning so library internals stay quiet in benchmarks.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+/// Stream-style log line; emits to stderr on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace hwstar
+
+#define HWSTAR_LOG(level)                                                  \
+  ::hwstar::internal::LogMessage(::hwstar::LogLevel::k##level, __FILE__, \
+                                 __LINE__)                                 \
+      .stream()
+
+#endif  // HWSTAR_COMMON_LOGGING_H_

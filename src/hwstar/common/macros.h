@@ -1,0 +1,42 @@
+#ifndef HWSTAR_COMMON_MACROS_H_
+#define HWSTAR_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Unrecoverable invariant check, active in all build types. The library
+/// uses HWSTAR_CHECK for programmer errors (not data errors, which are
+/// reported via Status).
+#define HWSTAR_CHECK(cond)                                                 \
+  do {                                                                     \
+    if (!(cond)) {                                                         \
+      std::fprintf(stderr, "HWSTAR_CHECK failed at %s:%d: %s\n", __FILE__, \
+                   __LINE__, #cond);                                       \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Debug-only invariant check (compiled out in NDEBUG builds).
+#ifdef NDEBUG
+#define HWSTAR_DCHECK(cond) \
+  do {                      \
+  } while (0)
+#else
+#define HWSTAR_DCHECK(cond) HWSTAR_CHECK(cond)
+#endif
+
+#if defined(__GNUC__) || defined(__clang__)
+#define HWSTAR_LIKELY(x) __builtin_expect(!!(x), 1)
+#define HWSTAR_UNLIKELY(x) __builtin_expect(!!(x), 0)
+#define HWSTAR_ALWAYS_INLINE inline __attribute__((always_inline))
+#define HWSTAR_NOINLINE __attribute__((noinline))
+#define HWSTAR_PREFETCH(addr) __builtin_prefetch(addr)
+#else
+#define HWSTAR_LIKELY(x) (x)
+#define HWSTAR_UNLIKELY(x) (x)
+#define HWSTAR_ALWAYS_INLINE inline
+#define HWSTAR_NOINLINE
+#define HWSTAR_PREFETCH(addr)
+#endif
+
+#endif  // HWSTAR_COMMON_MACROS_H_

@@ -1,0 +1,49 @@
+#include "hwstar/common/random.h"
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar {
+
+namespace {
+inline uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+}  // namespace
+
+Xoshiro256::Xoshiro256(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& w : s_) w = SplitMix64(sm);
+}
+
+uint64_t Xoshiro256::Next() {
+  const uint64_t result = Rotl(s_[1] * 5, 7) * 9;
+  const uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = Rotl(s_[3], 45);
+  return result;
+}
+
+uint64_t Xoshiro256::NextBounded(uint64_t bound) {
+  HWSTAR_DCHECK(bound != 0);
+  // Lemire's nearly-divisionless bounded generation; the slight modulo bias
+  // of the plain multiply-shift is acceptable for workload generation, so we
+  // skip the rejection loop for speed and determinism.
+  __uint128_t m = static_cast<__uint128_t>(Next()) * bound;
+  return static_cast<uint64_t>(m >> 64);
+}
+
+double Xoshiro256::NextDouble() {
+  // 53 random mantissa bits.
+  return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+}
+
+int64_t Xoshiro256::NextInRange(int64_t lo, int64_t hi) {
+  HWSTAR_DCHECK(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(Next());  // full 64-bit range
+  return lo + static_cast<int64_t>(NextBounded(span));
+}
+
+}  // namespace hwstar

@@ -1,0 +1,42 @@
+#ifndef HWSTAR_COMMON_RANDOM_H_
+#define HWSTAR_COMMON_RANDOM_H_
+
+#include <cstdint>
+
+namespace hwstar {
+
+/// SplitMix64: used to seed Xoshiro and as a standalone stateless generator.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// Xoshiro256** PRNG. Deterministic, fast, and independent of the standard
+/// library so workload generation is reproducible across platforms.
+class Xoshiro256 {
+ public:
+  /// Seeds all four words from SplitMix64(seed).
+  explicit Xoshiro256(uint64_t seed = 0x853c49e6748fea9bULL);
+
+  /// Next 64 uniformly random bits.
+  uint64_t Next();
+
+  /// Uniform integer in [0, bound) using Lemire's multiply-shift reduction.
+  /// bound must be non-zero.
+  uint64_t NextBounded(uint64_t bound);
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform integer in [lo, hi] inclusive; lo must be <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+ private:
+  uint64_t s_[4];
+};
+
+}  // namespace hwstar
+
+#endif  // HWSTAR_COMMON_RANDOM_H_

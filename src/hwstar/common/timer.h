@@ -1,0 +1,58 @@
+#ifndef HWSTAR_COMMON_TIMER_H_
+#define HWSTAR_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace hwstar {
+
+/// Monotonic wall-clock stopwatch with nanosecond resolution.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the epoch to now.
+  void Restart() { start_ = Clock::now(); }
+
+  /// Nanoseconds elapsed since construction or the last Restart().
+  uint64_t ElapsedNanos() const {
+    return static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(Clock::now() -
+                                                             start_)
+            .count());
+  }
+
+  /// Seconds elapsed as a double.
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Accumulating timer: sums the durations of Start()/Stop() intervals.
+/// Useful for timing a phase that is entered many times.
+class AccumulatingTimer {
+ public:
+  void Start() { timer_.Restart(); running_ = true; }
+  void Stop() {
+    if (running_) {
+      total_nanos_ += timer_.ElapsedNanos();
+      running_ = false;
+    }
+  }
+  void Reset() { total_nanos_ = 0; running_ = false; }
+  uint64_t TotalNanos() const { return total_nanos_; }
+  double TotalSeconds() const { return static_cast<double>(total_nanos_) * 1e-9; }
+
+ private:
+  WallTimer timer_;
+  uint64_t total_nanos_ = 0;
+  bool running_ = false;
+};
+
+}  // namespace hwstar
+
+#endif  // HWSTAR_COMMON_TIMER_H_

@@ -1,0 +1,175 @@
+#include "hwstar/engine/expression.h"
+
+#include <sstream>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::engine {
+
+namespace {
+
+class ColumnExpr final : public Expr {
+ public:
+  ColumnExpr(size_t index, std::string name)
+      : Expr(ExprKind::kColumn), index_(index), name_(std::move(name)) {}
+
+  int64_t Eval(const storage::ColumnStore& store, uint64_t row) const override {
+    return store.IntColumn(index_)[row];
+  }
+
+  void EvalBatch(const storage::ColumnStore& store, uint64_t begin,
+                 uint64_t end, int64_t* out) const override {
+    const int64_t* src = store.IntColumn(index_).data();
+    for (uint64_t i = begin; i < end; ++i) *out++ = src[i];
+  }
+
+  std::string ToString() const override {
+    return name_.empty() ? "$" + std::to_string(index_) : name_;
+  }
+
+  int column_index() const override { return static_cast<int>(index_); }
+
+ private:
+  size_t index_;
+  std::string name_;
+};
+
+class ConstExpr final : public Expr {
+ public:
+  explicit ConstExpr(int64_t value)
+      : Expr(ExprKind::kConstant), value_(value) {}
+
+  int64_t Eval(const storage::ColumnStore&, uint64_t) const override {
+    return value_;
+  }
+
+  void EvalBatch(const storage::ColumnStore&, uint64_t begin, uint64_t end,
+                 int64_t* out) const override {
+    for (uint64_t i = begin; i < end; ++i) *out++ = value_;
+  }
+
+  std::string ToString() const override { return std::to_string(value_); }
+
+  int64_t constant_value() const override { return value_; }
+
+ private:
+  int64_t value_;
+};
+
+class BinaryExpr final : public Expr {
+ public:
+  BinaryExpr(ExprKind kind, ExprPtr l, ExprPtr r)
+      : Expr(kind), l_(std::move(l)), r_(std::move(r)) {}
+
+  int64_t Eval(const storage::ColumnStore& store, uint64_t row) const override {
+    const int64_t a = l_->Eval(store, row);
+    const int64_t b = r_->Eval(store, row);
+    return Apply(a, b);
+  }
+
+  void EvalBatch(const storage::ColumnStore& store, uint64_t begin,
+                 uint64_t end, int64_t* out) const override {
+    const uint64_t n = end - begin;
+    std::vector<int64_t> lhs(n), rhs(n);
+    l_->EvalBatch(store, begin, end, lhs.data());
+    r_->EvalBatch(store, begin, end, rhs.data());
+    for (uint64_t i = 0; i < n; ++i) out[i] = Apply(lhs[i], rhs[i]);
+  }
+
+  std::string ToString() const override {
+    std::ostringstream os;
+    os << "(" << l_->ToString() << " " << OpName() << " " << r_->ToString()
+       << ")";
+    return os.str();
+  }
+
+  const Expr* left() const override { return l_.get(); }
+  const Expr* right() const override { return r_.get(); }
+
+ private:
+  int64_t Apply(int64_t a, int64_t b) const {
+    switch (kind()) {
+      case ExprKind::kAdd:
+        return a + b;
+      case ExprKind::kSub:
+        return a - b;
+      case ExprKind::kMul:
+        return a * b;
+      case ExprKind::kLt:
+        return a < b;
+      case ExprKind::kLe:
+        return a <= b;
+      case ExprKind::kGt:
+        return a > b;
+      case ExprKind::kGe:
+        return a >= b;
+      case ExprKind::kEq:
+        return a == b;
+      case ExprKind::kAnd:
+        return (a != 0) && (b != 0);
+      case ExprKind::kOr:
+        return (a != 0) || (b != 0);
+      default:
+        HWSTAR_CHECK(false);
+    }
+    return 0;
+  }
+
+  const char* OpName() const {
+    switch (kind()) {
+      case ExprKind::kAdd:
+        return "+";
+      case ExprKind::kSub:
+        return "-";
+      case ExprKind::kMul:
+        return "*";
+      case ExprKind::kLt:
+        return "<";
+      case ExprKind::kLe:
+        return "<=";
+      case ExprKind::kGt:
+        return ">";
+      case ExprKind::kGe:
+        return ">=";
+      case ExprKind::kEq:
+        return "==";
+      case ExprKind::kAnd:
+        return "and";
+      case ExprKind::kOr:
+        return "or";
+      default:
+        return "?";
+    }
+  }
+
+  ExprPtr l_;
+  ExprPtr r_;
+};
+
+}  // namespace
+
+ExprPtr Col(size_t index, std::string name) {
+  return std::make_shared<ColumnExpr>(index, std::move(name));
+}
+ExprPtr Lit(int64_t value) { return std::make_shared<ConstExpr>(value); }
+
+#define HWSTAR_DEFINE_BINARY(Name, Kind)                         \
+  ExprPtr Name(ExprPtr l, ExprPtr r) {                           \
+    return std::make_shared<BinaryExpr>(ExprKind::Kind, std::move(l), \
+                                        std::move(r));           \
+  }
+
+HWSTAR_DEFINE_BINARY(Add, kAdd)
+HWSTAR_DEFINE_BINARY(Sub, kSub)
+HWSTAR_DEFINE_BINARY(Mul, kMul)
+HWSTAR_DEFINE_BINARY(Lt, kLt)
+HWSTAR_DEFINE_BINARY(Le, kLe)
+HWSTAR_DEFINE_BINARY(Gt, kGt)
+HWSTAR_DEFINE_BINARY(Ge, kGe)
+HWSTAR_DEFINE_BINARY(Eq, kEq)
+HWSTAR_DEFINE_BINARY(And, kAnd)
+HWSTAR_DEFINE_BINARY(Or, kOr)
+
+#undef HWSTAR_DEFINE_BINARY
+
+}  // namespace hwstar::engine

@@ -1,0 +1,87 @@
+#ifndef HWSTAR_ENGINE_EXPRESSION_H_
+#define HWSTAR_ENGINE_EXPRESSION_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwstar/storage/column_store.h"
+
+namespace hwstar::engine {
+
+/// Expression node kinds.
+enum class ExprKind : uint8_t {
+  kColumn,
+  kConstant,
+  kAdd,
+  kSub,
+  kMul,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kEq,
+  kAnd,
+  kOr,
+};
+
+/// A scalar expression over the integer view of a ColumnStore row. The
+/// engine's value domain is int64 throughout (monetary values are
+/// fixed-point cents; string columns are addressed via their dictionary
+/// codes), which keeps every kernel monomorphic -- a deliberate
+/// hardware-conscious simplification. Comparisons and logical operators
+/// yield 0/1.
+class Expr {
+ public:
+  explicit Expr(ExprKind kind) : kind_(kind) {}
+  virtual ~Expr() = default;
+
+  ExprKind kind() const { return kind_; }
+
+  /// Row-at-a-time evaluation (used by the Volcano executor; one virtual
+  /// dispatch per node per row -- the interpretation overhead E5
+  /// measures).
+  virtual int64_t Eval(const storage::ColumnStore& store,
+                       uint64_t row) const = 0;
+
+  /// Batch evaluation into `out` for rows [begin, end) (used by the
+  /// vectorized executor; one virtual dispatch per node per *batch*).
+  virtual void EvalBatch(const storage::ColumnStore& store, uint64_t begin,
+                         uint64_t end, int64_t* out) const = 0;
+
+  /// Human-readable rendering for plan explain output.
+  virtual std::string ToString() const = 0;
+
+  /// Structural accessors for plan pattern matching (the JiT planner walks
+  /// these). Defaults cover leaf nodes.
+  virtual const Expr* left() const { return nullptr; }
+  virtual const Expr* right() const { return nullptr; }
+  /// Column index for kColumn nodes; -1 otherwise.
+  virtual int column_index() const { return -1; }
+  /// Constant value for kConstant nodes; 0 otherwise.
+  virtual int64_t constant_value() const { return 0; }
+
+ private:
+  ExprKind kind_;
+};
+
+using ExprPtr = std::shared_ptr<Expr>;
+
+/// Builders.
+ExprPtr Col(size_t index, std::string name = "");
+ExprPtr Lit(int64_t value);
+ExprPtr Add(ExprPtr l, ExprPtr r);
+ExprPtr Sub(ExprPtr l, ExprPtr r);
+ExprPtr Mul(ExprPtr l, ExprPtr r);
+ExprPtr Lt(ExprPtr l, ExprPtr r);
+ExprPtr Le(ExprPtr l, ExprPtr r);
+ExprPtr Gt(ExprPtr l, ExprPtr r);
+ExprPtr Ge(ExprPtr l, ExprPtr r);
+ExprPtr Eq(ExprPtr l, ExprPtr r);
+ExprPtr And(ExprPtr l, ExprPtr r);
+ExprPtr Or(ExprPtr l, ExprPtr r);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_EXPRESSION_H_

@@ -1,0 +1,237 @@
+#include "hwstar/engine/fused.h"
+
+#include <limits>
+#include <vector>
+
+#include "hwstar/common/macros.h"
+#include "hwstar/engine/vectorized.h"
+
+namespace hwstar::engine {
+
+namespace {
+
+/// One normalized per-column range condition: lo <= col <= hi.
+struct RangeCond {
+  int col = -1;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = std::numeric_limits<int64_t>::max();
+};
+
+/// Recognized aggregate shapes.
+enum class AggShape { kCountStar, kColumn, kColumnProduct };
+
+struct FusedPlan {
+  std::vector<RangeCond> conds;  // conjunction, at most 2 for the templates
+  AggShape agg = AggShape::kCountStar;
+  int agg_col_a = -1;
+  int agg_col_b = -1;
+};
+
+/// Merges a comparison (col op lit) into the condition list.
+bool AddComparison(std::vector<RangeCond>* conds, int col, ExprKind op,
+                   int64_t lit, bool col_on_left) {
+  // Normalize literal-on-left comparisons by flipping the operator.
+  if (!col_on_left) {
+    switch (op) {
+      case ExprKind::kLt:
+        op = ExprKind::kGt;
+        break;
+      case ExprKind::kLe:
+        op = ExprKind::kGe;
+        break;
+      case ExprKind::kGt:
+        op = ExprKind::kLt;
+        break;
+      case ExprKind::kGe:
+        op = ExprKind::kLe;
+        break;
+      case ExprKind::kEq:
+        break;
+      default:
+        return false;
+    }
+  }
+  RangeCond* cond = nullptr;
+  for (auto& c : *conds) {
+    if (c.col == col) cond = &c;
+  }
+  if (cond == nullptr) {
+    conds->push_back(RangeCond{col, std::numeric_limits<int64_t>::min(),
+                               std::numeric_limits<int64_t>::max()});
+    cond = &conds->back();
+  }
+  switch (op) {
+    case ExprKind::kLt:
+      if (lit == std::numeric_limits<int64_t>::min()) return false;
+      cond->hi = std::min(cond->hi, lit - 1);
+      break;
+    case ExprKind::kLe:
+      cond->hi = std::min(cond->hi, lit);
+      break;
+    case ExprKind::kGt:
+      if (lit == std::numeric_limits<int64_t>::max()) return false;
+      cond->lo = std::max(cond->lo, lit + 1);
+      break;
+    case ExprKind::kGe:
+      cond->lo = std::max(cond->lo, lit);
+      break;
+    case ExprKind::kEq:
+      cond->lo = std::max(cond->lo, lit);
+      cond->hi = std::min(cond->hi, lit);
+      break;
+    default:
+      return false;
+  }
+  return true;
+}
+
+/// Recursively matches a conjunction of column/literal comparisons.
+bool MatchFilter(const Expr* e, std::vector<RangeCond>* conds) {
+  if (e == nullptr) return true;
+  if (e->kind() == ExprKind::kAnd) {
+    return MatchFilter(e->left(), conds) && MatchFilter(e->right(), conds);
+  }
+  switch (e->kind()) {
+    case ExprKind::kLt:
+    case ExprKind::kLe:
+    case ExprKind::kGt:
+    case ExprKind::kGe:
+    case ExprKind::kEq: {
+      const Expr* l = e->left();
+      const Expr* r = e->right();
+      if (l->kind() == ExprKind::kColumn && r->kind() == ExprKind::kConstant) {
+        return AddComparison(conds, l->column_index(), e->kind(),
+                             r->constant_value(), /*col_on_left=*/true);
+      }
+      if (l->kind() == ExprKind::kConstant && r->kind() == ExprKind::kColumn) {
+        return AddComparison(conds, r->column_index(), e->kind(),
+                             l->constant_value(), /*col_on_left=*/false);
+      }
+      return false;
+    }
+    default:
+      return false;
+  }
+}
+
+bool MatchAggregate(const Expr* e, FusedPlan* plan) {
+  if (e == nullptr) {
+    plan->agg = AggShape::kCountStar;
+    return true;
+  }
+  if (e->kind() == ExprKind::kColumn) {
+    plan->agg = AggShape::kColumn;
+    plan->agg_col_a = e->column_index();
+    return true;
+  }
+  if (e->kind() == ExprKind::kMul && e->left() != nullptr &&
+      e->right() != nullptr &&
+      e->left()->kind() == ExprKind::kColumn &&
+      e->right()->kind() == ExprKind::kColumn) {
+    plan->agg = AggShape::kColumnProduct;
+    plan->agg_col_a = e->left()->column_index();
+    plan->agg_col_b = e->right()->column_index();
+    return true;
+  }
+  return false;
+}
+
+/// The specialized loops. Each is what a query compiler would emit for its
+/// shape: one pass, branch behaviour fully visible to the compiler.
+template <typename AggFn>
+QueryResult FusedLoop0(uint64_t begin, uint64_t end, AggFn agg) {
+  QueryResult r;
+  for (uint64_t i = begin; i < end; ++i) {
+    r.sum += agg(i);
+    ++r.rows_passed;
+  }
+  return r;
+}
+
+template <typename AggFn>
+QueryResult FusedLoop1(uint64_t begin, uint64_t end, const int64_t* c0,
+                       RangeCond k0, AggFn agg) {
+  QueryResult r;
+  for (uint64_t i = begin; i < end; ++i) {
+    const uint64_t pass = static_cast<uint64_t>(c0[i] >= k0.lo) &
+                          static_cast<uint64_t>(c0[i] <= k0.hi);
+    r.sum += pass ? agg(i) : 0;
+    r.rows_passed += pass;
+  }
+  return r;
+}
+
+template <typename AggFn>
+QueryResult FusedLoop2(uint64_t begin, uint64_t end, const int64_t* c0,
+                       RangeCond k0, const int64_t* c1, RangeCond k1,
+                       AggFn agg) {
+  QueryResult r;
+  for (uint64_t i = begin; i < end; ++i) {
+    const uint64_t pass = static_cast<uint64_t>(c0[i] >= k0.lo) &
+                          static_cast<uint64_t>(c0[i] <= k0.hi) &
+                          static_cast<uint64_t>(c1[i] >= k1.lo) &
+                          static_cast<uint64_t>(c1[i] <= k1.hi);
+    r.sum += pass ? agg(i) : 0;
+    r.rows_passed += pass;
+  }
+  return r;
+}
+
+template <typename AggFn>
+QueryResult Dispatch(const storage::ColumnStore& store, const FusedPlan& plan,
+                     uint64_t begin, uint64_t end, AggFn agg) {
+  if (plan.conds.empty()) {
+    return FusedLoop0(begin, end, agg);
+  }
+  const int64_t* c0 = store.IntColumn(plan.conds[0].col).data();
+  if (plan.conds.size() == 1) {
+    return FusedLoop1(begin, end, c0, plan.conds[0], agg);
+  }
+  const int64_t* c1 = store.IntColumn(plan.conds[1].col).data();
+  return FusedLoop2(begin, end, c0, plan.conds[0], c1, plan.conds[1], agg);
+}
+
+}  // namespace
+
+QueryResult ExecuteFusedRange(const Query& query, uint64_t begin,
+                              uint64_t end, bool* recognized) {
+  HWSTAR_CHECK(query.input != nullptr);
+  FusedPlan plan;
+  const bool ok = !query.group_by.has_value() &&
+                  MatchFilter(query.filter.get(), &plan.conds) &&
+                  plan.conds.size() <= 2 &&
+                  MatchAggregate(query.aggregate.get(), &plan);
+  if (recognized != nullptr) *recognized = ok;
+  if (!ok) {
+    VectorizedOptions opts;
+    opts.row_begin = begin;
+    opts.row_end = end;
+    return ExecuteVectorized(query, opts);
+  }
+
+  const storage::ColumnStore& store = *query.input;
+  switch (plan.agg) {
+    case AggShape::kCountStar:
+      return Dispatch(store, plan, begin, end,
+                      [](uint64_t) -> int64_t { return 1; });
+    case AggShape::kColumn: {
+      const int64_t* a = store.IntColumn(plan.agg_col_a).data();
+      return Dispatch(store, plan, begin, end,
+                      [a](uint64_t i) -> int64_t { return a[i]; });
+    }
+    case AggShape::kColumnProduct: {
+      const int64_t* a = store.IntColumn(plan.agg_col_a).data();
+      const int64_t* b = store.IntColumn(plan.agg_col_b).data();
+      return Dispatch(store, plan, begin, end,
+                      [a, b](uint64_t i) -> int64_t { return a[i] * b[i]; });
+    }
+  }
+  return QueryResult{};
+}
+
+QueryResult ExecuteFused(const Query& query, bool* recognized) {
+  HWSTAR_CHECK(query.input != nullptr);
+  return ExecuteFusedRange(query, 0, query.input->num_rows(), recognized);
+}
+
+}  // namespace hwstar::engine

@@ -1,0 +1,27 @@
+#ifndef HWSTAR_ENGINE_FUSED_H_
+#define HWSTAR_ENGINE_FUSED_H_
+
+#include "hwstar/engine/plan.h"
+
+namespace hwstar::engine {
+
+/// Executes the query as one fused, specialization-compiled loop -- the
+/// result a JiT query compiler would emit. The planner pattern-matches the
+/// expression tree onto a small family of templates (range predicates over
+/// one or two columns; sum of a column or of a column product); when the
+/// query fits, the whole pipeline runs with zero interpretation: no virtual
+/// calls, no intermediate vectors, one pass over the data. Returns false
+/// through `*recognized` (and falls back to vectorized execution) when the
+/// query shape is outside the template family, mirroring how real JiT
+/// engines fall back to interpretation.
+QueryResult ExecuteFused(const Query& query, bool* recognized = nullptr);
+
+/// Range-restricted variant over rows [begin, end): the building block of
+/// morsel-parallel fused execution (engine/parallel.h). Semantics are
+/// identical to ExecuteFused restricted to the range.
+QueryResult ExecuteFusedRange(const Query& query, uint64_t begin,
+                              uint64_t end, bool* recognized = nullptr);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_FUSED_H_

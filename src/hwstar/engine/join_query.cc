@@ -1,0 +1,116 @@
+#include "hwstar/engine/join_query.h"
+
+#include <vector>
+
+#include "hwstar/common/macros.h"
+#include "hwstar/hw/topology.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/ops/join_radix.h"
+#include "hwstar/ops/relation.h"
+
+namespace hwstar::engine {
+
+namespace {
+
+/// Filters one side and extracts (join key, payload) survivors. Payloads
+/// are the per-row values of `payload_expr` (bit-cast), or the row id when
+/// the expression is null.
+uint64_t FilterSide(const storage::ColumnStore& store, size_t key_col,
+                    const Expr* filter, const Expr* payload_expr,
+                    ops::Relation* out) {
+  const uint64_t n = store.num_rows();
+  const int64_t* keys = store.IntColumn(key_col).data();
+  constexpr uint32_t kBatch = 4096;
+  std::vector<int64_t> pred(kBatch);
+  std::vector<int64_t> payload(kBatch);
+  out->Reserve(n / 2);
+  for (uint64_t begin = 0; begin < n; begin += kBatch) {
+    const uint64_t end = std::min<uint64_t>(begin + kBatch, n);
+    if (filter != nullptr) {
+      filter->EvalBatch(store, begin, end, pred.data());
+    }
+    if (payload_expr != nullptr) {
+      payload_expr->EvalBatch(store, begin, end, payload.data());
+    }
+    for (uint64_t i = begin; i < end; ++i) {
+      if (filter != nullptr && pred[i - begin] == 0) continue;
+      const uint64_t key = static_cast<uint64_t>(keys[i]);
+      // The join hash table reserves ~0 as its empty sentinel.
+      HWSTAR_CHECK(key != ~uint64_t{0});
+      const uint64_t p = payload_expr != nullptr
+                             ? static_cast<uint64_t>(payload[i - begin])
+                             : i;
+      out->Append(key, p);
+    }
+  }
+  return out->size();
+}
+
+}  // namespace
+
+JoinQueryResult ExecuteJoin(const JoinQuery& query,
+                            const JoinExecuteOptions& options) {
+  HWSTAR_CHECK(query.build != nullptr && query.probe != nullptr);
+  JoinQueryResult result;
+
+  // Filter phase: build side keeps row ids; probe side carries the
+  // pre-evaluated aggregate value as its payload so the join phase can
+  // fold without re-touching the probe store.
+  ops::Relation build_rel, probe_rel;
+  result.build_rows_passed =
+      FilterSide(*query.build, query.build_key, query.build_filter.get(),
+                 /*payload_expr=*/nullptr, &build_rel);
+  result.probe_rows_passed =
+      FilterSide(*query.probe, query.probe_key, query.probe_filter.get(),
+                 query.aggregate.get(), &probe_rel);
+  if (build_rel.size() == 0 || probe_rel.size() == 0) return result;
+
+  // Algorithm choice: partition when the build working set (tuples plus
+  // table) exceeds the LLC.
+  JoinAlgorithm algorithm = options.algorithm;
+  uint64_t llc = options.llc_bytes;
+  if (algorithm == JoinAlgorithm::kAuto) {
+    if (llc == 0) {
+      auto topo = hw::DiscoverTopology();
+      llc = topo.CacheSizeBytes(3);
+      if (llc == 0) llc = topo.CacheSizeBytes(2);
+      if (llc == 0) llc = 8 << 20;
+    }
+    algorithm = build_rel.size() * 48 > llc ? JoinAlgorithm::kRadix
+                                            : JoinAlgorithm::kNoPartition;
+  }
+
+  const bool count_star = query.aggregate == nullptr;
+  if (algorithm == JoinAlgorithm::kNoPartition) {
+    ops::LinearProbeTable table(build_rel.size());
+    for (uint64_t i = 0; i < build_rel.size(); ++i) {
+      table.Insert(build_rel.keys[i], build_rel.payloads[i]);
+    }
+    for (uint64_t i = 0; i < probe_rel.size(); ++i) {
+      const uint32_t c = table.CountMatches(probe_rel.keys[i]);
+      result.matches += c;
+      result.sum += static_cast<int64_t>(c) *
+                    (count_star ? 1
+                                : static_cast<int64_t>(probe_rel.payloads[i]));
+    }
+    return result;
+  }
+
+  ops::RadixJoinOptions radix_opts;
+  radix_opts.radix_bits = ops::RecommendRadixBits(
+      build_rel.size(), llc == 0 ? (8u << 20) : llc);
+  radix_opts.materialize = true;
+  radix_opts.pool = options.pool;
+  auto join = ops::RadixHashJoin(build_rel, probe_rel, radix_opts);
+  result.matches = join.matches;
+  if (count_star) {
+    result.sum = static_cast<int64_t>(join.matches);
+  } else {
+    for (const auto& pair : join.pairs) {
+      result.sum += static_cast<int64_t>(pair.probe_payload);
+    }
+  }
+  return result;
+}
+
+}  // namespace hwstar::engine

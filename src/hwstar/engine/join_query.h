@@ -1,0 +1,60 @@
+#ifndef HWSTAR_ENGINE_JOIN_QUERY_H_
+#define HWSTAR_ENGINE_JOIN_QUERY_H_
+
+#include <cstdint>
+
+#include "hwstar/engine/expression.h"
+#include "hwstar/exec/thread_pool.h"
+#include "hwstar/storage/column_store.h"
+
+namespace hwstar::engine {
+
+/// Join algorithm selection for ExecuteJoin.
+enum class JoinAlgorithm : uint8_t {
+  kAuto = 0,         ///< planner picks by build size vs. LLC
+  kNoPartition = 1,  ///< oblivious baseline
+  kRadix = 2,        ///< hardware-conscious radix join
+};
+
+/// A two-table aggregate join:
+///   SELECT SUM(aggregate(probe-row)) FROM build JOIN probe
+///     ON build.key == probe.key
+///   WHERE build_filter(build-row) AND probe_filter(probe-row)
+/// with each qualifying probe row counted once per matching build row.
+/// This is the shape of TPC-H's join queries (Q3/Q12 style) reduced to
+/// the engine's int64 domain.
+struct JoinQuery {
+  const storage::ColumnStore* build = nullptr;
+  size_t build_key = 0;
+  const storage::ColumnStore* probe = nullptr;
+  size_t probe_key = 0;
+  ExprPtr build_filter;  ///< optional, evaluated over the build store
+  ExprPtr probe_filter;  ///< optional, evaluated over the probe store
+  ExprPtr aggregate;     ///< over the probe store; null = COUNT(*)
+};
+
+/// Result of a join query.
+struct JoinQueryResult {
+  int64_t sum = 0;
+  uint64_t matches = 0;
+  uint64_t build_rows_passed = 0;
+  uint64_t probe_rows_passed = 0;
+};
+
+/// Options for ExecuteJoin.
+struct JoinExecuteOptions {
+  JoinAlgorithm algorithm = JoinAlgorithm::kAuto;
+  uint64_t llc_bytes = 0;            ///< 0 = discover from the host
+  exec::ThreadPool* pool = nullptr;  ///< parallel join phase when set
+};
+
+/// Executes the join: filters both sides with the vectorized selection
+/// path, pipes the survivors through the chosen ops-layer join, and folds
+/// the aggregate. kAuto applies the same rule as the ops layer: partition
+/// when the build side's working set exceeds the last-level cache.
+JoinQueryResult ExecuteJoin(const JoinQuery& query,
+                            const JoinExecuteOptions& options = {});
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_JOIN_QUERY_H_

@@ -1,0 +1,54 @@
+#include "hwstar/engine/parallel.h"
+
+#include <map>
+#include <mutex>
+
+#include "hwstar/common/macros.h"
+#include "hwstar/engine/fused.h"
+#include "hwstar/engine/vectorized.h"
+#include "hwstar/engine/volcano.h"
+#include "hwstar/exec/morsel.h"
+
+namespace hwstar::engine {
+
+QueryResult ExecuteParallel(const Query& query, exec::ThreadPool* pool,
+                            const ExecuteOptions& options,
+                            uint64_t morsel_size) {
+  HWSTAR_CHECK(query.input != nullptr);
+  if (pool == nullptr || options.model == ExecutionModel::kVolcano) {
+    return Execute(query, options);
+  }
+
+  const uint64_t n = query.input->num_rows();
+  std::mutex merge_mutex;
+  QueryResult total;
+  std::map<int64_t, QueryGroup> merged_groups;
+
+  exec::ParallelForMorsels(
+      pool, n, morsel_size, [&](uint32_t /*worker*/, exec::Morsel m) {
+        QueryResult partial;
+        if (options.model == ExecutionModel::kFused) {
+          partial = ExecuteFusedRange(query, m.begin, m.end);
+        } else {
+          VectorizedOptions vopts;
+          vopts.batch_size = options.batch_size;
+          vopts.row_begin = m.begin;
+          vopts.row_end = m.end;
+          partial = ExecuteVectorized(query, vopts);
+        }
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        total.sum += partial.sum;
+        total.rows_passed += partial.rows_passed;
+        for (const auto& g : partial.groups) {
+          auto [it, inserted] =
+              merged_groups.emplace(g.key, QueryGroup{g.key, 0, 0});
+          it->second.sum += g.sum;
+          it->second.count += g.count;
+        }
+      });
+
+  for (const auto& [key, g] : merged_groups) total.groups.push_back(g);
+  return total;
+}
+
+}  // namespace hwstar::engine

@@ -1,0 +1,22 @@
+#ifndef HWSTAR_ENGINE_PARALLEL_H_
+#define HWSTAR_ENGINE_PARALLEL_H_
+
+#include "hwstar/engine/plan.h"
+#include "hwstar/engine/planner.h"
+#include "hwstar/exec/thread_pool.h"
+
+namespace hwstar::engine {
+
+/// Morsel-parallel query execution: the input row range is handed out in
+/// morsels, each worker executes its morsel through the chosen model
+/// (fused or vectorized -- Volcano is inherently serial and is executed
+/// as one task), and partial results are merged. Grouped results merge by
+/// key. This is the composition of the paper's two multicore demands:
+/// compiled-quality inner loops AND elastic scheduling on top.
+QueryResult ExecuteParallel(const Query& query, exec::ThreadPool* pool,
+                            const ExecuteOptions& options = {},
+                            uint64_t morsel_size = 1 << 16);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_PARALLEL_H_

@@ -1,0 +1,27 @@
+#include "hwstar/engine/plan.h"
+
+#include <sstream>
+
+namespace hwstar::engine {
+
+std::string Query::ToString() const {
+  std::ostringstream os;
+  os << "SELECT SUM(" << (aggregate ? aggregate->ToString() : "1") << ")";
+  if (group_by.has_value()) os << " GROUP BY $" << *group_by;
+  if (filter) os << " WHERE " << filter->ToString();
+  return os.str();
+}
+
+const char* ExecutionModelName(ExecutionModel model) {
+  switch (model) {
+    case ExecutionModel::kVolcano:
+      return "volcano";
+    case ExecutionModel::kVectorized:
+      return "vectorized";
+    case ExecutionModel::kFused:
+      return "fused";
+  }
+  return "?";
+}
+
+}  // namespace hwstar::engine

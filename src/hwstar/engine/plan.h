@@ -1,0 +1,53 @@
+#ifndef HWSTAR_ENGINE_PLAN_H_
+#define HWSTAR_ENGINE_PLAN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hwstar/engine/expression.h"
+#include "hwstar/storage/column_store.h"
+
+namespace hwstar::engine {
+
+/// The query shape shared by all three execution models:
+///   SELECT SUM(aggregate) [, GROUP BY group_by] FROM input WHERE filter.
+/// `filter` may be null (no predicate); `group_by` is a column index.
+struct Query {
+  const storage::ColumnStore* input = nullptr;
+  ExprPtr filter;
+  ExprPtr aggregate;
+  std::optional<size_t> group_by;
+
+  /// "SELECT SUM(...) FROM ... WHERE ..." rendering.
+  std::string ToString() const;
+};
+
+/// One group of a grouped result.
+struct QueryGroup {
+  int64_t key;
+  int64_t sum;
+  uint64_t count;
+};
+
+/// Result of executing a Query.
+struct QueryResult {
+  int64_t sum = 0;            ///< total (ungrouped) sum
+  uint64_t rows_passed = 0;   ///< rows surviving the filter
+  std::vector<QueryGroup> groups;  ///< sorted by key when grouped
+};
+
+/// The three execution models of E5.
+enum class ExecutionModel : uint8_t {
+  kVolcano = 0,     ///< tuple-at-a-time iterators (oblivious baseline)
+  kVectorized = 1,  ///< batch-at-a-time with selection vectors
+  kFused = 2,       ///< template-specialized single loop ("compiled")
+};
+
+/// Stable model name for reports.
+const char* ExecutionModelName(ExecutionModel model);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_PLAN_H_

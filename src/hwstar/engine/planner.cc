@@ -1,0 +1,66 @@
+#include "hwstar/engine/planner.h"
+
+#include <sstream>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::engine {
+
+QueryResult Execute(const Query& query, const ExecuteOptions& options) {
+  switch (options.model) {
+    case ExecutionModel::kVolcano:
+      return ExecuteVolcano(query);
+    case ExecutionModel::kVectorized: {
+      VectorizedOptions vopts;
+      vopts.batch_size = options.batch_size;
+      return ExecuteVectorized(query, vopts);
+    }
+    case ExecutionModel::kFused:
+      return ExecuteFused(query);
+  }
+  HWSTAR_CHECK(false);
+  return QueryResult{};
+}
+
+ExecuteOptions ChooseOptions(const Query& query,
+                             const hw::MachineModel& machine) {
+  ExecuteOptions opts;
+  const uint64_t rows = query.input == nullptr ? 0 : query.input->num_rows();
+  if (rows < 1024) {
+    opts.model = ExecutionModel::kVolcano;
+    return opts;
+  }
+  opts.model = ExecutionModel::kFused;
+  // Vectorized fallback batch size: half of L1d in 8-byte values, so the
+  // working vectors (predicate + aggregate + selection) stay L1-resident.
+  const uint64_t l1 =
+      machine.caches.empty() ? 32 * 1024 : machine.caches[0].size_bytes;
+  uint64_t batch = (l1 / 2) / sizeof(int64_t);
+  if (batch < 64) batch = 64;
+  if (batch > 65536) batch = 65536;
+  opts.batch_size = static_cast<uint32_t>(batch);
+  return opts;
+}
+
+std::string Explain(const Query& query, const ExecuteOptions& options) {
+  std::ostringstream os;
+  os << "Query: " << query.ToString() << "\n";
+  os << "Model: " << ExecutionModelName(options.model);
+  if (options.model == ExecutionModel::kVectorized) {
+    os << " (batch=" << options.batch_size << ")";
+  }
+  if (options.model == ExecutionModel::kFused) {
+    bool recognized = false;
+    // Dry-run the matcher on an empty input? Pattern matching is
+    // side-effect free, so just report whether the real run would fuse.
+    Query probe = query;
+    if (probe.input != nullptr && probe.input->num_rows() == 0) {
+      ExecuteFused(probe, &recognized);
+      os << (recognized ? " (specialized)" : " (fallback: vectorized)");
+    }
+  }
+  os << "\n";
+  return os.str();
+}
+
+}  // namespace hwstar::engine

@@ -1,0 +1,37 @@
+#ifndef HWSTAR_ENGINE_PLANNER_H_
+#define HWSTAR_ENGINE_PLANNER_H_
+
+#include <string>
+
+#include "hwstar/engine/fused.h"
+#include "hwstar/engine/plan.h"
+#include "hwstar/engine/vectorized.h"
+#include "hwstar/engine/volcano.h"
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::engine {
+
+/// Execution options common to all models.
+struct ExecuteOptions {
+  ExecutionModel model = ExecutionModel::kFused;
+  uint32_t batch_size = 2048;  ///< vectorized only
+};
+
+/// Runs the query under the chosen model. All models return identical
+/// results; only their hardware behaviour differs (E5).
+QueryResult Execute(const Query& query, const ExecuteOptions& options = {});
+
+/// Picks an execution model for the machine: tiny inputs take the Volcano
+/// path (setup cost dominates), everything else the fused path, with a
+/// vectorized batch size matched to half the L1 cache. A deliberately
+/// simple cost model that demonstrates the paper's demand: the *engine*
+/// must own hardware decisions, not the application developer.
+ExecuteOptions ChooseOptions(const Query& query,
+                             const hw::MachineModel& machine);
+
+/// Multi-line explain output: query, chosen model, plan shape.
+std::string Explain(const Query& query, const ExecuteOptions& options);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_PLANNER_H_

@@ -1,0 +1,73 @@
+#include "hwstar/engine/vectorized.h"
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::engine {
+
+QueryResult ExecuteVectorized(const Query& query,
+                              const VectorizedOptions& options) {
+  HWSTAR_CHECK(query.input != nullptr);
+  HWSTAR_CHECK(options.batch_size > 0);
+  QueryResult result;
+  const storage::ColumnStore& store = *query.input;
+  const uint64_t n = std::min<uint64_t>(store.num_rows(), options.row_end);
+  const uint32_t batch = options.batch_size;
+
+  std::vector<int64_t> pred(batch);
+  std::vector<int64_t> agg(batch);
+  std::vector<uint32_t> sel(batch);
+  std::map<int64_t, QueryGroup> groups;
+
+  for (uint64_t begin = options.row_begin; begin < n; begin += batch) {
+    const uint64_t end = std::min<uint64_t>(begin + batch, n);
+    const uint32_t count = static_cast<uint32_t>(end - begin);
+
+    // Filter primitive: selection vector of batch-relative offsets.
+    uint32_t selected = 0;
+    if (query.filter) {
+      query.filter->EvalBatch(store, begin, end, pred.data());
+      for (uint32_t i = 0; i < count; ++i) {
+        sel[selected] = i;
+        selected += pred[i] != 0;
+      }
+    } else {
+      for (uint32_t i = 0; i < count; ++i) sel[i] = i;
+      selected = count;
+    }
+    if (selected == 0) continue;
+
+    // Aggregate-input primitive over the full batch, folded through the
+    // selection vector. (Evaluating only selected positions would need
+    // gather support; evaluating the dense batch keeps primitives simple
+    // and sequential, the standard vectorized trade-off.)
+    if (query.aggregate) {
+      query.aggregate->EvalBatch(store, begin, end, agg.data());
+    } else {
+      std::fill(agg.begin(), agg.begin() + count, int64_t{1});
+    }
+
+    if (query.group_by.has_value()) {
+      const int64_t* keys = store.IntColumn(*query.group_by).data() + begin;
+      for (uint32_t k = 0; k < selected; ++k) {
+        const uint32_t i = sel[k];
+        auto [it, inserted] =
+            groups.emplace(keys[i], QueryGroup{keys[i], 0, 0});
+        it->second.sum += agg[i];
+        ++it->second.count;
+      }
+    }
+    int64_t batch_sum = 0;
+    for (uint32_t k = 0; k < selected; ++k) batch_sum += agg[sel[k]];
+    result.sum += batch_sum;
+    result.rows_passed += selected;
+  }
+
+  for (const auto& [key, g] : groups) result.groups.push_back(g);
+  return result;
+}
+
+}  // namespace hwstar::engine

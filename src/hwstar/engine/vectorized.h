@@ -1,0 +1,29 @@
+#ifndef HWSTAR_ENGINE_VECTORIZED_H_
+#define HWSTAR_ENGINE_VECTORIZED_H_
+
+#include "hwstar/engine/plan.h"
+
+namespace hwstar::engine {
+
+/// Options for the vectorized executor.
+struct VectorizedOptions {
+  uint32_t batch_size = 2048;  ///< rows per batch (E5 sweeps this)
+  /// Row range to execute over ([row_begin, min(row_end, num_rows))).
+  /// Defaults cover the whole input; parallel execution assigns disjoint
+  /// ranges to workers.
+  uint64_t row_begin = 0;
+  uint64_t row_end = ~uint64_t{0};
+};
+
+/// Executes the query batch-at-a-time (VectorWise style): the filter
+/// produces a selection vector per batch; the aggregate folds the selected
+/// positions. Interpretation cost is paid once per *batch*, and each
+/// primitive runs as a tight loop over cache-resident vectors -- provided
+/// the batch fits in L1/L2, which is exactly the batch-size sweet spot E5
+/// exposes.
+QueryResult ExecuteVectorized(const Query& query,
+                              const VectorizedOptions& options = {});
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_VECTORIZED_H_

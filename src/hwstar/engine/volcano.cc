@@ -1,0 +1,87 @@
+#include "hwstar/engine/volcano.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::engine {
+
+namespace {
+
+/// Tuple-at-a-time operator interface: Next() yields a row id or false.
+class Operator {
+ public:
+  virtual ~Operator() = default;
+  virtual void Open() = 0;
+  virtual bool Next(uint64_t* row) = 0;
+  virtual void Close() = 0;
+};
+
+class ScanOp final : public Operator {
+ public:
+  explicit ScanOp(const storage::ColumnStore* store) : store_(store) {}
+  void Open() override { cursor_ = 0; }
+  bool Next(uint64_t* row) override {
+    if (cursor_ >= store_->num_rows()) return false;
+    *row = cursor_++;
+    return true;
+  }
+  void Close() override {}
+
+ private:
+  const storage::ColumnStore* store_;
+  uint64_t cursor_ = 0;
+};
+
+class FilterOp final : public Operator {
+ public:
+  FilterOp(Operator* child, const storage::ColumnStore* store, ExprPtr pred)
+      : child_(child), store_(store), pred_(std::move(pred)) {}
+  void Open() override { child_->Open(); }
+  bool Next(uint64_t* row) override {
+    while (child_->Next(row)) {
+      if (pred_->Eval(*store_, *row) != 0) return true;
+    }
+    return false;
+  }
+  void Close() override { child_->Close(); }
+
+ private:
+  Operator* child_;
+  const storage::ColumnStore* store_;
+  ExprPtr pred_;
+};
+
+}  // namespace
+
+QueryResult ExecuteVolcano(const Query& query) {
+  HWSTAR_CHECK(query.input != nullptr);
+  QueryResult result;
+
+  ScanOp scan(query.input);
+  FilterOp filter(&scan, query.input, query.filter);
+  Operator* root = query.filter ? static_cast<Operator*>(&filter) : &scan;
+
+  std::map<int64_t, QueryGroup> groups;
+  root->Open();
+  uint64_t row;
+  while (root->Next(&row)) {
+    const int64_t v =
+        query.aggregate ? query.aggregate->Eval(*query.input, row) : 1;
+    result.sum += v;
+    ++result.rows_passed;
+    if (query.group_by.has_value()) {
+      const int64_t key = query.input->IntColumn(*query.group_by)[row];
+      auto [it, inserted] = groups.emplace(key, QueryGroup{key, 0, 0});
+      it->second.sum += v;
+      ++it->second.count;
+    }
+  }
+  root->Close();
+
+  for (const auto& [key, g] : groups) result.groups.push_back(g);
+  return result;
+}
+
+}  // namespace hwstar::engine

@@ -1,0 +1,17 @@
+#ifndef HWSTAR_ENGINE_VOLCANO_H_
+#define HWSTAR_ENGINE_VOLCANO_H_
+
+#include "hwstar/engine/plan.h"
+
+namespace hwstar::engine {
+
+/// Executes the query tuple-at-a-time through a Volcano-style iterator
+/// tree (Scan -> Filter -> Aggregate), with one virtual Next() call per
+/// operator per tuple and per-row expression interpretation. This is how
+/// disk-era engines were built -- the per-tuple overhead was noise next to
+/// I/O. In main memory it dominates, which is E5's first data point.
+QueryResult ExecuteVolcano(const Query& query);
+
+}  // namespace hwstar::engine
+
+#endif  // HWSTAR_ENGINE_VOLCANO_H_

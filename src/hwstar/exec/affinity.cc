@@ -1,0 +1,38 @@
+#include "hwstar/exec/affinity.h"
+
+#if defined(__linux__)
+#include <sched.h>
+#endif
+
+#include <thread>
+
+namespace hwstar::exec {
+
+Status PinCurrentThreadToCore(uint32_t core) {
+#if defined(__linux__)
+  unsigned hc = std::thread::hardware_concurrency();
+  if (hc != 0 && core >= hc) {
+    return Status::InvalidArgument("core id out of range");
+  }
+  cpu_set_t set;
+  CPU_ZERO(&set);
+  CPU_SET(core, &set);
+  if (sched_setaffinity(0, sizeof(set), &set) != 0) {
+    return Status::Internal("sched_setaffinity failed");
+  }
+  return Status::OK();
+#else
+  (void)core;
+  return Status::Unimplemented("thread pinning unsupported on this platform");
+#endif
+}
+
+int CurrentCore() {
+#if defined(__linux__)
+  return sched_getcpu();
+#else
+  return -1;
+#endif
+}
+
+}  // namespace hwstar::exec

@@ -1,0 +1,20 @@
+#ifndef HWSTAR_EXEC_AFFINITY_H_
+#define HWSTAR_EXEC_AFFINITY_H_
+
+#include <cstdint>
+
+#include "hwstar/common/status.h"
+
+namespace hwstar::exec {
+
+/// Pins the calling thread to the given logical CPU. Returns
+/// Unimplemented on platforms without sched_setaffinity and
+/// InvalidArgument when the CPU id is out of range.
+Status PinCurrentThreadToCore(uint32_t core);
+
+/// Returns the CPU the calling thread last ran on, or -1 when unknown.
+int CurrentCore();
+
+}  // namespace hwstar::exec
+
+#endif  // HWSTAR_EXEC_AFFINITY_H_

@@ -1,0 +1,117 @@
+#include "hwstar/exec/task_scheduler.h"
+
+namespace hwstar::exec {
+
+TaskScheduler::TaskScheduler(uint32_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    num_threads = hc == 0 ? 1 : hc;
+  }
+  workers_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    workers_.push_back(std::make_unique<WorkerState>());
+  }
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+TaskScheduler::~TaskScheduler() {
+  shutdown_.store(true, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    work_cv_.notify_all();
+  }
+  for (auto& t : threads_) t.join();
+}
+
+void TaskScheduler::Submit(Task task, int preferred_worker) {
+  uint32_t target;
+  if (preferred_worker >= 0 &&
+      static_cast<uint32_t>(preferred_worker) < workers_.size()) {
+    target = static_cast<uint32_t>(preferred_worker);
+  } else {
+    target = rr_.fetch_add(1, std::memory_order_relaxed) %
+             static_cast<uint32_t>(workers_.size());
+  }
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  {
+    std::lock_guard<std::mutex> lock(workers_[target]->mutex);
+    workers_[target]->deque.push_back(std::move(task));
+  }
+  {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    work_cv_.notify_all();
+  }
+}
+
+bool TaskScheduler::TryRunOne(uint32_t id) {
+  WorkerState& self = *workers_[id];
+  Task task;
+  // Local pop from the back (most recently pushed: cache-warm).
+  {
+    std::lock_guard<std::mutex> lock(self.mutex);
+    if (!self.deque.empty()) {
+      task = std::move(self.deque.back());
+      self.deque.pop_back();
+      ++self.stats.local_pops;
+    }
+  }
+  if (!task) {
+    // Steal from the front of another worker's deque.
+    const uint32_t n = static_cast<uint32_t>(workers_.size());
+    for (uint32_t k = 1; k < n && !task; ++k) {
+      uint32_t victim = (id + k) % n;
+      std::lock_guard<std::mutex> lock(workers_[victim]->mutex);
+      if (!workers_[victim]->deque.empty()) {
+        task = std::move(workers_[victim]->deque.front());
+        workers_[victim]->deque.pop_front();
+        ++self.stats.steals;
+      }
+    }
+    if (!task) {
+      ++self.stats.failed_steals;
+      return false;
+    }
+  }
+  task(id);
+  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(idle_mutex_);
+    idle_cv_.notify_all();
+  }
+  return true;
+}
+
+void TaskScheduler::WorkerLoop(uint32_t id) {
+  while (!shutdown_.load(std::memory_order_acquire)) {
+    if (!TryRunOne(id)) {
+      std::unique_lock<std::mutex> lock(idle_mutex_);
+      work_cv_.wait_for(lock, std::chrono::milliseconds(1), [this] {
+        return shutdown_.load(std::memory_order_acquire) ||
+               pending_.load(std::memory_order_acquire) > 0;
+      });
+    }
+  }
+}
+
+void TaskScheduler::WaitAll() {
+  std::unique_lock<std::mutex> lock(idle_mutex_);
+  idle_cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+SchedulerStats TaskScheduler::stats() const {
+  SchedulerStats total;
+  for (const auto& w : workers_) {
+    // Stats are read after WaitAll in tests; racy reads are acceptable for
+    // monitoring counters.
+    total.local_pops += w->stats.local_pops;
+    total.steals += w->stats.steals;
+    total.failed_steals += w->stats.failed_steals;
+  }
+  return total;
+}
+
+}  // namespace hwstar::exec

@@ -1,0 +1,71 @@
+#ifndef HWSTAR_EXEC_TASK_SCHEDULER_H_
+#define HWSTAR_EXEC_TASK_SCHEDULER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwstar::exec {
+
+/// Scheduler statistics: how often work was run locally vs. stolen.
+struct SchedulerStats {
+  uint64_t local_pops = 0;
+  uint64_t steals = 0;
+  uint64_t failed_steals = 0;
+};
+
+/// A work-stealing task scheduler: each worker owns a deque, pushes and
+/// pops at its own end (LIFO, cache-warm), and steals from victims' fronts
+/// (FIFO, coldest work) when empty. This is the scheduling structure behind
+/// morsel-driven query parallelism: locality by default, load balance under
+/// skew.
+class TaskScheduler {
+ public:
+  using Task = std::function<void(uint32_t worker_id)>;
+
+  explicit TaskScheduler(uint32_t num_threads = 0);
+  ~TaskScheduler();
+
+  TaskScheduler(const TaskScheduler&) = delete;
+  TaskScheduler& operator=(const TaskScheduler&) = delete;
+
+  /// Enqueues a task on the queue of `preferred_worker` (round-robin when
+  /// negative). May be called from any thread, including from inside tasks.
+  void Submit(Task task, int preferred_worker = -1);
+
+  /// Blocks until every submitted task has completed.
+  void WaitAll();
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+  /// Aggregated across workers.
+  SchedulerStats stats() const;
+
+ private:
+  struct WorkerState {
+    std::deque<Task> deque;
+    std::mutex mutex;
+    SchedulerStats stats;
+  };
+
+  void WorkerLoop(uint32_t id);
+  bool TryRunOne(uint32_t id);
+
+  std::vector<std::unique_ptr<WorkerState>> workers_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> pending_{0};
+  std::atomic<uint32_t> rr_{0};
+  std::atomic<bool> shutdown_{false};
+  std::mutex idle_mutex_;
+  std::condition_variable idle_cv_;
+  std::condition_variable work_cv_;
+};
+
+}  // namespace hwstar::exec
+
+#endif  // HWSTAR_EXEC_TASK_SCHEDULER_H_

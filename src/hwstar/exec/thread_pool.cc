@@ -1,0 +1,58 @@
+#include "hwstar/exec/thread_pool.h"
+
+namespace hwstar::exec {
+
+ThreadPool::ThreadPool(uint32_t num_threads) {
+  if (num_threads == 0) {
+    unsigned hc = std::thread::hardware_concurrency();
+    num_threads = hc == 0 ? 1 : hc;
+  }
+  threads_.reserve(num_threads);
+  for (uint32_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this, i] { WorkerLoop(i); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  cv_task_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::Submit(Task task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop(uint32_t id) {
+  for (;;) {
+    Task task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      cv_task_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+      if (shutdown_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task(id);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+      if (queue_.empty() && active_ == 0) cv_idle_.notify_all();
+    }
+  }
+}
+
+}  // namespace hwstar::exec

@@ -1,0 +1,51 @@
+#ifndef HWSTAR_EXEC_THREAD_POOL_H_
+#define HWSTAR_EXEC_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace hwstar::exec {
+
+/// A fixed-size worker pool with a shared FIFO queue. Tasks receive the
+/// id of the worker that runs them, which operators use to index
+/// per-worker state without sharing (the basic multicore discipline the
+/// paper says data processing must adopt).
+class ThreadPool {
+ public:
+  using Task = std::function<void(uint32_t worker_id)>;
+
+  /// Spawns `num_threads` workers (0 means hardware concurrency).
+  explicit ThreadPool(uint32_t num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task; returns immediately.
+  void Submit(Task task);
+
+  /// Blocks until the queue is empty and all workers are idle.
+  void WaitIdle();
+
+  uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
+
+ private:
+  void WorkerLoop(uint32_t id);
+
+  std::vector<std::thread> threads_;
+  std::deque<Task> queue_;
+  std::mutex mutex_;
+  std::condition_variable cv_task_;
+  std::condition_variable cv_idle_;
+  uint32_t active_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace hwstar::exec
+
+#endif  // HWSTAR_EXEC_THREAD_POOL_H_

@@ -1,0 +1,39 @@
+#include "hwstar/hw/cycle_counter.h"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#include <x86intrin.h>
+#endif
+
+namespace hwstar::hw {
+
+uint64_t ReadCycleCounter() {
+#if defined(__x86_64__) || defined(_M_X64)
+  return __rdtsc();
+#else
+  auto now = std::chrono::steady_clock::now().time_since_epoch();
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(now).count());
+#endif
+}
+
+double EstimateCycleCounterHz() {
+  static double cached = 0.0;
+  static std::once_flag flag;
+  std::call_once(flag, [] {
+    const auto t0 = std::chrono::steady_clock::now();
+    const uint64_t c0 = ReadCycleCounter();
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    const uint64_t c1 = ReadCycleCounter();
+    const auto t1 = std::chrono::steady_clock::now();
+    const double secs =
+        std::chrono::duration<double>(t1 - t0).count();
+    cached = secs > 0 ? static_cast<double>(c1 - c0) / secs : 1e9;
+  });
+  return cached;
+}
+
+}  // namespace hwstar::hw

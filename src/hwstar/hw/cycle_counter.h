@@ -1,0 +1,19 @@
+#ifndef HWSTAR_HW_CYCLE_COUNTER_H_
+#define HWSTAR_HW_CYCLE_COUNTER_H_
+
+#include <cstdint>
+
+namespace hwstar::hw {
+
+/// Reads the CPU timestamp counter (rdtsc on x86); falls back to a
+/// steady-clock-derived pseudo-cycle count elsewhere. Only differences are
+/// meaningful; the unit is "reference cycles".
+uint64_t ReadCycleCounter();
+
+/// Estimates the counter frequency in Hz by timing a short sleep. Cached
+/// after the first call.
+double EstimateCycleCounterHz();
+
+}  // namespace hwstar::hw
+
+#endif  // HWSTAR_HW_CYCLE_COUNTER_H_

@@ -1,0 +1,96 @@
+#include "hwstar/hw/topology.h"
+
+#include <fstream>
+#include <sstream>
+#include <thread>
+
+namespace hwstar::hw {
+
+namespace {
+
+/// Reads a whole small sysfs file; returns empty string when unreadable.
+std::string ReadSysFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) return "";
+  std::string content;
+  std::getline(in, content);
+  return content;
+}
+
+/// Parses sizes of the form "32K", "8192K", "1M".
+uint64_t ParseSize(const std::string& s) {
+  if (s.empty()) return 0;
+  uint64_t value = 0;
+  size_t i = 0;
+  while (i < s.size() && s[i] >= '0' && s[i] <= '9') {
+    value = value * 10 + static_cast<uint64_t>(s[i] - '0');
+    ++i;
+  }
+  if (i < s.size()) {
+    if (s[i] == 'K' || s[i] == 'k') value <<= 10;
+    if (s[i] == 'M' || s[i] == 'm') value <<= 20;
+    if (s[i] == 'G' || s[i] == 'g') value <<= 30;
+  }
+  return value;
+}
+
+std::vector<CacheLevelInfo> FallbackCaches() {
+  // Generic 2013-era server core: 32KB L1d, 256KB L2, 8MB shared L3.
+  return {
+      {1, "Data", 32 * 1024, 64, 8, false},
+      {2, "Unified", 256 * 1024, 64, 8, false},
+      {3, "Unified", 8 * 1024 * 1024, 64, 16, true},
+  };
+}
+
+}  // namespace
+
+uint64_t CpuTopology::CacheSizeBytes(int level) const {
+  for (const auto& c : caches) {
+    if (c.level == level && (c.type == "Data" || c.type == "Unified")) {
+      return c.size_bytes;
+    }
+  }
+  return 0;
+}
+
+std::string CpuTopology::ToString() const {
+  std::ostringstream os;
+  os << "cores=" << logical_cores;
+  for (const auto& c : caches) {
+    os << " L" << c.level << (c.type == "Data" ? "d" : "")
+       << "=" << (c.size_bytes >> 10) << "KB";
+  }
+  return os.str();
+}
+
+CpuTopology DiscoverTopology() {
+  CpuTopology topo;
+  unsigned hc = std::thread::hardware_concurrency();
+  topo.logical_cores = hc == 0 ? 1 : hc;
+
+  const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
+  for (int idx = 0; idx < 8; ++idx) {
+    std::string dir = base + std::to_string(idx) + "/";
+    std::string level_s = ReadSysFile(dir + "level");
+    if (level_s.empty()) break;
+    CacheLevelInfo info;
+    info.level = std::stoi(level_s);
+    info.type = ReadSysFile(dir + "type");
+    info.size_bytes = ParseSize(ReadSysFile(dir + "size"));
+    std::string line_s = ReadSysFile(dir + "coherency_line_size");
+    if (!line_s.empty()) info.line_bytes = static_cast<uint32_t>(std::stoul(line_s));
+    std::string ways_s = ReadSysFile(dir + "ways_of_associativity");
+    if (!ways_s.empty() && ways_s != "0") {
+      info.associativity = static_cast<uint32_t>(std::stoul(ways_s));
+    }
+    info.shared = info.level >= 3;
+    if (info.type == "Instruction") continue;  // data-path model only
+    if (info.size_bytes == 0) continue;
+    topo.caches.push_back(info);
+  }
+  if (topo.caches.empty()) topo.caches = FallbackCaches();
+  return topo;
+}
+
+}  // namespace hwstar::hw

@@ -1,0 +1,43 @@
+#ifndef HWSTAR_HW_TOPOLOGY_H_
+#define HWSTAR_HW_TOPOLOGY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwstar::hw {
+
+/// One level of the host cache hierarchy as discovered from the OS.
+struct CacheLevelInfo {
+  int level = 0;               ///< 1, 2, 3, ...
+  std::string type;            ///< "Data", "Instruction", "Unified"
+  uint64_t size_bytes = 0;     ///< total capacity
+  uint32_t line_bytes = 64;    ///< cache-line size
+  uint32_t associativity = 8;  ///< ways
+  bool shared = false;         ///< shared across cores (heuristic: level >= 3)
+};
+
+/// Host CPU topology: logical core count and the data/unified cache levels
+/// of core 0. All fields have safe fallbacks so the struct is usable on
+/// hosts without sysfs (the values then describe a generic 2013-era server,
+/// matching the paper's hardware generation).
+struct CpuTopology {
+  uint32_t logical_cores = 1;
+  std::vector<CacheLevelInfo> caches;
+
+  /// Returns the capacity of the given data/unified cache level, or 0 when
+  /// that level is absent.
+  uint64_t CacheSizeBytes(int level) const;
+
+  /// Human-readable one-line-per-level summary.
+  std::string ToString() const;
+};
+
+/// Discovers the host topology. Reads
+/// /sys/devices/system/cpu/cpu0/cache/index*/ when available; otherwise
+/// returns the generic fallback (32KB L1d / 256KB L2 / 8MB L3, 64B lines).
+CpuTopology DiscoverTopology();
+
+}  // namespace hwstar::hw
+
+#endif  // HWSTAR_HW_TOPOLOGY_H_

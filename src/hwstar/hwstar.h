@@ -1,0 +1,95 @@
+#ifndef HWSTAR_HWSTAR_H_
+#define HWSTAR_HWSTAR_H_
+
+/// Umbrella header: pulls in the whole public API. Fine-grained headers
+/// remain the recommended includes for production use; this exists for
+/// exploration and examples.
+
+// Foundations.
+#include "hwstar/common/bits.h"
+#include "hwstar/common/hash.h"
+#include "hwstar/common/logging.h"
+#include "hwstar/common/random.h"
+#include "hwstar/common/status.h"
+#include "hwstar/common/timer.h"
+
+// Hardware description and discovery.
+#include "hwstar/hw/cycle_counter.h"
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/hw/topology.h"
+
+// Simulated hardware substrate.
+#include "hwstar/sim/cache_sim.h"
+#include "hwstar/sim/coherence.h"
+#include "hwstar/sim/energy_model.h"
+#include "hwstar/sim/flash_model.h"
+#include "hwstar/sim/hierarchy.h"
+#include "hwstar/sim/memory_trace.h"
+#include "hwstar/sim/numa_model.h"
+#include "hwstar/sim/offload_model.h"
+#include "hwstar/sim/prefetcher.h"
+#include "hwstar/sim/roofline.h"
+#include "hwstar/sim/tlb.h"
+
+// Memory management.
+#include "hwstar/mem/aligned.h"
+#include "hwstar/mem/arena.h"
+#include "hwstar/mem/memory_pool.h"
+#include "hwstar/mem/numa_allocator.h"
+
+// Parallel execution.
+#include "hwstar/exec/affinity.h"
+#include "hwstar/exec/morsel.h"
+#include "hwstar/exec/task_scheduler.h"
+#include "hwstar/exec/thread_pool.h"
+
+// Storage layouts and compression.
+#include "hwstar/storage/column.h"
+#include "hwstar/storage/column_store.h"
+#include "hwstar/storage/compression.h"
+#include "hwstar/storage/pax.h"
+#include "hwstar/storage/row_store.h"
+#include "hwstar/storage/table.h"
+#include "hwstar/storage/types.h"
+
+// Operators and index structures.
+#include "hwstar/ops/aggregation.h"
+#include "hwstar/ops/art.h"
+#include "hwstar/ops/bloom_filter.h"
+#include "hwstar/ops/btree.h"
+#include "hwstar/ops/concurrent_hash_table.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/ops/hot_cold.h"
+#include "hwstar/ops/join_nop.h"
+#include "hwstar/ops/join_radix.h"
+#include "hwstar/ops/join_sort_merge.h"
+#include "hwstar/ops/merge.h"
+#include "hwstar/ops/partition.h"
+#include "hwstar/ops/relation.h"
+#include "hwstar/ops/selection.h"
+#include "hwstar/ops/sort.h"
+#include "hwstar/ops/topk.h"
+
+// Embedded key-value store.
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/kv/tiered_store.h"
+
+// Query engine.
+#include "hwstar/engine/expression.h"
+#include "hwstar/engine/fused.h"
+#include "hwstar/engine/join_query.h"
+#include "hwstar/engine/parallel.h"
+#include "hwstar/engine/plan.h"
+#include "hwstar/engine/planner.h"
+#include "hwstar/engine/vectorized.h"
+#include "hwstar/engine/volcano.h"
+
+// Workload generation and measurement.
+#include "hwstar/perf/counters.h"
+#include "hwstar/perf/harness.h"
+#include "hwstar/perf/report.h"
+#include "hwstar/workload/distributions.h"
+#include "hwstar/workload/tpch_like.h"
+#include "hwstar/workload/ycsb_like.h"
+
+#endif  // HWSTAR_HWSTAR_H_

@@ -1,0 +1,89 @@
+#include "hwstar/kv/kv_store.h"
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::kv {
+
+KvStore::KvStore(KvOptions options) : options_(options) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(options_.shards));
+  const uint32_t shard_bits = bits::Log2Floor(options_.shards);
+  shard_shift_ = 64 - shard_bits;
+  shards_.reserve(options_.shards);
+  for (uint32_t s = 0; s < options_.shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    if (options_.index == IndexKind::kBTree) {
+      shard->btree = std::make_unique<ops::BPlusTree>(options_.btree_fanout);
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+void KvStore::Put(uint64_t key, uint64_t value) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.puts;
+  if (options_.index == IndexKind::kArt) {
+    shard.art.Insert(key, value);
+  } else {
+    shard.btree->Insert(key, value);
+  }
+}
+
+Result<uint64_t> KvStore::Get(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  ++shard.stats.gets;
+  uint64_t value = 0;
+  const bool found = options_.index == IndexKind::kArt
+                         ? shard.art.Find(key, &value)
+                         : shard.btree->Find(key, &value);
+  if (!found) return Status::NotFound("key not found");
+  ++shard.stats.hits;
+  return value;
+}
+
+uint64_t KvStore::RangeScan(uint64_t lo, uint64_t hi,
+                            std::vector<uint64_t>* out) {
+  if (lo > hi) return 0;
+  uint64_t count = 0;
+  // Shards partition the key space by range in ascending order, so
+  // visiting them in index order yields globally sorted results.
+  const uint32_t first = ShardOf(lo);
+  const uint32_t last = ShardOf(hi);
+  for (uint32_t s = first; s <= last; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    ++shard.stats.scans;
+    if (options_.index == IndexKind::kArt) {
+      count += shard.art.RangeScan(lo, hi, out);
+    } else {
+      count += shard.btree->RangeScan(lo, hi, out);
+    }
+  }
+  return count;
+}
+
+uint64_t KvStore::size() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total += options_.index == IndexKind::kArt ? shard->art.size()
+                                               : shard->btree->size();
+  }
+  return total;
+}
+
+KvStats KvStore::stats() const {
+  KvStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    total.gets += shard->stats.gets;
+    total.puts += shard->stats.puts;
+    total.hits += shard->stats.hits;
+    total.scans += shard->stats.scans;
+  }
+  return total;
+}
+
+}  // namespace hwstar::kv

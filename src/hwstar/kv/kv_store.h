@@ -1,0 +1,86 @@
+#ifndef HWSTAR_KV_KV_STORE_H_
+#define HWSTAR_KV_KV_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/ops/art.h"
+#include "hwstar/ops/btree.h"
+
+namespace hwstar::kv {
+
+/// Index structure backing a KvStore.
+enum class IndexKind : uint8_t {
+  kArt = 0,    ///< adaptive radix tree (hardware-conscious default)
+  kBTree = 1,  ///< cache-conscious B+-tree
+};
+
+/// Options for KvStore.
+struct KvOptions {
+  IndexKind index = IndexKind::kArt;
+  /// Number of key-range shards (power of two). Each shard has its own
+  /// index and latch, so disjoint-key operations scale with cores; range
+  /// sharding (by high key bits) keeps scans order-preserving.
+  uint32_t shards = 1;
+  uint32_t btree_fanout = 32;
+};
+
+/// Operation counters.
+struct KvStats {
+  uint64_t gets = 0;
+  uint64_t puts = 0;
+  uint64_t hits = 0;  ///< gets that found the key
+  uint64_t scans = 0;
+};
+
+/// An embedded, latched, ordered key-value store over the library's
+/// main-memory indexes: the OLTP substrate of the paper's world. The
+/// design choices on display are exactly the hardware-conscious ones the
+/// keynote demands: the index is a cache-efficient structure (ART or wide
+/// B+-tree, never a binary tree), and concurrency comes from range
+/// sharding (one latch + one index per key range) rather than a global
+/// lock. Thread-safe.
+class KvStore {
+ public:
+  explicit KvStore(KvOptions options = KvOptions());
+
+  KvStore(const KvStore&) = delete;
+  KvStore& operator=(const KvStore&) = delete;
+
+  /// Inserts or overwrites.
+  void Put(uint64_t key, uint64_t value);
+
+  /// Point read; NotFound when absent.
+  Result<uint64_t> Get(uint64_t key);
+
+  /// Appends values for keys in [lo, hi] in ascending key order; returns
+  /// the count. Spans shards (they partition the key space by range).
+  uint64_t RangeScan(uint64_t lo, uint64_t hi, std::vector<uint64_t>* out);
+
+  uint64_t size() const;
+  KvStats stats() const;
+  const KvOptions& options() const { return options_; }
+
+ private:
+  struct Shard {
+    std::mutex mutex;
+    ops::AdaptiveRadixTree art;
+    std::unique_ptr<ops::BPlusTree> btree;
+    KvStats stats;
+  };
+
+  uint32_t ShardOf(uint64_t key) const {
+    return shard_shift_ >= 64 ? 0 : static_cast<uint32_t>(key >> shard_shift_);
+  }
+
+  KvOptions options_;
+  uint32_t shard_shift_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+};
+
+}  // namespace hwstar::kv
+
+#endif  // HWSTAR_KV_KV_STORE_H_

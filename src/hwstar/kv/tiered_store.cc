@@ -1,0 +1,80 @@
+#include "hwstar/kv/tiered_store.h"
+
+namespace hwstar::kv {
+
+TieredKvStore::TieredKvStore() : TieredKvStore(Options{}) {}
+
+TieredKvStore::TieredKvStore(const Options& options)
+    : options_(options), data_(options.kv), flash_(options.flash) {
+  if (options_.policy == TierPolicy::kLru) {
+    lru_ = std::make_unique<ops::LruTracker>(options_.memory_capacity);
+  } else {
+    estimator_ = std::make_unique<ops::ExponentialSmoothingEstimator>(
+        options_.es_alpha, options_.es_sample_permille);
+  }
+}
+
+void TieredKvStore::Load(uint64_t key, uint64_t value) {
+  data_.Put(key, value);
+}
+
+bool TieredKvStore::IsResident(uint64_t key) const {
+  return resident_.count(key) != 0;
+}
+
+bool TieredKvStore::TouchResidency(uint64_t key, uint64_t now) {
+  if (options_.policy == TierPolicy::kLru) {
+    // Inline LRU: residency updates on every access.
+    return lru_->Access(key);
+  }
+  estimator_->Record(key, now);
+  return IsResident(key);
+}
+
+Result<uint64_t> TieredKvStore::Read(uint64_t key, uint64_t now) {
+  ++stats_.accesses;
+  const bool in_memory = TouchResidency(key, now);
+  if (in_memory) {
+    ++stats_.memory_hits;
+    stats_.total_latency_us += flash_.DramAccess();
+  } else {
+    ++stats_.flash_reads;
+    stats_.total_latency_us += flash_.Read();
+  }
+  return data_.Get(key);
+}
+
+void TieredKvStore::Write(uint64_t key, uint64_t value, uint64_t now) {
+  ++stats_.accesses;
+  const bool in_memory = TouchResidency(key, now);
+  if (in_memory) {
+    ++stats_.memory_hits;
+    stats_.total_latency_us += flash_.DramAccess();
+  } else {
+    ++stats_.flash_writes;
+    stats_.total_latency_us += flash_.Write();
+  }
+  data_.Put(key, value);
+}
+
+void TieredKvStore::Reclassify(uint64_t now) {
+  if (options_.policy != TierPolicy::kExpSmoothing) return;
+  auto hot = estimator_->TopK(options_.memory_capacity, now);
+  resident_.clear();
+  resident_.insert(hot.begin(), hot.end());
+}
+
+void TieredKvStore::ResetStats() {
+  stats_ = TierStats{};
+  flash_.ResetStats();
+}
+
+uint64_t TieredKvStore::resident_records() const {
+  if (options_.policy == TierPolicy::kLru) {
+    // LruTracker caps its own size at memory_capacity.
+    return options_.memory_capacity;
+  }
+  return resident_.size();
+}
+
+}  // namespace hwstar::kv

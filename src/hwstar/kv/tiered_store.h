@@ -1,0 +1,105 @@
+#ifndef HWSTAR_KV_TIERED_STORE_H_
+#define HWSTAR_KV_TIERED_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_set>
+#include <vector>
+
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/ops/hot_cold.h"
+#include "hwstar/sim/flash_model.h"
+
+namespace hwstar::kv {
+
+/// Residency policy of the memory tier.
+enum class TierPolicy : uint8_t {
+  kLru = 0,            ///< classic inline LRU (the oblivious baseline)
+  kExpSmoothing = 1,   ///< offline exponential-smoothing classification
+};
+
+/// Tiering statistics.
+struct TierStats {
+  uint64_t accesses = 0;
+  uint64_t memory_hits = 0;
+  uint64_t flash_reads = 0;
+  uint64_t flash_writes = 0;
+  double total_latency_us = 0;
+
+  double hit_rate() const {
+    return accesses == 0 ? 0.0
+                         : static_cast<double>(memory_hits) /
+                               static_cast<double>(accesses);
+  }
+  double avg_latency_us() const {
+    return accesses == 0 ? 0.0 : total_latency_us / static_cast<double>(accesses);
+  }
+};
+
+/// A two-tier (DRAM + simulated flash) record store: data lives in the
+/// in-memory KvStore; *placement* is simulated. Under kLru, residency
+/// follows an inline LRU of `memory_capacity` records. Under
+/// kExpSmoothing, accesses are logged (sampled) and Reclassify() installs
+/// the estimator's top-K as the resident set -- the Levandoski et al.
+/// design from the keynote's proceedings. Every access is charged DRAM or
+/// flash latency through the FlashModel, so hit-rate differences become
+/// latency and endurance differences.
+class TieredKvStore {
+ public:
+  struct Options {
+    uint64_t memory_capacity = 1 << 16;  ///< records resident in DRAM
+    TierPolicy policy = TierPolicy::kLru;
+    double es_alpha = 0.05;
+    uint32_t es_sample_permille = 100;   ///< 10% access-log sampling
+    KvOptions kv;
+    sim::FlashModel::Params flash;
+  };
+
+  /// Builds the store with default options.
+  TieredKvStore();
+  explicit TieredKvStore(const Options& options);
+
+  /// Loads a record (bulk load: no latency charged, placed cold).
+  void Load(uint64_t key, uint64_t value);
+
+  /// Reads `key` at logical time `now`; charges DRAM or flash latency.
+  /// Returns NotFound for absent keys (still charged a flash read: the
+  /// index says cold, the read must check).
+  Result<uint64_t> Read(uint64_t key, uint64_t now);
+
+  /// Writes `key` at logical time `now`; cold writes hit flash.
+  void Write(uint64_t key, uint64_t value, uint64_t now);
+
+  /// For kExpSmoothing: recomputes the resident set as the estimator's
+  /// top-memory_capacity keys. No-op under kLru.
+  void Reclassify(uint64_t now);
+
+  /// Clears access/latency statistics (residency state is kept), so a
+  /// steady-state window can be measured after warmup.
+  void ResetStats();
+
+  const TierStats& stats() const { return stats_; }
+  const sim::FlashModel& flash() const { return flash_; }
+  uint64_t resident_records() const;
+  const Options& options() const { return options_; }
+
+ private:
+  bool IsResident(uint64_t key) const;
+  /// Records the access with the policy machinery and returns whether the
+  /// access was served from memory.
+  bool TouchResidency(uint64_t key, uint64_t now);
+
+  Options options_;
+  KvStore data_;
+  sim::FlashModel flash_;
+  TierStats stats_;
+  // kLru state.
+  std::unique_ptr<ops::LruTracker> lru_;
+  // kExpSmoothing state.
+  std::unique_ptr<ops::ExponentialSmoothingEstimator> estimator_;
+  std::unordered_set<uint64_t> resident_;
+};
+
+}  // namespace hwstar::kv
+
+#endif  // HWSTAR_KV_TIERED_STORE_H_

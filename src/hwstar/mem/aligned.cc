@@ -1,0 +1,25 @@
+#include "hwstar/mem/aligned.h"
+
+#include <cstdlib>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::mem {
+
+void* AlignedAlloc(size_t bytes, size_t alignment) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(alignment));
+  if (alignment < sizeof(void*)) alignment = sizeof(void*);
+  if (bytes == 0) bytes = alignment;
+  // std::aligned_alloc requires size to be a multiple of alignment.
+  size_t rounded = static_cast<size_t>(bits::AlignUp(bytes, alignment));
+  return std::aligned_alloc(alignment, rounded);
+}
+
+void AlignedFree(void* ptr) { std::free(ptr); }
+
+AlignedBuffer MakeAlignedBuffer(size_t bytes, size_t alignment) {
+  return AlignedBuffer(static_cast<uint8_t*>(AlignedAlloc(bytes, alignment)));
+}
+
+}  // namespace hwstar::mem

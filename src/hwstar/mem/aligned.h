@@ -1,0 +1,35 @@
+#ifndef HWSTAR_MEM_ALIGNED_H_
+#define HWSTAR_MEM_ALIGNED_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+
+namespace hwstar::mem {
+
+/// Cache line size assumed throughout the library; matches the modeled
+/// machines and every x86 part since 2006.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Allocates `bytes` with the given alignment (power of two, >=
+/// sizeof(void*)). Returns nullptr on failure. Free with AlignedFree.
+void* AlignedAlloc(size_t bytes, size_t alignment = kCacheLineBytes);
+
+/// Frees memory obtained from AlignedAlloc.
+void AlignedFree(void* ptr);
+
+/// Deleter for std::unique_ptr over AlignedAlloc memory.
+struct AlignedDeleter {
+  void operator()(void* p) const { AlignedFree(p); }
+};
+
+/// Owning pointer to cache-line-aligned raw memory.
+using AlignedBuffer = std::unique_ptr<uint8_t[], AlignedDeleter>;
+
+/// Allocates an owning, cache-line-aligned buffer of `bytes` bytes.
+AlignedBuffer MakeAlignedBuffer(size_t bytes,
+                                size_t alignment = kCacheLineBytes);
+
+}  // namespace hwstar::mem
+
+#endif  // HWSTAR_MEM_ALIGNED_H_

@@ -1,0 +1,47 @@
+#include "hwstar/mem/arena.h"
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::mem {
+
+Arena::Arena(size_t block_bytes) : block_bytes_(block_bytes) {
+  HWSTAR_CHECK(block_bytes_ >= 4096);
+}
+
+void Arena::AddBlock(size_t min_bytes) {
+  size_t size = min_bytes > block_bytes_ ? min_bytes : block_bytes_;
+  AlignedBuffer buf = MakeAlignedBuffer(size);
+  HWSTAR_CHECK(buf != nullptr);
+  cur_ = buf.get();
+  end_ = cur_ + size;
+  bytes_reserved_ += size;
+  blocks_.push_back(Block{std::move(buf), size});
+}
+
+void* Arena::Allocate(size_t bytes, size_t alignment) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(alignment));
+  uintptr_t p = reinterpret_cast<uintptr_t>(cur_);
+  uintptr_t aligned = bits::AlignUp(p, alignment);
+  size_t needed = (aligned - p) + bytes;
+  if (cur_ == nullptr || static_cast<size_t>(end_ - cur_) < needed) {
+    AddBlock(bytes + alignment);
+    p = reinterpret_cast<uintptr_t>(cur_);
+    aligned = bits::AlignUp(p, alignment);
+    needed = (aligned - p) + bytes;
+  }
+  cur_ += needed;
+  bytes_allocated_ += bytes;
+  return reinterpret_cast<void*>(aligned);
+}
+
+void Arena::Reset() {
+  if (blocks_.empty()) return;
+  blocks_.resize(1);
+  cur_ = blocks_[0].buf.get();
+  end_ = cur_ + blocks_[0].size;
+  bytes_allocated_ = 0;
+  bytes_reserved_ = blocks_[0].size;
+}
+
+}  // namespace hwstar::mem

@@ -1,0 +1,62 @@
+#ifndef HWSTAR_MEM_ARENA_H_
+#define HWSTAR_MEM_ARENA_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/mem/aligned.h"
+
+namespace hwstar::mem {
+
+/// A bump allocator over cache-line-aligned blocks. Allocation is a pointer
+/// increment; everything is freed at once when the arena dies (or on
+/// Reset()). Used by operators for per-query scratch memory so hot loops
+/// never touch the general-purpose allocator -- one of the "strict
+/// performance engineering" practices the paper calls for.
+class Arena {
+ public:
+  /// `block_bytes`: granularity of the underlying block allocations.
+  explicit Arena(size_t block_bytes = 1 << 20);
+
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  /// Allocates `bytes` with the given alignment (power of two). Never
+  /// returns nullptr; aborts on out-of-memory (scratch allocators treat
+  /// OOM as a programmer error).
+  void* Allocate(size_t bytes, size_t alignment = alignof(std::max_align_t));
+
+  /// Typed array allocation (uninitialized).
+  template <typename T>
+  T* AllocateArray(size_t count) {
+    return static_cast<T*>(Allocate(count * sizeof(T), alignof(T)));
+  }
+
+  /// Releases all blocks but the first and rewinds to the start.
+  void Reset();
+
+  /// Total bytes handed out since construction/Reset.
+  size_t bytes_allocated() const { return bytes_allocated_; }
+  /// Total bytes reserved from the system.
+  size_t bytes_reserved() const { return bytes_reserved_; }
+
+ private:
+  struct Block {
+    AlignedBuffer buf;
+    size_t size = 0;
+  };
+
+  void AddBlock(size_t min_bytes);
+
+  size_t block_bytes_;
+  std::vector<Block> blocks_;
+  uint8_t* cur_ = nullptr;
+  uint8_t* end_ = nullptr;
+  size_t bytes_allocated_ = 0;
+  size_t bytes_reserved_ = 0;
+};
+
+}  // namespace hwstar::mem
+
+#endif  // HWSTAR_MEM_ARENA_H_

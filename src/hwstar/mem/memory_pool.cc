@@ -1,0 +1,39 @@
+#include "hwstar/mem/memory_pool.h"
+
+#include "hwstar/mem/aligned.h"
+
+namespace hwstar::mem {
+
+Result<void*> MemoryPool::Allocate(size_t bytes) {
+  int64_t prev = in_use_.fetch_add(static_cast<int64_t>(bytes),
+                                   std::memory_order_relaxed);
+  int64_t now = prev + static_cast<int64_t>(bytes);
+  if (limit_bytes_ != 0 && now > static_cast<int64_t>(limit_bytes_)) {
+    in_use_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    return Status::ResourceExhausted("memory pool limit exceeded");
+  }
+  void* p = AlignedAlloc(bytes);
+  if (p == nullptr) {
+    in_use_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+    return Status::ResourceExhausted("allocation failed");
+  }
+  // Update the peak (racy max loop).
+  int64_t peak = peak_.load(std::memory_order_relaxed);
+  while (now > peak &&
+         !peak_.compare_exchange_weak(peak, now, std::memory_order_relaxed)) {
+  }
+  return p;
+}
+
+void MemoryPool::Free(void* ptr, size_t bytes) {
+  if (ptr == nullptr) return;
+  AlignedFree(ptr);
+  in_use_.fetch_sub(static_cast<int64_t>(bytes), std::memory_order_relaxed);
+}
+
+MemoryPool* MemoryPool::Default() {
+  static MemoryPool* pool = new MemoryPool();
+  return pool;
+}
+
+}  // namespace hwstar::mem

@@ -1,0 +1,49 @@
+#ifndef HWSTAR_MEM_MEMORY_POOL_H_
+#define HWSTAR_MEM_MEMORY_POOL_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+
+#include "hwstar/common/status.h"
+
+namespace hwstar::mem {
+
+/// Tracks live/peak allocation of a component. All storage-layer
+/// allocations go through a pool so experiments can report memory
+/// footprints alongside time and simulated-hardware counters (the paper's
+/// point that performance engineering must account for all resources).
+/// Thread-safe.
+class MemoryPool {
+ public:
+  /// `limit_bytes` = 0 means unlimited.
+  explicit MemoryPool(size_t limit_bytes = 0) : limit_bytes_(limit_bytes) {}
+
+  MemoryPool(const MemoryPool&) = delete;
+  MemoryPool& operator=(const MemoryPool&) = delete;
+
+  /// Allocates cache-line-aligned memory, or ResourceExhausted when the
+  /// limit would be exceeded.
+  Result<void*> Allocate(size_t bytes);
+
+  /// Returns memory to the pool. `bytes` must match the Allocate size.
+  void Free(void* ptr, size_t bytes);
+
+  int64_t bytes_in_use() const {
+    return in_use_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_bytes() const { return peak_.load(std::memory_order_relaxed); }
+  size_t limit_bytes() const { return limit_bytes_; }
+
+  /// Process-wide default pool (unlimited).
+  static MemoryPool* Default();
+
+ private:
+  size_t limit_bytes_;
+  std::atomic<int64_t> in_use_{0};
+  std::atomic<int64_t> peak_{0};
+};
+
+}  // namespace hwstar::mem
+
+#endif  // HWSTAR_MEM_MEMORY_POOL_H_

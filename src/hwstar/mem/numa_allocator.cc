@@ -1,0 +1,22 @@
+#include "hwstar/mem/numa_allocator.h"
+
+namespace hwstar::mem {
+
+void* NumaAllocator::Allocate(size_t bytes, Policy policy, uint32_t node) {
+  void* p = AlignedAlloc(bytes);
+  if (p != nullptr && model_ != nullptr) {
+    model_->RegisterRegion(reinterpret_cast<uint64_t>(p), bytes, policy, node);
+  }
+  return p;
+}
+
+void NumaAllocator::Free(void* ptr, size_t bytes) {
+  (void)bytes;
+  if (ptr == nullptr) return;
+  if (model_ != nullptr) {
+    model_->UnregisterRegion(reinterpret_cast<uint64_t>(ptr));
+  }
+  AlignedFree(ptr);
+}
+
+}  // namespace hwstar::mem

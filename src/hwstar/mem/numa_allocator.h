@@ -1,0 +1,47 @@
+#ifndef HWSTAR_MEM_NUMA_ALLOCATOR_H_
+#define HWSTAR_MEM_NUMA_ALLOCATOR_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "hwstar/mem/aligned.h"
+#include "hwstar/sim/numa_model.h"
+
+namespace hwstar::mem {
+
+/// NUMA-aware allocation front-end. On a real multi-socket machine this
+/// would call mbind/numa_alloc_onnode; here it allocates normally and
+/// *registers the placement policy with the NumaModel*, so simulated runs
+/// charge remote-access latency exactly as the chosen policy implies. The
+/// API is the one a production system would expose, which is the point:
+/// placement must be an explicit, first-class decision.
+class NumaAllocator {
+ public:
+  using Policy = sim::NumaModel::Policy;
+
+  /// The allocator registers placements with (and must not outlive)
+  /// `model`.
+  explicit NumaAllocator(sim::NumaModel* model) : model_(model) {}
+
+  /// Allocates `bytes` under `policy`; `node` is the home node for
+  /// kFirstTouch.
+  void* Allocate(size_t bytes, Policy policy, uint32_t node = 0);
+
+  /// Frees and unregisters.
+  void Free(void* ptr, size_t bytes);
+
+  /// Typed helpers.
+  template <typename T>
+  T* AllocateArray(size_t count, Policy policy, uint32_t node = 0) {
+    return static_cast<T*>(Allocate(count * sizeof(T), policy, node));
+  }
+
+  sim::NumaModel* model() const { return model_; }
+
+ private:
+  sim::NumaModel* model_;
+};
+
+}  // namespace hwstar::mem
+
+#endif  // HWSTAR_MEM_NUMA_ALLOCATOR_H_

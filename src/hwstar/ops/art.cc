@@ -1,0 +1,445 @@
+#include "hwstar/ops/art.h"
+
+#include <cstring>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+namespace {
+
+/// Big-endian byte i of the key (byte 0 is most significant), so that
+/// lexicographic trie order equals numeric key order.
+inline uint8_t KeyByte(uint64_t key, uint32_t depth) {
+  return static_cast<uint8_t>(key >> (56 - 8 * depth));
+}
+
+constexpr uint32_t kMaxDepth = 8;
+
+}  // namespace
+
+struct AdaptiveRadixTree::Node {
+  enum Kind : uint8_t { kLeaf, kN4, kN16, kN48, kN256 };
+
+  explicit Node(Kind k) : kind(k) {}
+
+  Kind kind;
+  uint8_t prefix_len = 0;   // compressed-path bytes below the parent edge
+  uint8_t prefix[8] = {0};
+  uint16_t count = 0;       // children in use (inner nodes)
+
+  // Leaf payload.
+  uint64_t key = 0;
+  uint64_t value = 0;
+
+  // Inner-node child storage. Only the fields of the active layout are
+  // meaningful; the adaptive growth path is N4 -> N16 -> N48 -> N256.
+  uint8_t keys4[4] = {0};
+  Node* children4[4] = {nullptr};
+  uint8_t keys16[16] = {0};
+  Node* children16[16] = {nullptr};
+  uint8_t child_index48[256] = {0};  // 0 = empty, else child slot + 1
+  Node* children48[48] = {nullptr};
+  Node** children256 = nullptr;      // lazily allocated [256]
+
+  ~Node() { delete[] children256; }
+};
+
+namespace {
+
+using Node = AdaptiveRadixTree::Node;
+
+Node* NewLeaf(uint64_t key, uint64_t value) {
+  Node* n = new Node(Node::kLeaf);
+  n->key = key;
+  n->value = value;
+  return n;
+}
+
+Node* NewNode(Node::Kind kind) {
+  Node* n = new Node(kind);
+  if (kind == Node::kN256) {
+    n->children256 = new Node*[256]();
+  }
+  return n;
+}
+
+/// Finds the child for byte b, or nullptr.
+Node* FindChild(const Node* n, uint8_t b) {
+  switch (n->kind) {
+    case Node::kN4:
+      for (uint16_t i = 0; i < n->count; ++i) {
+        if (n->keys4[i] == b) return n->children4[i];
+      }
+      return nullptr;
+    case Node::kN16:
+      for (uint16_t i = 0; i < n->count; ++i) {
+        if (n->keys16[i] == b) return n->children16[i];
+      }
+      return nullptr;
+    case Node::kN48: {
+      uint8_t idx = n->child_index48[b];
+      return idx == 0 ? nullptr : n->children48[idx - 1];
+    }
+    case Node::kN256:
+      return n->children256[b];
+    default:
+      return nullptr;
+  }
+}
+
+/// Adds child b -> c; grows the node (returning the replacement) when the
+/// layout is full. The caller must store the returned pointer.
+Node* AddChild(Node* n, uint8_t b, Node* c) {
+  switch (n->kind) {
+    case Node::kN4: {
+      if (n->count < 4) {
+        // Insert keeping keys sorted (cheap at width 4).
+        uint16_t pos = 0;
+        while (pos < n->count && n->keys4[pos] < b) ++pos;
+        for (uint16_t i = n->count; i > pos; --i) {
+          n->keys4[i] = n->keys4[i - 1];
+          n->children4[i] = n->children4[i - 1];
+        }
+        n->keys4[pos] = b;
+        n->children4[pos] = c;
+        ++n->count;
+        return n;
+      }
+      // Grow to N16.
+      Node* big = NewNode(Node::kN16);
+      big->prefix_len = n->prefix_len;
+      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
+      for (uint16_t i = 0; i < 4; ++i) {
+        big->keys16[i] = n->keys4[i];
+        big->children16[i] = n->children4[i];
+      }
+      big->count = 4;
+      delete n;
+      return AddChild(big, b, c);
+    }
+    case Node::kN16: {
+      if (n->count < 16) {
+        uint16_t pos = 0;
+        while (pos < n->count && n->keys16[pos] < b) ++pos;
+        for (uint16_t i = n->count; i > pos; --i) {
+          n->keys16[i] = n->keys16[i - 1];
+          n->children16[i] = n->children16[i - 1];
+        }
+        n->keys16[pos] = b;
+        n->children16[pos] = c;
+        ++n->count;
+        return n;
+      }
+      Node* big = NewNode(Node::kN48);
+      big->prefix_len = n->prefix_len;
+      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
+      for (uint16_t i = 0; i < 16; ++i) {
+        big->children48[i] = n->children16[i];
+        big->child_index48[n->keys16[i]] = static_cast<uint8_t>(i + 1);
+      }
+      big->count = 16;
+      delete n;
+      return AddChild(big, b, c);
+    }
+    case Node::kN48: {
+      if (n->count < 48) {
+        n->children48[n->count] = c;
+        n->child_index48[b] = static_cast<uint8_t>(n->count + 1);
+        ++n->count;
+        return n;
+      }
+      Node* big = NewNode(Node::kN256);
+      big->prefix_len = n->prefix_len;
+      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
+      for (uint32_t byte = 0; byte < 256; ++byte) {
+        uint8_t idx = n->child_index48[byte];
+        if (idx != 0) big->children256[byte] = n->children48[idx - 1];
+      }
+      big->count = 48;
+      delete n;
+      return AddChild(big, b, c);
+    }
+    case Node::kN256:
+      HWSTAR_DCHECK(n->children256[b] == nullptr);
+      n->children256[b] = c;
+      ++n->count;
+      return n;
+    default:
+      HWSTAR_CHECK(false);
+      return n;
+  }
+}
+
+/// Longest common prefix of two keys starting at `depth`; at most
+/// kMaxDepth - depth bytes.
+uint32_t CommonPrefixLen(uint64_t a, uint64_t b, uint32_t depth) {
+  uint32_t len = 0;
+  while (depth + len < kMaxDepth && KeyByte(a, depth + len) == KeyByte(b, depth + len)) {
+    ++len;
+  }
+  return len;
+}
+
+/// Number of leading prefix bytes of `n` matching `key` at `depth`.
+uint32_t PrefixMatchLen(const Node* n, uint64_t key, uint32_t depth) {
+  uint32_t len = 0;
+  while (len < n->prefix_len && depth + len < kMaxDepth &&
+         n->prefix[len] == KeyByte(key, depth + len)) {
+    ++len;
+  }
+  return len;
+}
+
+void FreeRec(Node* n) {
+  if (n == nullptr) return;
+  switch (n->kind) {
+    case Node::kLeaf:
+      break;
+    case Node::kN4:
+      for (uint16_t i = 0; i < n->count; ++i) FreeRec(n->children4[i]);
+      break;
+    case Node::kN16:
+      for (uint16_t i = 0; i < n->count; ++i) FreeRec(n->children16[i]);
+      break;
+    case Node::kN48:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->child_index48[b] != 0) FreeRec(n->children48[n->child_index48[b] - 1]);
+      }
+      break;
+    case Node::kN256:
+      for (uint32_t b = 0; b < 256; ++b) FreeRec(n->children256[b]);
+      break;
+  }
+  delete n;
+}
+
+/// Recursive insert; returns the (possibly replaced) subtree root.
+Node* InsertRec(Node* n, uint64_t key, uint64_t value, uint32_t depth,
+                uint64_t* size) {
+  if (n == nullptr) {
+    ++*size;
+    return NewLeaf(key, value);
+  }
+
+  if (n->kind == Node::kLeaf) {
+    if (n->key == key) {
+      n->value = value;  // overwrite
+      return n;
+    }
+    // Lazy expansion: split into an inner node holding the common prefix.
+    const uint32_t lcp = CommonPrefixLen(n->key, key, depth);
+    Node* inner = NewNode(Node::kN4);
+    inner->prefix_len = static_cast<uint8_t>(lcp);
+    for (uint32_t i = 0; i < lcp; ++i) inner->prefix[i] = KeyByte(key, depth + i);
+    Node* result = inner;
+    result = AddChild(result, KeyByte(n->key, depth + lcp), n);
+    ++*size;
+    result = AddChild(result, KeyByte(key, depth + lcp), NewLeaf(key, value));
+    return result;
+  }
+
+  // Inner node: check the compressed path.
+  const uint32_t match = PrefixMatchLen(n, key, depth);
+  if (match < n->prefix_len) {
+    // Path splits inside the prefix: new N4 with the matching part.
+    Node* inner = NewNode(Node::kN4);
+    inner->prefix_len = static_cast<uint8_t>(match);
+    std::memcpy(inner->prefix, n->prefix, match);
+    // Old node keeps the tail of its prefix after the split byte.
+    const uint8_t split_byte = n->prefix[match];
+    const uint8_t remaining = static_cast<uint8_t>(n->prefix_len - match - 1);
+    std::memmove(n->prefix, n->prefix + match + 1, remaining);
+    n->prefix_len = remaining;
+    Node* result = inner;
+    result = AddChild(result, split_byte, n);
+    ++*size;
+    result = AddChild(result, KeyByte(key, depth + match), NewLeaf(key, value));
+    return result;
+  }
+
+  depth += n->prefix_len;
+  const uint8_t b = KeyByte(key, depth);
+  Node* child = FindChild(n, b);
+  if (child == nullptr) {
+    ++*size;
+    return AddChild(n, b, NewLeaf(key, value));
+  }
+  Node* new_child = InsertRec(child, key, value, depth + 1, size);
+  if (new_child != child) {
+    // The child was replaced (leaf split or prefix split); patch the slot.
+    switch (n->kind) {
+      case Node::kN4:
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys4[i] == b) n->children4[i] = new_child;
+        }
+        break;
+      case Node::kN16:
+        for (uint16_t i = 0; i < n->count; ++i) {
+          if (n->keys16[i] == b) n->children16[i] = new_child;
+        }
+        break;
+      case Node::kN48:
+        n->children48[n->child_index48[b] - 1] = new_child;
+        break;
+      case Node::kN256:
+        n->children256[b] = new_child;
+        break;
+      default:
+        HWSTAR_CHECK(false);
+    }
+  }
+  return n;
+}
+
+/// In-order traversal collecting values of keys in [lo, hi]. `partial`
+/// holds the key bytes fixed so far (above `depth` bytes are decided), so
+/// whole subtrees outside the range are pruned.
+void ScanRec(const Node* n, uint32_t depth, uint64_t partial, uint64_t lo,
+             uint64_t hi, std::vector<uint64_t>* out, uint64_t* count) {
+  if (n == nullptr) return;
+  if (n->kind == Node::kLeaf) {
+    if (n->key >= lo && n->key <= hi) {
+      out->push_back(n->value);
+      ++*count;
+    }
+    return;
+  }
+  // Fold the compressed path into the partial key.
+  for (uint32_t i = 0; i < n->prefix_len; ++i) {
+    partial |= static_cast<uint64_t>(n->prefix[i]) << (56 - 8 * (depth + i));
+  }
+  depth += n->prefix_len;
+  // Subtree bounds: bytes below `depth` range over [0x00.., 0xFF..].
+  const uint32_t free_bits = 64 - 8 * depth;
+  const uint64_t subtree_min = partial;
+  const uint64_t subtree_max =
+      free_bits >= 64 ? ~uint64_t{0}
+                      : partial | ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
+  if (subtree_max < lo || subtree_min > hi) return;
+
+  auto visit = [&](uint8_t b, const Node* child) {
+    const uint64_t child_partial =
+        partial | (static_cast<uint64_t>(b) << (56 - 8 * depth));
+    ScanRec(child, depth + 1, child_partial, lo, hi, out, count);
+  };
+  switch (n->kind) {
+    case Node::kN4:
+      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys4[i], n->children4[i]);
+      break;
+    case Node::kN16:
+      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys16[i], n->children16[i]);
+      break;
+    case Node::kN48:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->child_index48[b] != 0) {
+          visit(static_cast<uint8_t>(b), n->children48[n->child_index48[b] - 1]);
+        }
+      }
+      break;
+    case Node::kN256:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->children256[b] != nullptr) {
+          visit(static_cast<uint8_t>(b), n->children256[b]);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+void CensusRec(const Node* n, AdaptiveRadixTree::NodeCounts* counts) {
+  if (n == nullptr) return;
+  switch (n->kind) {
+    case Node::kLeaf:
+      ++counts->leaves;
+      return;
+    case Node::kN4:
+      ++counts->node4;
+      for (uint16_t i = 0; i < n->count; ++i) CensusRec(n->children4[i], counts);
+      return;
+    case Node::kN16:
+      ++counts->node16;
+      for (uint16_t i = 0; i < n->count; ++i) CensusRec(n->children16[i], counts);
+      return;
+    case Node::kN48:
+      ++counts->node48;
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->child_index48[b] != 0) {
+          CensusRec(n->children48[n->child_index48[b] - 1], counts);
+        }
+      }
+      return;
+    case Node::kN256:
+      ++counts->node256;
+      for (uint32_t b = 0; b < 256; ++b) CensusRec(n->children256[b], counts);
+      return;
+  }
+}
+
+}  // namespace
+
+AdaptiveRadixTree::~AdaptiveRadixTree() { FreeRec(root_); }
+
+AdaptiveRadixTree::AdaptiveRadixTree(AdaptiveRadixTree&& other) noexcept
+    : root_(other.root_), size_(other.size_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+}
+
+AdaptiveRadixTree& AdaptiveRadixTree::operator=(
+    AdaptiveRadixTree&& other) noexcept {
+  if (this != &other) {
+    FreeRec(root_);
+    root_ = other.root_;
+    size_ = other.size_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+  }
+  return *this;
+}
+
+void AdaptiveRadixTree::Insert(uint64_t key, uint64_t value) {
+  root_ = InsertRec(root_, key, value, 0, &size_);
+}
+
+bool AdaptiveRadixTree::Find(uint64_t key, uint64_t* value) const {
+  const Node* n = root_;
+  uint32_t depth = 0;
+  while (n != nullptr) {
+    if (n->kind == Node::kLeaf) {
+      if (n->key == key) {
+        *value = n->value;
+        return true;
+      }
+      return false;
+    }
+    if (PrefixMatchLen(n, key, depth) < n->prefix_len) return false;
+    depth += n->prefix_len;
+    n = FindChild(n, KeyByte(key, depth));
+    ++depth;
+  }
+  return false;
+}
+
+uint64_t AdaptiveRadixTree::RangeScan(uint64_t lo, uint64_t hi,
+                                      std::vector<uint64_t>* out) const {
+  uint64_t count = 0;
+  ScanRec(root_, 0, 0, lo, hi, out, &count);
+  return count;
+}
+
+AdaptiveRadixTree::NodeCounts AdaptiveRadixTree::CountNodes() const {
+  NodeCounts counts;
+  CensusRec(root_, &counts);
+  return counts;
+}
+
+uint64_t AdaptiveRadixTree::MemoryBytes() const {
+  NodeCounts c = CountNodes();
+  const uint64_t inner = c.node4 + c.node16 + c.node48 + c.node256;
+  return (inner + c.leaves) * sizeof(Node) + c.node256 * 256 * sizeof(Node*);
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,65 @@
+#ifndef HWSTAR_OPS_ART_H_
+#define HWSTAR_OPS_ART_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// The Adaptive Radix Tree (ART) of Leis et al. (ICDE 2013, the same
+/// proceedings as the keynote): a 256-ary trie over the big-endian bytes
+/// of the key whose inner nodes adapt among four physical layouts
+/// (Node4/16/48/256) so that space stays bounded while every node fits in
+/// a handful of cache lines. Combined with lazy expansion (leaves may sit
+/// at any depth) and path compression (one-child chains collapse into a
+/// per-node prefix), lookups touch O(key bytes) cache lines instead of
+/// O(log n) dependent misses -- the hardware-conscious answer to the
+/// binary search tree. Keys here are uint64, compared in numeric order.
+class AdaptiveRadixTree {
+ public:
+  AdaptiveRadixTree() = default;
+  ~AdaptiveRadixTree();
+
+  AdaptiveRadixTree(const AdaptiveRadixTree&) = delete;
+  AdaptiveRadixTree& operator=(const AdaptiveRadixTree&) = delete;
+  AdaptiveRadixTree(AdaptiveRadixTree&& other) noexcept;
+  AdaptiveRadixTree& operator=(AdaptiveRadixTree&& other) noexcept;
+
+  /// Inserts key->value; duplicate keys overwrite.
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Point lookup; false when absent.
+  bool Find(uint64_t key, uint64_t* value) const;
+
+  /// Appends values of all keys in [lo, hi] in ascending key order;
+  /// returns the count.
+  uint64_t RangeScan(uint64_t lo, uint64_t hi,
+                     std::vector<uint64_t>* out) const;
+
+  uint64_t size() const { return size_; }
+
+  /// Node-type census (diagnostics; shows the adaptivity at work).
+  struct NodeCounts {
+    uint64_t node4 = 0;
+    uint64_t node16 = 0;
+    uint64_t node48 = 0;
+    uint64_t node256 = 0;
+    uint64_t leaves = 0;
+  };
+  NodeCounts CountNodes() const;
+
+  /// Approximate heap footprint in bytes.
+  uint64_t MemoryBytes() const;
+
+  /// Implementation detail (defined in art.cc); public only so internal
+  /// helpers can name it.
+  struct Node;
+
+ private:
+  Node* root_ = nullptr;
+  uint64_t size_ = 0;
+};
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_ART_H_

@@ -1,0 +1,110 @@
+#include "hwstar/ops/bloom_filter.h"
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/hash.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+namespace {
+
+/// Derives k probe positions from one 64-bit hash via double hashing
+/// (Kirsch-Mitzenmacher): position_i = h1 + i * h2. The bit count is a
+/// power of two, so reduction is a mask (a runtime 64-bit divide would
+/// cost more than the cache access the filter is meant to save).
+inline uint64_t ProbePos(uint64_t h1, uint64_t h2, uint32_t i,
+                         uint64_t mask) {
+  return (h1 + static_cast<uint64_t>(i) * h2) & mask;
+}
+
+uint32_t OptimalHashes(uint32_t bits_per_key) {
+  uint32_t k = static_cast<uint32_t>(bits_per_key * 0.693 + 0.5);
+  if (k < 1) k = 1;
+  if (k > 16) k = 16;
+  return k;
+}
+
+}  // namespace
+
+BloomFilter::BloomFilter(uint64_t expected, uint32_t bits_per_key) {
+  HWSTAR_CHECK(bits_per_key >= 1);
+  if (expected < 1) expected = 1;
+  bit_count_ = bits::NextPowerOfTwo(expected * bits_per_key);
+  if (bit_count_ < 64) bit_count_ = 64;  // at least one word
+  num_hashes_ = OptimalHashes(bits_per_key);
+  words_.assign(bit_count_ / 64, 0);
+}
+
+void BloomFilter::Add(uint64_t key) {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = ProbePos(h1, h2, i, bit_count_ - 1);
+    words_[pos >> 6] |= uint64_t{1} << (pos & 63);
+  }
+}
+
+bool BloomFilter::MayContain(uint64_t key) const {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint64_t pos = ProbePos(h1, h2, i, bit_count_ - 1);
+    if ((words_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BloomFilter::MeasureFpp(
+    const std::vector<uint64_t>& absent_sample) const {
+  if (absent_sample.empty()) return 0.0;
+  uint64_t fp = 0;
+  for (uint64_t k : absent_sample) fp += MayContain(k);
+  return static_cast<double>(fp) / static_cast<double>(absent_sample.size());
+}
+
+BlockedBloomFilter::BlockedBloomFilter(uint64_t expected,
+                                       uint32_t bits_per_key) {
+  HWSTAR_CHECK(bits_per_key >= 1);
+  if (expected < 1) expected = 1;
+  const uint64_t total_bits = bits::NextPowerOfTwo(expected * bits_per_key);
+  num_blocks_ = total_bits / kBlockBits;
+  if (num_blocks_ < 1) num_blocks_ = 1;
+  num_hashes_ = OptimalHashes(bits_per_key);
+  words_.assign(num_blocks_ * 8, 0);
+}
+
+void BlockedBloomFilter::Add(uint64_t key) {
+  const uint64_t h1 = Mix64(key);
+  // High bits pick the block; the rest seed the in-block positions.
+  const uint64_t block = h1 & (num_blocks_ - 1);  // num_blocks_ is pow2
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  uint64_t* base = &words_[block * 8];
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint32_t bit = static_cast<uint32_t>(
+        ((h2 >> ((i * 9) % 55)) ^ (h2 << (i % 7))) & (kBlockBits - 1));
+    base[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
+bool BlockedBloomFilter::MayContain(uint64_t key) const {
+  const uint64_t h1 = Mix64(key);
+  const uint64_t block = h1 & (num_blocks_ - 1);
+  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  const uint64_t* base = &words_[block * 8];
+  for (uint32_t i = 0; i < num_hashes_; ++i) {
+    const uint32_t bit = static_cast<uint32_t>(
+        ((h2 >> ((i * 9) % 55)) ^ (h2 << (i % 7))) & (kBlockBits - 1));
+    if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
+  }
+  return true;
+}
+
+double BlockedBloomFilter::MeasureFpp(
+    const std::vector<uint64_t>& absent_sample) const {
+  if (absent_sample.empty()) return 0.0;
+  uint64_t fp = 0;
+  for (uint64_t k : absent_sample) fp += MayContain(k);
+  return static_cast<double>(fp) / static_cast<double>(absent_sample.size());
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,64 @@
+#ifndef HWSTAR_OPS_BLOOM_FILTER_H_
+#define HWSTAR_OPS_BLOOM_FILTER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// Standard Bloom filter: k hash functions spread over the whole bit
+/// array. Each negative query touches up to k random cache lines -- the
+/// hardware-oblivious layout.
+class BloomFilter {
+ public:
+  /// Sizes the array for `expected` keys at `bits_per_key` (k is derived
+  /// as round(0.693 * bits_per_key), the optimum).
+  BloomFilter(uint64_t expected, uint32_t bits_per_key = 10);
+
+  void Add(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  uint64_t bit_count() const { return bit_count_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+  /// Measured false-positive probability over a sample of keys known to
+  /// be absent.
+  double MeasureFpp(const std::vector<uint64_t>& absent_sample) const;
+
+ private:
+  uint64_t bit_count_;
+  uint32_t num_hashes_;
+  std::vector<uint64_t> words_;
+};
+
+/// Cache-blocked ("register-blocked") Bloom filter: the first hash picks
+/// one 512-bit block (a single cache line); all k probe bits live inside
+/// that block. Every query -- positive or negative -- costs exactly one
+/// cache miss, at a small false-positive-rate penalty. The
+/// hardware-conscious variant (Putze et al.), benchmarked in A4.
+class BlockedBloomFilter {
+ public:
+  BlockedBloomFilter(uint64_t expected, uint32_t bits_per_key = 10);
+
+  void Add(uint64_t key);
+  bool MayContain(uint64_t key) const;
+
+  uint64_t num_blocks() const { return num_blocks_; }
+  uint32_t num_hashes() const { return num_hashes_; }
+  uint64_t MemoryBytes() const { return num_blocks_ * kBlockBytes; }
+
+  double MeasureFpp(const std::vector<uint64_t>& absent_sample) const;
+
+  static constexpr uint32_t kBlockBytes = 64;
+  static constexpr uint32_t kBlockBits = kBlockBytes * 8;
+
+ private:
+  uint64_t num_blocks_;
+  uint32_t num_hashes_;
+  std::vector<uint64_t> words_;  // num_blocks_ * 8 words
+};
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_BLOOM_FILTER_H_

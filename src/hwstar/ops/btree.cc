@@ -1,0 +1,274 @@
+#include "hwstar/ops/btree.h"
+
+#include <algorithm>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+/// Node layout: keys and children/values in separate arrays so key search
+/// scans one dense key region. Leaves are chained for range scans.
+struct BPlusTree::Node {
+  bool leaf = true;
+  uint32_t count = 0;               // keys in use
+  std::vector<uint64_t> keys;       // capacity = fanout
+  std::vector<uint64_t> values;     // leaf: capacity = fanout
+  std::vector<Node*> children;      // inner: capacity = fanout + 1
+  Node* next = nullptr;             // leaf chain
+};
+
+struct BPlusTree::SplitResult {
+  bool split = false;
+  uint64_t sep_key = 0;  // smallest key of the right node
+  Node* right = nullptr;
+};
+
+BPlusTree::BPlusTree(uint32_t fanout) : fanout_(fanout) {
+  HWSTAR_CHECK(fanout_ >= 4);
+  root_ = NewLeaf();
+}
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+BPlusTree::BPlusTree(BPlusTree&& other) noexcept
+    : fanout_(other.fanout_),
+      root_(other.root_),
+      size_(other.size_),
+      node_count_(other.node_count_) {
+  other.root_ = nullptr;
+  other.size_ = 0;
+  other.node_count_ = 0;
+}
+
+BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
+  if (this != &other) {
+    FreeTree(root_);
+    fanout_ = other.fanout_;
+    root_ = other.root_;
+    size_ = other.size_;
+    node_count_ = other.node_count_;
+    other.root_ = nullptr;
+    other.size_ = 0;
+    other.node_count_ = 0;
+  }
+  return *this;
+}
+
+BPlusTree::Node* BPlusTree::NewLeaf() {
+  Node* n = new Node();
+  n->leaf = true;
+  n->keys.reserve(fanout_);
+  n->values.reserve(fanout_);
+  ++node_count_;
+  return n;
+}
+
+BPlusTree::Node* BPlusTree::NewInner() {
+  Node* n = new Node();
+  n->leaf = false;
+  n->keys.reserve(fanout_);
+  n->children.reserve(fanout_ + 1);
+  ++node_count_;
+  return n;
+}
+
+void BPlusTree::FreeTree(Node* n) {
+  if (n == nullptr) return;
+  if (!n->leaf) {
+    for (Node* c : n->children) FreeTree(c);
+  }
+  delete n;
+}
+
+namespace {
+
+/// Index of the first key > `key` (inner-node child selection).
+uint32_t UpperBoundIdx(const std::vector<uint64_t>& keys, uint64_t key) {
+  return static_cast<uint32_t>(
+      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+/// Index of the first key >= `key`.
+uint32_t LowerBoundIdx(const std::vector<uint64_t>& keys, uint64_t key) {
+  return static_cast<uint32_t>(
+      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+}
+
+}  // namespace
+
+BPlusTree::SplitResult BPlusTree::InsertRec(Node* n, uint64_t key,
+                                            uint64_t value) {
+  if (n->leaf) {
+    uint32_t pos = LowerBoundIdx(n->keys, key);
+    if (pos < n->count && n->keys[pos] == key) {
+      n->values[pos] = value;  // overwrite
+      return SplitResult{};
+    }
+    n->keys.insert(n->keys.begin() + pos, key);
+    n->values.insert(n->values.begin() + pos, value);
+    ++n->count;
+    ++size_;
+    if (n->count <= fanout_) return SplitResult{};
+
+    // Split the leaf in half; right node is chained after the left.
+    Node* right = NewLeaf();
+    const uint32_t half = n->count / 2;
+    right->keys.assign(n->keys.begin() + half, n->keys.end());
+    right->values.assign(n->values.begin() + half, n->values.end());
+    right->count = n->count - half;
+    n->keys.resize(half);
+    n->values.resize(half);
+    n->count = half;
+    right->next = n->next;
+    n->next = right;
+    return SplitResult{true, right->keys[0], right};
+  }
+
+  const uint32_t child_idx = UpperBoundIdx(n->keys, key);
+  SplitResult child_split = InsertRec(n->children[child_idx], key, value);
+  if (!child_split.split) return SplitResult{};
+
+  n->keys.insert(n->keys.begin() + child_idx, child_split.sep_key);
+  n->children.insert(n->children.begin() + child_idx + 1, child_split.right);
+  ++n->count;
+  if (n->count <= fanout_) return SplitResult{};
+
+  // Split the inner node; the middle key moves up.
+  Node* right = NewInner();
+  const uint32_t mid = n->count / 2;
+  const uint64_t up_key = n->keys[mid];
+  right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
+  right->children.assign(n->children.begin() + mid + 1, n->children.end());
+  right->count = n->count - mid - 1;
+  n->keys.resize(mid);
+  n->children.resize(mid + 1);
+  n->count = mid;
+  return SplitResult{true, up_key, right};
+}
+
+void BPlusTree::Insert(uint64_t key, uint64_t value) {
+  SplitResult split = InsertRec(root_, key, value);
+  if (split.split) {
+    Node* new_root = NewInner();
+    new_root->keys.push_back(split.sep_key);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    new_root->count = 1;
+    root_ = new_root;
+  }
+}
+
+const BPlusTree::Node* BPlusTree::FindLeaf(uint64_t key) const {
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[UpperBoundIdx(n->keys, key)];
+  }
+  return n;
+}
+
+bool BPlusTree::Find(uint64_t key, uint64_t* value) const {
+  const Node* leaf = FindLeaf(key);
+  uint32_t pos = LowerBoundIdx(leaf->keys, key);
+  if (pos < leaf->count && leaf->keys[pos] == key) {
+    *value = leaf->values[pos];
+    return true;
+  }
+  return false;
+}
+
+uint64_t BPlusTree::RangeScan(uint64_t lo, uint64_t hi,
+                              std::vector<uint64_t>* out) const {
+  uint64_t count = 0;
+  const Node* leaf = FindLeaf(lo);
+  uint32_t pos = LowerBoundIdx(leaf->keys, lo);
+  while (leaf != nullptr) {
+    for (; pos < leaf->count; ++pos) {
+      if (leaf->keys[pos] > hi) return count;
+      out->push_back(leaf->values[pos]);
+      ++count;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return count;
+}
+
+Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
+                                      const std::vector<uint64_t>& values,
+                                      uint32_t fanout) {
+  if (keys.size() != values.size()) {
+    return Status::InvalidArgument("keys/values size mismatch");
+  }
+  for (size_t i = 1; i < keys.size(); ++i) {
+    if (keys[i - 1] >= keys[i]) {
+      return Status::InvalidArgument("keys must be strictly increasing");
+    }
+  }
+  BPlusTree tree(fanout);
+  // Build the leaf level packed full.
+  std::vector<Node*> level;
+  std::vector<uint64_t> seps;  // smallest key of each node except the first
+  size_t i = 0;
+  Node* prev = nullptr;
+  while (i < keys.size()) {
+    Node* leaf = tree.NewLeaf();
+    size_t take = std::min<size_t>(fanout, keys.size() - i);
+    leaf->keys.assign(keys.begin() + i, keys.begin() + i + take);
+    leaf->values.assign(values.begin() + i, values.begin() + i + take);
+    leaf->count = static_cast<uint32_t>(take);
+    if (prev != nullptr) prev->next = leaf;
+    if (!level.empty()) seps.push_back(leaf->keys[0]);
+    level.push_back(leaf);
+    prev = leaf;
+    i += take;
+  }
+  if (level.empty()) {
+    return tree;  // keeps the default empty-leaf root
+  }
+  tree.FreeTree(tree.root_);
+  --tree.node_count_;
+  tree.size_ = keys.size();
+
+  // Build inner levels bottom-up.
+  while (level.size() > 1) {
+    std::vector<Node*> parents;
+    std::vector<uint64_t> parent_seps;
+    size_t c = 0;
+    while (c < level.size()) {
+      Node* inner = tree.NewInner();
+      size_t take_children = std::min<size_t>(fanout + 1, level.size() - c);
+      // Avoid leaving a lone child for the final parent.
+      if (level.size() - c - take_children == 1) --take_children;
+      for (size_t k = 0; k < take_children; ++k) {
+        inner->children.push_back(level[c + k]);
+        if (k > 0) inner->keys.push_back(seps[c + k - 1]);
+      }
+      inner->count = static_cast<uint32_t>(inner->keys.size());
+      if (!parents.empty()) parent_seps.push_back(seps[c - 1]);
+      parents.push_back(inner);
+      c += take_children;
+    }
+    level = std::move(parents);
+    seps = std::move(parent_seps);
+  }
+  tree.root_ = level[0];
+  return tree;
+}
+
+uint32_t BPlusTree::height() const {
+  uint32_t h = 1;
+  const Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[0];
+    ++h;
+  }
+  return h;
+}
+
+uint64_t BPlusTree::MemoryBytes() const {
+  // Approximation: per-node key/value/child storage at capacity.
+  return node_count_ * (sizeof(Node) + fanout_ * 2 * sizeof(uint64_t) +
+                        (fanout_ + 1) * sizeof(Node*));
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,87 @@
+#include "hwstar/ops/concurrent_hash_table.h"
+
+#include "hwstar/common/bits.h"
+
+namespace hwstar::ops {
+
+ConcurrentHashTable::ConcurrentHashTable(uint64_t expected,
+                                         double load_factor) {
+  HWSTAR_CHECK(load_factor > 0.0 && load_factor < 1.0);
+  uint64_t min_cap = static_cast<uint64_t>(
+      static_cast<double>(expected < 1 ? 1 : expected) / load_factor);
+  uint64_t cap = bits::NextPowerOfTwo(min_cap < 8 ? 8 : min_cap);
+  keys_ = std::vector<std::atomic<uint64_t>>(cap);
+  values_ = std::vector<std::atomic<uint64_t>>(cap);
+  for (uint64_t i = 0; i < cap; ++i) {
+    keys_[i].store(kEmpty, std::memory_order_relaxed);
+  }
+  mask_ = cap - 1;
+  shift_ = 64 - bits::Log2Floor(cap);
+}
+
+void ConcurrentHashTable::Insert(uint64_t key, uint64_t value) {
+  HWSTAR_DCHECK(key != kEmpty);
+  uint64_t slot = HomeSlot(key);
+  for (;;) {
+    uint64_t expected = kEmpty;
+    if (keys_[slot].load(std::memory_order_acquire) == kEmpty &&
+        keys_[slot].compare_exchange_strong(expected, key,
+                                            std::memory_order_acq_rel)) {
+      // Slot claimed; publish the value. Readers that race with in-flight
+      // builds may see a claimed key before its value -- the contract is
+      // reads happen after the build completes.
+      values_[slot].store(value, std::memory_order_release);
+      return;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+uint64_t ConcurrentHashTable::CountMatches(uint64_t key) const {
+  uint64_t slot = HomeSlot(key);
+  uint64_t matches = 0;
+  for (;;) {
+    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+    if (k == kEmpty) return matches;
+    matches += k == key;
+    slot = (slot + 1) & mask_;
+  }
+}
+
+uint64_t ConcurrentHashTable::size() const {
+  uint64_t count = 0;
+  for (const auto& k : keys_) {
+    count += k.load(std::memory_order_relaxed) != kEmpty;
+  }
+  return count;
+}
+
+uint32_t ConcurrentHashTable::Probe(
+    uint64_t key, const std::function<void(uint64_t)>& fn) const {
+  uint64_t slot = HomeSlot(key);
+  uint32_t matches = 0;
+  for (;;) {
+    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+    if (k == kEmpty) return matches;
+    if (k == key) {
+      fn(values_[slot].load(std::memory_order_acquire));
+      ++matches;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+bool ConcurrentHashTable::Find(uint64_t key, uint64_t* value) const {
+  uint64_t slot = HomeSlot(key);
+  for (;;) {
+    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+    if (k == kEmpty) return false;
+    if (k == key) {
+      *value = values_[slot].load(std::memory_order_acquire);
+      return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+}
+
+}  // namespace hwstar::ops

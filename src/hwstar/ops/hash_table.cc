@@ -1,0 +1,156 @@
+#include "hwstar/ops/hash_table.h"
+
+#include "hwstar/common/bits.h"
+
+namespace hwstar::ops {
+
+LinearProbeTable::LinearProbeTable(uint64_t expected, double load_factor) {
+  HWSTAR_CHECK(load_factor > 0.0 && load_factor < 1.0);
+  uint64_t min_cap = static_cast<uint64_t>(
+      static_cast<double>(expected < 1 ? 1 : expected) / load_factor);
+  uint64_t cap = bits::NextPowerOfTwo(min_cap < 8 ? 8 : min_cap);
+  keys_.assign(cap, kEmpty);
+  values_.assign(cap, 0);
+  mask_ = cap - 1;
+  shift_ = 64 - bits::Log2Floor(cap);
+}
+
+void LinearProbeTable::Insert(uint64_t key, uint64_t value) {
+  HWSTAR_DCHECK(key != kEmpty);
+  HWSTAR_CHECK(size_ < capacity());  // table never fills completely
+  uint64_t slot = HomeSlot(key);
+  while (keys_[slot] != kEmpty) {
+    slot = (slot + 1) & mask_;
+  }
+  keys_[slot] = key;
+  values_[slot] = value;
+  ++size_;
+}
+
+uint32_t LinearProbeTable::Probe(
+    uint64_t key, const std::function<void(uint64_t)>& fn) const {
+  uint64_t slot = HomeSlot(key);
+  uint32_t matches = 0;
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == key) {
+      fn(values_[slot]);
+      ++matches;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return matches;
+}
+
+bool LinearProbeTable::Find(uint64_t key, uint64_t* out) const {
+  uint64_t slot = HomeSlot(key);
+  while (keys_[slot] != kEmpty) {
+    if (keys_[slot] == key) {
+      *out = values_[slot];
+      return true;
+    }
+    slot = (slot + 1) & mask_;
+  }
+  return false;
+}
+
+uint64_t LinearProbeTable::CountMatchesBatch(const uint64_t* keys, uint64_t n,
+                                             uint32_t prefetch_distance) const {
+  uint64_t matches = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    if (prefetch_distance != 0 && i + prefetch_distance < n) {
+      const uint64_t ahead = HomeSlot(keys[i + prefetch_distance]);
+      HWSTAR_PREFETCH(&keys_[ahead]);
+    }
+    matches += CountMatches(keys[i]);
+  }
+  return matches;
+}
+
+double LinearProbeTable::MeasureAvgProbeLength(
+    const std::vector<uint64_t>& sample) const {
+  if (sample.empty()) return 0.0;
+  uint64_t steps = 0;
+  for (uint64_t key : sample) {
+    uint64_t slot = HomeSlot(key);
+    while (keys_[slot] != kEmpty) {
+      ++steps;
+      slot = (slot + 1) & mask_;
+    }
+    ++steps;  // terminating empty slot
+  }
+  return static_cast<double>(steps) / static_cast<double>(sample.size());
+}
+
+ChainedTable::ChainedTable(uint64_t expected_buckets) {
+  uint64_t cap =
+      bits::NextPowerOfTwo(expected_buckets < 8 ? 8 : expected_buckets);
+  buckets_.assign(cap, -1);
+  mask_ = cap - 1;
+  shift_ = 64 - bits::Log2Floor(cap);
+}
+
+void ChainedTable::Insert(uint64_t key, uint64_t value) {
+  uint64_t b = HomeSlot(key);
+  nodes_.push_back(Node{key, value, buckets_[b]});
+  buckets_[b] = static_cast<int64_t>(nodes_.size() - 1);
+  ++size_;
+}
+
+uint32_t ChainedTable::Probe(uint64_t key,
+                             const std::function<void(uint64_t)>& fn) const {
+  uint64_t b = HomeSlot(key);
+  uint32_t matches = 0;
+  for (int64_t n = buckets_[b]; n >= 0;
+       n = nodes_[static_cast<size_t>(n)].next) {
+    const Node& node = nodes_[static_cast<size_t>(n)];
+    if (node.key == key) {
+      fn(node.value);
+      ++matches;
+    }
+  }
+  return matches;
+}
+
+uint32_t ChainedTable::CountMatches(uint64_t key) const {
+  uint64_t b = HomeSlot(key);
+  uint32_t matches = 0;
+  for (int64_t n = buckets_[b]; n >= 0;
+       n = nodes_[static_cast<size_t>(n)].next) {
+    matches += nodes_[static_cast<size_t>(n)].key == key;
+  }
+  return matches;
+}
+
+bool ChainedTable::Find(uint64_t key, uint64_t* out) const {
+  uint64_t b = HomeSlot(key);
+  for (int64_t n = buckets_[b]; n >= 0;
+       n = nodes_[static_cast<size_t>(n)].next) {
+    const Node& node = nodes_[static_cast<size_t>(n)];
+    if (node.key == key) {
+      *out = node.value;
+      return true;
+    }
+  }
+  return false;
+}
+
+double ChainedTable::MeasureAvgProbeLength(
+    const std::vector<uint64_t>& sample) const {
+  if (sample.empty()) return 0.0;
+  uint64_t steps = 0;
+  for (uint64_t key : sample) {
+    uint64_t b = HomeSlot(key);
+    for (int64_t n = buckets_[b]; n >= 0;
+         n = nodes_[static_cast<size_t>(n)].next) {
+      ++steps;
+    }
+    ++steps;  // bucket-head inspection
+  }
+  return static_cast<double>(steps) / static_cast<double>(sample.size());
+}
+
+uint64_t ChainedTable::MemoryBytes() const {
+  return buckets_.size() * sizeof(int64_t) + nodes_.size() * sizeof(Node);
+}
+
+}  // namespace hwstar::ops

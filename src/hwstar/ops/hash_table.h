@@ -1,0 +1,121 @@
+#ifndef HWSTAR_OPS_HASH_TABLE_H_
+#define HWSTAR_OPS_HASH_TABLE_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "hwstar/common/hash.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+/// Open-addressing hash table with linear probing, 16-byte slots
+/// (key+value), power-of-two capacity. Duplicate keys are supported
+/// (each insert takes a slot); lookups visit the whole chain. The layout
+/// choice -- one flat array, no pointers -- is the hardware-conscious one:
+/// a probe touches one or two consecutive cache lines instead of chasing
+/// a chain across the heap.
+class LinearProbeTable {
+ public:
+  /// Sentinel marking an empty slot; the key value ~0 cannot be inserted.
+  static constexpr uint64_t kEmpty = ~uint64_t{0};
+
+  /// `expected` entries at `load_factor` determine the capacity
+  /// (power-of-two).
+  explicit LinearProbeTable(uint64_t expected, double load_factor = 0.5);
+
+  /// Inserts key->value; keys may repeat. No resizing (capacity is sized
+  /// up front, as join builds know their input cardinality).
+  void Insert(uint64_t key, uint64_t value);
+
+  /// Invokes fn(value) for every entry matching key; returns match count.
+  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const;
+
+  /// Counts matches without a callback. This is the join hot path: no
+  /// statistics are recorded so it is safe to call concurrently from many
+  /// probe threads (the table itself is read-only here).
+  HWSTAR_ALWAYS_INLINE uint32_t CountMatches(uint64_t key) const {
+    uint64_t slot = HomeSlot(key);
+    uint32_t matches = 0;
+    while (keys_[slot] != kEmpty) {
+      matches += keys_[slot] == key;
+      slot = (slot + 1) & mask_;
+    }
+    return matches;
+  }
+
+  /// Batch counting probe with software prefetching: the home slot of the
+  /// key `distance` positions ahead is prefetched before the current key
+  /// is processed, so independent misses overlap explicitly instead of
+  /// relying on the out-of-order window (group prefetching / AMAC-lite).
+  /// distance == 0 degenerates to a plain loop. Returns total matches.
+  uint64_t CountMatchesBatch(const uint64_t* keys, uint64_t n,
+                             uint32_t prefetch_distance = 8) const;
+
+  /// Diagnostic: average probe chain length over a sample of keys.
+  /// Single-threaded; does not perturb stats().
+  double MeasureAvgProbeLength(const std::vector<uint64_t>& sample) const;
+
+  /// Returns the first matching value through `out`; false when absent.
+  bool Find(uint64_t key, uint64_t* out) const;
+
+  uint64_t capacity() const { return mask_ + 1; }
+  uint64_t size() const { return size_; }
+  uint64_t MemoryBytes() const {
+    return capacity() * (sizeof(uint64_t) * 2);
+  }
+
+ private:
+  /// Home slot of a key: the HIGH bits of the hash. The radix join
+  /// partitions by the LOW hash bits, so using the high bits here keeps
+  /// slot placement independent of partition membership -- otherwise all
+  /// keys of one partition would pile into a handful of slots.
+  uint64_t HomeSlot(uint64_t key) const { return Mix64(key) >> shift_; }
+
+  std::vector<uint64_t> keys_;
+  std::vector<uint64_t> values_;
+  uint64_t mask_;
+  uint32_t shift_;
+  uint64_t size_ = 0;
+};
+
+/// Chained (bucket + linked list) hash table: the textbook,
+/// hardware-oblivious baseline. Every probe step dereferences a node
+/// pointer, i.e., a dependent cache miss once out of cache.
+class ChainedTable {
+ public:
+  explicit ChainedTable(uint64_t expected_buckets);
+
+  void Insert(uint64_t key, uint64_t value);
+  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const;
+  uint32_t CountMatches(uint64_t key) const;
+  bool Find(uint64_t key, uint64_t* out) const;
+
+  /// Diagnostic: average chain length over a sample of keys.
+  double MeasureAvgProbeLength(const std::vector<uint64_t>& sample) const;
+
+  uint64_t size() const { return size_; }
+  uint64_t MemoryBytes() const;
+
+ private:
+  struct Node {
+    uint64_t key;
+    uint64_t value;
+    int64_t next;  // index into nodes_, -1 terminates
+  };
+
+  /// High hash bits, for the same partition-independence reason as
+  /// LinearProbeTable::HomeSlot.
+  uint64_t HomeSlot(uint64_t key) const { return Mix64(key) >> shift_; }
+
+  std::vector<int64_t> buckets_;  // head index or -1
+  std::vector<Node> nodes_;
+  uint64_t mask_;
+  uint32_t shift_;
+  uint64_t size_ = 0;
+};
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_HASH_TABLE_H_

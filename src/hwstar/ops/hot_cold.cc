@@ -1,0 +1,98 @@
+#include "hwstar/ops/hot_cold.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+ExponentialSmoothingEstimator::ExponentialSmoothingEstimator(
+    double alpha, uint32_t sample_rate_permille)
+    : alpha_(alpha),
+      one_minus_alpha_(1.0 - alpha),
+      sample_rate_permille_(sample_rate_permille) {
+  HWSTAR_CHECK(alpha > 0.0 && alpha < 1.0);
+  HWSTAR_CHECK(sample_rate_permille >= 1 && sample_rate_permille <= 1000);
+}
+
+double ExponentialSmoothingEstimator::Decayed(const KeyState& s,
+                                              uint64_t now) const {
+  if (now <= s.last_time) return s.estimate;
+  return s.estimate *
+         std::pow(one_minus_alpha_, static_cast<double>(now - s.last_time));
+}
+
+void ExponentialSmoothingEstimator::Record(uint64_t key, uint64_t now) {
+  // Deterministic 1-in-N sampling (every access advances the counter so
+  // sampled estimates stay unbiased in expectation).
+  ++counter_;
+  if (sample_rate_permille_ < 1000 &&
+      (counter_ * sample_rate_permille_) % 1000 >= sample_rate_permille_) {
+    return;
+  }
+  KeyState& s = state_[key];
+  s.estimate = Decayed(s, now) + alpha_;
+  s.last_time = now;
+}
+
+double ExponentialSmoothingEstimator::Estimate(uint64_t key,
+                                               uint64_t now) const {
+  auto it = state_.find(key);
+  if (it == state_.end()) return 0.0;
+  return Decayed(it->second, now);
+}
+
+std::vector<uint64_t> ExponentialSmoothingEstimator::TopK(uint64_t k,
+                                                          uint64_t now) const {
+  std::vector<std::pair<double, uint64_t>> scored;
+  scored.reserve(state_.size());
+  for (const auto& [key, s] : state_) {
+    scored.emplace_back(Decayed(s, now), key);
+  }
+  const uint64_t take = std::min<uint64_t>(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + take, scored.end(),
+                    [](const auto& a, const auto& b) {
+                      return a.first > b.first ||
+                             (a.first == b.first && a.second < b.second);
+                    });
+  std::vector<uint64_t> out;
+  out.reserve(take);
+  for (uint64_t i = 0; i < take; ++i) out.push_back(scored[i].second);
+  return out;
+}
+
+LruTracker::LruTracker(uint64_t capacity) : capacity_(capacity) {
+  HWSTAR_CHECK(capacity >= 1);
+}
+
+bool LruTracker::Access(uint64_t key) {
+  auto it = where_.find(key);
+  if (it != where_.end()) {
+    order_.erase(it->second);
+    order_.push_front(key);
+    it->second = order_.begin();
+    ++hits_;
+    return true;
+  }
+  ++misses_;
+  order_.push_front(key);
+  where_[key] = order_.begin();
+  if (order_.size() > capacity_) {
+    where_.erase(order_.back());
+    order_.pop_back();
+  }
+  return false;
+}
+
+double FixedSetHitRate(const std::vector<uint64_t>& hot_set,
+                       const std::vector<uint64_t>& trace) {
+  if (trace.empty()) return 0.0;
+  std::unordered_set<uint64_t> hot(hot_set.begin(), hot_set.end());
+  uint64_t hits = 0;
+  for (uint64_t key : trace) hits += hot.count(key);
+  return static_cast<double>(hits) / static_cast<double>(trace.size());
+}
+
+}  // namespace hwstar::ops

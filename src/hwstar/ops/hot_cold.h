@@ -1,0 +1,90 @@
+#ifndef HWSTAR_OPS_HOT_COLD_H_
+#define HWSTAR_OPS_HOT_COLD_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// Exponential-smoothing access-frequency estimator (Levandoski et al.,
+/// "Identifying hot and cold data in main-memory databases", the same
+/// ICDE 2013 proceedings as the keynote): instead of maintaining an
+/// in-line LRU chain on every access, record (a sample of) the access log
+/// and estimate per-record frequencies offline as
+///   est = sum over accesses of alpha * (1-alpha)^(now - t).
+/// The estimator then nominates the top-K records as the hot set for
+/// memory residency; everything else can live on flash.
+class ExponentialSmoothingEstimator {
+ public:
+  /// `alpha` is the smoothing constant in (0, 1); the estimator's memory
+  /// half-life is ~0.69/alpha logical time units, so pick alpha around
+  /// 1/window for a window of interest (e.g., 1e-5 for a 100K-access
+  /// window). `sample_rate_permille` keeps only ~N/1000 of accesses
+  /// (deterministic log sampling).
+  explicit ExponentialSmoothingEstimator(double alpha = 1e-4,
+                                         uint32_t sample_rate_permille = 1000);
+
+  /// Records one access of `key` at logical time `now` (monotone).
+  void Record(uint64_t key, uint64_t now);
+
+  /// Estimated frequency of a key at time `now` (0 for never-seen keys).
+  double Estimate(uint64_t key, uint64_t now) const;
+
+  /// The K keys with the highest estimates at time `now`, hottest first.
+  std::vector<uint64_t> TopK(uint64_t k, uint64_t now) const;
+
+  size_t tracked_keys() const { return state_.size(); }
+
+ private:
+  struct KeyState {
+    double estimate = 0;     // decayed to last_time
+    uint64_t last_time = 0;
+  };
+
+  double Decayed(const KeyState& s, uint64_t now) const;
+
+  double alpha_;
+  double one_minus_alpha_;
+  uint32_t sample_rate_permille_;
+  uint64_t counter_ = 0;  // for deterministic sampling
+  std::unordered_map<uint64_t, KeyState> state_;
+};
+
+/// Plain LRU cache of keys (the oblivious baseline the estimator is
+/// compared against in E13): tracks which keys would be memory-resident
+/// under least-recently-used replacement with `capacity` slots.
+class LruTracker {
+ public:
+  explicit LruTracker(uint64_t capacity);
+
+  /// Touches a key; returns true if it was resident (hit).
+  bool Access(uint64_t key);
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+  double hit_rate() const {
+    const uint64_t total = hits_ + misses_;
+    return total == 0 ? 0.0
+                      : static_cast<double>(hits_) / static_cast<double>(total);
+  }
+  void ResetStats() { hits_ = misses_ = 0; }
+
+ private:
+  uint64_t capacity_;
+  std::list<uint64_t> order_;  // front = most recent
+  std::unordered_map<uint64_t, std::list<uint64_t>::iterator> where_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+};
+
+/// Hit rate of a *fixed* hot set over an access trace: the metric that
+/// compares classifier quality independent of replacement mechanics.
+double FixedSetHitRate(const std::vector<uint64_t>& hot_set,
+                       const std::vector<uint64_t>& trace);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_HOT_COLD_H_

@@ -1,0 +1,121 @@
+#include "hwstar/ops/join_nop.h"
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "hwstar/exec/morsel.h"
+#include "hwstar/ops/bloom_filter.h"
+#include "hwstar/ops/concurrent_hash_table.h"
+
+namespace hwstar::ops {
+
+namespace {
+
+/// Shared probe driver over any table with CountMatches/Probe. `bloom`
+/// (optional) rejects definite non-matches before the table is touched.
+template <typename Table>
+JoinResult ProbeAll(const Table& table, const Relation& probe,
+                    const NoPartitionJoinOptions& options,
+                    const BlockedBloomFilter* bloom) {
+  JoinResult result;
+  const uint64_t n = probe.size();
+  if (options.pool == nullptr) {
+    if (options.materialize) {
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t key = probe.keys[i];
+        if (bloom != nullptr && !bloom->MayContain(key)) continue;
+        const uint64_t payload = probe.payloads[i];
+        result.matches += table.Probe(key, [&](uint64_t build_payload) {
+          result.pairs.push_back(JoinPair{build_payload, payload});
+        });
+      }
+    } else {
+      for (uint64_t i = 0; i < n; ++i) {
+        const uint64_t key = probe.keys[i];
+        if (bloom != nullptr && !bloom->MayContain(key)) continue;
+        result.matches += table.CountMatches(key);
+      }
+    }
+    return result;
+  }
+
+  // Parallel probe: the table is read-only, so workers only synchronize on
+  // output.
+  std::atomic<uint64_t> matches{0};
+  std::mutex pairs_mutex;
+  exec::ParallelForMorsels(
+      options.pool, n, 1 << 14,
+      [&](uint32_t /*worker*/, exec::Morsel m) {
+        uint64_t local_matches = 0;
+        std::vector<JoinPair> local_pairs;
+        for (uint64_t i = m.begin; i < m.end; ++i) {
+          const uint64_t key = probe.keys[i];
+          if (bloom != nullptr && !bloom->MayContain(key)) continue;
+          if (options.materialize) {
+            const uint64_t payload = probe.payloads[i];
+            local_matches += table.Probe(key, [&](uint64_t build_payload) {
+              local_pairs.push_back(JoinPair{build_payload, payload});
+            });
+          } else {
+            local_matches += table.CountMatches(key);
+          }
+        }
+        matches.fetch_add(local_matches, std::memory_order_relaxed);
+        if (!local_pairs.empty()) {
+          std::lock_guard<std::mutex> lock(pairs_mutex);
+          result.pairs.insert(result.pairs.end(), local_pairs.begin(),
+                              local_pairs.end());
+        }
+      });
+  result.matches = matches.load(std::memory_order_relaxed);
+  return result;
+}
+
+}  // namespace
+
+JoinResult NoPartitionHashJoin(const Relation& build, const Relation& probe,
+                               const NoPartitionJoinOptions& options) {
+  std::unique_ptr<BlockedBloomFilter> bloom;
+  if (options.use_bloom) {
+    bloom = std::make_unique<BlockedBloomFilter>(build.size(),
+                                                 options.bloom_bits_per_key);
+    // The Bloom filter is not thread-safe; populate it up front.
+    for (uint64_t i = 0; i < build.size(); ++i) bloom->Add(build.keys[i]);
+  }
+
+  if (options.parallel_build && options.pool != nullptr) {
+    ConcurrentHashTable table(build.size(), options.load_factor);
+    exec::ParallelForMorsels(
+        options.pool, build.size(), 1 << 14,
+        [&](uint32_t /*worker*/, exec::Morsel m) {
+          for (uint64_t i = m.begin; i < m.end; ++i) {
+            table.Insert(build.keys[i], build.payloads[i]);
+          }
+        });
+    return ProbeAll(table, probe, options, bloom.get());
+  }
+
+  LinearProbeTable table(build.size(), options.load_factor);
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    table.Insert(build.keys[i], build.payloads[i]);
+  }
+  return ProbeAll(table, probe, options, bloom.get());
+}
+
+JoinResult NoPartitionChainedJoin(const Relation& build, const Relation& probe,
+                                  const NoPartitionJoinOptions& options) {
+  ChainedTable table(build.size());
+  std::unique_ptr<BlockedBloomFilter> bloom;
+  if (options.use_bloom) {
+    bloom = std::make_unique<BlockedBloomFilter>(build.size(),
+                                                 options.bloom_bits_per_key);
+  }
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    table.Insert(build.keys[i], build.payloads[i]);
+    if (bloom) bloom->Add(build.keys[i]);
+  }
+  return ProbeAll(table, probe, options, bloom.get());
+}
+
+}  // namespace hwstar::ops

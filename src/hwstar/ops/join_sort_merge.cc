@@ -1,0 +1,47 @@
+#include "hwstar/ops/join_sort_merge.h"
+
+#include "hwstar/ops/sort.h"
+
+namespace hwstar::ops {
+
+JoinResult SortMergeJoin(const Relation& build, const Relation& probe,
+                         const SortMergeJoinOptions& options) {
+  Relation r = build;
+  Relation s = probe;
+  if (!options.inputs_sorted) {
+    RadixSortRelation(&r);
+    RadixSortRelation(&s);
+  }
+
+  JoinResult result;
+  const uint64_t nr = r.size(), ns = s.size();
+  uint64_t i = 0, j = 0;
+  while (i < nr && j < ns) {
+    const uint64_t rk = r.keys[i], sk = s.keys[j];
+    if (rk < sk) {
+      ++i;
+    } else if (rk > sk) {
+      ++j;
+    } else {
+      // Key groups on both sides: emit the cross product.
+      uint64_t i_end = i;
+      while (i_end < nr && r.keys[i_end] == rk) ++i_end;
+      uint64_t j_end = j;
+      while (j_end < ns && s.keys[j_end] == rk) ++j_end;
+      const uint64_t group = (i_end - i) * (j_end - j);
+      result.matches += group;
+      if (options.materialize) {
+        for (uint64_t a = i; a < i_end; ++a) {
+          for (uint64_t b = j; b < j_end; ++b) {
+            result.pairs.push_back(JoinPair{r.payloads[a], s.payloads[b]});
+          }
+        }
+      }
+      i = i_end;
+      j = j_end;
+    }
+  }
+  return result;
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,25 @@
+#ifndef HWSTAR_OPS_JOIN_SORT_MERGE_H_
+#define HWSTAR_OPS_JOIN_SORT_MERGE_H_
+
+#include "hwstar/ops/relation.h"
+
+namespace hwstar::ops {
+
+/// Options for the sort-merge join.
+struct SortMergeJoinOptions {
+  bool materialize = false;
+  bool inputs_sorted = false;  ///< skip the sort phase when pre-sorted
+};
+
+/// Sort-merge equi-join: radix-sorts both relations by key, then merges.
+/// The third contender in the main-memory join debate: all its memory
+/// traffic is sequential (sort passes + one merge scan), trading more total
+/// work for prefetcher-friendly access. Wins once wide SIMD/merge hardware
+/// or pre-sorted inputs tip the balance -- which E2 can show by setting
+/// inputs_sorted.
+JoinResult SortMergeJoin(const Relation& build, const Relation& probe,
+                         const SortMergeJoinOptions& options = {});
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_JOIN_SORT_MERGE_H_

@@ -1,0 +1,99 @@
+#include "hwstar/ops/merge.h"
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+LoserTreeMerger::LoserTreeMerger(std::vector<std::span<const uint64_t>> runs)
+    : runs_(std::move(runs)) {
+  k_ = static_cast<uint32_t>(
+      bits::NextPowerOfTwo(runs_.size() < 2 ? 2 : runs_.size()));
+  cursor_.assign(runs_.size(), 0);
+  for (const auto& r : runs_) remaining_ += r.size();
+
+  // Initialize: run the full tournament once. tree_ holds, for each
+  // internal node, the *loser* leaf index of the match played there;
+  // tree_[0] holds the overall winner.
+  tree_.assign(k_, 0);
+  // Compute winners bottom-up over a temporary bracket.
+  std::vector<uint32_t> winners(2 * k_);
+  for (uint32_t leaf = 0; leaf < k_; ++leaf) winners[k_ + leaf] = leaf;
+  for (uint32_t node = k_ - 1; node >= 1; --node) {
+    const uint32_t a = winners[2 * node];
+    const uint32_t b = winners[2 * node + 1];
+    const bool a_wins = HeadOf(a) <= HeadOf(b);
+    winners[node] = a_wins ? a : b;
+    tree_[node] = a_wins ? b : a;  // store the loser
+  }
+  tree_[0] = winners[1];
+}
+
+uint64_t LoserTreeMerger::HeadOf(uint32_t r) const {
+  if (r >= runs_.size() || cursor_[r] >= runs_[r].size()) return kSentinel;
+  return runs_[r][cursor_[r]];
+}
+
+void LoserTreeMerger::Replay(uint32_t r) {
+  // Walk from leaf r to the root, playing matches against stored losers.
+  uint32_t winner = r;
+  for (uint32_t node = (k_ + r) / 2; node >= 1; node /= 2) {
+    const uint32_t opponent = tree_[node];
+    if (HeadOf(opponent) < HeadOf(winner)) {
+      tree_[node] = winner;
+      winner = opponent;
+    }
+  }
+  tree_[0] = winner;
+}
+
+uint64_t LoserTreeMerger::Next() {
+  HWSTAR_DCHECK(HasNext());
+  const uint32_t w = tree_[0];
+  const uint64_t value = HeadOf(w);
+  HWSTAR_DCHECK(value != kSentinel);
+  ++cursor_[w];
+  --remaining_;
+  Replay(w);
+  return value;
+}
+
+std::vector<uint64_t> MergeSortedRuns(
+    const std::vector<std::vector<uint64_t>>& runs) {
+  std::vector<std::span<const uint64_t>> spans;
+  spans.reserve(runs.size());
+  for (const auto& r : runs) spans.emplace_back(r.data(), r.size());
+  LoserTreeMerger merger(std::move(spans));
+  std::vector<uint64_t> out;
+  out.reserve(merger.remaining());
+  while (merger.HasNext()) out.push_back(merger.Next());
+  return out;
+}
+
+std::vector<uint64_t> MergeSortedRunsLinear(
+    const std::vector<std::vector<uint64_t>>& runs) {
+  std::vector<uint64_t> cursor(runs.size(), 0);
+  uint64_t total = 0;
+  for (const auto& r : runs) total += r.size();
+  std::vector<uint64_t> out;
+  out.reserve(total);
+  for (uint64_t produced = 0; produced < total; ++produced) {
+    bool found = false;
+    uint64_t best = 0;
+    size_t best_run = 0;
+    for (size_t r = 0; r < runs.size(); ++r) {
+      if (cursor[r] < runs[r].size() &&
+          (!found || runs[r][cursor[r]] < best)) {
+        found = true;
+        best = runs[r][cursor[r]];
+        best_run = r;
+      }
+    }
+    HWSTAR_DCHECK(found);
+    ++cursor[best_run];
+    out.push_back(best);
+  }
+  return out;
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,61 @@
+#ifndef HWSTAR_OPS_MERGE_H_
+#define HWSTAR_OPS_MERGE_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// K-way merge of sorted runs via a loser tree. The loser tree is the
+/// cache-conscious tournament structure of classical external sorting,
+/// back in fashion for main-memory merge phases: selecting the next
+/// minimum costs exactly ceil(log2(k)) comparisons along one root-to-leaf
+/// path of a *flat array* (no pointers, no branch-heavy heap sift), and
+/// the tree occupies k contiguous slots that stay cache-resident for any
+/// practical fan-in.
+class LoserTreeMerger {
+ public:
+  /// Creates a merger over `runs`; each run must be sorted ascending.
+  /// Empty runs are permitted. The maximum uint64 value (~0) is reserved
+  /// as the exhausted-run sentinel and must not appear in the input.
+  explicit LoserTreeMerger(std::vector<std::span<const uint64_t>> runs);
+
+  /// True while values remain.
+  bool HasNext() const { return remaining_ != 0; }
+
+  /// Pops the global minimum. Must not be called when !HasNext().
+  uint64_t Next();
+
+  /// Remaining value count.
+  uint64_t remaining() const { return remaining_; }
+
+ private:
+  /// Current head value of run r, or kSentinel when exhausted.
+  uint64_t HeadOf(uint32_t r) const;
+  /// Replays the tournament along leaf r's path to the root.
+  void Replay(uint32_t r);
+
+  static constexpr uint64_t kSentinel = ~uint64_t{0};
+
+  std::vector<std::span<const uint64_t>> runs_;
+  std::vector<uint64_t> cursor_;  // next index within each run
+  std::vector<uint32_t> tree_;    // internal nodes: losers; tree_[0] = winner
+  uint32_t k_;                    // padded fan-in (power of two)
+  uint64_t remaining_ = 0;
+};
+
+/// Convenience: merges sorted runs into one sorted vector using the loser
+/// tree.
+std::vector<uint64_t> MergeSortedRuns(
+    const std::vector<std::vector<uint64_t>>& runs);
+
+/// Baseline for the same task: repeated linear scan over run heads
+/// (O(k) per output value; the oblivious implementation a loser tree
+/// replaces).
+std::vector<uint64_t> MergeSortedRunsLinear(
+    const std::vector<std::vector<uint64_t>>& runs);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_MERGE_H_

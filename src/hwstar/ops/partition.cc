@@ -1,0 +1,75 @@
+#include "hwstar/ops/partition.h"
+
+#include <cstring>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/hash.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+namespace {
+
+/// Must match join_radix.cc's PartitionOf so buffered and direct
+/// partitioning interoperate.
+HWSTAR_ALWAYS_INLINE uint64_t PartitionOf(uint64_t key, uint32_t radix_bits,
+                                          uint32_t shift) {
+  return bits::ExtractBits(Mix64(key), shift, radix_bits);
+}
+
+/// Buffer depth: 4 tuples of (key, payload) = 64 bytes, one cache line
+/// per stream for each of keys/payloads.
+constexpr uint32_t kBufferTuples = 4;
+
+}  // namespace
+
+void RadixPartitionBuffered(const Relation& input, uint32_t radix_bits,
+                            uint32_t shift, Relation* output,
+                            std::vector<uint64_t>* offsets) {
+  const uint64_t fanout = uint64_t{1} << radix_bits;
+  const uint64_t n = input.size();
+  offsets->assign(fanout + 1, 0);
+
+  for (uint64_t i = 0; i < n; ++i) {
+    ++(*offsets)[PartitionOf(input.keys[i], radix_bits, shift) + 1];
+  }
+  for (uint64_t p = 1; p <= fanout; ++p) (*offsets)[p] += (*offsets)[p - 1];
+
+  output->keys.resize(n);
+  output->payloads.resize(n);
+  std::vector<uint64_t> cursor(offsets->begin(), offsets->end() - 1);
+
+  // Per-partition staging buffers (contiguous, so the buffer region itself
+  // stays cache-resident at any fan-out up to ~2^16).
+  std::vector<uint64_t> buf_keys(fanout * kBufferTuples);
+  std::vector<uint64_t> buf_payloads(fanout * kBufferTuples);
+  std::vector<uint8_t> buf_fill(fanout, 0);
+
+  auto flush = [&](uint64_t p, uint32_t count) {
+    const uint64_t dst = cursor[p];
+    std::memcpy(output->keys.data() + dst, buf_keys.data() + p * kBufferTuples,
+                count * sizeof(uint64_t));
+    std::memcpy(output->payloads.data() + dst,
+                buf_payloads.data() + p * kBufferTuples,
+                count * sizeof(uint64_t));
+    cursor[p] += count;
+  };
+
+  for (uint64_t i = 0; i < n; ++i) {
+    const uint64_t p = PartitionOf(input.keys[i], radix_bits, shift);
+    const uint32_t fill = buf_fill[p];
+    buf_keys[p * kBufferTuples + fill] = input.keys[i];
+    buf_payloads[p * kBufferTuples + fill] = input.payloads[i];
+    if (fill + 1 == kBufferTuples) {
+      flush(p, kBufferTuples);
+      buf_fill[p] = 0;
+    } else {
+      buf_fill[p] = static_cast<uint8_t>(fill + 1);
+    }
+  }
+  for (uint64_t p = 0; p < fanout; ++p) {
+    if (buf_fill[p] != 0) flush(p, buf_fill[p]);
+  }
+}
+
+}  // namespace hwstar::ops

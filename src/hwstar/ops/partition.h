@@ -1,0 +1,25 @@
+#ifndef HWSTAR_OPS_PARTITION_H_
+#define HWSTAR_OPS_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/ops/relation.h"
+
+namespace hwstar::ops {
+
+/// Software-managed-buffer radix partitioning: instead of scattering each
+/// tuple directly to its partition cursor (touching one distinct output
+/// cache line per tuple, which thrashes the TLB and fill buffers at high
+/// fan-out), tuples are staged in small per-partition buffers sized to one
+/// cache line and flushed in bursts. This is the optimization that makes
+/// single-pass high-fan-out partitioning viable (Balkesen et al.'s
+/// software write-combining); A1 compares it against the direct scatter.
+/// Output is identical (stable within partitions) to RadixPartition.
+void RadixPartitionBuffered(const Relation& input, uint32_t radix_bits,
+                            uint32_t shift, Relation* output,
+                            std::vector<uint64_t>* offsets);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_PARTITION_H_

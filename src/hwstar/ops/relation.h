@@ -1,0 +1,46 @@
+#ifndef HWSTAR_OPS_RELATION_H_
+#define HWSTAR_OPS_RELATION_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// The canonical join-benchmark relation: narrow <key, payload> tuples, as
+/// used throughout the main-memory join literature the paper's argument
+/// builds on. Payloads typically carry a row id so joins can be verified.
+struct Relation {
+  std::vector<uint64_t> keys;
+  std::vector<uint64_t> payloads;
+
+  uint64_t size() const { return keys.size(); }
+  uint64_t bytes() const {
+    return (keys.size() + payloads.size()) * sizeof(uint64_t);
+  }
+  void Reserve(uint64_t n) {
+    keys.reserve(n);
+    payloads.reserve(n);
+  }
+  void Append(uint64_t key, uint64_t payload) {
+    keys.push_back(key);
+    payloads.push_back(payload);
+  }
+};
+
+/// One materialized join match: the payloads of the joined build/probe
+/// tuples.
+struct JoinPair {
+  uint64_t build_payload;
+  uint64_t probe_payload;
+};
+
+/// Output of a join. `matches` is always filled; `pairs` only when the
+/// join ran in materializing mode.
+struct JoinResult {
+  uint64_t matches = 0;
+  std::vector<JoinPair> pairs;
+};
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_RELATION_H_

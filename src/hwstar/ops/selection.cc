@@ -1,0 +1,84 @@
+#include "hwstar/ops/selection.h"
+
+#include <bit>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::ops {
+
+uint64_t SelectBranching(std::span<const int64_t> values, int64_t lo,
+                         int64_t hi, std::vector<uint32_t>* out) {
+  out->clear();
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (values[i] >= lo && values[i] < hi) {
+      out->push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return out->size();
+}
+
+uint64_t SelectBranchFree(std::span<const int64_t> values, int64_t lo,
+                          int64_t hi, std::vector<uint32_t>* out) {
+  out->resize(values.size());
+  uint32_t* dst = out->data();
+  uint64_t k = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    dst[k] = static_cast<uint32_t>(i);
+    k += static_cast<uint64_t>(values[i] >= lo) &
+         static_cast<uint64_t>(values[i] < hi);
+  }
+  out->resize(k);
+  return k;
+}
+
+void BuildSelectionBitmap(std::span<const int64_t> values, int64_t lo,
+                          int64_t hi, std::vector<uint64_t>* bitmap) {
+  const size_t n = values.size();
+  bitmap->assign((n + 63) / 64, 0);
+  uint64_t* words = bitmap->data();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t bit = static_cast<uint64_t>(values[i] >= lo) &
+                         static_cast<uint64_t>(values[i] < hi);
+    words[i >> 6] |= bit << (i & 63);
+  }
+}
+
+uint64_t BitmapToPositions(const std::vector<uint64_t>& bitmap,
+                           uint64_t num_values, std::vector<uint32_t>* out) {
+  out->clear();
+  for (size_t w = 0; w < bitmap.size(); ++w) {
+    uint64_t word = bitmap[w];
+    while (word != 0) {
+      const uint32_t bit = static_cast<uint32_t>(std::countr_zero(word));
+      const uint64_t pos = (static_cast<uint64_t>(w) << 6) | bit;
+      if (pos >= num_values) break;
+      out->push_back(static_cast<uint32_t>(pos));
+      word &= word - 1;
+    }
+  }
+  return out->size();
+}
+
+uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
+                      std::vector<uint32_t>* out) {
+  std::vector<uint64_t> bitmap;
+  BuildSelectionBitmap(values, lo, hi, &bitmap);
+  return BitmapToPositions(bitmap, values.size(), out);
+}
+
+uint64_t CountInRange(std::span<const int64_t> values, int64_t lo,
+                      int64_t hi) {
+  uint64_t count = 0;
+  for (size_t i = 0; i < values.size(); ++i) {
+    count += static_cast<uint64_t>(values[i] >= lo) &
+             static_cast<uint64_t>(values[i] < hi);
+  }
+  return count;
+}
+
+void BitmapAnd(std::vector<uint64_t>* a, const std::vector<uint64_t>& b) {
+  HWSTAR_CHECK(a->size() == b.size());
+  for (size_t i = 0; i < b.size(); ++i) (*a)[i] &= b[i];
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,50 @@
+#ifndef HWSTAR_OPS_SELECTION_H_
+#define HWSTAR_OPS_SELECTION_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// Selection kernels: produce the indices of values in [lo, hi). Three
+/// implementations of identical semantics whose relative performance is
+/// pure microarchitecture -- the E6 experiment. At ~50% selectivity the
+/// branching kernel suffers maximal branch mispredictions; the branch-free
+/// kernel runs at constant throughput; the bitmap kernel trades a second
+/// pass for a compact intermediate that composes with other predicates.
+
+/// Textbook `if (pred) out.push_back(i)` loop. Fast at extreme
+/// selectivities (the predictor is nearly always right), collapses in the
+/// middle.
+uint64_t SelectBranching(std::span<const int64_t> values, int64_t lo,
+                         int64_t hi, std::vector<uint32_t>* out);
+
+/// Predicated/branch-free selection: unconditionally writes the index and
+/// advances the cursor by the predicate's truth value. Data-independent
+/// control flow, constant throughput.
+uint64_t SelectBranchFree(std::span<const int64_t> values, int64_t lo,
+                          int64_t hi, std::vector<uint32_t>* out);
+
+/// Two-phase: build a bitmap of qualifying positions (word-at-a-time,
+/// auto-vectorizable), then extract positions from the bitmap.
+uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
+                      std::vector<uint32_t>* out);
+
+/// Produces only the bitmap (64 values per word, LSB = lowest index).
+void BuildSelectionBitmap(std::span<const int64_t> values, int64_t lo,
+                          int64_t hi, std::vector<uint64_t>* bitmap);
+
+/// Expands a bitmap into positions; returns the count.
+uint64_t BitmapToPositions(const std::vector<uint64_t>& bitmap,
+                           uint64_t num_values, std::vector<uint32_t>* out);
+
+/// Counts qualifying values without materializing positions (branch-free).
+uint64_t CountInRange(std::span<const int64_t> values, int64_t lo, int64_t hi);
+
+/// AND-combines two bitmaps in place (a &= b); sizes must match.
+void BitmapAnd(std::vector<uint64_t>* a, const std::vector<uint64_t>& b);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_SELECTION_H_

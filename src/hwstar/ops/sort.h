@@ -1,0 +1,34 @@
+#ifndef HWSTAR_OPS_SORT_H_
+#define HWSTAR_OPS_SORT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/ops/relation.h"
+
+namespace hwstar::ops {
+
+/// LSB radix sort of uint64 values, 8 bits per pass (8 passes). O(n) data
+/// movement in perfectly sequential streams -- the cache/prefetcher-friendly
+/// sort -- versus the branch-and-compare traffic of comparison sorting.
+void RadixSortU64(std::vector<uint64_t>* values);
+
+/// Radix-sorts a relation by key, moving payloads along.
+void RadixSortRelation(Relation* rel);
+
+/// Radix sort that skips passes whose byte is constant across the input
+/// (common for small key domains); same result as RadixSortU64.
+void RadixSortU64Adaptive(std::vector<uint64_t>* values);
+
+/// Cache-conscious merge sort: sorts runs of `run_size` elements in place
+/// (insertion sort within L1-sized runs), then merges. Exposed with a
+/// tunable run size for the sort ablation.
+void MergeSortU64(std::vector<uint64_t>* values, size_t run_size = 64);
+
+/// True when values are non-decreasing.
+bool IsSortedU64(const std::vector<uint64_t>& values);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_SORT_H_

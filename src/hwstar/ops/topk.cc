@@ -1,0 +1,81 @@
+#include "hwstar/ops/topk.h"
+
+#include <algorithm>
+
+#include "hwstar/common/random.h"
+
+namespace hwstar::ops {
+
+std::vector<uint64_t> TopKBySort(std::span<const uint64_t> values,
+                                 uint64_t k) {
+  std::vector<uint64_t> sorted(values.begin(), values.end());
+  std::sort(sorted.begin(), sorted.end(), std::greater<uint64_t>());
+  if (sorted.size() > k) sorted.resize(k);
+  return sorted;
+}
+
+std::vector<uint64_t> TopKByHeap(std::span<const uint64_t> values,
+                                 uint64_t k) {
+  if (k == 0) return {};
+  // Min-heap of the current top-k; the root is the smallest qualifier, so
+  // most inputs fail one comparison and never touch the heap.
+  std::vector<uint64_t> heap;
+  heap.reserve(k);
+  for (uint64_t v : values) {
+    if (heap.size() < k) {
+      heap.push_back(v);
+      std::push_heap(heap.begin(), heap.end(), std::greater<uint64_t>());
+    } else if (v > heap.front()) {
+      std::pop_heap(heap.begin(), heap.end(), std::greater<uint64_t>());
+      heap.back() = v;
+      std::push_heap(heap.begin(), heap.end(), std::greater<uint64_t>());
+    }
+  }
+  std::sort(heap.begin(), heap.end(), std::greater<uint64_t>());
+  return heap;
+}
+
+std::vector<uint64_t> TopKByThreshold(std::span<const uint64_t> values,
+                                      uint64_t k, uint64_t seed) {
+  const uint64_t n = values.size();
+  if (k == 0 || n == 0) return TopKBySort(values, k);
+  if (k >= n) return TopKBySort(values, k);
+
+  // Pass 0: estimate the k-th largest from a sample, with slack so the
+  // filter (almost) never loses a qualifier; fall back to exact when it
+  // does.
+  const uint64_t kSample = 1024;
+  hwstar::Xoshiro256 rng(seed);
+  std::vector<uint64_t> sample;
+  sample.reserve(kSample);
+  for (uint64_t i = 0; i < kSample; ++i) {
+    sample.push_back(values[rng.NextBounded(n)]);
+  }
+  std::sort(sample.begin(), sample.end(), std::greater<uint64_t>());
+  // Expected rank scaling with 2x slack: take the sample value whose
+  // rank corresponds to ~2k/n of the population, clamped.
+  uint64_t idx = std::min<uint64_t>(
+      sample.size() - 1,
+      (2 * k * sample.size()) / n + 1);
+  uint64_t threshold = sample[idx];
+
+  // Pass 1: branch-free filter of candidates >= threshold.
+  std::vector<uint64_t> candidates;
+  candidates.resize(n);
+  uint64_t count = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    candidates[count] = values[i];
+    count += values[i] >= threshold;
+  }
+  candidates.resize(count);
+  if (count < k) {
+    // Sample misjudged the tail: exact fallback (rare).
+    return TopKBySort(values, k);
+  }
+  // Pass 2: finish on the (small) candidate set.
+  std::sort(candidates.begin(), candidates.end(), std::greater<uint64_t>());
+  candidates.resize(k);
+  return candidates;
+}
+
+}  // namespace hwstar::ops

@@ -1,0 +1,33 @@
+#ifndef HWSTAR_OPS_TOPK_H_
+#define HWSTAR_OPS_TOPK_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace hwstar::ops {
+
+/// Top-k selection kernels: the k largest values of an unordered column,
+/// returned in descending order. Three implementations of identical
+/// semantics whose relative cost is decided by k's relation to the cache
+/// and to n -- a recurring pattern in the proceedings' top-k query papers:
+///
+///  * TopKBySort      -- sort everything, take a prefix. O(n log n), the
+///                       oblivious baseline; competitive only when k ~ n.
+///  * TopKByHeap      -- bounded min-heap of k entries. O(n log k) worst
+///                       case, but the heap root short-circuits most
+///                       inputs with one predictable comparison once the
+///                       heap holds large values; the heap stays
+///                       cache-resident while k fits L1/L2.
+///  * TopKByThreshold -- two-pass: sample to estimate the k-th value,
+///                       filter the column branch-free against it, finish
+///                       on the survivors. Trades a second sequential scan
+///                       for data-independent control flow.
+std::vector<uint64_t> TopKBySort(std::span<const uint64_t> values, uint64_t k);
+std::vector<uint64_t> TopKByHeap(std::span<const uint64_t> values, uint64_t k);
+std::vector<uint64_t> TopKByThreshold(std::span<const uint64_t> values,
+                                      uint64_t k, uint64_t seed = 42);
+
+}  // namespace hwstar::ops
+
+#endif  // HWSTAR_OPS_TOPK_H_

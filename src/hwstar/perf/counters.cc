@@ -1,0 +1,16 @@
+#include "hwstar/perf/counters.h"
+
+namespace hwstar::perf {
+
+double CounterSet::Get(const std::string& name) const {
+  auto it = values_.find(name);
+  return it == values_.end() ? 0.0 : it->second;
+}
+
+void CounterSet::Merge(const CounterSet& other) {
+  for (const auto& [name, value] : other.values_) {
+    values_[name] += value;
+  }
+}
+
+}  // namespace hwstar::perf

@@ -1,0 +1,48 @@
+#ifndef HWSTAR_PERF_COUNTERS_H_
+#define HWSTAR_PERF_COUNTERS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+namespace hwstar::perf {
+
+/// A bag of named metric values accumulated during a measured run: wall
+/// time, derived throughputs, and -- when the run used the simulated
+/// hierarchy -- miss ratios, remote fractions and energy. Doubles
+/// throughout; names are free-form but the helpers below standardize the
+/// common ones.
+class CounterSet {
+ public:
+  void Set(const std::string& name, double value) { values_[name] = value; }
+  void Add(const std::string& name, double value) { values_[name] += value; }
+
+  /// Value or 0 when absent.
+  double Get(const std::string& name) const;
+  bool Has(const std::string& name) const {
+    return values_.count(name) != 0;
+  }
+
+  const std::map<std::string, double>& values() const { return values_; }
+
+  /// Merges (sums) another set into this one.
+  void Merge(const CounterSet& other);
+
+ private:
+  std::map<std::string, double> values_;
+};
+
+/// Derived-metric helpers.
+inline double TuplesPerSecond(uint64_t tuples, double seconds) {
+  return seconds <= 0 ? 0.0 : static_cast<double>(tuples) / seconds;
+}
+inline double BytesPerSecond(uint64_t bytes, double seconds) {
+  return seconds <= 0 ? 0.0 : static_cast<double>(bytes) / seconds;
+}
+inline double NanosPerTuple(double seconds, uint64_t tuples) {
+  return tuples == 0 ? 0.0 : seconds * 1e9 / static_cast<double>(tuples);
+}
+
+}  // namespace hwstar::perf
+
+#endif  // HWSTAR_PERF_COUNTERS_H_

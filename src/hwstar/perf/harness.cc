@@ -1,0 +1,52 @@
+#include "hwstar/perf/harness.h"
+
+#include <algorithm>
+
+#include "hwstar/common/timer.h"
+#include "hwstar/perf/report.h"
+
+namespace hwstar::perf {
+
+Measurement MeasureRepeated(const std::function<void()>& fn, uint32_t reps,
+                            uint32_t warmups) {
+  for (uint32_t i = 0; i < warmups; ++i) fn();
+  std::vector<double> times;
+  times.reserve(reps);
+  for (uint32_t i = 0; i < reps; ++i) {
+    WallTimer timer;
+    fn();
+    times.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(times.begin(), times.end());
+  Measurement m;
+  m.repetitions = reps;
+  if (!times.empty()) {
+    m.median_seconds = times[times.size() / 2];
+    m.min_seconds = times.front();
+    m.max_seconds = times.back();
+  }
+  return m;
+}
+
+void Experiment::AddRow(std::string label, CounterSet counters) {
+  rows_.push_back(ExperimentRow{std::move(label), std::move(counters)});
+}
+
+void Experiment::PrintTable(
+    const std::vector<std::string>& counter_names) const {
+  std::vector<std::string> columns;
+  columns.push_back("config");
+  for (const auto& n : counter_names) columns.push_back(n);
+  ReportTable table(name_, columns);
+  for (const auto& row : rows_) {
+    std::vector<std::string> cells;
+    cells.push_back(row.label);
+    for (const auto& n : counter_names) {
+      cells.push_back(ReportTable::Num(row.counters.Get(n)));
+    }
+    table.AddRow(std::move(cells));
+  }
+  table.Print();
+}
+
+}  // namespace hwstar::perf

@@ -1,0 +1,57 @@
+#ifndef HWSTAR_PERF_HARNESS_H_
+#define HWSTAR_PERF_HARNESS_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "hwstar/perf/counters.h"
+
+namespace hwstar::perf {
+
+/// Result of a repeated measurement.
+struct Measurement {
+  double median_seconds = 0;
+  double min_seconds = 0;
+  double max_seconds = 0;
+  uint32_t repetitions = 0;
+};
+
+/// Runs `fn` `reps` times (after `warmups` unmeasured runs) and reports
+/// median/min/max wall time. The repetition-and-median discipline is the
+/// minimum the paper's "strict performance engineering" demands: a single
+/// timing on a multicore machine is noise.
+Measurement MeasureRepeated(const std::function<void()>& fn, uint32_t reps = 5,
+                            uint32_t warmups = 1);
+
+/// One measured configuration inside an experiment: a label plus counters.
+struct ExperimentRow {
+  std::string label;
+  CounterSet counters;
+};
+
+/// Collects rows and emits a ReportTable over a chosen set of counter
+/// names.
+class Experiment {
+ public:
+  explicit Experiment(std::string name) : name_(std::move(name)) {}
+
+  /// Adds a measured configuration.
+  void AddRow(std::string label, CounterSet counters);
+
+  /// Prints a table with the given counter columns (missing counters
+  /// render as 0).
+  void PrintTable(const std::vector<std::string>& counter_names) const;
+
+  const std::vector<ExperimentRow>& rows() const { return rows_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+  std::vector<ExperimentRow> rows_;
+};
+
+}  // namespace hwstar::perf
+
+#endif  // HWSTAR_PERF_HARNESS_H_

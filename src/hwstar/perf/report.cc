@@ -1,0 +1,91 @@
+#include "hwstar/perf/report.h"
+
+#include <cstdio>
+#include <sstream>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::perf {
+
+ReportTable::ReportTable(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {}
+
+void ReportTable::AddRow(std::vector<std::string> cells) {
+  HWSTAR_CHECK(cells.size() == columns_.size());
+  rows_.push_back(std::move(cells));
+}
+
+std::string ReportTable::Num(double v) {
+  std::ostringstream os;
+  if (v == 0) {
+    os << "0";
+  } else if (v >= 1000 || v <= -1000) {
+    os.precision(0);
+    os << std::fixed << v;
+  } else {
+    os.precision(3);
+    os << std::fixed << v;
+  }
+  return os.str();
+}
+
+std::string ReportTable::Num(uint64_t v) { return std::to_string(v); }
+
+std::string ReportTable::ToString() const {
+  std::vector<size_t> widths(columns_.size());
+  for (size_t c = 0; c < columns_.size(); ++c) widths[c] = columns_[c].size();
+  for (const auto& row : rows_) {
+    for (size_t c = 0; c < row.size(); ++c) {
+      if (row[c].size() > widths[c]) widths[c] = row[c].size();
+    }
+  }
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      os << (c == 0 ? "" : "  ");
+      // Right-align all cells for numeric readability.
+      for (size_t pad = cells[c].size(); pad < widths[c]; ++pad) os << ' ';
+      os << cells[c];
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  size_t total = columns_.size() - 1;
+  for (size_t w : widths) total += w + 1;
+  for (size_t i = 0; i < total; ++i) os << '-';
+  os << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+std::string ReportTable::ToCsv() const {
+  std::ostringstream os;
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (size_t c = 0; c < cells.size(); ++c) {
+      if (c > 0) os << ',';
+      const std::string& cell = cells[c];
+      if (cell.find_first_of(",\"\n") != std::string::npos) {
+        os << '"';
+        for (char ch : cell) {
+          if (ch == '"') os << '"';
+          os << ch;
+        }
+        os << '"';
+      } else {
+        os << cell;
+      }
+    }
+    os << '\n';
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+  return os.str();
+}
+
+void ReportTable::Print() const {
+  std::fputs(ToString().c_str(), stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace hwstar::perf

@@ -1,0 +1,45 @@
+#ifndef HWSTAR_PERF_REPORT_H_
+#define HWSTAR_PERF_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwstar::perf {
+
+/// A fixed-column text table for experiment output: every bench binary
+/// prints one (or more) of these so EXPERIMENTS.md rows can be pasted
+/// directly from bench output.
+class ReportTable {
+ public:
+  ReportTable(std::string title, std::vector<std::string> columns);
+
+  /// Adds a row of pre-rendered cells; must match the column count.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Convenience: renders doubles with 3 significant decimals and
+  /// integers plainly.
+  static std::string Num(double v);
+  static std::string Num(uint64_t v);
+
+  /// Renders the table with aligned columns.
+  std::string ToString() const;
+
+  /// Renders as CSV (header row + data rows) for plotting pipelines.
+  /// Cells containing commas or quotes are quoted.
+  std::string ToCsv() const;
+
+  /// Prints to stdout.
+  void Print() const;
+
+  size_t num_rows() const { return rows_.size(); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace hwstar::perf
+
+#endif  // HWSTAR_PERF_REPORT_H_

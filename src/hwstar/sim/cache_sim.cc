@@ -1,0 +1,83 @@
+#include "hwstar/sim/cache_sim.h"
+
+#include <sstream>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::sim {
+
+CacheLevel::CacheLevel(const hw::CacheLevelSpec& spec) : spec_(spec) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(spec.line_bytes));
+  HWSTAR_CHECK(spec.size_bytes >= uint64_t{spec.line_bytes} * spec.associativity);
+  line_shift_ = bits::Log2Floor(spec.line_bytes);
+  uint64_t lines = spec.size_bytes / spec.line_bytes;
+  num_sets_ = lines / spec.associativity;
+  HWSTAR_CHECK(num_sets_ >= 1);
+  pow2_sets_ = bits::IsPowerOfTwo(num_sets_);
+  ways_.assign(num_sets_ * spec.associativity, Way{});
+}
+
+bool CacheLevel::Access(uint64_t addr, bool is_write) {
+  const uint64_t set = SetIndex(addr);
+  const uint64_t tag = Tag(addr);
+  Way* base = &ways_[set * spec_.associativity];
+  ++lru_clock_;
+
+  // Hit path.
+  for (uint32_t w = 0; w < spec_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) {
+      base[w].lru = lru_clock_;
+      base[w].dirty |= is_write;
+      ++stats_.hits;
+      return true;
+    }
+  }
+
+  // Miss: fill into an invalid way or evict the LRU way.
+  ++stats_.misses;
+  Way* victim = nullptr;
+  for (uint32_t w = 0; w < spec_.associativity; ++w) {
+    if (!base[w].valid) {
+      victim = &base[w];
+      break;
+    }
+  }
+  if (victim == nullptr) {
+    victim = base;
+    for (uint32_t w = 1; w < spec_.associativity; ++w) {
+      if (base[w].lru < victim->lru) victim = &base[w];
+    }
+    ++stats_.evictions;
+    if (victim->dirty) ++stats_.writebacks;
+  }
+  victim->valid = true;
+  victim->tag = tag;
+  victim->lru = lru_clock_;
+  victim->dirty = is_write;
+  return false;
+}
+
+bool CacheLevel::Contains(uint64_t addr) const {
+  const uint64_t set = SetIndex(addr);
+  const uint64_t tag = Tag(addr);
+  const Way* base = &ways_[set * spec_.associativity];
+  for (uint32_t w = 0; w < spec_.associativity; ++w) {
+    if (base[w].valid && base[w].tag == tag) return true;
+  }
+  return false;
+}
+
+void CacheLevel::Flush() {
+  for (auto& w : ways_) w = Way{};
+}
+
+std::string CacheLevel::ToString() const {
+  std::ostringstream os;
+  os << (spec_.size_bytes >> 10) << "KB/" << spec_.associativity
+     << "w: hits=" << stats_.hits << " misses=" << stats_.misses
+     << " mr=" << stats_.miss_ratio();
+  return os.str();
+}
+
+}  // namespace hwstar::sim

@@ -1,0 +1,85 @@
+#ifndef HWSTAR_SIM_CACHE_SIM_H_
+#define HWSTAR_SIM_CACHE_SIM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::sim {
+
+/// Hit/miss statistics of one cache level.
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+
+  uint64_t accesses() const { return hits + misses; }
+  double miss_ratio() const {
+    uint64_t a = accesses();
+    return a == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(a);
+  }
+  void Reset() { *this = CacheStats{}; }
+};
+
+/// One set-associative, write-back, write-allocate cache level with true-LRU
+/// replacement. Deterministic by construction: feeding the same address
+/// sequence always produces the same statistics, which is what makes the
+/// simulated counters usable as reproducible stand-ins for hardware PMCs.
+class CacheLevel {
+ public:
+  /// Builds a level from its spec. size/line/associativity must be powers
+  /// of two and consistent (size >= line * ways).
+  explicit CacheLevel(const hw::CacheLevelSpec& spec);
+
+  /// Looks up (and on miss, fills) the line containing `addr`.
+  /// Returns true on hit. `is_write` marks the line dirty.
+  /// When a dirty line is evicted, `writebacks` is incremented.
+  bool Access(uint64_t addr, bool is_write);
+
+  /// Lookup without fill or LRU update; used by inclusive-hierarchy probes
+  /// and tests.
+  bool Contains(uint64_t addr) const;
+
+  /// Invalidates everything (keeps statistics).
+  void Flush();
+
+  const CacheStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+  const hw::CacheLevelSpec& spec() const { return spec_; }
+  uint64_t num_sets() const { return num_sets_; }
+
+  /// "L?: hits=... misses=... mr=..." summary.
+  std::string ToString() const;
+
+ private:
+  struct Way {
+    uint64_t tag = 0;
+    uint64_t lru = 0;  // larger = more recently used
+    bool valid = false;
+    bool dirty = false;
+  };
+
+  uint64_t SetIndex(uint64_t addr) const {
+    const uint64_t line = addr >> line_shift_;
+    // Mask when the set count is a power of two; modulo otherwise
+    // (real LLC slice counts are frequently not powers of two).
+    return pow2_sets_ ? (line & (num_sets_ - 1)) : (line % num_sets_);
+  }
+  uint64_t Tag(uint64_t addr) const { return addr >> line_shift_; }
+
+  hw::CacheLevelSpec spec_;
+  uint32_t line_shift_;
+  uint64_t num_sets_;
+  bool pow2_sets_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Way> ways_;  // num_sets_ * associativity, row-major by set
+  CacheStats stats_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_CACHE_SIM_H_

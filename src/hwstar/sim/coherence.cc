@@ -1,0 +1,148 @@
+#include "hwstar/sim/coherence.h"
+
+#include <sstream>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::sim {
+
+CoherenceModel::CoherenceModel(uint32_t cores)
+    : CoherenceModel(cores, Options{}) {}
+
+CoherenceModel::CoherenceModel(uint32_t cores, Options options)
+    : options_(options), caches_(cores), per_core_(cores) {
+  HWSTAR_CHECK(cores >= 1);
+  HWSTAR_CHECK(bits::IsPowerOfTwo(options.line_bytes));
+}
+
+void CoherenceModel::EvictIfNeeded(CoreCache* cache) {
+  if (cache->lines.size() <= options_.private_cache_lines) return;
+  // Evict the least recently used line (linear scan over the bounded map;
+  // the model favors clarity over speed).
+  auto victim = cache->lines.begin();
+  for (auto it = cache->lines.begin(); it != cache->lines.end(); ++it) {
+    if (it->second.lru < victim->second.lru) victim = it;
+  }
+  cache->lines.erase(victim);
+}
+
+void CoherenceModel::Touch(CoreCache* cache, uint64_t line, LineState state) {
+  auto& entry = cache->lines[line];
+  entry.state = state;
+  entry.lru = ++cache->lru_clock;
+  EvictIfNeeded(cache);
+}
+
+uint32_t CoherenceModel::Access(uint32_t core, uint64_t addr, bool is_write) {
+  HWSTAR_DCHECK(core < caches_.size());
+  const uint64_t line = addr / options_.line_bytes;
+  CoreCache& self = caches_[core];
+  CoherenceStats& cstats = per_core_[core];
+  (is_write ? stats_.writes : stats_.reads)++;
+  (is_write ? cstats.writes : cstats.reads)++;
+
+  uint32_t latency = options_.hit_latency;
+  auto it = self.lines.find(line);
+  const bool present = it != self.lines.end();
+
+  // Does any other core hold the line, and in what state?
+  bool other_has = false;
+  bool other_modified = false;
+  for (uint32_t c = 0; c < caches_.size(); ++c) {
+    if (c == core) continue;
+    auto oit = caches_[c].lines.find(line);
+    if (oit != caches_[c].lines.end()) {
+      other_has = true;
+      other_modified |= oit->second.state == LineState::kModified;
+    }
+  }
+
+  if (!is_write) {
+    if (present) {
+      ++stats_.hits;
+      ++cstats.hits;
+    } else {
+      // Miss: coherence miss if another core has it modified (it was
+      // stolen from us or never here); otherwise capacity/cold.
+      if (other_modified) {
+        latency += options_.transfer_latency;
+        ++stats_.coherence_misses;
+        ++cstats.coherence_misses;
+        // The owner downgrades to shared.
+        for (uint32_t c = 0; c < caches_.size(); ++c) {
+          auto oit = caches_[c].lines.find(line);
+          if (oit != caches_[c].lines.end()) {
+            oit->second.state = LineState::kShared;
+          }
+        }
+      } else {
+        latency += options_.miss_latency;
+        ++stats_.capacity_misses;
+        ++cstats.capacity_misses;
+      }
+      Touch(&self, line, LineState::kShared);
+      stats_.total_cycles += latency;
+      cstats.total_cycles += latency;
+      return latency;
+    }
+    // Read hit: refresh LRU.
+    it->second.lru = ++self.lru_clock;
+    stats_.total_cycles += latency;
+    cstats.total_cycles += latency;
+    return latency;
+  }
+
+  // Write: need exclusive ownership; invalidate every other copy.
+  if (other_has) {
+    uint32_t invalidated = 0;
+    for (uint32_t c = 0; c < caches_.size(); ++c) {
+      if (c == core) continue;
+      invalidated += caches_[c].lines.erase(line) != 0 ? 1 : 0;
+    }
+    latency += options_.invalidate_cost * invalidated;
+    if (other_modified) latency += options_.transfer_latency;
+    stats_.invalidations_sent += invalidated;
+    cstats.invalidations_sent += invalidated;
+  }
+  if (present) {
+    ++stats_.hits;
+    ++cstats.hits;
+    it->second.state = LineState::kModified;
+    it->second.lru = ++self.lru_clock;
+  } else {
+    if (other_modified) {
+      ++stats_.coherence_misses;
+      ++cstats.coherence_misses;
+      latency += options_.transfer_latency;
+    } else if (other_has) {
+      // Line was shared elsewhere: upgrade miss, counted as coherence
+      // traffic since sharing caused it.
+      ++stats_.coherence_misses;
+      ++cstats.coherence_misses;
+    } else {
+      ++stats_.capacity_misses;
+      ++cstats.capacity_misses;
+      latency += options_.miss_latency;
+    }
+    Touch(&self, line, LineState::kModified);
+  }
+  stats_.total_cycles += latency;
+  cstats.total_cycles += latency;
+  return latency;
+}
+
+void CoherenceModel::ResetStats() {
+  stats_ = CoherenceStats{};
+  for (auto& s : per_core_) s = CoherenceStats{};
+}
+
+std::string CoherenceModel::ToString() const {
+  std::ostringstream os;
+  os << "coherence: cpa=" << stats_.cycles_per_access()
+     << " inval=" << stats_.invalidations_sent
+     << " coh_miss_frac=" << stats_.coherence_miss_fraction();
+  return os.str();
+}
+
+}  // namespace hwstar::sim

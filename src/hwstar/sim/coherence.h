@@ -1,0 +1,98 @@
+#ifndef HWSTAR_SIM_COHERENCE_H_
+#define HWSTAR_SIM_COHERENCE_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::sim {
+
+/// Coherence statistics.
+struct CoherenceStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t invalidations_sent = 0;   ///< write forced other copies out
+  uint64_t coherence_misses = 0;     ///< miss caused by an invalidation
+  uint64_t capacity_misses = 0;      ///< ordinary miss
+  uint64_t hits = 0;
+  uint64_t total_cycles = 0;
+
+  double cycles_per_access() const {
+    uint64_t a = reads + writes;
+    return a == 0 ? 0.0
+                  : static_cast<double>(total_cycles) / static_cast<double>(a);
+  }
+  double coherence_miss_fraction() const {
+    uint64_t m = coherence_misses + capacity_misses;
+    return m == 0 ? 0.0
+                  : static_cast<double>(coherence_misses) /
+                        static_cast<double>(m);
+  }
+};
+
+/// A line-granular MSI coherence model over per-core private caches. The
+/// multicore shift the paper describes did not just add cores; it made
+/// *writes to shared cache lines* a communication primitive with a price.
+/// This model exposes that price: each core has a private cache directory
+/// (line -> M/S state, LRU-bounded); a write invalidates all other copies,
+/// and the invalidated cores' next access is a coherence miss that pays
+/// the cache-to-cache transfer latency. The canonical pathology it makes
+/// measurable is false sharing: independent counters packed into one line
+/// (experiment E11).
+class CoherenceModel {
+ public:
+  struct Options {
+    uint32_t line_bytes = 64;
+    uint32_t private_cache_lines = 512;  ///< per-core capacity (32KB / 64B)
+    uint32_t hit_latency = 4;
+    uint32_t miss_latency = 200;         ///< serve from memory/LLC
+    uint32_t transfer_latency = 60;      ///< dirty line from another core
+    uint32_t invalidate_cost = 20;       ///< per invalidation message
+  };
+
+  /// Builds the model with default option values.
+  explicit CoherenceModel(uint32_t cores);
+  CoherenceModel(uint32_t cores, Options options);
+
+  /// Models one read/write of `addr` by `core`; returns latency in cycles.
+  uint32_t Access(uint32_t core, uint64_t addr, bool is_write);
+
+  /// Aggregate and per-core statistics.
+  const CoherenceStats& stats() const { return stats_; }
+  const CoherenceStats& core_stats(uint32_t core) const {
+    return per_core_[core];
+  }
+  void ResetStats();
+
+  uint32_t cores() const { return static_cast<uint32_t>(per_core_.size()); }
+  std::string ToString() const;
+
+ private:
+  enum class LineState : uint8_t { kShared, kModified };
+
+  struct LineEntry {
+    LineState state = LineState::kShared;
+    uint64_t lru = 0;
+  };
+
+  /// Per-core directory of cached lines (bounded, LRU).
+  struct CoreCache {
+    std::map<uint64_t, LineEntry> lines;
+    uint64_t lru_clock = 0;
+  };
+
+  void Touch(CoreCache* cache, uint64_t line, LineState state);
+  void EvictIfNeeded(CoreCache* cache);
+
+  Options options_;
+  std::vector<CoreCache> caches_;
+  CoherenceStats stats_;
+  std::vector<CoherenceStats> per_core_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_COHERENCE_H_

@@ -1,0 +1,15 @@
+#include "hwstar/sim/energy_model.h"
+
+namespace hwstar::sim {
+
+double EnergyModel::EnergyPicojoules(const EnergyEvents& e) const {
+  double pj = 0.0;
+  pj += static_cast<double>(e.instructions) * machine_.energy_pj_instruction;
+  pj += static_cast<double>(e.l1_hits) * machine_.energy_pj_l1_hit;
+  pj += static_cast<double>(e.l2_hits) * machine_.energy_pj_l2_hit;
+  pj += static_cast<double>(e.l3_hits) * machine_.energy_pj_l3_hit;
+  pj += static_cast<double>(e.dram_accesses) * machine_.energy_pj_dram;
+  return pj;
+}
+
+}  // namespace hwstar::sim

@@ -1,0 +1,59 @@
+#ifndef HWSTAR_SIM_ENERGY_MODEL_H_
+#define HWSTAR_SIM_ENERGY_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::sim {
+
+/// Raw event counts fed into the energy model.
+struct EnergyEvents {
+  uint64_t instructions = 0;
+  uint64_t l1_hits = 0;
+  uint64_t l2_hits = 0;
+  uint64_t l3_hits = 0;
+  uint64_t dram_accesses = 0;
+
+  EnergyEvents& operator+=(const EnergyEvents& o) {
+    instructions += o.instructions;
+    l1_hits += o.l1_hits;
+    l2_hits += o.l2_hits;
+    l3_hits += o.l3_hits;
+    dram_accesses += o.dram_accesses;
+    return *this;
+  }
+};
+
+/// Event-based energy proxy: energy = sum(events * per-event cost). The
+/// absolute picojoule numbers are coarse, but the *ratios* (a DRAM access
+/// costs ~200x an L1 hit) match the published energy-per-operation
+/// literature, so comparisons between algorithms are meaningful -- which is
+/// all the paper's "energy is a first-class constraint" argument needs.
+class EnergyModel {
+ public:
+  explicit EnergyModel(const hw::MachineModel& machine) : machine_(machine) {}
+
+  /// Total energy in picojoules for the given event counts.
+  double EnergyPicojoules(const EnergyEvents& e) const;
+
+  /// Energy in nanojoules (convenience).
+  double EnergyNanojoules(const EnergyEvents& e) const {
+    return EnergyPicojoules(e) * 1e-3;
+  }
+
+  /// Per-tuple energy given a tuple count; returns 0 for empty inputs.
+  double EnergyPerTuplePj(const EnergyEvents& e, uint64_t tuples) const {
+    return tuples == 0 ? 0.0 : EnergyPicojoules(e) / static_cast<double>(tuples);
+  }
+
+  const hw::MachineModel& machine() const { return machine_; }
+
+ private:
+  hw::MachineModel machine_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_ENERGY_MODEL_H_

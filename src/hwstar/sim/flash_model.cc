@@ -1,0 +1,30 @@
+#include "hwstar/sim/flash_model.h"
+
+namespace hwstar::sim {
+
+double FlashModel::Read() {
+  ++reads_;
+  total_us_ += params_.read_latency_us;
+  return params_.read_latency_us;
+}
+
+double FlashModel::Write() {
+  ++writes_;
+  total_us_ += params_.write_latency_us;
+  return params_.write_latency_us;
+}
+
+double FlashModel::WearFraction(uint64_t blocks) const {
+  if (blocks == 0) return 0.0;
+  const double per_block =
+      static_cast<double>(writes_) / static_cast<double>(blocks);
+  return per_block / static_cast<double>(params_.endurance_writes);
+}
+
+void FlashModel::ResetStats() {
+  reads_ = 0;
+  writes_ = 0;
+  total_us_ = 0;
+}
+
+}  // namespace hwstar::sim

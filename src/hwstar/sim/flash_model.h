@@ -1,0 +1,54 @@
+#ifndef HWSTAR_SIM_FLASH_MODEL_H_
+#define HWSTAR_SIM_FLASH_MODEL_H_
+
+#include <cstdint>
+
+namespace hwstar::sim {
+
+/// Cost model of a flash/SSD tier. The keynote's storage argument: flash
+/// rewrote the economics under the buffer pool -- reads are cheap but not
+/// DRAM-cheap, writes are asymmetric, endurance is finite -- so engines
+/// must decide *which* data lives where (the hot/cold problem, E13)
+/// instead of letting an oblivious LRU decide.
+class FlashModel {
+ public:
+  struct Params {
+    double read_latency_us = 50.0;    ///< 4KB random read
+    double write_latency_us = 200.0;  ///< 4KB program
+    double dram_latency_us = 0.1;     ///< DRAM access for comparison
+    uint64_t endurance_writes = 3000; ///< per-block program/erase budget
+  };
+
+  FlashModel() = default;
+  explicit FlashModel(const Params& params) : params_(params) {}
+
+  /// Records one read/write; returns its latency in microseconds.
+  double Read();
+  double Write();
+
+  /// Latency of a DRAM access (for tier comparisons); not counted as
+  /// flash traffic.
+  double DramAccess() const { return params_.dram_latency_us; }
+
+  uint64_t reads() const { return reads_; }
+  uint64_t writes() const { return writes_; }
+  double total_latency_us() const { return total_us_; }
+
+  /// Fraction of the endurance budget consumed, assuming writes spread
+  /// over `blocks` blocks.
+  double WearFraction(uint64_t blocks) const;
+
+  void ResetStats();
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  double total_us_ = 0;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_FLASH_MODEL_H_

@@ -1,0 +1,148 @@
+#include "hwstar/sim/hierarchy.h"
+
+#include <sstream>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::sim {
+
+MemoryHierarchy::MemoryHierarchy(const hw::MachineModel& machine)
+    : MemoryHierarchy(machine, Options{}) {}
+
+MemoryHierarchy::MemoryHierarchy(const hw::MachineModel& machine,
+                                 Options options)
+    : machine_(machine),
+      options_(options),
+      tlb_(machine.tlb),
+      prefetcher_(8, 2, 2,
+                  machine.caches.empty() ? 64 : machine.caches[0].line_bytes),
+      numa_(machine),
+      line_bytes_(machine.caches.empty() ? 64 : machine.caches[0].line_bytes) {
+  HWSTAR_CHECK(!machine.caches.empty());
+  levels_.reserve(machine.caches.size());
+  for (const auto& spec : machine.caches) levels_.emplace_back(spec);
+}
+
+uint32_t MemoryHierarchy::AccessLine(uint64_t addr, bool is_write,
+                                     uint32_t core, bool count_latency) {
+  uint32_t latency = 0;
+  size_t depth = 0;
+  bool hit = false;
+  for (; depth < levels_.size(); ++depth) {
+    latency += levels_[depth].spec().hit_latency_cycles;
+    if (levels_[depth].Access(addr, is_write)) {
+      hit = true;
+      break;
+    }
+  }
+  if (count_latency) {
+    if (hit) {
+      // Energy: charge the level that served the line.
+      if (depth == 0) {
+        ++energy_events_.l1_hits;
+      } else if (depth == 1) {
+        ++energy_events_.l2_hits;
+      } else {
+        ++energy_events_.l3_hits;
+      }
+    } else {
+      ++energy_events_.dram_accesses;
+      latency += options_.enable_numa ? numa_.DramLatency(core, addr)
+                                      : machine_.dram_latency_cycles;
+    }
+  } else if (!hit) {
+    // Prefetch fills are free of demand latency but still move data;
+    // charge their DRAM energy.
+    ++energy_events_.dram_accesses;
+  }
+  return latency;
+}
+
+uint32_t MemoryHierarchy::Access(uint64_t addr, bool is_write, uint32_t core) {
+  const uint64_t line_addr = bits::AlignDown(addr, line_bytes_);
+  uint32_t latency = 0;
+
+  if (options_.enable_tlb && !tlb_.Access(addr)) {
+    latency += tlb_.spec().miss_penalty_cycles;
+  }
+
+  latency += AccessLine(line_addr, is_write, core, /*count_latency=*/true);
+
+  if (options_.enable_prefetcher) {
+    prefetcher_.Observe(line_addr, &prefetch_buf_);
+    for (uint64_t pf : prefetch_buf_) {
+      AccessLine(bits::AlignDown(pf, line_bytes_), /*is_write=*/false, core,
+                 /*count_latency=*/false);
+    }
+  }
+
+  ++accesses_;
+  total_cycles_ += latency;
+  return latency;
+}
+
+uint64_t MemoryHierarchy::AccessRange(uint64_t addr, uint64_t bytes,
+                                      bool is_write, uint32_t core) {
+  if (bytes == 0) return 0;
+  uint64_t first = bits::AlignDown(addr, line_bytes_);
+  uint64_t last = bits::AlignDown(addr + bytes - 1, line_bytes_);
+  uint64_t cycles = 0;
+  for (uint64_t a = first; a <= last; a += line_bytes_) {
+    cycles += Access(a, is_write, core);
+  }
+  return cycles;
+}
+
+void MemoryHierarchy::Replay(const MemoryTrace& trace) {
+  for (const auto& e : trace.entries()) {
+    Access(e.addr, e.is_write, e.core);
+  }
+}
+
+HierarchyStats MemoryHierarchy::Stats() const {
+  HierarchyStats st;
+  st.accesses = accesses_;
+  st.total_cycles = total_cycles_;
+  for (const auto& lvl : levels_) st.levels.push_back(lvl.stats());
+  st.tlb = tlb_.stats();
+  st.numa = numa_.stats();
+  st.prefetch = prefetcher_.stats();
+  st.energy_events = energy_events_;
+  return st;
+}
+
+void MemoryHierarchy::ResetStats() {
+  accesses_ = 0;
+  total_cycles_ = 0;
+  energy_events_ = EnergyEvents{};
+  for (auto& lvl : levels_) lvl.ResetStats();
+  tlb_.ResetStats();
+  numa_.ResetStats();
+  prefetcher_.ResetStats();
+}
+
+void MemoryHierarchy::ColdReset() {
+  ResetStats();
+  for (auto& lvl : levels_) lvl.Flush();
+  tlb_.Flush();
+  prefetcher_.Reset();
+}
+
+std::string MemoryHierarchy::ToString() const {
+  std::ostringstream os;
+  os << machine_.name << " accesses=" << accesses_
+     << " cpa=" << (accesses_ ? static_cast<double>(total_cycles_) /
+                                    static_cast<double>(accesses_)
+                              : 0.0)
+     << "\n";
+  int level = 1;
+  for (const auto& lvl : levels_) {
+    os << "  L" << level++ << " " << lvl.ToString() << "\n";
+  }
+  os << "  TLB miss_ratio=" << tlb_.stats().miss_ratio()
+     << " NUMA remote=" << numa_.stats().remote_fraction();
+  return os.str();
+}
+
+}  // namespace hwstar::sim

@@ -1,0 +1,110 @@
+#ifndef HWSTAR_SIM_HIERARCHY_H_
+#define HWSTAR_SIM_HIERARCHY_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/sim/cache_sim.h"
+#include "hwstar/sim/energy_model.h"
+#include "hwstar/sim/memory_trace.h"
+#include "hwstar/sim/numa_model.h"
+#include "hwstar/sim/prefetcher.h"
+#include "hwstar/sim/tlb.h"
+
+namespace hwstar::sim {
+
+/// Aggregate statistics of a hierarchy run.
+struct HierarchyStats {
+  uint64_t accesses = 0;
+  uint64_t total_cycles = 0;
+  std::vector<CacheStats> levels;
+  TlbStats tlb;
+  NumaStats numa;
+  PrefetchStats prefetch;
+  EnergyEvents energy_events;
+
+  double cycles_per_access() const {
+    return accesses == 0
+               ? 0.0
+               : static_cast<double>(total_cycles) / static_cast<double>(accesses);
+  }
+};
+
+/// The complete modeled memory system: TLB -> L1 -> L2 -> ... -> DRAM with
+/// a stride prefetcher feeding the first level and a NUMA model deciding
+/// DRAM latency. Access() returns the modeled latency of one load/store and
+/// accumulates all statistics, giving operators deterministic hardware-like
+/// counters. Not thread-safe: use one hierarchy per simulated core (or
+/// replay a trace).
+class MemoryHierarchy {
+ public:
+  /// Options toggling model components; disabling the prefetcher exposes
+  /// the raw miss stream (useful for ablations).
+  struct Options {
+    bool enable_prefetcher = true;
+    bool enable_tlb = true;
+    bool enable_numa = true;
+  };
+
+  /// Builds the hierarchy with all model components enabled.
+  explicit MemoryHierarchy(const hw::MachineModel& machine);
+  MemoryHierarchy(const hw::MachineModel& machine, Options options);
+
+  /// Models one access of the line containing addr from the given core.
+  /// Returns the latency in cycles.
+  uint32_t Access(uint64_t addr, bool is_write = false, uint32_t core = 0);
+
+  /// Models `bytes` consecutive bytes starting at addr (one Access per
+  /// touched cache line). Returns total cycles.
+  uint64_t AccessRange(uint64_t addr, uint64_t bytes, bool is_write = false,
+                       uint32_t core = 0);
+
+  /// Counts `n` executed instructions into the energy events (the
+  /// computation side of the energy proxy).
+  void CountInstructions(uint64_t n) { energy_events_.instructions += n; }
+
+  /// Replays a recorded trace, accumulating into this hierarchy's stats.
+  void Replay(const MemoryTrace& trace);
+
+  /// Snapshot of all counters.
+  HierarchyStats Stats() const;
+
+  /// Resets counters (keeps cache/TLB contents).
+  void ResetStats();
+
+  /// Invalidates caches, TLB and prefetcher state and resets counters:
+  /// a cold machine.
+  void ColdReset();
+
+  NumaModel& numa() { return numa_; }
+  const hw::MachineModel& machine() const { return machine_; }
+  uint32_t line_bytes() const { return line_bytes_; }
+
+  /// Multi-line report of all levels for debugging/tests.
+  std::string ToString() const;
+
+ private:
+  /// Walks one line address through the levels; returns latency and
+  /// classifies the deepest level reached for energy accounting.
+  uint32_t AccessLine(uint64_t addr, bool is_write, uint32_t core,
+                      bool count_latency);
+
+  hw::MachineModel machine_;
+  Options options_;
+  std::vector<CacheLevel> levels_;
+  Tlb tlb_;
+  StridePrefetcher prefetcher_;
+  NumaModel numa_;
+  uint32_t line_bytes_;
+  uint64_t accesses_ = 0;
+  uint64_t total_cycles_ = 0;
+  EnergyEvents energy_events_;
+  std::vector<uint64_t> prefetch_buf_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_HIERARCHY_H_

@@ -1,0 +1,4 @@
+#include "hwstar/sim/memory_trace.h"
+
+// MemoryTrace is fully inline; kept as a translation unit for build
+// uniformity.

@@ -1,0 +1,53 @@
+#ifndef HWSTAR_SIM_MEMORY_TRACE_H_
+#define HWSTAR_SIM_MEMORY_TRACE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::sim {
+
+/// One recorded memory access.
+struct TraceEntry {
+  uint64_t addr;
+  uint32_t core;
+  bool is_write;
+};
+
+/// A bounded in-memory access trace. Operators can record their access
+/// pattern once and replay it against differently-configured hierarchies
+/// (e.g., to ask "what would this join do on a machine with half the L3?"),
+/// which is exactly the what-if analysis the paper demands of performance
+/// engineering.
+class MemoryTrace {
+ public:
+  /// `capacity`: maximum retained entries; further Records are counted but
+  /// dropped (see dropped()).
+  explicit MemoryTrace(size_t capacity = 1 << 20) : capacity_(capacity) {}
+
+  /// Appends an access (if capacity allows).
+  void Record(uint64_t addr, bool is_write, uint32_t core = 0) {
+    if (entries_.size() < capacity_) {
+      entries_.push_back(TraceEntry{addr, core, is_write});
+    } else {
+      ++dropped_;
+    }
+  }
+
+  const std::vector<TraceEntry>& entries() const { return entries_; }
+  uint64_t dropped() const { return dropped_; }
+  size_t size() const { return entries_.size(); }
+  void Clear() {
+    entries_.clear();
+    dropped_ = 0;
+  }
+
+ private:
+  size_t capacity_;
+  std::vector<TraceEntry> entries_;
+  uint64_t dropped_ = 0;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_MEMORY_TRACE_H_

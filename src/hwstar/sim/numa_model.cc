@@ -1,0 +1,59 @@
+#include "hwstar/sim/numa_model.h"
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::sim {
+
+NumaModel::NumaModel(const hw::MachineModel& machine)
+    : machine_(machine), page_bytes_(machine.tlb.page_bytes) {
+  HWSTAR_CHECK(machine_.numa_nodes >= 1);
+}
+
+void NumaModel::RegisterRegion(uint64_t base, uint64_t bytes, Policy policy,
+                               uint32_t node) {
+  Region r{base, bytes, policy, node % machine_.numa_nodes};
+  regions_[base] = r;
+}
+
+void NumaModel::UnregisterRegion(uint64_t base) { regions_.erase(base); }
+
+uint32_t NumaModel::HomeNode(uint64_t addr) const {
+  if (machine_.numa_nodes == 1) return 0;
+  // Find the last region whose base is <= addr and check containment.
+  auto it = regions_.upper_bound(addr);
+  if (it == regions_.begin()) return 0;
+  --it;
+  const Region& r = it->second;
+  if (addr >= r.base + r.bytes) return 0;
+  switch (r.policy) {
+    case Policy::kBindNode0:
+      return 0;
+    case Policy::kInterleave: {
+      uint64_t page = (addr - r.base) / page_bytes_;
+      return static_cast<uint32_t>(page % machine_.numa_nodes);
+    }
+    case Policy::kFirstTouch:
+      return r.node;
+  }
+  return 0;
+}
+
+uint32_t NumaModel::NodeOfCore(uint32_t core) const {
+  if (machine_.numa_nodes == 1) return 0;
+  uint32_t per_node =
+      (machine_.cores + machine_.numa_nodes - 1) / machine_.numa_nodes;
+  return (core / per_node) % machine_.numa_nodes;
+}
+
+uint32_t NumaModel::DramLatency(uint32_t core, uint64_t addr) {
+  const uint32_t home = HomeNode(addr);
+  if (home == NodeOfCore(core)) {
+    ++stats_.local_accesses;
+    return machine_.dram_latency_cycles;
+  }
+  ++stats_.remote_accesses;
+  return static_cast<uint32_t>(static_cast<double>(machine_.dram_latency_cycles) *
+                               machine_.numa_remote_multiplier);
+}
+
+}  // namespace hwstar::sim

@@ -1,0 +1,79 @@
+#ifndef HWSTAR_SIM_NUMA_MODEL_H_
+#define HWSTAR_SIM_NUMA_MODEL_H_
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::sim {
+
+/// NUMA access statistics.
+struct NumaStats {
+  uint64_t local_accesses = 0;
+  uint64_t remote_accesses = 0;
+  double remote_fraction() const {
+    uint64_t a = local_accesses + remote_accesses;
+    return a == 0 ? 0.0
+                  : static_cast<double>(remote_accesses) / static_cast<double>(a);
+  }
+  void Reset() { *this = NumaStats{}; }
+};
+
+/// Models memory-node placement over a flat address space. Allocations are
+/// registered with a home node (or interleaved); each DRAM access is then
+/// classified local/remote relative to the accessing core's node and charged
+/// the remote multiplier. This reproduces the placement sensitivity of real
+/// multi-socket machines on a host that has none.
+class NumaModel {
+ public:
+  explicit NumaModel(const hw::MachineModel& machine);
+
+  /// Placement policies for RegisterRegion.
+  enum class Policy {
+    kBindNode0,      ///< everything on node 0 (the naive default)
+    kInterleave,     ///< round-robin pages across nodes
+    kFirstTouch,     ///< owner = node passed at registration (caller decides)
+  };
+
+  /// Registers [base, base+bytes) with the given policy. For kFirstTouch
+  /// the `node` argument gives the touching core's node.
+  void RegisterRegion(uint64_t base, uint64_t bytes, Policy policy,
+                      uint32_t node = 0);
+
+  /// Removes a registration (e.g., on free).
+  void UnregisterRegion(uint64_t base);
+
+  /// Node that owns the page containing addr; unregistered memory defaults
+  /// to node 0.
+  uint32_t HomeNode(uint64_t addr) const;
+
+  /// Node of a core under a block-cyclic core->node map.
+  uint32_t NodeOfCore(uint32_t core) const;
+
+  /// Latency in cycles of a DRAM access from `core` to `addr`, given the
+  /// machine's base DRAM latency; records local/remote statistics.
+  uint32_t DramLatency(uint32_t core, uint64_t addr);
+
+  uint32_t num_nodes() const { return machine_.numa_nodes; }
+  const NumaStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+
+ private:
+  struct Region {
+    uint64_t base = 0;
+    uint64_t bytes = 0;
+    Policy policy = Policy::kBindNode0;
+    uint32_t node = 0;
+  };
+
+  hw::MachineModel machine_;
+  uint32_t page_bytes_;
+  std::map<uint64_t, Region> regions_;  // keyed by base
+  NumaStats stats_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_NUMA_MODEL_H_

@@ -1,0 +1,50 @@
+#include "hwstar/sim/offload_model.h"
+
+namespace hwstar::sim {
+
+namespace {
+constexpr double kGb = 1e9;
+}
+
+double OffloadModel::AccelSeconds(uint64_t bytes) const {
+  double t = params_.setup_seconds;
+  if (params_.requires_transfer) {
+    t += static_cast<double>(bytes) / (params_.transfer_bandwidth_gbps * kGb);
+  }
+  t += static_cast<double>(bytes) / (params_.accel_bandwidth_gbps * kGb);
+  return t;
+}
+
+double OffloadModel::CpuSeconds(uint64_t bytes, uint32_t cores) const {
+  if (cores == 0) cores = 1;
+  double bw = params_.cpu_bandwidth_gbps * kGb * static_cast<double>(cores);
+  return static_cast<double>(bytes) / bw;
+}
+
+uint64_t OffloadModel::BreakEvenBytes(uint32_t cpu_cores) const {
+  // If the effective accelerator streaming rate is not faster than the CPU,
+  // the setup cost can never be amortized.
+  double accel_rate =
+      params_.requires_transfer
+          ? 1.0 / (1.0 / params_.accel_bandwidth_gbps +
+                   1.0 / params_.transfer_bandwidth_gbps)
+          : params_.accel_bandwidth_gbps;
+  double cpu_rate =
+      params_.cpu_bandwidth_gbps * static_cast<double>(cpu_cores == 0 ? 1 : cpu_cores);
+  if (accel_rate <= cpu_rate) return 0;
+
+  uint64_t lo = 1, hi = uint64_t{1} << 40;  // 1 TB
+  if (AccelSeconds(lo) <= CpuSeconds(lo, cpu_cores)) return 1;
+  if (AccelSeconds(hi) > CpuSeconds(hi, cpu_cores)) return 0;
+  while (lo + 1 < hi) {
+    uint64_t mid = lo + (hi - lo) / 2;
+    if (AccelSeconds(mid) <= CpuSeconds(mid, cpu_cores)) {
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+  return hi;
+}
+
+}  // namespace hwstar::sim

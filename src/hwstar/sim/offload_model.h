@@ -1,0 +1,48 @@
+#ifndef HWSTAR_SIM_OFFLOAD_MODEL_H_
+#define HWSTAR_SIM_OFFLOAD_MODEL_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hwstar::sim {
+
+/// Cost model of a fixed-function accelerator (FPGA/smart NIC style), as
+/// discussed in the paper's heterogeneity section: offloading pays a fixed
+/// setup cost (kernel launch, data marshaling, PCIe round-trip) and then
+/// streams at a fixed bandwidth, while the CPU starts immediately but
+/// streams slower. The interesting output is the break-even data size.
+class OffloadModel {
+ public:
+  struct Params {
+    double setup_seconds = 50e-6;          ///< launch + transfer setup
+    double accel_bandwidth_gbps = 40.0;    ///< accelerator streaming rate
+    double cpu_bandwidth_gbps = 8.0;       ///< single-core CPU streaming rate
+    double transfer_bandwidth_gbps = 12.0; ///< host<->device link
+    bool requires_transfer = true;         ///< false for coherent/NDP models
+  };
+
+  /// Default accelerator: PCIe-attached FPGA-style streaming engine.
+  OffloadModel() = default;
+  explicit OffloadModel(const Params& params) : params_(params) {}
+
+  /// Time for the accelerator path over `bytes` of input.
+  double AccelSeconds(uint64_t bytes) const;
+
+  /// Time for the CPU path over `bytes` of input with `cores` cores
+  /// (bandwidth scales linearly up to the given core count).
+  double CpuSeconds(uint64_t bytes, uint32_t cores = 1) const;
+
+  /// Smallest input size (bytes) at which the accelerator wins, found by
+  /// bisection over [1, 1TB]; returns 0 if the accelerator never wins, and
+  /// 1 if it always wins.
+  uint64_t BreakEvenBytes(uint32_t cpu_cores = 1) const;
+
+  const Params& params() const { return params_; }
+
+ private:
+  Params params_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_OFFLOAD_MODEL_H_

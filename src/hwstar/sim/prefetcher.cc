@@ -1,0 +1,70 @@
+#include "hwstar/sim/prefetcher.h"
+
+#include <cstdlib>
+
+namespace hwstar::sim {
+
+StridePrefetcher::StridePrefetcher(uint32_t streams, uint32_t degree,
+                                   uint32_t confidence, uint32_t line_bytes)
+    : degree_(degree),
+      confidence_(confidence),
+      line_bytes_(line_bytes),
+      streams_(streams) {}
+
+void StridePrefetcher::Observe(uint64_t addr, std::vector<uint64_t>* out) {
+  out->clear();
+  ++lru_clock_;
+
+  // Find the stream whose predicted next address is closest to addr
+  // (within 8 lines), i.e., the stream this access most plausibly belongs
+  // to.
+  Stream* best = nullptr;
+  for (auto& s : streams_) {
+    if (!s.valid) continue;
+    int64_t delta = static_cast<int64_t>(addr) - static_cast<int64_t>(s.last_addr);
+    if (std::llabs(delta) <= static_cast<int64_t>(8 * line_bytes_)) {
+      if (best == nullptr || s.lru > best->lru) best = &s;
+    }
+  }
+
+  if (best != nullptr) {
+    int64_t delta = static_cast<int64_t>(addr) - static_cast<int64_t>(best->last_addr);
+    if (delta != 0 && delta == best->stride) {
+      if (++best->hits == confidence_) ++stats_.streams_detected;
+    } else {
+      best->stride = delta;
+      best->hits = delta == 0 ? best->hits : 1;
+    }
+    best->last_addr = addr;
+    best->lru = lru_clock_;
+    if (best->hits >= confidence_ && best->stride != 0) {
+      for (uint32_t d = 1; d <= degree_; ++d) {
+        out->push_back(addr + static_cast<uint64_t>(best->stride) * d);
+        ++stats_.issued;
+      }
+    }
+    return;
+  }
+
+  // Allocate a new stream in the least recently used slot.
+  Stream* victim = &streams_[0];
+  for (auto& s : streams_) {
+    if (!s.valid) {
+      victim = &s;
+      break;
+    }
+    if (s.lru < victim->lru) victim = &s;
+  }
+  victim->valid = true;
+  victim->last_addr = addr;
+  victim->stride = 0;
+  victim->hits = 0;
+  victim->lru = lru_clock_;
+}
+
+void StridePrefetcher::Reset() {
+  for (auto& s : streams_) s = Stream{};
+  lru_clock_ = 0;
+}
+
+}  // namespace hwstar::sim

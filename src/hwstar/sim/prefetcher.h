@@ -1,0 +1,57 @@
+#ifndef HWSTAR_SIM_PREFETCHER_H_
+#define HWSTAR_SIM_PREFETCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::sim {
+
+/// Prefetcher statistics.
+struct PrefetchStats {
+  uint64_t issued = 0;
+  uint64_t streams_detected = 0;
+  void Reset() { *this = PrefetchStats{}; }
+};
+
+/// A table-based stride prefetcher: tracks a small number of access
+/// streams, detects a repeated stride and, once confident, emits prefetch
+/// addresses `degree` strides ahead. This reproduces the qualitative
+/// hardware behaviour that makes sequential scans nearly latency-free while
+/// leaving random probes exposed to full memory latency -- the asymmetry
+/// that drives most layout/algorithm choices discussed in the paper.
+class StridePrefetcher {
+ public:
+  /// `streams`: tracked-stream table size. `degree`: how many lines ahead
+  /// to prefetch once a stream is confirmed. `confidence`: consecutive
+  /// same-stride hits needed before issuing.
+  StridePrefetcher(uint32_t streams = 8, uint32_t degree = 2,
+                   uint32_t confidence = 2, uint32_t line_bytes = 64);
+
+  /// Observes a demand access; appends predicted prefetch addresses to
+  /// `out` (cleared first).
+  void Observe(uint64_t addr, std::vector<uint64_t>* out);
+
+  const PrefetchStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  void Reset();
+
+ private:
+  struct Stream {
+    uint64_t last_addr = 0;
+    int64_t stride = 0;
+    uint32_t hits = 0;
+    uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  uint32_t degree_;
+  uint32_t confidence_;
+  uint32_t line_bytes_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Stream> streams_;
+  PrefetchStats stats_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_PREFETCHER_H_

@@ -1,0 +1,39 @@
+#include "hwstar/sim/roofline.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace hwstar::sim {
+
+double RooflineModel::AttainableGflops(double ops_per_byte) const {
+  if (ops_per_byte <= 0) return 0.0;
+  return std::min(params_.peak_gflops,
+                  ops_per_byte * params_.peak_bandwidth_gbps);
+}
+
+double RooflineModel::PredictSeconds(uint64_t bytes, uint64_t ops) const {
+  const double compute_s =
+      static_cast<double>(ops) / (params_.peak_gflops * 1e9);
+  const double memory_s =
+      static_cast<double>(bytes) / (params_.peak_bandwidth_gbps * 1e9);
+  return std::max(compute_s, memory_s);
+}
+
+double RooflineModel::PredictCompressedSeconds(uint64_t bytes, uint64_t ops,
+                                               double compression_ratio,
+                                               uint64_t extra_decode_ops) const {
+  if (compression_ratio < 1.0) compression_ratio = 1.0;
+  const uint64_t compressed_bytes =
+      static_cast<uint64_t>(static_cast<double>(bytes) / compression_ratio);
+  return PredictSeconds(compressed_bytes, ops + extra_decode_ops);
+}
+
+std::string RooflineModel::ToString() const {
+  std::ostringstream os;
+  os << "roofline: " << params_.peak_gflops << " Gop/s, "
+     << params_.peak_bandwidth_gbps << " GB/s, ridge at "
+     << RidgeIntensity() << " ops/byte";
+  return os.str();
+}
+
+}  // namespace hwstar::sim

@@ -1,0 +1,58 @@
+#ifndef HWSTAR_SIM_ROOFLINE_H_
+#define HWSTAR_SIM_ROOFLINE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace hwstar::sim {
+
+/// The roofline model: a kernel's attainable throughput is
+/// min(peak compute, arithmetic intensity x memory bandwidth). The paper's
+/// "strict performance engineering" starts with exactly this question --
+/// is a kernel compute- or bandwidth-bound? -- because it decides whether
+/// more cores help at all (E1's saturation) and whether compression pays
+/// (A3's bytes-vs-cycles trade).
+class RooflineModel {
+ public:
+  struct Params {
+    double peak_gflops = 16.0;       ///< per-socket scalar ops (Gop/s)
+    double peak_bandwidth_gbps = 25.6;  ///< memory bandwidth (GB/s)
+  };
+
+  RooflineModel() = default;
+  explicit RooflineModel(const Params& params) : params_(params) {}
+
+  /// Arithmetic intensity (ops/byte) at which the two roofs meet.
+  double RidgeIntensity() const {
+    return params_.peak_gflops / params_.peak_bandwidth_gbps;
+  }
+
+  /// Attainable throughput (Gop/s) at the given intensity.
+  double AttainableGflops(double ops_per_byte) const;
+
+  /// True when a kernel of this intensity is limited by bandwidth.
+  bool IsBandwidthBound(double ops_per_byte) const {
+    return ops_per_byte < RidgeIntensity();
+  }
+
+  /// Predicted runtime (seconds) for a kernel moving `bytes` and
+  /// executing `ops` operations.
+  double PredictSeconds(uint64_t bytes, uint64_t ops) const;
+
+  /// Same kernel with an effective compression ratio r (bytes shrink by
+  /// r, ops grow by decode_ops_per_value * values): answers "does
+  /// compression pay?" analytically.
+  double PredictCompressedSeconds(uint64_t bytes, uint64_t ops,
+                                  double compression_ratio,
+                                  uint64_t extra_decode_ops) const;
+
+  const Params& params() const { return params_; }
+  std::string ToString() const;
+
+ private:
+  Params params_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_ROOFLINE_H_

@@ -1,0 +1,42 @@
+#include "hwstar/sim/tlb.h"
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::sim {
+
+Tlb::Tlb(const hw::TlbSpec& spec) : spec_(spec) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(spec.page_bytes));
+  HWSTAR_CHECK(spec.entries > 0);
+  page_shift_ = bits::Log2Floor(spec.page_bytes);
+  entries_.assign(spec.entries, Entry{});
+}
+
+bool Tlb::Access(uint64_t addr) {
+  const uint64_t vpn = addr >> page_shift_;
+  ++lru_clock_;
+  Entry* victim = &entries_[0];
+  for (auto& e : entries_) {
+    if (e.valid && e.vpn == vpn) {
+      e.lru = lru_clock_;
+      ++stats_.hits;
+      return true;
+    }
+    if (!e.valid) {
+      victim = &e;
+    } else if (victim->valid && e.lru < victim->lru) {
+      victim = &e;
+    }
+  }
+  ++stats_.misses;
+  victim->valid = true;
+  victim->vpn = vpn;
+  victim->lru = lru_clock_;
+  return false;
+}
+
+void Tlb::Flush() {
+  for (auto& e : entries_) e = Entry{};
+}
+
+}  // namespace hwstar::sim

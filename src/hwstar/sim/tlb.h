@@ -1,0 +1,56 @@
+#ifndef HWSTAR_SIM_TLB_H_
+#define HWSTAR_SIM_TLB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/hw/machine_model.h"
+
+namespace hwstar::sim {
+
+/// TLB statistics.
+struct TlbStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  double miss_ratio() const {
+    uint64_t a = hits + misses;
+    return a == 0 ? 0.0 : static_cast<double>(misses) / static_cast<double>(a);
+  }
+  void Reset() { *this = TlbStats{}; }
+};
+
+/// Fully-associative LRU TLB. Page size and entry count come from the
+/// machine model; switching page_bytes to 2MB models huge pages, which is
+/// one of the hardware knobs the paper says software must start caring
+/// about (radix joins with fan-out beyond TLB reach collapse without them).
+class Tlb {
+ public:
+  explicit Tlb(const hw::TlbSpec& spec);
+
+  /// Translates the page containing addr; returns true on TLB hit.
+  bool Access(uint64_t addr);
+
+  /// Drops all entries (keeps statistics).
+  void Flush();
+
+  const TlbStats& stats() const { return stats_; }
+  void ResetStats() { stats_.Reset(); }
+  const hw::TlbSpec& spec() const { return spec_; }
+
+ private:
+  struct Entry {
+    uint64_t vpn = 0;
+    uint64_t lru = 0;
+    bool valid = false;
+  };
+
+  hw::TlbSpec spec_;
+  uint32_t page_shift_;
+  uint64_t lru_clock_ = 0;
+  std::vector<Entry> entries_;
+  TlbStats stats_;
+};
+
+}  // namespace hwstar::sim
+
+#endif  // HWSTAR_SIM_TLB_H_

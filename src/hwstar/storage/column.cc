@@ -1,0 +1,93 @@
+#include "hwstar/storage/column.h"
+
+#include "hwstar/common/hash.h"
+
+namespace hwstar::storage {
+
+Column::Column(TypeId type) : type_(type) {}
+
+void Column::Reserve(uint64_t n) {
+  switch (type_) {
+    case TypeId::kInt32:
+      i32_.reserve(n);
+      break;
+    case TypeId::kInt64:
+      i64_.reserve(n);
+      break;
+    case TypeId::kFloat64:
+      f64_.reserve(n);
+      break;
+    case TypeId::kString:
+      codes_.reserve(n);
+      break;
+  }
+}
+
+void Column::AppendInt32(int32_t v) {
+  HWSTAR_CHECK(type_ == TypeId::kInt32);
+  i32_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendInt64(int64_t v) {
+  HWSTAR_CHECK(type_ == TypeId::kInt64);
+  i64_.push_back(v);
+  ++size_;
+}
+
+void Column::AppendFloat64(double v) {
+  HWSTAR_CHECK(type_ == TypeId::kFloat64);
+  f64_.push_back(v);
+  ++size_;
+}
+
+int32_t Column::DictLookupOrInsert(const std::string& v) {
+  const uint64_t h = HashString(v);
+  for (const auto& [hash, idx] : dict_index_) {
+    if (hash == h && dict_values_[static_cast<size_t>(idx)] == v) return idx;
+  }
+  int32_t idx = static_cast<int32_t>(dict_values_.size());
+  dict_values_.push_back(v);
+  dict_index_.emplace_back(h, idx);
+  return idx;
+}
+
+void Column::AppendString(const std::string& v) {
+  HWSTAR_CHECK(type_ == TypeId::kString);
+  codes_.push_back(DictLookupOrInsert(v));
+  ++size_;
+}
+
+void* Column::MutableData() {
+  switch (type_) {
+    case TypeId::kInt32:
+      return i32_.data();
+    case TypeId::kInt64:
+      return i64_.data();
+    case TypeId::kFloat64:
+      return f64_.data();
+    case TypeId::kString:
+      return nullptr;
+  }
+  return nullptr;
+}
+
+const void* Column::Data() const {
+  return const_cast<Column*>(this)->MutableData();
+}
+
+uint64_t Column::DataBytes() const {
+  switch (type_) {
+    case TypeId::kInt32:
+      return i32_.size() * sizeof(int32_t);
+    case TypeId::kInt64:
+      return i64_.size() * sizeof(int64_t);
+    case TypeId::kFloat64:
+      return f64_.size() * sizeof(double);
+    case TypeId::kString:
+      return codes_.size() * sizeof(int32_t);
+  }
+  return 0;
+}
+
+}  // namespace hwstar::storage

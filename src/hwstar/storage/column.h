@@ -1,0 +1,91 @@
+#ifndef HWSTAR_STORAGE_COLUMN_H_
+#define HWSTAR_STORAGE_COLUMN_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "hwstar/common/macros.h"
+#include "hwstar/common/status.h"
+#include "hwstar/storage/types.h"
+
+namespace hwstar::storage {
+
+/// A type-erased, append-only column. Fixed-width types live in one
+/// contiguous, cache-friendly buffer (the property every columnar argument
+/// in the paper rests on); strings are dictionary-encoded on ingest
+/// (codes + distinct values), so scans over string columns also run over a
+/// dense int32 array.
+class Column {
+ public:
+  explicit Column(TypeId type);
+
+  TypeId type() const { return type_; }
+  uint64_t size() const { return size_; }
+
+  /// Appends one value; the overload must match the column type
+  /// (checked with HWSTAR_CHECK, as a type confusion is a programmer
+  /// error).
+  void AppendInt32(int32_t v);
+  void AppendInt64(int64_t v);
+  void AppendFloat64(double v);
+  void AppendString(const std::string& v);
+
+  /// Reserves space for n values.
+  void Reserve(uint64_t n);
+
+  /// Typed reads (bounds-unchecked fast path; DCHECKed).
+  int32_t GetInt32(uint64_t row) const {
+    HWSTAR_DCHECK(type_ == TypeId::kInt32 && row < size_);
+    return i32_[row];
+  }
+  int64_t GetInt64(uint64_t row) const {
+    HWSTAR_DCHECK(type_ == TypeId::kInt64 && row < size_);
+    return i64_[row];
+  }
+  double GetFloat64(uint64_t row) const {
+    HWSTAR_DCHECK(type_ == TypeId::kFloat64 && row < size_);
+    return f64_[row];
+  }
+  const std::string& GetString(uint64_t row) const {
+    HWSTAR_DCHECK(type_ == TypeId::kString && row < size_);
+    return dict_values_[static_cast<size_t>(codes_[row])];
+  }
+  /// Dictionary code of a string row.
+  int32_t GetStringCode(uint64_t row) const {
+    HWSTAR_DCHECK(type_ == TypeId::kString && row < size_);
+    return codes_[row];
+  }
+
+  /// Dense typed views (valid only for the matching type).
+  std::span<const int32_t> Int32Span() const { return i32_; }
+  std::span<const int64_t> Int64Span() const { return i64_; }
+  std::span<const double> Float64Span() const { return f64_; }
+  std::span<const int32_t> StringCodeSpan() const { return codes_; }
+  const std::vector<std::string>& dictionary() const { return dict_values_; }
+
+  /// Mutable raw data pointer for fixed-width columns (used by bulk
+  /// loaders); nullptr for strings.
+  void* MutableData();
+  const void* Data() const;
+
+  /// Bytes of the dense value buffer (excluding the string dictionary).
+  uint64_t DataBytes() const;
+
+ private:
+  TypeId type_;
+  uint64_t size_ = 0;
+  std::vector<int32_t> i32_;
+  std::vector<int64_t> i64_;
+  std::vector<double> f64_;
+  std::vector<int32_t> codes_;               // string rows -> dict index
+  std::vector<std::string> dict_values_;     // distinct strings
+  // Insert-ordered dictionary lookup; linear probe map from hash -> index.
+  std::vector<std::pair<uint64_t, int32_t>> dict_index_;
+  int32_t DictLookupOrInsert(const std::string& v);
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_COLUMN_H_

@@ -1,0 +1,53 @@
+#include "hwstar/storage/column_store.h"
+
+namespace hwstar::storage {
+
+Result<ColumnStore> ColumnStore::FromTable(const Table& table) {
+  ColumnStore store(table.schema());
+  const Schema& schema = table.schema();
+  const uint64_t rows = table.num_rows();
+  store.int_cols_.resize(schema.num_fields());
+  store.float_cols_.resize(schema.num_fields());
+  for (size_t f = 0; f < schema.num_fields(); ++f) {
+    const Column& col = table.column(f);
+    switch (schema.field(f).type) {
+      case TypeId::kInt32: {
+        auto& out = store.int_cols_[f];
+        out.resize(rows);
+        auto in = col.Int32Span();
+        for (uint64_t r = 0; r < rows; ++r) out[r] = in[r];
+        break;
+      }
+      case TypeId::kInt64: {
+        auto& out = store.int_cols_[f];
+        auto in = col.Int64Span();
+        out.assign(in.begin(), in.end());
+        break;
+      }
+      case TypeId::kFloat64: {
+        auto& out = store.float_cols_[f];
+        auto in = col.Float64Span();
+        out.assign(in.begin(), in.end());
+        break;
+      }
+      case TypeId::kString: {
+        auto& out = store.int_cols_[f];
+        out.resize(rows);
+        auto in = col.StringCodeSpan();
+        for (uint64_t r = 0; r < rows; ++r) out[r] = in[r];
+        break;
+      }
+    }
+  }
+  store.num_rows_ = rows;
+  return store;
+}
+
+uint64_t ColumnStore::DataBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : int_cols_) total += c.size() * sizeof(int64_t);
+  for (const auto& c : float_cols_) total += c.size() * sizeof(double);
+  return total;
+}
+
+}  // namespace hwstar::storage

@@ -1,0 +1,55 @@
+#ifndef HWSTAR_STORAGE_COLUMN_STORE_H_
+#define HWSTAR_STORAGE_COLUMN_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/storage/table.h"
+
+namespace hwstar::storage {
+
+/// Decomposed storage model (DSM): each column as one dense, independently
+/// scannable array. Built from a fixed-width Table; every value is widened
+/// to 8 bytes so scan kernels are monomorphic (int64 or double views).
+/// Trading a little space for simple, vectorizable kernels is the
+/// hardware-conscious choice for analytics.
+class ColumnStore {
+ public:
+  /// Materializes the table column-wise. Strings are stored as their
+  /// dictionary codes (widened to int64).
+  static Result<ColumnStore> FromTable(const Table& table);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return int_cols_.size(); }
+
+  /// Integer view of column f (valid for int32/int64/string-code columns).
+  const std::vector<int64_t>& IntColumn(size_t f) const {
+    return int_cols_[f];
+  }
+  /// Float view of column f (valid for float64 columns).
+  const std::vector<double>& FloatColumn(size_t f) const {
+    return float_cols_[f];
+  }
+  /// True when column f is served by the float view.
+  bool IsFloat(size_t f) const {
+    return schema_.field(f).type == TypeId::kFloat64;
+  }
+
+  uint64_t DataBytes() const;
+
+ private:
+  explicit ColumnStore(Schema schema) : schema_(std::move(schema)) {}
+
+  Schema schema_;
+  uint64_t num_rows_ = 0;
+  // Parallel vectors: exactly one of int_cols_[f]/float_cols_[f] is
+  // populated per field.
+  std::vector<std::vector<int64_t>> int_cols_;
+  std::vector<std::vector<double>> float_cols_;
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_COLUMN_STORE_H_

@@ -1,0 +1,143 @@
+#include "hwstar/storage/compression.h"
+
+#include <unordered_map>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::storage {
+
+DictEncoded DictEncode(const std::vector<int64_t>& values) {
+  DictEncoded out;
+  out.codes.reserve(values.size());
+  std::unordered_map<int64_t, int32_t> index;
+  index.reserve(values.size() / 4 + 8);
+  for (int64_t v : values) {
+    auto [it, inserted] =
+        index.emplace(v, static_cast<int32_t>(out.dictionary.size()));
+    if (inserted) out.dictionary.push_back(v);
+    out.codes.push_back(it->second);
+  }
+  return out;
+}
+
+std::vector<int64_t> DictDecode(const DictEncoded& enc) {
+  std::vector<int64_t> out;
+  out.reserve(enc.codes.size());
+  for (int32_t c : enc.codes) {
+    out.push_back(enc.dictionary[static_cast<size_t>(c)]);
+  }
+  return out;
+}
+
+RleEncoded RleEncode(const std::vector<int64_t>& values) {
+  RleEncoded out;
+  size_t i = 0;
+  while (i < values.size()) {
+    int64_t v = values[i];
+    uint32_t len = 1;
+    while (i + len < values.size() && values[i + len] == v &&
+           len < UINT32_MAX) {
+      ++len;
+    }
+    out.values.push_back(v);
+    out.lengths.push_back(len);
+    i += len;
+  }
+  return out;
+}
+
+std::vector<int64_t> RleDecode(const RleEncoded& enc) {
+  std::vector<int64_t> out;
+  uint64_t total = 0;
+  for (uint32_t l : enc.lengths) total += l;
+  out.reserve(total);
+  for (size_t i = 0; i < enc.values.size(); ++i) {
+    out.insert(out.end(), enc.lengths[i], enc.values[i]);
+  }
+  return out;
+}
+
+Result<BitPacked> BitPack(const std::vector<int64_t>& values) {
+  BitPacked out;
+  out.count = values.size();
+  uint64_t max_v = 0;
+  for (int64_t v : values) {
+    if (v < 0) return Status::InvalidArgument("BitPack requires values >= 0");
+    if (static_cast<uint64_t>(v) > max_v) max_v = static_cast<uint64_t>(v);
+  }
+  out.bit_width = max_v == 0 ? 0 : bits::Log2Floor(max_v) + 1;
+  if (out.bit_width == 0) return out;
+  const uint64_t total_bits = out.count * out.bit_width;
+  out.words.assign((total_bits + 63) / 64, 0);
+  uint64_t bitpos = 0;
+  for (int64_t v : values) {
+    const uint64_t uv = static_cast<uint64_t>(v);
+    const uint64_t word = bitpos / 64;
+    const uint32_t off = static_cast<uint32_t>(bitpos % 64);
+    out.words[word] |= uv << off;
+    if (off + out.bit_width > 64) {
+      out.words[word + 1] |= uv >> (64 - off);
+    }
+    bitpos += out.bit_width;
+  }
+  return out;
+}
+
+int64_t BitPackedGet(const BitPacked& enc, uint64_t index) {
+  HWSTAR_DCHECK(index < enc.count);
+  if (enc.bit_width == 0) return 0;
+  const uint64_t bitpos = index * enc.bit_width;
+  const uint64_t word = bitpos / 64;
+  const uint32_t off = static_cast<uint32_t>(bitpos % 64);
+  uint64_t v = enc.words[word] >> off;
+  if (off + enc.bit_width > 64) {
+    v |= enc.words[word + 1] << (64 - off);
+  }
+  const uint64_t mask = enc.bit_width >= 64
+                            ? ~uint64_t{0}
+                            : (uint64_t{1} << enc.bit_width) - 1;
+  return static_cast<int64_t>(v & mask);
+}
+
+std::vector<int64_t> BitUnpack(const BitPacked& enc) {
+  std::vector<int64_t> out(enc.count, 0);
+  if (enc.bit_width == 0) return out;
+  for (uint64_t i = 0; i < enc.count; ++i) out[i] = BitPackedGet(enc, i);
+  return out;
+}
+
+DeltaEncoded DeltaEncode(const std::vector<int64_t>& values) {
+  DeltaEncoded out;
+  out.count = values.size();
+  if (values.empty()) return out;
+  out.first = values[0];
+  out.deltas.reserve(values.size() - 1);
+  for (size_t i = 1; i < values.size(); ++i) {
+    out.deltas.push_back(values[i] - values[i - 1]);
+  }
+  return out;
+}
+
+std::vector<int64_t> DeltaDecode(const DeltaEncoded& enc) {
+  std::vector<int64_t> out;
+  if (enc.count == 0) return out;
+  out.reserve(enc.count);
+  out.push_back(enc.first);
+  int64_t cur = enc.first;
+  for (int64_t d : enc.deltas) {
+    cur += d;
+    out.push_back(cur);
+  }
+  return out;
+}
+
+int64_t RleSum(const RleEncoded& enc) {
+  int64_t sum = 0;
+  for (size_t i = 0; i < enc.values.size(); ++i) {
+    sum += enc.values[i] * static_cast<int64_t>(enc.lengths[i]);
+  }
+  return sum;
+}
+
+}  // namespace hwstar::storage

@@ -1,0 +1,87 @@
+#ifndef HWSTAR_STORAGE_COMPRESSION_H_
+#define HWSTAR_STORAGE_COMPRESSION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/status.h"
+
+namespace hwstar::storage {
+
+/// Lightweight columnar compression schemes. The point of these encodings
+/// in a main-memory engine is not disk savings but *memory bandwidth*: a
+/// scan over bit-packed or RLE data moves fewer bytes per tuple, and since
+/// analytical scans are bandwidth-bound (the paper's "memory wall"), fewer
+/// bytes is directly more tuples per second. Each scheme provides
+/// encode/decode plus an encoded-size accessor so benches can report the
+/// bytes-moved reduction.
+
+/// Dictionary coding: values -> dense int32 codes + sorted-by-first-seen
+/// dictionary.
+struct DictEncoded {
+  std::vector<int64_t> dictionary;  ///< code -> value
+  std::vector<int32_t> codes;       ///< one per input value
+  uint64_t EncodedBytes() const {
+    return dictionary.size() * sizeof(int64_t) +
+           codes.size() * sizeof(int32_t);
+  }
+};
+
+/// Encodes `values` with a dictionary; code assignment is first-seen order.
+DictEncoded DictEncode(const std::vector<int64_t>& values);
+/// Inverse of DictEncode.
+std::vector<int64_t> DictDecode(const DictEncoded& enc);
+
+/// Run-length coding: (value, run length) pairs.
+struct RleEncoded {
+  std::vector<int64_t> values;
+  std::vector<uint32_t> lengths;
+  uint64_t EncodedBytes() const {
+    return values.size() * sizeof(int64_t) +
+           lengths.size() * sizeof(uint32_t);
+  }
+};
+
+/// Encodes `values` as maximal runs.
+RleEncoded RleEncode(const std::vector<int64_t>& values);
+/// Inverse of RleEncode.
+std::vector<int64_t> RleDecode(const RleEncoded& enc);
+
+/// Bit-packing of non-negative values into the minimal uniform bit width.
+struct BitPacked {
+  uint32_t bit_width = 0;
+  uint64_t count = 0;
+  std::vector<uint64_t> words;
+  uint64_t EncodedBytes() const { return words.size() * sizeof(uint64_t); }
+};
+
+/// Packs values (all must be >= 0) at the minimal width that fits the
+/// maximum; width 0 (all zeros) stores no words.
+Result<BitPacked> BitPack(const std::vector<int64_t>& values);
+/// Inverse of BitPack.
+std::vector<int64_t> BitUnpack(const BitPacked& enc);
+
+/// Random access into a packed vector without full decode.
+int64_t BitPackedGet(const BitPacked& enc, uint64_t index);
+
+/// Delta coding: first value + successive differences (frame of reference
+/// for sorted data; combine with BitPack for the classic sorted-key
+/// compression).
+struct DeltaEncoded {
+  int64_t first = 0;
+  std::vector<int64_t> deltas;  ///< size = n-1 (empty for n<=1)
+  uint64_t count = 0;
+};
+
+/// Encodes successive differences.
+DeltaEncoded DeltaEncode(const std::vector<int64_t>& values);
+/// Inverse of DeltaEncode.
+std::vector<int64_t> DeltaDecode(const DeltaEncoded& enc);
+
+/// Sums all values directly on RLE-encoded data (value * run_length),
+/// demonstrating operating on compressed data without decoding.
+int64_t RleSum(const RleEncoded& enc);
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_COMPRESSION_H_

@@ -1,0 +1,123 @@
+#include "hwstar/storage/pax.h"
+
+#include <cstring>
+
+#include "hwstar/common/hash.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::storage {
+
+Result<PaxStore> PaxStore::FromTable(const Table& table,
+                                     uint32_t rows_per_page) {
+  const Schema& schema = table.schema();
+  auto width = schema.FixedRowWidth();
+  if (!width.ok()) return width.status();
+  if (rows_per_page == 0) {
+    // Widened rows (8 bytes per field) into a 64KB page.
+    uint64_t widened = schema.num_fields() * 8;
+    rows_per_page = static_cast<uint32_t>((64 * 1024) / (widened == 0 ? 8 : widened));
+    if (rows_per_page == 0) rows_per_page = 1;
+  }
+  PaxStore store(schema, rows_per_page);
+  const uint64_t rows = table.num_rows();
+  const size_t nf = schema.num_fields();
+  const uint64_t npages = (rows + rows_per_page - 1) / rows_per_page;
+  store.pages_.resize(npages);
+  for (uint64_t p = 0; p < npages; ++p) {
+    store.pages_[p].assign(static_cast<size_t>(rows_per_page) * nf, 0);
+    const uint64_t base = p * rows_per_page;
+    const uint32_t in_page = static_cast<uint32_t>(
+        (base + rows_per_page <= rows) ? rows_per_page : rows - base);
+    for (size_t f = 0; f < nf; ++f) {
+      uint64_t* mini = store.pages_[p].data() + f * rows_per_page;
+      const Column& col = table.column(f);
+      for (uint32_t i = 0; i < in_page; ++i) {
+        const uint64_t r = base + i;
+        switch (schema.field(f).type) {
+          case TypeId::kInt32:
+            mini[i] = static_cast<uint64_t>(
+                static_cast<int64_t>(col.GetInt32(r)));
+            break;
+          case TypeId::kInt64:
+            mini[i] = static_cast<uint64_t>(col.GetInt64(r));
+            break;
+          case TypeId::kFloat64: {
+            double v = col.GetFloat64(r);
+            uint64_t bits;
+            std::memcpy(&bits, &v, sizeof(bits));
+            mini[i] = bits;
+            break;
+          }
+          case TypeId::kString:
+            return Status::InvalidArgument("PaxStore cannot hold strings");
+        }
+      }
+    }
+  }
+  store.num_rows_ = rows;
+  store.SealChecksums();
+  return store;
+}
+
+uint32_t PaxStore::RowsInPage(uint64_t p) const {
+  const uint64_t base = p * rows_per_page_;
+  HWSTAR_DCHECK(base < num_rows_ || (num_rows_ == 0 && p == 0));
+  return static_cast<uint32_t>((base + rows_per_page_ <= num_rows_)
+                                   ? rows_per_page_
+                                   : num_rows_ - base);
+}
+
+const int64_t* PaxStore::IntMinipage(uint64_t p, size_t f) const {
+  return reinterpret_cast<const int64_t*>(pages_[p].data() +
+                                          f * rows_per_page_);
+}
+
+const double* PaxStore::FloatMinipage(uint64_t p, size_t f) const {
+  return reinterpret_cast<const double*>(pages_[p].data() +
+                                         f * rows_per_page_);
+}
+
+int64_t PaxStore::GetInt(uint64_t r, size_t f) const {
+  HWSTAR_DCHECK(r < num_rows_);
+  return IntMinipage(r / rows_per_page_, f)[r % rows_per_page_];
+}
+
+double PaxStore::GetFloat(uint64_t r, size_t f) const {
+  HWSTAR_DCHECK(r < num_rows_);
+  return FloatMinipage(r / rows_per_page_, f)[r % rows_per_page_];
+}
+
+uint64_t* PaxStore::MutableMinipage(uint64_t p, size_t f) {
+  return pages_[p].data() + f * rows_per_page_;
+}
+
+uint32_t PaxStore::PageChecksum(uint64_t p) const {
+  return Crc32(pages_[p].data(), pages_[p].size() * sizeof(uint64_t));
+}
+
+void PaxStore::SealChecksums() {
+  checksums_.resize(pages_.size());
+  for (uint64_t p = 0; p < pages_.size(); ++p) {
+    checksums_[p] = PageChecksum(p);
+  }
+}
+
+Status PaxStore::VerifyChecksums() const {
+  if (checksums_.size() != pages_.size()) {
+    return Status::FailedPrecondition("checksums not sealed");
+  }
+  for (uint64_t p = 0; p < pages_.size(); ++p) {
+    if (PageChecksum(p) != checksums_[p]) {
+      return Status::IoError("checksum mismatch on page " + std::to_string(p));
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t PaxStore::DataBytes() const {
+  uint64_t total = 0;
+  for (const auto& p : pages_) total += p.size() * sizeof(uint64_t);
+  return total;
+}
+
+}  // namespace hwstar::storage

@@ -1,0 +1,77 @@
+#ifndef HWSTAR_STORAGE_PAX_H_
+#define HWSTAR_STORAGE_PAX_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/storage/table.h"
+
+namespace hwstar::storage {
+
+/// PAX (Partition Attributes Across) layout: rows are grouped into fixed
+/// capacity pages; *within* a page each attribute occupies its own
+/// minipage. Inter-page access behaves like a row store (one page holds
+/// whole rows), intra-page access behaves like a column store (a scan of
+/// one attribute touches contiguous bytes). The hybrid point in experiment
+/// E3's layout spectrum.
+class PaxStore {
+ public:
+  /// Builds the store from a fixed-width table. `rows_per_page` defaults
+  /// to the count that fits a 64KB page for the given schema.
+  static Result<PaxStore> FromTable(const Table& table,
+                                    uint32_t rows_per_page = 0);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t rows_per_page() const { return rows_per_page_; }
+  uint64_t num_pages() const { return pages_.size(); }
+
+  /// Reads field `f` of global row `r` (widened).
+  int64_t GetInt(uint64_t r, size_t f) const;
+  double GetFloat(uint64_t r, size_t f) const;
+
+  /// Pointer to the minipage of field `f` in page `p` (values are widened
+  /// to 8 bytes, so the minipage is an int64_t/double array of up to
+  /// rows_per_page entries).
+  const int64_t* IntMinipage(uint64_t p, size_t f) const;
+  const double* FloatMinipage(uint64_t p, size_t f) const;
+
+  /// Mutable raw minipage access (loaders / fault-injection tests).
+  /// Invalidates the page's sealed checksum until SealChecksums().
+  uint64_t* MutableMinipage(uint64_t p, size_t f);
+
+  /// Rows resident in page p (== rows_per_page except the last page).
+  uint32_t RowsInPage(uint64_t p) const;
+
+  /// CRC32 of page p's contents. Sealing checksums at load time lets
+  /// scans detect silent corruption -- cheap insurance once pages live on
+  /// commodity DRAM/flash, per the paper's reliability-at-scale point.
+  uint32_t PageChecksum(uint64_t p) const;
+
+  /// Seals checksums for all pages (called by FromTable; call again after
+  /// any direct mutation).
+  void SealChecksums();
+
+  /// Verifies every page against its sealed checksum; IoError names the
+  /// first corrupted page.
+  Status VerifyChecksums() const;
+
+  uint64_t DataBytes() const;
+
+ private:
+  PaxStore(Schema schema, uint32_t rows_per_page)
+      : schema_(std::move(schema)), rows_per_page_(rows_per_page) {}
+
+  Schema schema_;
+  uint32_t rows_per_page_;
+  uint64_t num_rows_ = 0;
+  // One buffer per page: minipages concatenated field by field, each of
+  // rows_per_page_ 8-byte slots.
+  std::vector<std::vector<uint64_t>> pages_;
+  std::vector<uint32_t> checksums_;
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_PAX_H_

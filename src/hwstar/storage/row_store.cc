@@ -1,0 +1,117 @@
+#include "hwstar/storage/row_store.h"
+
+#include <cstring>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::storage {
+
+Result<RowStore> RowStore::Create(const Schema& schema) {
+  auto width = schema.FixedRowWidth();
+  if (!width.ok()) return width.status();
+  std::vector<uint32_t> offsets(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    auto off = schema.FixedOffset(i);
+    if (!off.ok()) return off.status();
+    offsets[i] = off.value();
+  }
+  return RowStore(schema, width.value(), std::move(offsets));
+}
+
+Result<RowStore> RowStore::FromTable(const Table& table) {
+  auto rs = Create(table.schema());
+  if (!rs.ok()) return rs.status();
+  RowStore store = std::move(rs).value();
+  const Schema& schema = table.schema();
+  store.data_.resize(table.num_rows() * store.row_width_);
+  for (uint64_t r = 0; r < table.num_rows(); ++r) {
+    uint8_t* row = store.data_.data() + r * store.row_width_;
+    for (size_t f = 0; f < schema.num_fields(); ++f) {
+      const Column& col = table.column(f);
+      uint8_t* dst = row + store.offsets_[f];
+      switch (schema.field(f).type) {
+        case TypeId::kInt32: {
+          int32_t v = col.GetInt32(r);
+          std::memcpy(dst, &v, sizeof(v));
+          break;
+        }
+        case TypeId::kInt64: {
+          int64_t v = col.GetInt64(r);
+          std::memcpy(dst, &v, sizeof(v));
+          break;
+        }
+        case TypeId::kFloat64: {
+          double v = col.GetFloat64(r);
+          std::memcpy(dst, &v, sizeof(v));
+          break;
+        }
+        case TypeId::kString:
+          return Status::InvalidArgument("RowStore cannot hold strings");
+      }
+    }
+  }
+  store.num_rows_ = table.num_rows();
+  return store;
+}
+
+int64_t RowStore::GetInt(uint64_t r, size_t f) const {
+  HWSTAR_DCHECK(r < num_rows_ && f < schema_.num_fields());
+  const uint8_t* p = RowPtr(r) + offsets_[f];
+  switch (schema_.field(f).type) {
+    case TypeId::kInt32: {
+      int32_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    case TypeId::kInt64: {
+      int64_t v;
+      std::memcpy(&v, p, sizeof(v));
+      return v;
+    }
+    default:
+      HWSTAR_CHECK(false);
+  }
+  return 0;
+}
+
+double RowStore::GetFloat(uint64_t r, size_t f) const {
+  HWSTAR_DCHECK(r < num_rows_ && f < schema_.num_fields());
+  HWSTAR_DCHECK(schema_.field(f).type == TypeId::kFloat64);
+  const uint8_t* p = RowPtr(r) + offsets_[f];
+  double v;
+  std::memcpy(&v, p, sizeof(v));
+  return v;
+}
+
+void RowStore::AppendRow(const std::vector<int64_t>& ints,
+                         const std::vector<double>& floats) {
+  size_t int_i = 0, float_i = 0;
+  size_t base = data_.size();
+  data_.resize(base + row_width_);
+  uint8_t* row = data_.data() + base;
+  for (size_t f = 0; f < schema_.num_fields(); ++f) {
+    uint8_t* dst = row + offsets_[f];
+    switch (schema_.field(f).type) {
+      case TypeId::kInt32: {
+        int32_t v = static_cast<int32_t>(ints[int_i++]);
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+      }
+      case TypeId::kInt64: {
+        int64_t v = ints[int_i++];
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+      }
+      case TypeId::kFloat64: {
+        double v = floats[float_i++];
+        std::memcpy(dst, &v, sizeof(v));
+        break;
+      }
+      case TypeId::kString:
+        HWSTAR_CHECK(false);
+    }
+  }
+  ++num_rows_;
+}
+
+}  // namespace hwstar::storage

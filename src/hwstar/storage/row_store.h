@@ -1,0 +1,67 @@
+#ifndef HWSTAR_STORAGE_ROW_STORE_H_
+#define HWSTAR_STORAGE_ROW_STORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/storage/table.h"
+#include "hwstar/storage/types.h"
+
+namespace hwstar::storage {
+
+/// N-ary storage model (NSM): fixed-width tuples packed contiguously. The
+/// layout OLTP engines favour -- touching one row touches one cache line
+/// region -- and the layout that wastes bandwidth for analytical scans,
+/// which is the row-vs-column trade-off experiment E3 measures.
+class RowStore {
+ public:
+  /// Builds an empty store; the schema must be all fixed-width.
+  static Result<RowStore> Create(const Schema& schema);
+
+  /// Materializes a Table into row format (schema must be fixed-width).
+  static Result<RowStore> FromTable(const Table& table);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  uint32_t row_width() const { return row_width_; }
+
+  /// Raw base pointer of the packed rows.
+  const uint8_t* data() const { return data_.data(); }
+  uint8_t* mutable_data() { return data_.data(); }
+
+  /// Pointer to row `r`.
+  const uint8_t* RowPtr(uint64_t r) const {
+    return data_.data() + r * row_width_;
+  }
+
+  /// Reads field `f` of row `r` as the widened int64/double value.
+  int64_t GetInt(uint64_t r, size_t f) const;
+  double GetFloat(uint64_t r, size_t f) const;
+
+  /// Appends one row given widened values (ints for integer fields,
+  /// doubles for float fields, matched by position).
+  void AppendRow(const std::vector<int64_t>& ints,
+                 const std::vector<double>& floats);
+
+  /// Field byte offsets within a row.
+  const std::vector<uint32_t>& offsets() const { return offsets_; }
+
+  uint64_t DataBytes() const { return data_.size(); }
+
+ private:
+  RowStore(Schema schema, uint32_t row_width, std::vector<uint32_t> offsets)
+      : schema_(std::move(schema)),
+        row_width_(row_width),
+        offsets_(std::move(offsets)) {}
+
+  Schema schema_;
+  uint32_t row_width_;
+  std::vector<uint32_t> offsets_;
+  std::vector<uint8_t> data_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_ROW_STORE_H_

@@ -1,0 +1,50 @@
+#include "hwstar/storage/table.h"
+
+namespace hwstar::storage {
+
+Table::Table(Schema schema) : schema_(std::move(schema)) {
+  columns_.reserve(schema_.num_fields());
+  for (const auto& f : schema_.fields()) {
+    columns_.push_back(std::make_unique<Column>(f.type));
+  }
+}
+
+const Column* Table::ColumnByName(const std::string& name) const {
+  int idx = schema_.FieldIndex(name);
+  return idx < 0 ? nullptr : columns_[static_cast<size_t>(idx)].get();
+}
+
+Status Table::FinishRow() {
+  uint64_t expected = num_rows_ + 1;
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != expected) {
+      return Status::FailedPrecondition(
+          "column " + schema_.field(i).name + " has " +
+          std::to_string(columns_[i]->size()) + " values, expected " +
+          std::to_string(expected));
+    }
+  }
+  num_rows_ = expected;
+  return Status::OK();
+}
+
+Status Table::SetRowCount(uint64_t rows) {
+  for (size_t i = 0; i < columns_.size(); ++i) {
+    if (columns_[i]->size() != rows) {
+      return Status::FailedPrecondition(
+          "column " + schema_.field(i).name + " has " +
+          std::to_string(columns_[i]->size()) + " values, expected " +
+          std::to_string(rows));
+    }
+  }
+  num_rows_ = rows;
+  return Status::OK();
+}
+
+uint64_t Table::DataBytes() const {
+  uint64_t total = 0;
+  for (const auto& c : columns_) total += c->DataBytes();
+  return total;
+}
+
+}  // namespace hwstar::storage

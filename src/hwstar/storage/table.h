@@ -1,0 +1,51 @@
+#ifndef HWSTAR_STORAGE_TABLE_H_
+#define HWSTAR_STORAGE_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/storage/column.h"
+#include "hwstar/storage/types.h"
+
+namespace hwstar::storage {
+
+/// A schema plus one Column per field, all of equal length. Table is the
+/// library's logical relation; physical layouts (RowStore, ColumnStore,
+/// PaxStore) are built from it.
+class Table {
+ public:
+  explicit Table(Schema schema);
+
+  const Schema& schema() const { return schema_; }
+  uint64_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+
+  Column& column(size_t i) { return *columns_[i]; }
+  const Column& column(size_t i) const { return *columns_[i]; }
+
+  /// Column by name; nullptr when absent.
+  const Column* ColumnByName(const std::string& name) const;
+
+  /// Marks a row complete. Call after appending one value to every column;
+  /// verifies all columns have equal length.
+  Status FinishRow();
+
+  /// Bulk-sets the row count after direct column loading; verifies
+  /// consistency.
+  Status SetRowCount(uint64_t rows);
+
+  /// Total bytes of dense column data.
+  uint64_t DataBytes() const;
+
+ private:
+  Schema schema_;
+  std::vector<std::unique_ptr<Column>> columns_;
+  uint64_t num_rows_ = 0;
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_TABLE_H_

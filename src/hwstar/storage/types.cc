@@ -1,0 +1,78 @@
+#include "hwstar/storage/types.h"
+
+#include <sstream>
+
+namespace hwstar::storage {
+
+uint32_t TypeWidth(TypeId type) {
+  switch (type) {
+    case TypeId::kInt32:
+      return 4;
+    case TypeId::kInt64:
+      return 8;
+    case TypeId::kFloat64:
+      return 8;
+    case TypeId::kString:
+      return 0;
+  }
+  return 0;
+}
+
+const char* TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt32:
+      return "int32";
+    case TypeId::kInt64:
+      return "int64";
+    case TypeId::kFloat64:
+      return "float64";
+    case TypeId::kString:
+      return "string";
+  }
+  return "?";
+}
+
+int Schema::FieldIndex(const std::string& name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+Result<uint32_t> Schema::FixedRowWidth() const {
+  uint32_t width = 0;
+  for (const auto& f : fields_) {
+    if (!IsFixedWidth(f.type)) {
+      return Status::InvalidArgument("schema has variable-length field: " +
+                                     f.name);
+    }
+    width += TypeWidth(f.type);
+  }
+  return width;
+}
+
+Result<uint32_t> Schema::FixedOffset(size_t i) const {
+  if (i >= fields_.size()) {
+    return Status::OutOfRange("field index out of range");
+  }
+  uint32_t off = 0;
+  for (size_t k = 0; k < i; ++k) {
+    if (!IsFixedWidth(fields_[k].type)) {
+      return Status::InvalidArgument("schema has variable-length field: " +
+                                     fields_[k].name);
+    }
+    off += TypeWidth(fields_[k].type);
+  }
+  return off;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << fields_[i].name << ":" << TypeName(fields_[i].type);
+  }
+  return os.str();
+}
+
+}  // namespace hwstar::storage

@@ -1,0 +1,72 @@
+#ifndef HWSTAR_STORAGE_TYPES_H_
+#define HWSTAR_STORAGE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hwstar/common/status.h"
+
+namespace hwstar::storage {
+
+/// Value types supported by the storage layer.
+enum class TypeId : uint8_t {
+  kInt32 = 0,
+  kInt64 = 1,
+  kFloat64 = 2,
+  kString = 3,  ///< variable length; only columnar layouts support it
+};
+
+/// Byte width of a fixed-width type; 0 for variable-length types.
+uint32_t TypeWidth(TypeId type);
+
+/// True for types with a compile-time-known width.
+inline bool IsFixedWidth(TypeId type) { return type != TypeId::kString; }
+
+/// Stable lower-case type name.
+const char* TypeName(TypeId type);
+
+/// One column of a schema.
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+/// An ordered list of named, typed columns.
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_[i]; }
+  const std::vector<Field>& fields() const { return fields_; }
+
+  /// Index of the field with the given name, or -1.
+  int FieldIndex(const std::string& name) const;
+
+  /// Sum of fixed widths; errors if any field is variable-length.
+  Result<uint32_t> FixedRowWidth() const;
+
+  /// Byte offset of field i in a packed fixed-width row (no padding);
+  /// errors if any preceding field is variable-length.
+  Result<uint32_t> FixedOffset(size_t i) const;
+
+  /// "name:type, ..." rendering.
+  std::string ToString() const;
+
+  bool operator==(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace hwstar::storage
+
+#endif  // HWSTAR_STORAGE_TYPES_H_

@@ -1,0 +1,131 @@
+#include "hwstar/workload/distributions.h"
+
+#include <cmath>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::workload {
+
+ZipfGenerator::ZipfGenerator(uint64_t n, double theta, uint64_t seed)
+    : n_(n), theta_(theta), rng_(seed) {
+  HWSTAR_CHECK(n > 0);
+  HWSTAR_CHECK(theta >= 0.0 && theta < 1.0);
+  alpha_ = 1.0 / (1.0 - theta_);
+  zetan_ = zeta(n_, theta_);
+  const double zeta2 = zeta(2, theta_);
+  eta_ = (1.0 - std::pow(2.0 / static_cast<double>(n_), 1.0 - theta_)) /
+         (1.0 - zeta2 / zetan_);
+}
+
+double ZipfGenerator::zeta(uint64_t n, double theta) {
+  // Direct summation; O(n) once per construction. For the large domains
+  // used in benches, sample the tail: sum exactly up to 10^6 and
+  // extrapolate with the integral approximation.
+  const uint64_t kExact = 1000000;
+  double sum = 0.0;
+  const uint64_t limit = n < kExact ? n : kExact;
+  for (uint64_t i = 1; i <= limit; ++i) {
+    sum += 1.0 / std::pow(static_cast<double>(i), theta);
+  }
+  if (n > kExact) {
+    // integral of x^-theta from kExact to n
+    const double a = static_cast<double>(kExact);
+    const double b = static_cast<double>(n);
+    sum += (std::pow(b, 1.0 - theta) - std::pow(a, 1.0 - theta)) /
+           (1.0 - theta);
+  }
+  return sum;
+}
+
+uint64_t ZipfGenerator::Next() {
+  const double u = rng_.NextDouble();
+  const double uz = u * zetan_;
+  if (uz < 1.0) return 0;
+  if (uz < 1.0 + std::pow(0.5, theta_)) return 1;
+  const double v =
+      static_cast<double>(n_) *
+      std::pow(eta_ * u - eta_ + 1.0, alpha_);
+  uint64_t rank = static_cast<uint64_t>(v);
+  return rank >= n_ ? n_ - 1 : rank;
+}
+
+std::vector<uint64_t> UniformKeys(uint64_t count, uint64_t domain,
+                                  uint64_t seed) {
+  HWSTAR_CHECK(domain > 0);
+  Xoshiro256 rng(seed);
+  std::vector<uint64_t> keys(count);
+  for (auto& k : keys) k = rng.NextBounded(domain);
+  return keys;
+}
+
+std::vector<uint64_t> ZipfKeys(uint64_t count, uint64_t domain, double theta,
+                               uint64_t seed) {
+  if (theta <= 0.0) return UniformKeys(count, domain, seed);
+  ZipfGenerator gen(domain, theta, seed);
+  std::vector<uint64_t> keys(count);
+  for (auto& k : keys) k = gen.Next();
+  return keys;
+}
+
+std::vector<uint64_t> ShuffledDenseKeys(uint64_t count, uint64_t seed) {
+  std::vector<uint64_t> keys(count);
+  for (uint64_t i = 0; i < count; ++i) keys[i] = i;
+  Xoshiro256 rng(seed);
+  // Fisher-Yates.
+  for (uint64_t i = count; i > 1; --i) {
+    const uint64_t j = rng.NextBounded(i);
+    std::swap(keys[i - 1], keys[j]);
+  }
+  return keys;
+}
+
+ops::Relation MakeBuildRelation(uint64_t count, uint64_t seed) {
+  ops::Relation rel;
+  rel.keys = ShuffledDenseKeys(count, seed);
+  rel.payloads.resize(count);
+  for (uint64_t i = 0; i < count; ++i) rel.payloads[i] = i;
+  return rel;
+}
+
+ops::Relation MakeProbeRelation(uint64_t count, uint64_t domain, double theta,
+                                uint64_t seed) {
+  ops::Relation rel;
+  rel.keys = ZipfKeys(count, domain, theta, seed);
+  rel.payloads.resize(count);
+  for (uint64_t i = 0; i < count; ++i) rel.payloads[i] = i;
+  return rel;
+}
+
+std::vector<uint64_t> DriftingZipfKeys(uint64_t count, uint64_t domain,
+                                       double theta, uint64_t drift_period,
+                                       uint64_t seed) {
+  HWSTAR_CHECK(domain > 0 && drift_period > 0);
+  ZipfGenerator gen(domain, theta <= 0.0 ? 1e-9 : theta, seed);
+  std::vector<uint64_t> keys(count);
+  const uint64_t shift = domain / 8 == 0 ? 1 : domain / 8;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t phase = i / drift_period;
+    keys[i] = (gen.Next() + phase * shift) % domain;
+  }
+  return keys;
+}
+
+std::vector<int64_t> MakeSelectionInput(uint64_t count, double selectivity,
+                                        int64_t threshold, int64_t max_value,
+                                        uint64_t seed) {
+  HWSTAR_CHECK(selectivity >= 0.0 && selectivity <= 1.0);
+  HWSTAR_CHECK(threshold > 0 && threshold < max_value);
+  Xoshiro256 rng(seed);
+  std::vector<int64_t> values(count);
+  for (auto& v : values) {
+    if (rng.NextDouble() < selectivity) {
+      v = static_cast<int64_t>(rng.NextBounded(static_cast<uint64_t>(threshold)));
+    } else {
+      v = threshold + static_cast<int64_t>(rng.NextBounded(
+                          static_cast<uint64_t>(max_value - threshold)));
+    }
+  }
+  return values;
+}
+
+}  // namespace hwstar::workload

@@ -1,0 +1,77 @@
+#ifndef HWSTAR_WORKLOAD_DISTRIBUTIONS_H_
+#define HWSTAR_WORKLOAD_DISTRIBUTIONS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/random.h"
+#include "hwstar/ops/relation.h"
+
+namespace hwstar::workload {
+
+/// Zipf-distributed integer generator over [0, n). Uses the Gray/Jim
+/// rejection-inversion-free approximation: draws are computed from the
+/// harmonic CDF constants, so setup is O(1) and each draw is O(1). theta=0
+/// degenerates to uniform; theta around 1 is the classic heavy skew used
+/// in the join literature.
+class ZipfGenerator {
+ public:
+  /// `n`: domain size; `theta` in [0, 1): skew (larger = more skewed).
+  ZipfGenerator(uint64_t n, double theta, uint64_t seed = 42);
+
+  /// Next Zipf-distributed value in [0, n); rank 0 is the most frequent.
+  uint64_t Next();
+
+  uint64_t domain() const { return n_; }
+  double theta() const { return theta_; }
+
+ private:
+  double zeta(uint64_t n, double theta);
+
+  uint64_t n_;
+  double theta_;
+  double alpha_;
+  double zetan_;
+  double eta_;
+  Xoshiro256 rng_;
+};
+
+/// Uniform random keys in [0, domain).
+std::vector<uint64_t> UniformKeys(uint64_t count, uint64_t domain,
+                                  uint64_t seed = 42);
+
+/// Zipf keys in [0, domain) with skew theta.
+std::vector<uint64_t> ZipfKeys(uint64_t count, uint64_t domain, double theta,
+                               uint64_t seed = 42);
+
+/// The dense primary-key column 0..count-1 in random order (the standard
+/// join-benchmark build side: every key occurs exactly once).
+std::vector<uint64_t> ShuffledDenseKeys(uint64_t count, uint64_t seed = 42);
+
+/// Build-side relation: shuffled dense keys 0..count-1, payload = row id.
+ops::Relation MakeBuildRelation(uint64_t count, uint64_t seed = 42);
+
+/// Probe-side relation with keys drawn from [0, domain) uniformly
+/// (theta == 0) or Zipf-skewed; payload = row id. With domain == build
+/// count, every probe matches exactly one build tuple in expectation.
+ops::Relation MakeProbeRelation(uint64_t count, uint64_t domain, double theta,
+                                uint64_t seed = 43);
+
+/// Zipf keys whose hot set drifts: every `drift_period` draws the rank->
+/// key mapping rotates by `domain/8`, so yesterday's hot records go cold.
+/// The workload that separates adaptive from one-shot hot/cold
+/// classification.
+std::vector<uint64_t> DriftingZipfKeys(uint64_t count, uint64_t domain,
+                                       double theta, uint64_t drift_period,
+                                       uint64_t seed = 42);
+
+/// A value array where `selectivity` of the entries fall inside
+/// [0, threshold) -- used by the selection benches to dial selectivity
+/// exactly.
+std::vector<int64_t> MakeSelectionInput(uint64_t count, double selectivity,
+                                        int64_t threshold, int64_t max_value,
+                                        uint64_t seed = 44);
+
+}  // namespace hwstar::workload
+
+#endif  // HWSTAR_WORKLOAD_DISTRIBUTIONS_H_

@@ -1,0 +1,96 @@
+#include "hwstar/workload/tpch_like.h"
+
+#include "hwstar/common/macros.h"
+#include "hwstar/common/random.h"
+
+namespace hwstar::workload {
+
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+uint64_t LineitemRows(const TpchConfig& config) {
+  return static_cast<uint64_t>(6000000.0 * config.scale_factor);
+}
+
+uint64_t OrdersRows(const TpchConfig& config) {
+  return static_cast<uint64_t>(1500000.0 * config.scale_factor);
+}
+
+std::unique_ptr<Table> MakeLineitem(const TpchConfig& config) {
+  Schema schema({
+      {"l_orderkey", TypeId::kInt64},
+      {"l_partkey", TypeId::kInt64},
+      {"l_quantity", TypeId::kInt64},
+      {"l_extendedprice", TypeId::kInt64},
+      {"l_discount", TypeId::kInt64},
+      {"l_tax", TypeId::kInt64},
+      {"l_shipdate", TypeId::kInt64},
+      {"l_returnflag", TypeId::kInt64},
+  });
+  auto table = std::make_unique<Table>(schema);
+  const uint64_t rows = LineitemRows(config);
+  const uint64_t orders = OrdersRows(config);
+  Xoshiro256 rng(config.seed);
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    table->column(c).Reserve(rows);
+  }
+  for (uint64_t i = 0; i < rows; ++i) {
+    // ~4 lineitems per order on average; keep orderkeys clustered the way
+    // dbgen does (sequential with gaps).
+    const int64_t orderkey =
+        static_cast<int64_t>(rng.NextBounded(orders == 0 ? 1 : orders)) + 1;
+    const int64_t partkey =
+        static_cast<int64_t>(rng.NextBounded(200000)) + 1;
+    const int64_t quantity = static_cast<int64_t>(rng.NextBounded(50)) + 1;
+    // extendedprice ~ quantity * part price (90000..200000 cents).
+    const int64_t unit_price =
+        90000 + static_cast<int64_t>(rng.NextBounded(110001));
+    const int64_t extendedprice = quantity * unit_price;
+    const int64_t discount = static_cast<int64_t>(rng.NextBounded(11));
+    const int64_t tax = static_cast<int64_t>(rng.NextBounded(9));
+    const int64_t shipdate = static_cast<int64_t>(rng.NextBounded(2556));
+    const int64_t returnflag = static_cast<int64_t>(rng.NextBounded(3));
+
+    table->column(0).AppendInt64(orderkey);
+    table->column(1).AppendInt64(partkey);
+    table->column(2).AppendInt64(quantity);
+    table->column(3).AppendInt64(extendedprice);
+    table->column(4).AppendInt64(discount);
+    table->column(5).AppendInt64(tax);
+    table->column(6).AppendInt64(shipdate);
+    table->column(7).AppendInt64(returnflag);
+  }
+  HWSTAR_CHECK(table->SetRowCount(rows).ok());
+  return table;
+}
+
+std::unique_ptr<Table> MakeOrders(const TpchConfig& config) {
+  Schema schema({
+      {"o_orderkey", TypeId::kInt64},
+      {"o_custkey", TypeId::kInt64},
+      {"o_totalprice", TypeId::kInt64},
+      {"o_orderdate", TypeId::kInt64},
+      {"o_orderpriority", TypeId::kInt64},
+  });
+  auto table = std::make_unique<Table>(schema);
+  const uint64_t rows = OrdersRows(config);
+  Xoshiro256 rng(config.seed + 1);
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    table->column(c).Reserve(rows);
+  }
+  for (uint64_t i = 0; i < rows; ++i) {
+    table->column(0).AppendInt64(static_cast<int64_t>(i) + 1);
+    table->column(1).AppendInt64(
+        static_cast<int64_t>(rng.NextBounded(150000)) + 1);
+    table->column(2).AppendInt64(
+        100000 + static_cast<int64_t>(rng.NextBounded(50000000)));
+    table->column(3).AppendInt64(static_cast<int64_t>(rng.NextBounded(2556)));
+    table->column(4).AppendInt64(static_cast<int64_t>(rng.NextBounded(5)));
+  }
+  HWSTAR_CHECK(table->SetRowCount(rows).ok());
+  return table;
+}
+
+}  // namespace hwstar::workload

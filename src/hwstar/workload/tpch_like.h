@@ -1,0 +1,42 @@
+#ifndef HWSTAR_WORKLOAD_TPCH_LIKE_H_
+#define HWSTAR_WORKLOAD_TPCH_LIKE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "hwstar/storage/table.h"
+
+namespace hwstar::workload {
+
+/// A TPC-H-shaped data generator (lineitem/orders subset). Monetary values
+/// are fixed-point cents (int64); dates are days since epoch (int64);
+/// flags are small int64 domains -- matching the engine's int64 value
+/// domain. Shapes and domains follow the TPC-H spec closely enough that
+/// the standard selectivities hold (e.g., the Q6 predicate selects ~2% per
+/// year of date range at the spec discount/quantity bounds).
+struct TpchConfig {
+  /// Scale factor; SF 1 would be 6M lineitem rows. Benches use fractions.
+  double scale_factor = 0.1;
+  uint64_t seed = 7;
+};
+
+/// lineitem columns (all int64):
+///   0 l_orderkey, 1 l_partkey, 2 l_quantity (1..50),
+///   3 l_extendedprice (cents), 4 l_discount (percent 0..10),
+///   5 l_tax (percent 0..8), 6 l_shipdate (days since 1992-01-01, 0..2555),
+///   7 l_returnflag (0..2)
+std::unique_ptr<storage::Table> MakeLineitem(const TpchConfig& config);
+
+/// orders columns (all int64):
+///   0 o_orderkey, 1 o_custkey, 2 o_totalprice (cents),
+///   3 o_orderdate (days), 4 o_orderpriority (0..4)
+std::unique_ptr<storage::Table> MakeOrders(const TpchConfig& config);
+
+/// Row count of lineitem at the given scale.
+uint64_t LineitemRows(const TpchConfig& config);
+/// Row count of orders at the given scale.
+uint64_t OrdersRows(const TpchConfig& config);
+
+}  // namespace hwstar::workload
+
+#endif  // HWSTAR_WORKLOAD_TPCH_LIKE_H_

@@ -1,0 +1,29 @@
+#include "hwstar/workload/ycsb_like.h"
+
+#include "hwstar/common/macros.h"
+#include "hwstar/common/random.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::workload {
+
+std::vector<YcsbRequest> MakeYcsbWorkload(const YcsbConfig& config) {
+  HWSTAR_CHECK(config.record_count > 0);
+  HWSTAR_CHECK(config.read_fraction >= 0.0 && config.read_fraction <= 1.0);
+  std::vector<YcsbRequest> ops;
+  ops.reserve(config.operation_count);
+  Xoshiro256 rng(config.seed);
+  ZipfGenerator zipf(config.record_count,
+                     config.zipf_theta < 0.0 ? 0.0 : config.zipf_theta,
+                     config.seed + 1);
+  const bool uniform = config.zipf_theta <= 0.0;
+  for (uint64_t i = 0; i < config.operation_count; ++i) {
+    YcsbRequest req;
+    req.op = rng.NextDouble() < config.read_fraction ? YcsbOp::kRead
+                                                     : YcsbOp::kUpdate;
+    req.key = uniform ? rng.NextBounded(config.record_count) : zipf.Next();
+    ops.push_back(req);
+  }
+  return ops;
+}
+
+}  // namespace hwstar::workload

@@ -1,0 +1,33 @@
+#ifndef HWSTAR_WORKLOAD_YCSB_LIKE_H_
+#define HWSTAR_WORKLOAD_YCSB_LIKE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace hwstar::workload {
+
+/// YCSB-shaped key-value operation stream: a read/update mix over a keyed
+/// record space with Zipf access skew. Drives the index (B+-tree) and
+/// interference experiments with OLTP-like point accesses -- the access
+/// pattern on the opposite end of the spectrum from analytic scans.
+enum class YcsbOp : uint8_t { kRead = 0, kUpdate = 1 };
+
+struct YcsbRequest {
+  YcsbOp op;
+  uint64_t key;
+};
+
+struct YcsbConfig {
+  uint64_t record_count = 1 << 20;
+  uint64_t operation_count = 1 << 20;
+  double read_fraction = 0.95;  ///< workload B default
+  double zipf_theta = 0.6;      ///< 0 = uniform
+  uint64_t seed = 99;
+};
+
+/// Generates the operation stream.
+std::vector<YcsbRequest> MakeYcsbWorkload(const YcsbConfig& config);
+
+}  // namespace hwstar::workload
+
+#endif  // HWSTAR_WORKLOAD_YCSB_LIKE_H_

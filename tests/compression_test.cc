@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/common/random.h"
+#include "hwstar/storage/compression.h"
+
+namespace hwstar::storage {
+namespace {
+
+TEST(DictTest, RoundTrip) {
+  std::vector<int64_t> v = {5, 5, 9, 5, 9, 1};
+  DictEncoded enc = DictEncode(v);
+  EXPECT_EQ(enc.dictionary.size(), 3u);
+  EXPECT_EQ(DictDecode(enc), v);
+}
+
+TEST(DictTest, FirstSeenCodeOrder) {
+  DictEncoded enc = DictEncode({30, 10, 30, 20});
+  EXPECT_EQ(enc.dictionary, (std::vector<int64_t>{30, 10, 20}));
+  EXPECT_EQ(enc.codes, (std::vector<int32_t>{0, 1, 0, 2}));
+}
+
+TEST(DictTest, EmptyInput) {
+  DictEncoded enc = DictEncode({});
+  EXPECT_TRUE(enc.dictionary.empty());
+  EXPECT_TRUE(DictDecode(enc).empty());
+}
+
+TEST(DictTest, LowCardinalityCompresses) {
+  std::vector<int64_t> v(10000, 7);
+  for (size_t i = 0; i < v.size(); i += 3) v[i] = 13;
+  DictEncoded enc = DictEncode(v);
+  EXPECT_LT(enc.EncodedBytes(), v.size() * sizeof(int64_t));
+}
+
+TEST(RleTest, RoundTrip) {
+  std::vector<int64_t> v = {1, 1, 1, 2, 3, 3, 1};
+  RleEncoded enc = RleEncode(v);
+  EXPECT_EQ(enc.values, (std::vector<int64_t>{1, 2, 3, 1}));
+  EXPECT_EQ(enc.lengths, (std::vector<uint32_t>{3, 1, 2, 1}));
+  EXPECT_EQ(RleDecode(enc), v);
+}
+
+TEST(RleTest, EmptyAndSingle) {
+  EXPECT_TRUE(RleDecode(RleEncode({})).empty());
+  EXPECT_EQ(RleDecode(RleEncode({42})), (std::vector<int64_t>{42}));
+}
+
+TEST(RleTest, SumOnCompressed) {
+  std::vector<int64_t> v = {4, 4, 4, -2, -2, 10};
+  RleEncoded enc = RleEncode(v);
+  int64_t expected = 0;
+  for (int64_t x : v) expected += x;
+  EXPECT_EQ(RleSum(enc), expected);
+}
+
+TEST(RleTest, LongRunsCompressWell) {
+  std::vector<int64_t> v(100000, 5);
+  RleEncoded enc = RleEncode(v);
+  EXPECT_EQ(enc.values.size(), 1u);
+  EXPECT_LT(enc.EncodedBytes(), 64u);
+}
+
+TEST(BitPackTest, RoundTripSmallWidth) {
+  std::vector<int64_t> v = {0, 1, 2, 3, 7, 6, 5};
+  auto enc = BitPack(v);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc.value().bit_width, 3u);
+  EXPECT_EQ(BitUnpack(enc.value()), v);
+}
+
+TEST(BitPackTest, AllZeros) {
+  std::vector<int64_t> v(100, 0);
+  auto enc = BitPack(v);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc.value().bit_width, 0u);
+  EXPECT_EQ(enc.value().EncodedBytes(), 0u);
+  EXPECT_EQ(BitUnpack(enc.value()), v);
+}
+
+TEST(BitPackTest, RejectsNegative) {
+  EXPECT_FALSE(BitPack({1, -1, 2}).ok());
+}
+
+TEST(BitPackTest, RandomAccess) {
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(i % 77);
+  auto enc = BitPack(v);
+  ASSERT_TRUE(enc.ok());
+  for (uint64_t i = 0; i < v.size(); i += 13) {
+    EXPECT_EQ(BitPackedGet(enc.value(), i), v[i]);
+  }
+}
+
+TEST(BitPackTest, CrossWordBoundaries) {
+  // Width 7 guarantees values straddle 64-bit word boundaries.
+  std::vector<int64_t> v;
+  for (int i = 0; i < 200; ++i) v.push_back(i % 128);
+  auto enc = BitPack(v);
+  ASSERT_TRUE(enc.ok());
+  EXPECT_EQ(enc.value().bit_width, 7u);
+  EXPECT_EQ(BitUnpack(enc.value()), v);
+}
+
+TEST(BitPackTest, CompressionRatioMatchesWidth) {
+  std::vector<int64_t> v(8192, 3);
+  v[0] = 15;  // width 4
+  auto enc = BitPack(v);
+  ASSERT_TRUE(enc.ok());
+  // 4 bits instead of 64: 16x smaller (plus one word of slack).
+  EXPECT_LE(enc.value().EncodedBytes(), v.size() / 2 + 8);
+}
+
+TEST(DeltaTest, RoundTrip) {
+  std::vector<int64_t> v = {100, 105, 103, 200, 199};
+  DeltaEncoded enc = DeltaEncode(v);
+  EXPECT_EQ(enc.first, 100);
+  EXPECT_EQ(enc.deltas, (std::vector<int64_t>{5, -2, 97, -1}));
+  EXPECT_EQ(DeltaDecode(enc), v);
+}
+
+TEST(DeltaTest, EmptyAndSingle) {
+  EXPECT_TRUE(DeltaDecode(DeltaEncode({})).empty());
+  EXPECT_EQ(DeltaDecode(DeltaEncode({9})), (std::vector<int64_t>{9}));
+}
+
+TEST(DeltaTest, SortedDataHasSmallDeltas) {
+  std::vector<int64_t> v;
+  for (int i = 0; i < 1000; ++i) v.push_back(1000000 + i * 3);
+  DeltaEncoded enc = DeltaEncode(v);
+  for (int64_t d : enc.deltas) EXPECT_EQ(d, 3);
+  // Delta + bitpack: the classic sorted-key pipeline.
+  auto packed = BitPack(enc.deltas);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(packed.value().bit_width, 2u);
+}
+
+/// Property test: every scheme round-trips random data of every size.
+class CompressionRoundTrip
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(CompressionRoundTrip, AllSchemes) {
+  const auto [count, domain] = GetParam();
+  hwstar::Xoshiro256 rng(count * 31 + domain);
+  std::vector<int64_t> v(count);
+  for (auto& x : v) {
+    x = static_cast<int64_t>(rng.NextBounded(domain));
+  }
+  EXPECT_EQ(DictDecode(DictEncode(v)), v);
+  EXPECT_EQ(RleDecode(RleEncode(v)), v);
+  auto packed = BitPack(v);
+  ASSERT_TRUE(packed.ok());
+  EXPECT_EQ(BitUnpack(packed.value()), v);
+  EXPECT_EQ(DeltaDecode(DeltaEncode(v)), v);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, CompressionRoundTrip,
+    ::testing::Combine(::testing::Values(1u, 2u, 63u, 64u, 65u, 1000u, 4096u),
+                       ::testing::Values(1u, 2u, 16u, 1000u, 1u << 20)));
+
+}  // namespace
+}  // namespace hwstar::storage

@@ -1,0 +1,163 @@
+// Randomized consistency testing of the engine: random expression trees
+// must evaluate identically row-at-a-time and batch-at-a-time, and random
+// queries must return identical results under all three execution models.
+// Deterministic seeds keep failures reproducible.
+
+#include <gtest/gtest.h>
+
+#include "hwstar/common/random.h"
+#include "hwstar/engine/planner.h"
+
+namespace hwstar::engine {
+namespace {
+
+using storage::ColumnStore;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+constexpr size_t kCols = 4;
+
+ColumnStore MakeStore(uint64_t rows, uint64_t seed) {
+  Schema schema({{"c0", TypeId::kInt64},
+                 {"c1", TypeId::kInt64},
+                 {"c2", TypeId::kInt64},
+                 {"c3", TypeId::kInt64}});
+  Table t(schema);
+  Xoshiro256 rng(seed);
+  for (uint64_t i = 0; i < rows; ++i) {
+    for (size_t c = 0; c < kCols; ++c) {
+      // Small magnitudes so products cannot overflow through a few
+      // multiplication levels.
+      t.column(c).AppendInt64(rng.NextInRange(-50, 50));
+    }
+  }
+  EXPECT_TRUE(t.SetRowCount(rows).ok());
+  return std::move(ColumnStore::FromTable(t)).value();
+}
+
+/// Random expression tree of bounded depth. Arithmetic nodes dominate;
+/// comparisons/logic appear so both value and boolean shapes are covered.
+ExprPtr RandomExpr(Xoshiro256* rng, uint32_t depth) {
+  if (depth == 0 || rng->NextBounded(4) == 0) {
+    return rng->NextBounded(2) == 0
+               ? Col(rng->NextBounded(kCols))
+               : Lit(rng->NextInRange(-20, 20));
+  }
+  ExprPtr l = RandomExpr(rng, depth - 1);
+  ExprPtr r = RandomExpr(rng, depth - 1);
+  switch (rng->NextBounded(10)) {
+    case 0:
+    case 1:
+      return Add(std::move(l), std::move(r));
+    case 2:
+      return Sub(std::move(l), std::move(r));
+    case 3:
+      return Mul(std::move(l), std::move(r));
+    case 4:
+      return Lt(std::move(l), std::move(r));
+    case 5:
+      return Le(std::move(l), std::move(r));
+    case 6:
+      return Gt(std::move(l), std::move(r));
+    case 7:
+      return Eq(std::move(l), std::move(r));
+    case 8:
+      return And(std::move(l), std::move(r));
+    default:
+      return Or(std::move(l), std::move(r));
+  }
+}
+
+class ExpressionFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ExpressionFuzz, BatchMatchesScalar) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  ColumnStore store = MakeStore(512, seed + 1);
+  for (int round = 0; round < 20; ++round) {
+    ExprPtr e = RandomExpr(&rng, 3);
+    std::vector<int64_t> batch(store.num_rows());
+    e->EvalBatch(store, 0, store.num_rows(), batch.data());
+    for (uint64_t row = 0; row < store.num_rows(); ++row) {
+      ASSERT_EQ(batch[row], e->Eval(store, row))
+          << "seed=" << seed << " round=" << round
+          << " expr=" << e->ToString() << " row=" << row;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ExpressionFuzz,
+                         ::testing::Values(1u, 2u, 3u, 4u, 5u));
+
+/// Random comparison-shaped filter over one or two columns, so some of
+/// the generated queries hit the fused template and others fall back.
+ExprPtr RandomFilter(Xoshiro256* rng) {
+  auto cmp = [&](ExprPtr l, ExprPtr r) -> ExprPtr {
+    switch (rng->NextBounded(4)) {
+      case 0:
+        return Lt(std::move(l), std::move(r));
+      case 1:
+        return Le(std::move(l), std::move(r));
+      case 2:
+        return Gt(std::move(l), std::move(r));
+      default:
+        return Ge(std::move(l), std::move(r));
+    }
+  };
+  ExprPtr a = cmp(Col(rng->NextBounded(kCols)),
+                  Lit(rng->NextInRange(-40, 40)));
+  if (rng->NextBounded(2) == 0) return a;
+  ExprPtr b = cmp(Col(rng->NextBounded(kCols)),
+                  Lit(rng->NextInRange(-40, 40)));
+  return And(std::move(a), std::move(b));
+}
+
+class QueryFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(QueryFuzz, AllModelsAgreeOnRandomQueries) {
+  const uint64_t seed = GetParam();
+  Xoshiro256 rng(seed);
+  ColumnStore store = MakeStore(3000, seed + 7);
+  for (int round = 0; round < 15; ++round) {
+    Query q;
+    q.input = &store;
+    q.filter = RandomFilter(&rng);
+    switch (rng.NextBounded(3)) {
+      case 0:
+        q.aggregate = nullptr;  // COUNT(*)
+        break;
+      case 1:
+        q.aggregate = Col(rng.NextBounded(kCols));
+        break;
+      default:
+        q.aggregate =
+            Mul(Col(rng.NextBounded(kCols)), Col(rng.NextBounded(kCols)));
+        break;
+    }
+    if (rng.NextBounded(4) == 0) q.group_by = rng.NextBounded(kCols);
+
+    QueryResult volcano = ExecuteVolcano(q);
+    VectorizedOptions vopts;
+    vopts.batch_size = 1 + static_cast<uint32_t>(rng.NextBounded(300));
+    QueryResult vectorized = ExecuteVectorized(q, vopts);
+    QueryResult fused = ExecuteFused(q);
+
+    ASSERT_EQ(volcano.sum, vectorized.sum)
+        << "seed=" << seed << " round=" << round << " q=" << q.ToString();
+    ASSERT_EQ(volcano.sum, fused.sum)
+        << "seed=" << seed << " round=" << round << " q=" << q.ToString();
+    ASSERT_EQ(volcano.rows_passed, fused.rows_passed);
+    ASSERT_EQ(volcano.groups.size(), vectorized.groups.size());
+    for (size_t g = 0; g < volcano.groups.size(); ++g) {
+      ASSERT_EQ(volcano.groups[g].key, vectorized.groups[g].key);
+      ASSERT_EQ(volcano.groups[g].sum, vectorized.groups[g].sum);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, QueryFuzz,
+                         ::testing::Values(11u, 12u, 13u, 14u, 15u));
+
+}  // namespace
+}  // namespace hwstar::engine

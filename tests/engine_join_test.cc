@@ -1,0 +1,180 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/engine/join_query.h"
+#include "hwstar/workload/tpch_like.h"
+
+namespace hwstar::engine {
+namespace {
+
+using storage::ColumnStore;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+/// build: (key, attr) with key = i % 100, attr = i.
+/// probe: (key, val) with key = i % 150, val = i * 3.
+struct Stores {
+  ColumnStore build;
+  ColumnStore probe;
+};
+
+Stores MakeStores(uint64_t build_rows, uint64_t probe_rows) {
+  Schema s({{"key", TypeId::kInt64}, {"attr", TypeId::kInt64}});
+  Table bt(s), pt(s);
+  for (uint64_t i = 0; i < build_rows; ++i) {
+    bt.column(0).AppendInt64(static_cast<int64_t>(i % 100));
+    bt.column(1).AppendInt64(static_cast<int64_t>(i));
+  }
+  for (uint64_t i = 0; i < probe_rows; ++i) {
+    pt.column(0).AppendInt64(static_cast<int64_t>(i % 150));
+    pt.column(1).AppendInt64(static_cast<int64_t>(i * 3));
+  }
+  EXPECT_TRUE(bt.SetRowCount(build_rows).ok());
+  EXPECT_TRUE(pt.SetRowCount(probe_rows).ok());
+  return Stores{std::move(ColumnStore::FromTable(bt)).value(),
+                std::move(ColumnStore::FromTable(pt)).value()};
+}
+
+/// Reference: nested-loop evaluation of the full JoinQuery semantics.
+JoinQueryResult NestedLoopReference(const JoinQuery& q) {
+  JoinQueryResult r;
+  std::vector<uint64_t> build_keys;
+  for (uint64_t i = 0; i < q.build->num_rows(); ++i) {
+    if (q.build_filter && q.build_filter->Eval(*q.build, i) == 0) continue;
+    ++r.build_rows_passed;
+    build_keys.push_back(
+        static_cast<uint64_t>(q.build->IntColumn(q.build_key)[i]));
+  }
+  for (uint64_t i = 0; i < q.probe->num_rows(); ++i) {
+    if (q.probe_filter && q.probe_filter->Eval(*q.probe, i) == 0) continue;
+    ++r.probe_rows_passed;
+    const uint64_t key =
+        static_cast<uint64_t>(q.probe->IntColumn(q.probe_key)[i]);
+    uint64_t c = 0;
+    for (uint64_t bk : build_keys) c += bk == key;
+    r.matches += c;
+    const int64_t agg = q.aggregate ? q.aggregate->Eval(*q.probe, i) : 1;
+    r.sum += static_cast<int64_t>(c) * agg;
+  }
+  return r;
+}
+
+TEST(JoinQueryTest, UnfilteredCountStar) {
+  Stores s = MakeStores(1000, 3000);
+  JoinQuery q;
+  q.build = &s.build;
+  q.probe = &s.probe;
+  auto ref = NestedLoopReference(q);
+  for (auto algo : {JoinAlgorithm::kNoPartition, JoinAlgorithm::kRadix,
+                    JoinAlgorithm::kAuto}) {
+    JoinExecuteOptions opts;
+    opts.algorithm = algo;
+    auto got = ExecuteJoin(q, opts);
+    EXPECT_EQ(got.matches, ref.matches);
+    EXPECT_EQ(got.sum, ref.sum);
+  }
+}
+
+TEST(JoinQueryTest, FiltersBothSides) {
+  Stores s = MakeStores(2000, 5000);
+  JoinQuery q;
+  q.build = &s.build;
+  q.probe = &s.probe;
+  q.build_filter = Lt(Col(1), Lit(500));   // build attr < 500
+  q.probe_filter = Ge(Col(1), Lit(3000));  // probe val >= 3000
+  q.aggregate = Add(Col(1), Lit(1));
+  auto ref = NestedLoopReference(q);
+  ASSERT_GT(ref.matches, 0u);
+  for (auto algo : {JoinAlgorithm::kNoPartition, JoinAlgorithm::kRadix}) {
+    JoinExecuteOptions opts;
+    opts.algorithm = algo;
+    auto got = ExecuteJoin(q, opts);
+    EXPECT_EQ(got.matches, ref.matches);
+    EXPECT_EQ(got.sum, ref.sum);
+    EXPECT_EQ(got.build_rows_passed, ref.build_rows_passed);
+    EXPECT_EQ(got.probe_rows_passed, ref.probe_rows_passed);
+  }
+}
+
+TEST(JoinQueryTest, EmptyAfterFilter) {
+  Stores s = MakeStores(100, 100);
+  JoinQuery q;
+  q.build = &s.build;
+  q.probe = &s.probe;
+  q.build_filter = Lt(Col(1), Lit(-1));  // nothing passes
+  auto got = ExecuteJoin(q);
+  EXPECT_EQ(got.matches, 0u);
+  EXPECT_EQ(got.sum, 0);
+  EXPECT_EQ(got.build_rows_passed, 0u);
+}
+
+TEST(JoinQueryTest, ParallelPoolAgrees) {
+  Stores s = MakeStores(5000, 20000);
+  JoinQuery q;
+  q.build = &s.build;
+  q.probe = &s.probe;
+  q.aggregate = Col(1);
+  auto ref = ExecuteJoin(q);
+  exec::ThreadPool pool(2);
+  JoinExecuteOptions opts;
+  opts.algorithm = JoinAlgorithm::kRadix;
+  opts.pool = &pool;
+  auto got = ExecuteJoin(q, opts);
+  EXPECT_EQ(got.matches, ref.matches);
+  EXPECT_EQ(got.sum, ref.sum);
+}
+
+TEST(JoinQueryTest, TpchQ12Shape) {
+  // SELECT SUM(o_totalprice) FROM orders JOIN lineitem
+  //   ON o_orderkey = l_orderkey
+  // WHERE l_shipdate in [365, 730) -- aggregate over the probe (orders
+  // drive the build side).
+  workload::TpchConfig cfg;
+  cfg.scale_factor = 0.005;
+  auto orders = workload::MakeOrders(cfg);
+  auto lineitem = workload::MakeLineitem(cfg);
+  auto ocs = ColumnStore::FromTable(*orders).value();
+  auto lcs = ColumnStore::FromTable(*lineitem).value();
+
+  JoinQuery q;
+  q.build = &ocs;
+  q.build_key = 0;  // o_orderkey
+  q.probe = &lcs;
+  q.probe_key = 0;  // l_orderkey
+  q.probe_filter = And(Ge(Col(6), Lit(365)), Lt(Col(6), Lit(730)));
+  q.aggregate = Col(2);  // l_quantity summed per match
+  auto ref = NestedLoopReference(q);
+  auto got = ExecuteJoin(q);
+  EXPECT_EQ(got.matches, ref.matches);
+  EXPECT_EQ(got.sum, ref.sum);
+  EXPECT_GT(got.matches, 0u);
+}
+
+/// Property: all algorithms agree across size mixes.
+class JoinQueryEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(JoinQueryEquivalence, AlgorithmsAgree) {
+  const auto [build_rows, probe_rows] = GetParam();
+  Stores s = MakeStores(build_rows, probe_rows);
+  JoinQuery q;
+  q.build = &s.build;
+  q.probe = &s.probe;
+  q.probe_filter = Lt(Col(0), Lit(120));
+  q.aggregate = Col(1);
+  JoinExecuteOptions npo, radix;
+  npo.algorithm = JoinAlgorithm::kNoPartition;
+  radix.algorithm = JoinAlgorithm::kRadix;
+  auto a = ExecuteJoin(q, npo);
+  auto b = ExecuteJoin(q, radix);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.sum, b.sum);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, JoinQueryEquivalence,
+    ::testing::Combine(::testing::Values(0u, 1u, 100u, 10000u),
+                       ::testing::Values(0u, 1u, 5000u, 50000u)));
+
+}  // namespace
+}  // namespace hwstar::engine

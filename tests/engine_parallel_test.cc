@@ -1,0 +1,178 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/engine/parallel.h"
+#include "hwstar/ops/join_radix.h"
+#include "hwstar/ops/partition.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::engine {
+namespace {
+
+using storage::ColumnStore;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+ColumnStore MakeStore(uint64_t n) {
+  Schema schema({{"a", TypeId::kInt64},
+                 {"b", TypeId::kInt64},
+                 {"g", TypeId::kInt64}});
+  Table t(schema);
+  for (uint64_t i = 0; i < n; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(i));
+    t.column(1).AppendInt64(static_cast<int64_t>((i * 37) % 500));
+    t.column(2).AppendInt64(static_cast<int64_t>(i % 13));
+  }
+  EXPECT_TRUE(t.SetRowCount(n).ok());
+  return std::move(ColumnStore::FromTable(t)).value();
+}
+
+Query MakeQuery(const ColumnStore& store) {
+  Query q;
+  q.input = &store;
+  q.filter = And(Ge(Col(1), Lit(100)), Lt(Col(1), Lit(300)));
+  q.aggregate = Col(0);
+  return q;
+}
+
+TEST(VectorizedRangeTest, SubrangeSumsPartition) {
+  ColumnStore store = MakeStore(10000);
+  Query q = MakeQuery(store);
+  VectorizedOptions whole;
+  QueryResult full = ExecuteVectorized(q, whole);
+  // Split at an arbitrary boundary; partial results must add up.
+  VectorizedOptions lo, hi;
+  lo.row_end = 3777;
+  hi.row_begin = 3777;
+  QueryResult a = ExecuteVectorized(q, lo);
+  QueryResult b = ExecuteVectorized(q, hi);
+  EXPECT_EQ(a.sum + b.sum, full.sum);
+  EXPECT_EQ(a.rows_passed + b.rows_passed, full.rows_passed);
+}
+
+TEST(FusedRangeTest, SubrangeSumsPartition) {
+  ColumnStore store = MakeStore(10000);
+  Query q = MakeQuery(store);
+  QueryResult full = ExecuteFused(q);
+  QueryResult a = ExecuteFusedRange(q, 0, 5000);
+  QueryResult b = ExecuteFusedRange(q, 5000, 10000);
+  EXPECT_EQ(a.sum + b.sum, full.sum);
+  EXPECT_EQ(a.rows_passed + b.rows_passed, full.rows_passed);
+}
+
+TEST(ParallelExecuteTest, MatchesSerialFused) {
+  ColumnStore store = MakeStore(100000);
+  Query q = MakeQuery(store);
+  exec::ThreadPool pool(2);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kFused;
+  QueryResult serial = Execute(q, opts);
+  QueryResult parallel = ExecuteParallel(q, &pool, opts, 1 << 12);
+  EXPECT_EQ(parallel.sum, serial.sum);
+  EXPECT_EQ(parallel.rows_passed, serial.rows_passed);
+}
+
+TEST(ParallelExecuteTest, MatchesSerialVectorized) {
+  ColumnStore store = MakeStore(100000);
+  Query q = MakeQuery(store);
+  exec::ThreadPool pool(2);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kVectorized;
+  opts.batch_size = 512;
+  QueryResult serial = Execute(q, opts);
+  QueryResult parallel = ExecuteParallel(q, &pool, opts, 3000);
+  EXPECT_EQ(parallel.sum, serial.sum);
+  EXPECT_EQ(parallel.rows_passed, serial.rows_passed);
+}
+
+TEST(ParallelExecuteTest, GroupedMergesCorrectly) {
+  ColumnStore store = MakeStore(50000);
+  Query q = MakeQuery(store);
+  q.group_by = 2;
+  exec::ThreadPool pool(2);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kVectorized;
+  QueryResult serial = Execute(q, opts);
+  QueryResult parallel = ExecuteParallel(q, &pool, opts, 4096);
+  ASSERT_EQ(parallel.groups.size(), serial.groups.size());
+  for (size_t g = 0; g < serial.groups.size(); ++g) {
+    EXPECT_EQ(parallel.groups[g].key, serial.groups[g].key);
+    EXPECT_EQ(parallel.groups[g].sum, serial.groups[g].sum);
+    EXPECT_EQ(parallel.groups[g].count, serial.groups[g].count);
+  }
+}
+
+TEST(ParallelExecuteTest, NullPoolFallsBackToSerial) {
+  ColumnStore store = MakeStore(1000);
+  Query q = MakeQuery(store);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kFused;
+  EXPECT_EQ(ExecuteParallel(q, nullptr, opts).sum, Execute(q, opts).sum);
+}
+
+TEST(ParallelExecuteTest, EmptyInput) {
+  ColumnStore store = MakeStore(0);
+  Query q = MakeQuery(store);
+  exec::ThreadPool pool(2);
+  ExecuteOptions opts;
+  EXPECT_EQ(ExecuteParallel(q, &pool, opts).sum, 0);
+}
+
+/// Morsel-size sweep: result invariant to morsel granularity.
+class ParallelMorselSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParallelMorselSweep, ResultInvariant) {
+  ColumnStore store = MakeStore(33333);
+  Query q = MakeQuery(store);
+  exec::ThreadPool pool(2);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kFused;
+  QueryResult serial = Execute(q, opts);
+  QueryResult parallel = ExecuteParallel(q, &pool, opts, GetParam());
+  EXPECT_EQ(parallel.sum, serial.sum);
+  EXPECT_EQ(parallel.rows_passed, serial.rows_passed);
+}
+
+INSTANTIATE_TEST_SUITE_P(MorselSizes, ParallelMorselSweep,
+                         ::testing::Values(1u, 7u, 1024u, 1u << 20));
+
+}  // namespace
+}  // namespace hwstar::engine
+
+namespace hwstar::ops {
+namespace {
+
+TEST(BufferedPartitionTest, IdenticalToDirectScatter) {
+  auto input = workload::MakeProbeRelation(20000, 5000, 0.3, 71);
+  for (uint32_t bits : {1u, 4u, 8u, 12u}) {
+    Relation direct_out, buffered_out;
+    std::vector<uint64_t> direct_off, buffered_off;
+    RadixPartition(input, bits, 0, &direct_out, &direct_off);
+    RadixPartitionBuffered(input, bits, 0, &buffered_out, &buffered_off);
+    EXPECT_EQ(direct_off, buffered_off) << bits;
+    EXPECT_EQ(direct_out.keys, buffered_out.keys) << bits;
+    EXPECT_EQ(direct_out.payloads, buffered_out.payloads) << bits;
+  }
+}
+
+TEST(BufferedPartitionTest, EmptyInput) {
+  Relation input, out;
+  std::vector<uint64_t> off;
+  RadixPartitionBuffered(input, 4, 0, &out, &off);
+  EXPECT_EQ(out.size(), 0u);
+  EXPECT_EQ(off.size(), 17u);
+  EXPECT_EQ(off.back(), 0u);
+}
+
+TEST(BufferedRadixJoinTest, SameMatches) {
+  auto build = workload::MakeBuildRelation(10000, 81);
+  auto probe = workload::MakeProbeRelation(40000, 10000, 0.0, 82);
+  RadixJoinOptions direct, buffered;
+  direct.radix_bits = buffered.radix_bits = 8;
+  buffered.buffered_scatter = true;
+  EXPECT_EQ(RadixHashJoin(build, probe, direct).matches,
+            RadixHashJoin(build, probe, buffered).matches);
+}
+
+}  // namespace
+}  // namespace hwstar::ops

@@ -1,0 +1,273 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/engine/planner.h"
+#include "hwstar/workload/tpch_like.h"
+
+namespace hwstar::engine {
+namespace {
+
+using storage::ColumnStore;
+using storage::Field;
+using storage::Schema;
+using storage::Table;
+using storage::TypeId;
+
+/// 4-column store: a = 0..n-1, b = i%100, c = i%7, d = 2i.
+ColumnStore MakeStore(uint64_t n) {
+  Schema schema({{"a", TypeId::kInt64},
+                 {"b", TypeId::kInt64},
+                 {"c", TypeId::kInt64},
+                 {"d", TypeId::kInt64}});
+  Table t(schema);
+  for (uint64_t i = 0; i < n; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(i));
+    t.column(1).AppendInt64(static_cast<int64_t>(i % 100));
+    t.column(2).AppendInt64(static_cast<int64_t>(i % 7));
+    t.column(3).AppendInt64(static_cast<int64_t>(2 * i));
+  }
+  EXPECT_TRUE(t.SetRowCount(n).ok());
+  auto cs = ColumnStore::FromTable(t);
+  EXPECT_TRUE(cs.ok());
+  return std::move(cs).value();
+}
+
+TEST(ExpressionTest, EvalScalars) {
+  ColumnStore store = MakeStore(10);
+  auto e = Add(Col(0), Lit(5));
+  EXPECT_EQ(e->Eval(store, 3), 8);
+  auto cmp = Lt(Col(0), Lit(5));
+  EXPECT_EQ(cmp->Eval(store, 3), 1);
+  EXPECT_EQ(cmp->Eval(store, 7), 0);
+  auto logic = And(Ge(Col(0), Lit(2)), Le(Col(0), Lit(4)));
+  EXPECT_EQ(logic->Eval(store, 2), 1);
+  EXPECT_EQ(logic->Eval(store, 5), 0);
+  auto ors = Or(Eq(Col(2), Lit(0)), Eq(Col(2), Lit(1)));
+  EXPECT_EQ(ors->Eval(store, 7), 1);  // 7 % 7 == 0
+  EXPECT_EQ(ors->Eval(store, 3), 0);
+  auto arith = Mul(Sub(Col(3), Col(0)), Lit(3));
+  EXPECT_EQ(arith->Eval(store, 4), (8 - 4) * 3);
+}
+
+TEST(ExpressionTest, BatchMatchesScalar) {
+  ColumnStore store = MakeStore(100);
+  auto e = Mul(Add(Col(0), Lit(1)), Col(2));
+  std::vector<int64_t> batch(100);
+  e->EvalBatch(store, 0, 100, batch.data());
+  for (uint64_t i = 0; i < 100; ++i) {
+    EXPECT_EQ(batch[i], e->Eval(store, i)) << i;
+  }
+}
+
+TEST(ExpressionTest, ToStringReadable) {
+  auto e = And(Ge(Col(1, "b"), Lit(5)), Lt(Col(1, "b"), Lit(10)));
+  EXPECT_EQ(e->ToString(), "((b >= 5) and (b < 10))");
+}
+
+TEST(ExpressionTest, StructuralAccessors) {
+  auto e = Lt(Col(2), Lit(9));
+  EXPECT_EQ(e->kind(), ExprKind::kLt);
+  ASSERT_NE(e->left(), nullptr);
+  EXPECT_EQ(e->left()->column_index(), 2);
+  EXPECT_EQ(e->right()->constant_value(), 9);
+  EXPECT_EQ(Lit(5)->left(), nullptr);
+}
+
+TEST(QueryTest, ToStringRendersShape) {
+  ColumnStore store = MakeStore(1);
+  Query q;
+  q.input = &store;
+  q.filter = Lt(Col(0, "a"), Lit(10));
+  q.aggregate = Col(3, "d");
+  EXPECT_EQ(q.ToString(), "SELECT SUM(d) WHERE (a < 10)");
+}
+
+int64_t ReferenceSum(const ColumnStore& store, uint64_t n) {
+  // WHERE b >= 10 AND b < 20: SUM(d).
+  int64_t sum = 0;
+  for (uint64_t i = 0; i < n; ++i) {
+    const int64_t b = store.IntColumn(1)[i];
+    if (b >= 10 && b < 20) sum += store.IntColumn(3)[i];
+  }
+  return sum;
+}
+
+Query MakeQuery(const ColumnStore& store) {
+  Query q;
+  q.input = &store;
+  q.filter = And(Ge(Col(1), Lit(10)), Lt(Col(1), Lit(20)));
+  q.aggregate = Col(3);
+  return q;
+}
+
+TEST(ExecutorTest, VolcanoCorrect) {
+  ColumnStore store = MakeStore(10000);
+  QueryResult r = ExecuteVolcano(MakeQuery(store));
+  EXPECT_EQ(r.sum, ReferenceSum(store, 10000));
+  EXPECT_EQ(r.rows_passed, 1000u);
+}
+
+TEST(ExecutorTest, VectorizedCorrect) {
+  ColumnStore store = MakeStore(10000);
+  QueryResult r = ExecuteVectorized(MakeQuery(store));
+  EXPECT_EQ(r.sum, ReferenceSum(store, 10000));
+}
+
+TEST(ExecutorTest, FusedCorrectAndRecognized) {
+  ColumnStore store = MakeStore(10000);
+  bool recognized = false;
+  QueryResult r = ExecuteFused(MakeQuery(store), &recognized);
+  EXPECT_TRUE(recognized);
+  EXPECT_EQ(r.sum, ReferenceSum(store, 10000));
+}
+
+TEST(ExecutorTest, FusedFallsBackOnComplexShapes) {
+  ColumnStore store = MakeStore(1000);
+  Query q = MakeQuery(store);
+  q.filter = Or(Lt(Col(0), Lit(5)), Gt(Col(0), Lit(990)));  // OR: no template
+  bool recognized = true;
+  QueryResult fused = ExecuteFused(q, &recognized);
+  EXPECT_FALSE(recognized);
+  QueryResult volcano = ExecuteVolcano(q);
+  EXPECT_EQ(fused.sum, volcano.sum);
+  EXPECT_EQ(fused.rows_passed, volcano.rows_passed);
+}
+
+TEST(ExecutorTest, NoFilterSumsEverything) {
+  ColumnStore store = MakeStore(1000);
+  Query q;
+  q.input = &store;
+  q.aggregate = Col(0);
+  const int64_t expected = 999 * 1000 / 2;
+  EXPECT_EQ(ExecuteVolcano(q).sum, expected);
+  EXPECT_EQ(ExecuteVectorized(q).sum, expected);
+  EXPECT_EQ(ExecuteFused(q).sum, expected);
+}
+
+TEST(ExecutorTest, CountStarWhenNoAggregate) {
+  ColumnStore store = MakeStore(500);
+  Query q;
+  q.input = &store;
+  q.filter = Lt(Col(0), Lit(100));
+  EXPECT_EQ(ExecuteVolcano(q).sum, 100);
+  EXPECT_EQ(ExecuteVectorized(q).sum, 100);
+  EXPECT_EQ(ExecuteFused(q).sum, 100);
+}
+
+TEST(ExecutorTest, GroupByAgrees) {
+  ColumnStore store = MakeStore(7000);
+  Query q;
+  q.input = &store;
+  q.filter = Lt(Col(0), Lit(700));
+  q.aggregate = Col(0);
+  q.group_by = 2;  // c = i % 7
+  QueryResult volcano = ExecuteVolcano(q);
+  QueryResult vectorized = ExecuteVectorized(q);
+  ASSERT_EQ(volcano.groups.size(), 7u);
+  ASSERT_EQ(vectorized.groups.size(), 7u);
+  for (size_t g = 0; g < 7; ++g) {
+    EXPECT_EQ(volcano.groups[g].key, vectorized.groups[g].key);
+    EXPECT_EQ(volcano.groups[g].sum, vectorized.groups[g].sum);
+    EXPECT_EQ(volcano.groups[g].count, vectorized.groups[g].count);
+  }
+  // Fused must fall back for grouped queries yet stay correct.
+  bool recognized = true;
+  QueryResult fused = ExecuteFused(q, &recognized);
+  EXPECT_FALSE(recognized);
+  EXPECT_EQ(fused.sum, volcano.sum);
+}
+
+TEST(ExecutorTest, EmptyInput) {
+  ColumnStore store = MakeStore(0);
+  Query q = MakeQuery(store);
+  EXPECT_EQ(ExecuteVolcano(q).sum, 0);
+  EXPECT_EQ(ExecuteVectorized(q).sum, 0);
+  EXPECT_EQ(ExecuteFused(q).sum, 0);
+}
+
+/// Property: the three models agree across row counts and batch sizes.
+class ModelEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint32_t>> {};
+
+TEST_P(ModelEquivalence, AllModelsAgree) {
+  const auto [rows, batch] = GetParam();
+  ColumnStore store = MakeStore(rows);
+  Query q = MakeQuery(store);
+  QueryResult volcano = ExecuteVolcano(q);
+  VectorizedOptions vopts;
+  vopts.batch_size = batch;
+  QueryResult vectorized = ExecuteVectorized(q, vopts);
+  QueryResult fused = ExecuteFused(q);
+  EXPECT_EQ(volcano.sum, vectorized.sum);
+  EXPECT_EQ(volcano.sum, fused.sum);
+  EXPECT_EQ(volcano.rows_passed, vectorized.rows_passed);
+  EXPECT_EQ(volcano.rows_passed, fused.rows_passed);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ModelEquivalence,
+    ::testing::Combine(::testing::Values(0u, 1u, 63u, 1000u, 33333u),
+                       ::testing::Values(1u, 7u, 256u, 4096u)));
+
+TEST(PlannerTest, ExecuteDispatchesAllModels) {
+  ColumnStore store = MakeStore(5000);
+  Query q = MakeQuery(store);
+  const int64_t expected = ReferenceSum(store, 5000);
+  for (auto model : {ExecutionModel::kVolcano, ExecutionModel::kVectorized,
+                     ExecutionModel::kFused}) {
+    ExecuteOptions opts;
+    opts.model = model;
+    EXPECT_EQ(Execute(q, opts).sum, expected) << ExecutionModelName(model);
+  }
+}
+
+TEST(PlannerTest, ChoosesVolcanoForTinyInputs) {
+  ColumnStore store = MakeStore(10);
+  Query q = MakeQuery(store);
+  auto opts = ChooseOptions(q, hw::MachineModel::Server2013());
+  EXPECT_EQ(opts.model, ExecutionModel::kVolcano);
+}
+
+TEST(PlannerTest, ChoosesFusedForLargeInputs) {
+  ColumnStore store = MakeStore(100000);
+  Query q = MakeQuery(store);
+  auto opts = ChooseOptions(q, hw::MachineModel::Server2013());
+  EXPECT_EQ(opts.model, ExecutionModel::kFused);
+  EXPECT_GE(opts.batch_size, 64u);
+}
+
+TEST(PlannerTest, ExplainMentionsModel) {
+  ColumnStore store = MakeStore(100);
+  Query q = MakeQuery(store);
+  ExecuteOptions opts;
+  opts.model = ExecutionModel::kVectorized;
+  std::string s = Explain(q, opts);
+  EXPECT_NE(s.find("vectorized"), std::string::npos);
+  EXPECT_NE(s.find("SELECT"), std::string::npos);
+}
+
+TEST(TpchQ6Test, AllModelsAgreeOnQ6Shape) {
+  // TPC-H Q6 shape: SUM(extendedprice * discount) over date/discount/
+  // quantity ranges. Too many predicates for the 2-column fused template;
+  // exercises fallback correctness on a realistic query.
+  workload::TpchConfig cfg;
+  cfg.scale_factor = 0.002;
+  auto lineitem = workload::MakeLineitem(cfg);
+  auto cs = ColumnStore::FromTable(*lineitem);
+  ASSERT_TRUE(cs.ok());
+  const ColumnStore& store = cs.value();
+
+  Query q;
+  q.input = &store;
+  q.filter = And(And(Ge(Col(6), Lit(365)), Lt(Col(6), Lit(730))),
+                 And(Ge(Col(4), Lit(5)), Lt(Col(2), Lit(24))));
+  q.aggregate = Mul(Col(3), Col(4));
+  QueryResult volcano = ExecuteVolcano(q);
+  QueryResult vectorized = ExecuteVectorized(q);
+  QueryResult fused = ExecuteFused(q);
+  EXPECT_EQ(volcano.sum, vectorized.sum);
+  EXPECT_EQ(volcano.sum, fused.sum);
+  EXPECT_GT(volcano.rows_passed, 0u);
+}
+
+}  // namespace
+}  // namespace hwstar::engine

@@ -1,0 +1,179 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <set>
+#include <vector>
+
+#include "hwstar/exec/affinity.h"
+#include "hwstar/exec/morsel.h"
+#include "hwstar/exec/task_scheduler.h"
+#include "hwstar/exec/thread_pool.h"
+
+namespace hwstar::exec {
+namespace {
+
+TEST(ThreadPoolTest, RunsSubmittedTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&count](uint32_t) { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, WorkerIdsInRange) {
+  ThreadPool pool(3);
+  std::atomic<uint32_t> max_id{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&max_id](uint32_t id) {
+      uint32_t cur = max_id.load();
+      while (id > cur && !max_id.compare_exchange_weak(cur, id)) {
+      }
+    });
+  }
+  pool.WaitIdle();
+  EXPECT_LT(max_id.load(), 3u);
+  EXPECT_EQ(pool.num_threads(), 3u);
+}
+
+TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
+  ThreadPool pool(2);
+  pool.WaitIdle();  // must not hang
+}
+
+TEST(ThreadPoolTest, ReusableAcrossWaves) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  for (int wave = 0; wave < 5; ++wave) {
+    for (int i = 0; i < 20; ++i) {
+      pool.Submit([&count](uint32_t) { count.fetch_add(1); });
+    }
+    pool.WaitIdle();
+  }
+  EXPECT_EQ(count.load(), 100);
+}
+
+TEST(TaskSchedulerTest, RunsAllTasks) {
+  TaskScheduler sched(4);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 200; ++i) {
+    sched.Submit([&count](uint32_t) { count.fetch_add(1); });
+  }
+  sched.WaitAll();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(TaskSchedulerTest, StealsFromLoadedWorker) {
+  TaskScheduler sched(4);
+  std::atomic<int> count{0};
+  // Pile everything on worker 0; others must steal to finish quickly.
+  for (int i = 0; i < 100; ++i) {
+    sched.Submit(
+        [&count](uint32_t) {
+          volatile uint64_t sink = 0;
+          for (int k = 0; k < 50000; ++k) sink += static_cast<uint64_t>(k);
+          count.fetch_add(1);
+        },
+        /*preferred_worker=*/0);
+  }
+  sched.WaitAll();
+  EXPECT_EQ(count.load(), 100);
+  EXPECT_GT(sched.stats().steals, 0u);
+}
+
+TEST(TaskSchedulerTest, TasksCanSubmitTasks) {
+  TaskScheduler sched(2);
+  std::atomic<int> count{0};
+  sched.Submit([&](uint32_t) {
+    for (int i = 0; i < 10; ++i) {
+      sched.Submit([&count](uint32_t) { count.fetch_add(1); });
+    }
+  });
+  sched.WaitAll();
+  EXPECT_EQ(count.load(), 10);
+}
+
+TEST(MorselDispenserTest, CoversEntireRangeExactlyOnce) {
+  MorselDispenser dispenser(1000, 64);
+  std::vector<bool> covered(1000, false);
+  Morsel m;
+  while (dispenser.Next(&m)) {
+    for (uint64_t i = m.begin; i < m.end; ++i) {
+      EXPECT_FALSE(covered[i]);
+      covered[i] = true;
+    }
+  }
+  for (bool c : covered) EXPECT_TRUE(c);
+}
+
+TEST(MorselDispenserTest, LastMorselClamped) {
+  MorselDispenser dispenser(100, 64);
+  Morsel m;
+  ASSERT_TRUE(dispenser.Next(&m));
+  EXPECT_EQ(m.size(), 64u);
+  ASSERT_TRUE(dispenser.Next(&m));
+  EXPECT_EQ(m.begin, 64u);
+  EXPECT_EQ(m.end, 100u);
+  EXPECT_FALSE(dispenser.Next(&m));
+}
+
+TEST(MorselDispenserTest, EmptyInputYieldsNothing) {
+  MorselDispenser dispenser(0, 64);
+  Morsel m;
+  EXPECT_FALSE(dispenser.Next(&m));
+}
+
+TEST(ParallelForTest, MorselSumMatchesSequential) {
+  ThreadPool pool(4);
+  const uint64_t n = 100000;
+  std::vector<int64_t> data(n);
+  std::iota(data.begin(), data.end(), 0);
+  std::atomic<int64_t> sum{0};
+  ParallelForMorsels(&pool, n, 1024, [&](uint32_t, Morsel m) {
+    int64_t local = 0;
+    for (uint64_t i = m.begin; i < m.end; ++i) local += data[i];
+    sum.fetch_add(local);
+  });
+  EXPECT_EQ(sum.load(), static_cast<int64_t>(n * (n - 1) / 2));
+}
+
+TEST(ParallelForTest, StaticSplitCoversRange) {
+  ThreadPool pool(3);
+  const uint64_t n = 1000;
+  std::vector<std::atomic<int>> hits(n);
+  ParallelForStatic(&pool, n, [&](uint32_t, Morsel m) {
+    for (uint64_t i = m.begin; i < m.end; ++i) hits[i].fetch_add(1);
+  });
+  for (uint64_t i = 0; i < n; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ParallelForTest, StaticWithFewerItemsThanThreads) {
+  ThreadPool pool(8);
+  std::atomic<int> total{0};
+  ParallelForStatic(&pool, 3, [&](uint32_t, Morsel m) {
+    total.fetch_add(static_cast<int>(m.size()));
+  });
+  EXPECT_EQ(total.load(), 3);
+}
+
+TEST(AffinityTest, PinToCoreZeroWorksOnLinux) {
+  Status s = PinCurrentThreadToCore(0);
+#if defined(__linux__)
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_GE(CurrentCore(), 0);
+#else
+  EXPECT_EQ(s.code(), StatusCode::kUnimplemented);
+#endif
+}
+
+TEST(AffinityTest, OutOfRangeCoreRejected) {
+#if defined(__linux__)
+  Status s = PinCurrentThreadToCore(100000);
+  EXPECT_FALSE(s.ok());
+#endif
+}
+
+}  // namespace
+}  // namespace hwstar::exec

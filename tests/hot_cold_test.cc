@@ -1,0 +1,154 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hwstar/ops/hot_cold.h"
+#include "hwstar/sim/flash_model.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::ops {
+namespace {
+
+TEST(EstimatorTest, FrequentKeyScoresHigher) {
+  ExponentialSmoothingEstimator est(0.1);
+  uint64_t now = 0;
+  for (int i = 0; i < 100; ++i) {
+    est.Record(1, ++now);
+    if (i % 10 == 0) est.Record(2, ++now);
+  }
+  EXPECT_GT(est.Estimate(1, now), est.Estimate(2, now));
+  EXPECT_EQ(est.Estimate(999, now), 0.0);
+}
+
+TEST(EstimatorTest, EstimatesDecayOverTime) {
+  ExponentialSmoothingEstimator est(0.1);
+  est.Record(5, 10);
+  const double fresh = est.Estimate(5, 10);
+  const double stale = est.Estimate(5, 100);
+  EXPECT_GT(fresh, stale);
+  EXPECT_GT(stale, 0.0);
+}
+
+TEST(EstimatorTest, TopKOrdersByFrequency) {
+  ExponentialSmoothingEstimator est(0.001);
+  uint64_t now = 0;
+  // Interleaved rounds: key k is accessed in rounds 0..9-k, so key 0 is
+  // accessed 10 times, key 9 once, with similar recency profiles.
+  for (uint64_t round = 0; round < 10; ++round) {
+    for (uint64_t k = 0; k < 10; ++k) {
+      if (round < 10 - k) est.Record(k, ++now);
+    }
+  }
+  auto top3 = est.TopK(3, now);
+  ASSERT_EQ(top3.size(), 3u);
+  EXPECT_EQ(top3[0], 0u);
+  EXPECT_EQ(top3[1], 1u);
+  EXPECT_EQ(top3[2], 2u);
+  // K larger than tracked keys returns all of them.
+  EXPECT_EQ(est.TopK(100, now).size(), 10u);
+}
+
+TEST(EstimatorTest, SamplingStillFindsHotKeys) {
+  // Window-scaled alpha: the trace is 200K accesses long.
+  ExponentialSmoothingEstimator est(1e-5, 100);  // 10% sample
+  auto trace = workload::ZipfKeys(200000, 10000, 0.9, 11);
+  uint64_t now = 0;
+  for (uint64_t k : trace) est.Record(k, ++now);
+  // The sampled estimator must still rank the true hottest key first.
+  auto top = est.TopK(1, now);
+  ASSERT_EQ(top.size(), 1u);
+  EXPECT_EQ(top[0], 0u);  // Zipf rank 0 is most frequent
+  EXPECT_LT(est.tracked_keys(), 10000u);  // sampling skipped cold keys
+}
+
+TEST(LruTrackerTest, HitsAfterWarmup) {
+  LruTracker lru(3);
+  EXPECT_FALSE(lru.Access(1));
+  EXPECT_FALSE(lru.Access(2));
+  EXPECT_TRUE(lru.Access(1));
+  EXPECT_FALSE(lru.Access(3));
+  EXPECT_FALSE(lru.Access(4));  // evicts 2 (LRU)
+  EXPECT_TRUE(lru.Access(1));
+  EXPECT_FALSE(lru.Access(2));
+  EXPECT_EQ(lru.hits(), 2u);
+}
+
+TEST(LruTrackerTest, HitRateComputed) {
+  LruTracker lru(10);
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t k = 0; k < 5; ++k) lru.Access(k);
+  }
+  EXPECT_GT(lru.hit_rate(), 0.85);
+  lru.ResetStats();
+  EXPECT_EQ(lru.hits(), 0u);
+}
+
+TEST(FixedSetHitRateTest, ComputesFraction) {
+  std::vector<uint64_t> hot = {1, 2};
+  std::vector<uint64_t> trace = {1, 2, 3, 1, 4};
+  EXPECT_DOUBLE_EQ(FixedSetHitRate(hot, trace), 3.0 / 5.0);
+  EXPECT_DOUBLE_EQ(FixedSetHitRate(hot, {}), 0.0);
+}
+
+TEST(HotColdQualityTest, EstimatorBeatsLruOnScans) {
+  // The workload that defeats LRU: a hot set plus periodic full scans
+  // that flush the LRU cache. The offline classifier is scan-resistant.
+  const uint64_t kRecords = 2000;
+  const uint64_t kHot = 100;
+  std::vector<uint64_t> trace;
+  hwstar::Xoshiro256 rng(3);
+  for (int phase = 0; phase < 20; ++phase) {
+    for (int i = 0; i < 500; ++i) {
+      trace.push_back(rng.NextBounded(kHot));  // hot accesses
+    }
+    for (uint64_t k = 0; k < kRecords; ++k) trace.push_back(k);  // scan
+  }
+
+  // LRU with capacity = hot-set size.
+  LruTracker lru(kHot);
+  for (uint64_t k : trace) lru.Access(k);
+
+  // Estimator with the same budget; alpha scaled to the 50K-access trace.
+  ExponentialSmoothingEstimator est(2e-5);
+  uint64_t now = 0;
+  for (uint64_t k : trace) est.Record(k, ++now);
+  auto hot_set = est.TopK(kHot, now);
+  const double est_rate = FixedSetHitRate(hot_set, trace);
+
+  EXPECT_GT(est_rate, lru.hit_rate());
+}
+
+}  // namespace
+}  // namespace hwstar::ops
+
+namespace hwstar::sim {
+namespace {
+
+TEST(FlashModelTest, CountsAndLatency) {
+  FlashModel flash;
+  EXPECT_DOUBLE_EQ(flash.Read(), 50.0);
+  EXPECT_DOUBLE_EQ(flash.Write(), 200.0);
+  EXPECT_EQ(flash.reads(), 1u);
+  EXPECT_EQ(flash.writes(), 1u);
+  EXPECT_DOUBLE_EQ(flash.total_latency_us(), 250.0);
+  flash.ResetStats();
+  EXPECT_EQ(flash.reads(), 0u);
+}
+
+TEST(FlashModelTest, WearFraction) {
+  FlashModel flash;
+  for (int i = 0; i < 3000; ++i) flash.Write();
+  // 3000 writes over 1 block = full endurance budget.
+  EXPECT_DOUBLE_EQ(flash.WearFraction(1), 1.0);
+  EXPECT_DOUBLE_EQ(flash.WearFraction(10), 0.1);
+  EXPECT_DOUBLE_EQ(flash.WearFraction(0), 0.0);
+}
+
+TEST(FlashModelTest, AsymmetryVisible) {
+  FlashModel flash;
+  EXPECT_GT(flash.Write(), flash.Read());
+  EXPECT_GT(flash.Read(), flash.DramAccess());
+}
+
+}  // namespace
+}  // namespace hwstar::sim

@@ -1,0 +1,99 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/hw/cycle_counter.h"
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/hw/topology.h"
+
+namespace hwstar::hw {
+namespace {
+
+TEST(TopologyTest, DiscoversSomething) {
+  CpuTopology topo = DiscoverTopology();
+  EXPECT_GE(topo.logical_cores, 1u);
+  ASSERT_FALSE(topo.caches.empty());
+  // At minimum an L1 data/unified cache with a sane line size.
+  EXPECT_GT(topo.CacheSizeBytes(1), 0u);
+  for (const auto& c : topo.caches) {
+    EXPECT_GE(c.line_bytes, 16u);
+    EXPECT_LE(c.line_bytes, 256u);
+    EXPECT_GT(c.size_bytes, 0u);
+  }
+}
+
+TEST(TopologyTest, CacheLevelsIncreaseInSize) {
+  CpuTopology topo = DiscoverTopology();
+  uint64_t prev = 0;
+  for (const auto& c : topo.caches) {
+    EXPECT_GE(c.size_bytes, prev);
+    prev = c.size_bytes;
+  }
+}
+
+TEST(TopologyTest, ToStringMentionsCores) {
+  CpuTopology topo = DiscoverTopology();
+  EXPECT_NE(topo.ToString().find("cores="), std::string::npos);
+}
+
+TEST(MachineModelTest, Server2013Shape) {
+  MachineModel m = MachineModel::Server2013();
+  ASSERT_EQ(m.caches.size(), 3u);
+  EXPECT_LT(m.caches[0].size_bytes, m.caches[1].size_bytes);
+  EXPECT_LT(m.caches[1].size_bytes, m.caches[2].size_bytes);
+  EXPECT_LT(m.caches[0].hit_latency_cycles, m.caches[1].hit_latency_cycles);
+  EXPECT_LT(m.caches[2].hit_latency_cycles, m.dram_latency_cycles);
+  EXPECT_EQ(m.numa_nodes, 2u);
+  EXPECT_GT(m.numa_remote_multiplier, 1.0);
+}
+
+TEST(MachineModelTest, ManyCoreHasNoL3) {
+  MachineModel m = MachineModel::ManyCore();
+  EXPECT_EQ(m.caches.size(), 2u);
+  EXPECT_GT(m.cores, MachineModel::Server2013().cores);
+}
+
+TEST(MachineModelTest, DesktopIsUniformMemory) {
+  MachineModel m = MachineModel::Desktop();
+  EXPECT_EQ(m.numa_nodes, 1u);
+  EXPECT_DOUBLE_EQ(m.numa_remote_multiplier, 1.0);
+}
+
+TEST(MachineModelTest, FromHostUsesDiscoveredCaches) {
+  CpuTopology topo = DiscoverTopology();
+  MachineModel m = MachineModel::FromHost(topo);
+  EXPECT_EQ(m.cores, topo.logical_cores);
+  EXPECT_EQ(m.caches.size(), topo.caches.size());
+  EXPECT_EQ(m.caches[0].size_bytes, topo.caches[0].size_bytes);
+}
+
+TEST(MachineModelTest, EnergyRatiosAreHierarchical) {
+  MachineModel m = MachineModel::Server2013();
+  EXPECT_LT(m.energy_pj_l1_hit, m.energy_pj_l2_hit);
+  EXPECT_LT(m.energy_pj_l2_hit, m.energy_pj_l3_hit);
+  EXPECT_LT(m.energy_pj_l3_hit, m.energy_pj_dram);
+  // DRAM should be roughly two orders of magnitude above L1.
+  EXPECT_GT(m.energy_pj_dram / m.energy_pj_l1_hit, 50.0);
+}
+
+TEST(MachineModelTest, ToStringIsInformative) {
+  std::string s = MachineModel::Server2013().ToString();
+  EXPECT_NE(s.find("server2013"), std::string::npos);
+  EXPECT_NE(s.find("dram="), std::string::npos);
+}
+
+TEST(CycleCounterTest, MonotonicNonDecreasing) {
+  uint64_t a = ReadCycleCounter();
+  volatile uint64_t sink = 0;
+  for (int i = 0; i < 10000; ++i) sink += static_cast<uint64_t>(i);
+  uint64_t b = ReadCycleCounter();
+  EXPECT_GE(b, a);
+}
+
+TEST(CycleCounterTest, FrequencyEstimatePlausible) {
+  double hz = EstimateCycleCounterHz();
+  // Anything between 100 MHz and 10 GHz counts as plausible.
+  EXPECT_GT(hz, 1e8);
+  EXPECT_LT(hz, 1e10);
+}
+
+}  // namespace
+}  // namespace hwstar::hw

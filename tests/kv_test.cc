@@ -1,0 +1,216 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <map>
+#include <thread>
+
+#include "hwstar/common/random.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/kv/tiered_store.h"
+#include "hwstar/workload/ycsb_like.h"
+
+namespace hwstar::kv {
+namespace {
+
+TEST(KvStoreTest, PutGetBasic) {
+  KvStore store;
+  store.Put(1, 10);
+  store.Put(2, 20);
+  auto r = store.Get(1);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 10u);
+  EXPECT_EQ(store.Get(3).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.size(), 2u);
+}
+
+TEST(KvStoreTest, OverwriteKeepsSize) {
+  KvStore store;
+  store.Put(7, 1);
+  store.Put(7, 2);
+  EXPECT_EQ(store.size(), 1u);
+  EXPECT_EQ(store.Get(7).value(), 2u);
+}
+
+TEST(KvStoreTest, StatsCount) {
+  KvStore store;
+  store.Put(1, 1);
+  (void)store.Get(1);
+  (void)store.Get(2);
+  KvStats s = store.stats();
+  EXPECT_EQ(s.puts, 1u);
+  EXPECT_EQ(s.gets, 2u);
+  EXPECT_EQ(s.hits, 1u);
+}
+
+TEST(KvStoreTest, RangeScanOrderedAcrossShards) {
+  KvOptions opts;
+  opts.shards = 4;
+  KvStore store(opts);
+  // Keys spread over the whole 64-bit space so every shard holds some.
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 64; ++i) {
+    keys.push_back(i << 58 | i);  // top bits vary -> different shards
+  }
+  for (uint64_t k : keys) store.Put(k, k + 1);
+  std::vector<uint64_t> out;
+  const uint64_t n = store.RangeScan(0, ~uint64_t{0}, &out);
+  EXPECT_EQ(n, keys.size());
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+}
+
+TEST(KvStoreTest, RangeScanEmptyAndInverted) {
+  KvStore store;
+  store.Put(100, 1);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(store.RangeScan(10, 50, &out), 0u);
+  EXPECT_EQ(store.RangeScan(50, 10, &out), 0u);
+}
+
+TEST(KvStoreTest, ConcurrentDisjointWriters) {
+  KvOptions opts;
+  opts.shards = 4;
+  KvStore store(opts);
+  std::vector<std::thread> writers;
+  for (uint32_t t = 0; t < 4; ++t) {
+    writers.emplace_back([&store, t] {
+      // Each thread owns one key-range shard (top 2 bits).
+      const uint64_t base = static_cast<uint64_t>(t) << 62;
+      for (uint64_t i = 0; i < 10000; ++i) {
+        store.Put(base | i, i);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  EXPECT_EQ(store.size(), 40000u);
+  EXPECT_EQ(store.Get((uint64_t{2} << 62) | 55).value(), 55u);
+}
+
+TEST(KvStoreTest, ConcurrentMixedReadersWriters) {
+  KvOptions opts;
+  opts.shards = 2;
+  KvStore store(opts);
+  for (uint64_t i = 0; i < 1000; ++i) store.Put(i, i);
+  std::atomic<uint64_t> found{0};
+  std::thread writer([&store] {
+    for (uint64_t i = 1000; i < 2000; ++i) store.Put(i, i);
+  });
+  std::thread reader([&store, &found] {
+    for (uint64_t i = 0; i < 1000; ++i) {
+      found += store.Get(i).ok();
+    }
+  });
+  writer.join();
+  reader.join();
+  EXPECT_EQ(found.load(), 1000u);
+  EXPECT_EQ(store.size(), 2000u);
+}
+
+/// Property: both index kinds and several shard counts agree with
+/// std::map under a YCSB-shaped workload.
+struct KvParam {
+  IndexKind index;
+  uint32_t shards;
+};
+
+class KvEquivalence : public ::testing::TestWithParam<KvParam> {};
+
+TEST_P(KvEquivalence, MatchesReferenceMap) {
+  const KvParam p = GetParam();
+  KvOptions opts;
+  opts.index = p.index;
+  opts.shards = p.shards;
+  KvStore store(opts);
+  std::map<uint64_t, uint64_t> ref;
+
+  workload::YcsbConfig cfg;
+  cfg.record_count = 4096;
+  cfg.operation_count = 50000;
+  cfg.read_fraction = 0.5;
+  cfg.zipf_theta = 0.5;
+  auto ops = workload::MakeYcsbWorkload(cfg);
+  uint64_t version = 0;
+  for (const auto& op : ops) {
+    if (op.op == workload::YcsbOp::kUpdate) {
+      store.Put(op.key, ++version);
+      ref[op.key] = version;
+    } else {
+      auto got = store.Get(op.key);
+      auto it = ref.find(op.key);
+      ASSERT_EQ(got.ok(), it != ref.end());
+      if (got.ok()) EXPECT_EQ(got.value(), it->second);
+    }
+  }
+  EXPECT_EQ(store.size(), ref.size());
+  // Final range scan agrees with the reference in-order walk.
+  std::vector<uint64_t> got_values;
+  store.RangeScan(0, cfg.record_count, &got_values);
+  std::vector<uint64_t> want_values;
+  for (const auto& [k, v] : ref) want_values.push_back(v);
+  EXPECT_EQ(got_values, want_values);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, KvEquivalence,
+    ::testing::Values(KvParam{IndexKind::kArt, 1},
+                      KvParam{IndexKind::kArt, 4},
+                      KvParam{IndexKind::kBTree, 1},
+                      KvParam{IndexKind::kBTree, 8}));
+
+TEST(TieredStoreTest, LruKeepsHotWorkingSetResident) {
+  TieredKvStore::Options opts;
+  opts.memory_capacity = 100;
+  opts.policy = TierPolicy::kLru;
+  TieredKvStore store(opts);
+  for (uint64_t k = 0; k < 1000; ++k) store.Load(k, k);
+  // Repeatedly touch 50 keys: after warmup, all hits.
+  uint64_t now = 0;
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t k = 0; k < 50; ++k) {
+      ASSERT_TRUE(store.Read(k, ++now).ok());
+    }
+  }
+  EXPECT_GT(store.stats().hit_rate(), 0.85);
+}
+
+TEST(TieredStoreTest, ExpSmoothingClassifiesHotSet) {
+  TieredKvStore::Options opts;
+  opts.memory_capacity = 64;
+  opts.policy = TierPolicy::kExpSmoothing;
+  opts.es_sample_permille = 1000;  // full logging for determinism
+  TieredKvStore store(opts);
+  for (uint64_t k = 0; k < 1024; ++k) store.Load(k, k);
+  // Phase 1: hammer keys 0..63, then reclassify.
+  uint64_t now = 0;
+  for (int rep = 0; rep < 20; ++rep) {
+    for (uint64_t k = 0; k < 64; ++k) (void)store.Read(k, ++now);
+  }
+  store.Reclassify(now);
+  EXPECT_EQ(store.resident_records(), 64u);
+  // Phase 2: the same keys now hit memory.
+  const auto before = store.stats();
+  for (uint64_t k = 0; k < 64; ++k) (void)store.Read(k, ++now);
+  const auto after = store.stats();
+  EXPECT_EQ(after.memory_hits - before.memory_hits, 64u);
+}
+
+TEST(TieredStoreTest, ColdWritesWearFlash) {
+  TieredKvStore::Options opts;
+  opts.memory_capacity = 4;
+  TieredKvStore store(opts);
+  uint64_t now = 0;
+  for (uint64_t k = 0; k < 1000; ++k) store.Write(k, k, ++now);
+  EXPECT_GT(store.flash().writes(), 900u);
+  EXPECT_GT(store.flash().WearFraction(10), 0.0);
+  EXPECT_GT(store.stats().avg_latency_us(), 1.0);
+}
+
+TEST(TieredStoreTest, MissingKeyStillChargedAndNotFound) {
+  TieredKvStore store;
+  auto r = store.Read(42, 1);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(store.stats().accesses, 1u);
+}
+
+}  // namespace
+}  // namespace hwstar::kv

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/mem/aligned.h"
+#include "hwstar/mem/arena.h"
+#include "hwstar/mem/memory_pool.h"
+#include "hwstar/mem/numa_allocator.h"
+
+namespace hwstar::mem {
+namespace {
+
+TEST(AlignedTest, RespectsAlignment) {
+  for (size_t align : {16, 64, 256, 4096}) {
+    void* p = AlignedAlloc(100, align);
+    ASSERT_NE(p, nullptr);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+    AlignedFree(p);
+  }
+}
+
+TEST(AlignedTest, ZeroBytesStillValid) {
+  void* p = AlignedAlloc(0);
+  EXPECT_NE(p, nullptr);
+  AlignedFree(p);
+}
+
+TEST(AlignedTest, BufferIsWritable) {
+  AlignedBuffer buf = MakeAlignedBuffer(4096);
+  ASSERT_NE(buf, nullptr);
+  std::memset(buf.get(), 0xAB, 4096);
+  EXPECT_EQ(buf[0], 0xAB);
+  EXPECT_EQ(buf[4095], 0xAB);
+}
+
+TEST(ArenaTest, BumpAllocatesDistinctRegions) {
+  Arena arena;
+  char* a = arena.AllocateArray<char>(100);
+  char* b = arena.AllocateArray<char>(100);
+  ASSERT_NE(a, nullptr);
+  ASSERT_NE(b, nullptr);
+  std::memset(a, 1, 100);
+  std::memset(b, 2, 100);
+  EXPECT_EQ(a[99], 1);
+  EXPECT_EQ(b[0], 2);
+}
+
+TEST(ArenaTest, AlignmentHonored) {
+  Arena arena;
+  arena.Allocate(3);  // misalign the cursor
+  void* p = arena.Allocate(64, 64);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 64, 0u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(1 << 20);
+  void* p = arena.Allocate(4 << 20);
+  ASSERT_NE(p, nullptr);
+  EXPECT_GE(arena.bytes_reserved(), 4u << 20);
+  // Arena remains usable afterwards.
+  void* q = arena.Allocate(128);
+  EXPECT_NE(q, nullptr);
+}
+
+TEST(ArenaTest, ResetRewinds) {
+  Arena arena;
+  arena.Allocate(1000);
+  size_t reserved = arena.bytes_reserved();
+  arena.Reset();
+  EXPECT_EQ(arena.bytes_allocated(), 0u);
+  EXPECT_LE(arena.bytes_reserved(), reserved);
+  void* p = arena.Allocate(100);
+  EXPECT_NE(p, nullptr);
+}
+
+TEST(ArenaTest, TracksAllocatedBytes) {
+  Arena arena;
+  arena.Allocate(100);
+  arena.Allocate(200);
+  EXPECT_EQ(arena.bytes_allocated(), 300u);
+}
+
+TEST(MemoryPoolTest, TracksUsageAndPeak) {
+  MemoryPool pool;
+  auto r1 = pool.Allocate(1000);
+  ASSERT_TRUE(r1.ok());
+  EXPECT_EQ(pool.bytes_in_use(), 1000);
+  auto r2 = pool.Allocate(500);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(pool.bytes_in_use(), 1500);
+  EXPECT_EQ(pool.peak_bytes(), 1500);
+  pool.Free(r1.value(), 1000);
+  EXPECT_EQ(pool.bytes_in_use(), 500);
+  EXPECT_EQ(pool.peak_bytes(), 1500);
+  pool.Free(r2.value(), 500);
+  EXPECT_EQ(pool.bytes_in_use(), 0);
+}
+
+TEST(MemoryPoolTest, EnforcesLimit) {
+  MemoryPool pool(1024);
+  auto r1 = pool.Allocate(512);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = pool.Allocate(1024);
+  EXPECT_FALSE(r2.ok());
+  EXPECT_EQ(r2.status().code(), StatusCode::kResourceExhausted);
+  // Failed allocation must not leak accounting.
+  EXPECT_EQ(pool.bytes_in_use(), 512);
+  pool.Free(r1.value(), 512);
+}
+
+TEST(MemoryPoolTest, DefaultPoolSingleton) {
+  EXPECT_EQ(MemoryPool::Default(), MemoryPool::Default());
+}
+
+TEST(NumaAllocatorTest, RegistersPlacementWithModel) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  sim::NumaModel model(m);
+  NumaAllocator alloc(&model);
+  void* p = alloc.Allocate(1 << 16, NumaAllocator::Policy::kFirstTouch, 1);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(model.HomeNode(reinterpret_cast<uint64_t>(p)), 1u);
+  alloc.Free(p, 1 << 16);
+  EXPECT_EQ(model.HomeNode(reinterpret_cast<uint64_t>(p)), 0u);
+}
+
+TEST(NumaAllocatorTest, InterleavePlacesAcrossNodes) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  sim::NumaModel model(m);
+  NumaAllocator alloc(&model);
+  auto* arr = alloc.AllocateArray<uint64_t>(
+      (64 * 4096) / sizeof(uint64_t), NumaAllocator::Policy::kInterleave);
+  ASSERT_NE(arr, nullptr);
+  const uint64_t base = reinterpret_cast<uint64_t>(arr);
+  uint32_t node0 = 0, node1 = 0;
+  for (uint64_t page = 0; page < 64; ++page) {
+    (model.HomeNode(base + page * 4096) == 0 ? node0 : node1)++;
+  }
+  EXPECT_EQ(node0, 32u);
+  EXPECT_EQ(node1, 32u);
+  alloc.Free(arr, 64 * 4096);
+}
+
+}  // namespace
+}  // namespace hwstar::mem

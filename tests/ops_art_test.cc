@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "hwstar/common/random.h"
+#include "hwstar/ops/art.h"
+
+namespace hwstar::ops {
+namespace {
+
+TEST(ArtTest, EmptyTree) {
+  AdaptiveRadixTree art;
+  uint64_t v;
+  EXPECT_FALSE(art.Find(0, &v));
+  EXPECT_FALSE(art.Find(~uint64_t{0}, &v));
+  EXPECT_EQ(art.size(), 0u);
+}
+
+TEST(ArtTest, SingleKey) {
+  AdaptiveRadixTree art;
+  art.Insert(42, 420);
+  uint64_t v;
+  ASSERT_TRUE(art.Find(42, &v));
+  EXPECT_EQ(v, 420u);
+  EXPECT_FALSE(art.Find(43, &v));
+  EXPECT_EQ(art.size(), 1u);
+}
+
+TEST(ArtTest, OverwriteDuplicate) {
+  AdaptiveRadixTree art;
+  art.Insert(7, 1);
+  art.Insert(7, 2);
+  uint64_t v;
+  ASSERT_TRUE(art.Find(7, &v));
+  EXPECT_EQ(v, 2u);
+  EXPECT_EQ(art.size(), 1u);
+}
+
+TEST(ArtTest, KeysSharingLongPrefix) {
+  // Keys differing only in the last byte exercise lazy expansion and
+  // path compression: one inner node 7 levels deep (or a compressed
+  // path).
+  AdaptiveRadixTree art;
+  art.Insert(0x1122334455667700ULL, 1);
+  art.Insert(0x1122334455667701ULL, 2);
+  art.Insert(0x1122334455667802ULL, 3);
+  uint64_t v;
+  ASSERT_TRUE(art.Find(0x1122334455667700ULL, &v));
+  EXPECT_EQ(v, 1u);
+  ASSERT_TRUE(art.Find(0x1122334455667701ULL, &v));
+  EXPECT_EQ(v, 2u);
+  ASSERT_TRUE(art.Find(0x1122334455667802ULL, &v));
+  EXPECT_EQ(v, 3u);
+  EXPECT_FALSE(art.Find(0x1122334455667703ULL, &v));
+  // Only a handful of inner nodes, thanks to path compression.
+  auto counts = art.CountNodes();
+  EXPECT_EQ(counts.leaves, 3u);
+  EXPECT_LE(counts.node4 + counts.node16 + counts.node48 + counts.node256,
+            3u);
+}
+
+TEST(ArtTest, NodeGrowth4To16To48To256) {
+  // Dense low bytes under one parent force every growth step.
+  AdaptiveRadixTree art;
+  for (uint64_t b = 0; b < 256; ++b) {
+    art.Insert(0xAA00 | b, b);
+  }
+  auto counts = art.CountNodes();
+  EXPECT_EQ(counts.leaves, 256u);
+  EXPECT_EQ(counts.node256, 1u);
+  uint64_t v;
+  for (uint64_t b = 0; b < 256; ++b) {
+    ASSERT_TRUE(art.Find(0xAA00 | b, &v)) << b;
+    EXPECT_EQ(v, b);
+  }
+}
+
+TEST(ArtTest, AdaptivityCensus) {
+  // Sparse random keys should be dominated by small nodes.
+  AdaptiveRadixTree art;
+  hwstar::Xoshiro256 rng(5);
+  for (int i = 0; i < 10000; ++i) art.Insert(rng.Next(), i);
+  auto counts = art.CountNodes();
+  EXPECT_GT(counts.node4 + counts.node16, counts.node48 + counts.node256);
+}
+
+TEST(ArtTest, RangeScanOrderedAndBounded) {
+  AdaptiveRadixTree art;
+  for (uint64_t k = 0; k < 1000; k += 3) art.Insert(k, k + 1);
+  std::vector<uint64_t> out;
+  const uint64_t n = art.RangeScan(10, 50, &out);
+  // Keys 12,15,...,48 -> 13 values.
+  EXPECT_EQ(n, 13u);
+  EXPECT_TRUE(std::is_sorted(out.begin(), out.end()));
+  EXPECT_EQ(out.front(), 13u);
+  EXPECT_EQ(out.back(), 49u);
+}
+
+TEST(ArtTest, RangeScanFullDomainEdges) {
+  AdaptiveRadixTree art;
+  art.Insert(0, 100);
+  art.Insert(~uint64_t{0}, 200);
+  art.Insert(1ull << 63, 300);
+  std::vector<uint64_t> out;
+  EXPECT_EQ(art.RangeScan(0, ~uint64_t{0}, &out), 3u);
+  EXPECT_EQ(out, (std::vector<uint64_t>{100, 300, 200}));
+}
+
+TEST(ArtTest, MoveSemantics) {
+  AdaptiveRadixTree a;
+  a.Insert(1, 10);
+  AdaptiveRadixTree b = std::move(a);
+  uint64_t v;
+  EXPECT_TRUE(b.Find(1, &v));
+  EXPECT_EQ(b.size(), 1u);
+  a = std::move(b);
+  EXPECT_TRUE(a.Find(1, &v));
+}
+
+TEST(ArtTest, MemoryBytesNonZero) {
+  AdaptiveRadixTree art;
+  for (uint64_t k = 0; k < 1000; ++k) art.Insert(k, k);
+  EXPECT_GT(art.MemoryBytes(), 1000u * 8);
+}
+
+/// Property: ART agrees with std::map across key distributions.
+class ArtEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(ArtEquivalence, MatchesReferenceMap) {
+  const auto [count, domain] = GetParam();
+  hwstar::Xoshiro256 rng(count ^ domain);
+  AdaptiveRadixTree art;
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t i = 0; i < count; ++i) {
+    const uint64_t k = rng.NextBounded(domain);
+    art.Insert(k, i);
+    ref[k] = i;
+  }
+  EXPECT_EQ(art.size(), ref.size());
+  // Point lookups.
+  for (uint64_t probe = 0; probe < 2000; ++probe) {
+    const uint64_t k = rng.NextBounded(domain * 2);
+    uint64_t v;
+    const bool found = art.Find(k, &v);
+    auto it = ref.find(k);
+    EXPECT_EQ(found, it != ref.end()) << k;
+    if (found) EXPECT_EQ(v, it->second);
+  }
+  // Range scan equals in-order reference walk.
+  const uint64_t lo = domain / 4, hi = domain / 2;
+  std::vector<uint64_t> got, want;
+  art.RangeScan(lo, hi, &got);
+  for (auto it = ref.lower_bound(lo); it != ref.end() && it->first <= hi;
+       ++it) {
+    want.push_back(it->second);
+  }
+  EXPECT_EQ(got, want);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, ArtEquivalence,
+    ::testing::Combine(::testing::Values(10u, 1000u, 50000u),
+                       ::testing::Values(100u, 1u << 16, 1ull << 40)));
+
+}  // namespace
+}  // namespace hwstar::ops

@@ -1,0 +1,120 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/ops/bloom_filter.h"
+#include "hwstar/ops/join_nop.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::ops {
+namespace {
+
+TEST(BloomFilterTest, NoFalseNegatives) {
+  BloomFilter filter(1000, 10);
+  for (uint64_t k = 0; k < 1000; ++k) filter.Add(k * 7);
+  for (uint64_t k = 0; k < 1000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 7)) << k;
+  }
+}
+
+TEST(BloomFilterTest, FppNearTheory) {
+  // 10 bits/key, k=7 -> theoretical fpp ~1%.
+  BloomFilter filter(100000, 10);
+  for (uint64_t k = 0; k < 100000; ++k) filter.Add(k);
+  std::vector<uint64_t> absent;
+  for (uint64_t k = 0; k < 50000; ++k) absent.push_back(1000000 + k);
+  const double fpp = filter.MeasureFpp(absent);
+  EXPECT_LT(fpp, 0.03);
+}
+
+TEST(BloomFilterTest, MoreBitsLowerFpp) {
+  auto fpp_at = [](uint32_t bits_per_key) {
+    BloomFilter f(20000, bits_per_key);
+    for (uint64_t k = 0; k < 20000; ++k) f.Add(k);
+    std::vector<uint64_t> absent;
+    for (uint64_t k = 0; k < 20000; ++k) absent.push_back(1 << 24 | k);
+    return f.MeasureFpp(absent);
+  };
+  EXPECT_GT(fpp_at(4), fpp_at(12));
+}
+
+TEST(BlockedBloomFilterTest, NoFalseNegatives) {
+  BlockedBloomFilter filter(5000, 10);
+  for (uint64_t k = 0; k < 5000; ++k) filter.Add(k * 13 + 1);
+  for (uint64_t k = 0; k < 5000; ++k) {
+    EXPECT_TRUE(filter.MayContain(k * 13 + 1)) << k;
+  }
+}
+
+TEST(BlockedBloomFilterTest, FppReasonable) {
+  // Blocked filters trade a somewhat higher fpp for single-line probes.
+  BlockedBloomFilter filter(100000, 10);
+  for (uint64_t k = 0; k < 100000; ++k) filter.Add(k);
+  std::vector<uint64_t> absent;
+  for (uint64_t k = 0; k < 50000; ++k) absent.push_back(1000000 + k);
+  EXPECT_LT(filter.MeasureFpp(absent), 0.08);
+}
+
+TEST(BlockedBloomFilterTest, BlockCountSized) {
+  BlockedBloomFilter filter(1 << 16, 10);
+  EXPECT_GE(filter.num_blocks() * BlockedBloomFilter::kBlockBits,
+            uint64_t{1} << 16);
+  EXPECT_EQ(filter.MemoryBytes(), filter.num_blocks() * 64);
+}
+
+TEST(BloomJoinTest, BloomPreservesJoinResult) {
+  // Half the probe keys miss: bloom must not change the match count.
+  auto build = workload::MakeBuildRelation(10000, 61);
+  Relation probe;
+  hwstar::Xoshiro256 rng(62);
+  for (uint64_t i = 0; i < 40000; ++i) {
+    // Even i: hit (key < 10000); odd i: guaranteed miss.
+    const uint64_t key =
+        (i % 2 == 0) ? rng.NextBounded(10000) : 1000000 + i;
+    probe.Append(key, i);
+  }
+  NoPartitionJoinOptions plain;
+  NoPartitionJoinOptions bloomed;
+  bloomed.use_bloom = true;
+  const auto expected = NoPartitionHashJoin(build, probe, plain).matches;
+  EXPECT_EQ(expected, 20000u);
+  EXPECT_EQ(NoPartitionHashJoin(build, probe, bloomed).matches, expected);
+  EXPECT_EQ(NoPartitionChainedJoin(build, probe, bloomed).matches, expected);
+}
+
+TEST(BloomJoinTest, MaterializedPairsIdentical) {
+  auto build = workload::MakeBuildRelation(500, 63);
+  auto probe = workload::MakeProbeRelation(1000, 2000, 0.0, 64);
+  NoPartitionJoinOptions plain;
+  plain.materialize = true;
+  NoPartitionJoinOptions bloomed = plain;
+  bloomed.use_bloom = true;
+  auto a = NoPartitionHashJoin(build, probe, plain);
+  auto b = NoPartitionHashJoin(build, probe, bloomed);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.pairs.size(), b.pairs.size());
+}
+
+/// Property: both filter variants are false-negative-free across sizes.
+class BloomProperty : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(BloomProperty, NeverFalseNegative) {
+  const uint64_t n = GetParam();
+  hwstar::Xoshiro256 rng(n);
+  std::vector<uint64_t> keys(n);
+  for (auto& k : keys) k = rng.Next();
+  BloomFilter plain(n, 8);
+  BlockedBloomFilter blocked(n, 8);
+  for (uint64_t k : keys) {
+    plain.Add(k);
+    blocked.Add(k);
+  }
+  for (uint64_t k : keys) {
+    ASSERT_TRUE(plain.MayContain(k));
+    ASSERT_TRUE(blocked.MayContain(k));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BloomProperty,
+                         ::testing::Values(1u, 10u, 1000u, 100000u));
+
+}  // namespace
+}  // namespace hwstar::ops

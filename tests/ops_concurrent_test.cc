@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "hwstar/exec/thread_pool.h"
+#include "hwstar/ops/concurrent_hash_table.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/ops/join_nop.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::ops {
+namespace {
+
+TEST(ConcurrentHashTableTest, SerialInsertFind) {
+  ConcurrentHashTable table(100);
+  table.Insert(5, 50);
+  table.Insert(7, 70);
+  uint64_t v = 0;
+  EXPECT_TRUE(table.Find(5, &v));
+  EXPECT_EQ(v, 50u);
+  EXPECT_FALSE(table.Find(6, &v));
+  EXPECT_EQ(table.CountMatches(7), 1u);
+  EXPECT_EQ(table.size(), 2u);
+}
+
+TEST(ConcurrentHashTableTest, DuplicatesCounted) {
+  ConcurrentHashTable table(100);
+  for (int i = 0; i < 5; ++i) table.Insert(9, static_cast<uint64_t>(i));
+  EXPECT_EQ(table.CountMatches(9), 5u);
+  std::vector<uint64_t> values;
+  EXPECT_EQ(table.Probe(9, [&](uint64_t v) { values.push_back(v); }), 5u);
+  EXPECT_EQ(values.size(), 5u);
+}
+
+TEST(ConcurrentHashTableTest, ConcurrentBuildFindsEverything) {
+  const uint64_t n = 200000;
+  ConcurrentHashTable table(n);
+  const uint32_t kThreads = 4;
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&table, t, n] {
+      for (uint64_t k = t; k < n; k += kThreads) {
+        table.Insert(k, k * 2);
+      }
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(table.size(), n);
+  uint64_t v = 0;
+  for (uint64_t k = 0; k < n; k += 997) {
+    ASSERT_TRUE(table.Find(k, &v)) << k;
+    EXPECT_EQ(v, k * 2);
+  }
+  EXPECT_FALSE(table.Find(n + 5, &v));
+}
+
+TEST(ConcurrentHashTableTest, ConcurrentDuplicateKeys) {
+  // All threads hammer the same few keys: every insert must land.
+  ConcurrentHashTable table(4000);
+  std::vector<std::thread> workers;
+  for (uint32_t t = 0; t < 4; ++t) {
+    workers.emplace_back([&table] {
+      for (int i = 0; i < 500; ++i) table.Insert(42, 1);
+    });
+  }
+  for (auto& w : workers) w.join();
+  EXPECT_EQ(table.CountMatches(42), 2000u);
+}
+
+TEST(ParallelBuildJoinTest, MatchesSerialJoin) {
+  auto build = workload::MakeBuildRelation(50000, 7);
+  auto probe = workload::MakeProbeRelation(200000, 50000, 0.5, 8);
+  exec::ThreadPool pool(2);
+  NoPartitionJoinOptions serial;
+  NoPartitionJoinOptions parallel;
+  parallel.pool = &pool;
+  parallel.parallel_build = true;
+  EXPECT_EQ(NoPartitionHashJoin(build, probe, serial).matches,
+            NoPartitionHashJoin(build, probe, parallel).matches);
+}
+
+TEST(ParallelBuildJoinTest, MaterializedPairsMatch) {
+  auto build = workload::MakeBuildRelation(1000, 9);
+  auto probe = workload::MakeProbeRelation(5000, 1000, 0.0, 10);
+  exec::ThreadPool pool(2);
+  NoPartitionJoinOptions serial;
+  serial.materialize = true;
+  NoPartitionJoinOptions parallel = serial;
+  parallel.pool = &pool;
+  parallel.parallel_build = true;
+  auto a = NoPartitionHashJoin(build, probe, serial);
+  auto b = NoPartitionHashJoin(build, probe, parallel);
+  EXPECT_EQ(a.matches, b.matches);
+  EXPECT_EQ(a.pairs.size(), b.pairs.size());
+}
+
+/// CountMatchesBatch must equal the scalar loop at every prefetch
+/// distance.
+class PrefetchDistance : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(PrefetchDistance, BatchEqualsScalar) {
+  const uint32_t distance = GetParam();
+  auto build = workload::MakeBuildRelation(20000, 11);
+  LinearProbeTable table(build.size());
+  for (uint64_t i = 0; i < build.size(); ++i) {
+    table.Insert(build.keys[i], build.payloads[i]);
+  }
+  auto probes = workload::UniformKeys(50000, 40000, 12);  // ~50% hits
+  uint64_t scalar = 0;
+  for (uint64_t k : probes) scalar += table.CountMatches(k);
+  EXPECT_EQ(table.CountMatchesBatch(probes.data(), probes.size(), distance),
+            scalar);
+}
+
+INSTANTIATE_TEST_SUITE_P(Distances, PrefetchDistance,
+                         ::testing::Values(0u, 1u, 4u, 8u, 32u, 100000u));
+
+}  // namespace
+}  // namespace hwstar::ops

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/ops/selection.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::ops {
+namespace {
+
+TEST(SelectionTest, BranchingBasic) {
+  std::vector<int64_t> v = {5, 10, 15, 20, 25};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBranching(v, 10, 21, &out), 3u);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(SelectionTest, BranchFreeBasic) {
+  std::vector<int64_t> v = {5, 10, 15, 20, 25};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBranchFree(v, 10, 21, &out), 3u);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(SelectionTest, BitmapBasic) {
+  std::vector<int64_t> v = {5, 10, 15, 20, 25};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBitmap(v, 10, 21, &out), 3u);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(SelectionTest, EmptyInput) {
+  std::vector<int64_t> v;
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBranching(v, 0, 10, &out), 0u);
+  EXPECT_EQ(SelectBranchFree(v, 0, 10, &out), 0u);
+  EXPECT_EQ(SelectBitmap(v, 0, 10, &out), 0u);
+}
+
+TEST(SelectionTest, NothingQualifies) {
+  std::vector<int64_t> v = {1, 2, 3};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBranchFree(v, 100, 200, &out), 0u);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SelectionTest, EverythingQualifies) {
+  std::vector<int64_t> v = {1, 2, 3};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(SelectBitmap(v, 0, 10, &out), 3u);
+  EXPECT_EQ(out.size(), 3u);
+}
+
+TEST(SelectionTest, CountMatchesSelect) {
+  std::vector<int64_t> v = {3, 1, 4, 1, 5, 9, 2, 6};
+  std::vector<uint32_t> out;
+  EXPECT_EQ(CountInRange(v, 2, 6), SelectBranching(v, 2, 6, &out));
+}
+
+TEST(BitmapTest, BuildSetsExactBits) {
+  std::vector<int64_t> v(130, 0);
+  v[0] = 100;
+  v[64] = 100;
+  v[129] = 100;
+  std::vector<uint64_t> bitmap;
+  BuildSelectionBitmap(v, 50, 200, &bitmap);
+  ASSERT_EQ(bitmap.size(), 3u);
+  EXPECT_EQ(bitmap[0], 1u);
+  EXPECT_EQ(bitmap[1], 1u);
+  EXPECT_EQ(bitmap[2], 2u);  // bit 129 = word 2 bit 1
+}
+
+TEST(BitmapTest, AndCombines) {
+  std::vector<int64_t> v = {1, 5, 10, 50, 100};
+  std::vector<uint64_t> a, b;
+  BuildSelectionBitmap(v, 0, 51, &a);    // selects 0..3
+  BuildSelectionBitmap(v, 5, 1000, &b);  // selects 1..4
+  BitmapAnd(&a, b);
+  std::vector<uint32_t> out;
+  EXPECT_EQ(BitmapToPositions(a, v.size(), &out), 3u);
+  EXPECT_EQ(out, (std::vector<uint32_t>{1, 2, 3}));
+}
+
+TEST(BitmapTest, PositionsIgnoreTailBits) {
+  // 70 values; the bitmap has 2 words with 58 tail bits unused.
+  std::vector<int64_t> v(70, 10);
+  std::vector<uint64_t> bitmap;
+  BuildSelectionBitmap(v, 0, 100, &bitmap);
+  std::vector<uint32_t> out;
+  EXPECT_EQ(BitmapToPositions(bitmap, 70, &out), 70u);
+}
+
+/// Property: all three kernels agree at every selectivity.
+class SelectionEquivalence : public ::testing::TestWithParam<double> {};
+
+TEST_P(SelectionEquivalence, KernelsAgree) {
+  const double selectivity = GetParam();
+  const int64_t threshold = 1000;
+  auto v = workload::MakeSelectionInput(20000, selectivity, threshold,
+                                        1000000, 7);
+  std::vector<uint32_t> a, b, c;
+  const uint64_t na = SelectBranching(v, 0, threshold, &a);
+  const uint64_t nb = SelectBranchFree(v, 0, threshold, &b);
+  const uint64_t nc = SelectBitmap(v, 0, threshold, &c);
+  EXPECT_EQ(na, nb);
+  EXPECT_EQ(nb, nc);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+  EXPECT_EQ(CountInRange(v, 0, threshold), na);
+  // Measured selectivity tracks the requested one.
+  EXPECT_NEAR(static_cast<double>(na) / static_cast<double>(v.size()),
+              selectivity, 0.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Selectivities, SelectionEquivalence,
+                         ::testing::Values(0.0, 0.001, 0.01, 0.1, 0.25, 0.5,
+                                           0.75, 0.9, 0.99, 1.0));
+
+}  // namespace
+}  // namespace hwstar::ops

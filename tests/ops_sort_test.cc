@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hwstar/common/random.h"
+#include "hwstar/ops/sort.h"
+
+namespace hwstar::ops {
+namespace {
+
+std::vector<uint64_t> RandomValues(size_t n, uint64_t domain, uint64_t seed) {
+  hwstar::Xoshiro256 rng(seed);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.NextBounded(domain);
+  return v;
+}
+
+TEST(RadixSortTest, SortsBasic) {
+  std::vector<uint64_t> v = {5, 1, 4, 1, 5, 9, 2, 6};
+  RadixSortU64(&v);
+  EXPECT_TRUE(IsSortedU64(v));
+  EXPECT_EQ(v.front(), 1u);
+  EXPECT_EQ(v.back(), 9u);
+}
+
+TEST(RadixSortTest, EmptyAndSingle) {
+  std::vector<uint64_t> empty;
+  RadixSortU64(&empty);
+  EXPECT_TRUE(empty.empty());
+  std::vector<uint64_t> one = {42};
+  RadixSortU64(&one);
+  EXPECT_EQ(one, (std::vector<uint64_t>{42}));
+}
+
+TEST(RadixSortTest, FullWidthKeys) {
+  auto v = RandomValues(10000, ~uint64_t{0}, 5);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  RadixSortU64(&v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RadixSortTest, AdaptiveSkipsConstantBytes) {
+  auto v = RandomValues(10000, 1 << 16, 6);  // only 2 varying bytes
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+  RadixSortU64Adaptive(&v);
+  EXPECT_EQ(v, expected);
+}
+
+TEST(RadixSortTest, AdaptiveAllEqual) {
+  std::vector<uint64_t> v(100, 7);
+  RadixSortU64Adaptive(&v);
+  EXPECT_EQ(v, std::vector<uint64_t>(100, 7));
+}
+
+TEST(RadixSortRelationTest, PayloadsFollowKeys) {
+  Relation rel;
+  rel.Append(30, 3);
+  rel.Append(10, 1);
+  rel.Append(20, 2);
+  RadixSortRelation(&rel);
+  EXPECT_EQ(rel.keys, (std::vector<uint64_t>{10, 20, 30}));
+  EXPECT_EQ(rel.payloads, (std::vector<uint64_t>{1, 2, 3}));
+}
+
+TEST(RadixSortRelationTest, StableForEqualKeys) {
+  // LSB radix sort is stable: payloads of equal keys keep input order.
+  Relation rel;
+  rel.Append(5, 0);
+  rel.Append(5, 1);
+  rel.Append(5, 2);
+  rel.Append(1, 9);
+  RadixSortRelation(&rel);
+  EXPECT_EQ(rel.payloads, (std::vector<uint64_t>{9, 0, 1, 2}));
+}
+
+TEST(MergeSortTest, SortsBasic) {
+  std::vector<uint64_t> v = {9, 8, 7, 1, 2, 3};
+  MergeSortU64(&v);
+  EXPECT_TRUE(IsSortedU64(v));
+}
+
+TEST(MergeSortTest, AlreadySorted) {
+  std::vector<uint64_t> v = {1, 2, 3, 4, 5};
+  MergeSortU64(&v);
+  EXPECT_EQ(v, (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(IsSortedTest, DetectsUnsorted) {
+  EXPECT_TRUE(IsSortedU64({}));
+  EXPECT_TRUE(IsSortedU64({1}));
+  EXPECT_TRUE(IsSortedU64({1, 1, 2}));
+  EXPECT_FALSE(IsSortedU64({2, 1}));
+}
+
+/// Property: all sorts agree with std::sort over sizes and run sizes.
+class SortEquivalence
+    : public ::testing::TestWithParam<std::tuple<size_t, size_t>> {};
+
+TEST_P(SortEquivalence, MatchesStdSort) {
+  const auto [n, run_size] = GetParam();
+  auto v = RandomValues(n, 1u << 20, n + run_size);
+  auto expected = v;
+  std::sort(expected.begin(), expected.end());
+
+  auto radix = v;
+  RadixSortU64(&radix);
+  EXPECT_EQ(radix, expected);
+
+  auto adaptive = v;
+  RadixSortU64Adaptive(&adaptive);
+  EXPECT_EQ(adaptive, expected);
+
+  auto merge = v;
+  MergeSortU64(&merge, run_size);
+  EXPECT_EQ(merge, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, SortEquivalence,
+    ::testing::Combine(::testing::Values(0u, 1u, 2u, 100u, 1000u, 65536u),
+                       ::testing::Values(2u, 16u, 64u, 1024u)));
+
+}  // namespace
+}  // namespace hwstar::ops

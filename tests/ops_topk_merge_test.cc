@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "hwstar/common/random.h"
+#include "hwstar/ops/merge.h"
+#include "hwstar/ops/topk.h"
+
+namespace hwstar::ops {
+namespace {
+
+// ---------- top-k ----------
+
+TEST(TopKTest, BasicDescendingOrder) {
+  std::vector<uint64_t> v = {5, 1, 9, 3, 7};
+  EXPECT_EQ(TopKBySort(v, 3), (std::vector<uint64_t>{9, 7, 5}));
+  EXPECT_EQ(TopKByHeap(v, 3), (std::vector<uint64_t>{9, 7, 5}));
+  EXPECT_EQ(TopKByThreshold(v, 3), (std::vector<uint64_t>{9, 7, 5}));
+}
+
+TEST(TopKTest, KLargerThanInput) {
+  std::vector<uint64_t> v = {2, 1};
+  EXPECT_EQ(TopKBySort(v, 10), (std::vector<uint64_t>{2, 1}));
+  EXPECT_EQ(TopKByHeap(v, 10), (std::vector<uint64_t>{2, 1}));
+  EXPECT_EQ(TopKByThreshold(v, 10), (std::vector<uint64_t>{2, 1}));
+}
+
+TEST(TopKTest, KZeroAndEmptyInput) {
+  std::vector<uint64_t> v = {1, 2, 3};
+  EXPECT_TRUE(TopKBySort(v, 0).empty());
+  EXPECT_TRUE(TopKByHeap(v, 0).empty());
+  EXPECT_TRUE(TopKByThreshold(v, 0).empty());
+  std::vector<uint64_t> empty;
+  EXPECT_TRUE(TopKByHeap(empty, 5).empty());
+  EXPECT_TRUE(TopKByThreshold(empty, 5).empty());
+}
+
+TEST(TopKTest, Duplicates) {
+  std::vector<uint64_t> v = {7, 7, 7, 3, 9, 9};
+  EXPECT_EQ(TopKByHeap(v, 4), (std::vector<uint64_t>{9, 9, 7, 7}));
+}
+
+/// Property: all three kernels agree across sizes, k and distributions.
+class TopKEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};
+
+TEST_P(TopKEquivalence, KernelsAgree) {
+  const auto [n, k] = GetParam();
+  hwstar::Xoshiro256 rng(n * 17 + k);
+  std::vector<uint64_t> v(n);
+  for (auto& x : v) x = rng.NextBounded(n / 2 + 10);  // ensure duplicates
+  auto expected = TopKBySort(v, k);
+  EXPECT_EQ(TopKByHeap(v, k), expected);
+  EXPECT_EQ(TopKByThreshold(v, k), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKEquivalence,
+    ::testing::Combine(::testing::Values(1u, 100u, 10000u, 100000u),
+                       ::testing::Values(1u, 10u, 100u, 5000u)));
+
+// ---------- loser-tree merge ----------
+
+TEST(LoserTreeTest, MergesTwoRuns) {
+  std::vector<std::vector<uint64_t>> runs = {{1, 3, 5}, {2, 4, 6}};
+  EXPECT_EQ(MergeSortedRuns(runs), (std::vector<uint64_t>{1, 2, 3, 4, 5, 6}));
+}
+
+TEST(LoserTreeTest, HandlesEmptyRuns) {
+  std::vector<std::vector<uint64_t>> runs = {{}, {5}, {}, {1, 9}};
+  EXPECT_EQ(MergeSortedRuns(runs), (std::vector<uint64_t>{1, 5, 9}));
+}
+
+TEST(LoserTreeTest, AllEmpty) {
+  std::vector<std::vector<uint64_t>> runs = {{}, {}};
+  EXPECT_TRUE(MergeSortedRuns(runs).empty());
+  std::vector<std::vector<uint64_t>> none;
+  EXPECT_TRUE(MergeSortedRuns(none).empty());
+}
+
+TEST(LoserTreeTest, SingleRunPassthrough) {
+  std::vector<std::vector<uint64_t>> runs = {{1, 2, 2, 3}};
+  EXPECT_EQ(MergeSortedRuns(runs), (std::vector<uint64_t>{1, 2, 2, 3}));
+}
+
+TEST(LoserTreeTest, NonPowerOfTwoFanIn) {
+  std::vector<std::vector<uint64_t>> runs = {{3}, {1}, {2}, {5}, {4}};
+  EXPECT_EQ(MergeSortedRuns(runs), (std::vector<uint64_t>{1, 2, 3, 4, 5}));
+}
+
+TEST(LoserTreeTest, DuplicatesAcrossRuns) {
+  std::vector<std::vector<uint64_t>> runs = {{2, 2}, {2}, {1, 2}};
+  EXPECT_EQ(MergeSortedRuns(runs), (std::vector<uint64_t>{1, 2, 2, 2, 2}));
+}
+
+TEST(LoserTreeTest, IncrementalApi) {
+  std::vector<uint64_t> a = {1, 4}, b = {2, 3};
+  LoserTreeMerger merger({{a.data(), a.size()}, {b.data(), b.size()}});
+  EXPECT_EQ(merger.remaining(), 4u);
+  EXPECT_EQ(merger.Next(), 1u);
+  EXPECT_EQ(merger.Next(), 2u);
+  EXPECT_EQ(merger.remaining(), 2u);
+  EXPECT_EQ(merger.Next(), 3u);
+  EXPECT_EQ(merger.Next(), 4u);
+  EXPECT_FALSE(merger.HasNext());
+}
+
+/// Property: loser tree == linear baseline == std::sort of concatenation.
+class MergeEquivalence
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint64_t>> {};
+
+TEST_P(MergeEquivalence, AllAgree) {
+  const auto [num_runs, per_run] = GetParam();
+  hwstar::Xoshiro256 rng(num_runs * 31 + per_run);
+  std::vector<std::vector<uint64_t>> runs(num_runs);
+  std::vector<uint64_t> all;
+  for (auto& run : runs) {
+    const uint64_t len = rng.NextBounded(per_run + 1);
+    run.resize(len);
+    for (auto& x : run) x = rng.NextBounded(1 << 20);
+    std::sort(run.begin(), run.end());
+    all.insert(all.end(), run.begin(), run.end());
+  }
+  std::sort(all.begin(), all.end());
+  EXPECT_EQ(MergeSortedRuns(runs), all);
+  EXPECT_EQ(MergeSortedRunsLinear(runs), all);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, MergeEquivalence,
+    ::testing::Combine(::testing::Values(1u, 2u, 3u, 8u, 17u, 64u),
+                       ::testing::Values(0u, 1u, 100u, 5000u)));
+
+}  // namespace
+}  // namespace hwstar::ops

@@ -1,0 +1,235 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/sim/cache_sim.h"
+#include "hwstar/sim/prefetcher.h"
+#include "hwstar/sim/tlb.h"
+
+namespace hwstar::sim {
+namespace {
+
+hw::CacheLevelSpec SmallCache(uint64_t size = 1024, uint32_t line = 64,
+                              uint32_t ways = 2) {
+  hw::CacheLevelSpec spec;
+  spec.size_bytes = size;
+  spec.line_bytes = line;
+  spec.associativity = ways;
+  spec.hit_latency_cycles = 4;
+  return spec;
+}
+
+TEST(CacheLevelTest, FirstAccessMissesSecondHits) {
+  CacheLevel cache(SmallCache());
+  EXPECT_FALSE(cache.Access(0x1000, false));
+  EXPECT_TRUE(cache.Access(0x1000, false));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(CacheLevelTest, SameLineDifferentBytesHit) {
+  CacheLevel cache(SmallCache());
+  cache.Access(0x1000, false);
+  EXPECT_TRUE(cache.Access(0x1004, false));
+  EXPECT_TRUE(cache.Access(0x103F, false));
+  // Next line misses.
+  EXPECT_FALSE(cache.Access(0x1040, false));
+}
+
+TEST(CacheLevelTest, LruEvictionWithinSet) {
+  // 1KB, 2-way, 64B lines -> 8 sets. Addresses with identical set index:
+  // stride = 8 sets * 64B = 512B.
+  CacheLevel cache(SmallCache());
+  EXPECT_EQ(cache.num_sets(), 8u);
+  cache.Access(0x0000, false);   // set 0, way A
+  cache.Access(0x0200, false);   // set 0, way B
+  cache.Access(0x0000, false);   // touch A (B becomes LRU)
+  cache.Access(0x0400, false);   // evicts B
+  EXPECT_TRUE(cache.Contains(0x0000));
+  EXPECT_FALSE(cache.Contains(0x0200));
+  EXPECT_TRUE(cache.Contains(0x0400));
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheLevelTest, DirtyEvictionCountsWriteback) {
+  CacheLevel cache(SmallCache());
+  cache.Access(0x0000, /*is_write=*/true);
+  cache.Access(0x0200, false);
+  cache.Access(0x0400, false);  // evicts LRU = dirty 0x0000
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(CacheLevelTest, CleanEvictionNoWriteback) {
+  CacheLevel cache(SmallCache());
+  cache.Access(0x0000, false);
+  cache.Access(0x0200, false);
+  cache.Access(0x0400, false);
+  EXPECT_EQ(cache.stats().writebacks, 0u);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+}
+
+TEST(CacheLevelTest, FlushInvalidatesKeepsStats) {
+  CacheLevel cache(SmallCache());
+  cache.Access(0x1000, false);
+  cache.Flush();
+  EXPECT_FALSE(cache.Contains(0x1000));
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_FALSE(cache.Access(0x1000, false));
+}
+
+TEST(CacheLevelTest, WorkingSetWithinCapacityAllHitsAfterWarmup) {
+  // 1KB cache; touch 512B working set repeatedly.
+  CacheLevel cache(SmallCache());
+  for (uint64_t a = 0; a < 512; a += 64) cache.Access(a, false);
+  cache.ResetStats();
+  for (int rep = 0; rep < 10; ++rep) {
+    for (uint64_t a = 0; a < 512; a += 64) cache.Access(a, false);
+  }
+  EXPECT_EQ(cache.stats().misses, 0u);
+  EXPECT_EQ(cache.stats().hits, 80u);
+}
+
+TEST(CacheLevelTest, WorkingSetBeyondCapacityThrashes) {
+  // 1KB cache, sequential sweep over 4KB: with LRU every line misses every
+  // round.
+  CacheLevel cache(SmallCache());
+  for (int rep = 0; rep < 3; ++rep) {
+    for (uint64_t a = 0; a < 4096; a += 64) cache.Access(a, false);
+  }
+  EXPECT_GT(cache.stats().miss_ratio(), 0.99);
+}
+
+TEST(CacheLevelTest, DeterministicReplay) {
+  CacheLevel a(SmallCache()), b(SmallCache());
+  for (uint64_t i = 0; i < 1000; ++i) {
+    const uint64_t addr = (i * 2654435761u) % 8192;
+    a.Access(addr, i % 3 == 0);
+    b.Access(addr, i % 3 == 0);
+  }
+  EXPECT_EQ(a.stats().hits, b.stats().hits);
+  EXPECT_EQ(a.stats().misses, b.stats().misses);
+  EXPECT_EQ(a.stats().writebacks, b.stats().writebacks);
+}
+
+// Associativity sweep: a conflict pattern of K+1 lines mapping to one set
+// thrashes a K-way cache but fits a (K+1)-way cache.
+class AssociativityTest : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(AssociativityTest, ConflictMissesDependOnWays) {
+  const uint32_t ways = GetParam();
+  hw::CacheLevelSpec spec;
+  spec.line_bytes = 64;
+  spec.associativity = ways;
+  spec.size_bytes = 64 * ways * 8;  // 8 sets
+  CacheLevel cache(spec);
+  const uint64_t stride = 8 * 64;  // same set every time
+  // ways+1 conflicting lines, round-robin: always evicting the next needed.
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint32_t k = 0; k <= ways; ++k) {
+      cache.Access(k * stride, false);
+    }
+  }
+  EXPECT_GT(cache.stats().miss_ratio(), 0.99);
+
+  // The same pattern with `ways` lines fits.
+  CacheLevel cache2(spec);
+  for (int rep = 0; rep < 5; ++rep) {
+    for (uint32_t k = 0; k < ways; ++k) {
+      cache2.Access(k * stride, false);
+    }
+  }
+  EXPECT_EQ(cache2.stats().misses, ways);
+}
+
+INSTANTIATE_TEST_SUITE_P(Ways, AssociativityTest,
+                         ::testing::Values(1u, 2u, 4u, 8u));
+
+TEST(TlbTest, HitWithinPage) {
+  Tlb tlb(hw::TlbSpec{4, 4096, 30});
+  EXPECT_FALSE(tlb.Access(0x1000));
+  EXPECT_TRUE(tlb.Access(0x1FFF));
+  EXPECT_FALSE(tlb.Access(0x2000));
+}
+
+TEST(TlbTest, LruReplacement) {
+  Tlb tlb(hw::TlbSpec{2, 4096, 30});
+  tlb.Access(0 << 12);
+  tlb.Access(1 << 12);
+  tlb.Access(0 << 12);       // refresh page 0
+  tlb.Access(2 << 12);       // evicts page 1
+  EXPECT_TRUE(tlb.Access(0 << 12));
+  EXPECT_FALSE(tlb.Access(1 << 12));
+}
+
+TEST(TlbTest, MissRatioSequentialVsRandom) {
+  // Sequential 64B touches: 1 miss per 64 accesses (4KB pages).
+  Tlb seq(hw::TlbSpec{64, 4096, 30});
+  for (uint64_t a = 0; a < 64 * 4096; a += 64) seq.Access(a);
+  EXPECT_LT(seq.stats().miss_ratio(), 0.02);
+
+  // Random touches over 1024 pages with a 64-entry TLB: mostly misses.
+  Tlb rnd(hw::TlbSpec{64, 4096, 30});
+  uint64_t x = 12345;
+  for (int i = 0; i < 10000; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    rnd.Access(((x >> 33) % 1024) << 12);
+  }
+  EXPECT_GT(rnd.stats().miss_ratio(), 0.8);
+}
+
+TEST(TlbTest, FlushDropsEntries) {
+  Tlb tlb(hw::TlbSpec{8, 4096, 30});
+  tlb.Access(0x1000);
+  tlb.Flush();
+  EXPECT_FALSE(tlb.Access(0x1000));
+}
+
+TEST(PrefetcherTest, DetectsConstantStride) {
+  StridePrefetcher pf(4, 2, 2, 64);
+  std::vector<uint64_t> out;
+  // Sequential lines: stride 64.
+  pf.Observe(0, &out);
+  pf.Observe(64, &out);    // stride learned
+  pf.Observe(128, &out);   // confidence reached
+  EXPECT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 128u + 64u);
+  EXPECT_EQ(out[1], 128u + 128u);
+}
+
+TEST(PrefetcherTest, NoPrefetchOnRandomPattern) {
+  StridePrefetcher pf(4, 2, 2, 64);
+  std::vector<uint64_t> out;
+  uint64_t total = 0;
+  uint64_t x = 99;
+  for (int i = 0; i < 200; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    pf.Observe((x >> 30) & ~uint64_t{63}, &out);
+    total += out.size();
+  }
+  // Far-apart random addresses never match a stream window.
+  EXPECT_EQ(total, 0u);
+}
+
+TEST(PrefetcherTest, NegativeStrideSupported) {
+  StridePrefetcher pf(4, 1, 2, 64);
+  std::vector<uint64_t> out;
+  pf.Observe(1024, &out);
+  pf.Observe(960, &out);
+  pf.Observe(896, &out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out[0], 896u - 64u);
+}
+
+TEST(PrefetcherTest, ResetForgetsStreams) {
+  StridePrefetcher pf(4, 2, 2, 64);
+  std::vector<uint64_t> out;
+  pf.Observe(0, &out);
+  pf.Observe(64, &out);
+  pf.Observe(128, &out);
+  EXPECT_FALSE(out.empty());
+  pf.Reset();
+  pf.Observe(192, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace hwstar::sim

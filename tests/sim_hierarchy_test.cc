@@ -1,0 +1,260 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/sim/energy_model.h"
+#include "hwstar/sim/hierarchy.h"
+#include "hwstar/sim/memory_trace.h"
+#include "hwstar/sim/numa_model.h"
+#include "hwstar/sim/offload_model.h"
+
+namespace hwstar::sim {
+namespace {
+
+MemoryHierarchy::Options NoPrefetch() {
+  MemoryHierarchy::Options opts;
+  opts.enable_prefetcher = false;
+  return opts;
+}
+
+TEST(HierarchyTest, ColdMissPaysDramLatency) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy hier(m, NoPrefetch());
+  const uint32_t lat = hier.Access(0x100000);
+  // Miss in all levels: sum of level latencies + TLB miss + DRAM.
+  uint32_t expected = m.tlb.miss_penalty_cycles + m.dram_latency_cycles;
+  for (const auto& c : m.caches) expected += c.hit_latency_cycles;
+  EXPECT_EQ(lat, expected);
+}
+
+TEST(HierarchyTest, WarmHitPaysL1Latency) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy hier(m, NoPrefetch());
+  hier.Access(0x100000);
+  const uint32_t lat = hier.Access(0x100000);
+  EXPECT_EQ(lat, m.caches[0].hit_latency_cycles);
+}
+
+TEST(HierarchyTest, SequentialScanBeatsRandomAccess) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  const uint64_t bytes = 8 << 20;  // 8MB > L1+L2, fits partly in L3
+
+  MemoryHierarchy seq(m);
+  for (uint64_t a = 0; a < bytes; a += 64) seq.Access(0x10000000 + a);
+  const double seq_cpa = seq.Stats().cycles_per_access();
+
+  MemoryHierarchy rnd(m);
+  uint64_t x = 7;
+  const uint64_t lines = bytes / 64;
+  for (uint64_t i = 0; i < lines; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    rnd.Access(0x10000000 + (x % lines) * 64);
+  }
+  const double rnd_cpa = rnd.Stats().cycles_per_access();
+
+  // The prefetcher hides latency on the sequential stream; random probes
+  // pay nearly full DRAM latency.
+  EXPECT_LT(seq_cpa * 2, rnd_cpa);
+}
+
+TEST(HierarchyTest, PrefetcherTogglesBehaviour) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy with(m);
+  MemoryHierarchy without(m, NoPrefetch());
+  for (uint64_t a = 0; a < (4 << 20); a += 64) {
+    with.Access(a);
+    without.Access(a);
+  }
+  EXPECT_LT(with.Stats().cycles_per_access(),
+            without.Stats().cycles_per_access());
+  EXPECT_GT(with.Stats().prefetch.issued, 0u);
+}
+
+TEST(HierarchyTest, AccessRangeTouchesEveryLine) {
+  hw::MachineModel m = hw::MachineModel::Desktop();
+  MemoryHierarchy hier(m, NoPrefetch());
+  hier.AccessRange(0x1000, 256);  // 4 lines
+  EXPECT_EQ(hier.Stats().accesses, 4u);
+  // Unaligned range spanning a line boundary.
+  MemoryHierarchy hier2(m, NoPrefetch());
+  hier2.AccessRange(0x1030, 64);  // crosses into the next line
+  EXPECT_EQ(hier2.Stats().accesses, 2u);
+  // Zero bytes -> zero accesses.
+  MemoryHierarchy hier3(m, NoPrefetch());
+  EXPECT_EQ(hier3.AccessRange(0x1000, 0), 0u);
+}
+
+TEST(HierarchyTest, StatsAccumulateAndReset) {
+  hw::MachineModel m = hw::MachineModel::Desktop();
+  MemoryHierarchy hier(m, NoPrefetch());
+  hier.Access(0);
+  hier.Access(0);
+  HierarchyStats st = hier.Stats();
+  EXPECT_EQ(st.accesses, 2u);
+  EXPECT_EQ(st.levels[0].hits, 1u);
+  EXPECT_EQ(st.levels[0].misses, 1u);
+  hier.ResetStats();
+  EXPECT_EQ(hier.Stats().accesses, 0u);
+  // Contents survive a stats reset.
+  EXPECT_EQ(hier.Access(0), m.caches[0].hit_latency_cycles);
+  hier.ColdReset();
+  EXPECT_GT(hier.Access(0), m.caches[0].hit_latency_cycles);
+}
+
+TEST(HierarchyTest, EnergyEventsTrackHierarchy) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy hier(m, NoPrefetch());
+  hier.Access(0);           // DRAM
+  hier.Access(0);           // L1 hit
+  hier.CountInstructions(100);
+  EnergyEvents e = hier.Stats().energy_events;
+  EXPECT_EQ(e.dram_accesses, 1u);
+  EXPECT_EQ(e.l1_hits, 1u);
+  EXPECT_EQ(e.instructions, 100u);
+}
+
+TEST(HierarchyTest, ReplayMatchesDirectAccesses) {
+  hw::MachineModel m = hw::MachineModel::Desktop();
+  MemoryTrace trace;
+  MemoryHierarchy direct(m, NoPrefetch());
+  uint64_t x = 3;
+  for (int i = 0; i < 5000; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    const uint64_t addr = (x >> 20) % (1 << 20);
+    trace.Record(addr, i % 5 == 0);
+    direct.Access(addr, i % 5 == 0);
+  }
+  MemoryHierarchy replayed(m, NoPrefetch());
+  replayed.Replay(trace);
+  EXPECT_EQ(replayed.Stats().total_cycles, direct.Stats().total_cycles);
+  EXPECT_EQ(replayed.Stats().levels[0].misses,
+            direct.Stats().levels[0].misses);
+}
+
+TEST(MemoryTraceTest, CapacityBoundsAndDropCounting) {
+  MemoryTrace trace(10);
+  for (int i = 0; i < 25; ++i) trace.Record(i, false);
+  EXPECT_EQ(trace.size(), 10u);
+  EXPECT_EQ(trace.dropped(), 15u);
+  trace.Clear();
+  EXPECT_EQ(trace.size(), 0u);
+  EXPECT_EQ(trace.dropped(), 0u);
+}
+
+TEST(NumaModelTest, BindPolicyAllOnNode0) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  NumaModel numa(m);
+  numa.RegisterRegion(0x1000, 1 << 20, NumaModel::Policy::kBindNode0);
+  for (uint64_t a = 0x1000; a < 0x1000 + (1 << 20); a += 4096) {
+    EXPECT_EQ(numa.HomeNode(a), 0u);
+  }
+}
+
+TEST(NumaModelTest, InterleaveAlternatesPages) {
+  hw::MachineModel m = hw::MachineModel::Server2013();  // 2 nodes
+  NumaModel numa(m);
+  numa.RegisterRegion(0, 1 << 20, NumaModel::Policy::kInterleave);
+  EXPECT_EQ(numa.HomeNode(0), 0u);
+  EXPECT_EQ(numa.HomeNode(4096), 1u);
+  EXPECT_EQ(numa.HomeNode(8192), 0u);
+}
+
+TEST(NumaModelTest, FirstTouchOwnsNode) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  NumaModel numa(m);
+  numa.RegisterRegion(0x2000, 4096, NumaModel::Policy::kFirstTouch, 1);
+  EXPECT_EQ(numa.HomeNode(0x2000), 1u);
+}
+
+TEST(NumaModelTest, RemoteAccessCostsMore) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  NumaModel numa(m);
+  numa.RegisterRegion(0x2000, 4096, NumaModel::Policy::kFirstTouch, 1);
+  // Core 0 is on node 0; the region lives on node 1.
+  const uint32_t remote = numa.DramLatency(0, 0x2000);
+  // Cores in the upper half map to node 1.
+  const uint32_t local = numa.DramLatency(m.cores - 1, 0x2000);
+  EXPECT_GT(remote, local);
+  EXPECT_EQ(local, m.dram_latency_cycles);
+  EXPECT_EQ(numa.stats().remote_accesses, 1u);
+  EXPECT_EQ(numa.stats().local_accesses, 1u);
+}
+
+TEST(NumaModelTest, UnregisteredDefaultsToNode0) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  NumaModel numa(m);
+  EXPECT_EQ(numa.HomeNode(0xDEADBEEF), 0u);
+}
+
+TEST(NumaModelTest, UnregisterRemovesRegion) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  NumaModel numa(m);
+  numa.RegisterRegion(0x2000, 4096, NumaModel::Policy::kFirstTouch, 1);
+  numa.UnregisterRegion(0x2000);
+  EXPECT_EQ(numa.HomeNode(0x2000), 0u);
+}
+
+TEST(EnergyModelTest, ComputesWeightedSum) {
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  EnergyModel energy(m);
+  EnergyEvents e;
+  e.instructions = 10;
+  e.l1_hits = 5;
+  e.dram_accesses = 2;
+  const double pj = energy.EnergyPicojoules(e);
+  EXPECT_DOUBLE_EQ(pj, 10 * m.energy_pj_instruction + 5 * m.energy_pj_l1_hit +
+                           2 * m.energy_pj_dram);
+  EXPECT_DOUBLE_EQ(energy.EnergyNanojoules(e), pj * 1e-3);
+  EXPECT_DOUBLE_EQ(energy.EnergyPerTuplePj(e, 10), pj / 10.0);
+  EXPECT_DOUBLE_EQ(energy.EnergyPerTuplePj(e, 0), 0.0);
+}
+
+TEST(EnergyEventsTest, AccumulateWithPlusEquals) {
+  EnergyEvents a, b;
+  a.l1_hits = 3;
+  b.l1_hits = 4;
+  b.dram_accesses = 2;
+  a += b;
+  EXPECT_EQ(a.l1_hits, 7u);
+  EXPECT_EQ(a.dram_accesses, 2u);
+}
+
+TEST(OffloadModelTest, SmallInputsFavorCpu) {
+  OffloadModel model;
+  EXPECT_LT(model.CpuSeconds(1024), model.AccelSeconds(1024));
+}
+
+TEST(OffloadModelTest, LargeInputsFavorAccelerator) {
+  OffloadModel model;
+  const uint64_t big = uint64_t{1} << 30;
+  EXPECT_GT(model.CpuSeconds(big), model.AccelSeconds(big));
+}
+
+TEST(OffloadModelTest, BreakEvenIsConsistent) {
+  OffloadModel model;
+  const uint64_t be = model.BreakEvenBytes(1);
+  ASSERT_GT(be, 1u);
+  EXPECT_GT(model.AccelSeconds(be / 2), model.CpuSeconds(be / 2, 1));
+  EXPECT_LE(model.AccelSeconds(be), model.CpuSeconds(be, 1));
+}
+
+TEST(OffloadModelTest, MoreCpuCoresPushBreakEvenUp) {
+  OffloadModel model;
+  const uint64_t be1 = model.BreakEvenBytes(1);
+  const uint64_t be2 = model.BreakEvenBytes(2);
+  ASSERT_GT(be1, 0u);
+  // With 2 cores, either the accelerator never wins (0) or needs more data.
+  if (be2 != 0) {
+    EXPECT_GT(be2, be1);
+  }
+}
+
+TEST(OffloadModelTest, SlowAcceleratorNeverWins) {
+  OffloadModel::Params p;
+  p.accel_bandwidth_gbps = 1.0;
+  p.cpu_bandwidth_gbps = 8.0;
+  OffloadModel model(p);
+  EXPECT_EQ(model.BreakEvenBytes(1), 0u);
+}
+
+}  // namespace
+}  // namespace hwstar::sim

@@ -1,0 +1,122 @@
+// Analytical property tests: the simulated hardware must reproduce the
+// closed-form behaviours that make it a trustworthy substitute for PMCs.
+
+#include <gtest/gtest.h>
+
+#include "hwstar/hw/machine_model.h"
+#include "hwstar/sim/cache_sim.h"
+#include "hwstar/sim/hierarchy.h"
+
+namespace hwstar::sim {
+namespace {
+
+/// Sequential scan with stride s over a cold cache must miss exactly once
+/// per touched line: miss ratio = min(1, s/line).
+class StrideMissRatio : public ::testing::TestWithParam<uint32_t> {};
+
+TEST_P(StrideMissRatio, MatchesClosedForm) {
+  const uint32_t stride = GetParam();
+  hw::CacheLevelSpec spec;
+  spec.size_bytes = 32 * 1024;
+  spec.line_bytes = 64;
+  spec.associativity = 8;
+  CacheLevel cache(spec);
+  // One pass over 16MB (much larger than the cache): pure cold/capacity
+  // misses, no reuse.
+  const uint64_t bytes = 16 << 20;
+  for (uint64_t a = 0; a < bytes; a += stride) {
+    cache.Access(a, false);
+  }
+  const double expected =
+      stride >= 64 ? 1.0 : static_cast<double>(stride) / 64.0;
+  EXPECT_NEAR(cache.stats().miss_ratio(), expected, 0.01) << stride;
+}
+
+INSTANTIATE_TEST_SUITE_P(Strides, StrideMissRatio,
+                         ::testing::Values(8u, 16u, 32u, 64u, 128u, 256u));
+
+/// A working set of W bytes looped repeatedly hits entirely once W <= C
+/// and thrashes (miss ratio 1 under LRU) once W > C, for round-robin
+/// sweeps: the capacity cliff in its sharpest form.
+class WorkingSetCliff : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WorkingSetCliff, LruSweepIsAllOrNothing) {
+  const uint64_t ws_bytes = GetParam();
+  hw::CacheLevelSpec spec;
+  spec.size_bytes = 64 * 1024;
+  spec.line_bytes = 64;
+  spec.associativity = 16;  // high associativity: conflict-free
+  CacheLevel cache(spec);
+  // Warmup pass.
+  for (uint64_t a = 0; a < ws_bytes; a += 64) cache.Access(a, false);
+  cache.ResetStats();
+  for (int rep = 0; rep < 4; ++rep) {
+    for (uint64_t a = 0; a < ws_bytes; a += 64) cache.Access(a, false);
+  }
+  if (ws_bytes <= spec.size_bytes) {
+    EXPECT_EQ(cache.stats().misses, 0u) << ws_bytes;
+  } else {
+    EXPECT_GT(cache.stats().miss_ratio(), 0.99) << ws_bytes;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, WorkingSetCliff,
+                         ::testing::Values(16u * 1024, 32u * 1024, 64u * 1024,
+                                           128u * 1024, 512u * 1024));
+
+TEST(HierarchyProperty, LatencyMonotoneInDepth) {
+  // Warm L1 < warm L2 < warm L3 < DRAM, by construction of the walk.
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy::Options opts;
+  opts.enable_prefetcher = false;
+  opts.enable_tlb = false;
+  MemoryHierarchy hier(m, opts);
+
+  const uint32_t dram = hier.Access(0);           // cold: full path
+  const uint32_t l1 = hier.Access(0);             // L1 warm
+  // Evict from L1 only: touch > L1-capacity distinct lines that keep L2.
+  for (uint64_t a = 64; a < 64 * 1024; a += 64) hier.Access(a);
+  const uint32_t l2 = hier.Access(0);             // L1 miss, L2 hit
+  EXPECT_LT(l1, l2);
+  EXPECT_LT(l2, dram);
+  EXPECT_EQ(l1, m.caches[0].hit_latency_cycles);
+}
+
+TEST(HierarchyProperty, EnergyConservation) {
+  // Every access is attributed to exactly one service level.
+  hw::MachineModel m = hw::MachineModel::Desktop();
+  MemoryHierarchy::Options opts;
+  opts.enable_prefetcher = false;
+  MemoryHierarchy hier(m, opts);
+  uint64_t x = 9;
+  for (int i = 0; i < 20000; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    hier.Access((x >> 24) % (4 << 20));
+  }
+  auto st = hier.Stats();
+  const uint64_t attributed = st.energy_events.l1_hits +
+                              st.energy_events.l2_hits +
+                              st.energy_events.l3_hits +
+                              st.energy_events.dram_accesses;
+  EXPECT_EQ(attributed, st.accesses);
+}
+
+TEST(HierarchyProperty, InclusiveMissCountsConsistent) {
+  // L2 accesses == L1 misses; L3 accesses == L2 misses (demand path,
+  // prefetcher off).
+  hw::MachineModel m = hw::MachineModel::Server2013();
+  MemoryHierarchy::Options opts;
+  opts.enable_prefetcher = false;
+  MemoryHierarchy hier(m, opts);
+  uint64_t x = 77;
+  for (int i = 0; i < 50000; ++i) {
+    x = x * 6364136223846793005ULL + 1;
+    hier.Access((x >> 20) % (64 << 20));
+  }
+  auto st = hier.Stats();
+  EXPECT_EQ(st.levels[1].hits + st.levels[1].misses, st.levels[0].misses);
+  EXPECT_EQ(st.levels[2].hits + st.levels[2].misses, st.levels[1].misses);
+}
+
+}  // namespace
+}  // namespace hwstar::sim

@@ -1,0 +1,281 @@
+#include <gtest/gtest.h>
+
+#include "hwstar/storage/column.h"
+#include "hwstar/storage/column_store.h"
+#include "hwstar/storage/pax.h"
+#include "hwstar/storage/row_store.h"
+#include "hwstar/storage/table.h"
+#include "hwstar/storage/types.h"
+
+namespace hwstar::storage {
+namespace {
+
+Schema FixedSchema() {
+  return Schema({{"id", TypeId::kInt64},
+                 {"qty", TypeId::kInt32},
+                 {"price", TypeId::kFloat64}});
+}
+
+/// Builds a small 3-column table with deterministic values.
+Table MakeTable(uint64_t rows) {
+  Table t(FixedSchema());
+  for (uint64_t r = 0; r < rows; ++r) {
+    t.column(0).AppendInt64(static_cast<int64_t>(r * 10));
+    t.column(1).AppendInt32(static_cast<int32_t>(r % 100));
+    t.column(2).AppendFloat64(static_cast<double>(r) * 0.5);
+    EXPECT_TRUE(t.FinishRow().ok());
+  }
+  return t;
+}
+
+TEST(TypesTest, WidthsAndNames) {
+  EXPECT_EQ(TypeWidth(TypeId::kInt32), 4u);
+  EXPECT_EQ(TypeWidth(TypeId::kInt64), 8u);
+  EXPECT_EQ(TypeWidth(TypeId::kFloat64), 8u);
+  EXPECT_EQ(TypeWidth(TypeId::kString), 0u);
+  EXPECT_STREQ(TypeName(TypeId::kInt64), "int64");
+  EXPECT_TRUE(IsFixedWidth(TypeId::kInt32));
+  EXPECT_FALSE(IsFixedWidth(TypeId::kString));
+}
+
+TEST(SchemaTest, FieldLookup) {
+  Schema s = FixedSchema();
+  EXPECT_EQ(s.num_fields(), 3u);
+  EXPECT_EQ(s.FieldIndex("qty"), 1);
+  EXPECT_EQ(s.FieldIndex("nope"), -1);
+}
+
+TEST(SchemaTest, FixedRowWidthAndOffsets) {
+  Schema s = FixedSchema();
+  auto width = s.FixedRowWidth();
+  ASSERT_TRUE(width.ok());
+  EXPECT_EQ(width.value(), 20u);
+  EXPECT_EQ(s.FixedOffset(0).value(), 0u);
+  EXPECT_EQ(s.FixedOffset(1).value(), 8u);
+  EXPECT_EQ(s.FixedOffset(2).value(), 12u);
+  EXPECT_FALSE(s.FixedOffset(3).ok());
+}
+
+TEST(SchemaTest, VariableWidthRejected) {
+  Schema s({{"name", TypeId::kString}, {"id", TypeId::kInt64}});
+  EXPECT_FALSE(s.FixedRowWidth().ok());
+  EXPECT_FALSE(s.FixedOffset(1).ok());
+  EXPECT_TRUE(s.FixedOffset(0).ok());  // nothing precedes field 0
+}
+
+TEST(SchemaTest, ToStringRendersAllFields) {
+  std::string s = FixedSchema().ToString();
+  EXPECT_NE(s.find("id:int64"), std::string::npos);
+  EXPECT_NE(s.find("price:float64"), std::string::npos);
+}
+
+TEST(ColumnTest, TypedAppendAndGet) {
+  Column c(TypeId::kInt64);
+  c.AppendInt64(5);
+  c.AppendInt64(-7);
+  EXPECT_EQ(c.size(), 2u);
+  EXPECT_EQ(c.GetInt64(0), 5);
+  EXPECT_EQ(c.GetInt64(1), -7);
+  EXPECT_EQ(c.DataBytes(), 16u);
+}
+
+TEST(ColumnTest, StringDictionaryEncoding) {
+  Column c(TypeId::kString);
+  c.AppendString("red");
+  c.AppendString("green");
+  c.AppendString("red");
+  c.AppendString("blue");
+  EXPECT_EQ(c.size(), 4u);
+  EXPECT_EQ(c.GetString(0), "red");
+  EXPECT_EQ(c.GetString(2), "red");
+  EXPECT_EQ(c.GetStringCode(0), c.GetStringCode(2));
+  EXPECT_NE(c.GetStringCode(0), c.GetStringCode(1));
+  EXPECT_EQ(c.dictionary().size(), 3u);
+}
+
+TEST(ColumnTest, SpansExposeDenseData) {
+  Column c(TypeId::kFloat64);
+  c.AppendFloat64(1.5);
+  c.AppendFloat64(2.5);
+  auto span = c.Float64Span();
+  ASSERT_EQ(span.size(), 2u);
+  EXPECT_DOUBLE_EQ(span[0], 1.5);
+  EXPECT_DOUBLE_EQ(span[1], 2.5);
+  EXPECT_EQ(c.Data(), span.data());
+}
+
+TEST(TableTest, FinishRowEnforcesAlignment) {
+  Table t(FixedSchema());
+  t.column(0).AppendInt64(1);
+  // Missing two columns: FinishRow must fail.
+  EXPECT_FALSE(t.FinishRow().ok());
+  t.column(1).AppendInt32(2);
+  t.column(2).AppendFloat64(3.0);
+  EXPECT_TRUE(t.FinishRow().ok());
+  EXPECT_EQ(t.num_rows(), 1u);
+}
+
+TEST(TableTest, ColumnByName) {
+  Table t = MakeTable(3);
+  EXPECT_NE(t.ColumnByName("price"), nullptr);
+  EXPECT_EQ(t.ColumnByName("ghost"), nullptr);
+}
+
+TEST(TableTest, SetRowCountValidates) {
+  Table t(FixedSchema());
+  t.column(0).AppendInt64(1);
+  t.column(1).AppendInt32(1);
+  t.column(2).AppendFloat64(1.0);
+  EXPECT_FALSE(t.SetRowCount(2).ok());
+  EXPECT_TRUE(t.SetRowCount(1).ok());
+}
+
+TEST(RowStoreTest, RoundTripsValues) {
+  Table t = MakeTable(100);
+  auto rs = RowStore::FromTable(t);
+  ASSERT_TRUE(rs.ok());
+  const RowStore& store = rs.value();
+  EXPECT_EQ(store.num_rows(), 100u);
+  EXPECT_EQ(store.row_width(), 20u);
+  for (uint64_t r = 0; r < 100; ++r) {
+    EXPECT_EQ(store.GetInt(r, 0), static_cast<int64_t>(r * 10));
+    EXPECT_EQ(store.GetInt(r, 1), static_cast<int64_t>(r % 100));
+    EXPECT_DOUBLE_EQ(store.GetFloat(r, 2), static_cast<double>(r) * 0.5);
+  }
+}
+
+TEST(RowStoreTest, AppendRow) {
+  auto rs = RowStore::Create(FixedSchema());
+  ASSERT_TRUE(rs.ok());
+  RowStore store = std::move(rs).value();
+  store.AppendRow({42, 7}, {3.25});
+  ASSERT_EQ(store.num_rows(), 1u);
+  EXPECT_EQ(store.GetInt(0, 0), 42);
+  EXPECT_EQ(store.GetInt(0, 1), 7);
+  EXPECT_DOUBLE_EQ(store.GetFloat(0, 2), 3.25);
+}
+
+TEST(RowStoreTest, RejectsStringSchema) {
+  Schema s({{"name", TypeId::kString}});
+  EXPECT_FALSE(RowStore::Create(s).ok());
+}
+
+TEST(ColumnStoreTest, WidensAllTypes) {
+  Table t = MakeTable(50);
+  auto cs = ColumnStore::FromTable(t);
+  ASSERT_TRUE(cs.ok());
+  const ColumnStore& store = cs.value();
+  EXPECT_EQ(store.num_rows(), 50u);
+  EXPECT_FALSE(store.IsFloat(0));
+  EXPECT_FALSE(store.IsFloat(1));
+  EXPECT_TRUE(store.IsFloat(2));
+  for (uint64_t r = 0; r < 50; ++r) {
+    EXPECT_EQ(store.IntColumn(0)[r], static_cast<int64_t>(r * 10));
+    EXPECT_EQ(store.IntColumn(1)[r], static_cast<int64_t>(r % 100));
+    EXPECT_DOUBLE_EQ(store.FloatColumn(2)[r], static_cast<double>(r) * 0.5);
+  }
+}
+
+TEST(ColumnStoreTest, StringCodesWidened) {
+  Schema s({{"color", TypeId::kString}});
+  Table t(s);
+  t.column(0).AppendString("a");
+  t.column(0).AppendString("b");
+  t.column(0).AppendString("a");
+  ASSERT_TRUE(t.SetRowCount(3).ok());
+  auto cs = ColumnStore::FromTable(t);
+  ASSERT_TRUE(cs.ok());
+  EXPECT_EQ(cs.value().IntColumn(0)[0], cs.value().IntColumn(0)[2]);
+  EXPECT_NE(cs.value().IntColumn(0)[0], cs.value().IntColumn(0)[1]);
+}
+
+TEST(PaxStoreTest, RoundTripsValues) {
+  Table t = MakeTable(1000);
+  auto ps = PaxStore::FromTable(t, /*rows_per_page=*/128);
+  ASSERT_TRUE(ps.ok());
+  const PaxStore& store = ps.value();
+  EXPECT_EQ(store.num_rows(), 1000u);
+  EXPECT_EQ(store.rows_per_page(), 128u);
+  EXPECT_EQ(store.num_pages(), 8u);
+  for (uint64_t r = 0; r < 1000; r += 37) {
+    EXPECT_EQ(store.GetInt(r, 0), static_cast<int64_t>(r * 10));
+    EXPECT_EQ(store.GetInt(r, 1), static_cast<int64_t>(r % 100));
+    EXPECT_DOUBLE_EQ(store.GetFloat(r, 2), static_cast<double>(r) * 0.5);
+  }
+}
+
+TEST(PaxStoreTest, MinipagesAreContiguous) {
+  Table t = MakeTable(256);
+  auto ps = PaxStore::FromTable(t, 128);
+  ASSERT_TRUE(ps.ok());
+  const PaxStore& store = ps.value();
+  const int64_t* mini = store.IntMinipage(0, 0);
+  for (uint32_t i = 0; i < 128; ++i) {
+    EXPECT_EQ(mini[i], static_cast<int64_t>(i * 10));
+  }
+}
+
+TEST(PaxStoreTest, LastPagePartiallyFilled) {
+  Table t = MakeTable(100);
+  auto ps = PaxStore::FromTable(t, 64);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_EQ(ps.value().num_pages(), 2u);
+  EXPECT_EQ(ps.value().RowsInPage(0), 64u);
+  EXPECT_EQ(ps.value().RowsInPage(1), 36u);
+}
+
+TEST(PaxStoreTest, DefaultRowsPerPageTargets64KB) {
+  Table t = MakeTable(10);
+  auto ps = PaxStore::FromTable(t);
+  ASSERT_TRUE(ps.ok());
+  // 3 widened fields -> 24 bytes per row -> 2730 rows in 64KB.
+  EXPECT_EQ(ps.value().rows_per_page(), (64u * 1024u) / 24u);
+}
+
+TEST(PaxChecksumTest, FreshStoreVerifies) {
+  Table t = MakeTable(500);
+  auto ps = PaxStore::FromTable(t, 64);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_TRUE(ps.value().VerifyChecksums().ok());
+}
+
+TEST(PaxChecksumTest, DetectsCorruption) {
+  Table t = MakeTable(500);
+  auto ps = PaxStore::FromTable(t, 64);
+  ASSERT_TRUE(ps.ok());
+  PaxStore store = std::move(ps).value();
+  // Flip one bit in page 3, field 1.
+  store.MutableMinipage(3, 1)[7] ^= 1;
+  Status st = store.VerifyChecksums();
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kIoError);
+  EXPECT_NE(st.message().find("page 3"), std::string::npos);
+  // Resealing accepts the new contents.
+  store.SealChecksums();
+  EXPECT_TRUE(store.VerifyChecksums().ok());
+}
+
+TEST(PaxChecksumTest, ChecksumsDifferAcrossPages) {
+  Table t = MakeTable(500);
+  auto ps = PaxStore::FromTable(t, 64);
+  ASSERT_TRUE(ps.ok());
+  EXPECT_NE(ps.value().PageChecksum(0), ps.value().PageChecksum(1));
+}
+
+TEST(LayoutConsistencyTest, AllThreeLayoutsAgree) {
+  Table t = MakeTable(333);
+  auto rs = RowStore::FromTable(t);
+  auto cs = ColumnStore::FromTable(t);
+  auto ps = PaxStore::FromTable(t, 50);
+  ASSERT_TRUE(rs.ok());
+  ASSERT_TRUE(cs.ok());
+  ASSERT_TRUE(ps.ok());
+  for (uint64_t r = 0; r < 333; r += 11) {
+    EXPECT_EQ(rs.value().GetInt(r, 0), cs.value().IntColumn(0)[r]);
+    EXPECT_EQ(cs.value().IntColumn(0)[r], ps.value().GetInt(r, 0));
+    EXPECT_DOUBLE_EQ(rs.value().GetFloat(r, 2), ps.value().GetFloat(r, 2));
+  }
+}
+
+}  // namespace
+}  // namespace hwstar::storage

@@ -1,0 +1,26 @@
+// Verifies the umbrella header is self-contained and the top-level API
+// is reachable through it.
+
+#include "hwstar/hwstar.h"
+
+#include <gtest/gtest.h>
+
+namespace {
+
+TEST(UmbrellaTest, CoreTypesReachable) {
+  hwstar::Status st = hwstar::Status::OK();
+  EXPECT_TRUE(st.ok());
+  hwstar::hw::MachineModel m = hwstar::hw::MachineModel::Desktop();
+  hwstar::sim::MemoryHierarchy hier(m);
+  EXPECT_GT(hier.Access(0x1000), 0u);
+  hwstar::ops::Relation rel;
+  rel.Append(1, 2);
+  EXPECT_EQ(rel.size(), 1u);
+  hwstar::kv::KvStore store;
+  store.Put(1, 2);
+  EXPECT_EQ(store.Get(1).value(), 2u);
+  hwstar::engine::Query q;
+  EXPECT_EQ(q.input, nullptr);
+}
+
+}  // namespace

@@ -1,0 +1,243 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+
+#include "hwstar/ops/hot_cold.h"
+#include "hwstar/workload/distributions.h"
+#include "hwstar/workload/tpch_like.h"
+#include "hwstar/workload/ycsb_like.h"
+
+namespace hwstar::workload {
+namespace {
+
+TEST(ZipfTest, StaysInDomain) {
+  ZipfGenerator gen(1000, 0.9, 1);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(gen.Next(), 1000u);
+  }
+}
+
+TEST(ZipfTest, SkewConcentratesMass) {
+  // With theta=0.9 the most frequent value should dominate; with theta
+  // near 0 the distribution is nearly uniform.
+  auto head_mass = [](double theta) {
+    ZipfGenerator gen(1000, theta, 5);
+    uint64_t head = 0;
+    const int draws = 20000;
+    for (int i = 0; i < draws; ++i) head += gen.Next() == 0;
+    return static_cast<double>(head) / draws;
+  };
+  EXPECT_GT(head_mass(0.9), 10 * head_mass(0.01));
+}
+
+TEST(ZipfTest, RankZeroMostFrequent) {
+  ZipfGenerator gen(100, 0.8, 9);
+  std::map<uint64_t, uint64_t> freq;
+  for (int i = 0; i < 50000; ++i) ++freq[gen.Next()];
+  uint64_t max_key = 0, max_count = 0;
+  for (auto& [k, c] : freq) {
+    if (c > max_count) {
+      max_count = c;
+      max_key = k;
+    }
+  }
+  EXPECT_EQ(max_key, 0u);
+}
+
+TEST(ZipfTest, Deterministic) {
+  ZipfGenerator a(1000, 0.5, 3), b(1000, 0.5, 3);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(UniformKeysTest, CoverageAndBounds) {
+  auto keys = UniformKeys(10000, 100, 4);
+  std::map<uint64_t, uint64_t> freq;
+  for (uint64_t k : keys) {
+    ASSERT_LT(k, 100u);
+    ++freq[k];
+  }
+  EXPECT_EQ(freq.size(), 100u);  // all values hit at 100 draws/value
+}
+
+TEST(ZipfKeysTest, ThetaZeroIsUniform) {
+  auto a = ZipfKeys(100, 50, 0.0, 6);
+  auto b = UniformKeys(100, 50, 6);
+  EXPECT_EQ(a, b);
+}
+
+TEST(ShuffledDenseKeysTest, IsAPermutation) {
+  auto keys = ShuffledDenseKeys(1000, 8);
+  auto sorted = keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < 1000; ++i) EXPECT_EQ(sorted[i], i);
+  // And actually shuffled (vanishing chance of identity).
+  EXPECT_NE(keys, sorted);
+}
+
+TEST(BuildRelationTest, DenseKeysPayloadsAreRowIds) {
+  auto rel = MakeBuildRelation(500, 2);
+  EXPECT_EQ(rel.size(), 500u);
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(rel.payloads[i], i);
+  auto sorted = rel.keys;
+  std::sort(sorted.begin(), sorted.end());
+  for (uint64_t i = 0; i < 500; ++i) EXPECT_EQ(sorted[i], i);
+}
+
+TEST(ProbeRelationTest, KeysWithinDomain) {
+  auto rel = MakeProbeRelation(1000, 256, 0.5, 3);
+  EXPECT_EQ(rel.size(), 1000u);
+  for (uint64_t k : rel.keys) EXPECT_LT(k, 256u);
+}
+
+TEST(SelectionInputTest, HitsRequestedSelectivity) {
+  for (double sel : {0.01, 0.25, 0.5, 0.9}) {
+    auto v = MakeSelectionInput(50000, sel, 1000, 1000000, 5);
+    uint64_t hits = 0;
+    for (int64_t x : v) hits += x < 1000;
+    EXPECT_NEAR(static_cast<double>(hits) / v.size(), sel, 0.01) << sel;
+  }
+}
+
+TEST(SelectionInputTest, ValuesWithinRange) {
+  auto v = MakeSelectionInput(1000, 0.5, 100, 1000, 6);
+  for (int64_t x : v) {
+    EXPECT_GE(x, 0);
+    EXPECT_LT(x, 1000);
+  }
+}
+
+TEST(DriftingZipfTest, StaysInDomainAndDrifts) {
+  const uint64_t domain = 800;
+  auto keys = DriftingZipfKeys(20000, domain, 0.9, 10000, 3);
+  std::map<uint64_t, uint64_t> phase1, phase2;
+  for (uint64_t i = 0; i < 10000; ++i) {
+    ASSERT_LT(keys[i], domain);
+    ++phase1[keys[i]];
+  }
+  for (uint64_t i = 10000; i < 20000; ++i) {
+    ASSERT_LT(keys[i], domain);
+    ++phase2[keys[i]];
+  }
+  // The modal key shifts by domain/8 between phases.
+  auto modal = [](const std::map<uint64_t, uint64_t>& freq) {
+    uint64_t key = 0, count = 0;
+    for (auto& [k, c] : freq) {
+      if (c > count) {
+        count = c;
+        key = k;
+      }
+    }
+    return key;
+  };
+  EXPECT_EQ((modal(phase1) + domain / 8) % domain, modal(phase2));
+}
+
+TEST(DriftingZipfTest, EstimatorAdaptsAcrossDrift) {
+  // After the hot set moves, a fresh TopK must follow it.
+  const uint64_t domain = 1000;
+  auto keys = DriftingZipfKeys(100000, domain, 0.9, 50000, 4);
+  hwstar::ops::ExponentialSmoothingEstimator est(1e-4);
+  uint64_t now = 0;
+  for (uint64_t i = 0; i < 50000; ++i) est.Record(keys[i], ++now);
+  auto hot1 = est.TopK(1, now);
+  for (uint64_t i = 50000; i < 100000; ++i) est.Record(keys[i], ++now);
+  auto hot2 = est.TopK(1, now);
+  ASSERT_EQ(hot1.size(), 1u);
+  ASSERT_EQ(hot2.size(), 1u);
+  EXPECT_EQ((hot1[0] + domain / 8) % domain, hot2[0]);
+}
+
+TEST(TpchTest, LineitemShape) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;  // 6000 rows
+  auto t = MakeLineitem(cfg);
+  EXPECT_EQ(t->num_rows(), 6000u);
+  EXPECT_EQ(t->schema().num_fields(), 8u);
+  EXPECT_EQ(t->schema().FieldIndex("l_shipdate"), 6);
+  // Domain checks.
+  for (uint64_t r = 0; r < t->num_rows(); r += 97) {
+    const int64_t qty = t->column(2).GetInt64(r);
+    EXPECT_GE(qty, 1);
+    EXPECT_LE(qty, 50);
+    const int64_t disc = t->column(4).GetInt64(r);
+    EXPECT_GE(disc, 0);
+    EXPECT_LE(disc, 10);
+    const int64_t date = t->column(6).GetInt64(r);
+    EXPECT_GE(date, 0);
+    EXPECT_LT(date, 2556);
+  }
+}
+
+TEST(TpchTest, OrdersShape) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  auto t = MakeOrders(cfg);
+  EXPECT_EQ(t->num_rows(), 1500u);
+  // Orderkeys are dense 1..N.
+  EXPECT_EQ(t->column(0).GetInt64(0), 1);
+  EXPECT_EQ(t->column(0).GetInt64(1499), 1500);
+}
+
+TEST(TpchTest, Q6SelectivityInExpectedBand) {
+  // Q6 shape: one year of dates (1/7 of range), discount in [5,7] (3/11),
+  // quantity < 24 (23/50): expected ~2% of rows.
+  TpchConfig cfg;
+  cfg.scale_factor = 0.01;
+  auto t = MakeLineitem(cfg);
+  uint64_t hits = 0;
+  for (uint64_t r = 0; r < t->num_rows(); ++r) {
+    const int64_t date = t->column(6).GetInt64(r);
+    const int64_t disc = t->column(4).GetInt64(r);
+    const int64_t qty = t->column(2).GetInt64(r);
+    hits += (date >= 365 && date < 730) && (disc >= 5 && disc <= 7) &&
+            (qty < 24);
+  }
+  const double sel = static_cast<double>(hits) / t->num_rows();
+  EXPECT_GT(sel, 0.01);
+  EXPECT_LT(sel, 0.03);
+}
+
+TEST(TpchTest, DeterministicAcrossCalls) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.0005;
+  auto a = MakeLineitem(cfg);
+  auto b = MakeLineitem(cfg);
+  ASSERT_EQ(a->num_rows(), b->num_rows());
+  for (uint64_t r = 0; r < a->num_rows(); r += 31) {
+    EXPECT_EQ(a->column(3).GetInt64(r), b->column(3).GetInt64(r));
+  }
+}
+
+TEST(YcsbTest, OperationMixMatchesConfig) {
+  YcsbConfig cfg;
+  cfg.operation_count = 100000;
+  cfg.read_fraction = 0.7;
+  auto ops = MakeYcsbWorkload(cfg);
+  ASSERT_EQ(ops.size(), 100000u);
+  uint64_t reads = 0;
+  for (const auto& op : ops) reads += op.op == YcsbOp::kRead;
+  EXPECT_NEAR(static_cast<double>(reads) / ops.size(), 0.7, 0.01);
+}
+
+TEST(YcsbTest, KeysWithinRecordSpace) {
+  YcsbConfig cfg;
+  cfg.record_count = 4096;
+  cfg.operation_count = 10000;
+  for (const auto& op : MakeYcsbWorkload(cfg)) {
+    EXPECT_LT(op.key, 4096u);
+  }
+}
+
+TEST(YcsbTest, UniformModeWhenThetaZero) {
+  YcsbConfig cfg;
+  cfg.zipf_theta = 0.0;
+  cfg.record_count = 100;
+  cfg.operation_count = 50000;
+  std::map<uint64_t, uint64_t> freq;
+  for (const auto& op : MakeYcsbWorkload(cfg)) ++freq[op.key];
+  EXPECT_EQ(freq.size(), 100u);
+}
+
+}  // namespace
+}  // namespace hwstar::workload
