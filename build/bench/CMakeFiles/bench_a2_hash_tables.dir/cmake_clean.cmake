@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a2_hash_tables.dir/bench_a2_hash_tables.cc.o"
+  "CMakeFiles/bench_a2_hash_tables.dir/bench_a2_hash_tables.cc.o.d"
+  "bench_a2_hash_tables"
+  "bench_a2_hash_tables.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a2_hash_tables.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a4_bloom_join.dir/bench_a4_bloom_join.cc.o"
+  "CMakeFiles/bench_a4_bloom_join.dir/bench_a4_bloom_join.cc.o.d"
+  "bench_a4_bloom_join"
+  "bench_a4_bloom_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a4_bloom_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

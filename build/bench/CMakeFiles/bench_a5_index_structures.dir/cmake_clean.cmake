@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_a5_index_structures.dir/bench_a5_index_structures.cc.o"
+  "CMakeFiles/bench_a5_index_structures.dir/bench_a5_index_structures.cc.o.d"
+  "bench_a5_index_structures"
+  "bench_a5_index_structures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_a5_index_structures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e10_offload.dir/bench_e10_offload.cc.o"
+  "CMakeFiles/bench_e10_offload.dir/bench_e10_offload.cc.o.d"
+  "bench_e10_offload"
+  "bench_e10_offload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e10_offload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e13_hot_cold.dir/bench_e13_hot_cold.cc.o"
+  "CMakeFiles/bench_e13_hot_cold.dir/bench_e13_hot_cold.cc.o.d"
+  "bench_e13_hot_cold"
+  "bench_e13_hot_cold.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e13_hot_cold.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

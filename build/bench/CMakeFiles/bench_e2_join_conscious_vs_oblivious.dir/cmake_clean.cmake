@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e2_join_conscious_vs_oblivious.dir/bench_e2_join_conscious_vs_oblivious.cc.o"
+  "CMakeFiles/bench_e2_join_conscious_vs_oblivious.dir/bench_e2_join_conscious_vs_oblivious.cc.o.d"
+  "bench_e2_join_conscious_vs_oblivious"
+  "bench_e2_join_conscious_vs_oblivious.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e2_join_conscious_vs_oblivious.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e7_cache_cliffs.dir/bench_e7_cache_cliffs.cc.o"
+  "CMakeFiles/bench_e7_cache_cliffs.dir/bench_e7_cache_cliffs.cc.o.d"
+  "bench_e7_cache_cliffs"
+  "bench_e7_cache_cliffs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e7_cache_cliffs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_e9_interference.dir/bench_e9_interference.cc.o"
+  "CMakeFiles/bench_e9_interference.dir/bench_e9_interference.cc.o.d"
+  "bench_e9_interference"
+  "bench_e9_interference.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_e9_interference.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

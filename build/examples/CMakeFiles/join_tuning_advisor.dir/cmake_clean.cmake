@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/join_tuning_advisor.dir/join_tuning_advisor.cc.o"
+  "CMakeFiles/join_tuning_advisor.dir/join_tuning_advisor.cc.o.d"
+  "join_tuning_advisor"
+  "join_tuning_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/join_tuning_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

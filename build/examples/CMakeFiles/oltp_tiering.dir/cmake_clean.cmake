@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oltp_tiering.dir/oltp_tiering.cc.o"
+  "CMakeFiles/oltp_tiering.dir/oltp_tiering.cc.o.d"
+  "oltp_tiering"
+  "oltp_tiering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oltp_tiering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/whatif_machine_explorer.dir/whatif_machine_explorer.cc.o"
+  "CMakeFiles/whatif_machine_explorer.dir/whatif_machine_explorer.cc.o.d"
+  "whatif_machine_explorer"
+  "whatif_machine_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/whatif_machine_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,83 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hwstar/common/hash.cc" "src/CMakeFiles/hwstar.dir/hwstar/common/hash.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/common/hash.cc.o.d"
+  "/root/repo/src/hwstar/common/logging.cc" "src/CMakeFiles/hwstar.dir/hwstar/common/logging.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/common/logging.cc.o.d"
+  "/root/repo/src/hwstar/common/random.cc" "src/CMakeFiles/hwstar.dir/hwstar/common/random.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/common/random.cc.o.d"
+  "/root/repo/src/hwstar/common/status.cc" "src/CMakeFiles/hwstar.dir/hwstar/common/status.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/common/status.cc.o.d"
+  "/root/repo/src/hwstar/common/timer.cc" "src/CMakeFiles/hwstar.dir/hwstar/common/timer.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/common/timer.cc.o.d"
+  "/root/repo/src/hwstar/engine/expression.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/expression.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/expression.cc.o.d"
+  "/root/repo/src/hwstar/engine/fused.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/fused.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/fused.cc.o.d"
+  "/root/repo/src/hwstar/engine/join_query.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/join_query.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/join_query.cc.o.d"
+  "/root/repo/src/hwstar/engine/parallel.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/parallel.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/parallel.cc.o.d"
+  "/root/repo/src/hwstar/engine/plan.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/plan.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/plan.cc.o.d"
+  "/root/repo/src/hwstar/engine/planner.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/planner.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/planner.cc.o.d"
+  "/root/repo/src/hwstar/engine/vectorized.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/vectorized.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/vectorized.cc.o.d"
+  "/root/repo/src/hwstar/engine/volcano.cc" "src/CMakeFiles/hwstar.dir/hwstar/engine/volcano.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/engine/volcano.cc.o.d"
+  "/root/repo/src/hwstar/exec/affinity.cc" "src/CMakeFiles/hwstar.dir/hwstar/exec/affinity.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/exec/affinity.cc.o.d"
+  "/root/repo/src/hwstar/exec/morsel.cc" "src/CMakeFiles/hwstar.dir/hwstar/exec/morsel.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/exec/morsel.cc.o.d"
+  "/root/repo/src/hwstar/exec/task_scheduler.cc" "src/CMakeFiles/hwstar.dir/hwstar/exec/task_scheduler.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/exec/task_scheduler.cc.o.d"
+  "/root/repo/src/hwstar/exec/thread_pool.cc" "src/CMakeFiles/hwstar.dir/hwstar/exec/thread_pool.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/exec/thread_pool.cc.o.d"
+  "/root/repo/src/hwstar/hw/cycle_counter.cc" "src/CMakeFiles/hwstar.dir/hwstar/hw/cycle_counter.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/hw/cycle_counter.cc.o.d"
+  "/root/repo/src/hwstar/hw/machine_model.cc" "src/CMakeFiles/hwstar.dir/hwstar/hw/machine_model.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/hw/machine_model.cc.o.d"
+  "/root/repo/src/hwstar/hw/topology.cc" "src/CMakeFiles/hwstar.dir/hwstar/hw/topology.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/hw/topology.cc.o.d"
+  "/root/repo/src/hwstar/kv/kv_store.cc" "src/CMakeFiles/hwstar.dir/hwstar/kv/kv_store.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/kv/kv_store.cc.o.d"
+  "/root/repo/src/hwstar/kv/tiered_store.cc" "src/CMakeFiles/hwstar.dir/hwstar/kv/tiered_store.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/kv/tiered_store.cc.o.d"
+  "/root/repo/src/hwstar/mem/aligned.cc" "src/CMakeFiles/hwstar.dir/hwstar/mem/aligned.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/mem/aligned.cc.o.d"
+  "/root/repo/src/hwstar/mem/arena.cc" "src/CMakeFiles/hwstar.dir/hwstar/mem/arena.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/mem/arena.cc.o.d"
+  "/root/repo/src/hwstar/mem/memory_pool.cc" "src/CMakeFiles/hwstar.dir/hwstar/mem/memory_pool.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/mem/memory_pool.cc.o.d"
+  "/root/repo/src/hwstar/mem/numa_allocator.cc" "src/CMakeFiles/hwstar.dir/hwstar/mem/numa_allocator.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/mem/numa_allocator.cc.o.d"
+  "/root/repo/src/hwstar/ops/aggregation.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/aggregation.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/aggregation.cc.o.d"
+  "/root/repo/src/hwstar/ops/art.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/art.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/art.cc.o.d"
+  "/root/repo/src/hwstar/ops/bloom_filter.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/bloom_filter.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/bloom_filter.cc.o.d"
+  "/root/repo/src/hwstar/ops/btree.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/btree.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/btree.cc.o.d"
+  "/root/repo/src/hwstar/ops/concurrent_hash_table.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/concurrent_hash_table.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/concurrent_hash_table.cc.o.d"
+  "/root/repo/src/hwstar/ops/hash_table.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/hash_table.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/hash_table.cc.o.d"
+  "/root/repo/src/hwstar/ops/hot_cold.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/hot_cold.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/hot_cold.cc.o.d"
+  "/root/repo/src/hwstar/ops/join_nop.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_nop.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_nop.cc.o.d"
+  "/root/repo/src/hwstar/ops/join_radix.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_radix.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_radix.cc.o.d"
+  "/root/repo/src/hwstar/ops/join_sort_merge.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_sort_merge.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/join_sort_merge.cc.o.d"
+  "/root/repo/src/hwstar/ops/merge.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/merge.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/merge.cc.o.d"
+  "/root/repo/src/hwstar/ops/partition.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/partition.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/partition.cc.o.d"
+  "/root/repo/src/hwstar/ops/selection.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/selection.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/selection.cc.o.d"
+  "/root/repo/src/hwstar/ops/sort.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/sort.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/sort.cc.o.d"
+  "/root/repo/src/hwstar/ops/topk.cc" "src/CMakeFiles/hwstar.dir/hwstar/ops/topk.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/ops/topk.cc.o.d"
+  "/root/repo/src/hwstar/perf/counters.cc" "src/CMakeFiles/hwstar.dir/hwstar/perf/counters.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/perf/counters.cc.o.d"
+  "/root/repo/src/hwstar/perf/harness.cc" "src/CMakeFiles/hwstar.dir/hwstar/perf/harness.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/perf/harness.cc.o.d"
+  "/root/repo/src/hwstar/perf/report.cc" "src/CMakeFiles/hwstar.dir/hwstar/perf/report.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/perf/report.cc.o.d"
+  "/root/repo/src/hwstar/sim/cache_sim.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/cache_sim.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/cache_sim.cc.o.d"
+  "/root/repo/src/hwstar/sim/coherence.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/coherence.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/coherence.cc.o.d"
+  "/root/repo/src/hwstar/sim/energy_model.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/energy_model.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/energy_model.cc.o.d"
+  "/root/repo/src/hwstar/sim/flash_model.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/flash_model.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/flash_model.cc.o.d"
+  "/root/repo/src/hwstar/sim/hierarchy.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/hierarchy.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/hierarchy.cc.o.d"
+  "/root/repo/src/hwstar/sim/memory_trace.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/memory_trace.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/memory_trace.cc.o.d"
+  "/root/repo/src/hwstar/sim/numa_model.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/numa_model.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/numa_model.cc.o.d"
+  "/root/repo/src/hwstar/sim/offload_model.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/offload_model.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/offload_model.cc.o.d"
+  "/root/repo/src/hwstar/sim/prefetcher.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/prefetcher.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/prefetcher.cc.o.d"
+  "/root/repo/src/hwstar/sim/roofline.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/roofline.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/roofline.cc.o.d"
+  "/root/repo/src/hwstar/sim/tlb.cc" "src/CMakeFiles/hwstar.dir/hwstar/sim/tlb.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/sim/tlb.cc.o.d"
+  "/root/repo/src/hwstar/storage/column.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/column.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/column.cc.o.d"
+  "/root/repo/src/hwstar/storage/column_store.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/column_store.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/column_store.cc.o.d"
+  "/root/repo/src/hwstar/storage/compression.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/compression.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/compression.cc.o.d"
+  "/root/repo/src/hwstar/storage/pax.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/pax.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/pax.cc.o.d"
+  "/root/repo/src/hwstar/storage/row_store.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/row_store.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/row_store.cc.o.d"
+  "/root/repo/src/hwstar/storage/table.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/table.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/table.cc.o.d"
+  "/root/repo/src/hwstar/storage/types.cc" "src/CMakeFiles/hwstar.dir/hwstar/storage/types.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/storage/types.cc.o.d"
+  "/root/repo/src/hwstar/workload/distributions.cc" "src/CMakeFiles/hwstar.dir/hwstar/workload/distributions.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/workload/distributions.cc.o.d"
+  "/root/repo/src/hwstar/workload/tpch_like.cc" "src/CMakeFiles/hwstar.dir/hwstar/workload/tpch_like.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/workload/tpch_like.cc.o.d"
+  "/root/repo/src/hwstar/workload/ycsb_like.cc" "src/CMakeFiles/hwstar.dir/hwstar/workload/ycsb_like.cc.o" "gcc" "src/CMakeFiles/hwstar.dir/hwstar/workload/ycsb_like.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

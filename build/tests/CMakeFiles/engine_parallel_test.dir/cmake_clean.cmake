@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/engine_parallel_test.dir/engine_parallel_test.cc.o"
+  "CMakeFiles/engine_parallel_test.dir/engine_parallel_test.cc.o.d"
+  "engine_parallel_test"
+  "engine_parallel_test.pdb"
+  "engine_parallel_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/engine_parallel_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hot_cold_test.dir/hot_cold_test.cc.o"
+  "CMakeFiles/hot_cold_test.dir/hot_cold_test.cc.o.d"
+  "hot_cold_test"
+  "hot_cold_test.pdb"
+  "hot_cold_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hot_cold_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

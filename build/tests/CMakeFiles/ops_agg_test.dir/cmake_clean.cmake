@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_agg_test.dir/ops_agg_test.cc.o"
+  "CMakeFiles/ops_agg_test.dir/ops_agg_test.cc.o.d"
+  "ops_agg_test"
+  "ops_agg_test.pdb"
+  "ops_agg_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_agg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

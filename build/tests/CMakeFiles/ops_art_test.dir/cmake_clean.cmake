@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_art_test.dir/ops_art_test.cc.o"
+  "CMakeFiles/ops_art_test.dir/ops_art_test.cc.o.d"
+  "ops_art_test"
+  "ops_art_test.pdb"
+  "ops_art_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_art_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_bloom_test.dir/ops_bloom_test.cc.o"
+  "CMakeFiles/ops_bloom_test.dir/ops_bloom_test.cc.o.d"
+  "ops_bloom_test"
+  "ops_bloom_test.pdb"
+  "ops_bloom_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_bloom_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_btree_test.dir/ops_btree_test.cc.o"
+  "CMakeFiles/ops_btree_test.dir/ops_btree_test.cc.o.d"
+  "ops_btree_test"
+  "ops_btree_test.pdb"
+  "ops_btree_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_btree_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

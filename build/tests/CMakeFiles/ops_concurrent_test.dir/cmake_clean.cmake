@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_concurrent_test.dir/ops_concurrent_test.cc.o"
+  "CMakeFiles/ops_concurrent_test.dir/ops_concurrent_test.cc.o.d"
+  "ops_concurrent_test"
+  "ops_concurrent_test.pdb"
+  "ops_concurrent_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_concurrent_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

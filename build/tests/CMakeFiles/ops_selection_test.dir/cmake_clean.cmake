@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_selection_test.dir/ops_selection_test.cc.o"
+  "CMakeFiles/ops_selection_test.dir/ops_selection_test.cc.o.d"
+  "ops_selection_test"
+  "ops_selection_test.pdb"
+  "ops_selection_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_selection_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

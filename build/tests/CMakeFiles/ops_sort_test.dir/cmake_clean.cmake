@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_sort_test.dir/ops_sort_test.cc.o"
+  "CMakeFiles/ops_sort_test.dir/ops_sort_test.cc.o.d"
+  "ops_sort_test"
+  "ops_sort_test.pdb"
+  "ops_sort_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_sort_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

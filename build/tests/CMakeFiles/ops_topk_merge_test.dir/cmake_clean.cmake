@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ops_topk_merge_test.dir/ops_topk_merge_test.cc.o"
+  "CMakeFiles/ops_topk_merge_test.dir/ops_topk_merge_test.cc.o.d"
+  "ops_topk_merge_test"
+  "ops_topk_merge_test.pdb"
+  "ops_topk_merge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ops_topk_merge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,34 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/hw_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_cache_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_hierarchy_test[1]_include.cmake")
+include("/root/repo/build/tests/mem_test[1]_include.cmake")
+include("/root/repo/build/tests/exec_test[1]_include.cmake")
+include("/root/repo/build/tests/storage_test[1]_include.cmake")
+include("/root/repo/build/tests/compression_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_selection_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_join_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_sort_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_agg_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_btree_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_parallel_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_join_test[1]_include.cmake")
+include("/root/repo/build/tests/workload_test[1]_include.cmake")
+include("/root/repo/build/tests/perf_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_art_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_bloom_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_coherence_test[1]_include.cmake")
+include("/root/repo/build/tests/kv_test[1]_include.cmake")
+include("/root/repo/build/tests/hot_cold_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_properties_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_concurrent_test[1]_include.cmake")
+include("/root/repo/build/tests/umbrella_test[1]_include.cmake")
+include("/root/repo/build/tests/ops_topk_merge_test[1]_include.cmake")
+include("/root/repo/build/tests/engine_fuzz_test[1]_include.cmake")
