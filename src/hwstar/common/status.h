@@ -23,6 +23,7 @@ enum class StatusCode : uint8_t {
   kUnimplemented = 7,
   kInternal = 8,
   kIoError = 9,
+  kDeadlineExceeded = 10,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -72,6 +73,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,5 +1,7 @@
 #include "hwstar/exec/thread_pool.h"
 
+#include "hwstar/common/logging.h"
+
 namespace hwstar::exec {
 
 ThreadPool::ThreadPool(uint32_t num_threads) {
@@ -13,26 +15,52 @@ ThreadPool::ThreadPool(uint32_t num_threads) {
   }
 }
 
-ThreadPool::~ThreadPool() {
+ThreadPool::~ThreadPool() { Shutdown(); }
+
+void ThreadPool::Shutdown() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return;
     shutdown_ = true;
   }
   cv_task_.notify_all();
-  for (auto& t : threads_) t.join();
+  for (auto& t : threads_) {
+    if (t.joinable()) t.join();
+  }
 }
 
-void ThreadPool::Submit(Task task) {
+bool ThreadPool::Submit(Task task) {
   {
     std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) {
+      HWSTAR_LOG(Warning) << "ThreadPool::Submit after shutdown; task dropped";
+      return false;
+    }
     queue_.push_back(std::move(task));
   }
   cv_task_.notify_one();
+  return true;
+}
+
+bool ThreadPool::TrySubmit(Task task, size_t max_queue_depth) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (shutdown_) return false;
+    if (max_queue_depth != 0 && queue_.size() >= max_queue_depth) return false;
+    queue_.push_back(std::move(task));
+  }
+  cv_task_.notify_one();
+  return true;
 }
 
 void ThreadPool::WaitIdle() {
   std::unique_lock<std::mutex> lock(mutex_);
   cv_idle_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+size_t ThreadPool::queue_depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return queue_.size();
 }
 
 void ThreadPool::WorkerLoop(uint32_t id) {

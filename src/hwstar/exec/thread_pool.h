@@ -26,11 +26,25 @@ class ThreadPool {
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
-  /// Enqueues a task; returns immediately.
-  void Submit(Task task);
+  /// Enqueues a task; returns immediately. Returns false (dropping the
+  /// task, with a logged warning) once shutdown has begun, so callers
+  /// racing teardown fail cleanly instead of touching a dying queue.
+  bool Submit(Task task);
+
+  /// Bounded enqueue: fails without blocking when shutdown has begun or
+  /// the queue already holds `max_queue_depth` tasks (0 = unbounded).
+  /// The primitive the svc admission layer builds its backpressure on.
+  bool TrySubmit(Task task, size_t max_queue_depth = 0);
+
+  /// Stops accepting new tasks, drains already-queued ones, and joins the
+  /// workers. Idempotent; the destructor calls it.
+  void Shutdown();
 
   /// Blocks until the queue is empty and all workers are idle.
   void WaitIdle();
+
+  /// Tasks queued but not yet claimed by a worker.
+  size_t queue_depth() const;
 
   uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
 
@@ -39,7 +53,7 @@ class ThreadPool {
 
   std::vector<std::thread> threads_;
   std::deque<Task> queue_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_task_;
   std::condition_variable cv_idle_;
   uint32_t active_ = 0;

@@ -84,6 +84,14 @@
 #include "hwstar/engine/vectorized.h"
 #include "hwstar/engine/volcano.h"
 
+// Request-serving front end.
+#include "hwstar/svc/admission.h"
+#include "hwstar/svc/batcher.h"
+#include "hwstar/svc/metrics.h"
+#include "hwstar/svc/overload_policy.h"
+#include "hwstar/svc/request.h"
+#include "hwstar/svc/service.h"
+
 // Workload generation and measurement.
 #include "hwstar/perf/counters.h"
 #include "hwstar/perf/harness.h"

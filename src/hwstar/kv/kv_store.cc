@@ -5,6 +5,10 @@
 
 namespace hwstar::kv {
 
+namespace {
+constexpr auto kRelaxed = std::memory_order_relaxed;
+}  // namespace
+
 KvStore::KvStore(KvOptions options) : options_(options) {
   HWSTAR_CHECK(bits::IsPowerOfTwo(options_.shards));
   const uint32_t shard_bits = bits::Log2Floor(options_.shards);
@@ -22,7 +26,7 @@ KvStore::KvStore(KvOptions options) : options_(options) {
 void KvStore::Put(uint64_t key, uint64_t value) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  ++shard.stats.puts;
+  shard.stats.puts.fetch_add(1, kRelaxed);
   if (options_.index == IndexKind::kArt) {
     shard.art.Insert(key, value);
   } else {
@@ -33,19 +37,51 @@ void KvStore::Put(uint64_t key, uint64_t value) {
 Result<uint64_t> KvStore::Get(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  ++shard.stats.gets;
+  shard.stats.gets.fetch_add(1, kRelaxed);
   uint64_t value = 0;
   const bool found = options_.index == IndexKind::kArt
                          ? shard.art.Find(key, &value)
                          : shard.btree->Find(key, &value);
   if (!found) return Status::NotFound("key not found");
-  ++shard.stats.hits;
+  shard.stats.hits.fetch_add(1, kRelaxed);
   return value;
+}
+
+void KvStore::MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
+                       bool* found) {
+  size_t i = 0;
+  while (i < count) {
+    const uint32_t s = ShardOf(keys[i]);
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    uint64_t gets = 0;
+    uint64_t hits = 0;
+    // Serve the whole same-shard run under one latch acquisition.
+    while (i < count && ShardOf(keys[i]) == s) {
+      uint64_t value = 0;
+      const bool hit = options_.index == IndexKind::kArt
+                           ? shard.art.Find(keys[i], &value)
+                           : shard.btree->Find(keys[i], &value);
+      values[i] = hit ? value : 0;
+      found[i] = hit;
+      ++gets;
+      hits += hit ? 1 : 0;
+      ++i;
+    }
+    shard.stats.gets.fetch_add(gets, kRelaxed);
+    shard.stats.hits.fetch_add(hits, kRelaxed);
+  }
 }
 
 uint64_t KvStore::RangeScan(uint64_t lo, uint64_t hi,
                             std::vector<uint64_t>* out) {
+  return RangeScanLimit(lo, hi, /*limit=*/0, out);
+}
+
+uint64_t KvStore::RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
+                                 std::vector<uint64_t>* out) {
   if (lo > hi) return 0;
+  const size_t base = out->size();
   uint64_t count = 0;
   // Shards partition the key space by range in ascending order, so
   // visiting them in index order yields globally sorted results.
@@ -54,12 +90,17 @@ uint64_t KvStore::RangeScan(uint64_t lo, uint64_t hi,
   for (uint32_t s = first; s <= last; ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    ++shard.stats.scans;
+    shard.stats.scans.fetch_add(1, kRelaxed);
     if (options_.index == IndexKind::kArt) {
       count += shard.art.RangeScan(lo, hi, out);
     } else {
       count += shard.btree->RangeScan(lo, hi, out);
     }
+    if (limit != 0 && count >= limit) break;
+  }
+  if (limit != 0 && count > limit) {
+    out->resize(base + limit);
+    count = limit;
   }
   return count;
 }
@@ -75,13 +116,15 @@ uint64_t KvStore::size() const {
 }
 
 KvStats KvStore::stats() const {
+  // Lock-free: counters are relaxed atomics, so a snapshot can be taken
+  // while writers hold shard latches (the concurrency the svc layer's
+  // metrics poller exercises continuously).
   KvStats total;
   for (const auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
-    total.gets += shard->stats.gets;
-    total.puts += shard->stats.puts;
-    total.hits += shard->stats.hits;
-    total.scans += shard->stats.scans;
+    total.gets += shard->stats.gets.load(kRelaxed);
+    total.puts += shard->stats.puts.load(kRelaxed);
+    total.hits += shard->stats.hits.load(kRelaxed);
+    total.scans += shard->stats.scans.load(kRelaxed);
   }
   return total;
 }

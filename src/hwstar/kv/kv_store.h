@@ -1,6 +1,7 @@
 #ifndef HWSTAR_KV_KV_STORE_H_
 #define HWSTAR_KV_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
@@ -28,7 +29,7 @@ struct KvOptions {
   uint32_t btree_fanout = 32;
 };
 
-/// Operation counters.
+/// Operation counters (a point-in-time snapshot; see KvStore::stats()).
 struct KvStats {
   uint64_t gets = 0;
   uint64_t puts = 0;
@@ -56,20 +57,44 @@ class KvStore {
   /// Point read; NotFound when absent.
   Result<uint64_t> Get(uint64_t key);
 
+  /// Batched point reads: fills values[i] / found[i] for each keys[i].
+  /// Contiguous runs of same-shard keys take the shard latch once per run
+  /// rather than once per key, so callers that group keys by shard (the
+  /// svc batcher sorts its get-batches exactly this way) amortize latch
+  /// and index-root costs across the whole batch.
+  void MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
+                bool* found);
+
   /// Appends values for keys in [lo, hi] in ascending key order; returns
   /// the count. Spans shards (they partition the key space by range).
   uint64_t RangeScan(uint64_t lo, uint64_t hi, std::vector<uint64_t>* out);
+
+  /// RangeScan bounded to at most `limit` result rows (0 = unlimited).
+  /// Early-exits at shard granularity; the truncation keeps the smallest
+  /// keys (scan order), so a clamped scan is a prefix of the full scan.
+  uint64_t RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
+                          std::vector<uint64_t>* out);
 
   uint64_t size() const;
   KvStats stats() const;
   const KvOptions& options() const { return options_; }
 
  private:
+  /// Per-shard counters: mutated under the shard latch but read lock-free
+  /// by stats() callers, so they must be atomics (relaxed is enough — the
+  /// readers want monotonic counters, not a consistent cut).
+  struct ShardStats {
+    std::atomic<uint64_t> gets{0};
+    std::atomic<uint64_t> puts{0};
+    std::atomic<uint64_t> hits{0};
+    std::atomic<uint64_t> scans{0};
+  };
+
   struct Shard {
     std::mutex mutex;
     ops::AdaptiveRadixTree art;
     std::unique_ptr<ops::BPlusTree> btree;
-    KvStats stats;
+    ShardStats stats;
   };
 
   uint32_t ShardOf(uint64_t key) const {

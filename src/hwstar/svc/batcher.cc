@@ -1,0 +1,81 @@
+#include "hwstar/svc/batcher.h"
+
+#include <algorithm>
+#include <map>
+
+#include "hwstar/common/bits.h"
+#include "hwstar/common/macros.h"
+
+namespace hwstar::svc {
+
+Batcher::Batcher(BatcherOptions options) : options_(options) {
+  HWSTAR_CHECK(bits::IsPowerOfTwo(options_.kv_shards));
+  shard_shift_ = 64 - bits::Log2Floor(options_.kv_shards);
+}
+
+std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
+  std::vector<Batch> batches;
+  // Point-gets keyed by shard; aggregates keyed by target store.
+  std::map<uint32_t, std::vector<TicketPtr>> gets_by_shard;
+  std::map<const storage::ColumnStore*, std::vector<TicketPtr>> aggs_by_store;
+
+  for (auto& t : tickets) {
+    switch (t->request.type) {
+      case RequestType::kPointGet:
+        gets_by_shard[ShardOf(t->request.get.key)].push_back(std::move(t));
+        break;
+      case RequestType::kAggregate:
+        aggs_by_store[t->request.agg.store].push_back(std::move(t));
+        break;
+      case RequestType::kScan:
+      case RequestType::kJoin: {
+        Batch b;
+        b.type = t->request.type;
+        b.tickets.push_back(std::move(t));
+        batches.push_back(std::move(b));
+        break;
+      }
+    }
+  }
+
+  for (auto& [shard, group] : gets_by_shard) {
+    // Ascending key order inside the shard: the MultiGet run walks the
+    // index with monotone keys (locality in trie/tree nodes).
+    std::sort(group.begin(), group.end(),
+              [](const TicketPtr& a, const TicketPtr& b) {
+                return a->request.get.key < b->request.get.key;
+              });
+    for (size_t begin = 0; begin < group.size();
+         begin += options_.max_batch) {
+      const size_t end =
+          std::min(group.size(), begin + options_.max_batch);
+      Batch b;
+      b.type = RequestType::kPointGet;
+      b.shard = shard;
+      b.tickets.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        b.tickets.push_back(std::move(group[i]));
+      }
+      batches.push_back(std::move(b));
+    }
+  }
+
+  for (auto& [store, group] : aggs_by_store) {
+    for (size_t begin = 0; begin < group.size();
+         begin += options_.max_batch) {
+      const size_t end =
+          std::min(group.size(), begin + options_.max_batch);
+      Batch b;
+      b.type = RequestType::kAggregate;
+      b.tickets.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        b.tickets.push_back(std::move(group[i]));
+      }
+      batches.push_back(std::move(b));
+    }
+  }
+
+  return batches;
+}
+
+}  // namespace hwstar::svc

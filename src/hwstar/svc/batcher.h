@@ -1,0 +1,63 @@
+#ifndef HWSTAR_SVC_BATCHER_H_
+#define HWSTAR_SVC_BATCHER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/svc/admission.h"
+
+namespace hwstar::svc {
+
+struct BatcherOptions {
+  /// Maximum requests per executed batch.
+  uint32_t max_batch = 64;
+  /// Shard count of the backing KvStore (power of two); point-gets are
+  /// grouped by the same high-bit range mapping the store uses, so each
+  /// batch resolves under a single shard latch via KvStore::MultiGet.
+  uint32_t kv_shards = 1;
+};
+
+/// One executable batch: requests of the same type that share enough
+/// structure to amortize per-request fixed costs (dispatch, latch
+/// acquisition, cache warm-up) across the group.
+struct Batch {
+  RequestType type = RequestType::kPointGet;
+  uint32_t shard = 0;  ///< kv shard for point-get batches
+  std::vector<TicketPtr> tickets;
+};
+
+/// Groups tickets into batches — the serving-side analogue of the
+/// paper's "measure against the hardware" rule: instead of paying the
+/// fixed dispatch cost per request, compatible small requests ride one
+/// morsel-friendly batch.
+///
+///  - Point-gets group per kv shard and are sorted by key, so one
+///    MultiGet serves the batch under one latch with index locality.
+///  - Aggregates group per target ColumnStore: consecutive evaluation
+///    reuses the store's columns while they are cache-warm.
+///  - Scans and joins stay singletons (already coarse-grained work).
+///
+/// Grouping never changes results: every request is executed with its own
+/// arguments, so batched output is bit-identical to one-at-a-time (the
+/// svc_test invariant).
+class Batcher {
+ public:
+  explicit Batcher(BatcherOptions options);
+
+  std::vector<Batch> Group(std::vector<TicketPtr> tickets) const;
+
+  /// The store's range-shard mapping (high key bits).
+  uint32_t ShardOf(uint64_t key) const {
+    return shard_shift_ >= 64 ? 0 : static_cast<uint32_t>(key >> shard_shift_);
+  }
+
+  const BatcherOptions& options() const { return options_; }
+
+ private:
+  BatcherOptions options_;
+  uint32_t shard_shift_;
+};
+
+}  // namespace hwstar::svc
+
+#endif  // HWSTAR_SVC_BATCHER_H_

@@ -1,0 +1,97 @@
+#include "hwstar/svc/metrics.h"
+
+#include <algorithm>
+
+namespace hwstar::svc {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kAdmitWait:
+      return "admit_wait";
+    case Phase::kBatchWait:
+      return "batch_wait";
+    case Phase::kExec:
+      return "exec";
+    case Phase::kTotal:
+      return "total";
+  }
+  return "unknown";
+}
+
+void LatencyRecorder::Record(const LatencyBreakdown& breakdown) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  samples_[static_cast<uint8_t>(Phase::kAdmitWait)].push_back(
+      breakdown.admit_wait_nanos);
+  samples_[static_cast<uint8_t>(Phase::kBatchWait)].push_back(
+      breakdown.batch_wait_nanos);
+  samples_[static_cast<uint8_t>(Phase::kExec)].push_back(breakdown.exec_nanos);
+  samples_[static_cast<uint8_t>(Phase::kTotal)].push_back(
+      breakdown.total_nanos);
+}
+
+LatencySnapshot LatencyRecorder::Snapshot(Phase phase) const {
+  std::vector<uint64_t> sorted;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    sorted = samples_[static_cast<uint8_t>(phase)];
+  }
+  LatencySnapshot snap;
+  if (sorted.empty()) return snap;
+  std::sort(sorted.begin(), sorted.end());
+  snap.count = sorted.size();
+  auto at = [&sorted](double q) {
+    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
+    if (idx >= sorted.size()) idx = sorted.size() - 1;
+    return sorted[idx];
+  };
+  snap.p50 = at(0.50);
+  snap.p90 = at(0.90);
+  snap.p99 = at(0.99);
+  snap.max = sorted.back();
+  double sum = 0;
+  for (uint64_t s : sorted) sum += static_cast<double>(s);
+  snap.mean = sum / static_cast<double>(sorted.size());
+  return snap;
+}
+
+uint64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return samples_[static_cast<uint8_t>(Phase::kTotal)].size();
+}
+
+perf::ReportTable MetricsReport(const std::string& title,
+                                const ServiceMetrics& metrics) {
+  perf::ReportTable table(
+      title, {"phase", "count", "p50_us", "p90_us", "p99_us", "max_us",
+              "mean_us"});
+  auto us = [](uint64_t nanos) {
+    return perf::ReportTable::Num(static_cast<double>(nanos) * 1e-3);
+  };
+  auto add = [&](const char* name, const LatencySnapshot& s) {
+    table.AddRow({name, perf::ReportTable::Num(s.count), us(s.p50), us(s.p90),
+                  us(s.p99), us(s.max),
+                  perf::ReportTable::Num(s.mean * 1e-3)});
+  };
+  add("admit_wait", metrics.admit_wait);
+  add("batch_wait", metrics.batch_wait);
+  add("exec", metrics.exec);
+  add("total", metrics.total);
+  table.AddRow({"submitted", perf::ReportTable::Num(metrics.admission.submitted),
+                "", "", "", "", ""});
+  table.AddRow({"completed", perf::ReportTable::Num(metrics.completed), "", "",
+                "", "", ""});
+  table.AddRow({"shed", perf::ReportTable::Num(metrics.admission.shed_total()),
+                "", "", "", "", ""});
+  table.AddRow(
+      {"shed_rate_pct",
+       perf::ReportTable::Num(metrics.shed_rate() * 100.0), "", "", "", "",
+       ""});
+  table.AddRow({"degraded", perf::ReportTable::Num(metrics.degraded), "", "",
+                "", "", ""});
+  table.AddRow({"mean_batch",
+                perf::ReportTable::Num(metrics.mean_batch_size()), "", "", "",
+                "", ""});
+  return table;
+}
+
+}  // namespace hwstar::svc

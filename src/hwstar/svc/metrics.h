@@ -1,0 +1,85 @@
+#ifndef HWSTAR_SVC_METRICS_H_
+#define HWSTAR_SVC_METRICS_H_
+
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "hwstar/perf/report.h"
+#include "hwstar/svc/admission.h"
+#include "hwstar/svc/request.h"
+
+namespace hwstar::svc {
+
+/// Percentile summary of one latency phase, nanoseconds.
+struct LatencySnapshot {
+  uint64_t count = 0;
+  uint64_t p50 = 0;
+  uint64_t p90 = 0;
+  uint64_t p99 = 0;
+  uint64_t max = 0;
+  double mean = 0;
+};
+
+/// Which phase of a LatencyBreakdown a snapshot summarizes.
+enum class Phase : uint8_t {
+  kAdmitWait = 0,
+  kBatchWait = 1,
+  kExec = 2,
+  kTotal = 3,
+};
+
+const char* PhaseName(Phase phase);
+
+/// Accumulates per-request latency breakdowns and serves percentile
+/// snapshots. Exact (keeps every sample) — the service layer's SLOs are
+/// p50/p99, and approximating the tail is how tail blow-ups get missed.
+/// Thread-safe.
+class LatencyRecorder {
+ public:
+  void Record(const LatencyBreakdown& breakdown);
+  LatencySnapshot Snapshot(Phase phase) const;
+  uint64_t count() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::vector<uint64_t> samples_[4];  ///< indexed by Phase
+};
+
+/// A full point-in-time view of the service: admission outcomes, batch
+/// amortization, and per-phase latency percentiles.
+struct ServiceMetrics {
+  AdmissionStats admission;
+  uint64_t completed = 0;
+  uint64_t degraded = 0;  ///< completed but clamped/downgraded
+  uint64_t batches = 0;
+  uint64_t batched_requests = 0;
+  LatencySnapshot admit_wait;
+  LatencySnapshot batch_wait;
+  LatencySnapshot exec;
+  LatencySnapshot total;
+
+  double mean_batch_size() const {
+    return batches == 0 ? 0.0
+                        : static_cast<double>(batched_requests) /
+                              static_cast<double>(batches);
+  }
+  /// Fraction of submitted requests shed (any reason).
+  double shed_rate() const {
+    return admission.submitted == 0
+               ? 0.0
+               : static_cast<double>(admission.shed_total()) /
+                     static_cast<double>(admission.submitted);
+  }
+};
+
+/// Renders the metrics as a perf::ReportTable (one row per latency phase
+/// plus a summary row) so service numbers flow through the same report
+/// path every bench uses.
+perf::ReportTable MetricsReport(const std::string& title,
+                                const ServiceMetrics& metrics);
+
+}  // namespace hwstar::svc
+
+#endif  // HWSTAR_SVC_METRICS_H_

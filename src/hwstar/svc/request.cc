@@ -1,0 +1,98 @@
+#include "hwstar/svc/request.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace hwstar::svc {
+
+const char* RequestTypeName(RequestType type) {
+  switch (type) {
+    case RequestType::kPointGet:
+      return "point_get";
+    case RequestType::kScan:
+      return "scan";
+    case RequestType::kJoin:
+      return "join";
+    case RequestType::kAggregate:
+      return "aggregate";
+  }
+  return "unknown";
+}
+
+Request Request::PointGet(uint64_t key, uint32_t tenant, Priority priority) {
+  Request r;
+  r.type = RequestType::kPointGet;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.get.key = key;
+  return r;
+}
+
+Request Request::Scan(uint64_t lo, uint64_t hi, uint64_t limit,
+                      uint32_t tenant, Priority priority) {
+  Request r;
+  r.type = RequestType::kScan;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.scan = {lo, hi, limit};
+  return r;
+}
+
+Request Request::Join(const engine::JoinQuery* query, uint32_t tenant,
+                      Priority priority) {
+  Request r;
+  r.type = RequestType::kJoin;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.join.query = query;
+  return r;
+}
+
+Request Request::Aggregate(const storage::ColumnStore* store,
+                           engine::ExprPtr filter, engine::ExprPtr value,
+                           uint32_t tenant, Priority priority) {
+  Request r;
+  r.type = RequestType::kAggregate;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.agg.store = store;
+  r.agg.filter = std::move(filter);
+  r.agg.value = std::move(value);
+  return r;
+}
+
+uint64_t ServiceNow() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t EstimatedRequestBytes(const Request& request) {
+  // Envelope + bookkeeping floor for every request.
+  constexpr uint64_t kEnvelope = 256;
+  switch (request.type) {
+    case RequestType::kPointGet:
+      return kEnvelope;
+    case RequestType::kScan: {
+      // 8 bytes per result row; an unlimited scan is charged as if it
+      // returned 64K rows (the admission layer must assume the worst).
+      constexpr uint64_t kUnlimitedRows = 64 * 1024;
+      const uint64_t rows =
+          request.scan.limit == 0
+              ? kUnlimitedRows
+              : std::min<uint64_t>(request.scan.limit, kUnlimitedRows);
+      return kEnvelope + rows * sizeof(uint64_t);
+    }
+    case RequestType::kJoin:
+      // Join materializes filtered sides; charge a fixed working-set
+      // estimate rather than walking the (borrowed) stores here.
+      return kEnvelope + (1u << 16);
+    case RequestType::kAggregate:
+      // Streaming over batches of 4096 rows; small fixed footprint.
+      return kEnvelope + 4096 * sizeof(int64_t) * 2;
+  }
+  return kEnvelope;
+}
+
+}  // namespace hwstar::svc

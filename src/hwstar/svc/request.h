@@ -1,0 +1,127 @@
+#ifndef HWSTAR_SVC_REQUEST_H_
+#define HWSTAR_SVC_REQUEST_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/engine/expression.h"
+#include "hwstar/engine/join_query.h"
+#include "hwstar/storage/column_store.h"
+
+namespace hwstar::svc {
+
+/// The four request shapes the service front end accepts: the OLTP point
+/// ops and the analytic queries the underlying library already executes,
+/// wrapped in one envelope so admission, batching and SLO accounting can
+/// treat them uniformly.
+enum class RequestType : uint8_t {
+  kPointGet = 0,   ///< KV point read
+  kScan = 1,       ///< KV ordered range scan
+  kJoin = 2,       ///< engine::ExecuteJoin over two column stores
+  kAggregate = 3,  ///< filtered SUM/COUNT over one column store
+};
+
+const char* RequestTypeName(RequestType type);
+
+/// Scheduling priority; higher values are served first and shed last.
+enum class Priority : uint8_t {
+  kLow = 0,
+  kNormal = 1,
+  kHigh = 2,
+};
+
+inline constexpr uint32_t kNumPriorities = 3;
+
+struct PointGetArgs {
+  uint64_t key = 0;
+};
+
+struct ScanArgs {
+  uint64_t lo = 0;
+  uint64_t hi = 0;
+  /// Maximum result rows the client wants (0 = unlimited). The overload
+  /// policy may clamp it further under load.
+  uint64_t limit = 0;
+};
+
+struct JoinArgs {
+  /// Borrowed; must outlive the request's completion.
+  const engine::JoinQuery* query = nullptr;
+  engine::JoinAlgorithm algorithm = engine::JoinAlgorithm::kAuto;
+};
+
+struct AggregateArgs {
+  /// Borrowed; must outlive the request's completion.
+  const storage::ColumnStore* store = nullptr;
+  engine::ExprPtr filter;  ///< optional row predicate (0/1)
+  engine::ExprPtr value;   ///< summed expression; null = COUNT(*)
+};
+
+/// The typed request envelope: one payload (selected by `type`) plus the
+/// serving metadata — tenant for quota accounting, priority for queue
+/// order and shed order, deadline for SLO enforcement.
+struct Request {
+  RequestType type = RequestType::kPointGet;
+  uint32_t tenant = 0;
+  Priority priority = Priority::kNormal;
+  /// Absolute deadline in ServiceNow() nanos; 0 = none. Expired requests
+  /// are shed at admission or before execution, never executed late.
+  uint64_t deadline_nanos = 0;
+
+  PointGetArgs get;
+  ScanArgs scan;
+  JoinArgs join;
+  AggregateArgs agg;
+
+  static Request PointGet(uint64_t key, uint32_t tenant = 0,
+                          Priority priority = Priority::kNormal);
+  static Request Scan(uint64_t lo, uint64_t hi, uint64_t limit = 0,
+                      uint32_t tenant = 0,
+                      Priority priority = Priority::kNormal);
+  static Request Join(const engine::JoinQuery* query, uint32_t tenant = 0,
+                      Priority priority = Priority::kNormal);
+  static Request Aggregate(const storage::ColumnStore* store,
+                           engine::ExprPtr filter, engine::ExprPtr value,
+                           uint32_t tenant = 0,
+                           Priority priority = Priority::kNormal);
+};
+
+/// Where a completed (or shed) request spent its life, phase by phase.
+/// These are the serving-side analogues of the paper's "measure against
+/// the hardware" rule: queueing time is as first-class as execute time.
+struct LatencyBreakdown {
+  uint64_t admit_wait_nanos = 0;  ///< submit → popped by the dispatcher
+  uint64_t batch_wait_nanos = 0;  ///< popped → batch execution start
+  uint64_t exec_nanos = 0;        ///< execution (shared across a batch)
+  uint64_t total_nanos = 0;       ///< submit → completion
+};
+
+/// Response envelope. `status` is OK on success; ResourceExhausted when
+/// load-shed at admission; DeadlineExceeded when the deadline passed
+/// before execution; NotFound for a missing point-get key.
+struct Response {
+  Status status;
+  /// True when the overload policy degraded the request (clamped scan
+  /// limit or downgraded join algorithm) instead of shedding it.
+  bool degraded = false;
+
+  uint64_t value = 0;          ///< point-get result
+  std::vector<uint64_t> rows;  ///< scan results (ascending key order)
+  engine::JoinQueryResult join;
+  int64_t agg_sum = 0;
+  uint64_t agg_rows = 0;
+
+  LatencyBreakdown latency;
+};
+
+/// Monotonic nanosecond clock all svc deadlines and timestamps live on.
+uint64_t ServiceNow();
+
+/// Conservative estimate of the bytes a request will pin while queued and
+/// executing (admission's in-flight memory budget charges this).
+uint64_t EstimatedRequestBytes(const Request& request);
+
+}  // namespace hwstar::svc
+
+#endif  // HWSTAR_SVC_REQUEST_H_

@@ -1,0 +1,285 @@
+#include "hwstar/svc/service.h"
+
+#include <algorithm>
+#include <chrono>
+#include <vector>
+
+namespace hwstar::svc {
+
+namespace {
+
+constexpr auto kRelaxed = std::memory_order_relaxed;
+
+BatcherOptions MakeBatcherOptions(const ServiceOptions& options,
+                                  kv::KvStore* kv) {
+  BatcherOptions b;
+  b.max_batch = options.max_batch == 0 ? 1 : options.max_batch;
+  b.kv_shards = kv != nullptr ? kv->options().shards : 1;
+  return b;
+}
+
+}  // namespace
+
+Service::Service(ServiceOptions options, kv::KvStore* kv)
+    : options_(std::move(options)),
+      kv_(kv),
+      policy_(options_.policy != nullptr
+                  ? options_.policy
+                  : std::make_shared<StepDownOverloadPolicy>()),
+      queue_(options_.admission),
+      batcher_(MakeBatcherOptions(options_, kv)),
+      pool_(options_.worker_threads),
+      dispatcher_([this] { DispatcherLoop(); }) {}
+
+Service::~Service() {
+  Drain();
+  queue_.Close();
+  if (dispatcher_.joinable()) dispatcher_.join();
+  pool_.Shutdown();
+}
+
+std::future<Response> Service::Submit(Request request) {
+  auto ticket = std::make_unique<Ticket>();
+  ticket->request = std::move(request);
+  ticket->submit_nanos = ServiceNow();
+  ticket->estimated_bytes = EstimatedRequestBytes(ticket->request);
+  std::future<Response> future = ticket->promise.get_future();
+
+  // Provisionally count the request as accepted so Drain() never sees
+  // finished_ pass accepted_; rolled back on rejection.
+  accepted_.fetch_add(1);
+  const Status st =
+      queue_.TryAdmit(ticket, policy_->MinAdmittedPriority(signals()));
+  if (!st.ok()) {
+    accepted_.fetch_sub(1);
+    CompleteShed(std::move(ticket), st);
+  }
+  return future;
+}
+
+Response Service::Call(Request request) {
+  return Submit(std::move(request)).get();
+}
+
+void Service::Drain() {
+  while (accepted_.load() != finished_.load()) {
+    std::this_thread::sleep_for(std::chrono::microseconds(100));
+  }
+}
+
+void Service::DispatcherLoop() {
+  std::vector<TicketPtr> popped;
+  while (queue_.PopBatch(&popped, options_.dispatch_max,
+                         options_.batch_window_nanos)) {
+    const uint64_t now = ServiceNow();
+    std::vector<TicketPtr> live;
+    live.reserve(popped.size());
+    for (auto& t : popped) {
+      t->admit_nanos = now;
+      if (t->request.deadline_nanos != 0 &&
+          now > t->request.deadline_nanos) {
+        // Never execute expired work: the client stopped waiting, so the
+        // cycles would be pure waste — shed it here instead.
+        queue_.NoteExpired(1);
+        CompleteShed(std::move(t),
+                     Status::DeadlineExceeded("deadline expired in queue"));
+        finished_.fetch_add(1);
+      } else {
+        in_flight_.fetch_add(1, kRelaxed);
+        live.push_back(std::move(t));
+      }
+    }
+    popped.clear();
+
+    for (Batch& batch : batcher_.Group(std::move(live))) {
+      batches_.fetch_add(1, kRelaxed);
+      batched_requests_.fetch_add(batch.tickets.size(), kRelaxed);
+      auto shared = std::make_shared<Batch>(std::move(batch));
+      // Bounded hand-off: while the pool is full, hold the pipeline here so
+      // new arrivals back up into the admission queue (and get shed there)
+      // rather than growing an invisible execution backlog. The pool can't
+      // be shut down while the dispatcher runs (see ~Service ordering), so
+      // TrySubmit only fails on the depth bound.
+      while (!pool_.TrySubmit(
+          [this, shared](uint32_t) { ExecuteBatch(shared.get()); },
+          options_.max_pending_batches)) {
+        std::this_thread::sleep_for(std::chrono::microseconds(20));
+      }
+    }
+  }
+}
+
+void Service::ExecuteBatch(Batch* batch) {
+  const OverloadSignals sig = signals();
+
+  if (batch->type == RequestType::kPointGet && kv_ != nullptr &&
+      batch->tickets.size() > 1) {
+    // The batched fast path: one MultiGet resolves the whole (same-shard,
+    // key-sorted) batch under a single latch acquisition.
+    const uint64_t exec_start = ServiceNow();
+    const size_t n = batch->tickets.size();
+    std::vector<uint64_t> keys(n);
+    std::vector<uint64_t> values(n);
+    std::unique_ptr<bool[]> found(new bool[n]);
+    for (size_t i = 0; i < n; ++i) {
+      keys[i] = batch->tickets[i]->request.get.key;
+    }
+    kv_->MultiGet(keys.data(), n, values.data(), found.get());
+    const uint64_t exec_nanos = ServiceNow() - exec_start;
+    for (size_t i = 0; i < n; ++i) {
+      Response r;
+      if (found[i]) {
+        r.value = values[i];
+      } else {
+        // Same status a direct Get returns, so batching is invisible to
+        // clients (the bit-identical invariant svc_test checks).
+        r.status = Status::NotFound("key not found");
+      }
+      Complete(std::move(batch->tickets[i]), std::move(r), exec_start,
+               exec_nanos);
+    }
+    return;
+  }
+
+  for (auto& t : batch->tickets) {
+    const uint64_t exec_start = ServiceNow();
+    Response r;
+    ExecuteOne(t->request, sig, &r);
+    const uint64_t exec_nanos = ServiceNow() - exec_start;
+    Complete(std::move(t), std::move(r), exec_start, exec_nanos);
+  }
+}
+
+void Service::ExecuteOne(const Request& request,
+                         const OverloadSignals& signals, Response* response) {
+  switch (request.type) {
+    case RequestType::kPointGet: {
+      if (kv_ == nullptr) {
+        response->status =
+            Status::FailedPrecondition("no kv backend configured");
+        return;
+      }
+      auto result = kv_->Get(request.get.key);
+      if (result.ok()) {
+        response->value = result.value();
+      } else {
+        response->status = result.status();
+      }
+      return;
+    }
+    case RequestType::kScan: {
+      if (kv_ == nullptr) {
+        response->status =
+            Status::FailedPrecondition("no kv backend configured");
+        return;
+      }
+      const uint64_t limit = policy_->ScanLimit(signals, request.scan.limit);
+      response->degraded = limit != request.scan.limit;
+      kv_->RangeScanLimit(request.scan.lo, request.scan.hi, limit,
+                          &response->rows);
+      return;
+    }
+    case RequestType::kJoin: {
+      if (request.join.query == nullptr) {
+        response->status = Status::InvalidArgument("join request has no query");
+        return;
+      }
+      engine::JoinExecuteOptions jopts;
+      jopts.algorithm = policy_->JoinAlgorithm(signals, request.join.algorithm);
+      response->degraded = jopts.algorithm != request.join.algorithm;
+      // Morsels run serially inside this worker: parallelism here comes
+      // from concurrent requests across the pool, and nesting a pool wait
+      // inside a pool task would deadlock the fixed-size pool.
+      jopts.pool = nullptr;
+      response->join = engine::ExecuteJoin(*request.join.query, jopts);
+      return;
+    }
+    case RequestType::kAggregate: {
+      const storage::ColumnStore* store = request.agg.store;
+      if (store == nullptr) {
+        response->status =
+            Status::InvalidArgument("aggregate request has no store");
+        return;
+      }
+      const uint64_t n = store->num_rows();
+      constexpr uint64_t kBlock = 4096;
+      std::vector<int64_t> pred(kBlock);
+      std::vector<int64_t> vals(kBlock);
+      int64_t sum = 0;
+      uint64_t rows = 0;
+      for (uint64_t begin = 0; begin < n; begin += kBlock) {
+        const uint64_t end = std::min<uint64_t>(begin + kBlock, n);
+        if (request.agg.filter != nullptr) {
+          request.agg.filter->EvalBatch(*store, begin, end, pred.data());
+        }
+        if (request.agg.value != nullptr) {
+          request.agg.value->EvalBatch(*store, begin, end, vals.data());
+        }
+        for (uint64_t i = begin; i < end; ++i) {
+          if (request.agg.filter != nullptr && pred[i - begin] == 0) continue;
+          ++rows;
+          sum += request.agg.value != nullptr ? vals[i - begin] : 1;
+        }
+      }
+      response->agg_sum = sum;
+      response->agg_rows = rows;
+      return;
+    }
+  }
+}
+
+void Service::Complete(TicketPtr ticket, Response response,
+                       uint64_t exec_start, uint64_t exec_nanos) {
+  const uint64_t now = ServiceNow();
+  LatencyBreakdown& lat = response.latency;
+  lat.admit_wait_nanos = ticket->admit_nanos - ticket->submit_nanos;
+  lat.batch_wait_nanos = exec_start - ticket->admit_nanos;
+  lat.exec_nanos = exec_nanos;
+  lat.total_nanos = now - ticket->submit_nanos;
+  latencies_.Record(lat);
+  if (response.degraded) degraded_.fetch_add(1, kRelaxed);
+  completed_.fetch_add(1, kRelaxed);
+  ticket->promise.set_value(std::move(response));
+  in_flight_.fetch_sub(1, kRelaxed);
+  finished_.fetch_add(1);
+}
+
+void Service::CompleteShed(TicketPtr ticket, Status status) {
+  Response r;
+  r.status = std::move(status);
+  const uint64_t now = ServiceNow();
+  r.latency.total_nanos = now - ticket->submit_nanos;
+  if (ticket->admit_nanos != 0) {
+    r.latency.admit_wait_nanos = ticket->admit_nanos - ticket->submit_nanos;
+  }
+  ticket->promise.set_value(std::move(r));
+}
+
+OverloadSignals Service::signals() const {
+  OverloadSignals s;
+  s.queue_depth = queue_.depth();
+  s.max_queue_depth = options_.admission.max_queue_depth;
+  s.queued_bytes = queue_.queued_bytes();
+  s.in_flight = in_flight_.load(kRelaxed);
+  return s;
+}
+
+ServiceMetrics Service::metrics() const {
+  ServiceMetrics m;
+  m.admission = queue_.stats();
+  m.completed = completed_.load(kRelaxed);
+  m.degraded = degraded_.load(kRelaxed);
+  m.batches = batches_.load(kRelaxed);
+  m.batched_requests = batched_requests_.load(kRelaxed);
+  m.admit_wait = latencies_.Snapshot(Phase::kAdmitWait);
+  m.batch_wait = latencies_.Snapshot(Phase::kBatchWait);
+  m.exec = latencies_.Snapshot(Phase::kExec);
+  m.total = latencies_.Snapshot(Phase::kTotal);
+  return m;
+}
+
+void Service::PrintReport(const std::string& title) const {
+  MetricsReport(title, metrics()).Print();
+}
+
+}  // namespace hwstar::svc

@@ -1,0 +1,115 @@
+#ifndef HWSTAR_SVC_SERVICE_H_
+#define HWSTAR_SVC_SERVICE_H_
+
+#include <atomic>
+#include <future>
+#include <memory>
+#include <string>
+#include <thread>
+
+#include "hwstar/exec/thread_pool.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/svc/admission.h"
+#include "hwstar/svc/batcher.h"
+#include "hwstar/svc/metrics.h"
+#include "hwstar/svc/overload_policy.h"
+#include "hwstar/svc/request.h"
+
+namespace hwstar::svc {
+
+struct ServiceOptions {
+  AdmissionOptions admission;
+  /// max_batch for the batcher; kv_shards is taken from the backing store.
+  uint32_t max_batch = 64;
+  /// Workers executing batches (the cores the service owns).
+  uint32_t worker_threads = 2;
+  /// How long the dispatcher lingers for batch-mates when the queue holds
+  /// fewer than a full batch. The knob trading a little latency for
+  /// amortized fixed costs.
+  uint64_t batch_window_nanos = 50'000;
+  /// Max tickets the dispatcher pops per round (>= max_batch keeps the
+  /// batcher fed with grouping candidates).
+  uint32_t dispatch_max = 64;
+  /// Bound on batches queued at the worker pool (0 = unbounded). When the
+  /// pool is full the dispatcher stops popping, so overload backs up into
+  /// the admission queue — the place with quotas and shedding — instead of
+  /// hiding in an unbounded execution queue where control can't reach it.
+  uint32_t max_pending_batches = 8;
+  /// Degradation policy; null installs StepDownOverloadPolicy.
+  std::shared_ptr<const OverloadPolicy> policy;
+};
+
+/// The hardware-conscious request-serving front end: clients submit typed
+/// requests from any thread; the service admits them against bounded
+/// queues (backpressure instead of unbounded growth), batches compatible
+/// ones to amortize per-request fixed costs, executes on a fixed worker
+/// pool sized to the machine, and accounts every request's life
+/// phase-by-phase so p50/p99 and shed rate are first-class outputs.
+///
+/// Pipeline: Submit → AdmissionQueue → dispatcher (batch window) →
+/// Batcher → ThreadPool workers → KvStore / engine::ExecuteJoin.
+class Service {
+ public:
+  /// `kv` backs point-get and scan requests (may be null when only
+  /// join/aggregate requests are served; those carry their own stores).
+  /// Borrowed; must outlive the service.
+  Service(ServiceOptions options, kv::KvStore* kv);
+
+  /// Drains in-flight work, then stops dispatcher and workers.
+  ~Service();
+
+  Service(const Service&) = delete;
+  Service& operator=(const Service&) = delete;
+
+  /// Submits a request; never blocks on load (sheds instead). The future
+  /// always completes: with results, or with a shed/expired status.
+  std::future<Response> Submit(Request request);
+
+  /// Synchronous convenience: Submit + wait.
+  Response Call(Request request);
+
+  /// Blocks until every admitted request has completed.
+  void Drain();
+
+  /// Point-in-time metrics snapshot.
+  ServiceMetrics metrics() const;
+
+  /// Prints the metrics through perf::ReportTable.
+  void PrintReport(const std::string& title) const;
+
+  /// Current load signals (what the overload policy sees).
+  OverloadSignals signals() const;
+
+  const ServiceOptions& options() const { return options_; }
+
+ private:
+  void DispatcherLoop();
+  void ExecuteBatch(Batch* batch);
+  void ExecuteOne(const Request& request, const OverloadSignals& signals,
+                  Response* response);
+  void Complete(TicketPtr ticket, Response response, uint64_t exec_start,
+                uint64_t exec_nanos);
+  void CompleteShed(TicketPtr ticket, Status status);
+
+  ServiceOptions options_;
+  kv::KvStore* kv_;
+  std::shared_ptr<const OverloadPolicy> policy_;
+  AdmissionQueue queue_;
+  Batcher batcher_;
+  exec::ThreadPool pool_;
+
+  std::atomic<uint64_t> accepted_{0};   ///< admitted into the queue
+  std::atomic<uint64_t> finished_{0};   ///< completed or shed post-admit
+  std::atomic<uint32_t> in_flight_{0};  ///< popped, not yet finished
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> degraded_{0};
+  std::atomic<uint64_t> batches_{0};
+  std::atomic<uint64_t> batched_requests_{0};
+  LatencyRecorder latencies_;
+
+  std::thread dispatcher_;  ///< last member: started after everything else
+};
+
+}  // namespace hwstar::svc
+
+#endif  // HWSTAR_SVC_SERVICE_H_

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <condition_variable>
+#include <mutex>
 #include <numeric>
 #include <set>
+#include <thread>
 #include <vector>
 
 #include "hwstar/exec/affinity.h"
@@ -53,6 +56,48 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
     pool.WaitIdle();
   }
   EXPECT_EQ(count.load(), 100);
+}
+
+TEST(ThreadPoolTest, SubmitAfterShutdownFailsCleanly) {
+  ThreadPool pool(2);
+  std::atomic<int> count{0};
+  EXPECT_TRUE(pool.Submit([&count](uint32_t) { count.fetch_add(1); }));
+  pool.Shutdown();
+  EXPECT_EQ(count.load(), 1);  // queued work drains before shutdown completes
+  EXPECT_FALSE(pool.Submit([&count](uint32_t) { count.fetch_add(1); }));
+  EXPECT_FALSE(pool.TrySubmit([&count](uint32_t) { count.fetch_add(1); }, 8));
+  EXPECT_EQ(count.load(), 1);
+  pool.Shutdown();  // idempotent
+}
+
+TEST(ThreadPoolTest, TrySubmitEnforcesQueueBound) {
+  ThreadPool pool(1);
+  std::mutex mutex;
+  std::condition_variable cv;
+  bool release = false;
+  // Park the single worker so submissions accumulate in the queue.
+  pool.Submit([&](uint32_t) {
+    std::unique_lock<std::mutex> lock(mutex);
+    cv.wait(lock, [&] { return release; });
+  });
+  while (pool.queue_depth() != 0) std::this_thread::yield();
+
+  std::atomic<int> done{0};
+  EXPECT_TRUE(pool.TrySubmit([&done](uint32_t) { done.fetch_add(1); }, 2));
+  EXPECT_TRUE(pool.TrySubmit([&done](uint32_t) { done.fetch_add(1); }, 2));
+  // Queue is at the bound: backpressure instead of unbounded growth.
+  EXPECT_FALSE(pool.TrySubmit([&done](uint32_t) { done.fetch_add(1); }, 2));
+  EXPECT_EQ(pool.queue_depth(), 2u);
+  // Unbounded submit still accepts.
+  EXPECT_TRUE(pool.Submit([&done](uint32_t) { done.fetch_add(1); }));
+
+  {
+    std::lock_guard<std::mutex> lock(mutex);
+    release = true;
+  }
+  cv.notify_all();
+  pool.WaitIdle();
+  EXPECT_EQ(done.load(), 3);
 }
 
 TEST(TaskSchedulerTest, RunsAllTasks) {

@@ -212,5 +212,82 @@ TEST(TieredStoreTest, MissingKeyStillChargedAndNotFound) {
   EXPECT_EQ(store.stats().accesses, 1u);
 }
 
+TEST(KvStoreTest, MultiGetMatchesGetIncludingMisses) {
+  KvOptions opts;
+  opts.shards = 8;
+  KvStore store(opts);
+  const uint64_t stride = ~uint64_t{0} / 1024;  // keys span all shards
+  for (uint64_t i = 0; i < 1024; i += 2) store.Put(i * stride, i + 1);
+
+  std::vector<uint64_t> keys;
+  for (uint64_t i = 0; i < 256; ++i) keys.push_back((i * 7 % 1024) * stride);
+  // Unsorted and sorted (the svc batcher's shard-grouped order) must agree.
+  for (int pass = 0; pass < 2; ++pass) {
+    std::vector<uint64_t> values(keys.size());
+    auto found = std::make_unique<bool[]>(keys.size());
+    store.MultiGet(keys.data(), keys.size(), values.data(), found.get());
+    for (size_t i = 0; i < keys.size(); ++i) {
+      auto ref = store.Get(keys[i]);
+      EXPECT_EQ(found[i], ref.ok()) << "key " << keys[i];
+      if (ref.ok()) EXPECT_EQ(values[i], ref.value());
+    }
+    std::sort(keys.begin(), keys.end());
+  }
+}
+
+TEST(KvStoreTest, RangeScanLimitIsPrefixOfFullScan) {
+  KvStore store;
+  for (uint64_t k = 0; k < 100; ++k) store.Put(k, k * 2);
+  std::vector<uint64_t> full, limited;
+  EXPECT_EQ(store.RangeScan(10, 59, &full), 50u);
+  EXPECT_EQ(store.RangeScanLimit(10, 59, 7, &limited), 7u);
+  ASSERT_EQ(limited.size(), 7u);
+  for (size_t i = 0; i < limited.size(); ++i) EXPECT_EQ(limited[i], full[i]);
+}
+
+// Writers mutate counters under shard latches while a reader polls
+// stats() lock-free: must be TSan-clean (counters are relaxed atomics)
+// and add up once the writers join.
+TEST(KvStoreTest, StatsReadableWhileConcurrentlyMutated) {
+  KvOptions opts;
+  opts.shards = 4;
+  KvStore store(opts);
+  constexpr int kThreads = 4;
+  constexpr uint64_t kOpsPerThread = 20000;
+
+  std::atomic<bool> stop{false};
+  std::thread reader([&] {
+    // Each shard counter is a single atomic, so successive relaxed loads
+    // respect its modification order: snapshots are monotonic. (Cross
+    // -counter invariants like gets >= hits do NOT hold mid-run under
+    // relaxed ordering and are only checked after the writers join.)
+    uint64_t last_gets = 0;
+    while (!stop.load()) {
+      const KvStats s = store.stats();
+      EXPECT_GE(s.gets, last_gets);
+      last_gets = s.gets;
+    }
+  });
+  std::vector<std::thread> writers;
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&store, t] {
+      const uint64_t stride = ~uint64_t{0} / (kThreads * kOpsPerThread);
+      for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+        const uint64_t key = (t * kOpsPerThread + i) * stride;
+        store.Put(key, i);
+        (void)store.Get(key);
+      }
+    });
+  }
+  for (auto& w : writers) w.join();
+  stop.store(true);
+  reader.join();
+
+  const KvStats s = store.stats();
+  EXPECT_EQ(s.puts, kThreads * kOpsPerThread);
+  EXPECT_EQ(s.gets, kThreads * kOpsPerThread);
+  EXPECT_EQ(s.hits, kThreads * kOpsPerThread);
+}
+
 }  // namespace
 }  // namespace hwstar::kv

@@ -1,0 +1,418 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <future>
+#include <thread>
+#include <vector>
+
+#include "hwstar/engine/expression.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/storage/column_store.h"
+#include "hwstar/svc/admission.h"
+#include "hwstar/svc/batcher.h"
+#include "hwstar/svc/overload_policy.h"
+#include "hwstar/svc/service.h"
+
+namespace hwstar::svc {
+namespace {
+
+/// Two-column store: col 0 = i, col 1 = i % 97.
+storage::ColumnStore MakeColumnStore(uint64_t rows) {
+  storage::Schema s(
+      {{"a", storage::TypeId::kInt64}, {"b", storage::TypeId::kInt64}});
+  storage::Table t(s);
+  for (uint64_t i = 0; i < rows; ++i) {
+    t.column(0).AppendInt64(static_cast<int64_t>(i));
+    t.column(1).AppendInt64(static_cast<int64_t>(i % 97));
+  }
+  EXPECT_TRUE(t.SetRowCount(rows).ok());
+  return std::move(storage::ColumnStore::FromTable(t)).value();
+}
+
+TicketPtr MakeTicket(Request request) {
+  auto t = std::make_unique<Ticket>();
+  t->request = std::move(request);
+  t->submit_nanos = ServiceNow();
+  t->estimated_bytes = EstimatedRequestBytes(t->request);
+  return t;
+}
+
+// --- AdmissionQueue -------------------------------------------------------
+
+TEST(AdmissionQueueTest, AcceptRejectBoundaryAtMaxDepth) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 2;
+  AdmissionQueue queue(opts);
+
+  auto t1 = MakeTicket(Request::PointGet(1));
+  auto t2 = MakeTicket(Request::PointGet(2));
+  auto t3 = MakeTicket(Request::PointGet(3));
+  EXPECT_TRUE(queue.TryAdmit(t1).ok());
+  EXPECT_TRUE(queue.TryAdmit(t2).ok());
+  Status st = queue.TryAdmit(t3);
+  EXPECT_EQ(st.code(), StatusCode::kResourceExhausted);
+  ASSERT_NE(t3, nullptr);  // rejected ticket stays with the caller
+  EXPECT_EQ(queue.depth(), 2u);
+
+  // Popping frees capacity; the same ticket admits cleanly afterwards.
+  std::vector<TicketPtr> out;
+  ASSERT_TRUE(queue.PopBatch(&out, 1));
+  EXPECT_EQ(out.size(), 1u);
+  EXPECT_TRUE(queue.TryAdmit(t3).ok());
+
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.submitted, 4u);
+  EXPECT_EQ(stats.admitted, 3u);
+  EXPECT_EQ(stats.shed_queue_full, 1u);
+}
+
+TEST(AdmissionQueueTest, PerTenantQuotaIsolatesTenants) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 16;
+  opts.per_tenant_quota = 1;
+  AdmissionQueue queue(opts);
+
+  auto a1 = MakeTicket(Request::PointGet(1, /*tenant=*/7));
+  auto a2 = MakeTicket(Request::PointGet(2, /*tenant=*/7));
+  auto b1 = MakeTicket(Request::PointGet(3, /*tenant=*/8));
+  EXPECT_TRUE(queue.TryAdmit(a1).ok());
+  EXPECT_EQ(queue.TryAdmit(a2).code(), StatusCode::kResourceExhausted);
+  // The flooding tenant exhausted its own quota, not tenant 8's.
+  EXPECT_TRUE(queue.TryAdmit(b1).ok());
+  EXPECT_EQ(queue.tenant_depth(7), 1u);
+  EXPECT_EQ(queue.tenant_depth(8), 1u);
+  EXPECT_EQ(queue.stats().shed_tenant_quota, 1u);
+}
+
+TEST(AdmissionQueueTest, MemoryBudgetRejectsBigScans) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 16;
+  opts.memory_budget_bytes = 4096;
+  AdmissionQueue queue(opts);
+
+  auto small = MakeTicket(Request::PointGet(1));
+  auto big = MakeTicket(Request::Scan(0, ~uint64_t{0}, /*limit=*/100000));
+  EXPECT_TRUE(queue.TryAdmit(small).ok());
+  EXPECT_EQ(queue.TryAdmit(big).code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(queue.stats().shed_memory, 1u);
+}
+
+TEST(AdmissionQueueTest, PriorityFloorShedsLowFirst) {
+  AdmissionQueue queue(AdmissionOptions{});
+  auto low = MakeTicket(Request::PointGet(1, 0, Priority::kLow));
+  auto normal = MakeTicket(Request::PointGet(2, 0, Priority::kNormal));
+  EXPECT_EQ(queue.TryAdmit(low, Priority::kNormal).code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_TRUE(queue.TryAdmit(normal, Priority::kNormal).ok());
+  EXPECT_EQ(queue.stats().shed_priority, 1u);
+}
+
+TEST(AdmissionQueueTest, PopReturnsHighestPriorityFirst) {
+  AdmissionQueue queue(AdmissionOptions{});
+  auto low = MakeTicket(Request::PointGet(1, 0, Priority::kLow));
+  auto high = MakeTicket(Request::PointGet(2, 0, Priority::kHigh));
+  ASSERT_TRUE(queue.TryAdmit(low).ok());
+  ASSERT_TRUE(queue.TryAdmit(high).ok());
+  std::vector<TicketPtr> out;
+  ASSERT_TRUE(queue.PopBatch(&out, 2));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0]->request.priority, Priority::kHigh);
+  EXPECT_EQ(out[1]->request.priority, Priority::kLow);
+}
+
+TEST(AdmissionQueueTest, CloseWakesAndDrains) {
+  AdmissionQueue queue(AdmissionOptions{});
+  std::thread closer([&queue] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+    queue.Close();
+  });
+  std::vector<TicketPtr> out;
+  EXPECT_FALSE(queue.PopBatch(&out, 4));  // unblocked by Close
+  closer.join();
+  auto t = MakeTicket(Request::PointGet(1));
+  EXPECT_EQ(queue.TryAdmit(t).code(), StatusCode::kFailedPrecondition);
+}
+
+// --- Batcher --------------------------------------------------------------
+
+TEST(BatcherTest, GroupsGetsByShardSortedByKey) {
+  BatcherOptions opts;
+  opts.max_batch = 8;
+  opts.kv_shards = 4;  // shard = top 2 key bits
+  Batcher batcher(opts);
+
+  const uint64_t shard_span = ~uint64_t{0} / 4 + 1;
+  std::vector<TicketPtr> tickets;
+  // Two shards, interleaved and unsorted on arrival.
+  tickets.push_back(MakeTicket(Request::PointGet(5)));
+  tickets.push_back(MakeTicket(Request::PointGet(shard_span + 9)));
+  tickets.push_back(MakeTicket(Request::PointGet(3)));
+  tickets.push_back(MakeTicket(Request::PointGet(shard_span + 2)));
+
+  auto batches = batcher.Group(std::move(tickets));
+  ASSERT_EQ(batches.size(), 2u);
+  for (const auto& b : batches) {
+    EXPECT_EQ(b.type, RequestType::kPointGet);
+    ASSERT_EQ(b.tickets.size(), 2u);
+    EXPECT_LT(b.tickets[0]->request.get.key, b.tickets[1]->request.get.key);
+    EXPECT_EQ(batcher.ShardOf(b.tickets[0]->request.get.key), b.shard);
+    EXPECT_EQ(batcher.ShardOf(b.tickets[1]->request.get.key), b.shard);
+  }
+}
+
+TEST(BatcherTest, RespectsMaxBatchAndSingletonTypes) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  opts.kv_shards = 1;
+  Batcher batcher(opts);
+
+  std::vector<TicketPtr> tickets;
+  for (int i = 0; i < 5; ++i) {
+    tickets.push_back(MakeTicket(Request::PointGet(i)));
+  }
+  tickets.push_back(MakeTicket(Request::Scan(0, 10)));
+  tickets.push_back(MakeTicket(Request::Scan(0, 20)));
+
+  auto batches = batcher.Group(std::move(tickets));
+  size_t gets = 0, scans = 0;
+  for (const auto& b : batches) {
+    EXPECT_LE(b.tickets.size(), 2u);
+    if (b.type == RequestType::kPointGet) {
+      gets += b.tickets.size();
+    } else {
+      EXPECT_EQ(b.type, RequestType::kScan);
+      EXPECT_EQ(b.tickets.size(), 1u);  // scans never merge
+      ++scans;
+    }
+  }
+  EXPECT_EQ(gets, 5u);
+  EXPECT_EQ(scans, 2u);
+}
+
+// --- Service end to end ---------------------------------------------------
+
+ServiceOptions NoDegradeOptions() {
+  ServiceOptions opts;
+  opts.policy = std::make_shared<OverloadPolicy>();  // never degrades
+  return opts;
+}
+
+TEST(ServiceTest, PointGetScanAggregateRoundTrip) {
+  kv::KvOptions kopts;
+  kopts.shards = 4;
+  kv::KvStore store(kopts);
+  for (uint64_t k = 0; k < 1000; ++k) store.Put(k, k * 10);
+
+  Service service(NoDegradeOptions(), &store);
+  Response hit = service.Call(Request::PointGet(42));
+  EXPECT_TRUE(hit.status.ok());
+  EXPECT_EQ(hit.value, 420u);
+
+  Response miss = service.Call(Request::PointGet(5000));
+  EXPECT_EQ(miss.status.code(), StatusCode::kNotFound);
+
+  Response scan = service.Call(Request::Scan(10, 19));
+  EXPECT_TRUE(scan.status.ok());
+  ASSERT_EQ(scan.rows.size(), 10u);
+  EXPECT_EQ(scan.rows[0], 100u);
+  EXPECT_EQ(scan.rows[9], 190u);
+
+  storage::ColumnStore cs = MakeColumnStore(100);
+  Response agg = service.Call(Request::Aggregate(
+      &cs, engine::Lt(engine::Col(0), engine::Lit(10)), engine::Col(0)));
+  EXPECT_TRUE(agg.status.ok());
+  EXPECT_EQ(agg.agg_rows, 10u);
+  EXPECT_EQ(agg.agg_sum, 45);
+  EXPECT_GT(agg.latency.total_nanos, 0u);
+}
+
+TEST(ServiceTest, DeadlineAlreadyExpiredIsShedAtSubmit) {
+  kv::KvStore store;
+  store.Put(1, 1);
+  Service service(NoDegradeOptions(), &store);
+
+  Request req = Request::PointGet(1);
+  req.deadline_nanos = ServiceNow() - 1;  // already in the past
+  Response r = service.Call(std::move(req));
+  EXPECT_EQ(r.status.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(service.metrics().admission.shed_deadline, 1u);
+}
+
+// The bit-identical acceptance criterion: the same request set answered
+// through the batched service and one-at-a-time directly against the
+// backends must produce identical responses, misses included.
+TEST(ServiceTest, BatchedResultsIdenticalToUnbatched) {
+  kv::KvOptions kopts;
+  kopts.shards = 8;
+  kv::KvStore store(kopts);
+  // Sparse keys spread across the full 64-bit shard space.
+  const uint64_t stride = ~uint64_t{0} / 4096;
+  for (uint64_t i = 0; i < 4096; i += 2) store.Put(i * stride, i);
+
+  storage::ColumnStore cs = MakeColumnStore(10000);
+
+  std::vector<Request> requests;
+  for (uint64_t i = 0; i < 512; ++i) {  // every other key misses
+    requests.push_back(Request::PointGet((i * 13 % 4096) * stride));
+  }
+  for (uint64_t i = 0; i < 16; ++i) {
+    requests.push_back(
+        Request::Scan(i * stride * 64, (i + 4) * stride * 64));
+  }
+  for (int64_t i = 0; i < 16; ++i) {
+    requests.push_back(Request::Aggregate(
+        &cs, engine::Lt(engine::Col(1), engine::Lit(i * 7)),
+        engine::Add(engine::Col(0), engine::Col(1))));
+  }
+
+  // Batched: through the service, submitted concurrently so the batcher
+  // actually forms multi-request batches.
+  std::vector<std::future<Response>> futures;
+  {
+    ServiceOptions opts = NoDegradeOptions();
+    opts.max_batch = 32;
+    opts.batch_window_nanos = 2'000'000;
+    Service service(opts, &store);
+    futures.reserve(requests.size());
+    for (const Request& r : requests) futures.push_back(service.Submit(r));
+    service.Drain();
+    const ServiceMetrics m = service.metrics();
+    EXPECT_EQ(m.completed, requests.size());
+    // The point-get flood must actually have been batched.
+    EXPECT_GT(m.mean_batch_size(), 1.0);
+  }
+
+  // Unbatched reference: direct library calls.
+  for (size_t i = 0; i < requests.size(); ++i) {
+    Response got = futures[i].get();
+    const Request& req = requests[i];
+    switch (req.type) {
+      case RequestType::kPointGet: {
+        auto ref = store.Get(req.get.key);
+        EXPECT_EQ(got.status.ok(), ref.ok()) << "request " << i;
+        if (ref.ok()) {
+          EXPECT_EQ(got.value, ref.value()) << "request " << i;
+        } else {
+          EXPECT_EQ(got.status.code(), ref.status().code());
+          EXPECT_EQ(got.status.message(), ref.status().message());
+        }
+        break;
+      }
+      case RequestType::kScan: {
+        std::vector<uint64_t> ref;
+        store.RangeScan(req.scan.lo, req.scan.hi, &ref);
+        EXPECT_EQ(got.rows, ref) << "request " << i;
+        break;
+      }
+      case RequestType::kAggregate: {
+        int64_t sum = 0;
+        uint64_t rows = 0;
+        for (uint64_t row = 0; row < cs.num_rows(); ++row) {
+          if (req.agg.filter->Eval(cs, row) == 0) continue;
+          ++rows;
+          sum += req.agg.value->Eval(cs, row);
+        }
+        EXPECT_EQ(got.agg_sum, sum) << "request " << i;
+        EXPECT_EQ(got.agg_rows, rows) << "request " << i;
+        break;
+      }
+      case RequestType::kJoin:
+        break;
+    }
+  }
+}
+
+TEST(ServiceTest, MultiThreadedOpenLoopSmoke) {
+  kv::KvOptions kopts;
+  kopts.shards = 4;
+  kv::KvStore store(kopts);
+  for (uint64_t k = 0; k < 10000; ++k) store.Put(k, k);
+
+  ServiceOptions opts = NoDegradeOptions();
+  opts.admission.max_queue_depth = 0;  // unbounded: nothing may be lost
+  Service service(opts, &store);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 500;
+  std::atomic<uint64_t> ok{0};
+  std::vector<std::thread> submitters;
+  for (int t = 0; t < kThreads; ++t) {
+    submitters.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        const uint64_t key = static_cast<uint64_t>(t * kPerThread + i);
+        Response r = service.Call(Request::PointGet(
+            key, /*tenant=*/static_cast<uint32_t>(t)));
+        if (r.status.ok() && r.value == key) ok.fetch_add(1);
+      }
+    });
+  }
+  for (auto& s : submitters) s.join();
+  service.Drain();
+
+  EXPECT_EQ(ok.load(), static_cast<uint64_t>(kThreads * kPerThread));
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed, static_cast<uint64_t>(kThreads * kPerThread));
+  EXPECT_EQ(m.admission.shed_total(), 0u);
+  EXPECT_EQ(m.total.count, m.completed);
+}
+
+TEST(ServiceTest, OverloadShedsInsteadOfQueueingUnbounded) {
+  storage::ColumnStore cs = MakeColumnStore(1 << 20);
+
+  ServiceOptions opts = NoDegradeOptions();
+  opts.admission.max_queue_depth = 4;  // tiny bound
+  opts.worker_threads = 1;
+  opts.dispatch_max = 1;  // no batching: drain one aggregate at a time
+  opts.max_batch = 1;
+  opts.batch_window_nanos = 0;
+  kv::KvStore store;
+  Service service(opts, &store);
+
+  // Each aggregate takes ~ms; a tight submit loop must overflow depth 4.
+  std::vector<std::future<Response>> futures;
+  for (int i = 0; i < 100; ++i) {
+    futures.push_back(
+        service.Submit(Request::Aggregate(&cs, nullptr, engine::Col(0))));
+  }
+  uint64_t shed = 0, done = 0;
+  for (auto& f : futures) {
+    Response r = f.get();
+    if (r.status.ok()) {
+      ++done;
+    } else {
+      EXPECT_EQ(r.status.code(), StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_GT(shed, 0u);          // backpressure engaged
+  EXPECT_GT(done, 0u);          // but admitted work completed
+  EXPECT_EQ(shed + done, 100u);
+  EXPECT_EQ(service.metrics().admission.shed_queue_full, shed);
+}
+
+TEST(ServiceTest, StepDownPolicyClampsScansUnderLoad) {
+  StepDownOverloadPolicy policy;
+  OverloadSignals idle;
+  idle.queue_depth = 0;
+  idle.max_queue_depth = 100;
+  OverloadSignals busy;
+  busy.queue_depth = 80;
+  busy.max_queue_depth = 100;
+
+  EXPECT_EQ(policy.ScanLimit(idle, 0), 0u);
+  EXPECT_EQ(policy.ScanLimit(busy, 0), policy.scan_limit_under_load);
+  EXPECT_EQ(policy.ScanLimit(busy, 10), 10u);
+  EXPECT_EQ(policy.JoinAlgorithm(busy, engine::JoinAlgorithm::kRadix),
+            engine::JoinAlgorithm::kNoPartition);
+  EXPECT_EQ(policy.MinAdmittedPriority(busy), Priority::kLow);
+  busy.queue_depth = 95;
+  EXPECT_EQ(policy.MinAdmittedPriority(busy), Priority::kNormal);
+  // An unbounded queue yields no utilization signal: no degradation.
+  OverloadSignals unbounded;
+  unbounded.queue_depth = 1 << 20;
+  unbounded.max_queue_depth = 0;
+  EXPECT_EQ(policy.ScanLimit(unbounded, 0), 0u);
+}
+
+}  // namespace
+}  // namespace hwstar::svc
