@@ -1,0 +1,107 @@
+#include "hwstar/dur/checkpoint.h"
+
+#include <cstring>
+
+#include "hwstar/common/hash.h"
+
+namespace hwstar::dur {
+
+namespace {
+
+constexpr uint64_t kCheckpointMagic = 0x68777374'61726b70ULL;  // "hwstarkp"
+constexpr uint32_t kCheckpointVersion = 1;
+
+void PutU32(std::string* out, uint32_t v) {
+  char buf[4];
+  std::memcpy(buf, &v, 4);
+  out->append(buf, 4);
+}
+
+void PutU64(std::string* out, uint64_t v) {
+  char buf[8];
+  std::memcpy(buf, &v, 8);
+  out->append(buf, 8);
+}
+
+uint32_t GetU32(const uint8_t* p) {
+  uint32_t v;
+  std::memcpy(&v, p, 4);
+  return v;
+}
+
+uint64_t GetU64(const uint8_t* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+}  // namespace
+
+std::string CheckpointPath(const std::string& prefix) {
+  return prefix + "-ckpt";
+}
+
+Status WriteCheckpoint(FileBackend* backend, const std::string& prefix,
+                       const CheckpointData& data) {
+  std::string body;
+  body.reserve(32 + data.marks.size() * 8 + data.entries.size() * 16);
+  PutU64(&body, kCheckpointMagic);
+  PutU32(&body, kCheckpointVersion);
+  PutU32(&body, static_cast<uint32_t>(data.marks.size()));
+  for (uint64_t mark : data.marks) PutU64(&body, mark);
+  PutU64(&body, data.entries.size());
+  for (const auto& [key, value] : data.entries) {
+    PutU64(&body, key);
+    PutU64(&body, value);
+  }
+  PutU32(&body, Crc32(body.data(), body.size()));
+
+  const std::string tmp = CheckpointPath(prefix) + ".tmp";
+  // Remove a stale tmp from an earlier crashed attempt so the append
+  // starts clean.
+  HWSTAR_RETURN_IF_ERROR(backend->Remove(tmp));
+  auto file = backend->OpenForAppend(tmp);
+  if (!file.ok()) return file.status();
+  HWSTAR_RETURN_IF_ERROR(file.value()->Append(body.data(), body.size()));
+  // Always a full fsync: a checkpoint whose metadata is not durable is
+  // not installed, whatever the WAL's cheaper sync level is.
+  HWSTAR_RETURN_IF_ERROR(file.value()->Sync(SyncMode::kFsync));
+  HWSTAR_RETURN_IF_ERROR(file.value()->Close());
+  return backend->Rename(tmp, CheckpointPath(prefix));
+}
+
+Result<CheckpointData> ReadCheckpoint(FileBackend* backend,
+                                      const std::string& prefix) {
+  auto raw = backend->ReadFile(CheckpointPath(prefix));
+  if (!raw.ok()) return raw.status();
+  const std::string& body = raw.value();
+  auto corrupt = [](const char* what) {
+    return Status::IoError(std::string("corrupt checkpoint: ") + what);
+  };
+  if (body.size() < 8 + 4 + 4 + 8 + 4) return corrupt("too small");
+  const uint8_t* p = reinterpret_cast<const uint8_t*>(body.data());
+  const uint32_t stored_crc = GetU32(p + body.size() - 4);
+  if (Crc32(body.data(), body.size() - 4) != stored_crc) {
+    return corrupt("crc mismatch");
+  }
+  if (GetU64(p) != kCheckpointMagic) return corrupt("bad magic");
+  if (GetU32(p + 8) != kCheckpointVersion) return corrupt("bad version");
+  const uint32_t num_marks = GetU32(p + 12);
+  size_t off = 16;
+  if (body.size() < off + num_marks * 8ull + 8 + 4) return corrupt("truncated");
+  CheckpointData data;
+  data.marks.reserve(num_marks);
+  for (uint32_t i = 0; i < num_marks; ++i, off += 8) {
+    data.marks.push_back(GetU64(p + off));
+  }
+  const uint64_t count = GetU64(p + off);
+  off += 8;
+  if (body.size() != off + count * 16 + 4) return corrupt("bad entry count");
+  data.entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i, off += 16) {
+    data.entries.emplace_back(GetU64(p + off), GetU64(p + off + 8));
+  }
+  return data;
+}
+
+}  // namespace hwstar::dur

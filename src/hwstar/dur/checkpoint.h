@@ -1,0 +1,48 @@
+#ifndef HWSTAR_DUR_CHECKPOINT_H_
+#define HWSTAR_DUR_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hwstar/common/status.h"
+#include "hwstar/dur/file_backend.h"
+
+namespace hwstar::dur {
+
+/// A materialized checkpoint: the store's (key, value) pairs plus, per
+/// log shard, the replay mark — the highest LSN whose effects are
+/// guaranteed captured by the snapshot. Recovery loads the entries and
+/// replays only records with lsn > marks[shard]; records at or below the
+/// mark were definitely applied before the snapshot was cut (the
+/// DurableKvStore takes each shard's mark under the same mutex that makes
+/// append+apply atomic). Records above the mark may or may not already be
+/// in the snapshot — the scan is fuzzy — which is safe because put/delete
+/// replay is idempotent and per-key ordered.
+struct CheckpointData {
+  std::vector<uint64_t> marks;  ///< per log shard
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+};
+
+/// `<prefix>-ckpt` — the installed checkpoint file.
+std::string CheckpointPath(const std::string& prefix);
+
+/// Serializes and installs the checkpoint crash-atomically: the payload
+/// (magic, marks, entries, trailing CRC32) is written and synced to
+/// `<prefix>-ckpt.tmp`, then renamed over `<prefix>-ckpt`. A crash at any
+/// point leaves either the old checkpoint or the new one, never a torn
+/// mix — the rename is the commit point.
+Status WriteCheckpoint(FileBackend* backend, const std::string& prefix,
+                       const CheckpointData& data);
+
+/// Loads and validates the installed checkpoint. NotFound when none was
+/// ever installed (fresh store); kIoError when the file exists but fails
+/// validation (corrupt storage — the caller decides whether to refuse or
+/// start empty).
+Result<CheckpointData> ReadCheckpoint(FileBackend* backend,
+                                      const std::string& prefix);
+
+}  // namespace hwstar::dur
+
+#endif  // HWSTAR_DUR_CHECKPOINT_H_

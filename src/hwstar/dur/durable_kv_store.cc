@@ -1,0 +1,195 @@
+#include "hwstar/dur/durable_kv_store.h"
+
+#include <bit>
+#include <chrono>
+#include <limits>
+#include <utility>
+
+#include "hwstar/common/macros.h"
+#include "hwstar/dur/checkpoint.h"
+#include "hwstar/dur/wal_format.h"
+
+namespace hwstar::dur {
+
+namespace {
+
+uint64_t NowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace
+
+DurableKvStore::DurableKvStore(FileBackend* backend, std::string prefix,
+                               DurableKvOptions options)
+    : backend_(backend),
+      prefix_(std::move(prefix)),
+      options_(options),
+      log_shift_(options.log_shards == 1
+                     ? 64
+                     : 64 - static_cast<uint32_t>(
+                                std::countr_zero(options.log_shards))),
+      store_(options.kv) {}
+
+Result<std::unique_ptr<DurableKvStore>> DurableKvStore::Open(
+    FileBackend* backend, std::string prefix, DurableKvOptions options,
+    RecoveryInfo* recovery_out) {
+  HWSTAR_CHECK(options.log_shards >= 1 &&
+               (options.log_shards & (options.log_shards - 1)) == 0);
+  std::unique_ptr<DurableKvStore> db(
+      new DurableKvStore(backend, std::move(prefix), options));
+  auto recovered = Recover(backend, db->prefix_, options.log_shards,
+                           &db->store_);
+  if (!recovered.ok()) return recovered.status();
+  for (uint32_t shard = 0; shard < options.log_shards; ++shard) {
+    auto writer = LogWriter::Open(backend,
+                                  ShardLogPrefix(db->prefix_, shard),
+                                  options.log,
+                                  recovered.value().next_lsn[shard],
+                                  recovered.value().next_segment[shard]);
+    if (!writer.ok()) return writer.status();
+    auto log_shard = std::make_unique<LogShard>();
+    log_shard->writer = std::move(writer.value());
+    db->logs_.push_back(std::move(log_shard));
+  }
+  if (recovery_out != nullptr) *recovery_out = std::move(recovered.value());
+  return db;
+}
+
+Status DurableKvStore::Put(uint64_t key, uint64_t value,
+                           uint64_t* wal_wait_nanos) {
+  LogShard& ls = *logs_[LogShardOf(key)];
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(ls.apply_mutex);
+    WalRecord record;
+    record.type = WalRecordType::kPut;
+    record.key = key;
+    record.value = value;
+    auto appended = ls.writer->Append(record);
+    if (!appended.ok()) return appended.status();
+    lsn = appended.value();
+    store_.Put(key, value);
+  }
+  const uint64_t start = NowNanos();
+  const Status st = ls.writer->WaitDurable(lsn);
+  if (wal_wait_nanos != nullptr) *wal_wait_nanos = NowNanos() - start;
+  return st;
+}
+
+Status DurableKvStore::Delete(uint64_t key, bool* erased,
+                              uint64_t* wal_wait_nanos) {
+  LogShard& ls = *logs_[LogShardOf(key)];
+  uint64_t lsn = 0;
+  {
+    std::lock_guard<std::mutex> lock(ls.apply_mutex);
+    WalRecord record;
+    record.type = WalRecordType::kDelete;
+    record.key = key;
+    auto appended = ls.writer->Append(record);
+    if (!appended.ok()) return appended.status();
+    lsn = appended.value();
+    const bool was_present = store_.Delete(key);
+    if (erased != nullptr) *erased = was_present;
+  }
+  const uint64_t start = NowNanos();
+  const Status st = ls.writer->WaitDurable(lsn);
+  if (wal_wait_nanos != nullptr) *wal_wait_nanos = NowNanos() - start;
+  return st;
+}
+
+Status DurableKvStore::PutBatch(const uint64_t* keys, const uint64_t* values,
+                                size_t count, uint64_t* wal_wait_nanos) {
+  if (wal_wait_nanos != nullptr) *wal_wait_nanos = 0;
+  if (count == 0) return Status::OK();
+
+  // Highest LSN staged per log shard this batch; 0 = untouched.
+  std::vector<uint64_t> pending(logs_.size(), 0);
+
+  // Stage+apply by contiguous same-shard run. The svc batcher sorts its
+  // put batches by key, so for sorted input each log shard's mutex is
+  // taken once per batch, not once per record.
+  size_t i = 0;
+  while (i < count) {
+    const uint32_t shard = LogShardOf(keys[i]);
+    size_t j = i;
+    while (j < count && LogShardOf(keys[j]) == shard) ++j;
+    LogShard& ls = *logs_[shard];
+    std::lock_guard<std::mutex> lock(ls.apply_mutex);
+    for (size_t k = i; k < j; ++k) {
+      WalRecord record;
+      record.type = WalRecordType::kPut;
+      record.key = keys[k];
+      record.value = values[k];
+      auto appended = ls.writer->Append(record);
+      if (!appended.ok()) return appended.status();
+      pending[shard] = appended.value();
+      store_.Put(keys[k], values[k]);
+    }
+    i = j;
+  }
+
+  // One commit wait per touched shard, whatever the batch size — every
+  // record staged above rides the same sync.
+  const uint64_t start = NowNanos();
+  Status result = Status::OK();
+  for (size_t shard = 0; shard < logs_.size(); ++shard) {
+    if (pending[shard] == 0) continue;
+    const Status st = logs_[shard]->writer->WaitDurable(pending[shard]);
+    if (!st.ok() && result.ok()) result = st;
+  }
+  if (wal_wait_nanos != nullptr) *wal_wait_nanos = NowNanos() - start;
+  return result;
+}
+
+Status DurableKvStore::Checkpoint() {
+  std::lock_guard<std::mutex> ckpt_lock(checkpoint_mutex_);
+
+  CheckpointData data;
+  data.marks.resize(logs_.size());
+  for (size_t shard = 0; shard < logs_.size(); ++shard) {
+    // Under the apply mutex, every op with lsn <= last_lsn has finished
+    // its memory apply — the scan below cannot miss it.
+    std::lock_guard<std::mutex> lock(logs_[shard]->apply_mutex);
+    data.marks[shard] = logs_[shard]->writer->last_lsn();
+  }
+
+  store_.RangeScanEntries(0, std::numeric_limits<uint64_t>::max(),
+                          &data.entries);
+
+  // The scan is fuzzy: it may contain effects of ops ABOVE the mark that
+  // were applied concurrently. Those ops must be in the durable log
+  // before the snapshot is installed, otherwise a crash could recover a
+  // state containing an op the log never acked (not a prefix). Everything
+  // the scan could have seen has lsn <= the shard's last_lsn right now.
+  for (size_t shard = 0; shard < logs_.size(); ++shard) {
+    LogWriter* writer = logs_[shard]->writer.get();
+    HWSTAR_RETURN_IF_ERROR(writer->WaitDurable(writer->last_lsn()));
+  }
+
+  HWSTAR_RETURN_IF_ERROR(WriteCheckpoint(backend_, prefix_, data));
+
+  for (size_t shard = 0; shard < logs_.size(); ++shard) {
+    HWSTAR_RETURN_IF_ERROR(logs_[shard]->writer->Rotate());
+    HWSTAR_RETURN_IF_ERROR(
+        logs_[shard]->writer->TruncateThrough(data.marks[shard]));
+  }
+  return Status::OK();
+}
+
+LogWriterStats DurableKvStore::log_stats() const {
+  LogWriterStats total;
+  for (const auto& shard : logs_) {
+    const LogWriterStats s = shard->writer->stats();
+    total.records += s.records;
+    total.bytes += s.bytes;
+    total.groups += s.groups;
+    total.rotations += s.rotations;
+    total.truncated_segments += s.truncated_segments;
+  }
+  return total;
+}
+
+}  // namespace hwstar::dur

@@ -1,0 +1,168 @@
+#ifndef HWSTAR_DUR_FAULT_INJECTION_H_
+#define HWSTAR_DUR_FAULT_INJECTION_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "hwstar/common/random.h"
+#include "hwstar/dur/file_backend.h"
+
+namespace hwstar::dur {
+
+/// What the fault injector does to the write that trips the trigger.
+enum class FaultMode : uint8_t {
+  kDropWrite = 0,  ///< the triggering append vanishes entirely
+  kTornWrite = 1,  ///< a random prefix of the triggering append lands
+  kBitFlip = 2,    ///< the append lands, then one of its bits flips
+};
+
+/// When and how to fail. `fail_after_writes` counts mutating operations
+/// (appends, syncs, renames, removes) across the whole backend; the
+/// operation that reaches the count gets `mode` applied, and everything
+/// after it fails with kIoError — the process has "crashed" as far as the
+/// durability layer can tell.
+struct FaultPlan {
+  uint64_t fail_after_writes = ~uint64_t{0};
+  FaultMode mode = FaultMode::kTornWrite;
+  uint64_t seed = 1;
+};
+
+/// A FileBackend that injects a crash: it proxies an owned
+/// InMemoryFileBackend until the plan's trigger point, mangles the
+/// triggering write per FaultMode, then fails every subsequent mutating
+/// operation with kIoError. This is the storage side of the crash-recovery
+/// property tests: after the "crash", the test calls
+/// disk()->SimulateCrash() to drop unsynced bytes, then runs Recover()
+/// against disk() directly and checks prefix consistency.
+///
+/// Reads (ReadFile / Exists / List) keep working after the trigger so the
+/// test can inspect the surviving state; the durability code under test
+/// never reads on its write paths.
+class FaultyFileBackend : public FileBackend {
+ public:
+  explicit FaultyFileBackend(FaultPlan plan)
+      : plan_(plan), rng_(plan.seed), inner_(new InMemoryFileBackend()) {}
+
+  /// The surviving filesystem state (for SimulateCrash + recovery).
+  InMemoryFileBackend* disk() { return inner_.get(); }
+
+  /// True once the trigger has fired.
+  bool crashed() const { return writes_.load() > plan_.fail_after_writes; }
+
+  Result<std::unique_ptr<WritableFile>> OpenForAppend(
+      const std::string& path) override {
+    auto inner_file = inner_->OpenForAppend(path);
+    if (!inner_file.ok()) return inner_file.status();
+    return std::unique_ptr<WritableFile>(
+        new FaultyWritableFile(this, std::move(inner_file.value())));
+  }
+
+  Result<std::string> ReadFile(const std::string& path) override {
+    return inner_->ReadFile(path);
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    const Fate fate = NextWriteFate();
+    if (fate != Fate::kPass) return Crashed();  // a dropped rename vanishes
+    return inner_->Rename(from, to);
+  }
+
+  Status Remove(const std::string& path) override {
+    const Fate fate = NextWriteFate();
+    if (fate != Fate::kPass) return Crashed();
+    return inner_->Remove(path);
+  }
+
+  bool Exists(const std::string& path) override {
+    return inner_->Exists(path);
+  }
+
+  Result<std::vector<std::string>> List(const std::string& prefix) override {
+    return inner_->List(prefix);
+  }
+
+ private:
+  enum class Fate : uint8_t { kPass, kTrigger, kDead };
+
+  /// Counts one mutating op and classifies it against the plan.
+  Fate NextWriteFate() {
+    const uint64_t n = writes_.fetch_add(1) + 1;
+    if (n < plan_.fail_after_writes) return Fate::kPass;
+    if (n == plan_.fail_after_writes) return Fate::kTrigger;
+    return Fate::kDead;
+  }
+
+  static Status Crashed() {
+    return Status::IoError("injected fault: backend crashed");
+  }
+
+  class FaultyWritableFile : public WritableFile {
+   public:
+    FaultyWritableFile(FaultyFileBackend* backend,
+                       std::unique_ptr<WritableFile> inner)
+        : backend_(backend), inner_(std::move(inner)) {}
+
+    Status Append(const void* data, size_t len) override {
+      switch (backend_->NextWriteFate()) {
+        case Fate::kPass:
+          return inner_->Append(data, len);
+        case Fate::kTrigger: {
+          // Apply the planned mangling to this append, then report the
+          // crash (the caller must treat the write as failed — whether
+          // any bytes landed is exactly what recovery must tolerate).
+          std::lock_guard<std::mutex> lock(backend_->rng_mutex_);
+          Xoshiro256& rng = backend_->rng_;
+          switch (backend_->plan_.mode) {
+            case FaultMode::kDropWrite:
+              break;
+            case FaultMode::kTornWrite: {
+              const size_t keep = static_cast<size_t>(rng.NextBounded(len));
+              if (keep > 0) (void)inner_->Append(data, keep);
+              break;
+            }
+            case FaultMode::kBitFlip: {
+              std::string copy(static_cast<const char*>(data), len);
+              const size_t pos = static_cast<size_t>(rng.NextBounded(len));
+              copy[pos] = static_cast<char>(
+                  copy[pos] ^ (1u << rng.NextBounded(8)));
+              (void)inner_->Append(copy.data(), copy.size());
+              break;
+            }
+          }
+          return Crashed();
+        }
+        case Fate::kDead:
+          return Crashed();
+      }
+      return Crashed();
+    }
+
+    Status Sync(SyncMode mode) override {
+      if (mode == SyncMode::kNone) return Status::OK();
+      if (backend_->NextWriteFate() != Fate::kPass) return Crashed();
+      return inner_->Sync(mode);
+    }
+
+    Status Close() override { return inner_->Close(); }
+    uint64_t size() const override { return inner_->size(); }
+
+   private:
+    FaultyFileBackend* backend_;
+    std::unique_ptr<WritableFile> inner_;
+  };
+
+  FaultPlan plan_;
+  std::mutex rng_mutex_;
+  Xoshiro256 rng_;
+  std::atomic<uint64_t> writes_{0};
+  std::unique_ptr<InMemoryFileBackend> inner_;
+};
+
+}  // namespace hwstar::dur
+
+#endif  // HWSTAR_DUR_FAULT_INJECTION_H_

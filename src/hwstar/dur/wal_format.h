@@ -1,0 +1,65 @@
+#ifndef HWSTAR_DUR_WAL_FORMAT_H_
+#define HWSTAR_DUR_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace hwstar::dur {
+
+/// Logical operations the WAL records. Deletes are first-class (tombstone
+/// replay), not value sentinels.
+enum class WalRecordType : uint8_t {
+  kPut = 1,
+  kDelete = 2,
+};
+
+/// One logical WAL record. `lsn` is per-log (per shard) and dense: the
+/// writer assigns 1, 2, 3, ... with no gaps, which is what lets recovery
+/// distinguish "clean end of log" from "hole left by a lost write".
+struct WalRecord {
+  WalRecordType type = WalRecordType::kPut;
+  uint64_t lsn = 0;
+  uint64_t key = 0;
+  uint64_t value = 0;  ///< unused for kDelete
+
+  bool operator==(const WalRecord& other) const {
+    return type == other.type && lsn == other.lsn && key == other.key &&
+           (type == WalRecordType::kDelete || value == other.value);
+  }
+};
+
+/// On-disk framing (little-endian, the only byte order the library's
+/// targets use):
+///
+///   [u32 crc][u32 payload_len][payload...]
+///   payload = [u64 lsn][u8 type][u64 key]([u64 value] for kPut)
+///
+/// `crc` is CRC32 over payload_len and the payload, so a torn header, a
+/// torn payload, and a bit flip are all caught by the same check. Framing
+/// is per record: the tail of a crashed log is detected record-by-record
+/// and replay stops cleanly at the last intact one.
+inline constexpr size_t kWalFrameHeaderBytes = 8;
+inline constexpr size_t kWalMaxPayloadBytes = 64;
+
+/// Appends the framed record to `out`.
+void EncodeWalRecord(const WalRecord& record, std::string* out);
+
+/// Result of scanning one log buffer.
+struct WalDecodeResult {
+  std::vector<WalRecord> records;  ///< intact prefix, in append order
+  size_t valid_bytes = 0;          ///< bytes consumed by intact records
+  /// True when the buffer ended exactly at a record boundary; false when
+  /// a torn/corrupt frame stopped the scan early (the normal signature of
+  /// a crash mid-append).
+  bool clean = true;
+};
+
+/// Decodes records from the front of `data`, stopping at the first frame
+/// whose length is implausible or whose CRC fails.
+WalDecodeResult DecodeWalBuffer(const void* data, size_t len);
+
+}  // namespace hwstar::dur
+
+#endif  // HWSTAR_DUR_WAL_FORMAT_H_

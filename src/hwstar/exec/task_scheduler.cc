@@ -55,7 +55,7 @@ bool TaskScheduler::TryRunOne(uint32_t id) {
     if (!self.deque.empty()) {
       task = std::move(self.deque.back());
       self.deque.pop_back();
-      ++self.stats.local_pops;
+      self.local_pops.fetch_add(1, std::memory_order_relaxed);
     }
   }
   if (!task) {
@@ -67,11 +67,11 @@ bool TaskScheduler::TryRunOne(uint32_t id) {
       if (!workers_[victim]->deque.empty()) {
         task = std::move(workers_[victim]->deque.front());
         workers_[victim]->deque.pop_front();
-        ++self.stats.steals;
+        self.steals.fetch_add(1, std::memory_order_relaxed);
       }
     }
     if (!task) {
-      ++self.stats.failed_steals;
+      self.failed_steals.fetch_add(1, std::memory_order_relaxed);
       return false;
     }
   }
@@ -105,11 +105,9 @@ void TaskScheduler::WaitAll() {
 SchedulerStats TaskScheduler::stats() const {
   SchedulerStats total;
   for (const auto& w : workers_) {
-    // Stats are read after WaitAll in tests; racy reads are acceptable for
-    // monitoring counters.
-    total.local_pops += w->stats.local_pops;
-    total.steals += w->stats.steals;
-    total.failed_steals += w->stats.failed_steals;
+    total.local_pops += w->local_pops.load(std::memory_order_relaxed);
+    total.steals += w->steals.load(std::memory_order_relaxed);
+    total.failed_steals += w->failed_steals.load(std::memory_order_relaxed);
   }
   return total;
 }

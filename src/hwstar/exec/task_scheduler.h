@@ -50,7 +50,10 @@ class TaskScheduler {
   struct WorkerState {
     std::deque<Task> deque;
     std::mutex mutex;
-    SchedulerStats stats;
+    // Relaxed atomics: stats() may run concurrently with workers.
+    std::atomic<uint64_t> local_pops{0};
+    std::atomic<uint64_t> steals{0};
+    std::atomic<uint64_t> failed_steals{0};
   };
 
   void WorkerLoop(uint32_t id);

@@ -34,6 +34,16 @@ void KvStore::Put(uint64_t key, uint64_t value) {
   }
 }
 
+bool KvStore::Delete(uint64_t key) {
+  Shard& shard = *shards_[ShardOf(key)];
+  std::lock_guard<std::mutex> lock(shard.mutex);
+  const bool erased = options_.index == IndexKind::kArt
+                          ? shard.art.Erase(key)
+                          : shard.btree->Erase(key);
+  if (erased) shard.stats.deletes.fetch_add(1, kRelaxed);
+  return erased;
+}
+
 Result<uint64_t> KvStore::Get(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
@@ -105,6 +115,26 @@ uint64_t KvStore::RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
   return count;
 }
 
+uint64_t KvStore::RangeScanEntries(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) {
+  if (lo > hi) return 0;
+  uint64_t count = 0;
+  const uint32_t first = ShardOf(lo);
+  const uint32_t last = ShardOf(hi);
+  for (uint32_t s = first; s <= last; ++s) {
+    Shard& shard = *shards_[s];
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    shard.stats.scans.fetch_add(1, kRelaxed);
+    if (options_.index == IndexKind::kArt) {
+      count += shard.art.RangeScanEntries(lo, hi, out);
+    } else {
+      count += shard.btree->RangeScanEntries(lo, hi, out);
+    }
+  }
+  return count;
+}
+
 uint64_t KvStore::size() const {
   uint64_t total = 0;
   for (const auto& shard : shards_) {
@@ -125,6 +155,7 @@ KvStats KvStore::stats() const {
     total.puts += shard->stats.puts.load(kRelaxed);
     total.hits += shard->stats.hits.load(kRelaxed);
     total.scans += shard->stats.scans.load(kRelaxed);
+    total.deletes += shard->stats.deletes.load(kRelaxed);
   }
   return total;
 }

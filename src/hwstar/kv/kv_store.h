@@ -5,6 +5,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "hwstar/common/status.h"
@@ -35,6 +36,7 @@ struct KvStats {
   uint64_t puts = 0;
   uint64_t hits = 0;  ///< gets that found the key
   uint64_t scans = 0;
+  uint64_t deletes = 0;  ///< Delete calls that found (and removed) the key
 };
 
 /// An embedded, latched, ordered key-value store over the library's
@@ -53,6 +55,11 @@ class KvStore {
 
   /// Inserts or overwrites.
   void Put(uint64_t key, uint64_t value);
+
+  /// Removes the key; returns whether it existed. The WAL replays this as
+  /// a tombstone, so both index kinds support true erase (not
+  /// sentinel-value overwrites, which would poison range scans).
+  bool Delete(uint64_t key);
 
   /// Point read; NotFound when absent.
   Result<uint64_t> Get(uint64_t key);
@@ -75,6 +82,14 @@ class KvStore {
   uint64_t RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
                           std::vector<uint64_t>* out);
 
+  /// Appends (key, value) pairs for keys in [lo, hi] in ascending key
+  /// order; returns the count. This is the checkpointer's fuzzy-snapshot
+  /// primitive: each shard is read consistently under its latch, but the
+  /// scan as a whole is not a point-in-time cut — concurrent writers may
+  /// or may not appear, which WAL replay idempotence absorbs.
+  uint64_t RangeScanEntries(uint64_t lo, uint64_t hi,
+                            std::vector<std::pair<uint64_t, uint64_t>>* out);
+
   uint64_t size() const;
   KvStats stats() const;
   const KvOptions& options() const { return options_; }
@@ -88,6 +103,7 @@ class KvStore {
     std::atomic<uint64_t> puts{0};
     std::atomic<uint64_t> hits{0};
     std::atomic<uint64_t> scans{0};
+    std::atomic<uint64_t> deletes{0};
   };
 
   struct Shard {

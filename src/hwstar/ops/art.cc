@@ -292,6 +292,175 @@ Node* InsertRec(Node* n, uint64_t key, uint64_t value, uint32_t depth,
   return n;
 }
 
+/// Replaces the child slot for byte `b` with `c` (which must exist).
+void PatchChild(Node* n, uint8_t b, Node* c) {
+  switch (n->kind) {
+    case Node::kN4:
+      for (uint16_t i = 0; i < n->count; ++i) {
+        if (n->keys4[i] == b) n->children4[i] = c;
+      }
+      break;
+    case Node::kN16:
+      for (uint16_t i = 0; i < n->count; ++i) {
+        if (n->keys16[i] == b) n->children16[i] = c;
+      }
+      break;
+    case Node::kN48:
+      n->children48[n->child_index48[b] - 1] = c;
+      break;
+    case Node::kN256:
+      n->children256[b] = c;
+      break;
+    default:
+      HWSTAR_CHECK(false);
+  }
+}
+
+/// Removes the child slot for byte `b` (which must exist) without freeing
+/// the child node.
+void RemoveChild(Node* n, uint8_t b) {
+  switch (n->kind) {
+    case Node::kN4: {
+      uint16_t pos = 0;
+      while (pos < n->count && n->keys4[pos] != b) ++pos;
+      HWSTAR_DCHECK(pos < n->count);
+      for (uint16_t i = pos; i + 1 < n->count; ++i) {
+        n->keys4[i] = n->keys4[i + 1];
+        n->children4[i] = n->children4[i + 1];
+      }
+      --n->count;
+      return;
+    }
+    case Node::kN16: {
+      uint16_t pos = 0;
+      while (pos < n->count && n->keys16[pos] != b) ++pos;
+      HWSTAR_DCHECK(pos < n->count);
+      for (uint16_t i = pos; i + 1 < n->count; ++i) {
+        n->keys16[i] = n->keys16[i + 1];
+        n->children16[i] = n->children16[i + 1];
+      }
+      --n->count;
+      return;
+    }
+    case Node::kN48: {
+      const uint8_t slot = n->child_index48[b];
+      HWSTAR_DCHECK(slot != 0);
+      n->child_index48[b] = 0;
+      // Keep the slot array dense: move the last occupied slot into the
+      // hole and repoint whichever byte indexed it.
+      const uint16_t last = n->count - 1;
+      if (slot - 1 != last) {
+        n->children48[slot - 1] = n->children48[last];
+        for (uint32_t byte = 0; byte < 256; ++byte) {
+          if (n->child_index48[byte] == last + 1) {
+            n->child_index48[byte] = slot;
+            break;
+          }
+        }
+      }
+      n->children48[last] = nullptr;
+      --n->count;
+      return;
+    }
+    case Node::kN256:
+      HWSTAR_DCHECK(n->children256[b] != nullptr);
+      n->children256[b] = nullptr;
+      --n->count;
+      return;
+    default:
+      HWSTAR_CHECK(false);
+  }
+}
+
+/// The (byte, child) of the only child of a count==1 inner node.
+void OnlyChild(const Node* n, uint8_t* byte, Node** child) {
+  switch (n->kind) {
+    case Node::kN4:
+      *byte = n->keys4[0];
+      *child = n->children4[0];
+      return;
+    case Node::kN16:
+      *byte = n->keys16[0];
+      *child = n->children16[0];
+      return;
+    case Node::kN48:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->child_index48[b] != 0) {
+          *byte = static_cast<uint8_t>(b);
+          *child = n->children48[n->child_index48[b] - 1];
+          return;
+        }
+      }
+      break;
+    case Node::kN256:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->children256[b] != nullptr) {
+          *byte = static_cast<uint8_t>(b);
+          *child = n->children256[b];
+          return;
+        }
+      }
+      break;
+    default:
+      break;
+  }
+  HWSTAR_CHECK(false);
+}
+
+/// Recursive erase; returns the (possibly replaced or null) subtree root.
+Node* EraseRec(Node* n, uint64_t key, uint32_t depth, bool* erased) {
+  if (n == nullptr) return nullptr;
+
+  if (n->kind == Node::kLeaf) {
+    if (n->key != key) return n;
+    delete n;
+    *erased = true;
+    return nullptr;
+  }
+
+  if (PrefixMatchLen(n, key, depth) < n->prefix_len) return n;
+  depth += n->prefix_len;
+  const uint8_t b = KeyByte(key, depth);
+  Node* child = FindChild(n, b);
+  if (child == nullptr) return n;
+
+  Node* new_child = EraseRec(child, key, depth + 1, erased);
+  if (new_child == child) return n;
+  if (new_child != nullptr) {
+    PatchChild(n, b, new_child);
+    return n;
+  }
+
+  RemoveChild(n, b);
+  if (n->count == 0) {
+    // Only reachable transiently (inner nodes are created with >= 2
+    // children); handled for safety.
+    delete n;
+    return nullptr;
+  }
+  if (n->count > 1) return n;
+
+  // Path compression in reverse: fold this node's prefix and the edge
+  // byte into the lone surviving child. A leaf carries its full key, so
+  // it absorbs the collapse with no prefix surgery.
+  uint8_t edge = 0;
+  Node* only = nullptr;
+  OnlyChild(n, &edge, &only);
+  if (only->kind != Node::kLeaf) {
+    HWSTAR_CHECK(static_cast<uint32_t>(n->prefix_len) + 1 + only->prefix_len <=
+                 sizeof(only->prefix));
+    uint8_t merged[sizeof(only->prefix)];
+    std::memcpy(merged, n->prefix, n->prefix_len);
+    merged[n->prefix_len] = edge;
+    std::memcpy(merged + n->prefix_len + 1, only->prefix, only->prefix_len);
+    only->prefix_len =
+        static_cast<uint8_t>(n->prefix_len + 1 + only->prefix_len);
+    std::memcpy(only->prefix, merged, only->prefix_len);
+  }
+  delete n;
+  return only;
+}
+
 /// In-order traversal collecting values of keys in [lo, hi]. `partial`
 /// holds the key bytes fixed so far (above `depth` bytes are decided), so
 /// whole subtrees outside the range are pruned.
@@ -322,6 +491,63 @@ void ScanRec(const Node* n, uint32_t depth, uint64_t partial, uint64_t lo,
     const uint64_t child_partial =
         partial | (static_cast<uint64_t>(b) << (56 - 8 * depth));
     ScanRec(child, depth + 1, child_partial, lo, hi, out, count);
+  };
+  switch (n->kind) {
+    case Node::kN4:
+      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys4[i], n->children4[i]);
+      break;
+    case Node::kN16:
+      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys16[i], n->children16[i]);
+      break;
+    case Node::kN48:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->child_index48[b] != 0) {
+          visit(static_cast<uint8_t>(b), n->children48[n->child_index48[b] - 1]);
+        }
+      }
+      break;
+    case Node::kN256:
+      for (uint32_t b = 0; b < 256; ++b) {
+        if (n->children256[b] != nullptr) {
+          visit(static_cast<uint8_t>(b), n->children256[b]);
+        }
+      }
+      break;
+    default:
+      break;
+  }
+}
+
+/// ScanRec's sibling for (key, value) pairs; same subtree pruning. Leaves
+/// carry their full key, so no partial-key reconstruction is needed at
+/// the emit point — `partial` exists only to prune.
+void ScanEntriesRec(const Node* n, uint32_t depth, uint64_t partial,
+                    uint64_t lo, uint64_t hi,
+                    std::vector<std::pair<uint64_t, uint64_t>>* out,
+                    uint64_t* count) {
+  if (n == nullptr) return;
+  if (n->kind == Node::kLeaf) {
+    if (n->key >= lo && n->key <= hi) {
+      out->emplace_back(n->key, n->value);
+      ++*count;
+    }
+    return;
+  }
+  for (uint32_t i = 0; i < n->prefix_len; ++i) {
+    partial |= static_cast<uint64_t>(n->prefix[i]) << (56 - 8 * (depth + i));
+  }
+  depth += n->prefix_len;
+  const uint32_t free_bits = 64 - 8 * depth;
+  const uint64_t subtree_min = partial;
+  const uint64_t subtree_max =
+      free_bits >= 64 ? ~uint64_t{0}
+                      : partial | ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
+  if (subtree_max < lo || subtree_min > hi) return;
+
+  auto visit = [&](uint8_t b, const Node* child) {
+    const uint64_t child_partial =
+        partial | (static_cast<uint64_t>(b) << (56 - 8 * depth));
+    ScanEntriesRec(child, depth + 1, child_partial, lo, hi, out, count);
   };
   switch (n->kind) {
     case Node::kN4:
@@ -423,10 +649,25 @@ bool AdaptiveRadixTree::Find(uint64_t key, uint64_t* value) const {
   return false;
 }
 
+bool AdaptiveRadixTree::Erase(uint64_t key) {
+  bool erased = false;
+  root_ = EraseRec(root_, key, 0, &erased);
+  if (erased) --size_;
+  return erased;
+}
+
 uint64_t AdaptiveRadixTree::RangeScan(uint64_t lo, uint64_t hi,
                                       std::vector<uint64_t>* out) const {
   uint64_t count = 0;
   ScanRec(root_, 0, 0, lo, hi, out, &count);
+  return count;
+}
+
+uint64_t AdaptiveRadixTree::RangeScanEntries(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  uint64_t count = 0;
+  ScanEntriesRec(root_, 0, 0, lo, hi, out, &count);
   return count;
 }
 

@@ -2,6 +2,7 @@
 #define HWSTAR_OPS_ART_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 namespace hwstar::ops {
@@ -31,10 +32,24 @@ class AdaptiveRadixTree {
   /// Point lookup; false when absent.
   bool Find(uint64_t key, uint64_t* value) const;
 
+  /// Removes the key; false when absent. Freed paths collapse: an inner
+  /// node left with a single child merges into that child (re-extending
+  /// the compressed path), so a fully erased tree returns to its empty
+  /// state. Node layouts never shrink kinds (an N256 stays an N256) —
+  /// adaptivity is paid on growth, where it is amortized by inserts.
+  bool Erase(uint64_t key);
+
   /// Appends values of all keys in [lo, hi] in ascending key order;
   /// returns the count.
   uint64_t RangeScan(uint64_t lo, uint64_t hi,
                      std::vector<uint64_t>* out) const;
+
+  /// Appends (key, value) pairs for all keys in [lo, hi] in ascending key
+  /// order; returns the count. Feeds checkpointing, which must persist
+  /// keys, not just values.
+  uint64_t RangeScanEntries(uint64_t lo, uint64_t hi,
+                            std::vector<std::pair<uint64_t, uint64_t>>* out)
+      const;
 
   uint64_t size() const { return size_; }
 

@@ -176,6 +176,21 @@ bool BPlusTree::Find(uint64_t key, uint64_t* value) const {
   return false;
 }
 
+bool BPlusTree::Erase(uint64_t key) {
+  // Mutable descent (FindLeaf is const-only).
+  Node* n = root_;
+  while (!n->leaf) {
+    n = n->children[UpperBoundIdx(n->keys, key)];
+  }
+  const uint32_t pos = LowerBoundIdx(n->keys, key);
+  if (pos >= n->count || n->keys[pos] != key) return false;
+  n->keys.erase(n->keys.begin() + pos);
+  n->values.erase(n->values.begin() + pos);
+  --n->count;
+  --size_;
+  return true;
+}
+
 uint64_t BPlusTree::RangeScan(uint64_t lo, uint64_t hi,
                               std::vector<uint64_t>* out) const {
   uint64_t count = 0;
@@ -185,6 +200,24 @@ uint64_t BPlusTree::RangeScan(uint64_t lo, uint64_t hi,
     for (; pos < leaf->count; ++pos) {
       if (leaf->keys[pos] > hi) return count;
       out->push_back(leaf->values[pos]);
+      ++count;
+    }
+    leaf = leaf->next;
+    pos = 0;
+  }
+  return count;
+}
+
+uint64_t BPlusTree::RangeScanEntries(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  uint64_t count = 0;
+  const Node* leaf = FindLeaf(lo);
+  uint32_t pos = LowerBoundIdx(leaf->keys, lo);
+  while (leaf != nullptr) {
+    for (; pos < leaf->count; ++pos) {
+      if (leaf->keys[pos] > hi) return count;
+      out->emplace_back(leaf->keys[pos], leaf->values[pos]);
       ++count;
     }
     leaf = leaf->next;

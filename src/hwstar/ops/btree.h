@@ -3,6 +3,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hwstar/common/status.h"
@@ -32,9 +33,23 @@ class BPlusTree {
   /// Point lookup; false when absent.
   bool Find(uint64_t key, uint64_t* value) const;
 
+  /// Removes the key from its leaf; false when absent. Leaves are not
+  /// rebalanced or merged (deletes are rare in the target workloads and
+  /// underfull leaves stay valid search/scan targets); inner separator
+  /// keys may outlive the keys they were copied from, which is harmless —
+  /// separators only route descent.
+  bool Erase(uint64_t key);
+
   /// Appends all values with key in [lo, hi] to out; returns the count.
   uint64_t RangeScan(uint64_t lo, uint64_t hi,
                      std::vector<uint64_t>* out) const;
+
+  /// Appends (key, value) pairs with key in [lo, hi] in ascending key
+  /// order; returns the count. Feeds checkpointing, which must persist
+  /// keys, not just values.
+  uint64_t RangeScanEntries(uint64_t lo, uint64_t hi,
+                            std::vector<std::pair<uint64_t, uint64_t>>* out)
+      const;
 
   /// Bulk-loads from key-sorted pairs into a fresh tree (leaves packed to
   /// ~100% fill). Keys must be strictly increasing.

@@ -15,14 +15,18 @@ Batcher::Batcher(BatcherOptions options) : options_(options) {
 
 std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
   std::vector<Batch> batches;
-  // Point-gets keyed by shard; aggregates keyed by target store.
+  // Point-gets and puts keyed by shard; aggregates keyed by target store.
   std::map<uint32_t, std::vector<TicketPtr>> gets_by_shard;
+  std::map<uint32_t, std::vector<TicketPtr>> puts_by_shard;
   std::map<const storage::ColumnStore*, std::vector<TicketPtr>> aggs_by_store;
 
   for (auto& t : tickets) {
     switch (t->request.type) {
       case RequestType::kPointGet:
         gets_by_shard[ShardOf(t->request.get.key)].push_back(std::move(t));
+        break;
+      case RequestType::kPut:
+        puts_by_shard[ShardOf(t->request.put.key)].push_back(std::move(t));
         break;
       case RequestType::kAggregate:
         aggs_by_store[t->request.agg.store].push_back(std::move(t));
@@ -51,6 +55,29 @@ std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
           std::min(group.size(), begin + options_.max_batch);
       Batch b;
       b.type = RequestType::kPointGet;
+      b.shard = shard;
+      b.tickets.reserve(end - begin);
+      for (size_t i = begin; i < end; ++i) {
+        b.tickets.push_back(std::move(group[i]));
+      }
+      batches.push_back(std::move(b));
+    }
+  }
+
+  for (auto& [shard, group] : puts_by_shard) {
+    // Sorted like gets (locality + one WAL shard mutex per run), but
+    // STABLE: two puts to the same key must apply in submission order, or
+    // batching would change which value wins.
+    std::stable_sort(group.begin(), group.end(),
+                     [](const TicketPtr& a, const TicketPtr& b) {
+                       return a->request.put.key < b->request.put.key;
+                     });
+    for (size_t begin = 0; begin < group.size();
+         begin += options_.max_batch) {
+      const size_t end =
+          std::min(group.size(), begin + options_.max_batch);
+      Batch b;
+      b.type = RequestType::kPut;
       b.shard = shard;
       b.tickets.reserve(end - begin);
       for (size_t i = begin; i < end; ++i) {

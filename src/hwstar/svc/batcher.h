@@ -22,7 +22,7 @@ struct BatcherOptions {
 /// acquisition, cache warm-up) across the group.
 struct Batch {
   RequestType type = RequestType::kPointGet;
-  uint32_t shard = 0;  ///< kv shard for point-get batches
+  uint32_t shard = 0;  ///< kv shard for point-get / put batches
   std::vector<TicketPtr> tickets;
 };
 
@@ -33,6 +33,9 @@ struct Batch {
 ///
 ///  - Point-gets group per kv shard and are sorted by key, so one
 ///    MultiGet serves the batch under one latch with index locality.
+///  - Puts group per kv shard and are STABLE-sorted by key (same-key puts
+///    keep submission order), so a durable service commits the batch with
+///    one WAL group-commit wait instead of one sync per put.
 ///  - Aggregates group per target ColumnStore: consecutive evaluation
 ///    reuses the store's columns while they are cache-warm.
 ///  - Scans and joins stay singletons (already coarse-grained work).

@@ -14,6 +14,8 @@ const char* PhaseName(Phase phase) {
       return "exec";
     case Phase::kTotal:
       return "total";
+    case Phase::kWal:
+      return "wal_sync";
   }
   return "unknown";
 }
@@ -27,6 +29,9 @@ void LatencyRecorder::Record(const LatencyBreakdown& breakdown) {
   samples_[static_cast<uint8_t>(Phase::kExec)].push_back(breakdown.exec_nanos);
   samples_[static_cast<uint8_t>(Phase::kTotal)].push_back(
       breakdown.total_nanos);
+  if (breakdown.wal_nanos != 0) {
+    samples_[static_cast<uint8_t>(Phase::kWal)].push_back(breakdown.wal_nanos);
+  }
 }
 
 LatencySnapshot LatencyRecorder::Snapshot(Phase phase) const {
@@ -75,6 +80,7 @@ perf::ReportTable MetricsReport(const std::string& title,
   add("admit_wait", metrics.admit_wait);
   add("batch_wait", metrics.batch_wait);
   add("exec", metrics.exec);
+  add("wal_sync", metrics.wal);
   add("total", metrics.total);
   table.AddRow({"submitted", perf::ReportTable::Num(metrics.admission.submitted),
                 "", "", "", "", ""});

@@ -28,6 +28,10 @@ enum class Phase : uint8_t {
   kBatchWait = 1,
   kExec = 2,
   kTotal = 3,
+  /// WAL commit wait (durable requests only; samples are recorded just
+  /// for requests that actually waited, so the percentiles describe the
+  /// group-commit path, not a sea of zeros from read traffic).
+  kWal = 4,
 };
 
 const char* PhaseName(Phase phase);
@@ -44,7 +48,7 @@ class LatencyRecorder {
 
  private:
   mutable std::mutex mutex_;
-  std::vector<uint64_t> samples_[4];  ///< indexed by Phase
+  std::vector<uint64_t> samples_[5];  ///< indexed by Phase
 };
 
 /// A full point-in-time view of the service: admission outcomes, batch
@@ -58,6 +62,7 @@ struct ServiceMetrics {
   LatencySnapshot admit_wait;
   LatencySnapshot batch_wait;
   LatencySnapshot exec;
+  LatencySnapshot wal;  ///< durable requests' group-commit wait
   LatencySnapshot total;
 
   double mean_batch_size() const {

@@ -15,6 +15,8 @@ const char* RequestTypeName(RequestType type) {
       return "join";
     case RequestType::kAggregate:
       return "aggregate";
+    case RequestType::kPut:
+      return "put";
   }
   return "unknown";
 }
@@ -25,6 +27,17 @@ Request Request::PointGet(uint64_t key, uint32_t tenant, Priority priority) {
   r.tenant = tenant;
   r.priority = priority;
   r.get.key = key;
+  return r;
+}
+
+Request Request::Put(uint64_t key, uint64_t value, uint32_t tenant,
+                     Priority priority) {
+  Request r;
+  r.type = RequestType::kPut;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.put.key = key;
+  r.put.value = value;
   return r;
 }
 
@@ -73,6 +86,7 @@ uint64_t EstimatedRequestBytes(const Request& request) {
   constexpr uint64_t kEnvelope = 256;
   switch (request.type) {
     case RequestType::kPointGet:
+    case RequestType::kPut:
       return kEnvelope;
     case RequestType::kScan: {
       // 8 bytes per result row; an unlimited scan is charged as if it

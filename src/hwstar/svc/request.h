@@ -11,8 +11,8 @@
 
 namespace hwstar::svc {
 
-/// The four request shapes the service front end accepts: the OLTP point
-/// ops and the analytic queries the underlying library already executes,
+/// The request shapes the service front end accepts: the OLTP point ops
+/// and the analytic queries the underlying library already executes,
 /// wrapped in one envelope so admission, batching and SLO accounting can
 /// treat them uniformly.
 enum class RequestType : uint8_t {
@@ -20,6 +20,7 @@ enum class RequestType : uint8_t {
   kScan = 1,       ///< KV ordered range scan
   kJoin = 2,       ///< engine::ExecuteJoin over two column stores
   kAggregate = 3,  ///< filtered SUM/COUNT over one column store
+  kPut = 4,        ///< KV upsert (durable when the service has a WAL)
 };
 
 const char* RequestTypeName(RequestType type);
@@ -35,6 +36,11 @@ inline constexpr uint32_t kNumPriorities = 3;
 
 struct PointGetArgs {
   uint64_t key = 0;
+};
+
+struct PutArgs {
+  uint64_t key = 0;
+  uint64_t value = 0;
 };
 
 struct ScanArgs {
@@ -70,12 +76,15 @@ struct Request {
   uint64_t deadline_nanos = 0;
 
   PointGetArgs get;
+  PutArgs put;
   ScanArgs scan;
   JoinArgs join;
   AggregateArgs agg;
 
   static Request PointGet(uint64_t key, uint32_t tenant = 0,
                           Priority priority = Priority::kNormal);
+  static Request Put(uint64_t key, uint64_t value, uint32_t tenant = 0,
+                     Priority priority = Priority::kNormal);
   static Request Scan(uint64_t lo, uint64_t hi, uint64_t limit = 0,
                       uint32_t tenant = 0,
                       Priority priority = Priority::kNormal);
@@ -94,6 +103,9 @@ struct LatencyBreakdown {
   uint64_t admit_wait_nanos = 0;  ///< submit → popped by the dispatcher
   uint64_t batch_wait_nanos = 0;  ///< popped → batch execution start
   uint64_t exec_nanos = 0;        ///< execution (shared across a batch)
+  /// Time blocked on the WAL commit (group-commit wait; part of exec).
+  /// Zero for non-durable requests.
+  uint64_t wal_nanos = 0;
   uint64_t total_nanos = 0;       ///< submit → completion
 };
 

@@ -15,6 +15,10 @@
 #include "hwstar/svc/overload_policy.h"
 #include "hwstar/svc/request.h"
 
+namespace hwstar::dur {
+class DurableKvStore;
+}  // namespace hwstar::dur
+
 namespace hwstar::svc {
 
 struct ServiceOptions {
@@ -50,10 +54,19 @@ struct ServiceOptions {
 /// Batcher → ThreadPool workers → KvStore / engine::ExecuteJoin.
 class Service {
  public:
-  /// `kv` backs point-get and scan requests (may be null when only
+  /// `kv` backs point-get, put and scan requests (may be null when only
   /// join/aggregate requests are served; those carry their own stores).
-  /// Borrowed; must outlive the service.
+  /// Puts through this constructor are volatile (no WAL). Borrowed; must
+  /// outlive the service.
   Service(ServiceOptions options, kv::KvStore* kv);
+
+  /// Durable variant: reads go straight to `durable->kv()`; puts flow
+  /// through the WAL's group commit, so a put's future resolving OK means
+  /// the write survives a crash. The put batches the svc batcher builds
+  /// (same-shard, key-sorted) commit with one WAL wait per batch — the
+  /// service's batching and the log's group commit compound. Borrowed;
+  /// must outlive the service.
+  Service(ServiceOptions options, dur::DurableKvStore* durable);
 
   /// Drains in-flight work, then stops dispatcher and workers.
   ~Service();
@@ -93,6 +106,7 @@ class Service {
 
   ServiceOptions options_;
   kv::KvStore* kv_;
+  dur::DurableKvStore* durable_ = nullptr;  ///< null = volatile service
   std::shared_ptr<const OverloadPolicy> policy_;
   AdmissionQueue queue_;
   Batcher batcher_;

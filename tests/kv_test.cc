@@ -32,6 +32,42 @@ TEST(KvStoreTest, OverwriteKeepsSize) {
   EXPECT_EQ(store.Get(7).value(), 2u);
 }
 
+TEST(KvStoreTest, DeleteBothIndexKinds) {
+  for (IndexKind kind : {IndexKind::kArt, IndexKind::kBTree}) {
+    KvOptions opts;
+    opts.index = kind;
+    opts.shards = 2;
+    KvStore store(opts);
+    for (uint64_t k = 0; k < 100; ++k) store.Put(k << 57, k);
+    EXPECT_TRUE(store.Delete(3ull << 57));
+    EXPECT_FALSE(store.Delete(3ull << 57));  // already gone
+    EXPECT_FALSE(store.Delete(12345));       // never existed
+    EXPECT_EQ(store.size(), 99u);
+    EXPECT_EQ(store.Get(3ull << 57).status().code(), StatusCode::kNotFound);
+    EXPECT_TRUE(store.Get(4ull << 57).ok());
+    EXPECT_EQ(store.stats().deletes, 1u);  // only the successful erase
+    // Deleted keys vanish from scans too (true erase, not a sentinel).
+    std::vector<uint64_t> out;
+    EXPECT_EQ(store.RangeScan(0, ~uint64_t{0}, &out), 99u);
+  }
+}
+
+TEST(KvStoreTest, RangeScanEntriesOrderedPairsAcrossShards) {
+  KvOptions opts;
+  opts.shards = 4;
+  KvStore store(opts);
+  for (uint64_t i = 0; i < 64; ++i) store.Put(i << 58 | i, i + 1);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  EXPECT_EQ(store.RangeScanEntries(0, ~uint64_t{0}, &entries), 64u);
+  ASSERT_EQ(entries.size(), 64u);
+  for (size_t i = 1; i < entries.size(); ++i) {
+    EXPECT_LT(entries[i - 1].first, entries[i].first);
+  }
+  for (const auto& [key, value] : entries) {
+    EXPECT_EQ(store.Get(key).value(), value);
+  }
+}
+
 TEST(KvStoreTest, StatsCount) {
   KvStore store;
   store.Put(1, 1);

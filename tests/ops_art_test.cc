@@ -124,6 +124,73 @@ TEST(ArtTest, MemoryBytesNonZero) {
   EXPECT_GT(art.MemoryBytes(), 1000u * 8);
 }
 
+TEST(ArtTest, EraseBasic) {
+  AdaptiveRadixTree art;
+  art.Insert(1, 10);
+  art.Insert(2, 20);
+  EXPECT_TRUE(art.Erase(1));
+  EXPECT_FALSE(art.Erase(1));  // already gone
+  EXPECT_FALSE(art.Erase(99));
+  uint64_t v;
+  EXPECT_FALSE(art.Find(1, &v));
+  EXPECT_TRUE(art.Find(2, &v));
+  EXPECT_EQ(art.size(), 1u);
+  EXPECT_TRUE(art.Erase(2));
+  EXPECT_EQ(art.size(), 0u);
+  art.Insert(1, 11);  // reusable after emptying
+  EXPECT_TRUE(art.Find(1, &v));
+  EXPECT_EQ(v, 11u);
+}
+
+TEST(ArtTest, EraseCollapsesAcrossNodeKinds) {
+  // Dense low bytes grow nodes through N4/N16/N48/N256; erasing back down
+  // exercises every RemoveChild shape and the single-child collapse.
+  AdaptiveRadixTree art;
+  for (uint64_t k = 0; k < 300; ++k) art.Insert(k, k);
+  for (uint64_t k = 0; k < 300; k += 2) EXPECT_TRUE(art.Erase(k));
+  EXPECT_EQ(art.size(), 150u);
+  uint64_t v;
+  for (uint64_t k = 0; k < 300; ++k) {
+    EXPECT_EQ(art.Find(k, &v), k % 2 == 1) << k;
+    if (k % 2 == 1) EXPECT_EQ(v, k);
+  }
+  std::vector<uint64_t> out;
+  EXPECT_EQ(art.RangeScan(0, 300, &out), 150u);
+}
+
+TEST(ArtTest, RangeScanEntriesMatchesScan) {
+  AdaptiveRadixTree art;
+  for (uint64_t k = 0; k < 64; ++k) art.Insert(k << 40, k);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  EXPECT_EQ(art.RangeScanEntries(0, ~uint64_t{0}, &entries), 64u);
+  for (uint64_t k = 0; k < 64; ++k) {
+    EXPECT_EQ(entries[k].first, k << 40);
+    EXPECT_EQ(entries[k].second, k);
+  }
+}
+
+TEST(ArtTest, RandomInsertEraseAgainstReference) {
+  hwstar::Xoshiro256 rng(2024);
+  AdaptiveRadixTree art;
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t i = 0; i < 60000; ++i) {
+    const uint64_t k = rng.NextBounded(1 << 12);
+    if (rng.NextBounded(3) == 0) {
+      EXPECT_EQ(art.Erase(k), ref.erase(k) == 1) << "op " << i;
+    } else {
+      art.Insert(k, i);
+      ref[k] = i;
+    }
+  }
+  EXPECT_EQ(art.size(), ref.size());
+  uint64_t v;
+  for (uint64_t k = 0; k < (1 << 12); ++k) {
+    auto it = ref.find(k);
+    EXPECT_EQ(art.Find(k, &v), it != ref.end()) << k;
+    if (it != ref.end()) EXPECT_EQ(v, it->second);
+  }
+}
+
 /// Property: ART agrees with std::map across key distributions.
 class ArtEquivalence
     : public ::testing::TestWithParam<std::tuple<uint64_t, uint64_t>> {};

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <map>
 
 #include "hwstar/common/random.h"
 #include "hwstar/ops/btree.h"
@@ -153,6 +154,63 @@ TEST(BPlusTreeTest, MoveSemantics) {
   uint64_t v;
   EXPECT_TRUE(b.Find(1, &v));
   EXPECT_EQ(b.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseBasic) {
+  BPlusTree tree(8);
+  tree.Insert(1, 10);
+  tree.Insert(2, 20);
+  EXPECT_TRUE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(1));
+  EXPECT_FALSE(tree.Erase(99));
+  uint64_t v;
+  EXPECT_FALSE(tree.Find(1, &v));
+  EXPECT_TRUE(tree.Find(2, &v));
+  EXPECT_EQ(tree.size(), 1u);
+}
+
+TEST(BPlusTreeTest, EraseKeepsScanOrderAndLeafChain) {
+  BPlusTree tree(8);  // small fanout: erases leave underfull leaves
+  for (uint64_t k = 0; k < 500; ++k) tree.Insert(k, k * 2);
+  for (uint64_t k = 0; k < 500; k += 3) EXPECT_TRUE(tree.Erase(k));
+  std::vector<uint64_t> got;
+  tree.RangeScan(0, 500, &got);
+  std::vector<uint64_t> want;
+  for (uint64_t k = 0; k < 500; ++k) {
+    if (k % 3 != 0) want.push_back(k * 2);
+  }
+  EXPECT_EQ(got, want);
+}
+
+TEST(BPlusTreeTest, RangeScanEntriesMatchesScan) {
+  BPlusTree tree(16);
+  for (uint64_t k = 0; k < 100; ++k) tree.Insert(k * 7, k);
+  std::vector<std::pair<uint64_t, uint64_t>> entries;
+  EXPECT_EQ(tree.RangeScanEntries(14, 70, &entries), 9u);
+  EXPECT_EQ(entries.front().first, 14u);
+  EXPECT_EQ(entries.back().first, 70u);
+}
+
+TEST(BPlusTreeTest, RandomInsertEraseAgainstReference) {
+  hwstar::Xoshiro256 rng(77);
+  BPlusTree tree(8);
+  std::map<uint64_t, uint64_t> ref;
+  for (uint64_t i = 0; i < 60000; ++i) {
+    const uint64_t k = rng.NextBounded(1 << 12);
+    if (rng.NextBounded(3) == 0) {
+      EXPECT_EQ(tree.Erase(k), ref.erase(k) == 1) << "op " << i;
+    } else {
+      tree.Insert(k, i);
+      ref[k] = i;
+    }
+  }
+  EXPECT_EQ(tree.size(), ref.size());
+  uint64_t v;
+  for (uint64_t k = 0; k < (1 << 12); ++k) {
+    auto it = ref.find(k);
+    EXPECT_EQ(tree.Find(k, &v), it != ref.end()) << k;
+    if (it != ref.end()) EXPECT_EQ(v, it->second);
+  }
 }
 
 /// Property: tree lookups agree with binary search over the sorted keys.
