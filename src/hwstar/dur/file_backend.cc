@@ -31,6 +31,24 @@ Status ErrnoStatus(const char* op, const std::string& path) {
                          "': " + std::strerror(errno));
 }
 
+/// fsyncs the directory containing `path_in_dir`. Creating, renaming, or
+/// unlinking a file only mutates the directory entry in memory; until the
+/// directory itself is synced, a crash can lose or reorder those entries
+/// even though the file *contents* were fdatasync'd — the standard WAL
+/// discipline (LevelDB/RocksDB/SQLite all do this).
+Status SyncDir(const std::string& path_in_dir) {
+  namespace fs = std::filesystem;
+  const fs::path p(path_in_dir);
+  const std::string dir =
+      p.has_parent_path() ? p.parent_path().string() : std::string(".");
+  const int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+  if (fd < 0) return ErrnoStatus("open(dir)", dir);
+  const int rc = ::fsync(fd);
+  ::close(fd);
+  if (rc != 0) return ErrnoStatus("fsync(dir)", dir);
+  return Status::OK();
+}
+
 class PosixWritableFile : public WritableFile {
  public:
   PosixWritableFile(int fd, std::string path, uint64_t size)
@@ -91,12 +109,22 @@ class PosixWritableFile : public WritableFile {
 
 Result<std::unique_ptr<WritableFile>> PosixFileBackend::OpenForAppend(
     const std::string& path) {
+  const bool existed = ::access(path.c_str(), F_OK) == 0;
   const int fd = ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND, 0644);
   if (fd < 0) return ErrnoStatus("open", path);
   const off_t size = ::lseek(fd, 0, SEEK_END);
   if (size < 0) {
     ::close(fd);
     return ErrnoStatus("lseek", path);
+  }
+  if (!existed) {
+    // A new segment's directory entry must be durable before any record
+    // in it can be acked, or the whole file vanishes on crash.
+    const Status st = SyncDir(path);
+    if (!st.ok()) {
+      ::close(fd);
+      return st;
+    }
   }
   return std::unique_ptr<WritableFile>(
       new PosixWritableFile(fd, path, static_cast<uint64_t>(size)));
@@ -129,14 +157,18 @@ Status PosixFileBackend::Rename(const std::string& from,
   if (::rename(from.c_str(), to.c_str()) != 0) {
     return ErrnoStatus("rename", from);
   }
-  return Status::OK();
+  // The checkpoint-install rename is only atomic-on-crash once the
+  // directory is synced; otherwise old segments could be durably gone
+  // while the new checkpoint's entry is not.
+  return SyncDir(to);
 }
 
 Status PosixFileBackend::Remove(const std::string& path) {
-  if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+  if (::unlink(path.c_str()) != 0) {
+    if (errno == ENOENT) return Status::OK();
     return ErrnoStatus("unlink", path);
   }
-  return Status::OK();
+  return SyncDir(path);
 }
 
 bool PosixFileBackend::Exists(const std::string& path) {
@@ -157,8 +189,12 @@ Result<std::vector<std::string>> PosixFileBackend::List(
       out.push_back((dir / name).string());
     }
   }
-  if (ec && !out.empty()) {
-    return Status::IoError("directory iteration failed: " + ec.message());
+  // A missing directory is the legitimate fresh-start case; any other
+  // error (permissions, I/O) must not masquerade as an empty store —
+  // Recover() would silently treat it as "no WAL".
+  if (ec && ec != std::errc::no_such_file_or_directory) {
+    return Status::IoError("directory iteration failed for '" + dir.string() +
+                           "': " + ec.message());
   }
   std::sort(out.begin(), out.end());
   return out;

@@ -167,7 +167,9 @@ Status LogWriter::FlushBuffer(Buffer* buf) {
 void LogWriter::SyncerLoop() {
   std::unique_lock<std::mutex> lock(mutex_);
   for (;;) {
-    work_cv_.wait(lock, [&] { return stop_ || active_.used > 0; });
+    work_cv_.wait(lock, [&] {
+      return stop_ || (!rotate_pending_ && active_.used > 0);
+    });
     if (active_.used == 0) break;  // stop_ and drained
     if (!poisoned_.ok()) break;
 
@@ -190,6 +192,10 @@ void LogWriter::SyncerLoop() {
                    active_.used * 2 >= options_.buffer_bytes;
           });
       if (!poisoned_.ok()) break;
+      // The linger released the lock, so a Rotate() may have sealed and
+      // flushed active_ itself in the meantime — re-check before
+      // swapping (swapping an empty buffer would regress durable_lsn_).
+      if (rotate_pending_ || active_.used == 0) continue;
     }
 
     std::swap(active_, syncing_);
@@ -221,18 +227,51 @@ void LogWriter::SyncerLoop() {
 
 Status LogWriter::Rotate() {
   std::unique_lock<std::mutex> lock(mutex_);
+  if (!poisoned_.ok()) return poisoned_;
   if (options_.group_commit) {
-    // Wait for the syncer to drain staged records into this segment.
-    work_cv_.notify_one();
-    durable_cv_.wait(lock, [&] {
-      return !poisoned_.ok() || (active_.used == 0 && !io_in_progress_);
-    });
-    if (!poisoned_.ok()) return poisoned_;
+    // Seal at a captured cut rather than waiting for quiescence: under
+    // sustained append load active_ may never drain, so waiting for
+    // `used == 0` has no forward-progress guarantee. Instead hold off
+    // new syncer flushes (rotate_pending_), wait out the at-most-one
+    // in-flight flush, then flush whatever is staged right here.
+    // Appends arriving after the cut land in the next segment.
+    rotate_pending_ = true;
+    durable_cv_.wait(lock,
+                     [&] { return !poisoned_.ok() || !io_in_progress_; });
+    if (!poisoned_.ok()) {
+      rotate_pending_ = false;
+      work_cv_.notify_all();
+      return poisoned_;
+    }
+    if (active_.used > 0) {
+      std::swap(active_, syncing_);
+      const uint64_t target = syncing_.last_lsn;
+      first_pending_nanos_ = 0;
+      // I/O under mutex_ keeps the syncer and appenders off segment_
+      // for the duration; rotation is rare (checkpoints), so stalling
+      // the staging path briefly is the honest trade.
+      const Status flush = FlushBuffer(&syncing_);
+      syncing_.used = 0;
+      syncing_.records = 0;
+      if (!flush.ok()) {
+        poisoned_ = flush;
+        rotate_pending_ = false;
+        durable_cv_.notify_all();
+        space_cv_.notify_all();
+        work_cv_.notify_all();
+        return flush;
+      }
+      durable_lsn_.store(target);
+      durable_cv_.notify_all();
+      space_cv_.notify_all();
+    }
   }
   const uint64_t sealed_last = next_lsn_.load(kRelaxed) - 1;
   Status st = segment_->Close();
   if (!st.ok()) {
     poisoned_ = st;
+    rotate_pending_ = false;
+    work_cv_.notify_all();
     return st;
   }
   sealed_.emplace_back(segment_index_, sealed_last);
@@ -240,10 +279,15 @@ Status LogWriter::Rotate() {
   auto file = backend_->OpenForAppend(SegmentName(prefix_, segment_index_));
   if (!file.ok()) {
     poisoned_ = file.status();
+    rotate_pending_ = false;
+    work_cv_.notify_all();
     return poisoned_;
   }
   segment_ = std::move(file.value());
   stat_rotations_.fetch_add(1, kRelaxed);
+  rotate_pending_ = false;
+  lock.unlock();
+  work_cv_.notify_all();
   return Status::OK();
 }
 

@@ -156,6 +156,10 @@ class LogWriter {
   Buffer syncing_;
   uint64_t first_pending_nanos_ = 0;  ///< when active_ went 0 -> nonzero
   bool io_in_progress_ = false;
+  /// Rotate() is sealing: the syncer must not start a new flush, so the
+  /// rotation needs only wait out the (single) in-flight one — forward
+  /// progress even under sustained append load.
+  bool rotate_pending_ = false;
   bool stop_ = false;
   Status poisoned_;  ///< first I/O error; OK while healthy
 

@@ -40,10 +40,8 @@ Status ReplayShard(FileBackend* backend, const std::string& shard_prefix,
 
   *next_apply = mark + 1;
   *next_segment = 0;
-  bool stopped = false;
   for (const auto& [index, path] : segments) {
     *next_segment = index + 1;
-    if (stopped) continue;  // still track max index for the reopened writer
     auto raw = backend->ReadFile(path);
     if (!raw.ok()) return raw.status();
     const WalDecodeResult decoded =
@@ -55,9 +53,14 @@ Status ReplayShard(FileBackend* backend, const std::string& shard_prefix,
         continue;
       }
       if (record.lsn != *next_apply) {
-        // A gap means the dense sequence broke mid-segment — nothing past
-        // it was acked, so the usable log ends here.
-        stopped = true;
+        // A gap means the dense sequence broke — records within one
+        // segment are LSN-ordered, so nothing further in THIS segment is
+        // usable. Later segments are still scanned (not skipped): a prior
+        // recovery that stopped at this same gap re-issued the lost LSNs
+        // in a fresh higher-index segment, which resumes exactly at
+        // next_apply — the same resumption rule used after torn tails.
+        // Stale same-timeline segments past the gap only hold larger
+        // LSNs, so this check rejects them record-by-record.
         break;
       }
       switch (record.type) {
@@ -71,10 +74,10 @@ Status ReplayShard(FileBackend* backend, const std::string& shard_prefix,
       ++(*next_apply);
       ++info->records_applied;
     }
-    // A torn tail inside this segment does not by itself end replay: the
+    // A torn tail inside this segment does not end replay either: the
     // next segment may resume the dense sequence (a prior crash+recovery
     // reuses the lost LSNs in a fresh segment). If it does not, the
-    // density check above stops there.
+    // density check above rejects its records.
   }
   return Status::OK();
 }

@@ -72,10 +72,16 @@ std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
                      [](const TicketPtr& a, const TicketPtr& b) {
                        return a->request.put.key < b->request.put.key;
                      });
-    for (size_t begin = 0; begin < group.size();
-         begin += options_.max_batch) {
-      const size_t end =
-          std::min(group.size(), begin + options_.max_batch);
+    for (size_t begin = 0; begin < group.size();) {
+      size_t end = std::min(group.size(), begin + options_.max_batch);
+      // Never split a run of equal keys across batches: batches for the
+      // same shard may execute concurrently on different pool workers, so
+      // a split run could apply the later-submitted put first — exactly
+      // the reordering the stable sort exists to prevent.
+      while (end < group.size() &&
+             group[end]->request.put.key == group[end - 1]->request.put.key) {
+        ++end;
+      }
       Batch b;
       b.type = RequestType::kPut;
       b.shard = shard;
@@ -84,6 +90,7 @@ std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
         b.tickets.push_back(std::move(group[i]));
       }
       batches.push_back(std::move(b));
+      begin = end;
     }
   }
 

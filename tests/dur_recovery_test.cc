@@ -10,7 +10,9 @@
 #include "hwstar/common/random.h"
 #include "hwstar/dur/durable_kv_store.h"
 #include "hwstar/dur/fault_injection.h"
+#include "hwstar/dur/log_writer.h"
 #include "hwstar/dur/recovery.h"
+#include "hwstar/dur/wal_format.h"
 
 namespace hwstar::dur {
 namespace {
@@ -178,6 +180,71 @@ TEST(CrashRecoveryPropertyTest, RandomTracesArePrefixConsistent) {
     const std::string failure = RunTrace(seed);
     ASSERT_EQ(failure, "") << "trace seed " << seed;
   }
+}
+
+void WriteSegment(InMemoryFileBackend* fs, const std::string& shard_prefix,
+                  uint32_t index, const std::vector<WalRecord>& records) {
+  std::string buf;
+  for (const WalRecord& r : records) EncodeWalRecord(r, &buf);
+  auto f = fs->OpenForAppend(LogWriter::SegmentName(shard_prefix, index));
+  ASSERT_TRUE(f.ok());
+  ASSERT_TRUE(f.value()->Append(buf.data(), buf.size()).ok());
+  ASSERT_TRUE(f.value()->Sync(SyncMode::kFsync).ok());
+  ASSERT_TRUE(f.value()->Close().ok());
+}
+
+WalRecord Put(uint64_t lsn, uint64_t key, uint64_t value) {
+  WalRecord r;
+  r.lsn = lsn;
+  r.key = key;
+  r.value = value;
+  return r;
+}
+
+// Regression (double-crash): a sealed segment with a mid-segment LSN gap
+// (a write the device lost) must not hide a later segment in which a
+// prior recovery re-issued the lost LSNs. Recovery #1 stops at the gap
+// and resumes the dense sequence in a fresh higher-index segment; if a
+// second crash follows, recovery #2 must replay that resumption or every
+// op acked since recovery #1 is silently dropped.
+TEST(RecoveryTest, ResumesPastGapInFreshSegment) {
+  InMemoryFileBackend fs;
+  const std::string shard_prefix = ShardLogPrefix("db", 0);
+
+  // Segment 0: LSNs 1..5 survive, 6 was lost, stale 7..8 follow the gap.
+  WriteSegment(&fs, shard_prefix, 0,
+               {Put(1, 1, 10), Put(2, 2, 20), Put(3, 3, 30), Put(4, 4, 40),
+                Put(5, 5, 50), Put(7, 7, 70), Put(8, 8, 80)});
+
+  // Recovery #1 applies 1..5 and stops at the gap.
+  kv::KvOptions kopts;
+  {
+    kv::KvStore store(kopts);
+    auto info = Recover(&fs, "db", 1, &store);
+    ASSERT_TRUE(info.ok()) << info.status();
+    EXPECT_EQ(info.value().records_applied, 5u);
+    EXPECT_EQ(info.value().next_lsn[0], 6u);
+    EXPECT_EQ(info.value().next_segment[0], 1u);
+  }
+
+  // The reopened writer re-issues LSNs 6..8 (fresh acked ops) in segment 1.
+  WriteSegment(&fs, shard_prefix, 1,
+               {Put(6, 106, 6), Put(7, 107, 7), Put(8, 108, 8)});
+
+  // Recovery #2: replay must resume at LSN 6 in segment 1. The stale
+  // post-gap records in segment 0 (keys 7, 8) must still not apply.
+  kv::KvStore store(kopts);
+  auto info = Recover(&fs, "db", 1, &store);
+  ASSERT_TRUE(info.ok()) << info.status();
+  EXPECT_EQ(info.value().records_applied, 8u);
+  EXPECT_EQ(info.value().next_lsn[0], 9u);
+  for (uint64_t lsn = 6; lsn <= 8; ++lsn) {
+    auto got = store.Get(100 + lsn);
+    ASSERT_TRUE(got.ok()) << "re-issued lsn " << lsn << " lost";
+    EXPECT_EQ(got.value(), lsn);
+  }
+  EXPECT_FALSE(store.Get(7).ok());
+  EXPECT_FALSE(store.Get(8).ok());
 }
 
 // Concurrent writers racing the injected crash: every put whose future

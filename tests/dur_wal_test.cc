@@ -217,6 +217,61 @@ TEST(LogWriterTest, RotateAndTruncate) {
   EXPECT_EQ(writer.value()->stats().truncated_segments, 1u);
 }
 
+// Regression: Rotate() must make forward progress while writers keep the
+// staging buffer busy (it seals at a captured cut instead of waiting for
+// the buffer to drain, which under sustained load may never happen). The
+// concatenated segments must still hold one dense, clean LSN sequence.
+TEST(LogWriterTest, RotateMakesProgressUnderSustainedAppends) {
+  InMemoryFileBackend fs;
+  LogWriterOptions opts;
+  opts.fsync_interval_us = 20;
+  auto writer = LogWriter::Open(&fs, "log", opts, 1, 0);
+  ASSERT_TRUE(writer.ok());
+
+  constexpr uint32_t kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> failures{0};
+  std::vector<std::thread> threads;
+  for (uint32_t t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (uint64_t i = 0; !stop.load(); ++i) {
+        const uint64_t key = (static_cast<uint64_t>(t) << 32) | i;
+        if (!writer.value()->AppendDurable(Put(0, key, i)).ok()) {
+          failures.fetch_add(1);
+          break;
+        }
+      }
+    });
+  }
+  constexpr uint64_t kRotations = 8;
+  for (uint64_t r = 0; r < kRotations; ++r) {
+    ASSERT_TRUE(writer.value()->Rotate().ok());
+  }
+  stop.store(true);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0u);
+  EXPECT_EQ(writer.value()->stats().rotations, kRotations);
+
+  const uint64_t total = writer.value()->last_lsn();
+  EXPECT_EQ(writer.value()->durable_lsn(), total);
+
+  // Replaying the segments in order yields LSNs 1..total with no gaps.
+  uint64_t next = 1;
+  for (uint32_t seg = 0; fs.Exists(LogWriter::SegmentName("log", seg));
+       ++seg) {
+    auto data = fs.ReadFile(LogWriter::SegmentName("log", seg));
+    ASSERT_TRUE(data.ok());
+    const WalDecodeResult d =
+        DecodeWalBuffer(data.value().data(), data.value().size());
+    EXPECT_TRUE(d.clean) << "segment " << seg;
+    for (const WalRecord& rec : d.records) {
+      ASSERT_EQ(rec.lsn, next) << "segment " << seg;
+      ++next;
+    }
+  }
+  EXPECT_EQ(next, total + 1);
+}
+
 TEST(CheckpointTest, RoundTrip) {
   InMemoryFileBackend fs;
   CheckpointData data;

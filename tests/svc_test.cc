@@ -223,6 +223,38 @@ TEST(BatcherTest, RespectsMaxBatchAndSingletonTypes) {
   EXPECT_EQ(scans, 2u);
 }
 
+TEST(BatcherTest, NeverSplitsEqualKeyPutRunAcrossBatches) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  opts.kv_shards = 1;
+  Batcher batcher(opts);
+
+  // Sorted put order is [1, 2, 5, 5, 5]. A naive max_batch split would
+  // leave one key-5 put in the first batch and two in the second; batches
+  // for the same shard may run concurrently on different pool workers, so
+  // the later-submitted put could be applied first. The whole equal-key
+  // run must land in one batch, even past max_batch.
+  std::vector<TicketPtr> tickets;
+  tickets.push_back(MakeTicket(Request::Put(5, 50)));
+  tickets.push_back(MakeTicket(Request::Put(2, 20)));
+  tickets.push_back(MakeTicket(Request::Put(5, 51)));
+  tickets.push_back(MakeTicket(Request::Put(1, 10)));
+  tickets.push_back(MakeTicket(Request::Put(5, 52)));
+
+  auto batches = batcher.Group(std::move(tickets));
+  ASSERT_EQ(batches.size(), 2u);
+  ASSERT_EQ(batches[0].tickets.size(), 2u);
+  EXPECT_EQ(batches[0].tickets[0]->request.put.key, 1u);
+  EXPECT_EQ(batches[0].tickets[1]->request.put.key, 2u);
+  ASSERT_EQ(batches[1].tickets.size(), 3u);
+  std::vector<uint64_t> key5_values;
+  for (const auto& t : batches[1].tickets) {
+    EXPECT_EQ(t->request.put.key, 5u);
+    key5_values.push_back(t->request.put.value);
+  }
+  EXPECT_EQ(key5_values, (std::vector<uint64_t>{50, 51, 52}));
+}
+
 // --- Service end to end ---------------------------------------------------
 
 ServiceOptions NoDegradeOptions() {
