@@ -105,8 +105,11 @@ Result<uint64_t> LogWriter::Append(WalRecord record) {
   if (!options_.group_commit) {
     // Per-op commit: this thread does its own write+sync, serialized by
     // mutex_ — the baseline that pays the device's fixed cost per record.
+    const uint64_t io_start = NowNanos();
     Status st = segment_->Append(scratch.data(), scratch.size());
     if (st.ok()) st = segment_->Sync(options_.sync);
+    sync_batch_hist_.Record(1);
+    sync_latency_hist_.Record(NowNanos() - io_start);
     stat_records_.fetch_add(1, kRelaxed);
     stat_bytes_.fetch_add(scratch.size(), kRelaxed);
     stat_groups_.fetch_add(1, kRelaxed);
@@ -157,8 +160,11 @@ Result<uint64_t> LogWriter::AppendDurable(WalRecord record) {
 }
 
 Status LogWriter::FlushBuffer(Buffer* buf) {
+  const uint64_t io_start = NowNanos();
   Status st = segment_->Append(buf->data.get(), buf->used);
   if (st.ok()) st = segment_->Sync(options_.sync);
+  sync_batch_hist_.Record(buf->records);
+  sync_latency_hist_.Record(NowNanos() - io_start);
   stat_bytes_.fetch_add(buf->used, kRelaxed);
   stat_groups_.fetch_add(1, kRelaxed);
   return st;

@@ -14,6 +14,7 @@
 #include "hwstar/dur/file_backend.h"
 #include "hwstar/dur/wal_format.h"
 #include "hwstar/mem/aligned.h"
+#include "hwstar/obs/histogram.h"
 
 namespace hwstar::dur {
 
@@ -122,6 +123,23 @@ class LogWriter {
   const LogWriterOptions& options() const { return options_; }
   LogWriterStats stats() const;
 
+  /// Distribution of records per write+sync round — the group-commit
+  /// batch sizes behind LogWriterStats::mean_group().
+  obs::HistogramSnapshot sync_batch_snapshot() const {
+    return sync_batch_hist_.Snapshot();
+  }
+  /// Distribution of write+sync wall time per round, nanoseconds.
+  obs::HistogramSnapshot sync_latency_snapshot() const {
+    return sync_latency_hist_.Snapshot();
+  }
+  /// The underlying histograms, for registry registration.
+  const obs::Histogram& sync_batch_histogram() const {
+    return sync_batch_hist_;
+  }
+  const obs::Histogram& sync_latency_histogram() const {
+    return sync_latency_hist_;
+  }
+
   /// `<prefix>-<nnnnnn>.wal`, recovery parses the index back out.
   static std::string SegmentName(const std::string& prefix, uint32_t index);
   /// Parses the segment index from a SegmentName path; false if malformed.
@@ -172,6 +190,8 @@ class LogWriter {
   std::atomic<uint64_t> durable_lsn_;
 
   // Stats (relaxed; read by stats()).
+  obs::Histogram sync_batch_hist_;    ///< records per flush group
+  obs::Histogram sync_latency_hist_;  ///< nanos per write+sync round
   std::atomic<uint64_t> stat_records_{0};
   std::atomic<uint64_t> stat_bytes_{0};
   std::atomic<uint64_t> stat_groups_{0};

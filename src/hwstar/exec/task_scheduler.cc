@@ -35,7 +35,8 @@ void TaskScheduler::Submit(Task task, int preferred_worker) {
     target = rr_.fetch_add(1, std::memory_order_relaxed) %
              static_cast<uint32_t>(workers_.size());
   }
-  pending_.fetch_add(1, std::memory_order_acq_rel);
+  queue_depth_gauge_.Set(static_cast<int64_t>(
+      pending_.fetch_add(1, std::memory_order_acq_rel) + 1));
   {
     std::lock_guard<std::mutex> lock(workers_[target]->mutex);
     workers_[target]->deque.push_back(std::move(task));
@@ -76,7 +77,10 @@ bool TaskScheduler::TryRunOne(uint32_t id) {
     }
   }
   task(id);
-  if (pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+  tasks_run_.Inc();
+  const uint64_t before = pending_.fetch_sub(1, std::memory_order_acq_rel);
+  queue_depth_gauge_.Set(static_cast<int64_t>(before - 1));
+  if (before == 1) {
     std::lock_guard<std::mutex> lock(idle_mutex_);
     idle_cv_.notify_all();
   }

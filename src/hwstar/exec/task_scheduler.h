@@ -10,6 +10,8 @@
 #include <thread>
 #include <vector>
 
+#include "hwstar/obs/metric.h"
+
 namespace hwstar::exec {
 
 /// Scheduler statistics: how often work was run locally vs. stolen.
@@ -46,6 +48,18 @@ class TaskScheduler {
   /// Aggregated across workers.
   SchedulerStats stats() const;
 
+  /// Tasks submitted but not yet completed (queued + running).
+  uint64_t queue_depth() const {
+    return pending_.load(std::memory_order_relaxed);
+  }
+
+  /// Tasks workers have finished running (local pops + steals).
+  uint64_t tasks_run() const { return tasks_run_.value(); }
+
+  /// The obs views of the counters above, for registry registration.
+  const obs::Counter& tasks_run_counter() const { return tasks_run_; }
+  const obs::Gauge& queue_depth_gauge() const { return queue_depth_gauge_; }
+
  private:
   struct WorkerState {
     std::deque<Task> deque;
@@ -67,6 +81,8 @@ class TaskScheduler {
   std::mutex idle_mutex_;
   std::condition_variable idle_cv_;
   std::condition_variable work_cv_;
+  obs::Counter tasks_run_;
+  obs::Gauge queue_depth_gauge_;  ///< mirrors pending_, for registries
 };
 
 }  // namespace hwstar::exec

@@ -37,6 +37,7 @@ bool ThreadPool::Submit(Task task) {
       return false;
     }
     queue_.push_back(std::move(task));
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
   }
   cv_task_.notify_one();
   return true;
@@ -48,6 +49,7 @@ bool ThreadPool::TrySubmit(Task task, size_t max_queue_depth) {
     if (shutdown_) return false;
     if (max_queue_depth != 0 && queue_.size() >= max_queue_depth) return false;
     queue_.push_back(std::move(task));
+    queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
   }
   cv_task_.notify_one();
   return true;
@@ -72,9 +74,11 @@ void ThreadPool::WorkerLoop(uint32_t id) {
       if (shutdown_ && queue_.empty()) return;
       task = std::move(queue_.front());
       queue_.pop_front();
+      queue_depth_gauge_.Set(static_cast<int64_t>(queue_.size()));
       ++active_;
     }
     task(id);
+    tasks_run_.Inc();
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --active_;

@@ -9,6 +9,8 @@
 #include <thread>
 #include <vector>
 
+#include "hwstar/obs/metric.h"
+
 namespace hwstar::exec {
 
 /// A fixed-size worker pool with a shared FIFO queue. Tasks receive the
@@ -46,6 +48,13 @@ class ThreadPool {
   /// Tasks queued but not yet claimed by a worker.
   size_t queue_depth() const;
 
+  /// Tasks a worker has finished running.
+  uint64_t tasks_run() const { return tasks_run_.value(); }
+
+  /// The obs views of the counters above, for registry registration.
+  const obs::Counter& tasks_run_counter() const { return tasks_run_; }
+  const obs::Gauge& queue_depth_gauge() const { return queue_depth_gauge_; }
+
   uint32_t num_threads() const { return static_cast<uint32_t>(threads_.size()); }
 
  private:
@@ -58,6 +67,8 @@ class ThreadPool {
   std::condition_variable cv_idle_;
   uint32_t active_ = 0;
   bool shutdown_ = false;
+  obs::Counter tasks_run_;
+  obs::Gauge queue_depth_gauge_;  ///< mirrors queue_.size(), lock-free read
 };
 
 }  // namespace hwstar::exec

@@ -43,6 +43,11 @@
 #include "hwstar/exec/task_scheduler.h"
 #include "hwstar/exec/thread_pool.h"
 
+// Observability: bounded lock-free telemetry.
+#include "hwstar/obs/histogram.h"
+#include "hwstar/obs/metric.h"
+#include "hwstar/obs/registry.h"
+
 // Storage layouts and compression.
 #include "hwstar/storage/column.h"
 #include "hwstar/storage/column_store.h"

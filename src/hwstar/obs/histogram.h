@@ -1,0 +1,146 @@
+#ifndef HWSTAR_OBS_HISTOGRAM_H_
+#define HWSTAR_OBS_HISTOGRAM_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "hwstar/mem/aligned.h"
+
+namespace hwstar::obs {
+
+/// Stable per-thread index used to pick a shard in sharded metrics.
+/// Assigned densely in first-call order, so the first K threads of a
+/// process land on K distinct shards (modulo the shard mask).
+uint32_t ThreadShardIndex();
+
+/// The pinned nearest-rank quantile definition used across the library:
+/// the 0-based index of the q-quantile of n ordered samples is
+/// ceil(q*n) - 1 (clamped to [0, n-1]). For n = 100, q = 0.99 this is
+/// index 98 — the 99th smallest sample, not the max.
+size_t NearestRankIndex(double q, size_t n);
+
+/// Geometry of a log-linear (HDR-style) bucket scheme: values below
+/// 2^sub_bucket_bits get exact unit-width buckets; above that, each
+/// octave [2^e, 2^(e+1)) is split into 2^sub_bucket_bits equal-width
+/// sub-buckets, so bucket width / value <= 2^-sub_bucket_bits everywhere.
+/// Values at or above 2^max_value_bits clamp into the top bucket.
+struct BucketLayout {
+  uint32_t sub_bucket_bits = 6;   ///< 64 sub-buckets/octave -> <=1.6% width
+  uint32_t max_value_bits = 42;   ///< ~4.4e12; ~73 minutes in nanoseconds
+
+  uint32_t num_buckets() const {
+    return (max_value_bits - sub_bucket_bits + 1) << sub_bucket_bits;
+  }
+  uint32_t BucketIndex(uint64_t value) const;
+  /// Inclusive lower bound of bucket `index`.
+  uint64_t BucketLowerBound(uint32_t index) const;
+  uint64_t BucketWidth(uint32_t index) const;
+  /// The value reported for samples in bucket `index`: the bucket
+  /// midpoint, so the reporting error is at most half the bucket width
+  /// (<= 2^-(sub_bucket_bits+1) relative, ~0.8% at the default).
+  uint64_t BucketValue(uint32_t index) const;
+
+  bool operator==(const BucketLayout& o) const {
+    return sub_bucket_bits == o.sub_bucket_bits &&
+           max_value_bits == o.max_value_bits;
+  }
+};
+
+struct HistogramOptions {
+  BucketLayout layout;
+  /// Recording shards; rounded up to a power of two. 0 = auto (enough
+  /// for the machine's hardware threads, capped at 16).
+  uint32_t shards = 0;
+};
+
+/// A mergeable point-in-time view of a Histogram: the merged bucket
+/// counts plus exact sum and max. Quantiles use the pinned nearest-rank
+/// definition resolved to the bucket midpoint, so they are within the
+/// layout's bucket error bound of the exact nearest-rank value.
+class HistogramSnapshot {
+ public:
+  HistogramSnapshot() = default;
+  HistogramSnapshot(BucketLayout layout, std::vector<uint64_t> buckets,
+                    uint64_t sum, uint64_t max);
+
+  uint64_t count() const { return count_; }
+  uint64_t sum() const { return sum_; }
+  uint64_t max() const { return max_; }
+  double mean() const {
+    return count_ == 0
+               ? 0.0
+               : static_cast<double>(sum_) / static_cast<double>(count_);
+  }
+  /// Nearest-rank quantile (see NearestRankIndex), resolved to the bucket
+  /// midpoint. Returns 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  /// Adds `other`'s counts into this snapshot (layouts must match; merging
+  /// into a default-constructed snapshot adopts the other's layout).
+  void Merge(const HistogramSnapshot& other);
+
+  const BucketLayout& layout() const { return layout_; }
+
+ private:
+  BucketLayout layout_;
+  std::vector<uint64_t> buckets_;  ///< empty when count_ == 0
+  uint64_t count_ = 0;
+  uint64_t sum_ = 0;
+  uint64_t max_ = 0;
+};
+
+/// A bounded, lock-free latency/size histogram. Memory is fixed by the
+/// bucket layout and shard count — independent of how many samples are
+/// recorded — and Record is a handful of relaxed atomic bumps on a
+/// per-thread shard: no mutex, no allocation after a shard's first
+/// touch, no false sharing (shard headers are cache-line padded and each
+/// shard's bucket array is a separate cache-line-aligned allocation).
+///
+/// Snapshot() merges the shards off the hot path into a HistogramSnapshot;
+/// concurrent Record calls may or may not be included (each sample is
+/// recorded exactly once, so quiesced totals are exact). Thread-safe.
+class Histogram {
+ public:
+  explicit Histogram(HistogramOptions options = {});
+  ~Histogram();
+
+  Histogram(const Histogram&) = delete;
+  Histogram& operator=(const Histogram&) = delete;
+
+  void Record(uint64_t value);
+
+  HistogramSnapshot Snapshot() const;
+
+  /// Total samples recorded (sum over shards; exact once quiesced).
+  uint64_t count() const;
+
+  /// Bytes currently allocated for counters (headers + the bucket arrays
+  /// of shards that have been touched). Grows only when a new shard sees
+  /// its first sample — never with the sample count.
+  size_t allocated_bytes() const;
+
+  const BucketLayout& layout() const { return options_.layout; }
+  uint32_t shards() const { return shard_mask_ + 1; }
+
+ private:
+  struct alignas(mem::kCacheLineBytes) Shard {
+    /// Lazily allocated [num_buckets] counter array (acquire/release so
+    /// a reader who sees the pointer sees zeroed counters).
+    std::atomic<std::atomic<uint64_t>*> buckets{nullptr};
+    std::atomic<uint64_t> count{0};
+    std::atomic<uint64_t> sum{0};
+    std::atomic<uint64_t> max{0};
+  };
+
+  std::atomic<uint64_t>* TouchShard(Shard* shard);
+
+  HistogramOptions options_;
+  uint32_t shard_mask_;
+  std::unique_ptr<Shard[]> shards_;
+};
+
+}  // namespace hwstar::obs
+
+#endif  // HWSTAR_OBS_HISTOGRAM_H_

@@ -1,0 +1,20 @@
+#include "hwstar/obs/metric.h"
+
+#include <bit>
+#include <thread>
+
+namespace hwstar::obs {
+
+Counter::Counter(uint32_t shards) {
+  if (shards == 0) {
+    const unsigned hc = std::thread::hardware_concurrency();
+    shards = hc == 0 ? 1 : (hc > 16 ? 16 : static_cast<uint32_t>(hc));
+  }
+  if (shards > 1) {
+    shards = uint32_t{1} << (32 - std::countl_zero(shards - 1));
+  }
+  shard_mask_ = shards - 1;
+  shards_ = std::make_unique<Shard[]>(shards);
+}
+
+}  // namespace hwstar::obs

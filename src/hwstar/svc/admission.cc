@@ -13,7 +13,9 @@ Status AdmissionQueue::TryAdmit(TicketPtr& ticket, Priority min_priority) {
     std::lock_guard<std::mutex> lock(mutex_);
     ++stats_.submitted;
     if (closed_) {
-      ++stats_.shed_queue_full;
+      // Not an overload signal: counting this as shed_queue_full would
+      // make a clean shutdown look like queue pressure to operators.
+      ++stats_.shed_shutdown;
       return Status::FailedPrecondition("service shutting down");
     }
     if (req.deadline_nanos != 0 && ticket->submit_nanos > req.deadline_nanos) {
@@ -70,7 +72,12 @@ bool AdmissionQueue::PopBatch(std::vector<TicketPtr>* out, uint32_t max,
       TicketPtr t = std::move(q.front());
       q.pop_front();
       --depth_;
-      --tenant_depth_[t->request.tenant];
+      auto td = tenant_depth_.find(t->request.tenant);
+      if (td != tenant_depth_.end() && --td->second == 0) {
+        // Erase drained tenants: leaving zero-count entries behind grows
+        // the map without bound under tenant churn.
+        tenant_depth_.erase(td);
+      }
       queued_bytes_ -= t->estimated_bytes;
       out->push_back(std::move(t));
     }
@@ -105,6 +112,11 @@ uint32_t AdmissionQueue::tenant_depth(uint32_t tenant) const {
   std::lock_guard<std::mutex> lock(mutex_);
   auto it = tenant_depth_.find(tenant);
   return it == tenant_depth_.end() ? 0 : it->second;
+}
+
+size_t AdmissionQueue::tenant_map_size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return tenant_depth_.size();
 }
 
 AdmissionStats AdmissionQueue::stats() const {

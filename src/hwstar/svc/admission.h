@@ -37,11 +37,12 @@ struct AdmissionStats {
   uint64_t shed_memory = 0;
   uint64_t shed_priority = 0;   ///< below the policy's admitted floor
   uint64_t shed_deadline = 0;   ///< already expired at submit
+  uint64_t shed_shutdown = 0;   ///< submitted after Close(); not overload
   uint64_t expired_in_queue = 0;  ///< expired between admit and execute
 
   uint64_t shed_total() const {
     return shed_queue_full + shed_tenant_quota + shed_memory +
-           shed_priority + shed_deadline + expired_in_queue;
+           shed_priority + shed_deadline + shed_shutdown + expired_in_queue;
   }
 };
 
@@ -91,6 +92,10 @@ class AdmissionQueue {
   uint32_t depth() const;
   uint64_t queued_bytes() const;
   uint32_t tenant_depth(uint32_t tenant) const;
+  /// Tenants with queued requests right now. Bounded by depth(): entries
+  /// are erased when a tenant's last queued request is popped, so tenant
+  /// churn never grows the map without bound.
+  size_t tenant_map_size() const;
   AdmissionStats stats() const;
   const AdmissionOptions& options() const { return options_; }
 

@@ -1,7 +1,5 @@
 #include "hwstar/svc/metrics.h"
 
-#include <algorithm>
-
 namespace hwstar::svc {
 
 const char* PhaseName(Phase phase) {
@@ -21,47 +19,34 @@ const char* PhaseName(Phase phase) {
 }
 
 void LatencyRecorder::Record(const LatencyBreakdown& breakdown) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  samples_[static_cast<uint8_t>(Phase::kAdmitWait)].push_back(
+  histograms_[static_cast<uint8_t>(Phase::kAdmitWait)].Record(
       breakdown.admit_wait_nanos);
-  samples_[static_cast<uint8_t>(Phase::kBatchWait)].push_back(
+  histograms_[static_cast<uint8_t>(Phase::kBatchWait)].Record(
       breakdown.batch_wait_nanos);
-  samples_[static_cast<uint8_t>(Phase::kExec)].push_back(breakdown.exec_nanos);
-  samples_[static_cast<uint8_t>(Phase::kTotal)].push_back(
+  histograms_[static_cast<uint8_t>(Phase::kExec)].Record(breakdown.exec_nanos);
+  histograms_[static_cast<uint8_t>(Phase::kTotal)].Record(
       breakdown.total_nanos);
   if (breakdown.wal_nanos != 0) {
-    samples_[static_cast<uint8_t>(Phase::kWal)].push_back(breakdown.wal_nanos);
+    histograms_[static_cast<uint8_t>(Phase::kWal)].Record(breakdown.wal_nanos);
   }
 }
 
 LatencySnapshot LatencyRecorder::Snapshot(Phase phase) const {
-  std::vector<uint64_t> sorted;
-  {
-    std::lock_guard<std::mutex> lock(mutex_);
-    sorted = samples_[static_cast<uint8_t>(phase)];
-  }
+  const obs::HistogramSnapshot hs =
+      histograms_[static_cast<uint8_t>(phase)].Snapshot();
   LatencySnapshot snap;
-  if (sorted.empty()) return snap;
-  std::sort(sorted.begin(), sorted.end());
-  snap.count = sorted.size();
-  auto at = [&sorted](double q) {
-    size_t idx = static_cast<size_t>(q * static_cast<double>(sorted.size()));
-    if (idx >= sorted.size()) idx = sorted.size() - 1;
-    return sorted[idx];
-  };
-  snap.p50 = at(0.50);
-  snap.p90 = at(0.90);
-  snap.p99 = at(0.99);
-  snap.max = sorted.back();
-  double sum = 0;
-  for (uint64_t s : sorted) sum += static_cast<double>(s);
-  snap.mean = sum / static_cast<double>(sorted.size());
+  if (hs.count() == 0) return snap;
+  snap.count = hs.count();
+  snap.p50 = hs.Quantile(0.50);
+  snap.p90 = hs.Quantile(0.90);
+  snap.p99 = hs.Quantile(0.99);
+  snap.max = hs.max();
+  snap.mean = hs.mean();
   return snap;
 }
 
 uint64_t LatencyRecorder::count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return samples_[static_cast<uint8_t>(Phase::kTotal)].size();
+  return histograms_[static_cast<uint8_t>(Phase::kTotal)].count();
 }
 
 perf::ReportTable MetricsReport(const std::string& title,

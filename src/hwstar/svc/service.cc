@@ -31,7 +31,9 @@ Service::Service(ServiceOptions options, kv::KvStore* kv)
       queue_(options_.admission),
       batcher_(MakeBatcherOptions(options_, kv)),
       pool_(options_.worker_threads),
-      dispatcher_([this] { DispatcherLoop(); }) {}
+      dispatcher_([this] { DispatcherLoop(); }) {
+  RegisterMetrics();
+}
 
 Service::Service(ServiceOptions options, dur::DurableKvStore* durable)
     : Service(std::move(options), durable->kv()) {
@@ -48,6 +50,21 @@ Service::~Service() {
   pool_.Shutdown();
 }
 
+void Service::RegisterMetrics() {
+  for (Phase phase : {Phase::kAdmitWait, Phase::kBatchWait, Phase::kExec,
+                      Phase::kTotal, Phase::kWal}) {
+    registry_.RegisterHistogram(
+        std::string("svc.latency.") + PhaseName(phase),
+        &latencies_.histogram(phase));
+  }
+  registry_.RegisterCounter("svc.completed", &completed_);
+  registry_.RegisterCounter("svc.degraded", &degraded_);
+  registry_.RegisterCounter("svc.batches", &batches_);
+  registry_.RegisterCounter("svc.batched_requests", &batched_requests_);
+  registry_.RegisterCounter("svc.pool.tasks_run", &pool_.tasks_run_counter());
+  registry_.RegisterGauge("svc.pool.queue_depth", &pool_.queue_depth_gauge());
+}
+
 std::future<Response> Service::Submit(Request request) {
   auto ticket = std::make_unique<Ticket>();
   ticket->request = std::move(request);
@@ -62,6 +79,7 @@ std::future<Response> Service::Submit(Request request) {
       queue_.TryAdmit(ticket, policy_->MinAdmittedPriority(signals()));
   if (!st.ok()) {
     accepted_.fetch_sub(1);
+    NotifyIfDrained();
     CompleteShed(std::move(ticket), st);
   }
   return future;
@@ -72,9 +90,20 @@ Response Service::Call(Request request) {
 }
 
 void Service::Drain() {
-  while (accepted_.load() != finished_.load()) {
-    std::this_thread::sleep_for(std::chrono::microseconds(100));
-  }
+  // CV wait instead of a 100 µs busy-poll: a slow drain (long scans, a
+  // stalled WAL device) otherwise burns a core doing nothing.
+  std::unique_lock<std::mutex> lock(drain_mutex_);
+  drain_cv_.wait(lock,
+                 [this] { return accepted_.load() == finished_.load(); });
+}
+
+void Service::NotifyIfDrained() {
+  if (accepted_.load() != finished_.load()) return;
+  // The empty critical section orders this check against a waiter that
+  // evaluated the predicate but has not gone to sleep yet; without it the
+  // notify could land in that window and be lost.
+  { std::lock_guard<std::mutex> lock(drain_mutex_); }
+  drain_cv_.notify_all();
 }
 
 void Service::DispatcherLoop() {
@@ -94,6 +123,7 @@ void Service::DispatcherLoop() {
         CompleteShed(std::move(t),
                      Status::DeadlineExceeded("deadline expired in queue"));
         finished_.fetch_add(1);
+        NotifyIfDrained();
       } else {
         in_flight_.fetch_add(1, kRelaxed);
         live.push_back(std::move(t));
@@ -102,8 +132,8 @@ void Service::DispatcherLoop() {
     popped.clear();
 
     for (Batch& batch : batcher_.Group(std::move(live))) {
-      batches_.fetch_add(1, kRelaxed);
-      batched_requests_.fetch_add(batch.tickets.size(), kRelaxed);
+      batches_.Inc();
+      batched_requests_.Add(batch.tickets.size());
       auto shared = std::make_shared<Batch>(std::move(batch));
       // Bounded hand-off: while the pool is full, hold the pipeline here so
       // new arrivals back up into the admission queue (and get shed there)
@@ -288,11 +318,12 @@ void Service::Complete(TicketPtr ticket, Response response,
   lat.exec_nanos = exec_nanos;
   lat.total_nanos = now - ticket->submit_nanos;
   latencies_.Record(lat);
-  if (response.degraded) degraded_.fetch_add(1, kRelaxed);
-  completed_.fetch_add(1, kRelaxed);
+  if (response.degraded) degraded_.Inc();
+  completed_.Inc();
   ticket->promise.set_value(std::move(response));
   in_flight_.fetch_sub(1, kRelaxed);
   finished_.fetch_add(1);
+  NotifyIfDrained();
 }
 
 void Service::CompleteShed(TicketPtr ticket, Status status) {
@@ -318,10 +349,10 @@ OverloadSignals Service::signals() const {
 ServiceMetrics Service::metrics() const {
   ServiceMetrics m;
   m.admission = queue_.stats();
-  m.completed = completed_.load(kRelaxed);
-  m.degraded = degraded_.load(kRelaxed);
-  m.batches = batches_.load(kRelaxed);
-  m.batched_requests = batched_requests_.load(kRelaxed);
+  m.completed = completed_.value();
+  m.degraded = degraded_.value();
+  m.batches = batches_.value();
+  m.batched_requests = batched_requests_.value();
   m.admit_wait = latencies_.Snapshot(Phase::kAdmitWait);
   m.batch_wait = latencies_.Snapshot(Phase::kBatchWait);
   m.exec = latencies_.Snapshot(Phase::kExec);

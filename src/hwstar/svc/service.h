@@ -2,12 +2,15 @@
 #define HWSTAR_SVC_SERVICE_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <future>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <thread>
 
 #include "hwstar/exec/thread_pool.h"
+#include "hwstar/obs/registry.h"
 #include "hwstar/kv/kv_store.h"
 #include "hwstar/svc/admission.h"
 #include "hwstar/svc/batcher.h"
@@ -90,6 +93,15 @@ class Service {
   /// Prints the metrics through perf::ReportTable.
   void PrintReport(const std::string& title) const;
 
+  /// Text exposition of every registered service metric (latency
+  /// histograms, completion counters, worker-pool counters) — the
+  /// scrape-style view of the obs registry.
+  std::string DumpMetricsText() const { return registry_.DumpText(); }
+
+  /// The service's metric registry (all entries are borrowed views of
+  /// live obs metrics; read-only for callers).
+  const obs::Registry& registry() const { return registry_; }
+
   /// Current load signals (what the overload policy sees).
   OverloadSignals signals() const;
 
@@ -103,6 +115,12 @@ class Service {
   void Complete(TicketPtr ticket, Response response, uint64_t exec_start,
                 uint64_t exec_nanos);
   void CompleteShed(TicketPtr ticket, Status status);
+  /// Wakes Drain() waiters when finished_ has caught up with accepted_.
+  /// Called after every finished_ increment (and the accepted_ rollback on
+  /// rejected submits); the lock is only touched at the caught-up edge, so
+  /// the steady-state completion path stays mutex-free.
+  void NotifyIfDrained();
+  void RegisterMetrics();
 
   ServiceOptions options_;
   kv::KvStore* kv_;
@@ -115,11 +133,15 @@ class Service {
   std::atomic<uint64_t> accepted_{0};   ///< admitted into the queue
   std::atomic<uint64_t> finished_{0};   ///< completed or shed post-admit
   std::atomic<uint32_t> in_flight_{0};  ///< popped, not yet finished
-  std::atomic<uint64_t> completed_{0};
-  std::atomic<uint64_t> degraded_{0};
-  std::atomic<uint64_t> batches_{0};
-  std::atomic<uint64_t> batched_requests_{0};
+  obs::Counter completed_;
+  obs::Counter degraded_;
+  obs::Counter batches_;
+  obs::Counter batched_requests_;
   LatencyRecorder latencies_;
+  obs::Registry registry_;  ///< borrowed views of the metrics above
+
+  mutable std::mutex drain_mutex_;
+  std::condition_variable drain_cv_;
 
   std::thread dispatcher_;  ///< last member: started after everything else
 };

@@ -537,5 +537,139 @@ TEST(ServiceTest, StepDownPolicyClampsScansUnderLoad) {
   EXPECT_EQ(policy.ScanLimit(unbounded, 0), 0u);
 }
 
+// --- Satellite regressions (ISSUE 3) --------------------------------------
+
+// The tenant-depth map used to keep zero-count entries forever: 100k
+// distinct tenants each passing through the queue once grew the map to
+// 100k entries. Entries must die when their tenant's last request pops.
+TEST(AdmissionQueueTest, TenantMapStaysBoundedUnderTenantChurn) {
+  AdmissionOptions opts;
+  opts.max_queue_depth = 64;
+  AdmissionQueue queue(opts);
+
+  std::vector<TicketPtr> out;
+  for (uint32_t tenant = 0; tenant < 100000; ++tenant) {
+    auto ticket = MakeTicket(Request::PointGet(tenant, tenant));
+    ASSERT_TRUE(queue.TryAdmit(ticket).ok());
+    if ((tenant & 7) == 7) {
+      out.clear();
+      ASSERT_TRUE(queue.PopBatch(&out, 8));
+      ASSERT_EQ(out.size(), 8u);
+    }
+    if ((tenant & 4095) == 4095) {
+      // Never more live map entries than queued requests.
+      ASSERT_LE(queue.tenant_map_size(), static_cast<size_t>(queue.depth()));
+      ASSERT_LE(queue.tenant_map_size(), 8u);
+    }
+  }
+  while (queue.depth() > 0) {
+    out.clear();
+    ASSERT_TRUE(queue.PopBatch(&out, 64));
+  }
+  EXPECT_EQ(queue.tenant_map_size(), 0u);  // fully drained: empty map
+}
+
+// Shutdown rejections used to be counted as shed_queue_full, making a
+// clean shutdown look like overload in the shed breakdown operators read.
+TEST(AdmissionQueueTest, ShutdownRejectionsCountedSeparately) {
+  AdmissionQueue queue(AdmissionOptions{});
+  queue.Close();
+  auto ticket = MakeTicket(Request::PointGet(1));
+  EXPECT_EQ(queue.TryAdmit(ticket).code(), StatusCode::kFailedPrecondition);
+  const AdmissionStats stats = queue.stats();
+  EXPECT_EQ(stats.shed_shutdown, 1u);
+  EXPECT_EQ(stats.shed_queue_full, 0u);  // the overload signal stays clean
+  EXPECT_EQ(stats.shed_total(), 1u);     // but totals still include it
+}
+
+// The nearest-rank off-by-one: idx = q*size made p99 of exactly 100
+// samples return the max (index 99) instead of the 99th smallest
+// (ceil(0.99*100)-1 = index 98). Values 1..100 sit in unit-width
+// histogram buckets, so the recorder must reproduce them exactly.
+TEST(LatencyRecorderTest, QuantilesUseNearestRankDefinition) {
+  LatencyRecorder recorder;
+  for (uint64_t i = 1; i <= 100; ++i) {
+    LatencyBreakdown b;
+    b.admit_wait_nanos = i;
+    b.batch_wait_nanos = i;
+    b.exec_nanos = i;
+    b.total_nanos = i;
+    recorder.Record(b);
+  }
+  const LatencySnapshot s = recorder.Snapshot(Phase::kTotal);
+  EXPECT_EQ(s.count, 100u);
+  EXPECT_EQ(s.p50, 50u);
+  EXPECT_EQ(s.p90, 90u);
+  EXPECT_EQ(s.p99, 99u);  // was 100 (the max) before the fix
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean, 50.5);
+  EXPECT_EQ(recorder.count(), 100u);
+  // Phases share the recording path.
+  EXPECT_EQ(recorder.Snapshot(Phase::kExec).p99, 99u);
+  // No WAL samples were recorded (wal_nanos == 0 throughout).
+  EXPECT_EQ(recorder.Snapshot(Phase::kWal).count, 0u);
+}
+
+// Drain is now a condition-variable wait (no 100 µs busy-poll). It must
+// return promptly on an idle service, release concurrent waiters when
+// in-flight work completes, and stay correct across the accepted_
+// rollback path taken by rejected submissions.
+TEST(ServiceTest, DrainReleasesConcurrentWaitersAndIdlesCleanly) {
+  kv::KvOptions kopts;
+  kopts.shards = 4;
+  kv::KvStore store(kopts);
+  for (uint64_t k = 0; k < 1000; ++k) store.Put(k, k);
+
+  ServiceOptions opts = NoDegradeOptions();
+  opts.admission.max_queue_depth = 8;  // small: force some rejections
+  Service service(opts, &store);
+
+  service.Drain();  // nothing outstanding: returns immediately
+
+  std::atomic<bool> submitting{true};
+  std::thread submitter([&] {
+    for (int i = 0; i < 5000; ++i) {
+      (void)service.Submit(Request::PointGet(static_cast<uint64_t>(i % 1000)));
+    }
+    submitting.store(false);
+  });
+  std::vector<std::thread> drainers;
+  for (int d = 0; d < 3; ++d) {
+    drainers.emplace_back([&] {
+      while (submitting.load()) service.Drain();
+      service.Drain();
+    });
+  }
+  submitter.join();
+  for (auto& t : drainers) t.join();
+  service.Drain();
+
+  const ServiceMetrics m = service.metrics();
+  // Everything admitted finished; completions + sheds cover all 5000.
+  EXPECT_EQ(m.completed + m.admission.shed_total(), 5000u);
+}
+
+// The obs registry view: the service's counters and latency histograms
+// are registered as live views and render through DumpText.
+TEST(ServiceTest, DumpMetricsTextExposesLiveMetrics) {
+  kv::KvStore store;
+  store.Put(1, 10);
+  Service service(NoDegradeOptions(), &store);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_TRUE(service.Call(Request::PointGet(1)).status.ok());
+  }
+  service.Drain();
+  const std::string text = service.DumpMetricsText();
+  EXPECT_NE(text.find("counter svc.completed 10\n"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("histogram svc.latency.total count=10"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("counter svc.pool.tasks_run"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("gauge svc.pool.queue_depth"), std::string::npos)
+      << text;
+}
+
 }  // namespace
 }  // namespace hwstar::svc
