@@ -14,7 +14,7 @@
 #include <memory>
 
 #include "bench_common.h"
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/concurrent_hash_table.h"
 #include "hwstar/ops/hash_table.h"
 #include "hwstar/workload/distributions.h"
@@ -76,7 +76,7 @@ void BM_PrefetchProbe(benchmark::State& state, bool big_table) {
 
 void BM_Build(benchmark::State& state, bool parallel) {
   auto rel = hwstar::workload::MakeBuildRelation(kBigBuild, 75);
-  hwstar::exec::ThreadPool pool(2);
+  hwstar::exec::Executor pool(2);
   for (auto _ : state) {
     if (parallel) {
       ConcurrentHashTable table(kBigBuild);

@@ -1,0 +1,323 @@
+// E17 -- what retiring the shared-FIFO pool bought. The old ThreadPool
+// pushed every task through one mutex-guarded queue: at coarse task
+// grain the lock is amortized and nobody notices, but morsel-driven
+// execution wants fine granularity for elasticity, and there the single
+// queue becomes the thing every worker serializes on. exec::Executor
+// gives each worker its own deque (LIFO local pop for cache warmth,
+// FIFO steal from the front for coldest work) so the common case takes
+// an uncontended per-worker lock and imbalance is fixed by stealing
+// rather than by central dispatch.
+//
+// Three views:
+//   1. task-per-morsel hashing across morsel sizes -- as morsels get
+//      finer the shared FIFO's lock convoy grows while the work-stealing
+//      deques keep dispatch local; steal/local-pop counts show how
+//      little rebalancing the balanced case actually needs;
+//   2. empty-task dispatch throughput -- the pure scheduling overhead
+//      ceiling of each design, no user work to hide behind;
+//   3. skewed submission -- every task lands on worker 0's deque and
+//      the other workers drain it by stealing; the steal share is the
+//      direct measurement of the rebalancing the shared queue got "for
+//      free" and the deques must earn.
+//
+// On small or virtualized hosts judge shapes, not absolutes: with few
+// cores the FIFO lock is less contended and the gap narrows.
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <cstdio>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "hwstar/common/timer.h"
+#include "hwstar/exec/executor.h"
+#include "hwstar/exec/morsel.h"
+#include "hwstar/perf/report.h"
+
+namespace {
+
+using hwstar::WallTimer;
+using hwstar::exec::Executor;
+using hwstar::exec::ExecutorStats;
+using hwstar::perf::ReportTable;
+
+/// The retired design, kept as the measured baseline: one mutex, one
+/// FIFO queue, every Submit and every pop through the same lock.
+class SharedFifoPool {
+ public:
+  using Task = std::function<void(uint32_t)>;
+
+  explicit SharedFifoPool(uint32_t num_threads) {
+    threads_.reserve(num_threads);
+    for (uint32_t i = 0; i < num_threads; ++i) {
+      threads_.emplace_back([this, i] { WorkerLoop(i); });
+    }
+  }
+
+  ~SharedFifoPool() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      shutdown_ = true;
+    }
+    cv_.notify_all();
+    for (auto& t : threads_) t.join();
+  }
+
+  void Submit(Task task) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(task));
+      ++pending_;
+    }
+    cv_.notify_one();
+  }
+
+  void WaitIdle() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    idle_cv_.wait(lock, [this] { return pending_ == 0; });
+  }
+
+ private:
+  void WorkerLoop(uint32_t id) {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return shutdown_ || !queue_.empty(); });
+        if (queue_.empty()) return;  // shutdown and drained
+        task = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      task(id);
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        if (--pending_ == 0) idle_cv_.notify_all();
+      }
+    }
+  }
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::condition_variable idle_cv_;
+  std::deque<Task> queue_;
+  uint64_t pending_ = 0;
+  bool shutdown_ = false;
+  std::vector<std::thread> threads_;
+};
+
+uint32_t BenchThreads() {
+  const unsigned hc = std::thread::hardware_concurrency();
+  return hc == 0 ? 2u : static_cast<uint32_t>(hc < 2 ? 2 : hc);
+}
+
+/// Serially-dependent hash over an index range: compute the scheduler
+/// cannot fold away and whose cost is order-independent. Memory-scanning
+/// work would reward whichever pool happens to run tasks in submission
+/// order (the hardware prefetcher, not the scheduler); register-only
+/// work isolates the dispatch cost the experiment is about.
+uint64_t HashRange(uint64_t begin, uint64_t end) {
+  uint64_t acc = 0;
+  for (uint64_t i = begin; i < end; ++i) {
+    acc = (acc ^ (i * 0x9e3779b97f4a7c15ull)) * 0xc2b2ae3d27d4eb4full;
+  }
+  return acc;
+}
+
+/// Hashes `total` rows task-per-morsel: one Submit per morsel, so finer
+/// morsels mean proportionally more trips through the scheduler.
+template <typename Pool>
+double TaskPerMorselSum(Pool* pool, uint64_t total, uint64_t morsel_rows,
+                        uint64_t expect) {
+  std::atomic<uint64_t> sum{0};
+  WallTimer timer;
+  for (uint64_t begin = 0; begin < total; begin += morsel_rows) {
+    const uint64_t end = begin + morsel_rows < total ? begin + morsel_rows
+                                                     : total;
+    pool->Submit([&sum, begin, end](uint32_t) {
+      sum.fetch_add(HashRange(begin, end), std::memory_order_relaxed);
+    });
+  }
+  pool->WaitIdle();
+  const double ms = static_cast<double>(timer.ElapsedNanos()) * 1e-6;
+  if (sum.load() != expect) {
+    std::fprintf(stderr, "E17: checksum mismatch\n");
+  }
+  return ms;
+}
+
+void MorselGranularityTable(uint32_t threads) {
+  constexpr uint64_t kRows = uint64_t{1} << 22;
+
+  ReportTable table(
+      "E17: task-per-morsel hash over 4M rows, shared FIFO vs work-stealing "
+      "(" + std::to_string(threads) + " threads; finer morsels = more "
+      "scheduler trips)",
+      {"morsel_rows", "tasks", "fifo_ms", "steal_ms", "speedup", "steals",
+       "local_pops"});
+  for (uint64_t morsel_rows :
+       {uint64_t{1} << 8, uint64_t{1} << 10, uint64_t{1} << 12,
+        uint64_t{1} << 14, uint64_t{1} << 16}) {
+    // Warm once, then best-of-kTrials per pool: single trials are a few
+    // milliseconds and swing 2-3x under a noisy host scheduler; the min
+    // is the run least perturbed by it. Fresh pools per grain so queue
+    // state never carries.
+    constexpr int kTrials = 3;
+    uint64_t expect = 0;
+    for (uint64_t begin = 0; begin < kRows; begin += morsel_rows) {
+      const uint64_t end =
+          begin + morsel_rows < kRows ? begin + morsel_rows : kRows;
+      expect += HashRange(begin, end);
+    }
+    double fifo_ms = 1e30;
+    {
+      SharedFifoPool fifo(threads);
+      TaskPerMorselSum(&fifo, kRows, morsel_rows, expect);  // warmup
+      for (int t = 0; t < kTrials; ++t) {
+        fifo_ms = std::min(
+            fifo_ms, TaskPerMorselSum(&fifo, kRows, morsel_rows, expect));
+      }
+    }
+    double steal_ms = 1e30;
+    ExecutorStats stats;
+    {
+      Executor executor(threads);
+      TaskPerMorselSum(&executor, kRows, morsel_rows, expect);  // warmup
+      for (int t = 0; t < kTrials; ++t) {
+        const ExecutorStats before = executor.stats();
+        const double ms =
+            TaskPerMorselSum(&executor, kRows, morsel_rows, expect);
+        const ExecutorStats after = executor.stats();
+        if (ms < steal_ms) {
+          steal_ms = ms;
+          stats.steals = after.steals - before.steals;
+          stats.local_pops = after.local_pops - before.local_pops;
+        }
+      }
+    }
+    table.AddRow({std::to_string(morsel_rows),
+                  std::to_string((kRows + morsel_rows - 1) / morsel_rows),
+                  ReportTable::Num(fifo_ms), ReportTable::Num(steal_ms),
+                  ReportTable::Num(fifo_ms / steal_ms),
+                  std::to_string(stats.steals),
+                  std::to_string(stats.local_pops)});
+  }
+  table.Print();
+}
+
+void DispatchOverheadTable(uint32_t threads) {
+  constexpr uint64_t kTasks = 200000;
+  ReportTable table(
+      "E17: empty-task dispatch throughput (Mtasks/s) -- pure scheduling "
+      "overhead, no user work",
+      {"pool", "mtasks_s", "steals", "local_pops"});
+
+  double fifo_rate;
+  {
+    SharedFifoPool fifo(threads);
+    std::atomic<uint64_t> ran{0};
+    auto run = [&] {
+      WallTimer timer;
+      for (uint64_t i = 0; i < kTasks; ++i) {
+        fifo.Submit([&ran](uint32_t) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      fifo.WaitIdle();
+      return static_cast<double>(kTasks) /
+             (static_cast<double>(timer.ElapsedNanos()) * 1e-9);
+    };
+    run();  // warmup
+    fifo_rate = 0;
+    for (int t = 0; t < 3; ++t) fifo_rate = std::max(fifo_rate, run());
+  }
+  table.AddRow({"shared_fifo", ReportTable::Num(fifo_rate * 1e-6), "-", "-"});
+
+  {
+    Executor executor(threads);
+    std::atomic<uint64_t> ran{0};
+    auto run = [&] {
+      WallTimer timer;
+      for (uint64_t i = 0; i < kTasks; ++i) {
+        executor.Submit([&ran](uint32_t) {
+          ran.fetch_add(1, std::memory_order_relaxed);
+        });
+      }
+      executor.WaitIdle();
+      return static_cast<double>(kTasks) /
+             (static_cast<double>(timer.ElapsedNanos()) * 1e-9);
+    };
+    run();  // warmup
+    double rate = 0;
+    uint64_t steals = 0;
+    uint64_t pops = 0;
+    for (int t = 0; t < 3; ++t) {
+      const ExecutorStats before = executor.stats();
+      const double r = run();
+      const ExecutorStats after = executor.stats();
+      if (r > rate) {
+        rate = r;
+        steals = after.steals - before.steals;
+        pops = after.local_pops - before.local_pops;
+      }
+    }
+    table.AddRow({"work_stealing", ReportTable::Num(rate * 1e-6),
+                  std::to_string(steals), std::to_string(pops)});
+  }
+  table.Print();
+}
+
+void SkewTable(uint32_t threads) {
+  constexpr uint64_t kTasks = 4000;
+  constexpr int kSpin = 20000;
+  ReportTable table(
+      "E17: skewed submission (all tasks to worker 0's deque) -- stealing "
+      "drains the hot deque; steal share is the rebalancing earned",
+      {"distribution", "ms", "steals", "local_pops", "steal_pct"});
+  for (bool skewed : {false, true}) {
+    Executor executor(threads);
+    std::atomic<uint64_t> ran{0};
+    auto run = [&] {
+      WallTimer timer;
+      for (uint64_t i = 0; i < kTasks; ++i) {
+        executor.Submit(
+            [&ran](uint32_t) {
+              volatile uint64_t sink = 0;
+              for (int k = 0; k < kSpin; ++k) {
+                sink = sink + static_cast<uint64_t>(k);
+              }
+              ran.fetch_add(1, std::memory_order_relaxed);
+            },
+            /*preferred_worker=*/skewed ? 0 : -1);
+      }
+      executor.WaitIdle();
+      return static_cast<double>(timer.ElapsedNanos()) * 1e-6;
+    };
+    run();  // warmup
+    const ExecutorStats before = executor.stats();
+    const double ms = run();
+    const ExecutorStats after = executor.stats();
+    const uint64_t steals = after.steals - before.steals;
+    const uint64_t pops = after.local_pops - before.local_pops;
+    table.AddRow(
+        {skewed ? "all_worker0" : "round_robin", ReportTable::Num(ms),
+         std::to_string(steals), std::to_string(pops),
+         ReportTable::Num(100.0 * static_cast<double>(steals) /
+                          static_cast<double>(steals + pops))});
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main() {
+  const uint32_t threads = BenchThreads();
+  MorselGranularityTable(threads);
+  DispatchOverheadTable(threads);
+  SkewTable(threads);
+  return 0;
+}

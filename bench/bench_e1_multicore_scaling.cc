@@ -12,7 +12,7 @@
 
 #include "bench_common.h"
 #include "hwstar/exec/morsel.h"
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/aggregation.h"
 
 namespace {
@@ -20,7 +20,7 @@ namespace {
 using hwstar::exec::Morsel;
 using hwstar::exec::ParallelForMorsels;
 using hwstar::exec::ParallelForStatic;
-using hwstar::exec::ThreadPool;
+using hwstar::exec::Executor;
 
 constexpr uint64_t kRows = 16 << 20;  // 16M int64 = 128MB
 
@@ -54,7 +54,7 @@ void BM_SequentialSum(benchmark::State& state) {
 void ParallelSumBody(benchmark::State& state, bool morsel_driven) {
   const auto& data = Data();
   const uint32_t threads = static_cast<uint32_t>(state.range(0));
-  ThreadPool pool(threads);
+  Executor pool(threads);
   for (auto _ : state) {
     std::atomic<int64_t> total{0};
     auto body = [&](uint32_t, Morsel m) {

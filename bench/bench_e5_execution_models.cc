@@ -96,7 +96,7 @@ void BM_Fused(benchmark::State& state) {
 
 void BM_FusedParallel(benchmark::State& state) {
   Query q = MakeQuery();
-  hwstar::exec::ThreadPool pool(static_cast<uint32_t>(state.range(0)));
+  hwstar::exec::Executor pool(static_cast<uint32_t>(state.range(0)));
   hwstar::engine::ExecuteOptions opts;
   opts.model = hwstar::engine::ExecutionModel::kFused;
   for (auto _ : state) {

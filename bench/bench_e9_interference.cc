@@ -16,14 +16,14 @@
 
 #include "bench_common.h"
 #include "hwstar/exec/morsel.h"
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 
 namespace {
 
 using hwstar::exec::Morsel;
 using hwstar::exec::ParallelForMorsels;
 using hwstar::exec::ParallelForStatic;
-using hwstar::exec::ThreadPool;
+using hwstar::exec::Executor;
 
 constexpr uint64_t kRows = 8 << 20;  // 64MB of int64
 
@@ -64,7 +64,7 @@ class Antagonist {
 void ScanBody(benchmark::State& state, bool with_antagonist,
               bool morsel_driven) {
   const auto& data = Data();
-  ThreadPool pool(2);
+  Executor pool(2);
   std::unique_ptr<Antagonist> antagonist;
   if (with_antagonist) antagonist = std::make_unique<Antagonist>();
   for (auto _ : state) {

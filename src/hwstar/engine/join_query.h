@@ -4,7 +4,7 @@
 #include <cstdint>
 
 #include "hwstar/engine/expression.h"
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/storage/column_store.h"
 
 namespace hwstar::engine {
@@ -44,8 +44,8 @@ struct JoinQueryResult {
 /// Options for ExecuteJoin.
 struct JoinExecuteOptions {
   JoinAlgorithm algorithm = JoinAlgorithm::kAuto;
-  uint64_t llc_bytes = 0;            ///< 0 = discover from the host
-  exec::ThreadPool* pool = nullptr;  ///< parallel join phase when set
+  uint64_t llc_bytes = 0;           ///< 0 = discover from the host
+  exec::Executor* pool = nullptr;   ///< parallel join phase when set
 };
 
 /// Executes the join: filters both sides with the vectorized selection

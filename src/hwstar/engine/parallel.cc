@@ -11,11 +11,11 @@
 
 namespace hwstar::engine {
 
-QueryResult ExecuteParallel(const Query& query, exec::ThreadPool* pool,
+QueryResult ExecuteParallel(const Query& query, exec::Executor* executor,
                             const ExecuteOptions& options,
                             uint64_t morsel_size) {
   HWSTAR_CHECK(query.input != nullptr);
-  if (pool == nullptr || options.model == ExecutionModel::kVolcano) {
+  if (executor == nullptr || options.model == ExecutionModel::kVolcano) {
     return Execute(query, options);
   }
 
@@ -25,7 +25,7 @@ QueryResult ExecuteParallel(const Query& query, exec::ThreadPool* pool,
   std::map<int64_t, QueryGroup> merged_groups;
 
   exec::ParallelForMorsels(
-      pool, n, morsel_size, [&](uint32_t /*worker*/, exec::Morsel m) {
+      executor, n, morsel_size, [&](uint32_t /*worker*/, exec::Morsel m) {
         QueryResult partial;
         if (options.model == ExecutionModel::kFused) {
           partial = ExecuteFusedRange(query, m.begin, m.end);

@@ -3,7 +3,7 @@
 
 #include "hwstar/engine/plan.h"
 #include "hwstar/engine/planner.h"
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/morsel.h"
 
 namespace hwstar::engine {
 
@@ -13,9 +13,9 @@ namespace hwstar::engine {
 /// as one task), and partial results are merged. Grouped results merge by
 /// key. This is the composition of the paper's two multicore demands:
 /// compiled-quality inner loops AND elastic scheduling on top.
-QueryResult ExecuteParallel(const Query& query, exec::ThreadPool* pool,
+QueryResult ExecuteParallel(const Query& query, exec::Executor* executor,
                             const ExecuteOptions& options = {},
-                            uint64_t morsel_size = 1 << 16);
+                            uint64_t morsel_size = exec::kDefaultMorselRows);
 
 }  // namespace hwstar::engine
 

@@ -39,9 +39,8 @@
 
 // Parallel execution.
 #include "hwstar/exec/affinity.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/exec/morsel.h"
-#include "hwstar/exec/task_scheduler.h"
-#include "hwstar/exec/thread_pool.h"
 
 // Observability: bounded lock-free telemetry.
 #include "hwstar/obs/histogram.h"

@@ -173,7 +173,7 @@ int64_t Sum(std::span<const int64_t> values) {
   return sum;
 }
 
-int64_t ParallelSum(std::span<const int64_t> values, exec::ThreadPool* pool,
+int64_t ParallelSum(std::span<const int64_t> values, exec::Executor* pool,
                     uint64_t morsel_size) {
   if (pool == nullptr) return Sum(values);
   std::atomic<int64_t> total{0};

@@ -5,7 +5,7 @@
 #include <span>
 #include <vector>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/morsel.h"
 
 namespace hwstar::ops {
 
@@ -22,7 +22,7 @@ struct HashAggregateOptions {
   /// partition's group table is cache-resident (the hardware-conscious
   /// variant). 0 disables partitioning.
   uint32_t radix_bits = 0;
-  exec::ThreadPool* pool = nullptr;  ///< parallel per-partition aggregation
+  exec::Executor* pool = nullptr;  ///< parallel per-partition aggregation
 };
 
 /// SUM/COUNT per key over parallel key/value arrays. Results are returned
@@ -38,9 +38,9 @@ std::vector<GroupSum> HashAggregate(std::span<const uint64_t> keys,
 /// experiments. Sequential, auto-vectorizable.
 int64_t Sum(std::span<const int64_t> values);
 
-/// Parallel sum over the pool (morsel-driven).
-int64_t ParallelSum(std::span<const int64_t> values, exec::ThreadPool* pool,
-                    uint64_t morsel_size = 1 << 16);
+/// Parallel sum over the executor (morsel-driven).
+int64_t ParallelSum(std::span<const int64_t> values, exec::Executor* pool,
+                    uint64_t morsel_size = exec::kDefaultMorselRows);
 
 }  // namespace hwstar::ops
 

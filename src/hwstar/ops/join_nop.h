@@ -3,7 +3,7 @@
 
 #include <cstdint>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/hash_table.h"
 #include "hwstar/ops/relation.h"
 
@@ -13,7 +13,7 @@ namespace hwstar::ops {
 struct NoPartitionJoinOptions {
   bool materialize = false;   ///< collect JoinPairs (else count only)
   double load_factor = 0.5;   ///< build table load factor
-  exec::ThreadPool* pool = nullptr;  ///< parallel probe when set
+  exec::Executor* pool = nullptr;  ///< parallel probe when set
   /// Pre-filter probes with a cache-blocked Bloom filter built over the
   /// build keys. One guaranteed-single-miss filter probe replaces a
   /// potentially chain-long table probe; pays off when many probes miss

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/relation.h"
 
 namespace hwstar::ops {
@@ -15,7 +15,7 @@ struct RadixJoinOptions {
   uint32_t num_passes = 1;    ///< 1 or 2 partitioning passes
   bool materialize = false;   ///< collect JoinPairs (else count only)
   double load_factor = 0.5;   ///< per-partition build table load factor
-  exec::ThreadPool* pool = nullptr;  ///< parallel per-partition join phase
+  exec::Executor* pool = nullptr;  ///< parallel per-partition join phase
   /// Stage tuples in cache-line-sized per-partition buffers during the
   /// scatter (software write combining); identical output, fewer
   /// TLB/fill-buffer stalls at high fan-out. Applies to 1-pass runs.

@@ -20,6 +20,13 @@ BatcherOptions MakeBatcherOptions(const ServiceOptions& options,
   return b;
 }
 
+exec::ExecutorOptions MakeExecutorOptions(const ServiceOptions& options) {
+  exec::ExecutorOptions e;
+  e.num_threads = options.worker_threads;
+  e.pin_threads = options.pin_workers;
+  return e;
+}
+
 }  // namespace
 
 Service::Service(ServiceOptions options, kv::KvStore* kv)
@@ -30,7 +37,7 @@ Service::Service(ServiceOptions options, kv::KvStore* kv)
                   : std::make_shared<StepDownOverloadPolicy>()),
       queue_(options_.admission),
       batcher_(MakeBatcherOptions(options_, kv)),
-      pool_(options_.worker_threads),
+      pool_(MakeExecutorOptions(options_)),
       dispatcher_([this] { DispatcherLoop(); }) {
   RegisterMetrics();
 }
@@ -62,6 +69,8 @@ void Service::RegisterMetrics() {
   registry_.RegisterCounter("svc.batches", &batches_);
   registry_.RegisterCounter("svc.batched_requests", &batched_requests_);
   registry_.RegisterCounter("svc.pool.tasks_run", &pool_.tasks_run_counter());
+  registry_.RegisterCounter("svc.pool.local_pops", &pool_.local_pops_counter());
+  registry_.RegisterCounter("svc.pool.steals", &pool_.steals_counter());
   registry_.RegisterGauge("svc.pool.queue_depth", &pool_.queue_depth_gauge());
 }
 

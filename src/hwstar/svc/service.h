@@ -9,7 +9,7 @@
 #include <string>
 #include <thread>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/obs/registry.h"
 #include "hwstar/kv/kv_store.h"
 #include "hwstar/svc/admission.h"
@@ -30,6 +30,11 @@ struct ServiceOptions {
   uint32_t max_batch = 64;
   /// Workers executing batches (the cores the service owns).
   uint32_t worker_threads = 2;
+  /// Pin each worker to its own logical core (topology-driven). The
+  /// serving cores then stay cache-warm across batches and NUMA
+  /// first-touch placement is stable; leave off when co-running with
+  /// other pools on a small host.
+  bool pin_workers = false;
   /// How long the dispatcher lingers for batch-mates when the queue holds
   /// fewer than a full batch. The knob trading a little latency for
   /// amortized fixed costs.
@@ -54,7 +59,7 @@ struct ServiceOptions {
 /// phase-by-phase so p50/p99 and shed rate are first-class outputs.
 ///
 /// Pipeline: Submit → AdmissionQueue → dispatcher (batch window) →
-/// Batcher → ThreadPool workers → KvStore / engine::ExecuteJoin.
+/// Batcher → Executor workers → KvStore / engine::ExecuteJoin.
 class Service {
  public:
   /// `kv` backs point-get, put and scan requests (may be null when only
@@ -128,7 +133,7 @@ class Service {
   std::shared_ptr<const OverloadPolicy> policy_;
   AdmissionQueue queue_;
   Batcher batcher_;
-  exec::ThreadPool pool_;
+  exec::Executor pool_;
 
   std::atomic<uint64_t> accepted_{0};   ///< admitted into the queue
   std::atomic<uint64_t> finished_{0};   ///< completed or shed post-admit

@@ -115,7 +115,7 @@ TEST(JoinQueryTest, ParallelPoolAgrees) {
   q.probe = &s.probe;
   q.aggregate = Col(1);
   auto ref = ExecuteJoin(q);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   JoinExecuteOptions opts;
   opts.algorithm = JoinAlgorithm::kRadix;
   opts.pool = &pool;

@@ -63,7 +63,7 @@ TEST(FusedRangeTest, SubrangeSumsPartition) {
 TEST(ParallelExecuteTest, MatchesSerialFused) {
   ColumnStore store = MakeStore(100000);
   Query q = MakeQuery(store);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   ExecuteOptions opts;
   opts.model = ExecutionModel::kFused;
   QueryResult serial = Execute(q, opts);
@@ -75,7 +75,7 @@ TEST(ParallelExecuteTest, MatchesSerialFused) {
 TEST(ParallelExecuteTest, MatchesSerialVectorized) {
   ColumnStore store = MakeStore(100000);
   Query q = MakeQuery(store);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   ExecuteOptions opts;
   opts.model = ExecutionModel::kVectorized;
   opts.batch_size = 512;
@@ -89,7 +89,7 @@ TEST(ParallelExecuteTest, GroupedMergesCorrectly) {
   ColumnStore store = MakeStore(50000);
   Query q = MakeQuery(store);
   q.group_by = 2;
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   ExecuteOptions opts;
   opts.model = ExecutionModel::kVectorized;
   QueryResult serial = Execute(q, opts);
@@ -113,7 +113,7 @@ TEST(ParallelExecuteTest, NullPoolFallsBackToSerial) {
 TEST(ParallelExecuteTest, EmptyInput) {
   ColumnStore store = MakeStore(0);
   Query q = MakeQuery(store);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   ExecuteOptions opts;
   EXPECT_EQ(ExecuteParallel(q, &pool, opts).sum, 0);
 }
@@ -124,7 +124,7 @@ class ParallelMorselSweep : public ::testing::TestWithParam<uint64_t> {};
 TEST_P(ParallelMorselSweep, ResultInvariant) {
   ColumnStore store = MakeStore(33333);
   Query q = MakeQuery(store);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   ExecuteOptions opts;
   opts.model = ExecutionModel::kFused;
   QueryResult serial = Execute(q, opts);

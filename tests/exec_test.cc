@@ -9,25 +9,27 @@
 #include <vector>
 
 #include "hwstar/exec/affinity.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/exec/morsel.h"
-#include "hwstar/exec/task_scheduler.h"
-#include "hwstar/exec/thread_pool.h"
 
 namespace hwstar::exec {
 namespace {
 
-TEST(ThreadPoolTest, RunsSubmittedTasks) {
-  ThreadPool pool(4);
+TEST(ExecutorTest, RunsSubmittedTasks) {
+  Executor pool(4);
   std::atomic<int> count{0};
   for (int i = 0; i < 100; ++i) {
     pool.Submit([&count](uint32_t) { count.fetch_add(1); });
   }
   pool.WaitIdle();
   EXPECT_EQ(count.load(), 100);
+  EXPECT_EQ(pool.tasks_run(), 100u);
+  const ExecutorStats stats = pool.stats();
+  EXPECT_EQ(stats.local_pops + stats.steals, 100u);
 }
 
-TEST(ThreadPoolTest, WorkerIdsInRange) {
-  ThreadPool pool(3);
+TEST(ExecutorTest, WorkerIdsInRange) {
+  Executor pool(3);
   std::atomic<uint32_t> max_id{0};
   for (int i = 0; i < 50; ++i) {
     pool.Submit([&max_id](uint32_t id) {
@@ -41,13 +43,13 @@ TEST(ThreadPoolTest, WorkerIdsInRange) {
   EXPECT_EQ(pool.num_threads(), 3u);
 }
 
-TEST(ThreadPoolTest, WaitIdleOnEmptyPoolReturns) {
-  ThreadPool pool(2);
+TEST(ExecutorTest, WaitIdleOnEmptyExecutorReturns) {
+  Executor pool(2);
   pool.WaitIdle();  // must not hang
 }
 
-TEST(ThreadPoolTest, ReusableAcrossWaves) {
-  ThreadPool pool(2);
+TEST(ExecutorTest, ReusableAcrossWaves) {
+  Executor pool(2);
   std::atomic<int> count{0};
   for (int wave = 0; wave < 5; ++wave) {
     for (int i = 0; i < 20; ++i) {
@@ -58,8 +60,8 @@ TEST(ThreadPoolTest, ReusableAcrossWaves) {
   EXPECT_EQ(count.load(), 100);
 }
 
-TEST(ThreadPoolTest, SubmitAfterShutdownFailsCleanly) {
-  ThreadPool pool(2);
+TEST(ExecutorTest, SubmitAfterShutdownFailsCleanly) {
+  Executor pool(2);
   std::atomic<int> count{0};
   EXPECT_TRUE(pool.Submit([&count](uint32_t) { count.fetch_add(1); }));
   pool.Shutdown();
@@ -70,12 +72,12 @@ TEST(ThreadPoolTest, SubmitAfterShutdownFailsCleanly) {
   pool.Shutdown();  // idempotent
 }
 
-TEST(ThreadPoolTest, TrySubmitEnforcesQueueBound) {
-  ThreadPool pool(1);
+TEST(ExecutorTest, TrySubmitEnforcesQueueBound) {
+  Executor pool(1);
   std::mutex mutex;
   std::condition_variable cv;
   bool release = false;
-  // Park the single worker so submissions accumulate in the queue.
+  // Park the single worker so submissions accumulate unclaimed.
   pool.Submit([&](uint32_t) {
     std::unique_lock<std::mutex> lock(mutex);
     cv.wait(lock, [&] { return release; });
@@ -100,45 +102,166 @@ TEST(ThreadPoolTest, TrySubmitEnforcesQueueBound) {
   EXPECT_EQ(done.load(), 3);
 }
 
-TEST(TaskSchedulerTest, RunsAllTasks) {
-  TaskScheduler sched(4);
-  std::atomic<int> count{0};
-  for (int i = 0; i < 200; ++i) {
-    sched.Submit([&count](uint32_t) { count.fetch_add(1); });
-  }
-  sched.WaitAll();
-  EXPECT_EQ(count.load(), 200);
-}
-
-TEST(TaskSchedulerTest, StealsFromLoadedWorker) {
-  TaskScheduler sched(4);
+TEST(ExecutorTest, StealsFromLoadedWorker) {
+  Executor pool(4);
   std::atomic<int> count{0};
   // Pile everything on worker 0; others must steal to finish quickly.
   for (int i = 0; i < 100; ++i) {
-    sched.Submit(
+    pool.Submit(
         [&count](uint32_t) {
           volatile uint64_t sink = 0;
-          for (int k = 0; k < 50000; ++k) sink += static_cast<uint64_t>(k);
+          for (int k = 0; k < 50000; ++k) sink = sink + static_cast<uint64_t>(k);
           count.fetch_add(1);
         },
         /*preferred_worker=*/0);
   }
-  sched.WaitAll();
+  pool.WaitIdle();
   EXPECT_EQ(count.load(), 100);
-  EXPECT_GT(sched.stats().steals, 0u);
+  EXPECT_GT(pool.stats().steals, 0u);
 }
 
-TEST(TaskSchedulerTest, TasksCanSubmitTasks) {
-  TaskScheduler sched(2);
+TEST(ExecutorTest, SkewedSubmissionStealRateBalancesLoad) {
+  // The steal-rate assertion: with every task pinned to one worker's
+  // deque, the only way any other worker runs anything is by stealing.
+  // Track which worker ran each task; everything not run by worker 0
+  // must show up in the steal counter.
+  Executor pool(4);
+  constexpr int kTasks = 200;
+  std::atomic<int> ran_elsewhere{0};
   std::atomic<int> count{0};
-  sched.Submit([&](uint32_t) {
+  for (int i = 0; i < kTasks; ++i) {
+    pool.Submit(
+        [&](uint32_t worker) {
+          volatile uint64_t sink = 0;
+          for (int k = 0; k < 20000; ++k) sink = sink + static_cast<uint64_t>(k);
+          if (worker != 0) ran_elsewhere.fetch_add(1);
+          count.fetch_add(1);
+        },
+        /*preferred_worker=*/0);
+  }
+  pool.WaitIdle();
+  const ExecutorStats stats = pool.stats();
+  EXPECT_EQ(count.load(), kTasks);
+  EXPECT_EQ(stats.local_pops + stats.steals, static_cast<uint64_t>(kTasks));
+  // Every task that ran off worker 0 was necessarily a steal.
+  EXPECT_EQ(stats.steals, static_cast<uint64_t>(ran_elsewhere.load()));
+  EXPECT_GT(stats.steals, 0u);
+}
+
+TEST(ExecutorTest, TasksCanSubmitTasks) {
+  Executor pool(2);
+  std::atomic<int> count{0};
+  pool.Submit([&](uint32_t) {
     for (int i = 0; i < 10; ++i) {
-      sched.Submit([&count](uint32_t) { count.fetch_add(1); });
+      pool.Submit([&count](uint32_t) { count.fetch_add(1); });
     }
   });
-  sched.WaitAll();
+  pool.WaitIdle();
   EXPECT_EQ(count.load(), 10);
 }
+
+TEST(ExecutorTest, PinnedWorkersRunTasks) {
+  ExecutorOptions options;
+  options.num_threads = 2;
+  options.pin_threads = true;
+  Executor pool(options);
+  std::atomic<int> count{0};
+  for (int i = 0; i < 50; ++i) {
+    pool.Submit([&count](uint32_t) { count.fetch_add(1); });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(count.load(), 50);
+}
+
+// --- Shutdown races -------------------------------------------------------
+// The drain handshake (submitting_/queued_ settle) is what these hammer:
+// every submit that returned true must run, even when it races Shutdown.
+
+TEST(ExecutorShutdownRaceTest, ConcurrentTrySubmitVsShutdown) {
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<Executor>(2);
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> ran{0};
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> submitters;
+    for (int t = 0; t < 3; ++t) {
+      submitters.emplace_back([&] {
+        while (!stop.load(std::memory_order_acquire)) {
+          if (pool->TrySubmit(
+                  [&ran](uint32_t) {
+                    ran.fetch_add(1, std::memory_order_relaxed);
+                  },
+                  /*max_queue_depth=*/64)) {
+            accepted.fetch_add(1, std::memory_order_relaxed);
+          }
+        }
+      });
+    }
+    // Let the submitters build up steam, then shut down under fire.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pool->Shutdown();
+    stop.store(true, std::memory_order_release);
+    for (auto& t : submitters) t.join();
+    // Shutdown drains: every accepted task ran, none were stranded.
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(ExecutorShutdownRaceTest, TasksSubmittingDuringDrain) {
+  for (int round = 0; round < 20; ++round) {
+    auto pool = std::make_unique<Executor>(2);
+    std::atomic<uint64_t> accepted{0};
+    std::atomic<uint64_t> ran{0};
+    // Self-propagating tasks: each run tries to submit a successor, so
+    // submissions keep arriving from *inside* workers while Shutdown
+    // drains. Accepted successors must still run.
+    std::function<void(uint32_t)> chain = [&](uint32_t) {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      if (pool->Submit(chain)) {
+        accepted.fetch_add(1, std::memory_order_relaxed);
+      }
+    };
+    for (int i = 0; i < 8; ++i) {
+      if (pool->Submit(chain)) accepted.fetch_add(1);
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    pool->Shutdown();
+    EXPECT_EQ(ran.load(), accepted.load());
+  }
+}
+
+TEST(ExecutorShutdownRaceTest, WaitIdleWithStealingInFlight) {
+  Executor pool(4);
+  std::atomic<uint64_t> ran{0};
+  constexpr int kWaves = 10;
+  constexpr int kTasksPerWave = 64;
+  std::vector<std::thread> waiters;
+  std::atomic<bool> stop{false};
+  // Concurrent WaitIdle callers while skewed submissions force steals.
+  for (int t = 0; t < 2; ++t) {
+    waiters.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) pool.WaitIdle();
+    });
+  }
+  for (int wave = 0; wave < kWaves; ++wave) {
+    for (int i = 0; i < kTasksPerWave; ++i) {
+      pool.Submit(
+          [&ran](uint32_t) {
+            volatile uint64_t sink = 0;
+            for (int k = 0; k < 2000; ++k) sink = sink + static_cast<uint64_t>(k);
+            ran.fetch_add(1, std::memory_order_relaxed);
+          },
+          /*preferred_worker=*/0);
+    }
+    pool.WaitIdle();
+    EXPECT_EQ(ran.load(), static_cast<uint64_t>((wave + 1) * kTasksPerWave));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& t : waiters) t.join();
+  EXPECT_EQ(pool.queue_depth(), 0u);
+}
+
+// --- Morsels --------------------------------------------------------------
 
 TEST(MorselDispenserTest, CoversEntireRangeExactlyOnce) {
   MorselDispenser dispenser(1000, 64);
@@ -170,8 +293,23 @@ TEST(MorselDispenserTest, EmptyInputYieldsNothing) {
   EXPECT_FALSE(dispenser.Next(&m));
 }
 
+TEST(MorselDispenserTest, ExhaustedDispenserStaysExhausted) {
+  // The relaxed-load fast path must keep answering false (idle workers
+  // poll Next after exhaustion; they must not see a morsel again).
+  MorselDispenser dispenser(128, 64);
+  Morsel m;
+  while (dispenser.Next(&m)) {
+  }
+  for (int i = 0; i < 1000; ++i) EXPECT_FALSE(dispenser.Next(&m));
+}
+
+TEST(MorselDispenserTest, DefaultMorselSizeIsTheSharedConstant) {
+  MorselDispenser dispenser(1 << 20);
+  EXPECT_EQ(dispenser.morsel_size(), kDefaultMorselRows);
+}
+
 TEST(ParallelForTest, MorselSumMatchesSequential) {
-  ThreadPool pool(4);
+  Executor pool(4);
   const uint64_t n = 100000;
   std::vector<int64_t> data(n);
   std::iota(data.begin(), data.end(), 0);
@@ -185,7 +323,7 @@ TEST(ParallelForTest, MorselSumMatchesSequential) {
 }
 
 TEST(ParallelForTest, StaticSplitCoversRange) {
-  ThreadPool pool(3);
+  Executor pool(3);
   const uint64_t n = 1000;
   std::vector<std::atomic<int>> hits(n);
   ParallelForStatic(&pool, n, [&](uint32_t, Morsel m) {
@@ -195,7 +333,7 @@ TEST(ParallelForTest, StaticSplitCoversRange) {
 }
 
 TEST(ParallelForTest, StaticWithFewerItemsThanThreads) {
-  ThreadPool pool(8);
+  Executor pool(8);
   std::atomic<int> total{0};
   ParallelForStatic(&pool, 3, [&](uint32_t, Morsel m) {
     total.fetch_add(static_cast<int>(m.size()));

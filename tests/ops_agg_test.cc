@@ -2,7 +2,7 @@
 
 #include <map>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/aggregation.h"
 #include "hwstar/workload/distributions.h"
 
@@ -29,7 +29,7 @@ TEST(SumTest, Basic) {
 TEST(ParallelSumTest, MatchesSequential) {
   std::vector<int64_t> v(1000000);
   for (size_t i = 0; i < v.size(); ++i) v[i] = static_cast<int64_t>(i % 1000) - 500;
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   EXPECT_EQ(ParallelSum(v, &pool), Sum(v));
   EXPECT_EQ(ParallelSum(v, nullptr), Sum(v));
 }
@@ -96,7 +96,7 @@ TEST_P(AggEquivalence, MatchesReference) {
   }
   auto ref = Reference(keys, values);
 
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   HashAggregateOptions opts;
   opts.radix_bits = p.radix_bits;
   opts.pool = p.parallel ? &pool : nullptr;

@@ -2,7 +2,7 @@
 
 #include <thread>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/concurrent_hash_table.h"
 #include "hwstar/ops/hash_table.h"
 #include "hwstar/ops/join_nop.h"
@@ -70,7 +70,7 @@ TEST(ConcurrentHashTableTest, ConcurrentDuplicateKeys) {
 TEST(ParallelBuildJoinTest, MatchesSerialJoin) {
   auto build = workload::MakeBuildRelation(50000, 7);
   auto probe = workload::MakeProbeRelation(200000, 50000, 0.5, 8);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   NoPartitionJoinOptions serial;
   NoPartitionJoinOptions parallel;
   parallel.pool = &pool;
@@ -82,7 +82,7 @@ TEST(ParallelBuildJoinTest, MatchesSerialJoin) {
 TEST(ParallelBuildJoinTest, MaterializedPairsMatch) {
   auto build = workload::MakeBuildRelation(1000, 9);
   auto probe = workload::MakeProbeRelation(5000, 1000, 0.0, 10);
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
   NoPartitionJoinOptions serial;
   serial.materialize = true;
   NoPartitionJoinOptions parallel = serial;

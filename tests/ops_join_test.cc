@@ -4,7 +4,7 @@
 #include <map>
 #include <set>
 
-#include "hwstar/exec/thread_pool.h"
+#include "hwstar/exec/executor.h"
 #include "hwstar/ops/hash_table.h"
 #include "hwstar/ops/join_nop.h"
 #include "hwstar/ops/join_radix.h"
@@ -206,7 +206,7 @@ TEST_P(JoinEquivalence, AllAlgorithmsAgree) {
   // Dense build keys: every probe key < build_size matches exactly once.
   EXPECT_EQ(expected, p.probe_size);
 
-  exec::ThreadPool pool(2);
+  exec::Executor pool(2);
 
   NoPartitionJoinOptions npo_opts;
   npo_opts.pool = p.parallel ? &pool : nullptr;
