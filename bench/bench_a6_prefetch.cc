@@ -1,13 +1,18 @@
 // A6 (ablation) -- explicit memory-level parallelism in the probe phase.
 // Random probes of a DRAM-resident (64MB) hash table, with software
-// prefetching of the home slot `distance` keys ahead (group prefetching /
-// AMAC-lite). Expected shape: throughput rises from distance 0 as more
-// misses are put in flight explicitly, peaks around the machine's
-// miss-queue depth (~8-16), and declines slowly beyond it (prefetches
-// evicted before use). On an in-cache table the prefetch is pure overhead
-// -- the knob only matters when the structure misses, which is the
-// paper's point: the right code depends on where the data lands in the
-// hierarchy. Also includes the CAS-parallel shared build vs serial build.
+// prefetching of the home slot `distance` keys ahead
+// (CountMatchesBatch's distance-pipelined knob). Expected shape:
+// throughput rises from distance 0 as more misses are put in flight
+// explicitly, peaks around the machine's miss-queue depth (~8-16), and
+// declines slowly beyond it (prefetches evicted before use). On an
+// in-cache table the prefetch is pure overhead -- the knob only matters
+// when the structure misses, which is the paper's point: the right code
+// depends on where the data lands in the hierarchy. This sweep is the
+// *ablation* that exposes the machine's miss-queue depth; the production
+// batched kernels are the group-prefetch / AMAC FindBatch & ProbeBatch
+// family built on ops/probe_kernels.h, whose group-size analogue of this
+// sweep is measured end to end in bench_e18_mlp_probe. Also includes the
+// CAS-parallel shared build vs serial build.
 
 #include <benchmark/benchmark.h>
 

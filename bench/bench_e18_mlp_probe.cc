@@ -1,0 +1,255 @@
+// E18 -- memory-level parallelism in point-lookup kernels. Measures the
+// batched probe kernels (ops/probe_kernels.h) against their scalar
+// baselines at three residency levels (L1 / L2 / DRAM-resident tables),
+// group sizes {4, 8, 16, 32}, and hit rates {100%, 50%}:
+//
+//   linear/*   LinearProbeTable::FindBatch (group prefetching) vs Find
+//   chained/*  ChainedTable::FindBatch (AMAC) vs Find
+//   multiget/* KvStore::MultiGet (shard-run batches through the index
+//              kernel) vs a scalar Get loop, end to end
+//
+// Expected shape (the paper's): batching buys nothing while the table is
+// cache-resident (the kernel must merely not hurt there), and multiplies
+// throughput once probes miss to DRAM, because G independent misses
+// overlap in the miss queue instead of serializing. A speedup table is
+// printed at the end; pass --benchmark_format=json for raw JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/perf/report.h"
+#include "hwstar/workload/distributions.h"
+
+namespace {
+
+using hwstar::ops::ChainedTable;
+using hwstar::ops::LinearProbeTable;
+
+constexpr uint64_t kProbes = 1 << 20;
+
+struct SizeClass {
+  const char* label;
+  uint64_t build;  // entries; LinearProbeTable bytes = 32 * build at lf 0.5
+};
+
+// 512 entries -> 16KB slots (L1); 8192 -> 256KB (L2); 2M -> 64MB (DRAM).
+constexpr SizeClass kSizes[] = {
+    {"l1", 512}, {"l2", 8192}, {"dram", 1 << 21}};
+
+struct Fixture {
+  std::unique_ptr<LinearProbeTable> linear;
+  std::unique_ptr<ChainedTable> chained;
+  std::vector<uint64_t> probes_hit100;
+  std::vector<uint64_t> probes_hit50;
+};
+
+const Fixture& Get(size_t size_idx) {
+  static Fixture fixtures[3];
+  static bool built[3] = {};
+  Fixture& f = fixtures[size_idx];
+  if (!built[size_idx]) {
+    built[size_idx] = true;
+    const uint64_t n = kSizes[size_idx].build;
+    auto rel = hwstar::workload::MakeBuildRelation(n, 81 + size_idx);
+    f.linear = std::make_unique<LinearProbeTable>(n);
+    f.chained = std::make_unique<ChainedTable>(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      f.linear->Insert(rel.keys[i], rel.payloads[i]);
+      f.chained->Insert(rel.keys[i], rel.payloads[i]);
+    }
+    // Build keys are the dense set 0..n-1, so a uniform draw over [0, n)
+    // always hits and over [0, 2n) hits half the time.
+    f.probes_hit100 = hwstar::workload::UniformKeys(kProbes, n, 91);
+    f.probes_hit50 = hwstar::workload::UniformKeys(kProbes, 2 * n, 92);
+  }
+  return f;
+}
+
+template <typename Table>
+void BM_ScalarFind(benchmark::State& state, const Table& table,
+                   const std::vector<uint64_t>& probes, double table_mb) {
+  for (auto _ : state) {
+    uint64_t hits = 0, sum = 0;
+    for (const uint64_t key : probes) {
+      uint64_t v;
+      if (table.Find(key, &v)) {
+        ++hits;
+        sum += v;
+      }
+    }
+    benchmark::DoNotOptimize(hits);
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["table_mb"] = table_mb;
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+template <typename Table>
+void BM_BatchFind(benchmark::State& state, const Table& table,
+                  const std::vector<uint64_t>& probes, uint32_t group,
+                  double table_mb) {
+  std::vector<uint64_t> values(probes.size());
+  for (auto _ : state) {
+    const size_t hits = table.FindBatch(probes.data(), probes.size(),
+                                        values.data(), nullptr, group);
+    benchmark::DoNotOptimize(hits);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.counters["group"] = group;
+  state.counters["table_mb"] = table_mb;
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// End-to-end: the svc-style batched-get path (sorted keys -> same-shard
+// runs -> index FindBatch under one latch per run) vs a scalar Get loop.
+struct KvFixture {
+  hwstar::kv::KvStore store;
+  std::vector<uint64_t> probes;  // sorted: long same-shard runs
+  KvFixture() : store(hwstar::kv::KvOptions{.shards = 4}) {
+    constexpr uint64_t kKeys = 1 << 20;
+    uint64_t seed = 0x123;
+    std::vector<uint64_t> keys(kKeys);
+    for (auto& k : keys) {
+      k = hwstar::SplitMix64(seed);
+      store.Put(k, k ^ 0xff);
+    }
+    hwstar::Xoshiro256 rng(7);
+    probes.resize(kProbes);
+    for (auto& p : probes) p = keys[rng.NextBounded(kKeys)];
+    std::sort(probes.begin(), probes.end());
+  }
+};
+
+KvFixture& GetKv() {
+  static KvFixture* f = new KvFixture();
+  return *f;
+}
+
+void BM_MultiGetBatched(benchmark::State& state) {
+  KvFixture& f = GetKv();
+  auto& store = f.store;
+  std::vector<uint64_t> values(f.probes.size());
+  for (auto _ : state) {
+    store.MultiGet(f.probes.data(), f.probes.size(), values.data(), nullptr);
+    benchmark::DoNotOptimize(values.data());
+  }
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_MultiGetScalar(benchmark::State& state) {
+  KvFixture& f = GetKv();
+  auto& store = f.store;
+  for (auto _ : state) {
+    uint64_t sum = 0;
+    for (const uint64_t key : f.probes) {
+      auto r = store.Get(key);
+      if (r.ok()) sum += r.value();
+    }
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["Mlookups_per_s"] = benchmark::Counter(
+      static_cast<double>(kProbes) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Rows are named <family>/<size>/<hit>/<variant>; the speedup summary
+/// pairs each batched variant with its family's scalar row.
+void PrintSpeedups(const hwstar::bench::CollectingReporter& reporter) {
+  hwstar::perf::ReportTable table("E18 speedups: batched vs scalar",
+                                  {"config", "speedup_x"});
+  // Benchmark names carry an "/iterations:N" suffix; strip it before
+  // pairing rows.
+  auto strip = [](const std::string& name) {
+    const size_t pos = name.find("/iterations:");
+    return pos == std::string::npos ? name : name.substr(0, pos);
+  };
+  const auto& runs = reporter.captured();
+  for (const auto& run : runs) {
+    const std::string name = strip(run.name);
+    const size_t cut = name.rfind('/');
+    if (cut == std::string::npos || name.substr(cut) == "/scalar") continue;
+    const std::string scalar_name = name.substr(0, cut) + "/scalar";
+    for (const auto& base : runs) {
+      if (strip(base.name) == scalar_name && run.real_seconds > 0) {
+        table.AddRow({name, hwstar::perf::ReportTable::Num(
+                                base.real_seconds / run.real_seconds)});
+        break;
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  for (size_t s = 0; s < 3; ++s) {
+    const double mb = 32.0 * kSizes[s].build / (1 << 20);
+    for (const char* hit : {"hit100", "hit50"}) {
+      const bool full = hit[3] == '1';
+      auto probes = [s, full]() -> const std::vector<uint64_t>& {
+        const Fixture& f = Get(s);
+        return full ? f.probes_hit100 : f.probes_hit50;
+      };
+      std::string prefix = std::string("linear/") + kSizes[s].label + "/" + hit;
+      benchmark::RegisterBenchmark(
+          (prefix + "/scalar").c_str(),
+          [s, probes, mb](benchmark::State& st) {
+            BM_ScalarFind(st, *Get(s).linear, probes(), mb);
+          })
+          ->Iterations(3);
+      std::string cprefix =
+          std::string("chained/") + kSizes[s].label + "/" + hit;
+      benchmark::RegisterBenchmark(
+          (cprefix + "/scalar").c_str(),
+          [s, probes, mb](benchmark::State& st) {
+            BM_ScalarFind(st, *Get(s).chained, probes(), mb);
+          })
+          ->Iterations(3);
+      for (uint32_t g : {4u, 8u, 16u, 32u}) {
+        benchmark::RegisterBenchmark(
+            (prefix + "/gp_g" + std::to_string(g)).c_str(),
+            [s, probes, g, mb](benchmark::State& st) {
+              BM_BatchFind(st, *Get(s).linear, probes(), g, mb);
+            })
+            ->Iterations(3);
+        benchmark::RegisterBenchmark(
+            (cprefix + "/amac_k" + std::to_string(g)).c_str(),
+            [s, probes, g, mb](benchmark::State& st) {
+              BM_BatchFind(st, *Get(s).chained, probes(), g, mb);
+            })
+            ->Iterations(3);
+      }
+    }
+  }
+  benchmark::RegisterBenchmark("multiget/art/scalar", BM_MultiGetScalar)
+      ->Iterations(3);
+  benchmark::RegisterBenchmark("multiget/art/batched", BM_MultiGetBatched)
+      ->Iterations(3);
+
+  hwstar::bench::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.PrintTable("E18: batched (GP / AMAC) vs scalar point lookups",
+                      {"group", "table_mb", "Mlookups_per_s"});
+  PrintSpeedups(reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Smoke-runs a google-benchmark binary: executes only its first registered
+# benchmark (the binaries pin Iterations(3), so one family is seconds, the
+# full suite is minutes). Catches link/registration/fixture breakage in CI
+# without paying for a full measurement run.
+set -euo pipefail
+
+bin="$1"
+
+first="$("$bin" --benchmark_list_tests=true | head -n 1)"
+if [ -z "$first" ]; then
+  echo "bench_smoke: $bin lists no benchmarks" >&2
+  exit 1
+fi
+
+# Anchor the filter to exactly the first benchmark, escaping regex
+# metacharacters in its name (names use '/', which is literal, but also
+# e.g. '+' or ':' in modifier suffixes).
+escaped="$(printf '%s' "$first" | sed -e 's/[][\.|$(){}?+*^]/\\&/g')"
+exec "$bin" "--benchmark_filter=^${escaped}\$"

@@ -86,13 +86,14 @@ JoinQueryResult ExecuteJoin(const JoinQuery& query,
     for (uint64_t i = 0; i < build_rel.size(); ++i) {
       table.Insert(build_rel.keys[i], build_rel.payloads[i]);
     }
-    for (uint64_t i = 0; i < probe_rel.size(); ++i) {
-      const uint32_t c = table.CountMatches(probe_rel.keys[i]);
-      result.matches += c;
-      result.sum += static_cast<int64_t>(c) *
-                    (count_star ? 1
-                                : static_cast<int64_t>(probe_rel.payloads[i]));
-    }
+    // Batched probe keeps a group of probe keys' table misses in flight
+    // (ops/probe_kernels.h); the integer fold is order-insensitive, so the
+    // kernel's per-match callback order does not matter.
+    result.matches += table.ProbeBatch(
+        probe_rel.keys.data(), probe_rel.size(), [&](size_t i, uint64_t) {
+          result.sum +=
+              count_star ? 1 : static_cast<int64_t>(probe_rel.payloads[i]);
+        });
     return result;
   }
 

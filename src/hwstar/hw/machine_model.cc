@@ -1,8 +1,27 @@
 #include "hwstar/hw/machine_model.h"
 
+#include <atomic>
 #include <sstream>
 
 namespace hwstar::hw {
+
+namespace {
+std::atomic<uint32_t> g_probe_group_size{16};
+}  // namespace
+
+uint32_t DefaultProbeGroupSize() {
+  return g_probe_group_size.load(std::memory_order_relaxed);
+}
+
+void SetDefaultProbeGroupSize(uint32_t group_size) {
+  if (group_size < 1) group_size = 1;
+  if (group_size > 64) group_size = 64;
+  g_probe_group_size.store(group_size, std::memory_order_relaxed);
+}
+
+void MachineModel::ApplyProbeDefaults() const {
+  SetDefaultProbeGroupSize(probe_group_size);
+}
 
 MachineModel MachineModel::Server2013() {
   MachineModel m;
@@ -48,6 +67,8 @@ MachineModel MachineModel::ManyCore() {
   m.dram_latency_cycles = 300;
   m.numa_nodes = 4;
   m.numa_remote_multiplier = 2.0;
+  // Small in-order-ish cores track fewer outstanding misses.
+  m.probe_group_size = 8;
   return m;
 }
 

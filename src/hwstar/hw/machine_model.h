@@ -49,6 +49,14 @@ struct MachineModel {
   double energy_pj_l3_hit = 100.0;
   double energy_pj_dram = 2000.0;
   double energy_pj_instruction = 1.0;
+  /// Default group size for the batched probe kernels in hwstar::ops (the
+  /// GP group width / AMAC ring width): the number of independent cache
+  /// misses the kernels keep in flight. The useful range is bounded by the
+  /// core's miss-handling resources (~10 line-fill buffers on 2013-era
+  /// parts), which is why the default sits at 16 rather than scaling with
+  /// table size. Call ApplyProbeDefaults() to make a model's value the
+  /// process-wide default the kernels read when callers pass 0.
+  uint32_t probe_group_size = 16;
 
   /// A 2013-era two-socket server: 8 cores, 32KB/256KB/20MB caches, 2 NUMA
   /// nodes with 1.6x remote latency.
@@ -65,9 +73,24 @@ struct MachineModel {
   /// with the Server2013 defaults.
   static MachineModel FromHost(const CpuTopology& topo);
 
+  /// Publishes this model's tunables (currently probe_group_size) as the
+  /// process-wide defaults consumed by the ops batched probe kernels.
+  void ApplyProbeDefaults() const;
+
   /// One-line summary for reports.
   std::string ToString() const;
 };
+
+/// Process-wide default group size for the batched probe kernels; what the
+/// kernels use when a caller passes group_size = 0. Starts at 16 (the
+/// MachineModel default) and is runtime-tunable via
+/// SetDefaultProbeGroupSize / MachineModel::ApplyProbeDefaults. Reads and
+/// writes are relaxed atomics: the value is a performance hint, never a
+/// correctness input.
+uint32_t DefaultProbeGroupSize();
+
+/// Sets the process-wide default, clamped to [1, 64]. Thread-safe.
+void SetDefaultProbeGroupSize(uint32_t group_size);
 
 }  // namespace hwstar::hw
 

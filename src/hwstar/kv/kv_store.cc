@@ -61,25 +61,26 @@ void KvStore::MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
                        bool* found) {
   size_t i = 0;
   while (i < count) {
+    // One ShardOf per key: the run head's shard id is computed once and
+    // the extension loop classifies each subsequent key exactly once.
     const uint32_t s = ShardOf(keys[i]);
+    size_t end = i + 1;
+    while (end < count && ShardOf(keys[end]) == s) ++end;
+    const size_t run = end - i;
+
+    // Serve the whole same-shard run under one latch acquisition, through
+    // the index's batched probe kernel so the run's index descents
+    // overlap their cache misses (see ops/probe_kernels.h).
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    uint64_t gets = 0;
-    uint64_t hits = 0;
-    // Serve the whole same-shard run under one latch acquisition.
-    while (i < count && ShardOf(keys[i]) == s) {
-      uint64_t value = 0;
-      const bool hit = options_.index == IndexKind::kArt
-                           ? shard.art.Find(keys[i], &value)
-                           : shard.btree->Find(keys[i], &value);
-      values[i] = hit ? value : 0;
-      found[i] = hit;
-      ++gets;
-      hits += hit ? 1 : 0;
-      ++i;
-    }
-    shard.stats.gets.fetch_add(gets, kRelaxed);
+    bool* run_found = found == nullptr ? nullptr : found + i;
+    const size_t hits =
+        options_.index == IndexKind::kArt
+            ? shard.art.FindBatch(keys + i, run, values + i, run_found)
+            : shard.btree->FindBatch(keys + i, run, values + i, run_found);
+    shard.stats.gets.fetch_add(run, kRelaxed);
     shard.stats.hits.fetch_add(hits, kRelaxed);
+    i = end;
   }
 }
 

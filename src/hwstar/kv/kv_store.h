@@ -64,11 +64,18 @@ class KvStore {
   /// Point read; NotFound when absent.
   Result<uint64_t> Get(uint64_t key);
 
-  /// Batched point reads: fills values[i] / found[i] for each keys[i].
-  /// Contiguous runs of same-shard keys take the shard latch once per run
-  /// rather than once per key, so callers that group keys by shard (the
-  /// svc batcher sorts its get-batches exactly this way) amortize latch
-  /// and index-root costs across the whole batch.
+  /// Batched point reads: fills values[i] (the value, or 0 on a miss)
+  /// and found[i] for each keys[i]. `found` may be null when the caller
+  /// only wants values -- the per-key hit flags are then skipped
+  /// entirely (misses are still distinguishable only if 0 is not a
+  /// stored value). Contiguous runs of same-shard keys take the shard
+  /// latch once per run rather than once per key, and each run is served
+  /// through the index's batched probe kernel (ART/B+-tree FindBatch),
+  /// which keeps a group of index descents' cache misses in flight
+  /// instead of paying them one key at a time. Callers that group keys
+  /// by shard (the svc batcher sorts its get-batches exactly this way)
+  /// amortize latch, index-root, and miss-latency costs across the whole
+  /// batch.
   void MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
                 bool* found);
 

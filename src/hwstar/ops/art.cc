@@ -3,6 +3,7 @@
 #include <cstring>
 
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/probe_kernels.h"
 
 namespace hwstar::ops {
 
@@ -647,6 +648,88 @@ bool AdaptiveRadixTree::Find(uint64_t key, uint64_t* value) const {
     ++depth;
   }
   return false;
+}
+
+size_t AdaptiveRadixTree::FindBatch(const uint64_t* keys, size_t n,
+                                    uint64_t* values, bool* found,
+                                    uint32_t group_size) const {
+  size_t hits = 0;
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    for (size_t base = 0; base < n; base += G) {
+      const uint32_t m =
+          static_cast<uint32_t>(n - base < G ? n - base : G);
+      if (m < G) {
+        // Ragged tail: scalar descents.
+        for (uint32_t j = 0; j < m; ++j) {
+          uint64_t value = 0;
+          const bool hit = Find(keys[base + j], &value);
+          values[base + j] = hit ? value : 0;
+          if (found != nullptr) found[base + j] = hit;
+          hits += hit;
+        }
+        break;
+      }
+      // Interleaved descent: each round advances every live lane one
+      // node and prefetches its next node, so the G dependent-load
+      // chains overlap. A lane retires (leaf reached, prefix mismatch,
+      // or missing child) by publishing its result and going inactive.
+      const Node* cur[G];
+      uint32_t depth[G];
+      bool live[G];
+      uint32_t active = m;
+      for (uint32_t j = 0; j < m; ++j) {
+        cur[j] = root_;
+        depth[j] = 0;
+        live[j] = true;
+        if (root_ != nullptr) HWSTAR_PREFETCH(root_);
+      }
+      auto retire = [&](uint32_t j, uint64_t value, bool hit) {
+        values[base + j] = value;
+        if (found != nullptr) found[base + j] = hit;
+        hits += hit;
+        live[j] = false;
+        --active;
+      };
+      while (active > 0) {
+        for (uint32_t j = 0; j < m; ++j) {
+          if (!live[j]) continue;
+          const Node* node = cur[j];
+          if (node == nullptr) {
+            retire(j, 0, false);
+            continue;
+          }
+          const uint64_t key = keys[base + j];
+          if (node->kind == Node::kLeaf) {
+            if (node->key == key) {
+              retire(j, node->value, true);
+            } else {
+              retire(j, 0, false);
+            }
+            continue;
+          }
+          if (PrefixMatchLen(node, key, depth[j]) < node->prefix_len) {
+            retire(j, 0, false);
+            continue;
+          }
+          const uint32_t d = depth[j] + node->prefix_len;
+          const Node* child = FindChild(node, KeyByte(key, d));
+          if (child == nullptr) {
+            retire(j, 0, false);
+            continue;
+          }
+          // The child is the next round's dependent load; put its first
+          // lines in flight now. Leaves keep key/value in the first
+          // line; inner nodes spill their child arrays into the second.
+          HWSTAR_PREFETCH(child);
+          HWSTAR_PREFETCH(reinterpret_cast<const char*>(child) + 64);
+          cur[j] = child;
+          depth[j] = d + 1;
+        }
+      }
+    }
+  });
+  return hits;
 }
 
 bool AdaptiveRadixTree::Erase(uint64_t key) {

@@ -1,6 +1,7 @@
 #ifndef HWSTAR_OPS_ART_H_
 #define HWSTAR_OPS_ART_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
@@ -31,6 +32,17 @@ class AdaptiveRadixTree {
 
   /// Point lookup; false when absent.
   bool Find(uint64_t key, uint64_t* value) const;
+
+  /// Batched point lookups with interleaved descents: keys are processed
+  /// in groups of `group_size` (0 = hw::DefaultProbeGroupSize); each
+  /// round advances every still-descending key by one trie node and
+  /// prefetches the next node, so up to G node misses are in flight while
+  /// a scalar descent would hold exactly one. Results are bit-identical
+  /// to per-key Find: values[i] = value or 0 on miss, found[i] = hit flag
+  /// (skipped when `found` is null). Returns the number of hits. This is
+  /// the kernel KvStore::MultiGet feeds same-shard runs through.
+  size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   bool* found, uint32_t group_size = 0) const;
 
   /// Removes the key; false when absent. Freed paths collapse: an inner
   /// node left with a single child merges into that child (re-extending

@@ -3,6 +3,7 @@
 #include "hwstar/common/bits.h"
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/probe_kernels.h"
 
 namespace hwstar::ops {
 
@@ -54,6 +55,42 @@ bool BloomFilter::MayContain(uint64_t key) const {
   return true;
 }
 
+void BloomFilter::MayContainBatch(const uint64_t* keys, size_t n, bool* out,
+                                  uint32_t group_size) const {
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    uint64_t h1s[G];
+    uint64_t h2s[G];
+    const uint64_t mask = bit_count_ - 1;
+    GroupPrefetchLoop<G>(
+        n,
+        [&](uint32_t lane, size_t i) {
+          const uint64_t h1 = Mix64(keys[i]);
+          const uint64_t h2 = Mix64(keys[i] ^ 0x9e3779b97f4a7c15ULL) | 1;
+          h1s[lane] = h1;
+          h2s[lane] = h2;
+          HWSTAR_PREFETCH(&words_[ProbePos(h1, h2, 0, mask) >> 6]);
+        },
+        [&](uint32_t lane, size_t i) {
+          const uint64_t h1 = h1s[lane];
+          const uint64_t h2 = h2s[lane];
+          bool may = true;
+          for (uint32_t p = 0; p < num_hashes_; ++p) {
+            // Keep one probe ahead in flight within the key as well.
+            if (p + 1 < num_hashes_) {
+              HWSTAR_PREFETCH(&words_[ProbePos(h1, h2, p + 1, mask) >> 6]);
+            }
+            const uint64_t pos = ProbePos(h1, h2, p, mask);
+            if ((words_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) {
+              may = false;
+              break;
+            }
+          }
+          out[i] = may;
+        });
+  });
+}
+
 double BloomFilter::MeasureFpp(
     const std::vector<uint64_t>& absent_sample) const {
   if (absent_sample.empty()) return 0.0;
@@ -97,6 +134,38 @@ bool BlockedBloomFilter::MayContain(uint64_t key) const {
     if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
   }
   return true;
+}
+
+void BlockedBloomFilter::MayContainBatch(const uint64_t* keys, size_t n,
+                                         bool* out,
+                                         uint32_t group_size) const {
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    uint64_t blocks[G];
+    uint64_t h2s[G];
+    GroupPrefetchLoop<G>(
+        n,
+        [&](uint32_t lane, size_t i) {
+          const uint64_t block = Mix64(keys[i]) & (num_blocks_ - 1);
+          blocks[lane] = block;
+          h2s[lane] = Mix64(keys[i] ^ 0x9e3779b97f4a7c15ULL);
+          HWSTAR_PREFETCH(&words_[block * 8]);
+        },
+        [&](uint32_t lane, size_t i) {
+          const uint64_t h2 = h2s[lane];
+          const uint64_t* base = &words_[blocks[lane] * 8];
+          bool may = true;
+          for (uint32_t p = 0; p < num_hashes_; ++p) {
+            const uint32_t bit = static_cast<uint32_t>(
+                ((h2 >> ((p * 9) % 55)) ^ (h2 << (p % 7))) & (kBlockBits - 1));
+            if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) {
+              may = false;
+              break;
+            }
+          }
+          out[i] = may;
+        });
+  });
 }
 
 double BlockedBloomFilter::MeasureFpp(

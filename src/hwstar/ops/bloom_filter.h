@@ -1,6 +1,7 @@
 #ifndef HWSTAR_OPS_BLOOM_FILTER_H_
 #define HWSTAR_OPS_BLOOM_FILTER_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
 
@@ -17,6 +18,14 @@ class BloomFilter {
 
   void Add(uint64_t key);
   bool MayContain(uint64_t key) const;
+
+  /// Batched query with group prefetching: hashes `group_size` keys (0 =
+  /// hw::DefaultProbeGroupSize), prefetches each key's first probe word,
+  /// then tests the group. out[i] is bit-identical to MayContain(keys[i]).
+  /// Later probe words of a k-probe query still miss serially -- the
+  /// scattered layout is exactly why the blocked variant below exists.
+  void MayContainBatch(const uint64_t* keys, size_t n, bool* out,
+                       uint32_t group_size = 0) const;
 
   uint64_t bit_count() const { return bit_count_; }
   uint32_t num_hashes() const { return num_hashes_; }
@@ -43,6 +52,14 @@ class BlockedBloomFilter {
 
   void Add(uint64_t key);
   bool MayContain(uint64_t key) const;
+
+  /// Batched query with group prefetching. Because every query touches
+  /// exactly one cache line, one prefetch per key covers the whole query:
+  /// the group runs at full memory-level parallelism, which makes this
+  /// the strongest batch win of the filter pair. out[i] is bit-identical
+  /// to MayContain(keys[i]).
+  void MayContainBatch(const uint64_t* keys, size_t n, bool* out,
+                       uint32_t group_size = 0) const;
 
   uint64_t num_blocks() const { return num_blocks_; }
   uint32_t num_hashes() const { return num_hashes_; }

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/probe_kernels.h"
 
 namespace hwstar::ops {
 
@@ -174,6 +175,57 @@ bool BPlusTree::Find(uint64_t key, uint64_t* value) const {
     return true;
   }
   return false;
+}
+
+size_t BPlusTree::FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                            bool* found, uint32_t group_size) const {
+  size_t hits = 0;
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    for (size_t base = 0; base < n; base += G) {
+      const uint32_t m =
+          static_cast<uint32_t>(n - base < G ? n - base : G);
+      if (m < G) {
+        for (uint32_t j = 0; j < m; ++j) {
+          uint64_t value = 0;
+          const bool hit = Find(keys[base + j], &value);
+          values[base + j] = hit ? value : 0;
+          if (found != nullptr) found[base + j] = hit;
+          hits += hit;
+        }
+        break;
+      }
+      // Level-synchronous descent. Every leaf sits at the same depth, so
+      // one loop condition covers the whole group. Sweep 1 selects each
+      // lane's child and prefetches the Node object; sweep 2 (by which
+      // time those lines are in flight) reads each child's key-array
+      // pointer and prefetches the keys themselves -- the two dependent
+      // loads of the next level, both overlapped group-wide.
+      const Node* cur[G];
+      for (uint32_t j = 0; j < m; ++j) cur[j] = root_;
+      while (!cur[0]->leaf) {
+        const Node* next[G];
+        for (uint32_t j = 0; j < m; ++j) {
+          const Node* node = cur[j];
+          next[j] = node->children[UpperBoundIdx(node->keys, keys[base + j])];
+          HWSTAR_PREFETCH(next[j]);
+        }
+        for (uint32_t j = 0; j < m; ++j) {
+          HWSTAR_PREFETCH(next[j]->keys.data());
+          cur[j] = next[j];
+        }
+      }
+      for (uint32_t j = 0; j < m; ++j) {
+        const Node* leaf = cur[j];
+        const uint32_t pos = LowerBoundIdx(leaf->keys, keys[base + j]);
+        const bool hit = pos < leaf->count && leaf->keys[pos] == keys[base + j];
+        values[base + j] = hit ? leaf->values[pos] : 0;
+        if (found != nullptr) found[base + j] = hit;
+        hits += hit;
+      }
+    }
+  });
+  return hits;
 }
 
 bool BPlusTree::Erase(uint64_t key) {

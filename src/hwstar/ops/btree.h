@@ -33,6 +33,19 @@ class BPlusTree {
   /// Point lookup; false when absent.
   bool Find(uint64_t key, uint64_t* value) const;
 
+  /// Batched point lookups with level-synchronous group prefetching: the
+  /// group of `group_size` keys (0 = hw::DefaultProbeGroupSize) descends
+  /// the tree one level at a time; at each level every lane picks its
+  /// child and prefetches the child node, then a second sweep prefetches
+  /// each child's key array, so a whole group's next-level misses are in
+  /// flight together (all leaves sit at the same depth, so lanes stay in
+  /// lockstep). Results are bit-identical to per-key Find: values[i] =
+  /// value or 0 on miss, found[i] = hit flag (skipped when `found` is
+  /// null). Returns the number of hits. This is the kernel
+  /// KvStore::MultiGet feeds same-shard runs through for kBTree stores.
+  size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   bool* found, uint32_t group_size = 0) const;
+
   /// Removes the key from its leaf; false when absent. Leaves are not
   /// rebalanced or merged (deletes are rare in the target workloads and
   /// underfull leaves stay valid search/scan targets); inner separator

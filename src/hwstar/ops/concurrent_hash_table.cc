@@ -56,21 +56,6 @@ uint64_t ConcurrentHashTable::size() const {
   return count;
 }
 
-uint32_t ConcurrentHashTable::Probe(
-    uint64_t key, const std::function<void(uint64_t)>& fn) const {
-  uint64_t slot = HomeSlot(key);
-  uint32_t matches = 0;
-  for (;;) {
-    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-    if (k == kEmpty) return matches;
-    if (k == key) {
-      fn(values_[slot].load(std::memory_order_acquire));
-      ++matches;
-    }
-    slot = (slot + 1) & mask_;
-  }
-}
-
 bool ConcurrentHashTable::Find(uint64_t key, uint64_t* value) const {
   uint64_t slot = HomeSlot(key);
   for (;;) {
@@ -82,6 +67,54 @@ bool ConcurrentHashTable::Find(uint64_t key, uint64_t* value) const {
     }
     slot = (slot + 1) & mask_;
   }
+}
+
+size_t ConcurrentHashTable::FindBatch(const uint64_t* keys, size_t n,
+                                      uint64_t* values, bool* found,
+                                      uint32_t group_size) const {
+  size_t hits = 0;
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    if (n < G) {
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t value = 0;
+        const bool hit = Find(keys[i], &value);
+        values[i] = hit ? value : 0;
+        if (found != nullptr) found[i] = hit;
+        hits += hit;
+      }
+      return;
+    }
+    uint64_t slots[G];
+    GroupPrefetchLoop<G>(
+        n,
+        [&](uint32_t lane, size_t i) {
+          const uint64_t slot = HomeSlot(keys[i]);
+          slots[lane] = slot;
+          HWSTAR_PREFETCH(&keys_[slot]);
+          HWSTAR_PREFETCH(&values_[slot]);
+        },
+        [&](uint32_t lane, size_t i) {
+          const uint64_t key = keys[i];
+          uint64_t slot = slots[lane];
+          uint64_t value = 0;
+          bool hit = false;
+          for (;;) {
+            const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+            if (k == kEmpty) break;
+            if (k == key) {
+              value = values_[slot].load(std::memory_order_acquire);
+              hit = true;
+              break;
+            }
+            slot = (slot + 1) & mask_;
+          }
+          values[i] = value;
+          if (found != nullptr) found[i] = hit;
+          hits += hit;
+        });
+  });
+  return hits;
 }
 
 }  // namespace hwstar::ops

@@ -8,6 +8,7 @@
 
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/probe_kernels.h"
 
 namespace hwstar::ops {
 
@@ -44,8 +45,73 @@ class ConcurrentHashTable {
   bool Find(uint64_t key, uint64_t* value) const;
 
   /// Invokes fn(value) for every match; returns the match count. Same
-  /// safety contract as CountMatches.
-  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const;
+  /// safety contract as CountMatches. Templated so the per-key path
+  /// inlines the callable (no std::function indirection per match).
+  template <typename Fn>
+  uint32_t Probe(uint64_t key, Fn&& fn) const {
+    uint64_t slot = HomeSlot(key);
+    uint32_t matches = 0;
+    for (;;) {
+      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+      if (k == kEmpty) return matches;
+      if (k == key) {
+        fn(values_[slot].load(std::memory_order_acquire));
+        ++matches;
+      }
+      slot = (slot + 1) & mask_;
+    }
+  }
+
+  /// Type-erased convenience overload; forwards to the template above.
+  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const {
+    return Probe<const std::function<void(uint64_t)>&>(key, fn);
+  }
+
+  /// Batched Find with group prefetching (see LinearProbeTable::FindBatch
+  /// for the exact results contract: values[i] = first match or 0,
+  /// found[i] optional, returns hit count). The safety contract is the
+  /// scalar one -- concurrent readers are always safe, and reading while
+  /// builders are still inserting is safe but may miss (or observe a
+  /// zero value for) entries whose publication races the probe; prefetch
+  /// never changes that, as it has no architectural effect on the
+  /// memory model.
+  size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   bool* found, uint32_t group_size = 0) const;
+
+  /// Batched full probe with group prefetching: fn(i, value) per match,
+  /// in scalar loop order. Returns total matches. Same safety contract
+  /// as CountMatches.
+  template <typename Fn>
+  uint64_t ProbeBatch(const uint64_t* keys, size_t n, Fn&& fn,
+                      uint32_t group_size = 0) const {
+    uint64_t matches = 0;
+    WithProbeGroup(group_size, [&](auto g) {
+      constexpr uint32_t G = decltype(g)::value;
+      uint64_t slots[G];
+      GroupPrefetchLoop<G>(
+          n,
+          [&](uint32_t lane, size_t i) {
+            const uint64_t slot = HomeSlot(keys[i]);
+            slots[lane] = slot;
+            HWSTAR_PREFETCH(&keys_[slot]);
+            HWSTAR_PREFETCH(&values_[slot]);
+          },
+          [&](uint32_t lane, size_t i) {
+            const uint64_t key = keys[i];
+            uint64_t slot = slots[lane];
+            for (;;) {
+              const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+              if (k == kEmpty) break;
+              if (k == key) {
+                fn(i, values_[slot].load(std::memory_order_acquire));
+                ++matches;
+              }
+              slot = (slot + 1) & mask_;
+            }
+          });
+    });
+    return matches;
+  }
 
   uint64_t capacity() const { return mask_ + 1; }
 

@@ -27,20 +27,6 @@ void LinearProbeTable::Insert(uint64_t key, uint64_t value) {
   ++size_;
 }
 
-uint32_t LinearProbeTable::Probe(
-    uint64_t key, const std::function<void(uint64_t)>& fn) const {
-  uint64_t slot = HomeSlot(key);
-  uint32_t matches = 0;
-  while (keys_[slot] != kEmpty) {
-    if (keys_[slot] == key) {
-      fn(values_[slot]);
-      ++matches;
-    }
-    slot = (slot + 1) & mask_;
-  }
-  return matches;
-}
-
 bool LinearProbeTable::Find(uint64_t key, uint64_t* out) const {
   uint64_t slot = HomeSlot(key);
   while (keys_[slot] != kEmpty) {
@@ -51,6 +37,53 @@ bool LinearProbeTable::Find(uint64_t key, uint64_t* out) const {
     slot = (slot + 1) & mask_;
   }
   return false;
+}
+
+size_t LinearProbeTable::FindBatch(const uint64_t* keys, size_t n,
+                                   uint64_t* values, bool* found,
+                                   uint32_t group_size) const {
+  size_t hits = 0;
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t G = decltype(g)::value;
+    if (n < G) {
+      // Tiny batch: the scalar path, with no staging overhead.
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t value = 0;
+        const bool hit = Find(keys[i], &value);
+        values[i] = hit ? value : 0;
+        if (found != nullptr) found[i] = hit;
+        hits += hit;
+      }
+      return;
+    }
+    uint64_t slots[G];
+    GroupPrefetchLoop<G>(
+        n,
+        [&](uint32_t lane, size_t i) {
+          const uint64_t slot = HomeSlot(keys[i]);
+          slots[lane] = slot;
+          HWSTAR_PREFETCH(&keys_[slot]);
+          HWSTAR_PREFETCH(&values_[slot]);
+        },
+        [&](uint32_t lane, size_t i) {
+          const uint64_t key = keys[i];
+          uint64_t slot = slots[lane];
+          uint64_t value = 0;
+          bool hit = false;
+          while (keys_[slot] != kEmpty) {
+            if (keys_[slot] == key) {
+              value = values_[slot];
+              hit = true;
+              break;
+            }
+            slot = (slot + 1) & mask_;
+          }
+          values[i] = value;
+          if (found != nullptr) found[i] = hit;
+          hits += hit;
+        });
+  });
+  return hits;
 }
 
 uint64_t LinearProbeTable::CountMatchesBatch(const uint64_t* keys, uint64_t n,
@@ -96,21 +129,6 @@ void ChainedTable::Insert(uint64_t key, uint64_t value) {
   ++size_;
 }
 
-uint32_t ChainedTable::Probe(uint64_t key,
-                             const std::function<void(uint64_t)>& fn) const {
-  uint64_t b = HomeSlot(key);
-  uint32_t matches = 0;
-  for (int64_t n = buckets_[b]; n >= 0;
-       n = nodes_[static_cast<size_t>(n)].next) {
-    const Node& node = nodes_[static_cast<size_t>(n)];
-    if (node.key == key) {
-      fn(node.value);
-      ++matches;
-    }
-  }
-  return matches;
-}
-
 uint32_t ChainedTable::CountMatches(uint64_t key) const {
   uint64_t b = HomeSlot(key);
   uint32_t matches = 0;
@@ -132,6 +150,94 @@ bool ChainedTable::Find(uint64_t key, uint64_t* out) const {
     }
   }
   return false;
+}
+
+size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
+                               uint64_t* values, bool* found,
+                               uint32_t group_size) const {
+  size_t hits = 0;
+  if (MemoryBytes() < kAmacMinTableBytes) {
+    // Cache-resident table: the ring would only add overhead (see the
+    // kAmacMinTableBytes comment in the header).
+    for (size_t i = 0; i < n; ++i) {
+      uint64_t value = 0;
+      const bool hit = Find(keys[i], &value);
+      values[i] = hit ? value : 0;
+      if (found != nullptr) found[i] = hit;
+      hits += hit;
+    }
+    return hits;
+  }
+  WithProbeGroup(group_size, [&](auto g) {
+    constexpr uint32_t K = decltype(g)::value;
+    if (n < K) {
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t value = 0;
+        const bool hit = Find(keys[i], &value);
+        values[i] = hit ? value : 0;
+        if (found != nullptr) found[i] = hit;
+        hits += hit;
+      }
+      return;
+    }
+    // AMAC walk: stage 0 prefetches the bucket head, each later stage
+    // inspects one node and prefetches the next, stopping at the first
+    // match (Find semantics).
+    struct Job {
+      struct State {
+        uint64_t key;
+        size_t i;
+        uint64_t bucket;
+        int64_t node;
+        bool at_bucket;
+      };
+      const ChainedTable* table;
+      uint64_t* values;
+      bool* found;
+      size_t* hits;
+      const uint64_t* keys;
+
+      void Finish(State& st, uint64_t value, bool hit) const {
+        values[st.i] = value;
+        if (found != nullptr) found[st.i] = hit;
+        *hits += hit;
+      }
+      void Start(State& st, size_t i) {
+        st.key = keys[i];
+        st.i = i;
+        st.bucket = table->HomeSlot(st.key);
+        st.at_bucket = true;
+        HWSTAR_PREFETCH(&table->buckets_[st.bucket]);
+      }
+      bool Step(State& st) {
+        if (st.at_bucket) {
+          st.node = table->buckets_[st.bucket];
+          st.at_bucket = false;
+          if (st.node < 0) {
+            Finish(st, 0, false);
+            return false;
+          }
+          HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+          return true;
+        }
+        const Node& node = table->nodes_[static_cast<size_t>(st.node)];
+        if (node.key == st.key) {
+          Finish(st, node.value, true);
+          return false;
+        }
+        st.node = node.next;
+        if (st.node < 0) {
+          Finish(st, 0, false);
+          return false;
+        }
+        HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+        return true;
+      }
+    };
+    Job job{this, values, found, &hits, keys};
+    AmacLoop<K>(n, job);
+  });
+  return hits;
 }
 
 double ChainedTable::MeasureAvgProbeLength(

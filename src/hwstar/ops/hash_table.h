@@ -7,6 +7,7 @@
 
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/probe_kernels.h"
 
 namespace hwstar::ops {
 
@@ -30,7 +31,28 @@ class LinearProbeTable {
   void Insert(uint64_t key, uint64_t value);
 
   /// Invokes fn(value) for every entry matching key; returns match count.
-  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const;
+  /// Templated on the callable so the per-key hot path inlines it -- a
+  /// std::function here would cost an indirect call per match (measured
+  /// in E2/A2 as a double-digit-percent probe tax).
+  template <typename Fn>
+  uint32_t Probe(uint64_t key, Fn&& fn) const {
+    uint64_t slot = HomeSlot(key);
+    uint32_t matches = 0;
+    while (keys_[slot] != kEmpty) {
+      if (keys_[slot] == key) {
+        fn(values_[slot]);
+        ++matches;
+      }
+      slot = (slot + 1) & mask_;
+    }
+    return matches;
+  }
+
+  /// Type-erased convenience overload for callers that already hold a
+  /// std::function; forwards to the template above.
+  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const {
+    return Probe<const std::function<void(uint64_t)>&>(key, fn);
+  }
 
   /// Counts matches without a callback. This is the join hot path: no
   /// statistics are recorded so it is safe to call concurrently from many
@@ -45,11 +67,14 @@ class LinearProbeTable {
     return matches;
   }
 
-  /// Batch counting probe with software prefetching: the home slot of the
-  /// key `distance` positions ahead is prefetched before the current key
-  /// is processed, so independent misses overlap explicitly instead of
-  /// relying on the out-of-order window (group prefetching / AMAC-lite).
-  /// distance == 0 degenerates to a plain loop. Returns total matches.
+  /// Batch counting probe with *distance-pipelined* software prefetching:
+  /// the home slot of the key `distance` positions ahead is prefetched
+  /// before the current key is processed. This is the A6 ablation knob
+  /// (sweeping the distance exposes the machine's miss-queue depth); the
+  /// production batched kernels are FindBatch / ProbeBatch below, which
+  /// use the group-prefetch discipline from probe_kernels.h instead of a
+  /// tunable distance. distance == 0 degenerates to a plain loop.
+  /// Returns total matches.
   uint64_t CountMatchesBatch(const uint64_t* keys, uint64_t n,
                              uint32_t prefetch_distance = 8) const;
 
@@ -59,6 +84,52 @@ class LinearProbeTable {
 
   /// Returns the first matching value through `out`; false when absent.
   bool Find(uint64_t key, uint64_t* out) const;
+
+  /// Batched Find with group prefetching: hashes keys in groups of
+  /// `group_size` (0 = hw::DefaultProbeGroupSize, rounded to a compiled
+  /// size), prefetches every group member's home slot, then probes the
+  /// group -- so up to G misses overlap instead of serializing. Results
+  /// are bit-identical to calling Find per key: values[i] gets the first
+  /// matching value, or 0 on a miss; found[i] (skipped entirely when
+  /// `found` is null) gets the hit flag. Returns the number of hits.
+  /// Batches smaller than one group fall back to the scalar path.
+  size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   bool* found, uint32_t group_size = 0) const;
+
+  /// Batched full probe with group prefetching: invokes fn(i, value) for
+  /// every entry matching keys[i], for each i in [0, n). Callbacks fire
+  /// in the same order as a scalar `for i: Probe(keys[i], ...)` loop.
+  /// Returns the total match count; with an empty fn the optimizer
+  /// reduces this to a pure batched match counter (the join count path).
+  template <typename Fn>
+  uint64_t ProbeBatch(const uint64_t* keys, size_t n, Fn&& fn,
+                      uint32_t group_size = 0) const {
+    uint64_t matches = 0;
+    WithProbeGroup(group_size, [&](auto g) {
+      constexpr uint32_t G = decltype(g)::value;
+      uint64_t slots[G];
+      GroupPrefetchLoop<G>(
+          n,
+          [&](uint32_t lane, size_t i) {
+            const uint64_t slot = HomeSlot(keys[i]);
+            slots[lane] = slot;
+            HWSTAR_PREFETCH(&keys_[slot]);
+            HWSTAR_PREFETCH(&values_[slot]);
+          },
+          [&](uint32_t lane, size_t i) {
+            const uint64_t key = keys[i];
+            uint64_t slot = slots[lane];
+            while (keys_[slot] != kEmpty) {
+              if (keys_[slot] == key) {
+                fn(i, values_[slot]);
+                ++matches;
+              }
+              slot = (slot + 1) & mask_;
+            }
+          });
+    });
+    return matches;
+  }
 
   uint64_t capacity() const { return mask_ + 1; }
   uint64_t size() const { return size_; }
@@ -82,15 +153,119 @@ class LinearProbeTable {
 
 /// Chained (bucket + linked list) hash table: the textbook,
 /// hardware-oblivious baseline. Every probe step dereferences a node
-/// pointer, i.e., a dependent cache miss once out of cache.
+/// pointer, i.e., a dependent cache miss once out of cache. The batched
+/// lookups below are the AMAC counterexample: even this layout recovers
+/// memory-level parallelism when K walks are interleaved explicitly.
 class ChainedTable {
  public:
   explicit ChainedTable(uint64_t expected_buckets);
 
   void Insert(uint64_t key, uint64_t value);
-  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const;
+
+  /// Invokes fn(value) for every match; returns the match count.
+  /// Templated for the same per-key inlining reason as
+  /// LinearProbeTable::Probe.
+  template <typename Fn>
+  uint32_t Probe(uint64_t key, Fn&& fn) const {
+    uint64_t b = HomeSlot(key);
+    uint32_t matches = 0;
+    for (int64_t n = buckets_[b]; n >= 0;
+         n = nodes_[static_cast<size_t>(n)].next) {
+      const Node& node = nodes_[static_cast<size_t>(n)];
+      if (node.key == key) {
+        fn(node.value);
+        ++matches;
+      }
+    }
+    return matches;
+  }
+
+  /// Type-erased convenience overload; forwards to the template above.
+  uint32_t Probe(uint64_t key, const std::function<void(uint64_t)>& fn) const {
+    return Probe<const std::function<void(uint64_t)>&>(key, fn);
+  }
+
   uint32_t CountMatches(uint64_t key) const;
   bool Find(uint64_t key, uint64_t* out) const;
+
+  /// Below this footprint the table is (almost) cache-resident, chain
+  /// steps hit, and the AMAC ring's state shuffling is pure overhead
+  /// (E18 measured up to ~2x slowdown on an L1-resident table). FindBatch
+  /// and ProbeBatch degrade to the scalar walk under it -- the paper's
+  /// discipline: the right code depends on where the data lands in the
+  /// hierarchy, so the kernel checks.
+  static constexpr uint64_t kAmacMinTableBytes = 2u << 20;
+
+  /// Batched Find via AMAC: a ring of `group_size` in-flight bucket walks
+  /// (each stage prefetches its next node and yields), so chained misses
+  /// overlap across keys even though each chain is serial. Bit-identical
+  /// to per-key Find: values[i] = first match or 0, found[i] = hit flag
+  /// (skipped when `found` is null). Returns the number of hits. Tables
+  /// under kAmacMinTableBytes take the scalar walk instead.
+  size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
+                   bool* found, uint32_t group_size = 0) const;
+
+  /// Batched full probe via AMAC: fn(i, value) for every node matching
+  /// keys[i]. Keys complete out of order (the ring interleaves walks), so
+  /// callback order is unspecified across keys; within one key, matches
+  /// arrive in chain order. Returns the total match count. Tables under
+  /// kAmacMinTableBytes take the scalar walk (in order) instead.
+  template <typename Fn>
+  uint64_t ProbeBatch(const uint64_t* keys, size_t n, Fn&& fn,
+                      uint32_t group_size = 0) const {
+    uint64_t matches = 0;
+    if (MemoryBytes() < kAmacMinTableBytes) {
+      for (size_t i = 0; i < n; ++i) {
+        matches += Probe(keys[i], [&](uint64_t value) { fn(i, value); });
+      }
+      return matches;
+    }
+    WithProbeGroup(group_size, [&](auto g) {
+      constexpr uint32_t K = decltype(g)::value;
+      struct Job {
+        struct State {
+          uint64_t key;
+          size_t i;
+          uint64_t bucket;
+          int64_t node;
+          bool at_bucket;
+        };
+        const ChainedTable* table;
+        Fn* fn;
+        uint64_t* matches;
+        const uint64_t* keys;
+
+        void Start(State& st, size_t i) {
+          st.key = keys[i];
+          st.i = i;
+          st.bucket = table->HomeSlot(st.key);
+          st.at_bucket = true;
+          HWSTAR_PREFETCH(&table->buckets_[st.bucket]);
+        }
+        bool Step(State& st) {
+          if (st.at_bucket) {
+            st.node = table->buckets_[st.bucket];
+            st.at_bucket = false;
+            if (st.node < 0) return false;
+            HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+            return true;
+          }
+          const Node& node = table->nodes_[static_cast<size_t>(st.node)];
+          if (node.key == st.key) {
+            (*fn)(st.i, node.value);
+            ++*matches;
+          }
+          st.node = node.next;
+          if (st.node < 0) return false;
+          HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+          return true;
+        }
+      };
+      Job job{this, &fn, &matches, keys};
+      AmacLoop<K>(n, job);
+    });
+    return matches;
+  }
 
   /// Diagnostic: average chain length over a sample of keys.
   double MeasureAvgProbeLength(const std::vector<uint64_t>& sample) const;

@@ -12,31 +12,75 @@ namespace hwstar::ops {
 
 namespace {
 
-/// Shared probe driver over any table with CountMatches/Probe. `bloom`
-/// (optional) rejects definite non-matches before the table is touched.
+/// Bloom pre-filter chunk width: big enough to amortize the compaction
+/// loop, small enough that the scratch arrays live comfortably on the
+/// worker's stack (and in its L1).
+constexpr size_t kProbeChunk = 256;
+
+/// Shared probe driver over any table with a batched ProbeBatch kernel.
+/// `bloom` (optional) rejects definite non-matches before the table is
+/// touched; survivors are compacted and fed to the table's batched probe
+/// so a chunk's table misses stay in flight together (probe_kernels.h).
+/// With a ChainedTable the batch kernel is AMAC, which completes keys out
+/// of order, so pair output order is unspecified (matches are a multiset).
 template <typename Table>
 JoinResult ProbeAll(const Table& table, const Relation& probe,
                     const NoPartitionJoinOptions& options,
                     const BlockedBloomFilter* bloom) {
   JoinResult result;
   const uint64_t n = probe.size();
-  if (options.pool == nullptr) {
-    if (options.materialize) {
-      for (uint64_t i = 0; i < n; ++i) {
-        const uint64_t key = probe.keys[i];
-        if (bloom != nullptr && !bloom->MayContain(key)) continue;
-        const uint64_t payload = probe.payloads[i];
-        result.matches += table.Probe(key, [&](uint64_t build_payload) {
-          result.pairs.push_back(JoinPair{build_payload, payload});
-        });
+
+  // Probes rows [begin, end); accumulates into *matches and (when
+  // materializing) *pairs. Shared by the serial and morsel-parallel paths.
+  auto probe_range = [&](uint64_t begin, uint64_t end, uint64_t* matches,
+                         std::vector<JoinPair>* pairs) {
+    const uint64_t* keys = probe.keys.data();
+    if (bloom == nullptr) {
+      if (pairs != nullptr) {
+        *matches += table.ProbeBatch(
+            keys + begin, end - begin, [&](size_t j, uint64_t build_payload) {
+              pairs->push_back(
+                  JoinPair{build_payload, probe.payloads[begin + j]});
+            });
+      } else {
+        *matches +=
+            table.ProbeBatch(keys + begin, end - begin, [](size_t, uint64_t) {});
       }
-    } else {
-      for (uint64_t i = 0; i < n; ++i) {
-        const uint64_t key = probe.keys[i];
-        if (bloom != nullptr && !bloom->MayContain(key)) continue;
-        result.matches += table.CountMatches(key);
+      return;
+    }
+    // Bloom pre-filter a chunk at a time, compact the survivors (keeping
+    // their original row ids for payload lookup), then batch-probe them.
+    bool may[kProbeChunk];
+    uint64_t pass_keys[kProbeChunk];
+    uint64_t pass_rows[kProbeChunk];
+    for (uint64_t base = begin; base < end; base += kProbeChunk) {
+      const size_t m =
+          static_cast<size_t>(end - base < kProbeChunk ? end - base
+                                                       : kProbeChunk);
+      bloom->MayContainBatch(keys + base, m, may);
+      size_t live = 0;
+      for (size_t j = 0; j < m; ++j) {
+        if (!may[j]) continue;
+        pass_keys[live] = keys[base + j];
+        pass_rows[live] = base + j;
+        ++live;
+      }
+      if (live == 0) continue;
+      if (pairs != nullptr) {
+        *matches += table.ProbeBatch(
+            pass_keys, live, [&](size_t j, uint64_t build_payload) {
+              pairs->push_back(
+                  JoinPair{build_payload, probe.payloads[pass_rows[j]]});
+            });
+      } else {
+        *matches += table.ProbeBatch(pass_keys, live, [](size_t, uint64_t) {});
       }
     }
+  };
+
+  if (options.pool == nullptr) {
+    probe_range(0, n, &result.matches,
+                options.materialize ? &result.pairs : nullptr);
     return result;
   }
 
@@ -49,18 +93,8 @@ JoinResult ProbeAll(const Table& table, const Relation& probe,
       [&](uint32_t /*worker*/, exec::Morsel m) {
         uint64_t local_matches = 0;
         std::vector<JoinPair> local_pairs;
-        for (uint64_t i = m.begin; i < m.end; ++i) {
-          const uint64_t key = probe.keys[i];
-          if (bloom != nullptr && !bloom->MayContain(key)) continue;
-          if (options.materialize) {
-            const uint64_t payload = probe.payloads[i];
-            local_matches += table.Probe(key, [&](uint64_t build_payload) {
-              local_pairs.push_back(JoinPair{build_payload, payload});
-            });
-          } else {
-            local_matches += table.CountMatches(key);
-          }
-        }
+        probe_range(m.begin, m.end, &local_matches,
+                    options.materialize ? &local_pairs : nullptr);
         matches.fetch_add(local_matches, std::memory_order_relaxed);
         if (!local_pairs.empty()) {
           std::lock_guard<std::mutex> lock(pairs_mutex);

@@ -32,18 +32,19 @@ void JoinPartition(const Relation& r, uint64_t rb, uint64_t re,
   for (uint64_t i = rb; i < re; ++i) {
     table.Insert(r.keys[i], r.payloads[i]);
   }
-  uint64_t local = 0;
-  for (uint64_t i = sb; i < se; ++i) {
-    if (materialize) {
-      const uint64_t payload = s.payloads[i];
-      local += table.Probe(s.keys[i], [&](uint64_t build_payload) {
-        pairs->push_back(JoinPair{build_payload, payload});
-      });
-    } else {
-      local += table.CountMatches(s.keys[i]);
-    }
+  // Batched probe: even with a cache-resident table, the group kernel
+  // overlaps whatever misses remain (first touch, L1 conflict evictions)
+  // and keeps the partition loop branch-light (probe_kernels.h).
+  const uint64_t* probe_keys = s.keys.data() + sb;
+  const size_t probe_n = static_cast<size_t>(se - sb);
+  if (materialize) {
+    *matches += table.ProbeBatch(
+        probe_keys, probe_n, [&](size_t j, uint64_t build_payload) {
+          pairs->push_back(JoinPair{build_payload, s.payloads[sb + j]});
+        });
+  } else {
+    *matches += table.ProbeBatch(probe_keys, probe_n, [](size_t, uint64_t) {});
   }
-  *matches += local;
 }
 
 }  // namespace

@@ -164,7 +164,10 @@ void Service::ExecuteBatch(Batch* batch) {
   if (batch->type == RequestType::kPointGet && kv_ != nullptr &&
       batch->tickets.size() > 1) {
     // The batched fast path: one MultiGet resolves the whole (same-shard,
-    // key-sorted) batch under a single latch acquisition.
+    // key-sorted) batch under a single latch acquisition, and MultiGet in
+    // turn serves the run through the index's batched probe kernel
+    // (ops/probe_kernels.h) so the batch's index-descent cache misses
+    // overlap instead of serializing.
     const uint64_t exec_start = ServiceNow();
     const size_t n = batch->tickets.size();
     std::vector<uint64_t> keys(n);
