@@ -1,0 +1,254 @@
+// E19 -- streaming on the Executor. Two questions:
+//
+//   agg/rows*      How does micro-batch size trade ingest throughput
+//                  against window-emission latency? Small batches pay
+//                  dispatch/partitioning overhead per row; large batches
+//                  amortize it but hold results back until the batch's
+//                  watermark arrives, so p99 emission latency climbs.
+//
+//   join/<size>/*  Does the streaming hash join inherit the E18
+//                  memory-level-parallelism win? The same stream probes a
+//                  build table at L2-resident and DRAM-resident sizes,
+//                  through the scalar probe loop, the batched GP kernel,
+//                  and the Bloom-prefiltered batched path. Expected shape:
+//                  variants tie while the table is cache-resident and the
+//                  batched kernels pull ahead once probes miss to DRAM.
+//
+// A speedup summary (batched vs scalar per size class) prints at the end;
+// pass --benchmark_format=json for raw JSON.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/exec/executor.h"
+#include "hwstar/perf/report.h"
+#include "hwstar/stream/join.h"
+#include "hwstar/stream/pipeline.h"
+#include "hwstar/stream/source.h"
+#include "hwstar/stream/window.h"
+#include "hwstar/workload/ycsb_like.h"
+
+namespace {
+
+using hwstar::exec::Executor;
+using hwstar::stream::BackpressurePolicy;
+using hwstar::stream::EventTimeOptions;
+using hwstar::stream::Pipeline;
+using hwstar::stream::PipelineBuilder;
+using hwstar::stream::PipelineOptions;
+using hwstar::stream::Sink;
+using hwstar::stream::StreamBatch;
+using hwstar::stream::StreamJoinOptions;
+using hwstar::stream::StreamTableJoin;
+using hwstar::stream::WindowAggregator;
+using hwstar::stream::WindowResult;
+using hwstar::stream::WindowSpec;
+using hwstar::stream::YcsbSource;
+
+constexpr uint64_t kStreamRows = 1 << 20;
+constexpr uint32_t kWorkers = 4;
+
+/// Consumes output without retaining it; keeps the sink off the profile.
+class NullSink : public Sink {
+ public:
+  void OnBatch(uint32_t /*partition*/, const StreamBatch& batch) override {
+    rows_.fetch_add(batch.size(), std::memory_order_relaxed);
+  }
+  void OnWindows(uint32_t /*partition*/,
+                 const std::vector<WindowResult>& results) override {
+    rows_.fetch_add(results.size(), std::memory_order_relaxed);
+  }
+  uint64_t rows() const { return rows_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> rows_{0};
+};
+
+hwstar::workload::YcsbConfig StreamConfig(uint64_t key_space) {
+  hwstar::workload::YcsbConfig cfg;
+  cfg.record_count = key_space;
+  cfg.operation_count = kStreamRows;
+  cfg.zipf_theta = 0.0;  // uniform: hit rate = build coverage exactly
+  cfg.seed = 77;
+  return cfg;
+}
+
+// ---------------------------------------------------------------------------
+// agg/rows<N>: windowed aggregation throughput and emission latency vs
+// micro-batch size.
+
+void BM_WindowedAgg(benchmark::State& state, uint32_t batch_rows) {
+  EventTimeOptions time;
+  time.max_disorder = 256;
+  uint64_t p50 = 0, p99 = 0;
+  for (auto _ : state) {
+    Executor executor(kWorkers);
+    YcsbSource source(StreamConfig(1 << 16), time);
+    WindowAggregator agg(WindowSpec::Tumbling(8192));
+    NullSink sink;
+    PipelineOptions opts;
+    opts.partitions = kWorkers;
+    opts.batch_rows = batch_rows;
+    opts.lateness_bound = 256;
+    auto pipeline = PipelineBuilder(&executor)
+                        .From(&source)
+                        .Aggregate(&agg)
+                        .To(&sink)
+                        .With(opts)
+                        .Build();
+    pipeline->Run();
+    benchmark::DoNotOptimize(sink.rows());
+    const auto snap = pipeline->emit_latency_histogram().Snapshot();
+    p50 = snap.Quantile(0.50);
+    p99 = snap.Quantile(0.99);
+  }
+  state.counters["batch_rows"] = batch_rows;
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kStreamRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+  state.counters["emit_p50_us"] = static_cast<double>(p50) * 1e-3;
+  state.counters["emit_p99_us"] = static_cast<double>(p99) * 1e-3;
+}
+
+// ---------------------------------------------------------------------------
+// join/<size>/<variant>: streaming hash join probing through scalar vs
+// batched kernels at two build residencies.
+
+struct BuildSide {
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> payloads;
+};
+
+/// Build keys 0..n-1 (dense); the stream draws uniformly from a key space
+/// twice as large, so half the probes hit.
+const BuildSide& GetBuild(uint64_t n) {
+  static BuildSide l2, dram;
+  BuildSide& b = n <= (1 << 13) ? l2 : dram;
+  if (b.keys.empty()) {
+    b.keys.resize(n);
+    b.payloads.resize(n);
+    for (uint64_t i = 0; i < n; ++i) {
+      b.keys[i] = i;
+      b.payloads[i] = static_cast<int64_t>(i * 31 + 7);
+    }
+  }
+  return b;
+}
+
+void BM_StreamJoin(benchmark::State& state, uint64_t build_n,
+                   const StreamJoinOptions& jopts) {
+  const BuildSide& build = GetBuild(build_n);
+  StreamTableJoin join(build.keys.data(), build.payloads.data(),
+                       build.keys.size(), jopts);
+  EventTimeOptions time;
+  uint64_t matched = 0;
+  for (auto _ : state) {
+    Executor executor(kWorkers);
+    YcsbSource source(StreamConfig(2 * build_n), time);
+    NullSink sink;
+    PipelineOptions opts;
+    opts.partitions = kWorkers;
+    opts.batch_rows = 4096;
+    auto pipeline = PipelineBuilder(&executor)
+                        .From(&source)
+                        .Via(&join)
+                        .To(&sink)
+                        .With(opts)
+                        .Build();
+    pipeline->Run();
+    matched = sink.rows();
+    benchmark::DoNotOptimize(matched);
+  }
+  state.counters["table_mb"] =
+      static_cast<double>(join.MemoryBytes()) / (1 << 20);
+  state.counters["hit_pct"] =
+      100.0 * static_cast<double>(matched) / static_cast<double>(kStreamRows);
+  state.counters["Mrows_per_s"] = benchmark::Counter(
+      static_cast<double>(kStreamRows) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+/// Rows are named join/<size>/<variant>; pairs each batched variant with
+/// its size class's scalar row.
+void PrintSpeedups(const hwstar::bench::CollectingReporter& reporter) {
+  hwstar::perf::ReportTable table("E19 speedups: batched vs scalar join probe",
+                                  {"config", "speedup_x"});
+  auto strip = [](const std::string& name) {
+    const size_t pos = name.find("/iterations:");
+    return pos == std::string::npos ? name : name.substr(0, pos);
+  };
+  const auto& runs = reporter.captured();
+  for (const auto& run : runs) {
+    const std::string name = strip(run.name);
+    if (name.rfind("join/", 0) != 0) continue;
+    const size_t cut = name.rfind('/');
+    if (name.substr(cut) == "/scalar") continue;
+    const std::string scalar_name = name.substr(0, cut) + "/scalar";
+    for (const auto& base : runs) {
+      if (strip(base.name) == scalar_name && run.real_seconds > 0) {
+        table.AddRow({name, hwstar::perf::ReportTable::Num(
+                                base.real_seconds / run.real_seconds)});
+        break;
+      }
+    }
+  }
+  table.Print();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+
+  for (uint32_t rows : {256u, 1024u, 4096u, 16384u}) {
+    benchmark::RegisterBenchmark(
+        ("agg/rows" + std::to_string(rows)).c_str(),
+        [rows](benchmark::State& st) { BM_WindowedAgg(st, rows); })
+        ->Iterations(3);
+  }
+
+  // 8K build entries -> 256KB of slots (L2-resident); 2M -> 64MB (DRAM).
+  struct SizeClass {
+    const char* label;
+    uint64_t build;
+  };
+  constexpr SizeClass kSizes[] = {{"l2", 1 << 13}, {"dram", 1 << 21}};
+  for (const auto& size : kSizes) {
+    StreamJoinOptions scalar;
+    scalar.use_batched_kernels = false;
+    StreamJoinOptions batched;
+    StreamJoinOptions bloomed;
+    bloomed.bloom_prefilter = true;
+    const struct {
+      const char* label;
+      StreamJoinOptions jopts;
+    } kVariants[] = {
+        {"scalar", scalar}, {"batched_gp", batched}, {"bloom_gp", bloomed}};
+    for (const auto& v : kVariants) {
+      const uint64_t n = size.build;
+      const StreamJoinOptions jopts = v.jopts;
+      benchmark::RegisterBenchmark(
+          (std::string("join/") + size.label + "/" + v.label).c_str(),
+          [n, jopts](benchmark::State& st) { BM_StreamJoin(st, n, jopts); })
+          ->Iterations(3);
+    }
+  }
+
+  hwstar::bench::CollectingReporter reporter;
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  reporter.PrintTable(
+      "E19: streaming on the Executor",
+      {"batch_rows", "emit_p50_us", "emit_p99_us", "table_mb", "hit_pct",
+       "Mrows_per_s"});
+  PrintSpeedups(reporter);
+  benchmark::Shutdown();
+  return 0;
+}

@@ -7,6 +7,9 @@ namespace hwstar::hw {
 
 namespace {
 std::atomic<uint32_t> g_probe_group_size{16};
+std::atomic<uint32_t> g_stream_batch_rows{4096};
+std::atomic<uint32_t> g_stream_max_inflight{8};
+std::atomic<uint64_t> g_stream_lateness_bound{1024};
 }  // namespace
 
 uint32_t DefaultProbeGroupSize() {
@@ -19,8 +22,42 @@ void SetDefaultProbeGroupSize(uint32_t group_size) {
   g_probe_group_size.store(group_size, std::memory_order_relaxed);
 }
 
+uint32_t DefaultStreamBatchRows() {
+  return g_stream_batch_rows.load(std::memory_order_relaxed);
+}
+
+void SetDefaultStreamBatchRows(uint32_t rows) {
+  if (rows < 64) rows = 64;
+  if (rows > (1u << 20)) rows = 1u << 20;
+  g_stream_batch_rows.store(rows, std::memory_order_relaxed);
+}
+
+uint32_t DefaultStreamMaxInflight() {
+  return g_stream_max_inflight.load(std::memory_order_relaxed);
+}
+
+void SetDefaultStreamMaxInflight(uint32_t batches) {
+  if (batches < 1) batches = 1;
+  if (batches > 4096) batches = 4096;
+  g_stream_max_inflight.store(batches, std::memory_order_relaxed);
+}
+
+uint64_t DefaultStreamLatenessBound() {
+  return g_stream_lateness_bound.load(std::memory_order_relaxed);
+}
+
+void SetDefaultStreamLatenessBound(uint64_t bound) {
+  g_stream_lateness_bound.store(bound, std::memory_order_relaxed);
+}
+
 void MachineModel::ApplyProbeDefaults() const {
   SetDefaultProbeGroupSize(probe_group_size);
+}
+
+void MachineModel::ApplyStreamDefaults() const {
+  SetDefaultStreamBatchRows(stream_batch_rows);
+  SetDefaultStreamMaxInflight(stream_max_inflight);
+  SetDefaultStreamLatenessBound(stream_lateness_bound);
 }
 
 MachineModel MachineModel::Server2013() {
@@ -67,8 +104,11 @@ MachineModel MachineModel::ManyCore() {
   m.dram_latency_cycles = 300;
   m.numa_nodes = 4;
   m.numa_remote_multiplier = 2.0;
-  // Small in-order-ish cores track fewer outstanding misses.
+  // Small in-order-ish cores track fewer outstanding misses, and the
+  // missing L3 means a micro-batch must fit the 512KB L2 alongside the
+  // window state it updates.
   m.probe_group_size = 8;
+  m.stream_batch_rows = 2048;
   return m;
 }
 

@@ -58,6 +58,26 @@ struct MachineModel {
   /// process-wide default the kernels read when callers pass 0.
   uint32_t probe_group_size = 16;
 
+  /// Streaming knobs consumed by hwstar::stream (defaults for callers
+  /// that pass 0; see ApplyStreamDefaults()).
+  ///
+  /// Rows per micro-batch: the streaming unit of work, so it trades
+  /// per-batch dispatch/partitioning overhead against emission latency
+  /// and cache footprint. 4096 rows of (key, value, ts) is 96KB — it
+  /// streams through L2 without evicting the window state that has to
+  /// stay hot between batches.
+  uint32_t stream_batch_rows = 4096;
+  /// Bound on queued micro-batches per pipeline partition: the
+  /// backpressure budget. Past it the pipeline blocks the pump or sheds
+  /// oldest-first, depending on its policy — an unbounded queue is the
+  /// streaming analogue of the admission-free svc baseline.
+  uint32_t stream_max_inflight = 8;
+  /// Watermark lateness bound in event-time units: how far records may
+  /// arrive out of order before they are dropped as late. An ingestion
+  /// property rather than a silicon one, but a default the whole process
+  /// should agree on, so it lives on the same knob surface.
+  uint64_t stream_lateness_bound = 1024;
+
   /// A 2013-era two-socket server: 8 cores, 32KB/256KB/20MB caches, 2 NUMA
   /// nodes with 1.6x remote latency.
   static MachineModel Server2013();
@@ -77,6 +97,11 @@ struct MachineModel {
   /// process-wide defaults consumed by the ops batched probe kernels.
   void ApplyProbeDefaults() const;
 
+  /// Publishes this model's streaming tunables (stream_batch_rows,
+  /// stream_max_inflight, stream_lateness_bound) as the process-wide
+  /// defaults consumed by hwstar::stream when callers pass 0.
+  void ApplyStreamDefaults() const;
+
   /// One-line summary for reports.
   std::string ToString() const;
 };
@@ -91,6 +116,30 @@ uint32_t DefaultProbeGroupSize();
 
 /// Sets the process-wide default, clamped to [1, 64]. Thread-safe.
 void SetDefaultProbeGroupSize(uint32_t group_size);
+
+/// Process-wide default rows per streaming micro-batch; what
+/// stream::Pipeline uses when its options pass 0. Relaxed atomics, same
+/// contract as DefaultProbeGroupSize: a tuning hint, never a correctness
+/// input.
+uint32_t DefaultStreamBatchRows();
+
+/// Sets the process-wide micro-batch default, clamped to [64, 1<<20].
+/// Thread-safe.
+void SetDefaultStreamBatchRows(uint32_t rows);
+
+/// Process-wide default bound on in-flight micro-batches per pipeline
+/// partition.
+uint32_t DefaultStreamMaxInflight();
+
+/// Sets the in-flight default, clamped to [1, 4096]. Thread-safe.
+void SetDefaultStreamMaxInflight(uint32_t batches);
+
+/// Process-wide default watermark lateness bound (event-time units).
+uint64_t DefaultStreamLatenessBound();
+
+/// Sets the lateness default (any value, 0 = drop everything behind the
+/// max timestamp seen). Thread-safe.
+void SetDefaultStreamLatenessBound(uint64_t bound);
 
 }  // namespace hwstar::hw
 

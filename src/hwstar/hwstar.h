@@ -88,6 +88,15 @@
 #include "hwstar/engine/vectorized.h"
 #include "hwstar/engine/volcano.h"
 
+// Streaming: continuous queries on the Executor.
+#include "hwstar/stream/join.h"
+#include "hwstar/stream/operator.h"
+#include "hwstar/stream/pipeline.h"
+#include "hwstar/stream/source.h"
+#include "hwstar/stream/stream_batch.h"
+#include "hwstar/stream/watermark.h"
+#include "hwstar/stream/window.h"
+
 // Request-serving front end.
 #include "hwstar/svc/admission.h"
 #include "hwstar/svc/batcher.h"

@@ -1,0 +1,32 @@
+#ifndef HWSTAR_STREAM_OPERATOR_H_
+#define HWSTAR_STREAM_OPERATOR_H_
+
+#include <cstdint>
+
+#include "hwstar/stream/stream_batch.h"
+
+namespace hwstar::stream {
+
+/// A push-based, batch-at-a-time operator stage: rewrites one micro-batch
+/// in place (filter, project, enrich via join). State, if any, is
+/// partitioned: Apply(p, ...) is only ever called for one partition at a
+/// time, in pipeline order for that partition, but different partitions
+/// run concurrently on different Executor workers — so per-partition
+/// state needs no locks, and implementations pad it to cache lines to
+/// keep neighboring partitions off each other's coherence traffic.
+class Transform {
+ public:
+  virtual ~Transform() = default;
+
+  /// Sizes per-partition state; called once by Pipeline::Build before any
+  /// Apply.
+  virtual void Bind(uint32_t partitions) { (void)partitions; }
+
+  /// Rewrites `batch` for partition `partition`. The batch's watermark
+  /// and ingest stamp must be preserved (StreamBatch::AdoptRows does).
+  virtual void Apply(uint32_t partition, StreamBatch* batch) = 0;
+};
+
+}  // namespace hwstar::stream
+
+#endif  // HWSTAR_STREAM_OPERATOR_H_

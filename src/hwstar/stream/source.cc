@@ -1,0 +1,67 @@
+#include "hwstar/stream/source.h"
+
+#include <utility>
+
+namespace hwstar::stream {
+
+namespace {
+/// Event time of record `index`: start + index*step, displaced backward
+/// by a bounded jitter (clamped so time never precedes `start`).
+uint64_t SynthesizeTs(const EventTimeOptions& time, uint64_t index,
+                      Xoshiro256& jitter) {
+  const uint64_t ideal = time.start + index * time.step;
+  if (time.max_disorder == 0) return ideal;
+  const uint64_t back = jitter.NextBounded(time.max_disorder + 1);
+  return ideal - time.start < back ? time.start : ideal - back;
+}
+}  // namespace
+
+YcsbSource::YcsbSource(const workload::YcsbConfig& config,
+                       const EventTimeOptions& time)
+    : stream_(config), time_(time), jitter_(time.seed) {}
+
+bool YcsbSource::NextBatch(uint64_t max_rows, StreamBatch* out) {
+  chunk_.resize(max_rows);
+  const size_t n = stream_.NextChunk(chunk_.data(), max_rows);
+  if (n == 0) return false;
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t ts = SynthesizeTs(time_, index_++, jitter_);
+    out->Append(chunk_[i].key,
+                static_cast<int64_t>(chunk_[i].key & 0x3ff), ts);
+  }
+  return true;
+}
+
+LineitemSource::LineitemSource(const workload::TpchConfig& config,
+                               LineitemKey key_column,
+                               const EventTimeOptions& time)
+    : stream_(config), key_column_(key_column), time_(time),
+      jitter_(time.seed) {}
+
+bool LineitemSource::NextBatch(uint64_t max_rows, StreamBatch* out) {
+  chunk_.resize(max_rows);
+  const size_t n = stream_.NextChunk(chunk_.data(), max_rows);
+  if (n == 0) return false;
+  out->Reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    const workload::LineitemRow& row = chunk_[i];
+    const uint64_t key = static_cast<uint64_t>(
+        key_column_ == LineitemKey::kOrderKey ? row.orderkey : row.partkey);
+    const uint64_t ts = SynthesizeTs(time_, index_++, jitter_);
+    out->Append(key, row.extendedprice, ts);
+  }
+  return true;
+}
+
+VectorSource::VectorSource(std::vector<StreamBatch> batches)
+    : batches_(std::move(batches)) {}
+
+bool VectorSource::NextBatch(uint64_t max_rows, StreamBatch* out) {
+  (void)max_rows;
+  if (next_ >= batches_.size()) return false;
+  *out = batches_[next_++];
+  return true;
+}
+
+}  // namespace hwstar::stream

@@ -1,0 +1,99 @@
+#ifndef HWSTAR_STREAM_SOURCE_H_
+#define HWSTAR_STREAM_SOURCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "hwstar/common/random.h"
+#include "hwstar/stream/stream_batch.h"
+#include "hwstar/workload/tpch_like.h"
+#include "hwstar/workload/ycsb_like.h"
+
+namespace hwstar::stream {
+
+/// Where micro-batches come from. Pulled by the pipeline's pump thread
+/// only, so implementations need no internal synchronization.
+class Source {
+ public:
+  virtual ~Source() = default;
+
+  /// Appends up to `max_rows` rows to `*out` (passed in cleared); returns
+  /// false when the stream has ended and no rows were appended. The
+  /// pipeline stamps watermark and ingest time; sources only fill rows.
+  virtual bool NextBatch(uint64_t max_rows, StreamBatch* out) = 0;
+};
+
+/// Synthesized event time for generator-backed sources: record i carries
+/// ts = start + i*step - jitter, jitter uniform in [0, max_disorder]
+/// (clamped at `start`). Arrival order therefore deviates from event
+/// order by at most max_disorder — pair it with a pipeline lateness bound
+/// >= max_disorder and nothing is late; shrink the bound below it and
+/// late drops become measurable. Deterministic per seed.
+struct EventTimeOptions {
+  uint64_t start = 0;
+  uint64_t step = 1;
+  uint64_t max_disorder = 0;
+  uint64_t seed = 1234;
+};
+
+/// Streams the YCSB-shaped operation mix as (key, value, ts) records via
+/// the chunked-pull workload::YcsbStream — nothing is materialized up
+/// front. value is a deterministic payload derived from the key
+/// (key & 0x3ff), so aggregates are reproducible.
+class YcsbSource : public Source {
+ public:
+  explicit YcsbSource(const workload::YcsbConfig& config,
+                      const EventTimeOptions& time = {});
+
+  bool NextBatch(uint64_t max_rows, StreamBatch* out) override;
+
+ private:
+  workload::YcsbStream stream_;
+  EventTimeOptions time_;
+  Xoshiro256 jitter_;
+  uint64_t index_ = 0;
+  std::vector<workload::YcsbRequest> chunk_;
+};
+
+/// Which lineitem column keys a LineitemSource record (the join key
+/// against a build side).
+enum class LineitemKey : uint8_t { kOrderKey = 0, kPartKey = 1 };
+
+/// Streams the TPC-H-shaped lineitem generator as (key, extendedprice,
+/// ts) records via the chunked-pull workload::LineitemStream. Event time
+/// is synthesized (arrival-ordered with bounded disorder) rather than
+/// taken from l_shipdate, whose random order would put nearly every
+/// record beyond any useful lateness bound.
+class LineitemSource : public Source {
+ public:
+  LineitemSource(const workload::TpchConfig& config, LineitemKey key_column,
+                 const EventTimeOptions& time = {});
+
+  bool NextBatch(uint64_t max_rows, StreamBatch* out) override;
+
+ private:
+  workload::LineitemStream stream_;
+  LineitemKey key_column_;
+  EventTimeOptions time_;
+  Xoshiro256 jitter_;
+  uint64_t index_ = 0;
+  std::vector<workload::LineitemRow> chunk_;
+};
+
+/// Replays pre-built batches verbatim, ignoring `max_rows` — the test
+/// source for hand-constructed timestamp patterns (exact late records,
+/// watermark stalls, empty batches).
+class VectorSource : public Source {
+ public:
+  explicit VectorSource(std::vector<StreamBatch> batches);
+
+  bool NextBatch(uint64_t max_rows, StreamBatch* out) override;
+
+ private:
+  std::vector<StreamBatch> batches_;
+  size_t next_ = 0;
+};
+
+}  // namespace hwstar::stream
+
+#endif  // HWSTAR_STREAM_SOURCE_H_

@@ -1,0 +1,68 @@
+#ifndef HWSTAR_STREAM_STREAM_BATCH_H_
+#define HWSTAR_STREAM_STREAM_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace hwstar::stream {
+
+/// A columnar micro-batch: the unit of streaming work. Three parallel
+/// arrays (key, value, event timestamp) instead of a row struct, for the
+/// same reason the batch engine is columnar — the join operator hands
+/// `keys` straight to the ops batched probe kernels, and the window
+/// operator scans `event_ts` as a dense array. Batches are value types
+/// that move through the pipeline; operators rewrite them in place or
+/// swap in a scratch batch.
+struct StreamBatch {
+  std::vector<uint64_t> keys;
+  std::vector<int64_t> values;
+  std::vector<uint64_t> event_ts;
+
+  /// Watermark in effect *after* this batch: the pipeline promises that
+  /// no later batch carries a record with event_ts < watermark (records
+  /// that break the promise are late and get dropped). 0 = no watermark
+  /// yet; kFlushWatermark closes every open window.
+  uint64_t watermark = 0;
+
+  /// Steady-clock nanoseconds at pipeline ingest (set by the pump); the
+  /// epoch for the emission-latency histogram.
+  uint64_t ingest_ns = 0;
+
+  static constexpr uint64_t kFlushWatermark = ~uint64_t{0};
+
+  size_t size() const { return keys.size(); }
+  bool empty() const { return keys.empty(); }
+
+  void Clear() {
+    keys.clear();
+    values.clear();
+    event_ts.clear();
+  }
+
+  void Reserve(size_t n) {
+    keys.reserve(n);
+    values.reserve(n);
+    event_ts.reserve(n);
+  }
+
+  void Append(uint64_t key, int64_t value, uint64_t ts) {
+    keys.push_back(key);
+    values.push_back(value);
+    event_ts.push_back(ts);
+  }
+
+  /// Swaps row storage with `other`, keeping this batch's watermark and
+  /// ingest stamp (the operator-scratch idiom: transform into a scratch
+  /// batch, then adopt its rows).
+  void AdoptRows(StreamBatch* other) {
+    keys.swap(other->keys);
+    values.swap(other->values);
+    event_ts.swap(other->event_ts);
+  }
+};
+
+}  // namespace hwstar::stream
+
+#endif  // HWSTAR_STREAM_STREAM_BATCH_H_

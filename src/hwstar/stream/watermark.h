@@ -1,0 +1,45 @@
+#ifndef HWSTAR_STREAM_WATERMARK_H_
+#define HWSTAR_STREAM_WATERMARK_H_
+
+#include <cstdint>
+
+namespace hwstar::stream {
+
+/// Bounded-out-of-orderness watermark generation (the standard heuristic
+/// watermark): after seeing a record with event time t, promise that no
+/// record older than t - lateness_bound is still in flight. The pump runs
+/// one tracker over the whole source stream, so a single watermark is
+/// valid for every key partition (each partition sees its sub-batches in
+/// pump order).
+///
+/// The watermark is monotone by construction (max over a growing set),
+/// and 0 until the first record clears the bound — "no promise yet", so
+/// nothing can be late before then.
+class WatermarkTracker {
+ public:
+  explicit WatermarkTracker(uint64_t lateness_bound)
+      : lateness_bound_(lateness_bound) {}
+
+  /// Folds one record's event time into the max.
+  void Observe(uint64_t event_ts) {
+    if (event_ts > max_event_ts_) max_event_ts_ = event_ts;
+  }
+
+  /// Current watermark: max observed event time minus the lateness
+  /// bound, saturating at 0 (no watermark).
+  uint64_t watermark() const {
+    return max_event_ts_ > lateness_bound_ ? max_event_ts_ - lateness_bound_
+                                           : 0;
+  }
+
+  uint64_t max_event_ts() const { return max_event_ts_; }
+  uint64_t lateness_bound() const { return lateness_bound_; }
+
+ private:
+  uint64_t lateness_bound_;
+  uint64_t max_event_ts_ = 0;
+};
+
+}  // namespace hwstar::stream
+
+#endif  // HWSTAR_STREAM_WATERMARK_H_

@@ -1,0 +1,70 @@
+#include "hwstar/stream/window.h"
+
+#include <algorithm>
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::stream {
+
+WindowAggregator::WindowAggregator(WindowSpec spec) : spec_(spec) {
+  HWSTAR_CHECK(spec.size > 0);
+  HWSTAR_CHECK(spec.effective_slide() > 0);
+  HWSTAR_CHECK(spec.effective_slide() <= spec.size);
+}
+
+void WindowAggregator::Bind(uint32_t partitions) {
+  HWSTAR_CHECK(partitions > 0);
+  states_ = std::vector<PartitionState>(partitions);
+}
+
+size_t WindowAggregator::OpenWindows(uint32_t partition) const {
+  return states_[partition].windows.size();
+}
+
+void WindowAggregator::OnBatch(uint32_t partition, const StreamBatch& batch,
+                               std::vector<WindowResult>* out,
+                               uint64_t* late_dropped) {
+  HWSTAR_CHECK(partition < states_.size());
+  PartitionState& st = states_[partition];
+  const uint64_t slide = spec_.effective_slide();
+
+  uint64_t late = 0;
+  const size_t n = batch.size();
+  for (size_t i = 0; i < n; ++i) {
+    const uint64_t ts = batch.event_ts[i];
+    // Late = behind the watermark established by *earlier* batches; the
+    // watermark this batch carries only takes effect below.
+    if (st.watermark > 0 && ts < st.watermark) {
+      ++late;
+      continue;
+    }
+    for (uint64_t start = spec_.FirstStart(ts); start <= ts; start += slide) {
+      Partial& partial = st.windows[start][batch.keys[i]];
+      partial.sum += batch.values[i];
+      partial.count += 1;
+    }
+  }
+  if (late_dropped != nullptr) *late_dropped = late;
+
+  if (batch.watermark > st.watermark) st.watermark = batch.watermark;
+
+  // Emit every window the watermark closed, ascending by start; keys are
+  // sorted so emission order is deterministic (the bit-identity tests
+  // compare against an offline computation directly).
+  const bool flush = st.watermark == StreamBatch::kFlushWatermark;
+  std::vector<std::pair<uint64_t, Partial>> sorted;
+  while (!st.windows.empty()) {
+    const auto it = st.windows.begin();
+    const uint64_t end = it->first + spec_.size;
+    if (!flush && (st.watermark == 0 || end > st.watermark)) break;
+    sorted.assign(it->second.begin(), it->second.end());
+    std::sort(sorted.begin(), sorted.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    for (const auto& [key, partial] : sorted) {
+      out->push_back({it->first, end, key, partial.sum, partial.count});
+    }
+    st.windows.erase(it);
+  }
+}
+
+}  // namespace hwstar::stream

@@ -1,5 +1,7 @@
 #include "hwstar/workload/tpch_like.h"
 
+#include <iterator>
+
 #include "hwstar/common/macros.h"
 #include "hwstar/common/random.h"
 
@@ -18,6 +20,34 @@ uint64_t OrdersRows(const TpchConfig& config) {
   return static_cast<uint64_t>(1500000.0 * config.scale_factor);
 }
 
+LineitemStream::LineitemStream(const TpchConfig& config)
+    : rng_(config.seed),
+      total_rows_(LineitemRows(config)),
+      orders_(OrdersRows(config)) {}
+
+size_t LineitemStream::NextChunk(LineitemRow* out, size_t max_rows) {
+  size_t produced = 0;
+  while (produced < max_rows && emitted_ < total_rows_) {
+    LineitemRow& row = out[produced++];
+    // ~4 lineitems per order on average; keep orderkeys clustered the way
+    // dbgen does (sequential with gaps).
+    row.orderkey =
+        static_cast<int64_t>(rng_.NextBounded(orders_ == 0 ? 1 : orders_)) + 1;
+    row.partkey = static_cast<int64_t>(rng_.NextBounded(200000)) + 1;
+    row.quantity = static_cast<int64_t>(rng_.NextBounded(50)) + 1;
+    // extendedprice ~ quantity * part price (90000..200000 cents).
+    const int64_t unit_price =
+        90000 + static_cast<int64_t>(rng_.NextBounded(110001));
+    row.extendedprice = row.quantity * unit_price;
+    row.discount = static_cast<int64_t>(rng_.NextBounded(11));
+    row.tax = static_cast<int64_t>(rng_.NextBounded(9));
+    row.shipdate = static_cast<int64_t>(rng_.NextBounded(2556));
+    row.returnflag = static_cast<int64_t>(rng_.NextBounded(3));
+    ++emitted_;
+  }
+  return produced;
+}
+
 std::unique_ptr<Table> MakeLineitem(const TpchConfig& config) {
   Schema schema({
       {"l_orderkey", TypeId::kInt64},
@@ -31,36 +61,24 @@ std::unique_ptr<Table> MakeLineitem(const TpchConfig& config) {
   });
   auto table = std::make_unique<Table>(schema);
   const uint64_t rows = LineitemRows(config);
-  const uint64_t orders = OrdersRows(config);
-  Xoshiro256 rng(config.seed);
   for (size_t c = 0; c < schema.num_fields(); ++c) {
     table->column(c).Reserve(rows);
   }
-  for (uint64_t i = 0; i < rows; ++i) {
-    // ~4 lineitems per order on average; keep orderkeys clustered the way
-    // dbgen does (sequential with gaps).
-    const int64_t orderkey =
-        static_cast<int64_t>(rng.NextBounded(orders == 0 ? 1 : orders)) + 1;
-    const int64_t partkey =
-        static_cast<int64_t>(rng.NextBounded(200000)) + 1;
-    const int64_t quantity = static_cast<int64_t>(rng.NextBounded(50)) + 1;
-    // extendedprice ~ quantity * part price (90000..200000 cents).
-    const int64_t unit_price =
-        90000 + static_cast<int64_t>(rng.NextBounded(110001));
-    const int64_t extendedprice = quantity * unit_price;
-    const int64_t discount = static_cast<int64_t>(rng.NextBounded(11));
-    const int64_t tax = static_cast<int64_t>(rng.NextBounded(9));
-    const int64_t shipdate = static_cast<int64_t>(rng.NextBounded(2556));
-    const int64_t returnflag = static_cast<int64_t>(rng.NextBounded(3));
-
-    table->column(0).AppendInt64(orderkey);
-    table->column(1).AppendInt64(partkey);
-    table->column(2).AppendInt64(quantity);
-    table->column(3).AppendInt64(extendedprice);
-    table->column(4).AppendInt64(discount);
-    table->column(5).AppendInt64(tax);
-    table->column(6).AppendInt64(shipdate);
-    table->column(7).AppendInt64(returnflag);
+  LineitemStream stream(config);
+  LineitemRow chunk[4096];
+  size_t n;
+  while ((n = stream.NextChunk(chunk, std::size(chunk))) > 0) {
+    for (size_t i = 0; i < n; ++i) {
+      const LineitemRow& row = chunk[i];
+      table->column(0).AppendInt64(row.orderkey);
+      table->column(1).AppendInt64(row.partkey);
+      table->column(2).AppendInt64(row.quantity);
+      table->column(3).AppendInt64(row.extendedprice);
+      table->column(4).AppendInt64(row.discount);
+      table->column(5).AppendInt64(row.tax);
+      table->column(6).AppendInt64(row.shipdate);
+      table->column(7).AppendInt64(row.returnflag);
+    }
   }
   HWSTAR_CHECK(table->SetRowCount(rows).ok());
   return table;

@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <memory>
 
+#include "hwstar/common/random.h"
 #include "hwstar/storage/table.h"
 
 namespace hwstar::workload {
@@ -18,6 +19,44 @@ struct TpchConfig {
   /// Scale factor; SF 1 would be 6M lineitem rows. Benches use fractions.
   double scale_factor = 0.1;
   uint64_t seed = 7;
+};
+
+/// One generated lineitem row, column order matching MakeLineitem.
+struct LineitemRow {
+  int64_t orderkey;
+  int64_t partkey;
+  int64_t quantity;       ///< 1..50
+  int64_t extendedprice;  ///< cents
+  int64_t discount;       ///< percent 0..10
+  int64_t tax;            ///< percent 0..8
+  int64_t shipdate;       ///< days since 1992-01-01, 0..2555
+  int64_t returnflag;     ///< 0..2
+};
+
+/// Chunked, seed-reproducible pull over the lineitem generator: rows are
+/// produced one at a time from sequential RNG state, so the row sequence
+/// is a pure function of the config regardless of chunking. This is what
+/// stream::Source adapters pull micro-batches from; MakeLineitem below is
+/// one full-table pull into a Table (bit-identical to the rows this
+/// stream yields).
+class LineitemStream {
+ public:
+  explicit LineitemStream(const TpchConfig& config);
+
+  /// Fills out[0..max_rows) with the next rows; returns how many were
+  /// produced (0 once LineitemRows(config) rows have been emitted).
+  size_t NextChunk(LineitemRow* out, size_t max_rows);
+
+  /// Rows emitted so far.
+  uint64_t emitted() const { return emitted_; }
+  /// Rows the stream will emit in total.
+  uint64_t total_rows() const { return total_rows_; }
+
+ private:
+  Xoshiro256 rng_;
+  uint64_t total_rows_;
+  uint64_t orders_;
+  uint64_t emitted_ = 0;
 };
 
 /// lineitem columns (all int64):

@@ -1,28 +1,38 @@
 #include "hwstar/workload/ycsb_like.h"
 
 #include "hwstar/common/macros.h"
-#include "hwstar/common/random.h"
-#include "hwstar/workload/distributions.h"
 
 namespace hwstar::workload {
 
-std::vector<YcsbRequest> MakeYcsbWorkload(const YcsbConfig& config) {
+YcsbStream::YcsbStream(const YcsbConfig& config)
+    : config_(config),
+      rng_(config.seed),
+      zipf_(config.record_count,
+            config.zipf_theta < 0.0 ? 0.0 : config.zipf_theta,
+            config.seed + 1),
+      uniform_(config.zipf_theta <= 0.0) {
   HWSTAR_CHECK(config.record_count > 0);
   HWSTAR_CHECK(config.read_fraction >= 0.0 && config.read_fraction <= 1.0);
-  std::vector<YcsbRequest> ops;
-  ops.reserve(config.operation_count);
-  Xoshiro256 rng(config.seed);
-  ZipfGenerator zipf(config.record_count,
-                     config.zipf_theta < 0.0 ? 0.0 : config.zipf_theta,
-                     config.seed + 1);
-  const bool uniform = config.zipf_theta <= 0.0;
-  for (uint64_t i = 0; i < config.operation_count; ++i) {
-    YcsbRequest req;
-    req.op = rng.NextDouble() < config.read_fraction ? YcsbOp::kRead
-                                                     : YcsbOp::kUpdate;
-    req.key = uniform ? rng.NextBounded(config.record_count) : zipf.Next();
-    ops.push_back(req);
+}
+
+size_t YcsbStream::NextChunk(YcsbRequest* out, size_t max_ops) {
+  size_t produced = 0;
+  while (produced < max_ops && emitted_ < config_.operation_count) {
+    YcsbRequest& req = out[produced++];
+    req.op = rng_.NextDouble() < config_.read_fraction ? YcsbOp::kRead
+                                                       : YcsbOp::kUpdate;
+    req.key =
+        uniform_ ? rng_.NextBounded(config_.record_count) : zipf_.Next();
+    ++emitted_;
   }
+  return produced;
+}
+
+std::vector<YcsbRequest> MakeYcsbWorkload(const YcsbConfig& config) {
+  std::vector<YcsbRequest> ops(config.operation_count);
+  YcsbStream stream(config);
+  const size_t n = stream.NextChunk(ops.data(), ops.size());
+  ops.resize(n);
   return ops;
 }
 

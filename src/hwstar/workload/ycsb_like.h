@@ -1,8 +1,12 @@
 #ifndef HWSTAR_WORKLOAD_YCSB_LIKE_H_
 #define HWSTAR_WORKLOAD_YCSB_LIKE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <vector>
+
+#include "hwstar/common/random.h"
+#include "hwstar/workload/distributions.h"
 
 namespace hwstar::workload {
 
@@ -25,7 +29,35 @@ struct YcsbConfig {
   uint64_t seed = 99;
 };
 
-/// Generates the operation stream.
+/// Chunked, seed-reproducible pull over the YCSB operation stream: the
+/// generator's state advances one operation at a time, so the sequence a
+/// consumer sees is a pure function of the config — independent of how
+/// the pulls are chunked. stream::Source adapters pull micro-batches from
+/// this; MakeYcsbWorkload below is one full-stream pull.
+class YcsbStream {
+ public:
+  explicit YcsbStream(const YcsbConfig& config);
+
+  /// Fills out[0..max_ops) with the next operations; returns how many
+  /// were produced (< max_ops only at end of stream, 0 once
+  /// operation_count requests have been emitted).
+  size_t NextChunk(YcsbRequest* out, size_t max_ops);
+
+  /// Operations emitted so far.
+  uint64_t emitted() const { return emitted_; }
+
+  const YcsbConfig& config() const { return config_; }
+
+ private:
+  YcsbConfig config_;
+  Xoshiro256 rng_;
+  ZipfGenerator zipf_;
+  bool uniform_;
+  uint64_t emitted_ = 0;
+};
+
+/// Generates the whole operation stream at once (a single-chunk pull of
+/// YcsbStream; benches that want the materialized vector keep using this).
 std::vector<YcsbRequest> MakeYcsbWorkload(const YcsbConfig& config);
 
 }  // namespace hwstar::workload

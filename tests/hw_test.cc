@@ -95,5 +95,54 @@ TEST(CycleCounterTest, FrequencyEstimatePlausible) {
   EXPECT_LT(hz, 1e10);
 }
 
+TEST(MachineModelTest, StreamKnobDefaultsAndClamping) {
+  // Save/restore: the knobs are process-wide.
+  const uint32_t rows_before = DefaultStreamBatchRows();
+  const uint32_t inflight_before = DefaultStreamMaxInflight();
+  const uint64_t bound_before = DefaultStreamLatenessBound();
+
+  MachineModel{}.ApplyStreamDefaults();
+  EXPECT_EQ(DefaultStreamBatchRows(), 4096u);
+  EXPECT_EQ(DefaultStreamMaxInflight(), 8u);
+  EXPECT_EQ(DefaultStreamLatenessBound(), 1024u);
+
+  SetDefaultStreamBatchRows(1);  // clamped up to 64
+  EXPECT_EQ(DefaultStreamBatchRows(), 64u);
+  SetDefaultStreamBatchRows(1u << 30);  // clamped down to 1M rows
+  EXPECT_EQ(DefaultStreamBatchRows(), 1u << 20);
+  SetDefaultStreamBatchRows(2048);
+  EXPECT_EQ(DefaultStreamBatchRows(), 2048u);
+
+  SetDefaultStreamMaxInflight(0);  // clamped up to 1
+  EXPECT_EQ(DefaultStreamMaxInflight(), 1u);
+  SetDefaultStreamMaxInflight(1 << 20);  // clamped down to 4096
+  EXPECT_EQ(DefaultStreamMaxInflight(), 4096u);
+
+  SetDefaultStreamLatenessBound(0);  // 0 is legal: nothing may be late
+  EXPECT_EQ(DefaultStreamLatenessBound(), 0u);
+
+  SetDefaultStreamBatchRows(rows_before);
+  SetDefaultStreamMaxInflight(inflight_before);
+  SetDefaultStreamLatenessBound(bound_before);
+}
+
+TEST(MachineModelTest, ApplyStreamDefaultsPublishesModelValues) {
+  const uint32_t rows_before = DefaultStreamBatchRows();
+  const uint32_t inflight_before = DefaultStreamMaxInflight();
+  const uint64_t bound_before = DefaultStreamLatenessBound();
+
+  // ManyCore trims the micro-batch: smaller per-core caches.
+  MachineModel m = MachineModel::ManyCore();
+  EXPECT_LT(m.stream_batch_rows, MachineModel{}.stream_batch_rows);
+  m.ApplyStreamDefaults();
+  EXPECT_EQ(DefaultStreamBatchRows(), m.stream_batch_rows);
+  EXPECT_EQ(DefaultStreamMaxInflight(), m.stream_max_inflight);
+  EXPECT_EQ(DefaultStreamLatenessBound(), m.stream_lateness_bound);
+
+  SetDefaultStreamBatchRows(rows_before);
+  SetDefaultStreamMaxInflight(inflight_before);
+  SetDefaultStreamLatenessBound(bound_before);
+}
+
 }  // namespace
 }  // namespace hwstar::hw

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <map>
+#include <vector>
 
 #include "hwstar/ops/hot_cold.h"
 #include "hwstar/workload/distributions.h"
@@ -237,6 +238,96 @@ TEST(YcsbTest, UniformModeWhenThetaZero) {
   std::map<uint64_t, uint64_t> freq;
   for (const auto& op : MakeYcsbWorkload(cfg)) ++freq[op.key];
   EXPECT_EQ(freq.size(), 100u);
+}
+
+// ---------------------------------------------------------------------------
+// Chunked-pull determinism: the stream a consumer sees is a pure function
+// of the config, independent of how pulls are chunked — what lets the
+// streaming sources re-materialize an identical stream for reference
+// computations.
+
+std::vector<YcsbRequest> PullYcsb(const YcsbConfig& cfg, size_t chunk) {
+  YcsbStream stream(cfg);
+  std::vector<YcsbRequest> all;
+  std::vector<YcsbRequest> buf(chunk);
+  size_t n;
+  while ((n = stream.NextChunk(buf.data(), buf.size())) > 0) {
+    all.insert(all.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(stream.emitted(), cfg.operation_count);
+  return all;
+}
+
+TEST(YcsbStreamTest, SameSeedSameStreamAcrossChunkSizes) {
+  YcsbConfig cfg;
+  cfg.record_count = 4096;
+  cfg.operation_count = 10007;  // prime: never aligned with any chunk
+  cfg.seed = 1234;
+  const auto whole = PullYcsb(cfg, cfg.operation_count);
+  for (size_t chunk : {1ul, 7ul, 64ul, 4096ul}) {
+    const auto chunked = PullYcsb(cfg, chunk);
+    ASSERT_EQ(chunked.size(), whole.size());
+    for (size_t i = 0; i < whole.size(); ++i) {
+      ASSERT_EQ(chunked[i].key, whole[i].key) << "chunk=" << chunk;
+      ASSERT_EQ(chunked[i].op, whole[i].op) << "chunk=" << chunk;
+    }
+  }
+}
+
+TEST(YcsbStreamTest, ChunkedPullMatchesMaterializedWorkload) {
+  YcsbConfig cfg;
+  cfg.record_count = 1024;
+  cfg.operation_count = 5000;
+  cfg.zipf_theta = 0.9;
+  const auto vec = MakeYcsbWorkload(cfg);
+  const auto pulled = PullYcsb(cfg, 333);
+  ASSERT_EQ(pulled.size(), vec.size());
+  for (size_t i = 0; i < vec.size(); ++i) {
+    ASSERT_EQ(pulled[i].key, vec[i].key);
+    ASSERT_EQ(pulled[i].op, vec[i].op);
+  }
+}
+
+std::vector<LineitemRow> PullLineitem(const TpchConfig& cfg, size_t chunk) {
+  LineitemStream stream(cfg);
+  std::vector<LineitemRow> all;
+  std::vector<LineitemRow> buf(chunk);
+  size_t n;
+  while ((n = stream.NextChunk(buf.data(), buf.size())) > 0) {
+    all.insert(all.end(), buf.begin(), buf.begin() + n);
+  }
+  EXPECT_EQ(stream.emitted(), stream.total_rows());
+  return all;
+}
+
+TEST(LineitemStreamTest, SameSeedSameStreamAcrossChunkSizes) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  const auto whole = PullLineitem(cfg, 1u << 20);
+  ASSERT_FALSE(whole.empty());
+  for (size_t chunk : {1ul, 13ul, 1024ul}) {
+    const auto chunked = PullLineitem(cfg, chunk);
+    ASSERT_EQ(chunked.size(), whole.size());
+    for (size_t i = 0; i < whole.size(); ++i) {
+      ASSERT_EQ(chunked[i].orderkey, whole[i].orderkey) << "chunk=" << chunk;
+      ASSERT_EQ(chunked[i].extendedprice, whole[i].extendedprice);
+      ASSERT_EQ(chunked[i].shipdate, whole[i].shipdate);
+    }
+  }
+}
+
+TEST(LineitemStreamTest, ChunkedPullMatchesMaterializedTable) {
+  TpchConfig cfg;
+  cfg.scale_factor = 0.001;
+  auto table = MakeLineitem(cfg);
+  const auto pulled = PullLineitem(cfg, 999);
+  ASSERT_EQ(pulled.size(), table->num_rows());
+  for (size_t i = 0; i < pulled.size(); i += 17) {
+    const uint64_t r = static_cast<uint64_t>(i);
+    EXPECT_EQ(pulled[i].orderkey, table->column(0).GetInt64(r));
+    EXPECT_EQ(pulled[i].partkey, table->column(1).GetInt64(r));
+    EXPECT_EQ(pulled[i].extendedprice, table->column(3).GetInt64(r));
+  }
 }
 
 }  // namespace
