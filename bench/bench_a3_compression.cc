@@ -8,6 +8,7 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
@@ -23,10 +24,10 @@ constexpr uint64_t kRows = 50'000'000;
 /// Input with the given distinct-value cardinality, sorted (so RLE sees
 /// runs of length kRows/cardinality).
 const std::vector<int64_t>& Input(uint64_t cardinality) {
-  static std::map<uint64_t, std::vector<int64_t>*> cache;
-  auto*& slot = cache[cardinality];
+  static std::map<uint64_t, std::unique_ptr<std::vector<int64_t>>> cache;
+  auto& slot = cache[cardinality];
   if (slot == nullptr) {
-    slot = new std::vector<int64_t>(kRows);
+    slot = std::make_unique<std::vector<int64_t>>(kRows);
     for (uint64_t i = 0; i < kRows; ++i) {
       (*slot)[i] = static_cast<int64_t>(i / (kRows / cardinality));
     }

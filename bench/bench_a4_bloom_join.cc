@@ -42,29 +42,29 @@ struct BuildSide {
 };
 
 const BuildSide& Build() {
-  static BuildSide* side = [] {
-    auto* b = new BuildSide();
+  static BuildSide side = [] {
+    BuildSide b;
     auto rel = hwstar::workload::MakeBuildRelation(kBuild, 91);
-    b->table = std::make_unique<LinearProbeTable>(kBuild);
+    b.table = std::make_unique<LinearProbeTable>(kBuild);
     // Undersized bucket array: ~8 nodes per chain, dependent misses.
-    b->chained = std::make_unique<hwstar::ops::ChainedTable>(kBuild / 8);
-    b->bloom = std::make_unique<BlockedBloomFilter>(kBuild, kBitsPerKey);
+    b.chained = std::make_unique<hwstar::ops::ChainedTable>(kBuild / 8);
+    b.bloom = std::make_unique<BlockedBloomFilter>(kBuild, kBitsPerKey);
     for (uint64_t i = 0; i < rel.size(); ++i) {
-      b->table->Insert(rel.keys[i], rel.payloads[i]);
-      b->chained->Insert(rel.keys[i], rel.payloads[i]);
-      b->bloom->Add(rel.keys[i]);
+      b.table->Insert(rel.keys[i], rel.payloads[i]);
+      b.chained->Insert(rel.keys[i], rel.payloads[i]);
+      b.bloom->Add(rel.keys[i]);
     }
     return b;
   }();
-  return *side;
+  return side;
 }
 
 /// Probe keys where `hit_permille` of them exist in the build side.
 const std::vector<uint64_t>& ProbeKeys(int hit_permille) {
-  static std::map<int, std::vector<uint64_t>*> cache;
-  auto*& slot = cache[hit_permille];
+  static std::map<int, std::unique_ptr<std::vector<uint64_t>>> cache;
+  auto& slot = cache[hit_permille];
   if (slot == nullptr) {
-    slot = new std::vector<uint64_t>();
+    slot = std::make_unique<std::vector<uint64_t>>();
     hwstar::Xoshiro256 rng(92 + hit_permille);
     slot->reserve(kProbes);
     for (uint64_t i = 0; i < kProbes; ++i) {

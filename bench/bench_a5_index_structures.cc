@@ -12,6 +12,7 @@
 
 #include <algorithm>
 #include <map>
+#include <memory>
 #include <string>
 
 #include "bench_common.h"
@@ -31,10 +32,10 @@ struct Dataset {
 };
 
 const Dataset& Data(uint64_t n, bool dense) {
-  static std::map<std::pair<uint64_t, bool>, Dataset*> cache;
-  auto*& slot = cache[{n, dense}];
+  static std::map<std::pair<uint64_t, bool>, std::unique_ptr<Dataset>> cache;
+  auto& slot = cache[{n, dense}];
   if (slot == nullptr) {
-    slot = new Dataset();
+    slot = std::make_unique<Dataset>();
     if (dense) {
       slot->keys = hwstar::workload::ShuffledDenseKeys(n, n);
     } else {

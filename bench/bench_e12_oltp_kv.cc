@@ -11,6 +11,7 @@
 
 #include <atomic>
 #include <map>
+#include <memory>
 #include <thread>
 
 #include "bench_common.h"
@@ -28,18 +29,19 @@ constexpr uint64_t kOps = 1 << 20;
 
 const std::vector<hwstar::workload::YcsbRequest>& Ops(double theta,
                                                       double read_fraction) {
-  static std::map<std::pair<int, int>, std::vector<hwstar::workload::YcsbRequest>*>
+  static std::map<std::pair<int, int>,
+                  std::unique_ptr<std::vector<hwstar::workload::YcsbRequest>>>
       cache;
   auto key = std::make_pair(static_cast<int>(theta * 100),
                             static_cast<int>(read_fraction * 100));
-  auto*& slot = cache[key];
+  auto& slot = cache[key];
   if (slot == nullptr) {
     hwstar::workload::YcsbConfig cfg;
     cfg.record_count = kRecords;
     cfg.operation_count = kOps;
     cfg.read_fraction = read_fraction;
     cfg.zipf_theta = theta;
-    slot = new std::vector<hwstar::workload::YcsbRequest>(
+    slot = std::make_unique<std::vector<hwstar::workload::YcsbRequest>>(
         hwstar::workload::MakeYcsbWorkload(cfg));
   }
   return *slot;

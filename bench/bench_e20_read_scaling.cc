@@ -1,0 +1,115 @@
+// E20 -- what the shard latch costs readers: point-read throughput vs.
+// core count, latched reads against the hwstar::sync optimistic path
+// (OLC descent + epoch-based reclamation). Expected shape: with latched
+// reads every Get bounces the shard mutex's cache line, so read-only
+// throughput plateaus (or degrades) as threads grow and skew concentrates
+// on few shards; latch-free reads write no shared line and keep scaling
+// with cores, at identical results (the bit-identity tests pin that
+// down). The 95/5 mix shows the same split with a live writer in the
+// loop, and the epoch counters report what the deferral costs in memory
+// high-water terms -- the reclamation bill for reader scalability.
+
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/kv/kv_store.h"
+#include "hwstar/sync/epoch.h"
+
+namespace {
+
+using hwstar::Xoshiro256;
+using hwstar::kv::IndexKind;
+using hwstar::kv::KvOptions;
+using hwstar::kv::KvStore;
+
+constexpr uint64_t kRecords = 1 << 20;
+constexpr uint64_t kOpsPerThread = 1 << 18;
+
+void BM_ReadScaling(benchmark::State& state, IndexKind index, bool latch_free,
+                    uint32_t threads, double write_frac) {
+  KvOptions opts;
+  opts.index = index;
+  opts.shards = 8;
+  opts.latch_free_reads = latch_free;
+  KvStore store(opts);
+  const uint64_t stride = ~uint64_t{0} / kRecords;
+  for (uint64_t k = 0; k < kRecords; ++k) store.Put(k * stride, k);
+
+  const auto hwm_before =
+      hwstar::sync::EpochManager::Global().stats().retired_bytes_hwm;
+  const uint32_t write_permille = static_cast<uint32_t>(write_frac * 1000.0);
+
+  for (auto _ : state) {
+    std::vector<std::thread> workers;
+    std::atomic<uint64_t> sink{0};
+    for (uint32_t t = 0; t < threads; ++t) {
+      workers.emplace_back([&, t] {
+        Xoshiro256 rng(0x9e37 + t);
+        uint64_t local = 0;
+        for (uint64_t i = 0; i < kOpsPerThread; ++i) {
+          const uint64_t key = rng.NextBounded(kRecords) * stride;
+          if (write_permille != 0 && rng.NextBounded(1000) < write_permille) {
+            // Half the writes delete (and a later write re-inserts): this
+            // is what makes the index retire nodes, so the epoch_hwm_kb
+            // counter reports a real reclamation bill, not zero.
+            if (rng.NextBounded(2) == 0) {
+              store.Delete(key);
+            } else {
+              store.Put(key, i);
+            }
+          } else {
+            local += store.Get(key).value_or(0);
+          }
+        }
+        sink.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+    for (auto& w : workers) w.join();
+    benchmark::DoNotOptimize(sink.load());
+  }
+
+  const auto epoch_stats = hwstar::sync::EpochManager::Global().stats();
+  state.counters["threads"] = threads;
+  state.counters["latch_free"] = latch_free ? 1 : 0;
+  state.counters["write_frac"] = write_frac;
+  state.counters["epoch_hwm_kb"] =
+      static_cast<double>(epoch_stats.retired_bytes_hwm - hwm_before) / 1024.0;
+  state.counters["Mops_per_s"] = benchmark::Counter(
+      static_cast<double>(kOpsPerThread) * threads * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void RegisterSweep(const char* tag, IndexKind index, double write_frac) {
+  const uint32_t cores = std::thread::hardware_concurrency();
+  for (uint32_t threads : {1u, 2u, 4u, 8u, 16u}) {
+    if (threads > cores && threads != 1) break;
+    for (const bool latch_free : {false, true}) {
+      std::string name = std::string(tag) + "/" +
+                         (latch_free ? "olc" : "latched") + "/" +
+                         std::to_string(threads) + "t";
+      benchmark::RegisterBenchmark(name.c_str(), BM_ReadScaling, index,
+                                   latch_free, threads, write_frac)
+          ->Iterations(2)
+          ->UseRealTime();
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  RegisterSweep("art/read_only", IndexKind::kArt, 0.0);
+  RegisterSweep("art/95_5", IndexKind::kArt, 0.05);
+  RegisterSweep("btree/read_only", IndexKind::kBTree, 0.0);
+  RegisterSweep("btree/95_5", IndexKind::kBTree, 0.05);
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E20: point-read scaling, latched vs latch-free (OLC + epochs)",
+      {"threads", "latch_free", "write_frac", "epoch_hwm_kb", "Mops_per_s"});
+}

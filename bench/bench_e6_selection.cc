@@ -9,6 +9,7 @@
 #include <benchmark/benchmark.h>
 
 #include <map>
+#include <memory>
 #include <vector>
 
 #include "bench_common.h"
@@ -22,12 +23,13 @@ constexpr int64_t kThreshold = 1000;
 constexpr int64_t kMaxValue = 1'000'000;
 
 const std::vector<int64_t>& Input(int sel_permille) {
-  static std::map<int, std::vector<int64_t>*> cache;
-  auto*& slot = cache[sel_permille];
+  static std::map<int, std::unique_ptr<std::vector<int64_t>>> cache;
+  auto& slot = cache[sel_permille];
   if (slot == nullptr) {
-    slot = new std::vector<int64_t>(hwstar::workload::MakeSelectionInput(
-        kRows, sel_permille / 1000.0, kThreshold, kMaxValue,
-        static_cast<uint64_t>(sel_permille)));
+    slot = std::make_unique<std::vector<int64_t>>(
+        hwstar::workload::MakeSelectionInput(
+            kRows, sel_permille / 1000.0, kThreshold, kMaxValue,
+            static_cast<uint64_t>(sel_permille)));
   }
   return *slot;
 }

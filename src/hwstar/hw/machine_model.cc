@@ -10,6 +10,8 @@ std::atomic<uint32_t> g_probe_group_size{16};
 std::atomic<uint32_t> g_stream_batch_rows{4096};
 std::atomic<uint32_t> g_stream_max_inflight{8};
 std::atomic<uint64_t> g_stream_lateness_bound{1024};
+std::atomic<uint32_t> g_epoch_advance_interval{64};
+std::atomic<uint32_t> g_epoch_retire_batch{128};
 }  // namespace
 
 uint32_t DefaultProbeGroupSize() {
@@ -50,6 +52,26 @@ void SetDefaultStreamLatenessBound(uint64_t bound) {
   g_stream_lateness_bound.store(bound, std::memory_order_relaxed);
 }
 
+uint32_t DefaultEpochAdvanceInterval() {
+  return g_epoch_advance_interval.load(std::memory_order_relaxed);
+}
+
+void SetDefaultEpochAdvanceInterval(uint32_t retires) {
+  if (retires < 1) retires = 1;
+  if (retires > (1u << 20)) retires = 1u << 20;
+  g_epoch_advance_interval.store(retires, std::memory_order_relaxed);
+}
+
+uint32_t DefaultEpochRetireBatch() {
+  return g_epoch_retire_batch.load(std::memory_order_relaxed);
+}
+
+void SetDefaultEpochRetireBatch(uint32_t entries) {
+  if (entries < 1) entries = 1;
+  if (entries > (1u << 20)) entries = 1u << 20;
+  g_epoch_retire_batch.store(entries, std::memory_order_relaxed);
+}
+
 void MachineModel::ApplyProbeDefaults() const {
   SetDefaultProbeGroupSize(probe_group_size);
 }
@@ -58,6 +80,11 @@ void MachineModel::ApplyStreamDefaults() const {
   SetDefaultStreamBatchRows(stream_batch_rows);
   SetDefaultStreamMaxInflight(stream_max_inflight);
   SetDefaultStreamLatenessBound(stream_lateness_bound);
+}
+
+void MachineModel::ApplySyncDefaults() const {
+  SetDefaultEpochAdvanceInterval(epoch_advance_interval);
+  SetDefaultEpochRetireBatch(epoch_retire_batch);
 }
 
 MachineModel MachineModel::Server2013() {

@@ -78,6 +78,18 @@ struct MachineModel {
   /// should agree on, so it lives on the same knob surface.
   uint64_t stream_lateness_bound = 1024;
 
+  /// Reclamation knobs consumed by hwstar::sync (see ApplySyncDefaults()).
+  ///
+  /// Retires between epoch-advance attempts: the advance scan reads every
+  /// registered thread's slot, so its cost grows with thread count and it
+  /// must be amortized over many retires. Smaller = tighter memory bound,
+  /// larger = fewer shared-line reads on the write path.
+  uint32_t epoch_advance_interval = 64;
+  /// Per-thread retire-list length that triggers a sweep. Bounds the
+  /// reclamation backlog a single writer can accumulate; the worst-case
+  /// deferred footprint is roughly threads x retire_batch x object size.
+  uint32_t epoch_retire_batch = 128;
+
   /// A 2013-era two-socket server: 8 cores, 32KB/256KB/20MB caches, 2 NUMA
   /// nodes with 1.6x remote latency.
   static MachineModel Server2013();
@@ -101,6 +113,11 @@ struct MachineModel {
   /// stream_max_inflight, stream_lateness_bound) as the process-wide
   /// defaults consumed by hwstar::stream when callers pass 0.
   void ApplyStreamDefaults() const;
+
+  /// Publishes this model's reclamation tunables (epoch_advance_interval,
+  /// epoch_retire_batch) as the process-wide defaults consumed by
+  /// sync::EpochManager.
+  void ApplySyncDefaults() const;
 
   /// One-line summary for reports.
   std::string ToString() const;
@@ -140,6 +157,22 @@ uint64_t DefaultStreamLatenessBound();
 /// Sets the lateness default (any value, 0 = drop everything behind the
 /// max timestamp seen). Thread-safe.
 void SetDefaultStreamLatenessBound(uint64_t bound);
+
+/// Process-wide retires-per-advance-attempt cadence for
+/// sync::EpochManager. Relaxed atomics: a tuning hint read on the retire
+/// path, never a correctness input (reclamation safety comes from the
+/// epoch rule, not the cadence).
+uint32_t DefaultEpochAdvanceInterval();
+
+/// Sets the advance cadence, clamped to [1, 1<<20]. Thread-safe.
+void SetDefaultEpochAdvanceInterval(uint32_t retires);
+
+/// Process-wide per-thread retire-list sweep threshold for
+/// sync::EpochManager.
+uint32_t DefaultEpochRetireBatch();
+
+/// Sets the sweep threshold, clamped to [1, 1<<20]. Thread-safe.
+void SetDefaultEpochRetireBatch(uint32_t entries);
 
 }  // namespace hwstar::hw
 

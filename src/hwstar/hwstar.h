@@ -37,6 +37,10 @@
 #include "hwstar/mem/memory_pool.h"
 #include "hwstar/mem/numa_allocator.h"
 
+// Synchronization: epoch-based reclamation and optimistic latches.
+#include "hwstar/sync/epoch.h"
+#include "hwstar/sync/optlock.h"
+
 // Parallel execution.
 #include "hwstar/exec/affinity.h"
 #include "hwstar/exec/executor.h"

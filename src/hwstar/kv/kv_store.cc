@@ -2,12 +2,19 @@
 
 #include "hwstar/common/bits.h"
 #include "hwstar/common/macros.h"
+#include "hwstar/sync/epoch.h"
 
 namespace hwstar::kv {
 
 namespace {
 constexpr auto kRelaxed = std::memory_order_relaxed;
 }  // namespace
+
+KvStore::ShardStats::Lane& KvStore::ShardStats::MyLane() {
+  static std::atomic<uint32_t> next{0};
+  thread_local uint32_t lane = next.fetch_add(1, kRelaxed) % kLanes;
+  return lanes[lane];
+}
 
 KvStore::KvStore(KvOptions options) : options_(options) {
   HWSTAR_CHECK(bits::IsPowerOfTwo(options_.shards));
@@ -18,6 +25,11 @@ KvStore::KvStore(KvOptions options) : options_(options) {
     auto shard = std::make_unique<Shard>();
     if (options_.index == IndexKind::kBTree) {
       shard->btree = std::make_unique<ops::BPlusTree>(options_.btree_fanout);
+    } else if (options_.latch_free_reads) {
+      // ART's Erase and node growth free memory; latch-free readers need
+      // those frees deferred past their pins. The B+-tree never frees
+      // nodes, so it needs no epoch domain.
+      shard->art.SetEpochManager(&sync::EpochManager::Global());
     }
     shards_.push_back(std::move(shard));
   }
@@ -26,7 +38,7 @@ KvStore::KvStore(KvOptions options) : options_(options) {
 void KvStore::Put(uint64_t key, uint64_t value) {
   Shard& shard = *shards_[ShardOf(key)];
   std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.stats.puts.fetch_add(1, kRelaxed);
+  shard.stats.MyLane().puts.fetch_add(1, kRelaxed);
   if (options_.index == IndexKind::kArt) {
     shard.art.Insert(key, value);
   } else {
@@ -40,20 +52,34 @@ bool KvStore::Delete(uint64_t key) {
   const bool erased = options_.index == IndexKind::kArt
                           ? shard.art.Erase(key)
                           : shard.btree->Erase(key);
-  if (erased) shard.stats.deletes.fetch_add(1, kRelaxed);
+  if (erased) shard.stats.MyLane().deletes.fetch_add(1, kRelaxed);
   return erased;
 }
 
 Result<uint64_t> KvStore::Get(uint64_t key) {
   Shard& shard = *shards_[ShardOf(key)];
-  std::lock_guard<std::mutex> lock(shard.mutex);
-  shard.stats.gets.fetch_add(1, kRelaxed);
+  ShardStats::Lane& lane = shard.stats.MyLane();
+  lane.gets.fetch_add(1, kRelaxed);
   uint64_t value = 0;
-  const bool found = options_.index == IndexKind::kArt
-                         ? shard.art.Find(key, &value)
-                         : shard.btree->Find(key, &value);
+  bool found = false;
+  if (options_.latch_free_reads) {
+    // Latch-free point read: optimistic descent, no shared cache line is
+    // written (the stat lanes above are striped). ART descents pin an
+    // epoch so a racing Erase cannot free a node out from under them;
+    // the B+-tree never frees nodes, so its descent needs no pin.
+    if (options_.index == IndexKind::kArt) {
+      sync::EpochManager::Guard guard;
+      found = shard.art.Find(key, &value);
+    } else {
+      found = shard.btree->Find(key, &value);
+    }
+  } else {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    found = options_.index == IndexKind::kArt ? shard.art.Find(key, &value)
+                                              : shard.btree->Find(key, &value);
+  }
   if (!found) return Status::NotFound("key not found");
-  shard.stats.hits.fetch_add(1, kRelaxed);
+  lane.hits.fetch_add(1, kRelaxed);
   return value;
 }
 
@@ -68,18 +94,29 @@ void KvStore::MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
     while (end < count && ShardOf(keys[end]) == s) ++end;
     const size_t run = end - i;
 
-    // Serve the whole same-shard run under one latch acquisition, through
-    // the index's batched probe kernel so the run's index descents
-    // overlap their cache misses (see ops/probe_kernels.h).
+    // Serve the whole same-shard run through the index's batched probe
+    // kernel so the run's index descents overlap their cache misses (see
+    // ops/probe_kernels.h) -- latch-free by default, under one latch
+    // acquisition (never one per key) otherwise.
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
     bool* run_found = found == nullptr ? nullptr : found + i;
-    const size_t hits =
-        options_.index == IndexKind::kArt
-            ? shard.art.FindBatch(keys + i, run, values + i, run_found)
-            : shard.btree->FindBatch(keys + i, run, values + i, run_found);
-    shard.stats.gets.fetch_add(run, kRelaxed);
-    shard.stats.hits.fetch_add(hits, kRelaxed);
+    size_t hits = 0;
+    if (options_.latch_free_reads) {
+      if (options_.index == IndexKind::kArt) {
+        sync::EpochManager::Guard guard;
+        hits = shard.art.FindBatch(keys + i, run, values + i, run_found);
+      } else {
+        hits = shard.btree->FindBatch(keys + i, run, values + i, run_found);
+      }
+    } else {
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      hits = options_.index == IndexKind::kArt
+                 ? shard.art.FindBatch(keys + i, run, values + i, run_found)
+                 : shard.btree->FindBatch(keys + i, run, values + i, run_found);
+    }
+    ShardStats::Lane& lane = shard.stats.MyLane();
+    lane.gets.fetch_add(run, kRelaxed);
+    lane.hits.fetch_add(hits, kRelaxed);
     i = end;
   }
 }
@@ -101,7 +138,7 @@ uint64_t KvStore::RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
   for (uint32_t s = first; s <= last; ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.stats.scans.fetch_add(1, kRelaxed);
+    shard.stats.MyLane().scans.fetch_add(1, kRelaxed);
     if (options_.index == IndexKind::kArt) {
       count += shard.art.RangeScan(lo, hi, out);
     } else {
@@ -126,7 +163,7 @@ uint64_t KvStore::RangeScanEntries(
   for (uint32_t s = first; s <= last; ++s) {
     Shard& shard = *shards_[s];
     std::lock_guard<std::mutex> lock(shard.mutex);
-    shard.stats.scans.fetch_add(1, kRelaxed);
+    shard.stats.MyLane().scans.fetch_add(1, kRelaxed);
     if (options_.index == IndexKind::kArt) {
       count += shard.art.RangeScanEntries(lo, hi, out);
     } else {
@@ -148,15 +185,18 @@ uint64_t KvStore::size() const {
 
 KvStats KvStore::stats() const {
   // Lock-free: counters are relaxed atomics, so a snapshot can be taken
-  // while writers hold shard latches (the concurrency the svc layer's
-  // metrics poller exercises continuously).
+  // while writers hold shard latches and latch-free readers stream past
+  // them (the concurrency the svc layer's metrics poller exercises
+  // continuously).
   KvStats total;
   for (const auto& shard : shards_) {
-    total.gets += shard->stats.gets.load(kRelaxed);
-    total.puts += shard->stats.puts.load(kRelaxed);
-    total.hits += shard->stats.hits.load(kRelaxed);
-    total.scans += shard->stats.scans.load(kRelaxed);
-    total.deletes += shard->stats.deletes.load(kRelaxed);
+    for (const ShardStats::Lane& lane : shard->stats.lanes) {
+      total.gets += lane.gets.load(kRelaxed);
+      total.puts += lane.puts.load(kRelaxed);
+      total.hits += lane.hits.load(kRelaxed);
+      total.scans += lane.scans.load(kRelaxed);
+      total.deletes += lane.deletes.load(kRelaxed);
+    }
   }
   return total;
 }

@@ -28,6 +28,13 @@ struct KvOptions {
   /// sharding (by high key bits) keeps scans order-preserving.
   uint32_t shards = 1;
   uint32_t btree_fanout = 32;
+  /// When true (the default), point reads (Get/MultiGet) never take the
+  /// shard latch: they run the index's optimistic read path -- a
+  /// version-validated OLC descent, epoch-pinned for ART (whose Erase
+  /// frees nodes). Writers and range scans still serialize on the latch.
+  /// False restores fully latched reads (the pre-sync behavior; E20
+  /// benchmarks the two against each other).
+  bool latch_free_reads = true;
 };
 
 /// Operation counters (a point-in-time snapshot; see KvStore::stats()).
@@ -39,13 +46,15 @@ struct KvStats {
   uint64_t deletes = 0;  ///< Delete calls that found (and removed) the key
 };
 
-/// An embedded, latched, ordered key-value store over the library's
-/// main-memory indexes: the OLTP substrate of the paper's world. The
-/// design choices on display are exactly the hardware-conscious ones the
-/// keynote demands: the index is a cache-efficient structure (ART or wide
-/// B+-tree, never a binary tree), and concurrency comes from range
-/// sharding (one latch + one index per key range) rather than a global
-/// lock. Thread-safe.
+/// An embedded, ordered key-value store over the library's main-memory
+/// indexes: the OLTP substrate of the paper's world. The design choices
+/// on display are exactly the hardware-conscious ones the keynote
+/// demands: the index is a cache-efficient structure (ART or wide
+/// B+-tree, never a binary tree), writes scale by range sharding (one
+/// latch + one index per key range), and point reads are latch-free by
+/// default -- optimistic lock coupling plus epoch-based reclamation
+/// (hwstar/sync), so readers scale past the point where latched reads
+/// plateau on the shard latches' cache lines. Thread-safe.
 class KvStore {
  public:
   explicit KvStore(KvOptions options = KvOptions());
@@ -61,21 +70,26 @@ class KvStore {
   /// sentinel-value overwrites, which would poison range scans).
   bool Delete(uint64_t key);
 
-  /// Point read; NotFound when absent.
+  /// Point read; NotFound when absent. With latch_free_reads (default)
+  /// this never touches the shard latch: the descent is optimistic and
+  /// restarts on writer interference, and stat counters are bumped on
+  /// lane-striped relaxed atomics.
   Result<uint64_t> Get(uint64_t key);
 
   /// Batched point reads: fills values[i] (the value, or 0 on a miss)
   /// and found[i] for each keys[i]. `found` may be null when the caller
   /// only wants values -- the per-key hit flags are then skipped
   /// entirely (misses are still distinguishable only if 0 is not a
-  /// stored value). Contiguous runs of same-shard keys take the shard
-  /// latch once per run rather than once per key, and each run is served
+  /// stored value). Contiguous runs of same-shard keys are served
   /// through the index's batched probe kernel (ART/B+-tree FindBatch),
   /// which keeps a group of index descents' cache misses in flight
-  /// instead of paying them one key at a time. Callers that group keys
-  /// by shard (the svc batcher sorts its get-batches exactly this way)
-  /// amortize latch, index-root, and miss-latency costs across the whole
-  /// batch.
+  /// instead of paying them one key at a time. With latch_free_reads
+  /// (default) a run never takes the shard latch -- the batch kernel's
+  /// whole-group optimistic descent restarts on writer interference;
+  /// otherwise the run takes the latch once (not once per key). Callers
+  /// that group keys by shard (the svc batcher sorts its get-batches
+  /// exactly this way) amortize index-root and miss-latency costs across
+  /// the whole batch.
   void MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
                 bool* found);
 
@@ -102,15 +116,25 @@ class KvStore {
   const KvOptions& options() const { return options_; }
 
  private:
-  /// Per-shard counters: mutated under the shard latch but read lock-free
-  /// by stats() callers, so they must be atomics (relaxed is enough — the
-  /// readers want monotonic counters, not a consistent cut).
+  /// Per-shard, lane-striped counters: bumped without the shard latch by
+  /// latch-free readers and latched writers alike. Threads hash to
+  /// cache-line-padded lanes, so concurrent Gets against one hot shard
+  /// do not all fetch_add the same cache line (which would serialize the
+  /// very readers the latch-free path unshackles). stats() sums every
+  /// lane with relaxed loads -- the readers want monotonic counters, not
+  /// a consistent cut.
   struct ShardStats {
-    std::atomic<uint64_t> gets{0};
-    std::atomic<uint64_t> puts{0};
-    std::atomic<uint64_t> hits{0};
-    std::atomic<uint64_t> scans{0};
-    std::atomic<uint64_t> deletes{0};
+    static constexpr uint32_t kLanes = 8;
+    struct alignas(64) Lane {
+      std::atomic<uint64_t> gets{0};
+      std::atomic<uint64_t> puts{0};
+      std::atomic<uint64_t> hits{0};
+      std::atomic<uint64_t> scans{0};
+      std::atomic<uint64_t> deletes{0};
+    };
+    Lane lanes[kLanes];
+    /// The calling thread's lane (assigned round-robin on first use).
+    Lane& MyLane();
   };
 
   struct Shard {

@@ -4,6 +4,8 @@
 
 #include "hwstar/common/macros.h"
 #include "hwstar/ops/probe_kernels.h"
+#include "hwstar/sync/epoch.h"
+#include "hwstar/sync/optlock.h"
 
 namespace hwstar::ops {
 
@@ -19,29 +21,42 @@ constexpr uint32_t kMaxDepth = 8;
 
 }  // namespace
 
+/// Node layout notes for the concurrent read path: every field a
+/// latch-free reader can observe while the writer mutates it in place is
+/// a std::atomic accessed with relaxed loads -- consistency comes from
+/// OptLock version validation (sample, read, re-check), the atomics only
+/// rule out torn words and data races. Fields that are written once
+/// before the node is published through a release store (kind, leaf key,
+/// the children256 array pointer) stay plain. Child pointers use
+/// acquire/release so a reader that follows a freshly published pointer
+/// sees the child fully constructed.
 struct AdaptiveRadixTree::Node {
   enum Kind : uint8_t { kLeaf, kN4, kN16, kN48, kN256 };
 
   explicit Node(Kind k) : kind(k) {}
 
-  Kind kind;
-  uint8_t prefix_len = 0;   // compressed-path bytes below the parent edge
-  uint8_t prefix[8] = {0};
-  uint16_t count = 0;       // children in use (inner nodes)
+  sync::OptLock lock;
+  const Kind kind;                        // never changes; growth replaces nodes
+  std::atomic<uint8_t> prefix_len{0};     // compressed-path bytes below parent
+  std::atomic<uint8_t> prefix[8];
+  std::atomic<uint16_t> count{0};         // children in use (inner nodes)
 
-  // Leaf payload.
+  // Leaf payload. The key is immutable after publication; the value is
+  // overwritten in place (a single atomic store, so readers need no lock
+  // to see it untorn).
   uint64_t key = 0;
-  uint64_t value = 0;
+  std::atomic<uint64_t> value{0};
 
   // Inner-node child storage. Only the fields of the active layout are
   // meaningful; the adaptive growth path is N4 -> N16 -> N48 -> N256.
-  uint8_t keys4[4] = {0};
-  Node* children4[4] = {nullptr};
-  uint8_t keys16[16] = {0};
-  Node* children16[16] = {nullptr};
-  uint8_t child_index48[256] = {0};  // 0 = empty, else child slot + 1
-  Node* children48[48] = {nullptr};
-  Node** children256 = nullptr;      // lazily allocated [256]
+  // (C++20 value-initializes default-constructed atomics to zero.)
+  std::atomic<uint8_t> keys4[4];
+  std::atomic<Node*> children4[4];
+  std::atomic<uint8_t> keys16[16];
+  std::atomic<Node*> children16[16];
+  std::atomic<uint8_t> child_index48[256];  // 0 = empty, else child slot + 1
+  std::atomic<Node*> children48[48];
+  std::atomic<Node*>* children256 = nullptr;  // allocated before publication
 
   ~Node() { delete[] children256; }
 };
@@ -53,351 +68,319 @@ using Node = AdaptiveRadixTree::Node;
 Node* NewLeaf(uint64_t key, uint64_t value) {
   Node* n = new Node(Node::kLeaf);
   n->key = key;
-  n->value = value;
+  n->value.store(value, std::memory_order_relaxed);
   return n;
 }
 
 Node* NewNode(Node::Kind kind) {
   Node* n = new Node(kind);
   if (kind == Node::kN256) {
-    n->children256 = new Node*[256]();
+    n->children256 = new std::atomic<Node*>[256]();
   }
   return n;
 }
 
-/// Finds the child for byte b, or nullptr.
+size_t NodeBytes(const Node* n) {
+  return sizeof(Node) +
+         (n->kind == Node::kN256 ? 256 * sizeof(std::atomic<Node*>) : 0);
+}
+
+/// Finds the child for byte b, or nullptr. Safe for latch-free readers:
+/// the result must be validated against the node version before being
+/// dereferenced (a racing writer can make any combination of count/keys/
+/// slot reads stale, but never out of bounds).
 Node* FindChild(const Node* n, uint8_t b) {
   switch (n->kind) {
-    case Node::kN4:
-      for (uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys4[i] == b) return n->children4[i];
-      }
-      return nullptr;
-    case Node::kN16:
-      for (uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys16[i] == b) return n->children16[i];
-      }
-      return nullptr;
-    case Node::kN48: {
-      uint8_t idx = n->child_index48[b];
-      return idx == 0 ? nullptr : n->children48[idx - 1];
-    }
-    case Node::kN256:
-      return n->children256[b];
-    default:
-      return nullptr;
-  }
-}
-
-/// Adds child b -> c; grows the node (returning the replacement) when the
-/// layout is full. The caller must store the returned pointer.
-Node* AddChild(Node* n, uint8_t b, Node* c) {
-  switch (n->kind) {
     case Node::kN4: {
-      if (n->count < 4) {
-        // Insert keeping keys sorted (cheap at width 4).
-        uint16_t pos = 0;
-        while (pos < n->count && n->keys4[pos] < b) ++pos;
-        for (uint16_t i = n->count; i > pos; --i) {
-          n->keys4[i] = n->keys4[i - 1];
-          n->children4[i] = n->children4[i - 1];
+      const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        if (n->keys4[i].load(std::memory_order_relaxed) == b) {
+          return n->children4[i].load(std::memory_order_acquire);
         }
-        n->keys4[pos] = b;
-        n->children4[pos] = c;
-        ++n->count;
-        return n;
       }
-      // Grow to N16.
-      Node* big = NewNode(Node::kN16);
-      big->prefix_len = n->prefix_len;
-      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
-      for (uint16_t i = 0; i < 4; ++i) {
-        big->keys16[i] = n->keys4[i];
-        big->children16[i] = n->children4[i];
-      }
-      big->count = 4;
-      delete n;
-      return AddChild(big, b, c);
+      return nullptr;
     }
     case Node::kN16: {
-      if (n->count < 16) {
-        uint16_t pos = 0;
-        while (pos < n->count && n->keys16[pos] < b) ++pos;
-        for (uint16_t i = n->count; i > pos; --i) {
-          n->keys16[i] = n->keys16[i - 1];
-          n->children16[i] = n->children16[i - 1];
+      const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        if (n->keys16[i].load(std::memory_order_relaxed) == b) {
+          return n->children16[i].load(std::memory_order_acquire);
         }
-        n->keys16[pos] = b;
-        n->children16[pos] = c;
-        ++n->count;
-        return n;
       }
-      Node* big = NewNode(Node::kN48);
-      big->prefix_len = n->prefix_len;
-      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
-      for (uint16_t i = 0; i < 16; ++i) {
-        big->children48[i] = n->children16[i];
-        big->child_index48[n->keys16[i]] = static_cast<uint8_t>(i + 1);
-      }
-      big->count = 16;
-      delete n;
-      return AddChild(big, b, c);
+      return nullptr;
     }
     case Node::kN48: {
-      if (n->count < 48) {
-        n->children48[n->count] = c;
-        n->child_index48[b] = static_cast<uint8_t>(n->count + 1);
-        ++n->count;
-        return n;
+      const uint8_t idx = n->child_index48[b].load(std::memory_order_relaxed);
+      return idx == 0 ? nullptr
+                      : n->children48[idx - 1].load(std::memory_order_acquire);
+    }
+    case Node::kN256:
+      return n->children256[b].load(std::memory_order_acquire);
+    default:
+      return nullptr;
+  }
+}
+
+/// The slot holding the child for byte b (writer-side; the child must
+/// exist). Stable until the writer itself mutates this node.
+std::atomic<Node*>* ChildSlot(Node* n, uint8_t b) {
+  switch (n->kind) {
+    case Node::kN4: {
+      const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        if (n->keys4[i].load(std::memory_order_relaxed) == b) {
+          return &n->children4[i];
+        }
       }
-      Node* big = NewNode(Node::kN256);
-      big->prefix_len = n->prefix_len;
-      std::memcpy(big->prefix, n->prefix, sizeof(n->prefix));
+      break;
+    }
+    case Node::kN16: {
+      const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        if (n->keys16[i].load(std::memory_order_relaxed) == b) {
+          return &n->children16[i];
+        }
+      }
+      break;
+    }
+    case Node::kN48: {
+      const uint8_t idx = n->child_index48[b].load(std::memory_order_relaxed);
+      if (idx != 0) return &n->children48[idx - 1];
+      break;
+    }
+    case Node::kN256:
+      return &n->children256[b];
+    default:
+      break;
+  }
+  HWSTAR_CHECK(false);
+  return nullptr;
+}
+
+bool HasRoom(const Node* n) {
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+  switch (n->kind) {
+    case Node::kN4:
+      return cnt < 4;
+    case Node::kN16:
+      return cnt < 16;
+    case Node::kN48:
+      return cnt < 48;
+    case Node::kN256:
+      return true;
+    default:
+      HWSTAR_CHECK(false);
+      return false;
+  }
+}
+
+/// Adds child b -> c into a node with room. The caller either holds the
+/// node's write lock (so concurrent readers restart instead of observing
+/// the N4/N16 shift mid-flight) or owns the node privately (not yet
+/// published).
+void AddChildInPlace(Node* n, uint8_t b, Node* c) {
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+  switch (n->kind) {
+    case Node::kN4: {
+      // Insert keeping keys sorted (cheap at width 4).
+      uint16_t pos = 0;
+      while (pos < cnt && n->keys4[pos].load(std::memory_order_relaxed) < b) {
+        ++pos;
+      }
+      for (uint16_t i = cnt; i > pos; --i) {
+        n->keys4[i].store(n->keys4[i - 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        n->children4[i].store(
+            n->children4[i - 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      n->keys4[pos].store(b, std::memory_order_relaxed);
+      n->children4[pos].store(c, std::memory_order_release);
+      break;
+    }
+    case Node::kN16: {
+      uint16_t pos = 0;
+      while (pos < cnt && n->keys16[pos].load(std::memory_order_relaxed) < b) {
+        ++pos;
+      }
+      for (uint16_t i = cnt; i > pos; --i) {
+        n->keys16[i].store(n->keys16[i - 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+        n->children16[i].store(
+            n->children16[i - 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      n->keys16[pos].store(b, std::memory_order_relaxed);
+      n->children16[pos].store(c, std::memory_order_release);
+      break;
+    }
+    case Node::kN48:
+      n->children48[cnt].store(c, std::memory_order_release);
+      n->child_index48[b].store(static_cast<uint8_t>(cnt + 1),
+                                std::memory_order_release);
+      break;
+    case Node::kN256:
+      HWSTAR_DCHECK(n->children256[b].load(std::memory_order_relaxed) ==
+                    nullptr);
+      n->children256[b].store(c, std::memory_order_release);
+      break;
+    default:
+      HWSTAR_CHECK(false);
+  }
+  n->count.store(static_cast<uint16_t>(cnt + 1), std::memory_order_relaxed);
+}
+
+/// A private copy of full node `n` in the next-larger layout. The copy is
+/// published by the caller; `n` stays untouched for in-flight readers.
+Node* GrowCopy(const Node* n) {
+  Node* big = nullptr;
+  switch (n->kind) {
+    case Node::kN4: {
+      big = NewNode(Node::kN16);
+      for (uint16_t i = 0; i < 4; ++i) {
+        big->keys16[i].store(n->keys4[i].load(std::memory_order_relaxed),
+                             std::memory_order_relaxed);
+        big->children16[i].store(
+            n->children4[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      big->count.store(4, std::memory_order_relaxed);
+      break;
+    }
+    case Node::kN16: {
+      big = NewNode(Node::kN48);
+      for (uint16_t i = 0; i < 16; ++i) {
+        big->children48[i].store(
+            n->children16[i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+        big->child_index48[n->keys16[i].load(std::memory_order_relaxed)].store(
+            static_cast<uint8_t>(i + 1), std::memory_order_relaxed);
+      }
+      big->count.store(16, std::memory_order_relaxed);
+      break;
+    }
+    case Node::kN48: {
+      big = NewNode(Node::kN256);
       for (uint32_t byte = 0; byte < 256; ++byte) {
-        uint8_t idx = n->child_index48[byte];
-        if (idx != 0) big->children256[byte] = n->children48[idx - 1];
-      }
-      big->count = 48;
-      delete n;
-      return AddChild(big, b, c);
-    }
-    case Node::kN256:
-      HWSTAR_DCHECK(n->children256[b] == nullptr);
-      n->children256[b] = c;
-      ++n->count;
-      return n;
-    default:
-      HWSTAR_CHECK(false);
-      return n;
-  }
-}
-
-/// Longest common prefix of two keys starting at `depth`; at most
-/// kMaxDepth - depth bytes.
-uint32_t CommonPrefixLen(uint64_t a, uint64_t b, uint32_t depth) {
-  uint32_t len = 0;
-  while (depth + len < kMaxDepth && KeyByte(a, depth + len) == KeyByte(b, depth + len)) {
-    ++len;
-  }
-  return len;
-}
-
-/// Number of leading prefix bytes of `n` matching `key` at `depth`.
-uint32_t PrefixMatchLen(const Node* n, uint64_t key, uint32_t depth) {
-  uint32_t len = 0;
-  while (len < n->prefix_len && depth + len < kMaxDepth &&
-         n->prefix[len] == KeyByte(key, depth + len)) {
-    ++len;
-  }
-  return len;
-}
-
-void FreeRec(Node* n) {
-  if (n == nullptr) return;
-  switch (n->kind) {
-    case Node::kLeaf:
-      break;
-    case Node::kN4:
-      for (uint16_t i = 0; i < n->count; ++i) FreeRec(n->children4[i]);
-      break;
-    case Node::kN16:
-      for (uint16_t i = 0; i < n->count; ++i) FreeRec(n->children16[i]);
-      break;
-    case Node::kN48:
-      for (uint32_t b = 0; b < 256; ++b) {
-        if (n->child_index48[b] != 0) FreeRec(n->children48[n->child_index48[b] - 1]);
-      }
-      break;
-    case Node::kN256:
-      for (uint32_t b = 0; b < 256; ++b) FreeRec(n->children256[b]);
-      break;
-  }
-  delete n;
-}
-
-/// Recursive insert; returns the (possibly replaced) subtree root.
-Node* InsertRec(Node* n, uint64_t key, uint64_t value, uint32_t depth,
-                uint64_t* size) {
-  if (n == nullptr) {
-    ++*size;
-    return NewLeaf(key, value);
-  }
-
-  if (n->kind == Node::kLeaf) {
-    if (n->key == key) {
-      n->value = value;  // overwrite
-      return n;
-    }
-    // Lazy expansion: split into an inner node holding the common prefix.
-    const uint32_t lcp = CommonPrefixLen(n->key, key, depth);
-    Node* inner = NewNode(Node::kN4);
-    inner->prefix_len = static_cast<uint8_t>(lcp);
-    for (uint32_t i = 0; i < lcp; ++i) inner->prefix[i] = KeyByte(key, depth + i);
-    Node* result = inner;
-    result = AddChild(result, KeyByte(n->key, depth + lcp), n);
-    ++*size;
-    result = AddChild(result, KeyByte(key, depth + lcp), NewLeaf(key, value));
-    return result;
-  }
-
-  // Inner node: check the compressed path.
-  const uint32_t match = PrefixMatchLen(n, key, depth);
-  if (match < n->prefix_len) {
-    // Path splits inside the prefix: new N4 with the matching part.
-    Node* inner = NewNode(Node::kN4);
-    inner->prefix_len = static_cast<uint8_t>(match);
-    std::memcpy(inner->prefix, n->prefix, match);
-    // Old node keeps the tail of its prefix after the split byte.
-    const uint8_t split_byte = n->prefix[match];
-    const uint8_t remaining = static_cast<uint8_t>(n->prefix_len - match - 1);
-    std::memmove(n->prefix, n->prefix + match + 1, remaining);
-    n->prefix_len = remaining;
-    Node* result = inner;
-    result = AddChild(result, split_byte, n);
-    ++*size;
-    result = AddChild(result, KeyByte(key, depth + match), NewLeaf(key, value));
-    return result;
-  }
-
-  depth += n->prefix_len;
-  const uint8_t b = KeyByte(key, depth);
-  Node* child = FindChild(n, b);
-  if (child == nullptr) {
-    ++*size;
-    return AddChild(n, b, NewLeaf(key, value));
-  }
-  Node* new_child = InsertRec(child, key, value, depth + 1, size);
-  if (new_child != child) {
-    // The child was replaced (leaf split or prefix split); patch the slot.
-    switch (n->kind) {
-      case Node::kN4:
-        for (uint16_t i = 0; i < n->count; ++i) {
-          if (n->keys4[i] == b) n->children4[i] = new_child;
+        const uint8_t idx =
+            n->child_index48[byte].load(std::memory_order_relaxed);
+        if (idx != 0) {
+          big->children256[byte].store(
+              n->children48[idx - 1].load(std::memory_order_relaxed),
+              std::memory_order_relaxed);
         }
-        break;
-      case Node::kN16:
-        for (uint16_t i = 0; i < n->count; ++i) {
-          if (n->keys16[i] == b) n->children16[i] = new_child;
-        }
-        break;
-      case Node::kN48:
-        n->children48[n->child_index48[b] - 1] = new_child;
-        break;
-      case Node::kN256:
-        n->children256[b] = new_child;
-        break;
-      default:
-        HWSTAR_CHECK(false);
+      }
+      big->count.store(48, std::memory_order_relaxed);
+      break;
     }
-  }
-  return n;
-}
-
-/// Replaces the child slot for byte `b` with `c` (which must exist).
-void PatchChild(Node* n, uint8_t b, Node* c) {
-  switch (n->kind) {
-    case Node::kN4:
-      for (uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys4[i] == b) n->children4[i] = c;
-      }
-      break;
-    case Node::kN16:
-      for (uint16_t i = 0; i < n->count; ++i) {
-        if (n->keys16[i] == b) n->children16[i] = c;
-      }
-      break;
-    case Node::kN48:
-      n->children48[n->child_index48[b] - 1] = c;
-      break;
-    case Node::kN256:
-      n->children256[b] = c;
-      break;
     default:
       HWSTAR_CHECK(false);
   }
+  big->prefix_len.store(n->prefix_len.load(std::memory_order_relaxed),
+                        std::memory_order_relaxed);
+  for (uint32_t i = 0; i < sizeof(n->prefix) / sizeof(n->prefix[0]); ++i) {
+    big->prefix[i].store(n->prefix[i].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  return big;
 }
 
 /// Removes the child slot for byte `b` (which must exist) without freeing
-/// the child node.
-void RemoveChild(Node* n, uint8_t b) {
+/// the child node. Caller holds the node's write lock.
+void RemoveChildInPlace(Node* n, uint8_t b) {
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
   switch (n->kind) {
     case Node::kN4: {
       uint16_t pos = 0;
-      while (pos < n->count && n->keys4[pos] != b) ++pos;
-      HWSTAR_DCHECK(pos < n->count);
-      for (uint16_t i = pos; i + 1 < n->count; ++i) {
-        n->keys4[i] = n->keys4[i + 1];
-        n->children4[i] = n->children4[i + 1];
+      while (pos < cnt && n->keys4[pos].load(std::memory_order_relaxed) != b) {
+        ++pos;
       }
-      --n->count;
-      return;
+      HWSTAR_DCHECK(pos < cnt);
+      for (uint16_t i = pos; i + 1 < cnt; ++i) {
+        n->keys4[i].store(n->keys4[i + 1].load(std::memory_order_relaxed),
+                          std::memory_order_relaxed);
+        n->children4[i].store(
+            n->children4[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      break;
     }
     case Node::kN16: {
       uint16_t pos = 0;
-      while (pos < n->count && n->keys16[pos] != b) ++pos;
-      HWSTAR_DCHECK(pos < n->count);
-      for (uint16_t i = pos; i + 1 < n->count; ++i) {
-        n->keys16[i] = n->keys16[i + 1];
-        n->children16[i] = n->children16[i + 1];
+      while (pos < cnt && n->keys16[pos].load(std::memory_order_relaxed) != b) {
+        ++pos;
       }
-      --n->count;
-      return;
+      HWSTAR_DCHECK(pos < cnt);
+      for (uint16_t i = pos; i + 1 < cnt; ++i) {
+        n->keys16[i].store(n->keys16[i + 1].load(std::memory_order_relaxed),
+                           std::memory_order_relaxed);
+        n->children16[i].store(
+            n->children16[i + 1].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      break;
     }
     case Node::kN48: {
-      const uint8_t slot = n->child_index48[b];
+      const uint8_t slot = n->child_index48[b].load(std::memory_order_relaxed);
       HWSTAR_DCHECK(slot != 0);
-      n->child_index48[b] = 0;
+      n->child_index48[b].store(0, std::memory_order_relaxed);
       // Keep the slot array dense: move the last occupied slot into the
       // hole and repoint whichever byte indexed it.
-      const uint16_t last = n->count - 1;
+      const uint16_t last = cnt - 1;
       if (slot - 1 != last) {
-        n->children48[slot - 1] = n->children48[last];
+        n->children48[slot - 1].store(
+            n->children48[last].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
         for (uint32_t byte = 0; byte < 256; ++byte) {
-          if (n->child_index48[byte] == last + 1) {
-            n->child_index48[byte] = slot;
+          if (n->child_index48[byte].load(std::memory_order_relaxed) ==
+              last + 1) {
+            n->child_index48[byte].store(slot, std::memory_order_relaxed);
             break;
           }
         }
       }
-      n->children48[last] = nullptr;
-      --n->count;
-      return;
+      n->children48[last].store(nullptr, std::memory_order_relaxed);
+      break;
     }
     case Node::kN256:
-      HWSTAR_DCHECK(n->children256[b] != nullptr);
-      n->children256[b] = nullptr;
-      --n->count;
-      return;
+      HWSTAR_DCHECK(n->children256[b].load(std::memory_order_relaxed) !=
+                    nullptr);
+      n->children256[b].store(nullptr, std::memory_order_relaxed);
+      break;
     default:
       HWSTAR_CHECK(false);
   }
+  n->count.store(static_cast<uint16_t>(cnt - 1), std::memory_order_relaxed);
 }
 
 /// The (byte, child) of the only child of a count==1 inner node.
 void OnlyChild(const Node* n, uint8_t* byte, Node** child) {
   switch (n->kind) {
     case Node::kN4:
-      *byte = n->keys4[0];
-      *child = n->children4[0];
+      *byte = n->keys4[0].load(std::memory_order_relaxed);
+      *child = n->children4[0].load(std::memory_order_relaxed);
       return;
     case Node::kN16:
-      *byte = n->keys16[0];
-      *child = n->children16[0];
+      *byte = n->keys16[0].load(std::memory_order_relaxed);
+      *child = n->children16[0].load(std::memory_order_relaxed);
       return;
     case Node::kN48:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->child_index48[b] != 0) {
+        const uint8_t idx =
+            n->child_index48[b].load(std::memory_order_relaxed);
+        if (idx != 0) {
           *byte = static_cast<uint8_t>(b);
-          *child = n->children48[n->child_index48[b] - 1];
+          *child = n->children48[idx - 1].load(std::memory_order_relaxed);
           return;
         }
       }
       break;
     case Node::kN256:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->children256[b] != nullptr) {
+        Node* c = n->children256[b].load(std::memory_order_relaxed);
+        if (c != nullptr) {
           *byte = static_cast<uint8_t>(b);
-          *child = n->children256[b];
+          *child = c;
           return;
         }
       }
@@ -408,84 +391,106 @@ void OnlyChild(const Node* n, uint8_t* byte, Node** child) {
   HWSTAR_CHECK(false);
 }
 
-/// Recursive erase; returns the (possibly replaced or null) subtree root.
-Node* EraseRec(Node* n, uint64_t key, uint32_t depth, bool* erased) {
-  if (n == nullptr) return nullptr;
-
-  if (n->kind == Node::kLeaf) {
-    if (n->key != key) return n;
-    delete n;
-    *erased = true;
-    return nullptr;
+/// Longest common prefix of two keys starting at `depth`; at most
+/// kMaxDepth - depth bytes.
+uint32_t CommonPrefixLen(uint64_t a, uint64_t b, uint32_t depth) {
+  uint32_t len = 0;
+  while (depth + len < kMaxDepth &&
+         KeyByte(a, depth + len) == KeyByte(b, depth + len)) {
+    ++len;
   }
+  return len;
+}
 
-  if (PrefixMatchLen(n, key, depth) < n->prefix_len) return n;
-  depth += n->prefix_len;
-  const uint8_t b = KeyByte(key, depth);
-  Node* child = FindChild(n, b);
-  if (child == nullptr) return n;
-
-  Node* new_child = EraseRec(child, key, depth + 1, erased);
-  if (new_child == child) return n;
-  if (new_child != nullptr) {
-    PatchChild(n, b, new_child);
-    return n;
+/// Number of leading prefix bytes of `n` matching `key` at `depth`.
+/// Reader-safe: every read is bounded regardless of staleness, and the
+/// caller validates the node version before trusting the result.
+uint32_t PrefixMatchLen(const Node* n, uint64_t key, uint32_t depth) {
+  const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+  uint32_t len = 0;
+  while (len < pl && len < sizeof(n->prefix) / sizeof(n->prefix[0]) &&
+         depth + len < kMaxDepth &&
+         n->prefix[len].load(std::memory_order_relaxed) ==
+             KeyByte(key, depth + len)) {
+    ++len;
   }
+  return len;
+}
 
-  RemoveChild(n, b);
-  if (n->count == 0) {
-    // Only reachable transiently (inner nodes are created with >= 2
-    // children); handled for safety.
-    delete n;
-    return nullptr;
-  }
-  if (n->count > 1) return n;
-
-  // Path compression in reverse: fold this node's prefix and the edge
-  // byte into the lone surviving child. A leaf carries its full key, so
-  // it absorbs the collapse with no prefix surgery.
-  uint8_t edge = 0;
-  Node* only = nullptr;
-  OnlyChild(n, &edge, &only);
-  if (only->kind != Node::kLeaf) {
-    HWSTAR_CHECK(static_cast<uint32_t>(n->prefix_len) + 1 + only->prefix_len <=
-                 sizeof(only->prefix));
-    uint8_t merged[sizeof(only->prefix)];
-    std::memcpy(merged, n->prefix, n->prefix_len);
-    merged[n->prefix_len] = edge;
-    std::memcpy(merged + n->prefix_len + 1, only->prefix, only->prefix_len);
-    only->prefix_len =
-        static_cast<uint8_t>(n->prefix_len + 1 + only->prefix_len);
-    std::memcpy(only->prefix, merged, only->prefix_len);
+void FreeRec(Node* n) {
+  if (n == nullptr) return;
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+  switch (n->kind) {
+    case Node::kLeaf:
+      break;
+    case Node::kN4:
+      for (uint16_t i = 0; i < cnt; ++i) {
+        FreeRec(n->children4[i].load(std::memory_order_relaxed));
+      }
+      break;
+    case Node::kN16:
+      for (uint16_t i = 0; i < cnt; ++i) {
+        FreeRec(n->children16[i].load(std::memory_order_relaxed));
+      }
+      break;
+    case Node::kN48:
+      for (uint32_t b = 0; b < 256; ++b) {
+        const uint8_t idx =
+            n->child_index48[b].load(std::memory_order_relaxed);
+        if (idx != 0) {
+          FreeRec(n->children48[idx - 1].load(std::memory_order_relaxed));
+        }
+      }
+      break;
+    case Node::kN256:
+      for (uint32_t b = 0; b < 256; ++b) {
+        FreeRec(n->children256[b].load(std::memory_order_relaxed));
+      }
+      break;
   }
   delete n;
-  return only;
+}
+
+void RetireNode(sync::EpochManager* epoch, Node* n) {
+  if (epoch == nullptr) {
+    delete n;
+    return;
+  }
+  epoch->Retire(
+      n, [](void* p) { delete static_cast<Node*>(p); }, NodeBytes(n));
 }
 
 /// In-order traversal collecting values of keys in [lo, hi]. `partial`
 /// holds the key bytes fixed so far (above `depth` bytes are decided), so
-/// whole subtrees outside the range are pruned.
+/// whole subtrees outside the range are pruned. Requires writer exclusion
+/// (the relaxed loads are for coexistence with latch-free point readers,
+/// not with a racing writer).
 void ScanRec(const Node* n, uint32_t depth, uint64_t partial, uint64_t lo,
              uint64_t hi, std::vector<uint64_t>* out, uint64_t* count) {
   if (n == nullptr) return;
   if (n->kind == Node::kLeaf) {
     if (n->key >= lo && n->key <= hi) {
-      out->push_back(n->value);
+      out->push_back(n->value.load(std::memory_order_relaxed));
       ++*count;
     }
     return;
   }
   // Fold the compressed path into the partial key.
-  for (uint32_t i = 0; i < n->prefix_len; ++i) {
-    partial |= static_cast<uint64_t>(n->prefix[i]) << (56 - 8 * (depth + i));
+  const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < pl; ++i) {
+    partial |= static_cast<uint64_t>(
+                   n->prefix[i].load(std::memory_order_relaxed))
+               << (56 - 8 * (depth + i));
   }
-  depth += n->prefix_len;
+  depth += pl;
   // Subtree bounds: bytes below `depth` range over [0x00.., 0xFF..].
   const uint32_t free_bits = 64 - 8 * depth;
   const uint64_t subtree_min = partial;
   const uint64_t subtree_max =
-      free_bits >= 64 ? ~uint64_t{0}
-                      : partial | ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
+      free_bits >= 64
+          ? ~uint64_t{0}
+          : partial |
+                ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
   if (subtree_max < lo || subtree_min > hi) return;
 
   auto visit = [&](uint8_t b, const Node* child) {
@@ -493,25 +498,34 @@ void ScanRec(const Node* n, uint32_t depth, uint64_t partial, uint64_t lo,
         partial | (static_cast<uint64_t>(b) << (56 - 8 * depth));
     ScanRec(child, depth + 1, child_partial, lo, hi, out, count);
   };
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
   switch (n->kind) {
     case Node::kN4:
-      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys4[i], n->children4[i]);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        visit(n->keys4[i].load(std::memory_order_relaxed),
+              n->children4[i].load(std::memory_order_relaxed));
+      }
       break;
     case Node::kN16:
-      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys16[i], n->children16[i]);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        visit(n->keys16[i].load(std::memory_order_relaxed),
+              n->children16[i].load(std::memory_order_relaxed));
+      }
       break;
     case Node::kN48:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->child_index48[b] != 0) {
-          visit(static_cast<uint8_t>(b), n->children48[n->child_index48[b] - 1]);
+        const uint8_t idx =
+            n->child_index48[b].load(std::memory_order_relaxed);
+        if (idx != 0) {
+          visit(static_cast<uint8_t>(b),
+                n->children48[idx - 1].load(std::memory_order_relaxed));
         }
       }
       break;
     case Node::kN256:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->children256[b] != nullptr) {
-          visit(static_cast<uint8_t>(b), n->children256[b]);
-        }
+        const Node* c = n->children256[b].load(std::memory_order_relaxed);
+        if (c != nullptr) visit(static_cast<uint8_t>(b), c);
       }
       break;
     default:
@@ -529,20 +543,25 @@ void ScanEntriesRec(const Node* n, uint32_t depth, uint64_t partial,
   if (n == nullptr) return;
   if (n->kind == Node::kLeaf) {
     if (n->key >= lo && n->key <= hi) {
-      out->emplace_back(n->key, n->value);
+      out->emplace_back(n->key, n->value.load(std::memory_order_relaxed));
       ++*count;
     }
     return;
   }
-  for (uint32_t i = 0; i < n->prefix_len; ++i) {
-    partial |= static_cast<uint64_t>(n->prefix[i]) << (56 - 8 * (depth + i));
+  const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+  for (uint32_t i = 0; i < pl; ++i) {
+    partial |= static_cast<uint64_t>(
+                   n->prefix[i].load(std::memory_order_relaxed))
+               << (56 - 8 * (depth + i));
   }
-  depth += n->prefix_len;
+  depth += pl;
   const uint32_t free_bits = 64 - 8 * depth;
   const uint64_t subtree_min = partial;
   const uint64_t subtree_max =
-      free_bits >= 64 ? ~uint64_t{0}
-                      : partial | ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
+      free_bits >= 64
+          ? ~uint64_t{0}
+          : partial |
+                ((free_bits == 0) ? 0 : ((uint64_t{1} << free_bits) - 1));
   if (subtree_max < lo || subtree_min > hi) return;
 
   auto visit = [&](uint8_t b, const Node* child) {
@@ -550,25 +569,34 @@ void ScanEntriesRec(const Node* n, uint32_t depth, uint64_t partial,
         partial | (static_cast<uint64_t>(b) << (56 - 8 * depth));
     ScanEntriesRec(child, depth + 1, child_partial, lo, hi, out, count);
   };
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
   switch (n->kind) {
     case Node::kN4:
-      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys4[i], n->children4[i]);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        visit(n->keys4[i].load(std::memory_order_relaxed),
+              n->children4[i].load(std::memory_order_relaxed));
+      }
       break;
     case Node::kN16:
-      for (uint16_t i = 0; i < n->count; ++i) visit(n->keys16[i], n->children16[i]);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        visit(n->keys16[i].load(std::memory_order_relaxed),
+              n->children16[i].load(std::memory_order_relaxed));
+      }
       break;
     case Node::kN48:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->child_index48[b] != 0) {
-          visit(static_cast<uint8_t>(b), n->children48[n->child_index48[b] - 1]);
+        const uint8_t idx =
+            n->child_index48[b].load(std::memory_order_relaxed);
+        if (idx != 0) {
+          visit(static_cast<uint8_t>(b),
+                n->children48[idx - 1].load(std::memory_order_relaxed));
         }
       }
       break;
     case Node::kN256:
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->children256[b] != nullptr) {
-          visit(static_cast<uint8_t>(b), n->children256[b]);
-        }
+        const Node* c = n->children256[b].load(std::memory_order_relaxed);
+        if (c != nullptr) visit(static_cast<uint8_t>(b), c);
       }
       break;
     default:
@@ -578,76 +606,227 @@ void ScanEntriesRec(const Node* n, uint32_t depth, uint64_t partial,
 
 void CensusRec(const Node* n, AdaptiveRadixTree::NodeCounts* counts) {
   if (n == nullptr) return;
+  const uint16_t cnt = n->count.load(std::memory_order_relaxed);
   switch (n->kind) {
     case Node::kLeaf:
       ++counts->leaves;
       return;
     case Node::kN4:
       ++counts->node4;
-      for (uint16_t i = 0; i < n->count; ++i) CensusRec(n->children4[i], counts);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        CensusRec(n->children4[i].load(std::memory_order_relaxed), counts);
+      }
       return;
     case Node::kN16:
       ++counts->node16;
-      for (uint16_t i = 0; i < n->count; ++i) CensusRec(n->children16[i], counts);
+      for (uint16_t i = 0; i < cnt; ++i) {
+        CensusRec(n->children16[i].load(std::memory_order_relaxed), counts);
+      }
       return;
     case Node::kN48:
       ++counts->node48;
       for (uint32_t b = 0; b < 256; ++b) {
-        if (n->child_index48[b] != 0) {
-          CensusRec(n->children48[n->child_index48[b] - 1], counts);
+        const uint8_t idx =
+            n->child_index48[b].load(std::memory_order_relaxed);
+        if (idx != 0) {
+          CensusRec(n->children48[idx - 1].load(std::memory_order_relaxed),
+                    counts);
         }
       }
       return;
     case Node::kN256:
       ++counts->node256;
-      for (uint32_t b = 0; b < 256; ++b) CensusRec(n->children256[b], counts);
+      for (uint32_t b = 0; b < 256; ++b) {
+        CensusRec(n->children256[b].load(std::memory_order_relaxed), counts);
+      }
       return;
   }
 }
 
 }  // namespace
 
-AdaptiveRadixTree::~AdaptiveRadixTree() { FreeRec(root_); }
+AdaptiveRadixTree::~AdaptiveRadixTree() {
+  FreeRec(root_.load(std::memory_order_relaxed));
+}
 
 AdaptiveRadixTree::AdaptiveRadixTree(AdaptiveRadixTree&& other) noexcept
-    : root_(other.root_), size_(other.size_) {
-  other.root_ = nullptr;
+    : root_(other.root_.load(std::memory_order_relaxed)),
+      size_(other.size_),
+      epoch_(other.epoch_) {
+  other.root_.store(nullptr, std::memory_order_relaxed);
   other.size_ = 0;
 }
 
 AdaptiveRadixTree& AdaptiveRadixTree::operator=(
     AdaptiveRadixTree&& other) noexcept {
   if (this != &other) {
-    FreeRec(root_);
-    root_ = other.root_;
+    FreeRec(root_.load(std::memory_order_relaxed));
+    root_.store(other.root_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     size_ = other.size_;
-    other.root_ = nullptr;
+    epoch_ = other.epoch_;
+    other.root_.store(nullptr, std::memory_order_relaxed);
     other.size_ = 0;
   }
   return *this;
 }
 
+/// The writer algorithms are iterative (the recursive versions patched
+/// parent slots on unwind, after freeing replaced nodes -- the epoch
+/// discipline needs the reverse: patch the slot first, then retire). Each
+/// mutation follows one of two shapes:
+///  - in place: write-lock the node, mutate, write-unlock (version bump
+///    makes interleaved readers restart);
+///  - by replacement: build the replacement privately, write-lock the old
+///    node, publish the replacement into the parent slot with a release
+///    store, mark the old node obsolete, retire it. Readers that still
+///    hold the old pointer fail validation and restart; pinned readers
+///    can still dereference it safely until the epoch frees it.
 void AdaptiveRadixTree::Insert(uint64_t key, uint64_t value) {
-  root_ = InsertRec(root_, key, value, 0, &size_);
+  Node* n = root_.load(std::memory_order_relaxed);
+  if (n == nullptr) {
+    root_.store(NewLeaf(key, value), std::memory_order_release);
+    ++size_;
+    return;
+  }
+  std::atomic<Node*>* slot = &root_;  // the slot `n` was loaded from
+  uint32_t depth = 0;
+  for (;;) {
+    if (n->kind == Node::kLeaf) {
+      if (n->key == key) {
+        n->value.store(value, std::memory_order_relaxed);  // overwrite
+        return;
+      }
+      // Lazy expansion: split into an inner node holding the common
+      // prefix. Both the old leaf and the tree above are unchanged, so
+      // publishing the new inner into the parent slot is the only store
+      // shared readers can see -- no locks needed.
+      const uint32_t lcp = CommonPrefixLen(n->key, key, depth);
+      Node* inner = NewNode(Node::kN4);
+      inner->prefix_len.store(static_cast<uint8_t>(lcp),
+                              std::memory_order_relaxed);
+      for (uint32_t i = 0; i < lcp; ++i) {
+        inner->prefix[i].store(KeyByte(key, depth + i),
+                               std::memory_order_relaxed);
+      }
+      AddChildInPlace(inner, KeyByte(n->key, depth + lcp), n);
+      AddChildInPlace(inner, KeyByte(key, depth + lcp), NewLeaf(key, value));
+      slot->store(inner, std::memory_order_release);
+      ++size_;
+      return;
+    }
+
+    // Inner node: check the compressed path.
+    const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+    const uint32_t match = PrefixMatchLen(n, key, depth);
+    if (match < pl) {
+      // Path splits inside the prefix: new N4 with the matching part; `n`
+      // keeps the tail of its prefix after the split byte. The prefix
+      // shrink mutates `n` in place, so `n` stays write-locked from the
+      // shrink until the parent slot points at the new inner -- otherwise
+      // a reader could validate the shrunken prefix at the old depth and
+      // descend to the wrong subtree.
+      Node* inner = NewNode(Node::kN4);
+      inner->prefix_len.store(static_cast<uint8_t>(match),
+                              std::memory_order_relaxed);
+      for (uint32_t i = 0; i < match; ++i) {
+        inner->prefix[i].store(n->prefix[i].load(std::memory_order_relaxed),
+                               std::memory_order_relaxed);
+      }
+      const uint8_t split_byte =
+          n->prefix[match].load(std::memory_order_relaxed);
+      AddChildInPlace(inner, split_byte, n);
+      AddChildInPlace(inner, KeyByte(key, depth + match),
+                      NewLeaf(key, value));
+      n->lock.WriteLock();
+      const uint8_t remaining = static_cast<uint8_t>(pl - match - 1);
+      for (uint32_t i = 0; i < remaining; ++i) {
+        n->prefix[i].store(
+            n->prefix[match + 1 + i].load(std::memory_order_relaxed),
+            std::memory_order_relaxed);
+      }
+      n->prefix_len.store(remaining, std::memory_order_relaxed);
+      slot->store(inner, std::memory_order_release);
+      n->lock.WriteUnlock();
+      ++size_;
+      return;
+    }
+
+    depth += pl;
+    const uint8_t b = KeyByte(key, depth);
+    Node* child = FindChild(n, b);
+    if (child == nullptr) {
+      Node* leaf = NewLeaf(key, value);
+      if (HasRoom(n)) {
+        n->lock.WriteLock();
+        AddChildInPlace(n, b, leaf);
+        n->lock.WriteUnlock();
+      } else {
+        // Adaptive growth by replacement: N4 -> N16 -> N48 -> N256.
+        Node* big = GrowCopy(n);
+        AddChildInPlace(big, b, leaf);
+        n->lock.WriteLock();
+        slot->store(big, std::memory_order_release);
+        n->lock.WriteUnlockObsolete();
+        RetireNode(epoch_, n);
+      }
+      ++size_;
+      return;
+    }
+    slot = ChildSlot(n, b);
+    n = child;
+    ++depth;
+  }
 }
 
 bool AdaptiveRadixTree::Find(uint64_t key, uint64_t* value) const {
-  const Node* n = root_;
-  uint32_t depth = 0;
-  while (n != nullptr) {
-    if (n->kind == Node::kLeaf) {
-      if (n->key == key) {
-        *value = n->value;
-        return true;
+  for (;;) {
+    bool restart = false;
+    const Node* n = root_.load(std::memory_order_acquire);
+    if (n == nullptr) return false;
+    uint64_t v = n->lock.ReadLockOrRestart(&restart);
+    if (restart) continue;
+    uint32_t depth = 0;
+    bool hit = false;
+    uint64_t val = 0;
+    for (;;) {
+      if (n->kind == Node::kLeaf) {
+        const uint64_t leaf_key = n->key;  // immutable after publication
+        val = n->value.load(std::memory_order_relaxed);
+        n->lock.CheckOrRestart(v, &restart);
+        if (restart) break;
+        hit = (leaf_key == key);
+        break;
       }
-      return false;
+      const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+      const uint32_t match = PrefixMatchLen(n, key, depth);
+      if (match < pl) {
+        n->lock.CheckOrRestart(v, &restart);
+        break;  // miss if validated, restart otherwise
+      }
+      const uint32_t d = depth + pl;
+      if (d >= kMaxDepth) {
+        // Inner nodes sit above depth 8 in any consistent tree; a deeper
+        // apparent position means the fields were torn by a writer.
+        restart = true;
+        break;
+      }
+      const Node* child = FindChild(n, KeyByte(key, d));
+      // Validate before trusting (or dereferencing) the child pointer:
+      // this is the "lock coupling" step done with versions.
+      n->lock.CheckOrRestart(v, &restart);
+      if (restart) break;
+      if (child == nullptr) break;  // validated miss
+      const uint64_t cv = child->lock.ReadLockOrRestart(&restart);
+      if (restart) break;
+      n = child;
+      v = cv;
+      depth = d + 1;
     }
-    if (PrefixMatchLen(n, key, depth) < n->prefix_len) return false;
-    depth += n->prefix_len;
-    n = FindChild(n, KeyByte(key, depth));
-    ++depth;
+    if (restart) continue;
+    if (hit && value != nullptr) *value = val;
+    return hit;
   }
-  return false;
 }
 
 size_t AdaptiveRadixTree::FindBatch(const uint64_t* keys, size_t n,
@@ -657,10 +836,9 @@ size_t AdaptiveRadixTree::FindBatch(const uint64_t* keys, size_t n,
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t G = decltype(g)::value;
     for (size_t base = 0; base < n; base += G) {
-      const uint32_t m =
-          static_cast<uint32_t>(n - base < G ? n - base : G);
+      const uint32_t m = static_cast<uint32_t>(n - base < G ? n - base : G);
       if (m < G) {
-        // Ragged tail: scalar descents.
+        // Ragged tail: scalar descents (each with its own restart loop).
         for (uint32_t j = 0; j < m; ++j) {
           uint64_t value = 0;
           const bool hit = Find(keys[base + j], &value);
@@ -674,57 +852,99 @@ size_t AdaptiveRadixTree::FindBatch(const uint64_t* keys, size_t n,
       // node and prefetches its next node, so the G dependent-load
       // chains overlap. A lane retires (leaf reached, prefix mismatch,
       // or missing child) by publishing its result and going inactive.
-      const Node* cur[G];
-      uint32_t depth[G];
-      bool live[G];
-      uint32_t active = m;
-      for (uint32_t j = 0; j < m; ++j) {
-        cur[j] = root_;
-        depth[j] = 0;
-        live[j] = true;
-        if (root_ != nullptr) HWSTAR_PREFETCH(root_);
-      }
-      auto retire = [&](uint32_t j, uint64_t value, bool hit) {
-        values[base + j] = value;
-        if (found != nullptr) found[base + j] = hit;
-        hits += hit;
-        live[j] = false;
-        --active;
-      };
-      while (active > 0) {
+      //
+      // Concurrency: one restart loop wraps the whole group descent. Any
+      // lane's version validation failure restarts every lane from the
+      // root -- keeping lanes level-interleaved is the point of the
+      // kernel, and a restart is rare enough (one writer, localized
+      // locks) that redoing G descents costs less than managing ragged
+      // per-lane restarts inside the rounds. Output slots are rewritten
+      // on restart; hits commit only after a clean pass.
+      for (;;) {
+        bool restart = false;
+        const Node* root = root_.load(std::memory_order_acquire);
+        if (root == nullptr) {
+          for (uint32_t j = 0; j < m; ++j) {
+            values[base + j] = 0;
+            if (found != nullptr) found[base + j] = false;
+          }
+          break;
+        }
+        const uint64_t rv = root->lock.ReadLockOrRestart(&restart);
+        if (restart) continue;
+        const Node* cur[G];
+        uint64_t ver[G];
+        uint32_t depth[G];
+        bool live[G];
+        uint32_t active = m;
+        size_t group_hits = 0;
         for (uint32_t j = 0; j < m; ++j) {
-          if (!live[j]) continue;
-          const Node* node = cur[j];
-          if (node == nullptr) {
-            retire(j, 0, false);
-            continue;
-          }
-          const uint64_t key = keys[base + j];
-          if (node->kind == Node::kLeaf) {
-            if (node->key == key) {
-              retire(j, node->value, true);
-            } else {
-              retire(j, 0, false);
+          cur[j] = root;
+          ver[j] = rv;
+          depth[j] = 0;
+          live[j] = true;
+        }
+        HWSTAR_PREFETCH(root);
+        auto retire = [&](uint32_t j, uint64_t value, bool hit) {
+          values[base + j] = value;
+          if (found != nullptr) found[base + j] = hit;
+          group_hits += hit;
+          live[j] = false;
+          --active;
+        };
+        while (active > 0 && !restart) {
+          for (uint32_t j = 0; j < m && !restart; ++j) {
+            if (!live[j]) continue;
+            const Node* node = cur[j];
+            const uint64_t key = keys[base + j];
+            if (node->kind == Node::kLeaf) {
+              const uint64_t leaf_key = node->key;
+              const uint64_t val =
+                  node->value.load(std::memory_order_relaxed);
+              node->lock.CheckOrRestart(ver[j], &restart);
+              if (restart) break;
+              if (leaf_key == key) {
+                retire(j, val, true);
+              } else {
+                retire(j, 0, false);
+              }
+              continue;
             }
-            continue;
+            const uint32_t pl =
+                node->prefix_len.load(std::memory_order_relaxed);
+            if (PrefixMatchLen(node, key, depth[j]) < pl) {
+              node->lock.CheckOrRestart(ver[j], &restart);
+              if (restart) break;
+              retire(j, 0, false);
+              continue;
+            }
+            const uint32_t d = depth[j] + pl;
+            if (d >= kMaxDepth) {
+              restart = true;
+              break;
+            }
+            const Node* child = FindChild(node, KeyByte(key, d));
+            node->lock.CheckOrRestart(ver[j], &restart);
+            if (restart) break;
+            if (child == nullptr) {
+              retire(j, 0, false);
+              continue;
+            }
+            const uint64_t cv = child->lock.ReadLockOrRestart(&restart);
+            if (restart) break;
+            // The child is the next round's dependent load; put its first
+            // lines in flight now. Leaves keep key/value in the first
+            // line; inner nodes spill their child arrays into the second.
+            HWSTAR_PREFETCH(child);
+            HWSTAR_PREFETCH(reinterpret_cast<const char*>(child) + 64);
+            cur[j] = child;
+            ver[j] = cv;
+            depth[j] = d + 1;
           }
-          if (PrefixMatchLen(node, key, depth[j]) < node->prefix_len) {
-            retire(j, 0, false);
-            continue;
-          }
-          const uint32_t d = depth[j] + node->prefix_len;
-          const Node* child = FindChild(node, KeyByte(key, d));
-          if (child == nullptr) {
-            retire(j, 0, false);
-            continue;
-          }
-          // The child is the next round's dependent load; put its first
-          // lines in flight now. Leaves keep key/value in the first
-          // line; inner nodes spill their child arrays into the second.
-          HWSTAR_PREFETCH(child);
-          HWSTAR_PREFETCH(reinterpret_cast<const char*>(child) + 64);
-          cur[j] = child;
-          depth[j] = d + 1;
+        }
+        if (!restart) {
+          hits += group_hits;
+          break;
         }
       }
     }
@@ -733,16 +953,102 @@ size_t AdaptiveRadixTree::FindBatch(const uint64_t* keys, size_t n,
 }
 
 bool AdaptiveRadixTree::Erase(uint64_t key) {
-  bool erased = false;
-  root_ = EraseRec(root_, key, 0, &erased);
-  if (erased) --size_;
-  return erased;
+  Node* n = root_.load(std::memory_order_relaxed);
+  if (n == nullptr) return false;
+
+  if (n->kind == Node::kLeaf) {
+    if (n->key != key) return false;
+    n->lock.WriteLock();
+    root_.store(nullptr, std::memory_order_release);
+    n->lock.WriteUnlockObsolete();
+    RetireNode(epoch_, n);
+    --size_;
+    return true;
+  }
+
+  // Descend to the parent of the leaf holding `key`, remembering the slot
+  // the current inner node was loaded from (needed if it collapses).
+  std::atomic<Node*>* nslot = &root_;
+  uint32_t depth = 0;
+  for (;;) {
+    const uint32_t pl = n->prefix_len.load(std::memory_order_relaxed);
+    if (PrefixMatchLen(n, key, depth) < pl) return false;
+    depth += pl;
+    const uint8_t b = KeyByte(key, depth);
+    Node* child = FindChild(n, b);
+    if (child == nullptr) return false;
+
+    if (child->kind != Node::kLeaf) {
+      nslot = ChildSlot(n, b);
+      n = child;
+      ++depth;
+      continue;
+    }
+    if (child->key != key) return false;
+
+    // Unlink the leaf from `n`; collapse `n` if one child remains.
+    n->lock.WriteLock();
+    RemoveChildInPlace(n, b);
+    const uint16_t cnt = n->count.load(std::memory_order_relaxed);
+    HWSTAR_DCHECK(cnt >= 1);  // inner nodes always carried >= 2 children
+    if (cnt >= 2) {
+      n->lock.WriteUnlock();
+    } else {
+      // Path compression in reverse: fold this node's prefix and the edge
+      // byte into the lone surviving child, then splice the child into
+      // this node's slot. A leaf carries its full key, so it absorbs the
+      // collapse with no prefix surgery. The child's prefix mutates in
+      // place, so it is locked from the merge until after the splice is
+      // visible; `n` dies obsolete.
+      uint8_t edge = 0;
+      Node* only = nullptr;
+      OnlyChild(n, &edge, &only);
+      if (only->kind != Node::kLeaf) {
+        only->lock.WriteLock();
+        const uint32_t n_pl = n->prefix_len.load(std::memory_order_relaxed);
+        const uint32_t o_pl =
+            only->prefix_len.load(std::memory_order_relaxed);
+        HWSTAR_CHECK(n_pl + 1 + o_pl <= sizeof(Node::prefix) /
+                                            sizeof(std::atomic<uint8_t>));
+        uint8_t merged[sizeof(Node::prefix) / sizeof(std::atomic<uint8_t>)];
+        for (uint32_t i = 0; i < n_pl; ++i) {
+          merged[i] = n->prefix[i].load(std::memory_order_relaxed);
+        }
+        merged[n_pl] = edge;
+        for (uint32_t i = 0; i < o_pl; ++i) {
+          merged[n_pl + 1 + i] =
+              only->prefix[i].load(std::memory_order_relaxed);
+        }
+        const uint32_t merged_len = n_pl + 1 + o_pl;
+        for (uint32_t i = 0; i < merged_len; ++i) {
+          only->prefix[i].store(merged[i], std::memory_order_relaxed);
+        }
+        only->prefix_len.store(static_cast<uint8_t>(merged_len),
+                               std::memory_order_relaxed);
+        nslot->store(only, std::memory_order_release);
+        n->lock.WriteUnlockObsolete();
+        only->lock.WriteUnlock();
+      } else {
+        nslot->store(only, std::memory_order_release);
+        n->lock.WriteUnlockObsolete();
+      }
+      RetireNode(epoch_, n);
+    }
+    // The leaf is unlinked; obsolete it so validating readers re-descend,
+    // then retire. Pinned readers may still dereference it until the
+    // epoch frees it.
+    child->lock.WriteLock();
+    child->lock.WriteUnlockObsolete();
+    RetireNode(epoch_, child);
+    --size_;
+    return true;
+  }
 }
 
 uint64_t AdaptiveRadixTree::RangeScan(uint64_t lo, uint64_t hi,
                                       std::vector<uint64_t>* out) const {
   uint64_t count = 0;
-  ScanRec(root_, 0, 0, lo, hi, out, &count);
+  ScanRec(root_.load(std::memory_order_acquire), 0, 0, lo, hi, out, &count);
   return count;
 }
 
@@ -750,13 +1056,14 @@ uint64_t AdaptiveRadixTree::RangeScanEntries(
     uint64_t lo, uint64_t hi,
     std::vector<std::pair<uint64_t, uint64_t>>* out) const {
   uint64_t count = 0;
-  ScanEntriesRec(root_, 0, 0, lo, hi, out, &count);
+  ScanEntriesRec(root_.load(std::memory_order_acquire), 0, 0, lo, hi, out,
+                 &count);
   return count;
 }
 
 AdaptiveRadixTree::NodeCounts AdaptiveRadixTree::CountNodes() const {
   NodeCounts counts;
-  CensusRec(root_, &counts);
+  CensusRec(root_.load(std::memory_order_acquire), &counts);
   return counts;
 }
 

@@ -1,10 +1,15 @@
 #ifndef HWSTAR_OPS_ART_H_
 #define HWSTAR_OPS_ART_H_
 
+#include <atomic>
 #include <cstddef>
 #include <cstdint>
 #include <utility>
 #include <vector>
+
+namespace hwstar::sync {
+class EpochManager;
+}  // namespace hwstar::sync
 
 namespace hwstar::ops {
 
@@ -17,6 +22,24 @@ namespace hwstar::ops {
 /// per-node prefix), lookups touch O(key bytes) cache lines instead of
 /// O(log n) dependent misses -- the hardware-conscious answer to the
 /// binary search tree. Keys here are uint64, compared in numeric order.
+///
+/// Concurrency contract (optimistic lock coupling, Leis et al. DaMoN'16):
+///  - Writers (Insert/Erase) must be externally serialized -- one writer
+///    at a time (KvStore's shard latch provides this). Each node carries a
+///    sync::OptLock; writers lock only the nodes they mutate in place, so
+///    the lock never arbitrates between writers, it only signals readers.
+///  - Find/FindBatch are latch-free and may run concurrently with the one
+///    writer: they validate node versions and restart on interference,
+///    never writing shared cache lines. Callers must hold a
+///    sync::EpochManager::Guard (pin) across each call when an epoch
+///    manager is attached; otherwise a racing Erase could free a node
+///    mid-descent.
+///  - Range scans, census, and MemoryBytes require writer exclusion (run
+///    them under the same latch as writers); they are safe against
+///    concurrent Find/FindBatch.
+///  - With no epoch manager attached (the default), replaced nodes are
+///    freed immediately and the tree behaves exactly like the pre-sync
+///    single-threaded structure.
 class AdaptiveRadixTree {
  public:
   AdaptiveRadixTree() = default;
@@ -78,13 +101,22 @@ class AdaptiveRadixTree {
   /// Approximate heap footprint in bytes.
   uint64_t MemoryBytes() const;
 
+  /// Attaches an epoch-based reclamation domain: nodes unlinked by Insert
+  /// growth or Erase are retired to `epoch` instead of freed immediately,
+  /// which makes Find/FindBatch safe to run concurrently with the (single)
+  /// writer. Null restores immediate frees (single-threaded mode). Must
+  /// not be changed while operations are in flight.
+  void SetEpochManager(sync::EpochManager* epoch) { epoch_ = epoch; }
+  sync::EpochManager* epoch_manager() const { return epoch_; }
+
   /// Implementation detail (defined in art.cc); public only so internal
   /// helpers can name it.
   struct Node;
 
  private:
-  Node* root_ = nullptr;
+  std::atomic<Node*> root_{nullptr};
   uint64_t size_ = 0;
+  sync::EpochManager* epoch_ = nullptr;
 };
 
 }  // namespace hwstar::ops

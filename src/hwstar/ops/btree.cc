@@ -4,18 +4,33 @@
 
 #include "hwstar/common/macros.h"
 #include "hwstar/ops/probe_kernels.h"
+#include "hwstar/sync/optlock.h"
 
 namespace hwstar::ops {
 
-/// Node layout: keys and children/values in separate arrays so key search
-/// scans one dense key region. Leaves are chained for range scans.
+/// Node layout: keys and children/values in separate fixed arrays so key
+/// search scans one dense region. Leaves are chained for range scans and
+/// for the reader's move-right step. Every field a latch-free reader can
+/// observe while the writer mutates it is a std::atomic read relaxed --
+/// consistency comes from OptLock version validation, the atomics only
+/// rule out torn words. Array capacities allow the transient one-over
+/// overflow the insert path creates before splitting (fanout + 1 keys,
+/// fanout + 2 children); entries beyond `count` are stale, never read by
+/// a validated reader.
 struct BPlusTree::Node {
-  bool leaf = true;
-  uint32_t count = 0;               // keys in use
-  std::vector<uint64_t> keys;       // capacity = fanout
-  std::vector<uint64_t> values;     // leaf: capacity = fanout
-  std::vector<Node*> children;      // inner: capacity = fanout + 1
-  Node* next = nullptr;             // leaf chain
+  Node(bool is_leaf, uint32_t fanout)
+      : leaf(is_leaf),
+        keys(new std::atomic<uint64_t>[fanout + 1]),
+        values(is_leaf ? new std::atomic<uint64_t>[fanout + 1] : nullptr),
+        children(is_leaf ? nullptr : new std::atomic<Node*>[fanout + 2]) {}
+
+  sync::OptLock lock;
+  const bool leaf;
+  std::atomic<uint32_t> count{0};  // keys in use
+  const std::unique_ptr<std::atomic<uint64_t>[]> keys;
+  const std::unique_ptr<std::atomic<uint64_t>[]> values;  // leaf only
+  const std::unique_ptr<std::atomic<Node*>[]> children;   // inner only
+  std::atomic<Node*> next{nullptr};                       // leaf chain
 };
 
 struct BPlusTree::SplitResult {
@@ -26,29 +41,30 @@ struct BPlusTree::SplitResult {
 
 BPlusTree::BPlusTree(uint32_t fanout) : fanout_(fanout) {
   HWSTAR_CHECK(fanout_ >= 4);
-  root_ = NewLeaf();
+  root_.store(NewLeaf(), std::memory_order_relaxed);
 }
 
-BPlusTree::~BPlusTree() { FreeTree(root_); }
+BPlusTree::~BPlusTree() { FreeTree(root_.load(std::memory_order_relaxed)); }
 
 BPlusTree::BPlusTree(BPlusTree&& other) noexcept
     : fanout_(other.fanout_),
-      root_(other.root_),
+      root_(other.root_.load(std::memory_order_relaxed)),
       size_(other.size_),
       node_count_(other.node_count_) {
-  other.root_ = nullptr;
+  other.root_.store(nullptr, std::memory_order_relaxed);
   other.size_ = 0;
   other.node_count_ = 0;
 }
 
 BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
   if (this != &other) {
-    FreeTree(root_);
+    FreeTree(root_.load(std::memory_order_relaxed));
     fanout_ = other.fanout_;
-    root_ = other.root_;
+    root_.store(other.root_.load(std::memory_order_relaxed),
+                std::memory_order_relaxed);
     size_ = other.size_;
     node_count_ = other.node_count_;
-    other.root_ = nullptr;
+    other.root_.store(nullptr, std::memory_order_relaxed);
     other.size_ = 0;
     other.node_count_ = 0;
   }
@@ -56,125 +72,261 @@ BPlusTree& BPlusTree::operator=(BPlusTree&& other) noexcept {
 }
 
 BPlusTree::Node* BPlusTree::NewLeaf() {
-  Node* n = new Node();
-  n->leaf = true;
-  n->keys.reserve(fanout_);
-  n->values.reserve(fanout_);
   ++node_count_;
-  return n;
+  return new Node(/*is_leaf=*/true, fanout_);
 }
 
 BPlusTree::Node* BPlusTree::NewInner() {
-  Node* n = new Node();
-  n->leaf = false;
-  n->keys.reserve(fanout_);
-  n->children.reserve(fanout_ + 1);
   ++node_count_;
-  return n;
+  return new Node(/*is_leaf=*/false, fanout_);
 }
 
 void BPlusTree::FreeTree(Node* n) {
   if (n == nullptr) return;
   if (!n->leaf) {
-    for (Node* c : n->children) FreeTree(c);
+    const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+    for (uint32_t i = 0; i <= cnt; ++i) {
+      FreeTree(n->children[i].load(std::memory_order_relaxed));
+    }
   }
   delete n;
 }
 
 namespace {
 
-/// Index of the first key > `key` (inner-node child selection).
-uint32_t UpperBoundIdx(const std::vector<uint64_t>& keys, uint64_t key) {
-  return static_cast<uint32_t>(
-      std::upper_bound(keys.begin(), keys.end(), key) - keys.begin());
+/// Index of the first key > `key` (inner-node child selection). Relaxed
+/// loads: reader-safe (bounded by `count`), validated by the caller.
+uint32_t UpperBoundIdx(const std::atomic<uint64_t>* keys, uint32_t count,
+                       uint64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = count;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (keys[mid].load(std::memory_order_relaxed) <= key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 /// Index of the first key >= `key`.
-uint32_t LowerBoundIdx(const std::vector<uint64_t>& keys, uint64_t key) {
-  return static_cast<uint32_t>(
-      std::lower_bound(keys.begin(), keys.end(), key) - keys.begin());
+uint32_t LowerBoundIdx(const std::atomic<uint64_t>* keys, uint32_t count,
+                       uint64_t key) {
+  uint32_t lo = 0;
+  uint32_t hi = count;
+  while (lo < hi) {
+    const uint32_t mid = lo + (hi - lo) / 2;
+    if (keys[mid].load(std::memory_order_relaxed) < key) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  return lo;
 }
 
 }  // namespace
 
+/// Writer-side mutations lock exactly the node being changed; the split
+/// builds the right sibling privately and publishes it through the leaf
+/// chain (next pointer, release) and the parent separator insert one
+/// unwind level later. Between those two instants a reader routed by the
+/// stale parent lands on the shrunken left node and follows `next` -- the
+/// move-right step in the read path.
 BPlusTree::SplitResult BPlusTree::InsertRec(Node* n, uint64_t key,
                                             uint64_t value) {
   if (n->leaf) {
-    uint32_t pos = LowerBoundIdx(n->keys, key);
-    if (pos < n->count && n->keys[pos] == key) {
-      n->values[pos] = value;  // overwrite
+    const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+    const uint32_t pos = LowerBoundIdx(n->keys.get(), cnt, key);
+    if (pos < cnt && n->keys[pos].load(std::memory_order_relaxed) == key) {
+      // Overwrite: one atomic store, readers see the old or new value
+      // untorn -- no version bump needed.
+      n->values[pos].store(value, std::memory_order_relaxed);
       return SplitResult{};
     }
-    n->keys.insert(n->keys.begin() + pos, key);
-    n->values.insert(n->values.begin() + pos, value);
-    ++n->count;
+    n->lock.WriteLock();
+    for (uint32_t i = cnt; i > pos; --i) {
+      n->keys[i].store(n->keys[i - 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+      n->values[i].store(n->values[i - 1].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+    }
+    n->keys[pos].store(key, std::memory_order_relaxed);
+    n->values[pos].store(value, std::memory_order_relaxed);
+    const uint32_t total = cnt + 1;
+    n->count.store(total, std::memory_order_relaxed);
     ++size_;
-    if (n->count <= fanout_) return SplitResult{};
+    if (total <= fanout_) {
+      n->lock.WriteUnlock();
+      return SplitResult{};
+    }
 
-    // Split the leaf in half; right node is chained after the left.
+    // Split the leaf in half; right node is chained after the left. Both
+    // the key move and the count shrink happen under the lock, so readers
+    // observe either the pre-split or the post-split leaf, never between.
     Node* right = NewLeaf();
-    const uint32_t half = n->count / 2;
-    right->keys.assign(n->keys.begin() + half, n->keys.end());
-    right->values.assign(n->values.begin() + half, n->values.end());
-    right->count = n->count - half;
-    n->keys.resize(half);
-    n->values.resize(half);
-    n->count = half;
-    right->next = n->next;
-    n->next = right;
-    return SplitResult{true, right->keys[0], right};
+    const uint32_t half = total / 2;
+    for (uint32_t i = half; i < total; ++i) {
+      right->keys[i - half].store(n->keys[i].load(std::memory_order_relaxed),
+                                  std::memory_order_relaxed);
+      right->values[i - half].store(
+          n->values[i].load(std::memory_order_relaxed),
+          std::memory_order_relaxed);
+    }
+    right->count.store(total - half, std::memory_order_relaxed);
+    right->next.store(n->next.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    n->count.store(half, std::memory_order_relaxed);
+    n->next.store(right, std::memory_order_release);
+    n->lock.WriteUnlock();
+    return SplitResult{true, right->keys[0].load(std::memory_order_relaxed),
+                       right};
   }
 
-  const uint32_t child_idx = UpperBoundIdx(n->keys, key);
-  SplitResult child_split = InsertRec(n->children[child_idx], key, value);
+  const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+  const uint32_t child_idx = UpperBoundIdx(n->keys.get(), cnt, key);
+  SplitResult child_split = InsertRec(
+      n->children[child_idx].load(std::memory_order_relaxed), key, value);
   if (!child_split.split) return SplitResult{};
 
-  n->keys.insert(n->keys.begin() + child_idx, child_split.sep_key);
-  n->children.insert(n->children.begin() + child_idx + 1, child_split.right);
-  ++n->count;
-  if (n->count <= fanout_) return SplitResult{};
+  n->lock.WriteLock();
+  for (uint32_t i = cnt; i > child_idx; --i) {
+    n->keys[i].store(n->keys[i - 1].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+  }
+  for (uint32_t i = cnt + 1; i > child_idx + 1; --i) {
+    n->children[i].store(n->children[i - 1].load(std::memory_order_relaxed),
+                         std::memory_order_relaxed);
+  }
+  n->keys[child_idx].store(child_split.sep_key, std::memory_order_relaxed);
+  n->children[child_idx + 1].store(child_split.right,
+                                   std::memory_order_release);
+  const uint32_t total = cnt + 1;
+  n->count.store(total, std::memory_order_relaxed);
+  if (total <= fanout_) {
+    n->lock.WriteUnlock();
+    return SplitResult{};
+  }
 
-  // Split the inner node; the middle key moves up.
+  // Split the inner node; the middle key moves up. The entries beyond the
+  // shrunken count go stale rather than being cleared: a reader that
+  // validates the post-split node routes at most too far left, and the
+  // leaf chain corrects it.
   Node* right = NewInner();
-  const uint32_t mid = n->count / 2;
-  const uint64_t up_key = n->keys[mid];
-  right->keys.assign(n->keys.begin() + mid + 1, n->keys.end());
-  right->children.assign(n->children.begin() + mid + 1, n->children.end());
-  right->count = n->count - mid - 1;
-  n->keys.resize(mid);
-  n->children.resize(mid + 1);
-  n->count = mid;
+  const uint32_t mid = total / 2;
+  const uint64_t up_key = n->keys[mid].load(std::memory_order_relaxed);
+  for (uint32_t i = mid + 1; i < total; ++i) {
+    right->keys[i - mid - 1].store(n->keys[i].load(std::memory_order_relaxed),
+                                   std::memory_order_relaxed);
+  }
+  for (uint32_t i = mid + 1; i <= total; ++i) {
+    right->children[i - mid - 1].store(
+        n->children[i].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  right->count.store(total - mid - 1, std::memory_order_relaxed);
+  n->count.store(mid, std::memory_order_relaxed);
+  n->lock.WriteUnlock();
   return SplitResult{true, up_key, right};
 }
 
 void BPlusTree::Insert(uint64_t key, uint64_t value) {
-  SplitResult split = InsertRec(root_, key, value);
+  Node* root = root_.load(std::memory_order_relaxed);
+  SplitResult split = InsertRec(root, key, value);
   if (split.split) {
     Node* new_root = NewInner();
-    new_root->keys.push_back(split.sep_key);
-    new_root->children.push_back(root_);
-    new_root->children.push_back(split.right);
-    new_root->count = 1;
-    root_ = new_root;
+    new_root->keys[0].store(split.sep_key, std::memory_order_relaxed);
+    new_root->children[0].store(root, std::memory_order_relaxed);
+    new_root->children[1].store(split.right, std::memory_order_relaxed);
+    new_root->count.store(1, std::memory_order_relaxed);
+    // Readers still holding the old root descend a tree that simply lacks
+    // the newest separator; the leaf chain covers the difference.
+    root_.store(new_root, std::memory_order_release);
   }
 }
 
+/// Writer-free descent (scans, census). Requires writer exclusion.
 const BPlusTree::Node* BPlusTree::FindLeaf(uint64_t key) const {
-  const Node* n = root_;
+  const Node* n = root_.load(std::memory_order_acquire);
   while (!n->leaf) {
-    n = n->children[UpperBoundIdx(n->keys, key)];
+    const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+    n = n->children[UpperBoundIdx(n->keys.get(), cnt, key)].load(
+        std::memory_order_acquire);
   }
   return n;
 }
 
 bool BPlusTree::Find(uint64_t key, uint64_t* value) const {
-  const Node* leaf = FindLeaf(key);
-  uint32_t pos = LowerBoundIdx(leaf->keys, key);
-  if (pos < leaf->count && leaf->keys[pos] == key) {
-    *value = leaf->values[pos];
-    return true;
+  for (;;) {
+    bool restart = false;
+    const Node* n = root_.load(std::memory_order_acquire);
+    uint64_t v = n->lock.ReadLockOrRestart(&restart);
+    if (restart) continue;
+
+    // Inner descent: version-coupled (validate the parent after reading
+    // the child pointer, before dereferencing the child).
+    while (!n->leaf && !restart) {
+      const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+      const uint32_t idx = UpperBoundIdx(n->keys.get(), cnt, key);
+      const Node* child = n->children[idx].load(std::memory_order_acquire);
+      n->lock.CheckOrRestart(v, &restart);
+      if (restart) break;
+      const uint64_t cv = child->lock.ReadLockOrRestart(&restart);
+      if (restart) break;
+      n = child;
+      v = cv;
+    }
+    if (restart) continue;
+
+    // Leaf search with move-right: a key that split rightward after the
+    // routing decision is reachable through the leaf chain. An empty
+    // sibling (Erase never merges) is crossed blindly -- its range is
+    // unknowable, and overshooting is impossible because every key right
+    // of it is >= any key that could have lived there.
+    bool hit = false;
+    uint64_t val = 0;
+    bool done = false;
+    while (!done && !restart) {
+      const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+      const uint32_t pos = LowerBoundIdx(n->keys.get(), cnt, key);
+      if (pos < cnt && n->keys[pos].load(std::memory_order_relaxed) == key) {
+        val = n->values[pos].load(std::memory_order_relaxed);
+        n->lock.CheckOrRestart(v, &restart);
+        if (!restart) {
+          hit = true;
+          done = true;
+        }
+        break;
+      }
+      if (pos == cnt) {
+        const Node* next = n->next.load(std::memory_order_acquire);
+        n->lock.CheckOrRestart(v, &restart);
+        if (restart) break;
+        if (next != nullptr) {
+          const uint64_t nv = next->lock.ReadLockOrRestart(&restart);
+          if (restart) break;
+          const uint32_t ncnt = next->count.load(std::memory_order_relaxed);
+          const uint64_t nfirst =
+              ncnt != 0 ? next->keys[0].load(std::memory_order_relaxed) : 0;
+          next->lock.CheckOrRestart(nv, &restart);
+          if (restart) break;
+          if (ncnt == 0 || nfirst <= key) {
+            n = next;
+            v = nv;
+            continue;
+          }
+        }
+      }
+      n->lock.CheckOrRestart(v, &restart);
+      if (!restart) done = true;  // validated miss
+      break;
+    }
+    if (restart) continue;
+    if (hit) *value = val;
+    return hit;
   }
-  return false;
 }
 
 size_t BPlusTree::FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
@@ -183,8 +335,7 @@ size_t BPlusTree::FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t G = decltype(g)::value;
     for (size_t base = 0; base < n; base += G) {
-      const uint32_t m =
-          static_cast<uint32_t>(n - base < G ? n - base : G);
+      const uint32_t m = static_cast<uint32_t>(n - base < G ? n - base : G);
       if (m < G) {
         for (uint32_t j = 0; j < m; ++j) {
           uint64_t value = 0;
@@ -195,33 +346,104 @@ size_t BPlusTree::FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
         }
         break;
       }
-      // Level-synchronous descent. Every leaf sits at the same depth, so
-      // one loop condition covers the whole group. Sweep 1 selects each
-      // lane's child and prefetches the Node object; sweep 2 (by which
-      // time those lines are in flight) reads each child's key-array
-      // pointer and prefetches the keys themselves -- the two dependent
-      // loads of the next level, both overlapped group-wide.
-      const Node* cur[G];
-      for (uint32_t j = 0; j < m; ++j) cur[j] = root_;
-      while (!cur[0]->leaf) {
-        const Node* next[G];
+      // Level-synchronous descent. Every leaf sits at the same depth
+      // below one root snapshot, so one loop condition covers the whole
+      // group. Sweep 1 selects each lane's child, validates the parent
+      // version, and prefetches the child Node object; sweep 2 (by which
+      // time those lines are in flight) version-samples each child and
+      // prefetches its key array -- the two dependent loads of the next
+      // level, both overlapped group-wide.
+      //
+      // One restart loop wraps the whole group descent: any lane's
+      // validation failure re-descends every lane from the root, keeping
+      // the lanes level-synchronized (per-lane restarts would break the
+      // lockstep the prefetch schedule depends on). Output slots are
+      // rewritten on restart; hits commit only after a clean pass.
+      for (;;) {
+        bool restart = false;
+        const Node* root = root_.load(std::memory_order_acquire);
+        const uint64_t rv = root->lock.ReadLockOrRestart(&restart);
+        if (restart) continue;
+        const Node* cur[G];
+        uint64_t ver[G];
         for (uint32_t j = 0; j < m; ++j) {
-          const Node* node = cur[j];
-          next[j] = node->children[UpperBoundIdx(node->keys, keys[base + j])];
-          HWSTAR_PREFETCH(next[j]);
+          cur[j] = root;
+          ver[j] = rv;
         }
-        for (uint32_t j = 0; j < m; ++j) {
-          HWSTAR_PREFETCH(next[j]->keys.data());
-          cur[j] = next[j];
+        while (!cur[0]->leaf && !restart) {
+          const Node* next[G];
+          for (uint32_t j = 0; j < m && !restart; ++j) {
+            const Node* node = cur[j];
+            const uint32_t cnt = node->count.load(std::memory_order_relaxed);
+            next[j] = node->children[UpperBoundIdx(node->keys.get(), cnt,
+                                                   keys[base + j])]
+                          .load(std::memory_order_acquire);
+            node->lock.CheckOrRestart(ver[j], &restart);
+            HWSTAR_PREFETCH(next[j]);
+          }
+          for (uint32_t j = 0; j < m && !restart; ++j) {
+            ver[j] = next[j]->lock.ReadLockOrRestart(&restart);
+            HWSTAR_PREFETCH(next[j]->keys.get());
+            cur[j] = next[j];
+          }
         }
-      }
-      for (uint32_t j = 0; j < m; ++j) {
-        const Node* leaf = cur[j];
-        const uint32_t pos = LowerBoundIdx(leaf->keys, keys[base + j]);
-        const bool hit = pos < leaf->count && leaf->keys[pos] == keys[base + j];
-        values[base + j] = hit ? leaf->values[pos] : 0;
-        if (found != nullptr) found[base + j] = hit;
-        hits += hit;
+        size_t group_hits = 0;
+        for (uint32_t j = 0; j < m && !restart; ++j) {
+          // Per-lane leaf probe with the same move-right logic as the
+          // scalar path (lanes may chase different chain lengths; the
+          // group stays synchronized because this phase has no
+          // cross-lane prefetch schedule left to protect).
+          const Node* leaf = cur[j];
+          uint64_t lv = ver[j];
+          const uint64_t key = keys[base + j];
+          bool done = false;
+          while (!done && !restart) {
+            const uint32_t cnt = leaf->count.load(std::memory_order_relaxed);
+            const uint32_t pos = LowerBoundIdx(leaf->keys.get(), cnt, key);
+            if (pos < cnt &&
+                leaf->keys[pos].load(std::memory_order_relaxed) == key) {
+              const uint64_t val =
+                  leaf->values[pos].load(std::memory_order_relaxed);
+              leaf->lock.CheckOrRestart(lv, &restart);
+              if (restart) break;
+              values[base + j] = val;
+              if (found != nullptr) found[base + j] = true;
+              ++group_hits;
+              done = true;
+              break;
+            }
+            if (pos == cnt) {
+              const Node* next = leaf->next.load(std::memory_order_acquire);
+              leaf->lock.CheckOrRestart(lv, &restart);
+              if (restart) break;
+              if (next != nullptr) {
+                const uint64_t nv = next->lock.ReadLockOrRestart(&restart);
+                if (restart) break;
+                const uint32_t ncnt =
+                    next->count.load(std::memory_order_relaxed);
+                const uint64_t nfirst =
+                    ncnt != 0 ? next->keys[0].load(std::memory_order_relaxed)
+                              : 0;
+                next->lock.CheckOrRestart(nv, &restart);
+                if (restart) break;
+                if (ncnt == 0 || nfirst <= key) {
+                  leaf = next;
+                  lv = nv;
+                  continue;
+                }
+              }
+            }
+            leaf->lock.CheckOrRestart(lv, &restart);
+            if (restart) break;
+            values[base + j] = 0;
+            if (found != nullptr) found[base + j] = false;
+            done = true;
+          }
+        }
+        if (!restart) {
+          hits += group_hits;
+          break;
+        }
       }
     }
   });
@@ -229,16 +451,27 @@ size_t BPlusTree::FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
 }
 
 bool BPlusTree::Erase(uint64_t key) {
-  // Mutable descent (FindLeaf is const-only).
-  Node* n = root_;
+  // Writer descent (relaxed loads: the writer is alone by contract).
+  Node* n = root_.load(std::memory_order_relaxed);
   while (!n->leaf) {
-    n = n->children[UpperBoundIdx(n->keys, key)];
+    const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+    n = n->children[UpperBoundIdx(n->keys.get(), cnt, key)].load(
+        std::memory_order_relaxed);
   }
-  const uint32_t pos = LowerBoundIdx(n->keys, key);
-  if (pos >= n->count || n->keys[pos] != key) return false;
-  n->keys.erase(n->keys.begin() + pos);
-  n->values.erase(n->values.begin() + pos);
-  --n->count;
+  const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+  const uint32_t pos = LowerBoundIdx(n->keys.get(), cnt, key);
+  if (pos >= cnt || n->keys[pos].load(std::memory_order_relaxed) != key) {
+    return false;
+  }
+  n->lock.WriteLock();
+  for (uint32_t i = pos; i + 1 < cnt; ++i) {
+    n->keys[i].store(n->keys[i + 1].load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    n->values[i].store(n->values[i + 1].load(std::memory_order_relaxed),
+                       std::memory_order_relaxed);
+  }
+  n->count.store(cnt - 1, std::memory_order_relaxed);
+  n->lock.WriteUnlock();
   --size_;
   return true;
 }
@@ -247,14 +480,17 @@ uint64_t BPlusTree::RangeScan(uint64_t lo, uint64_t hi,
                               std::vector<uint64_t>* out) const {
   uint64_t count = 0;
   const Node* leaf = FindLeaf(lo);
-  uint32_t pos = LowerBoundIdx(leaf->keys, lo);
+  uint32_t pos =
+      LowerBoundIdx(leaf->keys.get(),
+                    leaf->count.load(std::memory_order_relaxed), lo);
   while (leaf != nullptr) {
-    for (; pos < leaf->count; ++pos) {
-      if (leaf->keys[pos] > hi) return count;
-      out->push_back(leaf->values[pos]);
+    const uint32_t cnt = leaf->count.load(std::memory_order_relaxed);
+    for (; pos < cnt; ++pos) {
+      if (leaf->keys[pos].load(std::memory_order_relaxed) > hi) return count;
+      out->push_back(leaf->values[pos].load(std::memory_order_relaxed));
       ++count;
     }
-    leaf = leaf->next;
+    leaf = leaf->next.load(std::memory_order_relaxed);
     pos = 0;
   }
   return count;
@@ -265,14 +501,18 @@ uint64_t BPlusTree::RangeScanEntries(
     std::vector<std::pair<uint64_t, uint64_t>>* out) const {
   uint64_t count = 0;
   const Node* leaf = FindLeaf(lo);
-  uint32_t pos = LowerBoundIdx(leaf->keys, lo);
+  uint32_t pos =
+      LowerBoundIdx(leaf->keys.get(),
+                    leaf->count.load(std::memory_order_relaxed), lo);
   while (leaf != nullptr) {
-    for (; pos < leaf->count; ++pos) {
-      if (leaf->keys[pos] > hi) return count;
-      out->emplace_back(leaf->keys[pos], leaf->values[pos]);
+    const uint32_t cnt = leaf->count.load(std::memory_order_relaxed);
+    for (; pos < cnt; ++pos) {
+      const uint64_t k = leaf->keys[pos].load(std::memory_order_relaxed);
+      if (k > hi) return count;
+      out->emplace_back(k, leaf->values[pos].load(std::memory_order_relaxed));
       ++count;
     }
-    leaf = leaf->next;
+    leaf = leaf->next.load(std::memory_order_relaxed);
     pos = 0;
   }
   return count;
@@ -297,12 +537,16 @@ Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
   Node* prev = nullptr;
   while (i < keys.size()) {
     Node* leaf = tree.NewLeaf();
-    size_t take = std::min<size_t>(fanout, keys.size() - i);
-    leaf->keys.assign(keys.begin() + i, keys.begin() + i + take);
-    leaf->values.assign(values.begin() + i, values.begin() + i + take);
-    leaf->count = static_cast<uint32_t>(take);
-    if (prev != nullptr) prev->next = leaf;
-    if (!level.empty()) seps.push_back(leaf->keys[0]);
+    const size_t take = std::min<size_t>(fanout, keys.size() - i);
+    for (size_t k = 0; k < take; ++k) {
+      leaf->keys[k].store(keys[i + k], std::memory_order_relaxed);
+      leaf->values[k].store(values[i + k], std::memory_order_relaxed);
+    }
+    leaf->count.store(static_cast<uint32_t>(take), std::memory_order_relaxed);
+    if (prev != nullptr) prev->next.store(leaf, std::memory_order_relaxed);
+    if (!level.empty()) {
+      seps.push_back(leaf->keys[0].load(std::memory_order_relaxed));
+    }
     level.push_back(leaf);
     prev = leaf;
     i += take;
@@ -310,7 +554,7 @@ Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
   if (level.empty()) {
     return tree;  // keeps the default empty-leaf root
   }
-  tree.FreeTree(tree.root_);
+  tree.FreeTree(tree.root_.load(std::memory_order_relaxed));
   --tree.node_count_;
   tree.size_ = keys.size();
 
@@ -325,10 +569,14 @@ Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
       // Avoid leaving a lone child for the final parent.
       if (level.size() - c - take_children == 1) --take_children;
       for (size_t k = 0; k < take_children; ++k) {
-        inner->children.push_back(level[c + k]);
-        if (k > 0) inner->keys.push_back(seps[c + k - 1]);
+        inner->children[k].store(level[c + k], std::memory_order_relaxed);
+        if (k > 0) {
+          inner->keys[k - 1].store(seps[c + k - 1],
+                                   std::memory_order_relaxed);
+        }
       }
-      inner->count = static_cast<uint32_t>(inner->keys.size());
+      inner->count.store(static_cast<uint32_t>(take_children - 1),
+                         std::memory_order_relaxed);
       if (!parents.empty()) parent_seps.push_back(seps[c - 1]);
       parents.push_back(inner);
       c += take_children;
@@ -336,15 +584,15 @@ Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
     level = std::move(parents);
     seps = std::move(parent_seps);
   }
-  tree.root_ = level[0];
+  tree.root_.store(level[0], std::memory_order_relaxed);
   return tree;
 }
 
 uint32_t BPlusTree::height() const {
   uint32_t h = 1;
-  const Node* n = root_;
+  const Node* n = root_.load(std::memory_order_relaxed);
   while (!n->leaf) {
-    n = n->children[0];
+    n = n->children[0].load(std::memory_order_relaxed);
     ++h;
   }
   return h;

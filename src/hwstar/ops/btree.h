@@ -1,6 +1,7 @@
 #ifndef HWSTAR_OPS_BTREE_H_
 #define HWSTAR_OPS_BTREE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <utility>
@@ -16,6 +17,21 @@ namespace hwstar::ops {
 /// cache-conscious index design the paper contrasts against
 /// hardware-oblivious binary trees, whose every comparison is a potential
 /// miss. E7 benchmarks it against binary search over a sorted array.
+///
+/// Concurrency contract (optimistic lock coupling + leaf right-links):
+///  - Writers (Insert/Erase) must be externally serialized -- one writer
+///    at a time (KvStore's shard latch provides this). Per-node OptLocks
+///    only signal readers, never arbitrate between writers.
+///  - Find/FindBatch are latch-free: version-validated descent, restart
+///    on interference. A reader that lands on a leaf whose keys moved
+///    right in a split the parent has not absorbed yet follows the leaf
+///    chain (B-link style move-right); this works because splits only
+///    move keys right and deletes never merge or rebalance nodes.
+///  - No node is ever freed before tree destruction (splits add nodes,
+///    Erase shrinks leaves in place), so the read path needs no epoch
+///    reclamation -- destruction itself requires quiescence, as before.
+///  - Range scans, height, and MemoryBytes require writer exclusion (run
+///    them under the same latch as writers).
 class BPlusTree {
  public:
   /// `fanout`: max keys per node. 32 keys = 256B of keys = 4 cache lines.
@@ -85,7 +101,7 @@ class BPlusTree {
   const Node* FindLeaf(uint64_t key) const;
 
   uint32_t fanout_;
-  Node* root_ = nullptr;
+  std::atomic<Node*> root_{nullptr};
   uint64_t size_ = 0;
   uint64_t node_count_ = 0;
 };

@@ -1,6 +1,7 @@
 #include "hwstar/ops/hash_table.h"
 
 #include "hwstar/common/bits.h"
+#include "hwstar/sync/epoch.h"
 
 namespace hwstar::ops {
 
@@ -9,8 +10,12 @@ LinearProbeTable::LinearProbeTable(uint64_t expected, double load_factor) {
   uint64_t min_cap = static_cast<uint64_t>(
       static_cast<double>(expected < 1 ? 1 : expected) / load_factor);
   uint64_t cap = bits::NextPowerOfTwo(min_cap < 8 ? 8 : min_cap);
-  keys_.assign(cap, kEmpty);
-  values_.assign(cap, 0);
+  keys_.reset(new std::atomic<uint64_t>[cap]);
+  values_.reset(new std::atomic<uint64_t>[cap]);
+  for (uint64_t i = 0; i < cap; ++i) {
+    keys_[i].store(kEmpty, std::memory_order_relaxed);
+    values_[i].store(0, std::memory_order_relaxed);
+  }
   mask_ = cap - 1;
   shift_ = 64 - bits::Log2Floor(cap);
 }
@@ -19,24 +24,28 @@ void LinearProbeTable::Insert(uint64_t key, uint64_t value) {
   HWSTAR_DCHECK(key != kEmpty);
   HWSTAR_CHECK(size_ < capacity());  // table never fills completely
   uint64_t slot = HomeSlot(key);
-  while (keys_[slot] != kEmpty) {
+  while (keys_[slot].load(std::memory_order_relaxed) != kEmpty) {
     slot = (slot + 1) & mask_;
   }
-  keys_[slot] = key;
-  values_[slot] = value;
+  // Value first, then the key with release: a reader that sees the key
+  // (acquire) sees the value. Until the key lands the slot reads kEmpty
+  // and the entry is simply not there yet.
+  values_[slot].store(value, std::memory_order_relaxed);
+  keys_[slot].store(key, std::memory_order_release);
   ++size_;
 }
 
 bool LinearProbeTable::Find(uint64_t key, uint64_t* out) const {
   uint64_t slot = HomeSlot(key);
-  while (keys_[slot] != kEmpty) {
-    if (keys_[slot] == key) {
-      *out = values_[slot];
+  for (;;) {
+    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+    if (k == kEmpty) return false;
+    if (k == key) {
+      *out = values_[slot].load(std::memory_order_relaxed);
       return true;
     }
     slot = (slot + 1) & mask_;
   }
-  return false;
 }
 
 size_t LinearProbeTable::FindBatch(const uint64_t* keys, size_t n,
@@ -70,9 +79,11 @@ size_t LinearProbeTable::FindBatch(const uint64_t* keys, size_t n,
           uint64_t slot = slots[lane];
           uint64_t value = 0;
           bool hit = false;
-          while (keys_[slot] != kEmpty) {
-            if (keys_[slot] == key) {
-              value = values_[slot];
+          for (;;) {
+            const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+            if (k == kEmpty) break;
+            if (k == key) {
+              value = values_[slot].load(std::memory_order_relaxed);
               hit = true;
               break;
             }
@@ -105,7 +116,7 @@ double LinearProbeTable::MeasureAvgProbeLength(
   uint64_t steps = 0;
   for (uint64_t key : sample) {
     uint64_t slot = HomeSlot(key);
-    while (keys_[slot] != kEmpty) {
+    while (keys_[slot].load(std::memory_order_acquire) != kEmpty) {
       ++steps;
       slot = (slot + 1) & mask_;
     }
@@ -117,37 +128,81 @@ double LinearProbeTable::MeasureAvgProbeLength(
 ChainedTable::ChainedTable(uint64_t expected_buckets) {
   uint64_t cap =
       bits::NextPowerOfTwo(expected_buckets < 8 ? 8 : expected_buckets);
-  buckets_.assign(cap, -1);
+  buckets_.reset(new std::atomic<int64_t>[cap]);
+  for (uint64_t i = 0; i < cap; ++i) {
+    buckets_[i].store(-1, std::memory_order_relaxed);
+  }
+  // One node per bucket up front; growth doubles from there.
+  block_.store(new NodeBlock(cap), std::memory_order_relaxed);
   mask_ = cap - 1;
   shift_ = 64 - bits::Log2Floor(cap);
 }
 
+ChainedTable::~ChainedTable() {
+  delete block_.load(std::memory_order_relaxed);
+}
+
+ChainedTable::NodeBlock* ChainedTable::Grow(NodeBlock* old) {
+  const uint64_t count = size_.load(std::memory_order_relaxed);
+  NodeBlock* grown = new NodeBlock(old->capacity * 2);
+  for (uint64_t i = 0; i < count; ++i) {
+    grown->nodes[i] = old->nodes[i];
+  }
+  // Publish the block before any bucket head can name an index in the new
+  // range -- the reader-side Resnapshot contract depends on this order.
+  block_.store(grown, std::memory_order_release);
+  if (epoch_ != nullptr) {
+    epoch_->Retire(
+        old, [](void* p) { delete static_cast<NodeBlock*>(p); },
+        sizeof(NodeBlock) + old->capacity * sizeof(Node));
+  } else {
+    delete old;
+  }
+  return grown;
+}
+
 void ChainedTable::Insert(uint64_t key, uint64_t value) {
-  uint64_t b = HomeSlot(key);
-  nodes_.push_back(Node{key, value, buckets_[b]});
-  buckets_[b] = static_cast<int64_t>(nodes_.size() - 1);
-  ++size_;
+  const uint64_t b = HomeSlot(key);
+  const uint64_t count = size_.load(std::memory_order_relaxed);
+  NodeBlock* blk = block_.load(std::memory_order_relaxed);
+  if (count == blk->capacity) blk = Grow(blk);
+  // Fill the node privately, then publish it by swinging the bucket head
+  // (release). Prepending keeps every reachable node immutable and makes
+  // chain indices strictly decreasing.
+  Node& node = blk->nodes[count];
+  node.key = key;
+  node.value = value;
+  node.next = buckets_[b].load(std::memory_order_relaxed);
+  buckets_[b].store(static_cast<int64_t>(count), std::memory_order_release);
+  size_.store(count + 1, std::memory_order_relaxed);
 }
 
 uint32_t ChainedTable::CountMatches(uint64_t key) const {
-  uint64_t b = HomeSlot(key);
+  const uint64_t b = HomeSlot(key);
+  const NodeBlock* blk = block_.load(std::memory_order_acquire);
+  int64_t n = buckets_[b].load(std::memory_order_acquire);
+  blk = Resnapshot(blk, n);
   uint32_t matches = 0;
-  for (int64_t n = buckets_[b]; n >= 0;
-       n = nodes_[static_cast<size_t>(n)].next) {
-    matches += nodes_[static_cast<size_t>(n)].key == key;
+  while (n >= 0) {
+    const Node& node = blk->nodes[static_cast<size_t>(n)];
+    matches += node.key == key;
+    n = node.next;
   }
   return matches;
 }
 
 bool ChainedTable::Find(uint64_t key, uint64_t* out) const {
-  uint64_t b = HomeSlot(key);
-  for (int64_t n = buckets_[b]; n >= 0;
-       n = nodes_[static_cast<size_t>(n)].next) {
-    const Node& node = nodes_[static_cast<size_t>(n)];
+  const uint64_t b = HomeSlot(key);
+  const NodeBlock* blk = block_.load(std::memory_order_acquire);
+  int64_t n = buckets_[b].load(std::memory_order_acquire);
+  blk = Resnapshot(blk, n);
+  while (n >= 0) {
+    const Node& node = blk->nodes[static_cast<size_t>(n)];
     if (node.key == key) {
       *out = node.value;
       return true;
     }
+    n = node.next;
   }
   return false;
 }
@@ -182,7 +237,9 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
     }
     // AMAC walk: stage 0 prefetches the bucket head, each later stage
     // inspects one node and prefetches the next, stopping at the first
-    // match (Find semantics).
+    // match (Find semantics). The shared block snapshot only ever moves
+    // forward (Resnapshot), and any index valid in an older block stays
+    // valid in a newer one, so one snapshot serves all lanes.
     struct Job {
       struct State {
         uint64_t key;
@@ -192,6 +249,7 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
         bool at_bucket;
       };
       const ChainedTable* table;
+      const NodeBlock* blk;
       uint64_t* values;
       bool* found;
       size_t* hits;
@@ -211,16 +269,17 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
       }
       bool Step(State& st) {
         if (st.at_bucket) {
-          st.node = table->buckets_[st.bucket];
+          st.node = table->buckets_[st.bucket].load(std::memory_order_acquire);
           st.at_bucket = false;
           if (st.node < 0) {
             Finish(st, 0, false);
             return false;
           }
-          HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+          blk = table->Resnapshot(blk, st.node);
+          HWSTAR_PREFETCH(&blk->nodes[static_cast<size_t>(st.node)]);
           return true;
         }
-        const Node& node = table->nodes_[static_cast<size_t>(st.node)];
+        const Node& node = blk->nodes[static_cast<size_t>(st.node)];
         if (node.key == st.key) {
           Finish(st, node.value, true);
           return false;
@@ -230,11 +289,13 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
           Finish(st, 0, false);
           return false;
         }
-        HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+        HWSTAR_PREFETCH(&blk->nodes[static_cast<size_t>(st.node)]);
         return true;
       }
     };
-    Job job{this, values, found, &hits, keys};
+    Job job{this, block_.load(std::memory_order_acquire),
+            values, found,    &hits,
+            keys};
     AmacLoop<K>(n, job);
   });
   return hits;
@@ -243,12 +304,15 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
 double ChainedTable::MeasureAvgProbeLength(
     const std::vector<uint64_t>& sample) const {
   if (sample.empty()) return 0.0;
+  const NodeBlock* blk = block_.load(std::memory_order_acquire);
   uint64_t steps = 0;
   for (uint64_t key : sample) {
-    uint64_t b = HomeSlot(key);
-    for (int64_t n = buckets_[b]; n >= 0;
-         n = nodes_[static_cast<size_t>(n)].next) {
+    const uint64_t b = HomeSlot(key);
+    int64_t n = buckets_[b].load(std::memory_order_acquire);
+    blk = Resnapshot(blk, n);
+    while (n >= 0) {
       ++steps;
+      n = blk->nodes[static_cast<size_t>(n)].next;
     }
     ++steps;  // bucket-head inspection
   }
@@ -256,7 +320,7 @@ double ChainedTable::MeasureAvgProbeLength(
 }
 
 uint64_t ChainedTable::MemoryBytes() const {
-  return buckets_.size() * sizeof(int64_t) + nodes_.size() * sizeof(Node);
+  return (mask_ + 1) * sizeof(int64_t) + size() * sizeof(Node);
 }
 
 }  // namespace hwstar::ops

@@ -1,13 +1,19 @@
 #ifndef HWSTAR_OPS_HASH_TABLE_H_
 #define HWSTAR_OPS_HASH_TABLE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
 #include "hwstar/ops/probe_kernels.h"
+
+namespace hwstar::sync {
+class EpochManager;
+}  // namespace hwstar::sync
 
 namespace hwstar::ops {
 
@@ -17,6 +23,14 @@ namespace hwstar::ops {
 /// choice -- one flat array, no pointers -- is the hardware-conscious one:
 /// a probe touches one or two consecutive cache lines instead of chasing
 /// a chain across the heap.
+///
+/// Concurrency contract (atomic publication): a single writer may Insert
+/// concurrently with any number of readers. Insert stores the value, then
+/// publishes the key with a release store; readers load keys with acquire,
+/// so once a probe sees a key it sees that key's value. An in-progress
+/// insert is simply invisible (its slot still reads kEmpty). There is no
+/// resizing and no deletion, so no reclamation is needed; size() is
+/// writer-side only. Multiple writers still require external serialization.
 class LinearProbeTable {
  public:
   /// Sentinel marking an empty slot; the key value ~0 cannot be inserted.
@@ -38,9 +52,11 @@ class LinearProbeTable {
   uint32_t Probe(uint64_t key, Fn&& fn) const {
     uint64_t slot = HomeSlot(key);
     uint32_t matches = 0;
-    while (keys_[slot] != kEmpty) {
-      if (keys_[slot] == key) {
-        fn(values_[slot]);
+    for (;;) {
+      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+      if (k == kEmpty) break;
+      if (k == key) {
+        fn(values_[slot].load(std::memory_order_relaxed));
         ++matches;
       }
       slot = (slot + 1) & mask_;
@@ -60,8 +76,10 @@ class LinearProbeTable {
   HWSTAR_ALWAYS_INLINE uint32_t CountMatches(uint64_t key) const {
     uint64_t slot = HomeSlot(key);
     uint32_t matches = 0;
-    while (keys_[slot] != kEmpty) {
-      matches += keys_[slot] == key;
+    for (;;) {
+      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+      if (k == kEmpty) break;
+      matches += k == key;
       slot = (slot + 1) & mask_;
     }
     return matches;
@@ -119,9 +137,11 @@ class LinearProbeTable {
           [&](uint32_t lane, size_t i) {
             const uint64_t key = keys[i];
             uint64_t slot = slots[lane];
-            while (keys_[slot] != kEmpty) {
-              if (keys_[slot] == key) {
-                fn(i, values_[slot]);
+            for (;;) {
+              const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+              if (k == kEmpty) break;
+              if (k == key) {
+                fn(i, values_[slot].load(std::memory_order_relaxed));
                 ++matches;
               }
               slot = (slot + 1) & mask_;
@@ -144,8 +164,8 @@ class LinearProbeTable {
   /// keys of one partition would pile into a handful of slots.
   uint64_t HomeSlot(uint64_t key) const { return Mix64(key) >> shift_; }
 
-  std::vector<uint64_t> keys_;
-  std::vector<uint64_t> values_;
+  std::unique_ptr<std::atomic<uint64_t>[]> keys_;
+  std::unique_ptr<std::atomic<uint64_t>[]> values_;
   uint64_t mask_;
   uint32_t shift_;
   uint64_t size_ = 0;
@@ -156,26 +176,55 @@ class LinearProbeTable {
 /// pointer, i.e., a dependent cache miss once out of cache. The batched
 /// lookups below are the AMAC counterexample: even this layout recovers
 /// memory-level parallelism when K walks are interleaved explicitly.
+///
+/// Concurrency contract (atomic publication + epoch-retired node blocks):
+/// a single writer may Insert concurrently with readers. Inserts prepend:
+/// the node is filled in privately, then the bucket head is published with
+/// a release store, so a node's fields are immutable once reachable and
+/// chain indices strictly decrease along any chain. Nodes live in one
+/// NodeBlock array; growth copies into a double-size block, publishes the
+/// block pointer (release) BEFORE any head that refers to the new range,
+/// and retires the old block to the attached sync::EpochManager (or frees
+/// it immediately when none is attached -- single-threaded mode, matching
+/// the old vector-realloc semantics). Readers that see a head index beyond
+/// their block snapshot reload the block pointer once, which is guaranteed
+/// sufficient. With an epoch manager attached, concurrent readers must
+/// hold a sync::EpochManager::Guard across each probe. Multiple writers
+/// still require external serialization.
 class ChainedTable {
  public:
   explicit ChainedTable(uint64_t expected_buckets);
+  ~ChainedTable();
+
+  ChainedTable(const ChainedTable&) = delete;
+  ChainedTable& operator=(const ChainedTable&) = delete;
 
   void Insert(uint64_t key, uint64_t value);
+
+  /// Attaches an epoch-based reclamation domain: node blocks replaced by
+  /// growth are retired to `epoch` instead of freed immediately, which
+  /// makes concurrent probes safe against growth. Null restores immediate
+  /// frees. Must not be changed while operations are in flight.
+  void SetEpochManager(sync::EpochManager* epoch) { epoch_ = epoch; }
+  sync::EpochManager* epoch_manager() const { return epoch_; }
 
   /// Invokes fn(value) for every match; returns the match count.
   /// Templated for the same per-key inlining reason as
   /// LinearProbeTable::Probe.
   template <typename Fn>
   uint32_t Probe(uint64_t key, Fn&& fn) const {
-    uint64_t b = HomeSlot(key);
+    const uint64_t b = HomeSlot(key);
+    const NodeBlock* blk = block_.load(std::memory_order_acquire);
+    int64_t n = buckets_[b].load(std::memory_order_acquire);
+    blk = Resnapshot(blk, n);
     uint32_t matches = 0;
-    for (int64_t n = buckets_[b]; n >= 0;
-         n = nodes_[static_cast<size_t>(n)].next) {
-      const Node& node = nodes_[static_cast<size_t>(n)];
+    while (n >= 0) {
+      const Node& node = blk->nodes[static_cast<size_t>(n)];
       if (node.key == key) {
         fn(node.value);
         ++matches;
       }
+      n = node.next;
     }
     return matches;
   }
@@ -231,6 +280,7 @@ class ChainedTable {
           bool at_bucket;
         };
         const ChainedTable* table;
+        const NodeBlock* blk;
         Fn* fn;
         uint64_t* matches;
         const uint64_t* keys;
@@ -244,24 +294,27 @@ class ChainedTable {
         }
         bool Step(State& st) {
           if (st.at_bucket) {
-            st.node = table->buckets_[st.bucket];
+            st.node =
+                table->buckets_[st.bucket].load(std::memory_order_acquire);
             st.at_bucket = false;
             if (st.node < 0) return false;
-            HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+            blk = table->Resnapshot(blk, st.node);
+            HWSTAR_PREFETCH(&blk->nodes[static_cast<size_t>(st.node)]);
             return true;
           }
-          const Node& node = table->nodes_[static_cast<size_t>(st.node)];
+          const Node& node = blk->nodes[static_cast<size_t>(st.node)];
           if (node.key == st.key) {
             (*fn)(st.i, node.value);
             ++*matches;
           }
           st.node = node.next;
           if (st.node < 0) return false;
-          HWSTAR_PREFETCH(&table->nodes_[static_cast<size_t>(st.node)]);
+          HWSTAR_PREFETCH(&blk->nodes[static_cast<size_t>(st.node)]);
           return true;
         }
       };
-      Job job{this, &fn, &matches, keys};
+      Job job{this, block_.load(std::memory_order_acquire), &fn, &matches,
+              keys};
       AmacLoop<K>(n, job);
     });
     return matches;
@@ -270,25 +323,49 @@ class ChainedTable {
   /// Diagnostic: average chain length over a sample of keys.
   double MeasureAvgProbeLength(const std::vector<uint64_t>& sample) const;
 
-  uint64_t size() const { return size_; }
+  uint64_t size() const { return size_.load(std::memory_order_relaxed); }
   uint64_t MemoryBytes() const;
 
  private:
   struct Node {
     uint64_t key;
     uint64_t value;
-    int64_t next;  // index into nodes_, -1 terminates
+    int64_t next;  // index into the node block, -1 terminates
   };
+
+  /// One contiguous node array. Fields are immutable after the block is
+  /// published; growth replaces the whole block.
+  struct NodeBlock {
+    explicit NodeBlock(uint64_t cap) : capacity(cap), nodes(new Node[cap]) {}
+    const uint64_t capacity;
+    const std::unique_ptr<Node[]> nodes;
+  };
+
+  /// A head index at or beyond the snapshot's capacity means the snapshot
+  /// predates the growth that made room for that node; the writer
+  /// publishes the grown block before any such head, so one reload
+  /// (ordered after the head load that exposed the index) must observe a
+  /// block large enough. Chain `next` indices strictly decrease, so only
+  /// the head can ever be out of range.
+  const NodeBlock* Resnapshot(const NodeBlock* blk, int64_t head) const {
+    if (head >= 0 && static_cast<uint64_t>(head) >= blk->capacity) {
+      blk = block_.load(std::memory_order_acquire);
+    }
+    return blk;
+  }
+
+  NodeBlock* Grow(NodeBlock* old);
 
   /// High hash bits, for the same partition-independence reason as
   /// LinearProbeTable::HomeSlot.
   uint64_t HomeSlot(uint64_t key) const { return Mix64(key) >> shift_; }
 
-  std::vector<int64_t> buckets_;  // head index or -1
-  std::vector<Node> nodes_;
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;  // head index or -1
+  std::atomic<NodeBlock*> block_;
   uint64_t mask_;
   uint32_t shift_;
-  uint64_t size_ = 0;
+  std::atomic<uint64_t> size_{0};
+  sync::EpochManager* epoch_ = nullptr;
 };
 
 }  // namespace hwstar::ops

@@ -42,6 +42,15 @@ namespace hwstar::ops {
 /// dispatched from a runtime value by WithProbeGroup. Callers pass 0 to
 /// use the process-wide default (hw::DefaultProbeGroupSize, tunable via
 /// hw::MachineModel::ApplyProbeDefaults).
+///
+/// Interaction with optimistic reads (hwstar/sync): the index FindBatch
+/// kernels run these loops inside an OLC retry scope -- version
+/// validation failures restart the *whole group's* descent, not a single
+/// key's, so the interleaving discipline (and therefore the results and
+/// the miss-overlap shape) is identical whether or not a writer is live.
+/// The kernels themselves are oblivious to this: they see the same
+/// lane-step structure either way, which is what keeps the latched and
+/// latch-free paths bit-identical.
 
 /// Group sizes the batched kernels are compiled for. Runtime requests are
 /// rounded up to the next compiled size (and capped at the largest).

@@ -1,0 +1,103 @@
+#ifndef HWSTAR_SYNC_OPTLOCK_H_
+#define HWSTAR_SYNC_OPTLOCK_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace hwstar::sync {
+
+/// A versioned latch for optimistic, latch-free reads (the OLC primitive
+/// of Leis et al.'s "optimistic lock coupling"). One 64-bit word encodes
+///
+///   bit 0: obsolete -- the protected object has been unlinked and will
+///          be reclaimed; any reader holding a pointer to it must restart
+///   bit 1: locked   -- a writer is mutating the protected fields
+///   bits 2..63: version counter, bumped by every write-unlock
+///
+/// Readers never store to the word (no shared-cache-line writes, so read
+/// throughput scales with cores): they sample the version, read the
+/// protected fields with relaxed atomics, and re-sample; a changed
+/// version means a writer interleaved and the read restarts. Writers
+/// acquire the lock bit, mutate, and release with a counter bump.
+///
+/// The arithmetic follows the ARTOLC encoding: an unlocked version has
+/// bit 1 clear, so WriteLock adds kLockedBit (setting it) and WriteUnlock
+/// adds kLockedBit again -- the carry clears the lock bit and increments
+/// the counter in one fetch_add. WriteUnlockObsolete adds
+/// kLockedBit + kObsoleteBit, clearing the lock and setting obsolete.
+///
+/// The restart signalling uses an accumulating `bool* need_restart`: the
+/// caller clears it once per attempt and checks after each protocol step,
+/// which keeps descent loops free of per-step branching boilerplate.
+class OptLock {
+ public:
+  static constexpr uint64_t kObsoleteBit = 1;
+  static constexpr uint64_t kLockedBit = 2;
+
+  static bool IsLocked(uint64_t v) { return (v & kLockedBit) != 0; }
+  static bool IsObsolete(uint64_t v) { return (v & kObsoleteBit) != 0; }
+
+  /// Samples the version for an optimistic read. Sets *need_restart when
+  /// the word is locked or obsolete; the returned version is then not
+  /// meaningful. The acquire load orders the caller's subsequent field
+  /// reads after the version sample.
+  uint64_t ReadLockOrRestart(bool* need_restart) const {
+    const uint64_t v = word_.load(std::memory_order_acquire);
+    if (IsLocked(v) || IsObsolete(v)) *need_restart = true;
+    return v;
+  }
+
+  /// Re-samples and compares: any change (lock taken, version bumped,
+  /// obsolete set) since `version` was read means the fields read in
+  /// between may be torn, and *need_restart is set.
+  void CheckOrRestart(uint64_t version, bool* need_restart) const {
+    if (word_.load(std::memory_order_acquire) != version) *need_restart = true;
+  }
+
+  /// Atomically upgrades a sampled version to the write lock; false (and
+  /// *need_restart) when another writer got there first.
+  bool UpgradeToWriteLock(uint64_t version, bool* need_restart) {
+    if (word_.compare_exchange_strong(version, version + kLockedBit,
+                                      std::memory_order_acquire)) {
+      return true;
+    }
+    *need_restart = true;
+    return false;
+  }
+
+  /// Blocking write lock (spins; writers in this codebase are already
+  /// serialized by a shard latch, so the spin only ever waits out a
+  /// version sample race, never another writer).
+  void WriteLock() {
+    for (;;) {
+      uint64_t v = word_.load(std::memory_order_relaxed);
+      if (IsLocked(v)) continue;
+      if (word_.compare_exchange_weak(v, v + kLockedBit,
+                                      std::memory_order_acquire)) {
+        return;
+      }
+    }
+  }
+
+  /// Releases the write lock, bumping the version (the carry out of the
+  /// lock bit is the increment).
+  void WriteUnlock() { word_.fetch_add(kLockedBit, std::memory_order_release); }
+
+  /// Releases the write lock and marks the object obsolete: readers that
+  /// still hold a pointer to it restart instead of trusting stale fields.
+  /// The object must already be unlinked (unreachable for new readers)
+  /// and is typically retired to an EpochManager right after.
+  void WriteUnlockObsolete() {
+    word_.fetch_add(kLockedBit + kObsoleteBit, std::memory_order_release);
+  }
+
+  /// Raw version sample (diagnostics/tests).
+  uint64_t Version() const { return word_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<uint64_t> word_{0};
+};
+
+}  // namespace hwstar::sync
+
+#endif  // HWSTAR_SYNC_OPTLOCK_H_

@@ -126,6 +126,38 @@ TEST(MachineModelTest, StreamKnobDefaultsAndClamping) {
   SetDefaultStreamLatenessBound(bound_before);
 }
 
+TEST(MachineModelTest, SyncKnobDefaultsAndClamping) {
+  const uint32_t interval_before = DefaultEpochAdvanceInterval();
+  const uint32_t batch_before = DefaultEpochRetireBatch();
+
+  MachineModel{}.ApplySyncDefaults();
+  EXPECT_EQ(DefaultEpochAdvanceInterval(), 64u);
+  EXPECT_EQ(DefaultEpochRetireBatch(), 128u);
+
+  SetDefaultEpochAdvanceInterval(0);  // clamped up to 1
+  EXPECT_EQ(DefaultEpochAdvanceInterval(), 1u);
+  SetDefaultEpochAdvanceInterval(~0u);  // clamped down to 1M
+  EXPECT_EQ(DefaultEpochAdvanceInterval(), 1u << 20);
+  SetDefaultEpochAdvanceInterval(256);
+  EXPECT_EQ(DefaultEpochAdvanceInterval(), 256u);
+
+  SetDefaultEpochRetireBatch(0);  // clamped up to 1
+  EXPECT_EQ(DefaultEpochRetireBatch(), 1u);
+  SetDefaultEpochRetireBatch(~0u);  // clamped down to 1M
+  EXPECT_EQ(DefaultEpochRetireBatch(), 1u << 20);
+
+  // ApplySyncDefaults publishes whatever the model carries.
+  MachineModel m;
+  m.epoch_advance_interval = 32;
+  m.epoch_retire_batch = 512;
+  m.ApplySyncDefaults();
+  EXPECT_EQ(DefaultEpochAdvanceInterval(), 32u);
+  EXPECT_EQ(DefaultEpochRetireBatch(), 512u);
+
+  SetDefaultEpochAdvanceInterval(interval_before);
+  SetDefaultEpochRetireBatch(batch_before);
+}
+
 TEST(MachineModelTest, ApplyStreamDefaultsPublishesModelValues) {
   const uint32_t rows_before = DefaultStreamBatchRows();
   const uint32_t inflight_before = DefaultStreamMaxInflight();

@@ -142,6 +142,74 @@ TEST(KvStoreTest, ConcurrentMixedReadersWriters) {
   EXPECT_EQ(store.size(), 2000u);
 }
 
+TEST(KvStoreTest, LatchFreeReadersRaceWritersBothIndexKinds) {
+  // Writers Put/Delete (serialized per shard by the latch) while readers
+  // Get and MultiGet with no latch at all. Values are a pure function of
+  // the key, so any hit returning the wrong value is a torn read.
+  constexpr auto ValueOf = [](uint64_t key) { return key * 2654435761ULL + 1; };
+  for (const IndexKind kind : {IndexKind::kArt, IndexKind::kBTree}) {
+    KvOptions opts;
+    opts.index = kind;
+    opts.shards = 4;
+    ASSERT_TRUE(opts.latch_free_reads);  // the default under test
+    KvStore store(opts);
+    constexpr uint64_t kKeys = 4096;
+    const uint64_t stride = ~uint64_t{0} / kKeys;
+    for (uint64_t i = 0; i < kKeys; ++i) {
+      store.Put(i * stride, ValueOf(i * stride));
+    }
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> writers;
+    for (int w = 0; w < 2; ++w) {
+      writers.emplace_back([&, w] {
+        Xoshiro256 rng(17 + w);
+        while (!stop.load(std::memory_order_relaxed)) {
+          const uint64_t key = rng.NextBounded(kKeys) * stride;
+          if (rng.NextBounded(3) == 0) {
+            store.Delete(key);
+          } else {
+            store.Put(key, ValueOf(key));
+          }
+        }
+      });
+    }
+    std::vector<std::thread> readers;
+    for (int t = 0; t < 3; ++t) {
+      readers.emplace_back([&, t] {
+        Xoshiro256 rng(90 + t);
+        uint64_t keys[32];
+        uint64_t values[32];
+        bool found[32];
+        for (int iter = 0; iter < 3000; ++iter) {
+          const uint64_t key = rng.NextBounded(kKeys) * stride;
+          auto got = store.Get(key);
+          if (got.ok()) EXPECT_EQ(got.value(), ValueOf(key));
+          if ((iter & 7) == 0) {
+            for (auto& k : keys) k = rng.NextBounded(kKeys) * stride;
+            std::sort(keys, keys + 32);  // shard-sorted: exercises runs
+            store.MultiGet(keys, 32, values, found);
+            for (int j = 0; j < 32; ++j) {
+              if (found[j]) {
+                EXPECT_EQ(values[j], ValueOf(keys[j]));
+              } else {
+                EXPECT_EQ(values[j], 0u);
+              }
+            }
+          }
+        }
+      });
+    }
+    for (auto& r : readers) r.join();
+    stop.store(true);
+    for (auto& w : writers) w.join();
+
+    const KvStats s = store.stats();
+    EXPECT_GT(s.gets, 0u);
+    EXPECT_GT(s.puts, kKeys);
+  }
+}
+
 /// Property: both index kinds and several shard counts agree with
 /// std::map under a YCSB-shaped workload.
 struct KvParam {
