@@ -26,6 +26,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IoError";
     case StatusCode::kDeadlineExceeded:
       return "DeadlineExceeded";
+    case StatusCode::kAborted:
+      return "Aborted";
   }
   return "Unknown";
 }

@@ -24,6 +24,9 @@ enum class StatusCode : uint8_t {
   kInternal = 8,
   kIoError = 9,
   kDeadlineExceeded = 10,
+  /// An optimistic transaction lost its validation race (read-set or lock
+  /// conflict). Retryable by construction: nothing was installed.
+  kAborted = 11,
 };
 
 /// Returns a stable human-readable name for a status code ("Ok",
@@ -76,6 +79,9 @@ class Status {
   }
   static Status DeadlineExceeded(std::string msg) {
     return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status Aborted(std::string msg) {
+    return Status(StatusCode::kAborted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,9 +1,11 @@
 #ifndef HWSTAR_DUR_DURABLE_KV_STORE_H_
 #define HWSTAR_DUR_DURABLE_KV_STORE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <shared_mutex>
 #include <string>
 #include <vector>
 
@@ -24,6 +26,14 @@ struct DurableKvOptions {
   /// serialization point scales with devices, not with one global log.
   uint32_t log_shards = 1;
   LogWriterOptions log;
+};
+
+/// One buffered mutation: an upsert (`is_delete=false`) or a tombstone.
+/// The unit MutateBatch and CommitTxn consume.
+struct WriteOp {
+  uint64_t key = 0;
+  uint64_t value = 0;  ///< ignored for deletes
+  bool is_delete = false;
 };
 
 /// KvStore + write-ahead durability.
@@ -74,6 +84,41 @@ class DurableKvStore {
   Status PutBatch(const uint64_t* keys, const uint64_t* values, size_t count,
                   uint64_t* wal_wait_nanos = nullptr);
 
+  /// Durable mixed put/delete batch, same group-commit shape as PutBatch.
+  /// Ops on an equal key must be adjacent and in intended order (the svc
+  /// batcher's never-split rule guarantees this); ops apply in array
+  /// order, so a put followed by a delete of the same key ends deleted.
+  /// `erased`, when non-null, is a count-sized array receiving each
+  /// delete op's "key was present" flag (put slots are set to false), so
+  /// a batched delete answers exactly like a singleton Delete.
+  Status MutateBatch(const WriteOp* ops, size_t count,
+                     uint64_t* wal_wait_nanos = nullptr,
+                     bool* erased = nullptr);
+
+  /// Installs a validated transaction's write-set atomically with respect
+  /// to crash recovery. `ops` must be sorted by key with no duplicates
+  /// (hwstar::txn's write-set is a map, so this is free). Per touched log
+  /// shard the fragments are staged as kTxnBegin + kTxnPut/kTxnDelete
+  /// records and applied to memory; a single kTxnCommit naming the total
+  /// fragment count then lands in the lowest touched shard. Recovery
+  /// installs either the whole write-set or none of it.
+  ///
+  /// This is a LOW-LEVEL install: it does no validation and takes no
+  /// stripe locks — TxnManager calls it while holding the write-set's
+  /// stripe locks, which is what makes the memory install atomic with
+  /// respect to concurrent transactions. `tid` must come from
+  /// AllocateTxnId() (unique across restarts).
+  Status CommitTxn(uint64_t tid, const WriteOp* ops, size_t count,
+                   uint64_t* wal_wait_nanos = nullptr);
+
+  /// Hands out transaction ids: dense, unique, and — because Open seeds
+  /// the counter above every id recovery saw — never reused across
+  /// restarts (a reused id could alias a dead transaction's surviving
+  /// fragments into a live one's completeness count).
+  uint64_t AllocateTxnId() {
+    return next_txn_id_.fetch_add(1, std::memory_order_relaxed);
+  }
+
   /// Fuzzy checkpoint + log truncation: per shard takes `mark = last LSN`
   /// under the apply mutex, scans the live store (fuzzy — concurrent
   /// writers may or may not appear; replay idempotence absorbs them),
@@ -115,6 +160,18 @@ class DurableKvStore {
   std::vector<std::unique_ptr<LogShard>> logs_;
   /// Serializes checkpoints against each other (mutations keep flowing).
   std::mutex checkpoint_mutex_;
+  /// Commit/checkpoint interlock. CommitTxn holds it SHARED across its
+  /// whole staging sequence (every fragment plus the commit record);
+  /// Checkpoint holds it EXCLUSIVE across mark-taking and the fuzzy scan.
+  /// That gives two guarantees no per-shard mutex can: (1) a transaction
+  /// lands entirely at-or-below all checkpoint marks or entirely above
+  /// them — never split by truncation; (2) the snapshot never captures a
+  /// write-set whose commit record hasn't been appended yet, so a crash
+  /// can't smuggle uncommitted effects into durable state via the
+  /// checkpoint. Plain Put/Delete never take it (single records need
+  /// neither guarantee).
+  std::shared_mutex txn_gate_;
+  std::atomic<uint64_t> next_txn_id_{1};
 };
 
 }  // namespace hwstar::dur

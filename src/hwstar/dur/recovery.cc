@@ -1,6 +1,7 @@
 #include "hwstar/dur/recovery.h"
 
 #include <algorithm>
+#include <unordered_map>
 #include <utility>
 
 #include "hwstar/dur/checkpoint.h"
@@ -15,13 +16,18 @@ std::string ShardLogPrefix(const std::string& prefix, uint32_t shard) {
 
 namespace {
 
-/// One shard's replay. `next_apply` starts at mark+1; every decoded record
-/// below it is a skip, the record equal to it applies, and any gap (or a
-/// record that fails to decode with more segments claiming later data)
-/// ends the shard's usable log.
-Status ReplayShard(FileBackend* backend, const std::string& shard_prefix,
-                   uint64_t mark, kv::KvStore* store, RecoveryInfo* info,
-                   uint64_t* next_apply, uint32_t* next_segment) {
+/// One shard's collection pass. `next_apply` starts at mark+1; every
+/// decoded record below it is a skip, the record equal to it is collected,
+/// and any gap (or a record that fails to decode with more segments
+/// claiming later data) ends the shard's usable log. Collection is
+/// separate from application because transactional records cannot be
+/// judged shard-locally: a fragment in this shard is applied only if its
+/// commit record — possibly in another shard — survived, so every shard's
+/// usable prefix must be in hand before any effect is installed.
+Status CollectShard(FileBackend* backend, const std::string& shard_prefix,
+                    uint64_t mark, RecoveryInfo* info,
+                    std::vector<WalRecord>* usable, uint64_t* next_apply,
+                    uint32_t* next_segment) {
   auto listed = backend->List(shard_prefix);
   if (!listed.ok()) return listed.status();
 
@@ -63,16 +69,8 @@ Status ReplayShard(FileBackend* backend, const std::string& shard_prefix,
         // LSNs, so this check rejects them record-by-record.
         break;
       }
-      switch (record.type) {
-        case WalRecordType::kPut:
-          store->Put(record.key, record.value);
-          break;
-        case WalRecordType::kDelete:
-          store->Delete(record.key);
-          break;
-      }
+      usable->push_back(record);
       ++(*next_apply);
-      ++info->records_applied;
     }
     // A torn tail inside this segment does not end replay either: the
     // next segment may resume the dense sequence (a prior crash+recovery
@@ -106,15 +104,90 @@ Result<RecoveryInfo> Recover(FileBackend* backend, const std::string& prefix,
     return ckpt.status();
   }
 
+  // Pass 1: collect every shard's usable record prefix. Uncommitted
+  // transaction fragments stay IN the prefix — they consumed LSNs like any
+  // other append, so dropping them from the sequence would break the
+  // density check for the committed records logged after them.
+  std::vector<std::vector<WalRecord>> usable(log_shards);
   for (uint32_t shard = 0; shard < log_shards; ++shard) {
     uint64_t next_apply = 0;
     uint32_t next_segment = 0;
-    HWSTAR_RETURN_IF_ERROR(ReplayShard(backend,
-                                       ShardLogPrefix(prefix, shard),
-                                       marks[shard], store, &info,
-                                       &next_apply, &next_segment));
+    HWSTAR_RETURN_IF_ERROR(CollectShard(backend,
+                                        ShardLogPrefix(prefix, shard),
+                                        marks[shard], &info, &usable[shard],
+                                        &next_apply, &next_segment));
     info.next_lsn[shard] = next_apply;
     info.next_segment[shard] = next_segment;
+  }
+
+  // Pass 2a: decide transaction fates globally. A transaction's effects
+  // are installed only when its commit record survived AND every fragment
+  // the commit promises decoded intact across all shards — a crash that
+  // tore off any fragment (or the commit itself) drops the whole
+  // write-set, never a piece of it.
+  std::unordered_map<uint64_t, uint64_t> commit_total;  // tid -> promised
+  std::unordered_map<uint64_t, uint64_t> frag_count;    // tid -> surviving
+  for (const auto& shard_records : usable) {
+    for (const WalRecord& record : shard_records) {
+      if (record.txn > info.max_txn_id) info.max_txn_id = record.txn;
+      if (record.type == WalRecordType::kTxnCommit) {
+        commit_total[record.txn] = record.value;
+      } else if (IsTxnFragment(record.type)) {
+        ++frag_count[record.txn];
+      }
+    }
+  }
+  auto txn_committed = [&](uint64_t tid) {
+    auto it = commit_total.find(tid);
+    return it != commit_total.end() && frag_count[tid] == it->second;
+  };
+
+  // Pass 2b: apply. Plain records always apply; fragments apply only for
+  // committed transactions; framing records are no-ops. Per-shard LSN
+  // order is preserved, so a committed transaction's effect on a key and a
+  // later plain overwrite of the same key land in log order.
+  for (const auto& shard_records : usable) {
+    for (const WalRecord& record : shard_records) {
+      switch (record.type) {
+        case WalRecordType::kPut:
+          store->Put(record.key, record.value);
+          ++info.records_applied;
+          break;
+        case WalRecordType::kDelete:
+          store->Delete(record.key);
+          ++info.records_applied;
+          break;
+        case WalRecordType::kTxnPut:
+          if (txn_committed(record.txn)) {
+            store->Put(record.key, record.value);
+            ++info.records_applied;
+          } else {
+            ++info.txn_fragments_dropped;
+          }
+          break;
+        case WalRecordType::kTxnDelete:
+          if (txn_committed(record.txn)) {
+            store->Delete(record.key);
+            ++info.records_applied;
+          } else {
+            ++info.txn_fragments_dropped;
+          }
+          break;
+        case WalRecordType::kTxnBegin:
+        case WalRecordType::kTxnCommit:
+          break;
+      }
+    }
+  }
+  for (const auto& [tid, total] : commit_total) {
+    if (frag_count[tid] == total) {
+      ++info.txns_applied;
+    } else {
+      ++info.txns_dropped;
+    }
+  }
+  for (const auto& [tid, count] : frag_count) {
+    if (commit_total.find(tid) == commit_total.end()) ++info.txns_dropped;
   }
   return info;
 }

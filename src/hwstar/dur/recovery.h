@@ -22,6 +22,19 @@ struct RecoveryInfo {
   /// expected signature of a crash mid-append; everything before the stop
   /// point is applied, everything after is discarded (prefix semantics).
   uint32_t torn_shards = 0;
+  /// Transactions whose commit record AND full fragment set survived; all
+  /// their effects were installed.
+  uint64_t txns_applied = 0;
+  /// Transactions seen in the log (fragments and/or commit) whose commit
+  /// could not be proven complete; NONE of their effects were installed.
+  uint64_t txns_dropped = 0;
+  /// Intact fragments belonging to dropped transactions (they still count
+  /// toward LSN density — only their effects are suppressed).
+  uint64_t txn_fragments_dropped = 0;
+  /// Largest transaction id seen anywhere in the usable log; the reopened
+  /// store seeds its id allocator above this so ids never collide across
+  /// restarts.
+  uint64_t max_txn_id = 0;
   std::vector<uint64_t> next_lsn;      ///< per shard
   std::vector<uint32_t> next_segment;  ///< per shard
 
@@ -40,6 +53,14 @@ struct RecoveryInfo {
 /// stop replay if the following segment resumes the dense sequence (that
 /// is the normal shape after a previous crash+recovery: the reopened
 /// writer reuses the lost LSNs in a fresh segment).
+///
+/// Transactional records replay with whole-txn-or-nothing semantics:
+/// usable prefixes are first collected for ALL shards, then a
+/// transaction's kTxnPut/kTxnDelete fragments are applied only if its
+/// kTxnCommit record survived and the surviving fragment count matches
+/// the total the commit promises. Fragments of unproven transactions are
+/// suppressed (not applied) but still advance the dense LSN sequence, so
+/// later committed work in the same shard is unaffected.
 ///
 /// `store` must be empty. Fails with kIoError only on malformed
 /// checkpoint state (corrupt installed checkpoint, or checkpoint shard

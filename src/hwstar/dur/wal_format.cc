@@ -36,11 +36,32 @@ uint64_t GetU64(const uint8_t* p) {
 
 void EncodeWalRecord(const WalRecord& record, std::string* out) {
   std::string payload;
-  payload.reserve(25);
+  payload.reserve(33);
   PutU64(&payload, record.lsn);
   payload.push_back(static_cast<char>(record.type));
-  PutU64(&payload, record.key);
-  if (record.type == WalRecordType::kPut) PutU64(&payload, record.value);
+  switch (record.type) {
+    case WalRecordType::kPut:
+      PutU64(&payload, record.key);
+      PutU64(&payload, record.value);
+      break;
+    case WalRecordType::kDelete:
+      PutU64(&payload, record.key);
+      break;
+    case WalRecordType::kTxnBegin:
+    case WalRecordType::kTxnCommit:
+      PutU64(&payload, record.txn);
+      PutU64(&payload, record.value);
+      break;
+    case WalRecordType::kTxnPut:
+      PutU64(&payload, record.txn);
+      PutU64(&payload, record.key);
+      PutU64(&payload, record.value);
+      break;
+    case WalRecordType::kTxnDelete:
+      PutU64(&payload, record.txn);
+      PutU64(&payload, record.key);
+      break;
+  }
 
   std::string lenbuf;
   PutU32(&lenbuf, static_cast<uint32_t>(payload.size()));
@@ -74,14 +95,32 @@ WalDecodeResult DecodeWalBuffer(const void* data, size_t len) {
     WalRecord record;
     record.lsn = GetU64(payload);
     const uint8_t type = payload[8];
-    record.key = GetU64(payload + 9);
     if (type == static_cast<uint8_t>(WalRecordType::kPut) &&
         payload_len == 25) {
       record.type = WalRecordType::kPut;
+      record.key = GetU64(payload + 9);
       record.value = GetU64(payload + 17);
     } else if (type == static_cast<uint8_t>(WalRecordType::kDelete) &&
                payload_len == 17) {
       record.type = WalRecordType::kDelete;
+      record.key = GetU64(payload + 9);
+    } else if ((type == static_cast<uint8_t>(WalRecordType::kTxnBegin) ||
+                type == static_cast<uint8_t>(WalRecordType::kTxnCommit)) &&
+               payload_len == 25) {
+      record.type = static_cast<WalRecordType>(type);
+      record.txn = GetU64(payload + 9);
+      record.value = GetU64(payload + 17);
+    } else if (type == static_cast<uint8_t>(WalRecordType::kTxnPut) &&
+               payload_len == 33) {
+      record.type = WalRecordType::kTxnPut;
+      record.txn = GetU64(payload + 9);
+      record.key = GetU64(payload + 17);
+      record.value = GetU64(payload + 25);
+    } else if (type == static_cast<uint8_t>(WalRecordType::kTxnDelete) &&
+               payload_len == 25) {
+      record.type = WalRecordType::kTxnDelete;
+      record.txn = GetU64(payload + 9);
+      record.key = GetU64(payload + 17);
     } else {
       result.clean = false;  // unknown type or wrong size for type
       break;

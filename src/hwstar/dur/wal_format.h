@@ -10,10 +10,28 @@ namespace hwstar::dur {
 
 /// Logical operations the WAL records. Deletes are first-class (tombstone
 /// replay), not value sentinels.
+///
+/// The kTxn* types frame multi-key optimistic transactions (hwstar::txn):
+/// a transaction's write-set is staged as kTxnPut/kTxnDelete fragments —
+/// each in its key's home log shard, each carrying the transaction id —
+/// bracketed per shard by a kTxnBegin, and sealed by ONE kTxnCommit in
+/// the lowest participating shard naming the total fragment count.
+/// Recovery applies a transaction's fragments only when the commit record
+/// is present AND every fragment it promises decoded intact — whole
+/// transactions or nothing, even when the write-set spans log shards.
 enum class WalRecordType : uint8_t {
   kPut = 1,
   kDelete = 2,
+  kTxnBegin = 3,   ///< txn = id, value = fragment count in this shard
+  kTxnPut = 4,     ///< txn = id; key/value as kPut
+  kTxnDelete = 5,  ///< txn = id; key as kDelete
+  kTxnCommit = 6,  ///< txn = id, value = total fragments across shards
 };
+
+/// True for the fragment types staged inside a transaction's write-set.
+inline constexpr bool IsTxnFragment(WalRecordType t) {
+  return t == WalRecordType::kTxnPut || t == WalRecordType::kTxnDelete;
+}
 
 /// One logical WAL record. `lsn` is per-log (per shard) and dense: the
 /// writer assigns 1, 2, 3, ... with no gaps, which is what lets recovery
@@ -21,12 +39,17 @@ enum class WalRecordType : uint8_t {
 struct WalRecord {
   WalRecordType type = WalRecordType::kPut;
   uint64_t lsn = 0;
-  uint64_t key = 0;
-  uint64_t value = 0;  ///< unused for kDelete
+  uint64_t txn = 0;    ///< transaction id; 0 for the non-txn types
+  uint64_t key = 0;    ///< unused for kTxnBegin/kTxnCommit
+  uint64_t value = 0;  ///< unused for kDelete/kTxnDelete; count for begin/commit
+
+  bool HasValue() const {
+    return type != WalRecordType::kDelete && type != WalRecordType::kTxnDelete;
+  }
 
   bool operator==(const WalRecord& other) const {
-    return type == other.type && lsn == other.lsn && key == other.key &&
-           (type == WalRecordType::kDelete || value == other.value);
+    return type == other.type && lsn == other.lsn && txn == other.txn &&
+           key == other.key && (!HasValue() || value == other.value);
   }
 };
 
@@ -34,7 +57,12 @@ struct WalRecord {
 /// targets use):
 ///
 ///   [u32 crc][u32 payload_len][payload...]
-///   payload = [u64 lsn][u8 type][u64 key]([u64 value] for kPut)
+///   payload = [u64 lsn][u8 type] then, by type:
+///     kPut                  [u64 key][u64 value]        (25 B payload)
+///     kDelete               [u64 key]                   (17 B)
+///     kTxnBegin/kTxnCommit  [u64 txn][u64 count]        (25 B)
+///     kTxnPut               [u64 txn][u64 key][u64 val] (33 B)
+///     kTxnDelete            [u64 txn][u64 key]          (25 B)
 ///
 /// `crc` is CRC32 over payload_len and the payload, so a torn header, a
 /// torn payload, and a bit flip are all caught by the same check. Framing

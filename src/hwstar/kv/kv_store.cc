@@ -137,12 +137,22 @@ uint64_t KvStore::RangeScanLimit(uint64_t lo, uint64_t hi, uint64_t limit,
   const uint32_t last = ShardOf(hi);
   for (uint32_t s = first; s <= last; ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
     shard.stats.MyLane().scans.fetch_add(1, kRelaxed);
-    if (options_.index == IndexKind::kArt) {
-      count += shard.art.RangeScan(lo, hi, out);
+    if (options_.index == IndexKind::kBTree && options_.latch_free_reads) {
+      // The B-link tree's optimistic scan validates per leaf and never
+      // frees nodes, so it needs neither the latch nor an epoch guard --
+      // the scan no longer blocks the shard's writer (nor vice versa).
+      count += shard.btree->RangeScanOptimistic(lo, hi, out);
     } else {
-      count += shard.btree->RangeScan(lo, hi, out);
+      // ART range scans require writer exclusion (Erase frees nodes and
+      // the scan walks them unversioned), so they stay latched even in
+      // latch-free-reads mode.
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (options_.index == IndexKind::kArt) {
+        count += shard.art.RangeScan(lo, hi, out);
+      } else {
+        count += shard.btree->RangeScan(lo, hi, out);
+      }
     }
     if (limit != 0 && count >= limit) break;
   }
@@ -162,12 +172,16 @@ uint64_t KvStore::RangeScanEntries(
   const uint32_t last = ShardOf(hi);
   for (uint32_t s = first; s <= last; ++s) {
     Shard& shard = *shards_[s];
-    std::lock_guard<std::mutex> lock(shard.mutex);
     shard.stats.MyLane().scans.fetch_add(1, kRelaxed);
-    if (options_.index == IndexKind::kArt) {
-      count += shard.art.RangeScanEntries(lo, hi, out);
+    if (options_.index == IndexKind::kBTree && options_.latch_free_reads) {
+      count += shard.btree->RangeScanEntriesOptimistic(lo, hi, out);
     } else {
-      count += shard.btree->RangeScanEntries(lo, hi, out);
+      std::lock_guard<std::mutex> lock(shard.mutex);
+      if (options_.index == IndexKind::kArt) {
+        count += shard.art.RangeScanEntries(lo, hi, out);
+      } else {
+        count += shard.btree->RangeScanEntries(lo, hi, out);
+      }
     }
   }
   return count;

@@ -31,7 +31,9 @@ struct KvOptions {
   /// When true (the default), point reads (Get/MultiGet) never take the
   /// shard latch: they run the index's optimistic read path -- a
   /// version-validated OLC descent, epoch-pinned for ART (whose Erase
-  /// frees nodes). Writers and range scans still serialize on the latch.
+  /// frees nodes). For kBTree, range scans go latch-free too (per-leaf
+  /// version-validated copy); ART scans stay latched because its scan
+  /// walks nodes unversioned. Writers still serialize on the latch.
   /// False restores fully latched reads (the pre-sync behavior; E20
   /// benchmarks the two against each other).
   bool latch_free_reads = true;
@@ -95,6 +97,19 @@ class KvStore {
 
   /// Appends values for keys in [lo, hi] in ascending key order; returns
   /// the count. Spans shards (they partition the key space by range).
+  ///
+  /// Mixed-mode contract (all RangeScan* variants): a scan racing
+  /// concurrent writers is NOT a point-in-time cut. Each shard's portion
+  /// is internally consistent -- per shard under the latch, or per LEAF
+  /// for the kBTree latch-free path -- but writes that land behind the
+  /// scan cursor are missed and writes ahead of it are seen. What IS
+  /// guaranteed: every key present for the scan's whole duration appears
+  /// exactly once, keys absent throughout never appear, output stays in
+  /// ascending key order, and (kBTree + latch_free_reads) the scan
+  /// neither blocks nor is blocked by the shard's writer. Callers that
+  /// need a stronger cut must quiesce writers themselves (the
+  /// checkpointer's fuzzy scan + WAL replay idempotence is the worked
+  /// example).
   uint64_t RangeScan(uint64_t lo, uint64_t hi, std::vector<uint64_t>* out);
 
   /// RangeScan bounded to at most `limit` result rows (0 = unlimited).
@@ -105,9 +120,9 @@ class KvStore {
 
   /// Appends (key, value) pairs for keys in [lo, hi] in ascending key
   /// order; returns the count. This is the checkpointer's fuzzy-snapshot
-  /// primitive: each shard is read consistently under its latch, but the
-  /// scan as a whole is not a point-in-time cut — concurrent writers may
-  /// or may not appear, which WAL replay idempotence absorbs.
+  /// primitive: subject to the mixed-mode contract above — the scan is
+  /// not a point-in-time cut; concurrent writers may or may not appear,
+  /// which WAL replay idempotence absorbs.
   uint64_t RangeScanEntries(uint64_t lo, uint64_t hi,
                             std::vector<std::pair<uint64_t, uint64_t>>* out);
 

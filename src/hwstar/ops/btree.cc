@@ -518,6 +518,88 @@ uint64_t BPlusTree::RangeScanEntries(
   return count;
 }
 
+/// The latch-free scan core. Per leaf: sample the version, copy the
+/// in-range entries and the next pointer, re-validate, THEN emit — a
+/// validated copy is a snapshot of that leaf, and the next pointer read
+/// inside the validated window is trustworthy even if the leaf splits
+/// right afterwards (the copy already includes the keys that moved,
+/// because splits only move keys rightward out of a LATER state of the
+/// node). Any validation failure restarts the whole descent from just
+/// past the last emitted key, so nothing is emitted twice and nothing in
+/// range is skipped. Empty leaves (Erase never merges) are crossed like
+/// in Find.
+template <typename Emit>
+uint64_t BPlusTree::ScanOptimisticImpl(uint64_t lo, uint64_t hi,
+                                       Emit emit) const {
+  uint64_t count = 0;
+  uint64_t cursor = lo;
+  std::vector<std::pair<uint64_t, uint64_t>> scratch;
+  scratch.reserve(fanout_ + 1);
+  for (;;) {
+    bool restart = false;
+    const Node* n = root_.load(std::memory_order_acquire);
+    uint64_t v = n->lock.ReadLockOrRestart(&restart);
+    if (restart) continue;
+    while (!n->leaf && !restart) {
+      const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+      const uint32_t idx = UpperBoundIdx(n->keys.get(), cnt, cursor);
+      const Node* child = n->children[idx].load(std::memory_order_acquire);
+      n->lock.CheckOrRestart(v, &restart);
+      if (restart) break;
+      const uint64_t cv = child->lock.ReadLockOrRestart(&restart);
+      if (restart) break;
+      n = child;
+      v = cv;
+    }
+    if (restart) continue;
+
+    while (!restart) {
+      scratch.clear();
+      const uint32_t cnt = n->count.load(std::memory_order_relaxed);
+      bool past_hi = false;
+      for (uint32_t pos = LowerBoundIdx(n->keys.get(), cnt, cursor);
+           pos < cnt; ++pos) {
+        const uint64_t k = n->keys[pos].load(std::memory_order_relaxed);
+        if (k > hi) {
+          past_hi = true;
+          break;
+        }
+        scratch.emplace_back(k, n->values[pos].load(std::memory_order_relaxed));
+      }
+      const Node* next = n->next.load(std::memory_order_acquire);
+      n->lock.CheckOrRestart(v, &restart);
+      if (restart) break;  // scratch discarded; re-descend from cursor
+
+      for (const auto& entry : scratch) emit(entry.first, entry.second);
+      count += scratch.size();
+      if (!scratch.empty()) {
+        const uint64_t last = scratch.back().first;
+        if (last >= hi) return count;  // also dodges cursor overflow at max
+        cursor = last + 1;
+      }
+      if (past_hi || next == nullptr) return count;
+      const uint64_t nv = next->lock.ReadLockOrRestart(&restart);
+      if (restart) break;
+      n = next;
+      v = nv;
+    }
+  }
+}
+
+uint64_t BPlusTree::RangeScanOptimistic(uint64_t lo, uint64_t hi,
+                                        std::vector<uint64_t>* out) const {
+  return ScanOptimisticImpl(
+      lo, hi, [out](uint64_t, uint64_t value) { out->push_back(value); });
+}
+
+uint64_t BPlusTree::RangeScanEntriesOptimistic(
+    uint64_t lo, uint64_t hi,
+    std::vector<std::pair<uint64_t, uint64_t>>* out) const {
+  return ScanOptimisticImpl(lo, hi, [out](uint64_t key, uint64_t value) {
+    out->emplace_back(key, value);
+  });
+}
+
 Result<BPlusTree> BPlusTree::BulkLoad(const std::vector<uint64_t>& keys,
                                       const std::vector<uint64_t>& values,
                                       uint32_t fanout) {

@@ -30,8 +30,11 @@ namespace hwstar::ops {
 ///  - No node is ever freed before tree destruction (splits add nodes,
 ///    Erase shrinks leaves in place), so the read path needs no epoch
 ///    reclamation -- destruction itself requires quiescence, as before.
-///  - Range scans, height, and MemoryBytes require writer exclusion (run
-///    them under the same latch as writers).
+///  - RangeScan/RangeScanEntries, height, and MemoryBytes require writer
+///    exclusion (run them under the same latch as writers). The
+///    *Optimistic scan variants are latch-free like Find: per-leaf
+///    version-validated copy with restart, safe against one concurrent
+///    writer.
 class BPlusTree {
  public:
   /// `fanout`: max keys per node. 32 keys = 256B of keys = 4 cache lines.
@@ -80,6 +83,23 @@ class BPlusTree {
                             std::vector<std::pair<uint64_t, uint64_t>>* out)
       const;
 
+  /// Latch-free range scan: never blocks (or is blocked by) the writer.
+  /// Each leaf's in-range entries are copied to a scratch buffer and
+  /// emitted only after the leaf version re-validates; a failed
+  /// validation re-descends from just past the last emitted key, so
+  /// output stays ascending and duplicate-free. Per-leaf atomicity only:
+  /// a key present for the scan's whole duration is always reported, but
+  /// entries from different leaves may straddle a concurrent writer's
+  /// update (same contract as a latched scan racing writers between
+  /// shard batches).
+  uint64_t RangeScanOptimistic(uint64_t lo, uint64_t hi,
+                               std::vector<uint64_t>* out) const;
+
+  /// Entries flavor of RangeScanOptimistic (ascending (key, value) pairs).
+  uint64_t RangeScanEntriesOptimistic(
+      uint64_t lo, uint64_t hi,
+      std::vector<std::pair<uint64_t, uint64_t>>* out) const;
+
   /// Bulk-loads from key-sorted pairs into a fresh tree (leaves packed to
   /// ~100% fill). Keys must be strictly increasing.
   static Result<BPlusTree> BulkLoad(const std::vector<uint64_t>& keys,
@@ -99,6 +119,8 @@ class BPlusTree {
   void FreeTree(Node* n);
   SplitResult InsertRec(Node* n, uint64_t key, uint64_t value);
   const Node* FindLeaf(uint64_t key) const;
+  template <typename Emit>
+  uint64_t ScanOptimisticImpl(uint64_t lo, uint64_t hi, Emit emit) const;
 
   uint32_t fanout_;
   std::atomic<Node*> root_{nullptr};

@@ -13,11 +13,22 @@ Batcher::Batcher(BatcherOptions options) : options_(options) {
   shard_shift_ = 64 - bits::Log2Floor(options_.kv_shards);
 }
 
+namespace {
+
+/// The key a write-type ticket (kPut or kDelete) operates on.
+uint64_t WriteKey(const TicketPtr& t) {
+  return t->request.type == RequestType::kPut ? t->request.put.key
+                                              : t->request.del.key;
+}
+
+}  // namespace
+
 std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
   std::vector<Batch> batches;
-  // Point-gets and puts keyed by shard; aggregates keyed by target store.
+  // Point-gets and writes (puts + deletes) keyed by shard; aggregates
+  // keyed by target store.
   std::map<uint32_t, std::vector<TicketPtr>> gets_by_shard;
-  std::map<uint32_t, std::vector<TicketPtr>> puts_by_shard;
+  std::map<uint32_t, std::vector<TicketPtr>> writes_by_shard;
   std::map<const storage::ColumnStore*, std::vector<TicketPtr>> aggs_by_store;
 
   for (auto& t : tickets) {
@@ -26,13 +37,18 @@ std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
         gets_by_shard[ShardOf(t->request.get.key)].push_back(std::move(t));
         break;
       case RequestType::kPut:
-        puts_by_shard[ShardOf(t->request.put.key)].push_back(std::move(t));
+      case RequestType::kDelete:
+        // One group for BOTH write types: a put and a delete on the same
+        // key are an ordered pair exactly like two puts, so they must
+        // flow through the same stable sort and never-split rule below.
+        writes_by_shard[ShardOf(WriteKey(t))].push_back(std::move(t));
         break;
       case RequestType::kAggregate:
         aggs_by_store[t->request.agg.store].push_back(std::move(t));
         break;
       case RequestType::kScan:
-      case RequestType::kJoin: {
+      case RequestType::kJoin:
+      case RequestType::kTxn: {
         Batch b;
         b.type = t->request.type;
         b.tickets.push_back(std::move(t));
@@ -64,22 +80,25 @@ std::vector<Batch> Batcher::Group(std::vector<TicketPtr> tickets) const {
     }
   }
 
-  for (auto& [shard, group] : puts_by_shard) {
+  for (auto& [shard, group] : writes_by_shard) {
     // Sorted like gets (locality + one WAL shard mutex per run), but
-    // STABLE: two puts to the same key must apply in submission order, or
-    // batching would change which value wins.
+    // STABLE: two writes to the same key — put/put, put/delete, any mix —
+    // must apply in submission order, or batching would change which
+    // state wins.
     std::stable_sort(group.begin(), group.end(),
                      [](const TicketPtr& a, const TicketPtr& b) {
-                       return a->request.put.key < b->request.put.key;
+                       return WriteKey(a) < WriteKey(b);
                      });
     for (size_t begin = 0; begin < group.size();) {
       size_t end = std::min(group.size(), begin + options_.max_batch);
       // Never split a run of equal keys across batches: batches for the
       // same shard may execute concurrently on different pool workers, so
-      // a split run could apply the later-submitted put first — exactly
-      // the reordering the stable sort exists to prevent.
+      // a split run could apply the later-submitted write first — exactly
+      // the reordering the stable sort exists to prevent. The rule covers
+      // ALL write ops on the key, not just puts: a put+delete pair split
+      // across batches could resurrect a deleted key.
       while (end < group.size() &&
-             group[end]->request.put.key == group[end - 1]->request.put.key) {
+             WriteKey(group[end]) == WriteKey(group[end - 1])) {
         ++end;
       }
       Batch b;

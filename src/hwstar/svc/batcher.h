@@ -19,10 +19,13 @@ struct BatcherOptions {
 
 /// One executable batch: requests of the same type that share enough
 /// structure to amortize per-request fixed costs (dispatch, latch
-/// acquisition, cache warm-up) across the group.
+/// acquisition, cache warm-up) across the group. A `kPut` batch is the
+/// shard's WRITE batch: it may contain kDelete tickets interleaved with
+/// puts (both write types share one group so equal-key ordering holds
+/// across them).
 struct Batch {
   RequestType type = RequestType::kPointGet;
-  uint32_t shard = 0;  ///< kv shard for point-get / put batches
+  uint32_t shard = 0;  ///< kv shard for point-get / write batches
   std::vector<TicketPtr> tickets;
 };
 
@@ -33,12 +36,16 @@ struct Batch {
 ///
 ///  - Point-gets group per kv shard and are sorted by key, so one
 ///    MultiGet serves the batch under one latch with index locality.
-///  - Puts group per kv shard and are STABLE-sorted by key (same-key puts
-///    keep submission order), so a durable service commits the batch with
-///    one WAL group-commit wait instead of one sync per put.
+///  - Writes (puts AND deletes) group per kv shard and are STABLE-sorted
+///    by key (same-key writes keep submission order), so a durable
+///    service commits the batch with one WAL group-commit wait instead of
+///    one sync per write. Equal-key runs never split across batches,
+///    whatever mix of put/delete they contain.
 ///  - Aggregates group per target ColumnStore: consecutive evaluation
 ///    reuses the store's columns while they are cache-warm.
-///  - Scans and joins stay singletons (already coarse-grained work).
+///  - Scans, joins, and transactions stay singletons (already
+///    coarse-grained work; a transaction serializes itself via
+///    validation, not batch placement).
 ///
 /// Grouping never changes results: every request is executed with its own
 /// arguments, so batched output is bit-identical to one-at-a-time (the

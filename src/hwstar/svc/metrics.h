@@ -62,6 +62,8 @@ class LatencyRecorder {
 struct ServiceMetrics {
   AdmissionStats admission;
   uint64_t completed = 0;
+  /// Completions by request type (indexed by RequestType).
+  uint64_t completed_by_type[kNumRequestTypes] = {};
   uint64_t degraded = 0;  ///< completed but clamped/downgraded
   uint64_t batches = 0;
   uint64_t batched_requests = 0;

@@ -17,6 +17,10 @@ const char* RequestTypeName(RequestType type) {
       return "aggregate";
     case RequestType::kPut:
       return "put";
+    case RequestType::kDelete:
+      return "delete";
+    case RequestType::kTxn:
+      return "txn";
   }
   return "unknown";
 }
@@ -38,6 +42,26 @@ Request Request::Put(uint64_t key, uint64_t value, uint32_t tenant,
   r.priority = priority;
   r.put.key = key;
   r.put.value = value;
+  return r;
+}
+
+Request Request::Delete(uint64_t key, uint32_t tenant, Priority priority) {
+  Request r;
+  r.type = RequestType::kDelete;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.del.key = key;
+  return r;
+}
+
+Request Request::Txn(std::vector<TxnOp> ops, uint32_t max_attempts,
+                     uint32_t tenant, Priority priority) {
+  Request r;
+  r.type = RequestType::kTxn;
+  r.tenant = tenant;
+  r.priority = priority;
+  r.txn.ops = std::move(ops);
+  r.txn.max_attempts = max_attempts == 0 ? 1 : max_attempts;
   return r;
 }
 
@@ -87,7 +111,12 @@ uint64_t EstimatedRequestBytes(const Request& request) {
   switch (request.type) {
     case RequestType::kPointGet:
     case RequestType::kPut:
+    case RequestType::kDelete:
       return kEnvelope;
+    case RequestType::kTxn:
+      // Ops list + read/write sets + results scale with op count.
+      return kEnvelope +
+             request.txn.ops.size() * (sizeof(TxnOp) + 4 * sizeof(uint64_t));
     case RequestType::kScan: {
       // 8 bytes per result row; an unlimited scan is charged as if it
       // returned 64K rows (the admission layer must assume the worst).

@@ -21,7 +21,11 @@ enum class RequestType : uint8_t {
   kJoin = 2,       ///< engine::ExecuteJoin over two column stores
   kAggregate = 3,  ///< filtered SUM/COUNT over one column store
   kPut = 4,        ///< KV upsert (durable when the service has a WAL)
+  kDelete = 5,     ///< KV erase (durable tombstone when the service has a WAL)
+  kTxn = 6,        ///< optimistic multi-key transaction (durable only)
 };
+
+inline constexpr uint32_t kNumRequestTypes = 7;
 
 const char* RequestTypeName(RequestType type);
 
@@ -41,6 +45,33 @@ struct PointGetArgs {
 struct PutArgs {
   uint64_t key = 0;
   uint64_t value = 0;
+};
+
+struct DeleteArgs {
+  uint64_t key = 0;
+};
+
+/// One step of a kTxn request, executed server-side in order. kAdd is a
+/// read-modify-write (value += operand, missing key treated as 0) — the
+/// primitive TPC-C's payment/delivery balance updates need without a
+/// client round-trip per step.
+struct TxnOp {
+  enum class Kind : uint8_t {
+    kGet = 0,     ///< read key; result reported in Response::txn_values
+    kPut = 1,     ///< buffer an upsert
+    kAdd = 2,     ///< read, add `value`, buffer the sum; reports the OLD value
+    kDelete = 3,  ///< buffer a tombstone
+  };
+  Kind kind = Kind::kGet;
+  uint64_t key = 0;
+  uint64_t value = 0;  ///< put value / add operand; unused for get/delete
+};
+
+struct TxnArgs {
+  std::vector<TxnOp> ops;
+  /// Commit retries on optimistic aborts before giving up and returning
+  /// kAborted to the client (each retry re-executes every op).
+  uint32_t max_attempts = 1;
 };
 
 struct ScanArgs {
@@ -77,13 +108,20 @@ struct Request {
 
   PointGetArgs get;
   PutArgs put;
+  DeleteArgs del;
   ScanArgs scan;
   JoinArgs join;
   AggregateArgs agg;
+  TxnArgs txn;
 
   static Request PointGet(uint64_t key, uint32_t tenant = 0,
                           Priority priority = Priority::kNormal);
   static Request Put(uint64_t key, uint64_t value, uint32_t tenant = 0,
+                     Priority priority = Priority::kNormal);
+  static Request Delete(uint64_t key, uint32_t tenant = 0,
+                        Priority priority = Priority::kNormal);
+  static Request Txn(std::vector<TxnOp> ops, uint32_t max_attempts = 1,
+                     uint32_t tenant = 0,
                      Priority priority = Priority::kNormal);
   static Request Scan(uint64_t lo, uint64_t hi, uint64_t limit = 0,
                       uint32_t tenant = 0,
@@ -111,15 +149,22 @@ struct LatencyBreakdown {
 
 /// Response envelope. `status` is OK on success; ResourceExhausted when
 /// load-shed at admission; DeadlineExceeded when the deadline passed
-/// before execution; NotFound for a missing point-get key.
+/// before execution; NotFound for a missing point-get key; Aborted for a
+/// kTxn that lost its optimistic validation race max_attempts times
+/// (nothing installed; safe to resubmit).
 struct Response {
   Status status;
   /// True when the overload policy degraded the request (clamped scan
   /// limit or downgraded join algorithm) instead of shedding it.
   bool degraded = false;
 
-  uint64_t value = 0;          ///< point-get result
+  uint64_t value = 0;          ///< point-get result; delete: 1 if key existed
   std::vector<uint64_t> rows;  ///< scan results (ascending key order)
+  /// kTxn: one entry per kGet/kAdd op, in op order (the value read; 0 on
+  /// miss — txn_found distinguishes). Valid only when status is OK.
+  std::vector<uint64_t> txn_values;
+  std::vector<bool> txn_found;
+  uint32_t txn_attempts = 0;  ///< commit attempts consumed (>= 1 when OK)
   engine::JoinQueryResult join;
   int64_t agg_sum = 0;
   uint64_t agg_rows = 0;

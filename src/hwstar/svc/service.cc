@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "hwstar/dur/durable_kv_store.h"
+#include "hwstar/txn/transaction.h"
 
 namespace hwstar::svc {
 
@@ -48,6 +49,7 @@ Service::Service(ServiceOptions options, dur::DurableKvStore* durable)
   // executing batches, and nothing can be admitted before this ctor body
   // runs on the submitting side.
   durable_ = durable;
+  txn_mgr_ = std::make_unique<txn::TxnManager>(durable);
 }
 
 Service::~Service() {
@@ -65,6 +67,12 @@ void Service::RegisterMetrics() {
         &latencies_.histogram(phase));
   }
   registry_.RegisterCounter("svc.completed", &completed_);
+  for (uint32_t i = 0; i < kNumRequestTypes; ++i) {
+    registry_.RegisterCounter(
+        std::string("svc.completed.") +
+            RequestTypeName(static_cast<RequestType>(i)),
+        &completed_by_type_[i]);
+  }
   registry_.RegisterCounter("svc.degraded", &degraded_);
   registry_.RegisterCounter("svc.batches", &batches_);
   registry_.RegisterCounter("svc.batched_requests", &batched_requests_);
@@ -195,24 +203,30 @@ void Service::ExecuteBatch(Batch* batch) {
 
   if (batch->type == RequestType::kPut && durable_ != nullptr &&
       batch->tickets.size() > 1) {
-    // The durable fast path: the whole (same-shard, key-sorted) batch is
-    // staged in the WAL and rides ONE group-commit wait — the service's
-    // batching and the log's fsync amortization compound here.
+    // The durable fast path: the whole (same-shard, key-sorted, mixed
+    // put/delete) write batch is staged in the WAL and rides ONE
+    // group-commit wait — the service's batching and the log's fsync
+    // amortization compound here.
     const uint64_t exec_start = ServiceNow();
     const size_t n = batch->tickets.size();
-    std::vector<uint64_t> keys(n);
-    std::vector<uint64_t> values(n);
+    std::vector<dur::WriteOp> ops(n);
+    std::unique_ptr<bool[]> erased(new bool[n]);
     for (size_t i = 0; i < n; ++i) {
-      keys[i] = batch->tickets[i]->request.put.key;
-      values[i] = batch->tickets[i]->request.put.value;
+      const Request& req = batch->tickets[i]->request;
+      if (req.type == RequestType::kDelete) {
+        ops[i] = dur::WriteOp{req.del.key, 0, true};
+      } else {
+        ops[i] = dur::WriteOp{req.put.key, req.put.value, false};
+      }
     }
     uint64_t wal_wait_nanos = 0;
     const Status st =
-        durable_->PutBatch(keys.data(), values.data(), n, &wal_wait_nanos);
+        durable_->MutateBatch(ops.data(), n, &wal_wait_nanos, erased.get());
     const uint64_t exec_nanos = ServiceNow() - exec_start;
     for (size_t i = 0; i < n; ++i) {
       Response r;
       r.status = st;
+      if (ops[i].is_delete) r.value = erased[i] ? 1 : 0;
       r.latency.wal_nanos = wal_wait_nanos;
       Complete(std::move(batch->tickets[i]), std::move(r), exec_start,
                exec_nanos);
@@ -258,6 +272,84 @@ void Service::ExecuteOne(const Request& request,
         return;
       }
       kv_->Put(request.put.key, request.put.value);  // volatile service
+      return;
+    }
+    case RequestType::kDelete: {
+      if (durable_ != nullptr) {
+        bool erased = false;
+        response->status = durable_->Delete(request.del.key, &erased,
+                                            &response->latency.wal_nanos);
+        response->value = erased ? 1 : 0;
+        return;
+      }
+      if (kv_ == nullptr) {
+        response->status =
+            Status::FailedPrecondition("no kv backend configured");
+        return;
+      }
+      response->value = kv_->Delete(request.del.key) ? 1 : 0;  // volatile
+      return;
+    }
+    case RequestType::kTxn: {
+      if (txn_mgr_ == nullptr) {
+        response->status = Status::FailedPrecondition(
+            "transactions require a durable backend");
+        return;
+      }
+      Status st;
+      for (uint32_t attempt = 0; attempt < request.txn.max_attempts;
+           ++attempt) {
+        response->txn_attempts = attempt + 1;
+        response->txn_values.clear();
+        response->txn_found.clear();
+        txn::Transaction tx = txn_mgr_->Begin();
+        st = Status::OK();
+        for (const TxnOp& op : request.txn.ops) {
+          switch (op.kind) {
+            case TxnOp::Kind::kGet: {
+              uint64_t v = 0;
+              bool f = false;
+              st = tx.Get(op.key, &v, &f);
+              if (st.ok()) {
+                response->txn_values.push_back(f ? v : 0);
+                response->txn_found.push_back(f);
+              }
+              break;
+            }
+            case TxnOp::Kind::kPut:
+              tx.Put(op.key, op.value);
+              break;
+            case TxnOp::Kind::kAdd: {
+              uint64_t v = 0;
+              bool f = false;
+              st = tx.Get(op.key, &v, &f);
+              if (st.ok()) {
+                const uint64_t old = f ? v : 0;
+                tx.Put(op.key, old + op.value);
+                response->txn_values.push_back(old);
+                response->txn_found.push_back(f);
+              }
+              break;
+            }
+            case TxnOp::Kind::kDelete:
+              tx.Delete(op.key);
+              break;
+          }
+          if (!st.ok()) break;
+        }
+        if (st.ok()) {
+          st = tx.Commit(&response->latency.wal_nanos);
+        } else {
+          tx.Abort();
+        }
+        // Retry only optimistic losses; OK and hard errors are final.
+        if (st.code() != StatusCode::kAborted) break;
+      }
+      response->status = st;
+      if (!st.ok()) {
+        response->txn_values.clear();
+        response->txn_found.clear();
+      }
       return;
     }
     case RequestType::kScan: {
@@ -332,6 +424,8 @@ void Service::Complete(TicketPtr ticket, Response response,
   latencies_.Record(lat);
   if (response.degraded) degraded_.Inc();
   completed_.Inc();
+  const auto type_idx = static_cast<uint32_t>(ticket->request.type);
+  if (type_idx < kNumRequestTypes) completed_by_type_[type_idx].Inc();
   ticket->promise.set_value(std::move(response));
   in_flight_.fetch_sub(1, kRelaxed);
   finished_.fetch_add(1);
@@ -362,6 +456,9 @@ ServiceMetrics Service::metrics() const {
   ServiceMetrics m;
   m.admission = queue_.stats();
   m.completed = completed_.value();
+  for (uint32_t i = 0; i < kNumRequestTypes; ++i) {
+    m.completed_by_type[i] = completed_by_type_[i].value();
+  }
   m.degraded = degraded_.value();
   m.batches = batches_.value();
   m.batched_requests = batched_requests_.value();

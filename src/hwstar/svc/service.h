@@ -22,6 +22,10 @@ namespace hwstar::dur {
 class DurableKvStore;
 }  // namespace hwstar::dur
 
+namespace hwstar::txn {
+class TxnManager;
+}  // namespace hwstar::txn
+
 namespace hwstar::svc {
 
 struct ServiceOptions {
@@ -68,12 +72,14 @@ class Service {
   /// outlive the service.
   Service(ServiceOptions options, kv::KvStore* kv);
 
-  /// Durable variant: reads go straight to `durable->kv()`; puts flow
-  /// through the WAL's group commit, so a put's future resolving OK means
-  /// the write survives a crash. The put batches the svc batcher builds
-  /// (same-shard, key-sorted) commit with one WAL wait per batch — the
-  /// service's batching and the log's group commit compound. Borrowed;
-  /// must outlive the service.
+  /// Durable variant: reads go straight to `durable->kv()`; puts and
+  /// deletes flow through the WAL's group commit, so a write's future
+  /// resolving OK means it survives a crash. The write batches the svc
+  /// batcher builds (same-shard, key-sorted) commit with one WAL wait per
+  /// batch — the service's batching and the log's group commit compound.
+  /// kTxn requests are served too (a TxnManager is constructed over the
+  /// store); on a volatile service they fail with FailedPrecondition.
+  /// Borrowed; must outlive the service.
   Service(ServiceOptions options, dur::DurableKvStore* durable);
 
   /// Drains in-flight work, then stops dispatcher and workers.
@@ -130,6 +136,9 @@ class Service {
   ServiceOptions options_;
   kv::KvStore* kv_;
   dur::DurableKvStore* durable_ = nullptr;  ///< null = volatile service
+  /// OCC coordinator for kTxn requests; non-null iff durable_ is set
+  /// (transactions need the WAL's atomic commit framing).
+  std::unique_ptr<txn::TxnManager> txn_mgr_;
   std::shared_ptr<const OverloadPolicy> policy_;
   AdmissionQueue queue_;
   Batcher batcher_;
@@ -139,6 +148,10 @@ class Service {
   std::atomic<uint64_t> finished_{0};   ///< completed or shed post-admit
   std::atomic<uint32_t> in_flight_{0};  ///< popped, not yet finished
   obs::Counter completed_;
+  /// Per-request-type completion counters (indexed by RequestType),
+  /// registered as svc.completed.<type name>. Sheds are not counted here
+  /// (they never execute); svc.completed stays the cross-type total.
+  obs::Counter completed_by_type_[kNumRequestTypes];
   obs::Counter degraded_;
   obs::Counter batches_;
   obs::Counter batched_requests_;

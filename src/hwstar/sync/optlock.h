@@ -83,6 +83,25 @@ class OptLock {
   /// lock bit is the increment).
   void WriteUnlock() { word_.fetch_add(kLockedBit, std::memory_order_release); }
 
+  /// Releases the write lock WITHOUT bumping the version: the protected
+  /// fields were not mutated. This is the abort path of an optimistic
+  /// transaction — a validation failure must not spuriously invalidate
+  /// every concurrent reader of the stripes it locked-but-left-untouched.
+  void WriteUnlockAborted() {
+    word_.fetch_sub(kLockedBit, std::memory_order_release);
+  }
+
+  /// One lock-acquisition attempt from an unlocked sample; false when the
+  /// word is locked, obsolete, or the CAS loses a race. Unlike WriteLock
+  /// this never spins, so callers can bound how long they wait on a
+  /// contended stripe (and abort instead of convoying).
+  bool TryWriteLock() {
+    uint64_t v = word_.load(std::memory_order_relaxed);
+    if (IsLocked(v) || IsObsolete(v)) return false;
+    return word_.compare_exchange_weak(v, v + kLockedBit,
+                                       std::memory_order_acquire);
+  }
+
   /// Releases the write lock and marks the object obsolete: readers that
   /// still hold a pointer to it restart instead of trusting stale fields.
   /// The object must already be unlinked (unreachable for new readers)

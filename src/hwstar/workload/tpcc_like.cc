@@ -1,0 +1,178 @@
+#include "hwstar/workload/tpcc_like.h"
+
+#include "hwstar/common/macros.h"
+
+namespace hwstar::workload {
+
+namespace {
+
+constexpr uint32_t kWarehouseShift = 52;
+constexpr uint32_t kTableShift = 48;
+constexpr uint32_t kDistrictShift = 40;
+constexpr uint64_t kIdMask = (uint64_t{1} << kDistrictShift) - 1;
+
+uint64_t PackKey(TpccTable table, uint32_t w, uint32_t d, uint64_t id) {
+  return (static_cast<uint64_t>(w) << kWarehouseShift) |
+         (static_cast<uint64_t>(table) << kTableShift) |
+         (static_cast<uint64_t>(d) << kDistrictShift) | (id & kIdMask);
+}
+
+constexpr uint64_t kInitialBalance = 1000;
+
+}  // namespace
+
+uint64_t TpccWarehouseKey(uint32_t w) {
+  return PackKey(TpccTable::kWarehouse, w, 0, 0);
+}
+
+uint64_t TpccDistrictKey(uint32_t w, uint32_t d) {
+  return PackKey(TpccTable::kDistrict, w, d, 0);
+}
+
+uint64_t TpccCustomerKey(uint32_t w, uint32_t d, uint64_t c) {
+  return PackKey(TpccTable::kCustomer, w, d, c);
+}
+
+uint64_t TpccOrderKey(uint32_t w, uint32_t d, uint64_t o) {
+  return PackKey(TpccTable::kOrder, w, d, o);
+}
+
+uint64_t TpccOrderLineKey(uint32_t w, uint32_t d, uint64_t o,
+                          uint32_t line) {
+  return PackKey(TpccTable::kOrderLine, w, d, (o << 8) | line);
+}
+
+std::vector<std::pair<uint64_t, uint64_t>> MakeTpccLoad(
+    const TpccConfig& config) {
+  std::vector<std::pair<uint64_t, uint64_t>> rows;
+  rows.reserve(config.warehouses *
+               (1 + config.districts_per_warehouse *
+                        (1 + config.customers_per_district)));
+  for (uint32_t w = 0; w < config.warehouses; ++w) {
+    rows.emplace_back(TpccWarehouseKey(w), kInitialBalance);
+    for (uint32_t d = 0; d < config.districts_per_warehouse; ++d) {
+      rows.emplace_back(TpccDistrictKey(w, d), kInitialBalance);
+      for (uint64_t c = 0; c < config.customers_per_district; ++c) {
+        rows.emplace_back(TpccCustomerKey(w, d, c), kInitialBalance);
+      }
+    }
+  }
+  return rows;
+}
+
+TpccStream::TpccStream(const TpccConfig& config)
+    : config_(config),
+      rng_(config.seed + config.actor),
+      warehouse_zipf_(config.warehouses,
+                      config.zipf_theta < 0.0 ? 0.0 : config.zipf_theta,
+                      config.seed + config.actor + 1),
+      customer_zipf_(config.customers_per_district,
+                     config.zipf_theta < 0.0 ? 0.0 : config.zipf_theta,
+                     config.seed + config.actor + 2),
+      uniform_(config.zipf_theta <= 0.0),
+      districts_(static_cast<size_t>(config.warehouses) *
+                 config.districts_per_warehouse) {
+  HWSTAR_CHECK(config.warehouses >= 1 && config.warehouses <= (1u << 12));
+  HWSTAR_CHECK(config.districts_per_warehouse >= 1 &&
+               config.districts_per_warehouse <= 256);
+  HWSTAR_CHECK(config.customers_per_district >= 1);
+  HWSTAR_CHECK(config.lines_per_order >= 1 && config.lines_per_order <= 255);
+  HWSTAR_CHECK(config.actors >= 1 && config.actor < config.actors);
+  HWSTAR_CHECK(config.new_order_fraction >= 0.0 &&
+               config.payment_fraction >= 0.0 &&
+               config.new_order_fraction + config.payment_fraction <= 1.0);
+}
+
+TpccTxn TpccStream::MakeNewOrder(uint32_t w, uint32_t d) {
+  DistrictState& ds = district(w, d);
+  const uint64_t c = uniform_
+                         ? rng_.NextBounded(config_.customers_per_district)
+                         : customer_zipf_.Next();
+  // Stride the order sequence by actor so concurrent streams driving one
+  // store never insert the same order key.
+  const uint64_t o = ds.next_order++ * config_.actors + config_.actor;
+
+  TpccTxn txn;
+  txn.kind = TpccTxnKind::kNewOrder;
+  txn.ops.reserve(3 + 1 + config_.lines_per_order);
+  txn.ops.push_back({TpccOpKind::kGet, TpccWarehouseKey(w)});     // tax
+  txn.ops.push_back({TpccOpKind::kGet, TpccDistrictKey(w, d)});   // tax
+  txn.ops.push_back({TpccOpKind::kGet, TpccCustomerKey(w, d, c)});
+  txn.ops.push_back({TpccOpKind::kPut, TpccOrderKey(w, d, o), c});
+  for (uint32_t line = 0; line < config_.lines_per_order; ++line) {
+    const uint64_t amount = 1 + rng_.NextBounded(10'000);
+    txn.ops.push_back(
+        {TpccOpKind::kPut, TpccOrderLineKey(w, d, o, line), amount});
+  }
+
+  ds.pending.emplace_back(o, c);
+  if (ds.pending.size() > config_.max_pending_per_district) {
+    ds.pending.pop_front();  // forgotten, never delivered
+  }
+  return txn;
+}
+
+TpccTxn TpccStream::MakePayment(uint32_t w, uint32_t d) {
+  const uint64_t c = uniform_
+                         ? rng_.NextBounded(config_.customers_per_district)
+                         : customer_zipf_.Next();
+  const uint64_t amount = 1 + rng_.NextBounded(5'000);
+
+  TpccTxn txn;
+  txn.kind = TpccTxnKind::kPayment;
+  // Three read-modify-writes; the warehouse and district YTD keys are the
+  // workload's contention points under skew.
+  txn.ops.push_back({TpccOpKind::kAdd, TpccWarehouseKey(w), amount});
+  txn.ops.push_back({TpccOpKind::kAdd, TpccDistrictKey(w, d), amount});
+  txn.ops.push_back({TpccOpKind::kAdd, TpccCustomerKey(w, d, c), amount});
+  return txn;
+}
+
+TpccTxn TpccStream::Next() {
+  ++emitted_;
+  const uint32_t w = static_cast<uint32_t>(
+      uniform_ ? rng_.NextBounded(config_.warehouses)
+               : warehouse_zipf_.Next());
+  const uint32_t d = static_cast<uint32_t>(
+      rng_.NextBounded(config_.districts_per_warehouse));
+  const double roll = rng_.NextDouble();
+
+  if (roll < config_.new_order_fraction) return MakeNewOrder(w, d);
+  if (roll < config_.new_order_fraction + config_.payment_fraction ||
+      district(w, d).pending.empty()) {
+    return MakePayment(w, d);
+  }
+
+  DistrictState& ds = district(w, d);
+  const auto [o, c] = ds.pending.front();
+  ds.pending.pop_front();
+
+  TpccTxn txn;
+  txn.kind = TpccTxnKind::kDelivery;
+  txn.ops.reserve(2 + config_.lines_per_order + 1);
+  txn.ops.push_back({TpccOpKind::kGet, TpccOrderKey(w, d, o)});
+  txn.ops.push_back({TpccOpKind::kDelete, TpccOrderKey(w, d, o)});
+  for (uint32_t line = 0; line < config_.lines_per_order; ++line) {
+    txn.ops.push_back(
+        {TpccOpKind::kDelete, TpccOrderLineKey(w, d, o, line)});
+  }
+  const uint64_t amount = 1 + rng_.NextBounded(5'000);
+  txn.ops.push_back({TpccOpKind::kAdd, TpccCustomerKey(w, d, c), amount});
+  return txn;
+}
+
+void TpccStream::RequeueDelivery(const TpccTxn& txn) {
+  if (txn.kind != TpccTxnKind::kDelivery) return;
+  // First op reads the order key; last op credits the customer key.
+  const uint64_t order_key = txn.ops.front().key;
+  const uint64_t customer_key = txn.ops.back().key;
+  const uint32_t w = static_cast<uint32_t>(order_key >> kWarehouseShift);
+  const uint32_t d =
+      static_cast<uint32_t>((order_key >> kDistrictShift) & 0xff);
+  const uint64_t o = order_key & kIdMask;
+  const uint64_t c = customer_key & kIdMask;
+  // Front, not back: keep delivery oldest-first.
+  district(w, d).pending.emplace_front(o, c);
+}
+
+}  // namespace hwstar::workload

@@ -1,0 +1,149 @@
+#ifndef HWSTAR_WORKLOAD_TPCC_LIKE_H_
+#define HWSTAR_WORKLOAD_TPCC_LIKE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <deque>
+#include <utility>
+#include <vector>
+
+#include "hwstar/common/random.h"
+#include "hwstar/workload/distributions.h"
+
+namespace hwstar::workload {
+
+/// TPC-C-shaped multi-key transaction stream over the u64 keyspace: a
+/// warehouse/district/customer/order schema packed into 64-bit keys, and a
+/// new-order / payment / delivery mix with configurable warehouse skew.
+/// This is the write-heavy, contention-shaped counterpart to the YCSB
+/// stream: every transaction touches a handful of keys across tables (and
+/// therefore across kv shards and WAL shards), which is exactly what the
+/// txn commit protocol has to get right.
+///
+/// Key layout (64 bits, warehouse in the top bits so range sharding by
+/// high bits partitions by warehouse, the canonical TPC-C split):
+///
+///   [warehouse:12][table:4][district:8][id:40]
+///
+/// For order lines the 40-bit id subdivides as [order:32][line:8].
+enum class TpccTable : uint8_t {
+  kWarehouse = 0,  ///< id = 0; value = warehouse YTD balance
+  kDistrict = 1,   ///< id = 0; value = district YTD balance
+  kCustomer = 2,   ///< id = customer; value = customer balance
+  kOrder = 3,      ///< id = order; value = ordering customer id
+  kOrderLine = 4,  ///< id = order<<8 | line; value = item amount
+};
+
+uint64_t TpccWarehouseKey(uint32_t w);
+uint64_t TpccDistrictKey(uint32_t w, uint32_t d);
+uint64_t TpccCustomerKey(uint32_t w, uint32_t d, uint64_t c);
+uint64_t TpccOrderKey(uint32_t w, uint32_t d, uint64_t o);
+uint64_t TpccOrderLineKey(uint32_t w, uint32_t d, uint64_t o, uint32_t line);
+
+/// Mirrors svc::TxnOp::Kind so the workload layer stays independent of the
+/// service layer; drivers translate one-to-one when building svc requests.
+enum class TpccOpKind : uint8_t {
+  kGet = 0,
+  kPut = 1,
+  kAdd = 2,  ///< read-modify-write: value += operand, reports old value
+  kDelete = 3,
+};
+
+struct TpccOp {
+  TpccOpKind kind;
+  uint64_t key;
+  uint64_t value = 0;  ///< put value / add operand
+};
+
+enum class TpccTxnKind : uint8_t {
+  kNewOrder = 0,  ///< insert order + lines, bump district order count
+  kPayment = 1,   ///< credit customer, warehouse and district YTD
+  kDelivery = 2,  ///< pop oldest undelivered order, delete it, pay customer
+};
+
+struct TpccTxn {
+  TpccTxnKind kind;
+  std::vector<TpccOp> ops;
+};
+
+struct TpccConfig {
+  uint32_t warehouses = 4;
+  uint32_t districts_per_warehouse = 8;
+  uint64_t customers_per_district = 1024;
+  /// Transaction mix; delivery gets the remainder. The classic mix is
+  /// roughly 45/43/4 with stock-level and order-status making up the
+  /// rest; we fold those read-only shares into payment.
+  double new_order_fraction = 0.45;
+  double payment_fraction = 0.43;
+  /// Zipf skew across warehouses AND across customers within a district
+  /// (0 = uniform). Raising this concentrates payment RMWs on a few
+  /// warehouse/district YTD keys — the abort-rate dial.
+  double zipf_theta = 0.2;
+  /// Order lines per new-order (1..15 in the spec; fixed here so the
+  /// write-set size is a config knob, not noise).
+  uint32_t lines_per_order = 5;
+  /// Undelivered orders remembered per district; the oldest is forgotten
+  /// (never delivered) beyond this, bounding generator memory.
+  size_t max_pending_per_district = 1 << 14;
+  /// This stream's slot in a gang of concurrent generators: order ids are
+  /// strided (o = n * actors + actor) so streams driving one store never
+  /// collide on order keys. Per-actor seeds derive from seed + actor.
+  uint32_t actor = 0;
+  uint32_t actors = 1;
+  uint64_t seed = 7;
+};
+
+/// Initial database population: warehouse/district/customer rows with
+/// starting balances (orders start empty; delivery warms up as new-orders
+/// commit). Load these through plain puts before starting the mix.
+std::vector<std::pair<uint64_t, uint64_t>> MakeTpccLoad(
+    const TpccConfig& config);
+
+/// Pull-based transaction generator. Stateful: tracks per-district
+/// next-order-id counters and pending (undelivered) order queues on the
+/// client side, so delivery transactions delete orders that really exist.
+/// Deterministic for a given config. Not thread-safe — give each driver
+/// thread its own stream with a distinct `actor`.
+class TpccStream {
+ public:
+  explicit TpccStream(const TpccConfig& config);
+
+  /// Produces the next transaction. A delivery drawn while no order is
+  /// pending in the chosen district degrades to a payment (reported in
+  /// stats as payment), so every emitted txn is executable.
+  TpccTxn Next();
+
+  /// Call after a delivery txn COMMITS; re-queues nothing. Call after it
+  /// ABORTS to put the popped order back so a later delivery retries it.
+  void RequeueDelivery(const TpccTxn& txn);
+
+  uint64_t emitted() const { return emitted_; }
+  const TpccConfig& config() const { return config_; }
+
+ private:
+  struct DistrictState {
+    uint64_t next_order = 0;  ///< pre-stride order sequence number
+    std::deque<std::pair<uint64_t, uint64_t>> pending;  ///< (order, customer)
+  };
+
+  DistrictState& district(uint32_t w, uint32_t d) {
+    return districts_[static_cast<size_t>(w) *
+                          config_.districts_per_warehouse +
+                      d];
+  }
+
+  TpccTxn MakeNewOrder(uint32_t w, uint32_t d);
+  TpccTxn MakePayment(uint32_t w, uint32_t d);
+
+  TpccConfig config_;
+  Xoshiro256 rng_;
+  ZipfGenerator warehouse_zipf_;
+  ZipfGenerator customer_zipf_;
+  bool uniform_;
+  std::vector<DistrictState> districts_;
+  uint64_t emitted_ = 0;
+};
+
+}  // namespace hwstar::workload
+
+#endif  // HWSTAR_WORKLOAD_TPCC_LIKE_H_

@@ -13,6 +13,7 @@
 #include "hwstar/dur/log_writer.h"
 #include "hwstar/dur/recovery.h"
 #include "hwstar/dur/wal_format.h"
+#include "hwstar/txn/transaction.h"
 
 namespace hwstar::dur {
 namespace {
@@ -179,6 +180,156 @@ TEST(CrashRecoveryPropertyTest, RandomTracesArePrefixConsistent) {
   for (uint64_t seed = 1; seed <= kTraces; ++seed) {
     const std::string failure = RunTrace(seed);
     ASSERT_EQ(failure, "") << "trace seed " << seed;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Transactional crash-recovery property test. Same machinery (fault-
+// injected backend, random crash point, SimulateCrash, recover), but the
+// trace is a serial sequence of multi-key TRANSACTIONS whose write-sets
+// span log shards. The contract under test is commit atomicity: after a
+// crash — including one mid-commit, with fragments durable in one shard
+// and the commit record lost in another — recovery installs each
+// transaction's whole write-set or none of it, and every transaction whose
+// Commit() acked OK is fully installed.
+//
+// Each transaction puts 1..3 FRESH keys (the first is its marker, never
+// deleted, so "did txn t apply?" is a single lookup) and sometimes deletes
+// one non-marker key of an earlier transaction. Expected presence of any
+// key is then a pure function of which txns applied — which is exactly
+// what all-or-nothing makes decidable.
+// ---------------------------------------------------------------------------
+
+struct TxnTracePut {
+  uint64_t key = 0;
+  uint64_t value = 0;
+  size_t deleted_by = 0;  ///< txn index that deletes this key; 0 = none
+};
+
+struct TxnTraceRecord {
+  std::vector<TxnTracePut> puts;
+  bool acked = false;
+};
+
+std::string RunTxnTrace(uint64_t seed) {
+  Xoshiro256 rng(seed);
+
+  FaultPlan plan;
+  plan.fail_after_writes = 1 + rng.NextBounded(250);
+  plan.mode = static_cast<FaultMode>(rng.NextBounded(3));
+  plan.seed = seed ^ 0x2545f4914f6cdd1dULL;
+  FaultyFileBackend fs(plan);
+
+  DurableKvOptions options;
+  options.log_shards = 1u << rng.NextBounded(3);  // 1, 2 or 4
+  options.kv.index = rng.NextBounded(2) == 0 ? kv::IndexKind::kArt
+                                             : kv::IndexKind::kBTree;
+  options.kv.shards = 1u << rng.NextBounded(2);
+  options.log.fsync_interval_us = rng.NextBounded(20);
+  options.log.fsync_every_n = static_cast<uint32_t>(rng.NextBounded(8));
+
+  auto opened = DurableKvStore::Open(&fs, "db", options);
+  if (!opened.ok()) return "open failed: " + opened.status().ToString();
+  txn::TxnManager mgr(opened.value().get());
+
+  // Txn t's slot s key: top 2 bits spread the write-set across log
+  // shards, the rest identify (t, s) uniquely — fresh keys every txn.
+  auto txn_key = [&rng](size_t t, uint64_t slot) {
+    return (rng.NextBounded(4) << 62) | (static_cast<uint64_t>(t) << 8) |
+           slot;
+  };
+
+  std::vector<TxnTraceRecord> trace(1);  // index 0 unused (= "no deleter")
+  std::vector<size_t> delete_candidates;  // txns with an undeleted slot 1
+  constexpr size_t kMaxTxns = 120;
+  bool crashed = false;
+  for (size_t t = 1; t <= kMaxTxns && !crashed; ++t) {
+    if (t % 40 == 0) (void)opened.value()->Checkpoint();
+
+    TxnTraceRecord rec;
+    txn::Transaction tx = mgr.Begin();
+    const uint64_t puts = 1 + rng.NextBounded(3);
+    for (uint64_t s = 0; s < puts; ++s) {
+      TxnTracePut put;
+      put.key = txn_key(t, s);
+      put.value = t * 1000 + s;
+      tx.Put(put.key, put.value);
+      rec.puts.push_back(put);
+    }
+    if (!delete_candidates.empty() && rng.NextBounded(10) < 3) {
+      const size_t pick = rng.NextBounded(delete_candidates.size());
+      const size_t victim = delete_candidates[pick];
+      delete_candidates.erase(delete_candidates.begin() +
+                              static_cast<ptrdiff_t>(pick));
+      trace[victim].puts[1].deleted_by = t;
+      tx.Delete(trace[victim].puts[1].key);
+    }
+    const Status st = tx.Commit();
+    rec.acked = st.ok();
+    trace.push_back(rec);
+    if (rec.puts.size() >= 2 && rec.puts[1].deleted_by == 0) {
+      delete_candidates.push_back(t);
+    }
+    if (!st.ok()) {
+      if (st.code() != StatusCode::kIoError) {
+        return "unexpected commit status: " + st.ToString();
+      }
+      crashed = true;
+    }
+  }
+  opened.value().reset();
+
+  fs.disk()->SimulateCrash(seed * 17 + 3, rng.NextBounded(2) == 1);
+
+  kv::KvStore recovered(options.kv);
+  auto info = Recover(fs.disk(), "db", options.log_shards, &recovered);
+  if (!info.ok()) return "recover failed: " + info.status().ToString();
+
+  // Which txns applied? Marker key (slot 0, never deleted) decides.
+  std::vector<bool> applied(trace.size(), false);
+  for (size_t t = 1; t < trace.size(); ++t) {
+    applied[t] = recovered.Get(trace[t].puts[0].key).ok();
+    if (trace[t].acked && !applied[t]) {
+      std::ostringstream msg;
+      msg << "txn " << t << " acked but not recovered";
+      return msg.str();
+    }
+  }
+
+  // All-or-nothing: every key's presence/value must follow from the
+  // applied set alone. A partial install shows up here as a put present
+  // while its sibling marker is absent (or vice versa), or as a delete
+  // that happened without the rest of its transaction.
+  for (size_t t = 1; t < trace.size(); ++t) {
+    for (const TxnTracePut& put : trace[t].puts) {
+      const bool deleted =
+          put.deleted_by != 0 && applied[put.deleted_by];
+      const bool expect_present = applied[t] && !deleted;
+      auto got = recovered.Get(put.key);
+      if (expect_present != got.ok()) {
+        std::ostringstream msg;
+        msg << "txn " << t << " key " << put.key << ": expected "
+            << (expect_present ? "present" : "absent") << ", got the"
+            << " opposite (applied=" << applied[t]
+            << " deleted_by=" << put.deleted_by << ")";
+        return msg.str();
+      }
+      if (got.ok() && got.value() != put.value) {
+        std::ostringstream msg;
+        msg << "txn " << t << " key " << put.key << ": value "
+            << got.value() << " != " << put.value;
+        return msg.str();
+      }
+    }
+  }
+  return "";
+}
+
+TEST(CrashRecoveryPropertyTest, TransactionalTracesAreAtomic) {
+  constexpr uint64_t kTraces = 128;
+  for (uint64_t seed = 1; seed <= kTraces; ++seed) {
+    const std::string failure = RunTxnTrace(seed);
+    ASSERT_EQ(failure, "") << "txn trace seed " << seed;
   }
 }
 

@@ -50,6 +50,41 @@ TEST(WalFormatTest, RoundTrip) {
   EXPECT_EQ(decoded.records[2], Put(3, ~uint64_t{0}, 0));
 }
 
+TEST(WalFormatTest, TxnRecordTypesRoundTrip) {
+  auto txn_record = [](WalRecordType type, uint64_t lsn, uint64_t tid,
+                       uint64_t key, uint64_t value) {
+    WalRecord r;
+    r.type = type;
+    r.lsn = lsn;
+    r.txn = tid;
+    r.key = key;
+    r.value = value;
+    return r;
+  };
+  const std::vector<WalRecord> records = {
+      txn_record(WalRecordType::kTxnBegin, 1, 99, 0, /*frags=*/2),
+      txn_record(WalRecordType::kTxnPut, 2, 99, 7, 70),
+      txn_record(WalRecordType::kTxnDelete, 3, 99, ~uint64_t{0}, 0),
+      txn_record(WalRecordType::kTxnCommit, 4, 99, 0, /*total=*/2),
+      Put(5, 1, 10),  // plain records interleave freely
+  };
+  std::string buf;
+  for (const WalRecord& r : records) EncodeWalRecord(r, &buf);
+
+  const WalDecodeResult decoded = DecodeWalBuffer(buf.data(), buf.size());
+  EXPECT_TRUE(decoded.clean);
+  EXPECT_EQ(decoded.valid_bytes, buf.size());
+  ASSERT_EQ(decoded.records.size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(decoded.records[i], records[i]) << "record " << i;
+  }
+  EXPECT_TRUE(IsTxnFragment(WalRecordType::kTxnPut));
+  EXPECT_TRUE(IsTxnFragment(WalRecordType::kTxnDelete));
+  EXPECT_FALSE(IsTxnFragment(WalRecordType::kTxnBegin));
+  EXPECT_FALSE(IsTxnFragment(WalRecordType::kTxnCommit));
+  EXPECT_FALSE(IsTxnFragment(WalRecordType::kPut));
+}
+
 TEST(WalFormatTest, TornTailStopsCleanPrefix) {
   std::string buf;
   EncodeWalRecord(Put(1, 1, 10), &buf);

@@ -210,6 +210,94 @@ TEST(KvStoreTest, LatchFreeReadersRaceWritersBothIndexKinds) {
   }
 }
 
+// Optimistic B-link-tree range scans racing latch-free point readers AND
+// a writer — the mixed-mode contract from kv_store.h, checked under TSan
+// via the sanitize label. Stable keys are never touched after load, so
+// every scan must report each exactly once with the right value; volatile
+// keys churn (put/delete) and may appear or not, but never with a torn
+// value, never out of order, never duplicated.
+TEST(KvStoreTest, OptimisticRangeScansRaceReadersAndWriter) {
+  constexpr auto ValueOf = [](uint64_t key) { return key * 2654435761ULL + 1; };
+  KvOptions opts;
+  opts.index = IndexKind::kBTree;
+  opts.shards = 2;
+  ASSERT_TRUE(opts.latch_free_reads);
+  KvStore store(opts);
+
+  constexpr uint64_t kKeys = 2048;
+  const uint64_t stride = ~uint64_t{0} / kKeys;
+  // Even slots stable, odd slots volatile.
+  for (uint64_t i = 0; i < kKeys; ++i) store.Put(i * stride, ValueOf(i * stride));
+
+  std::atomic<bool> stop{false};
+  std::thread writer([&] {
+    Xoshiro256 rng(31);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t slot = rng.NextBounded(kKeys / 2) * 2 + 1;
+      const uint64_t key = slot * stride;
+      if (rng.NextBounded(2) == 0) {
+        store.Delete(key);
+      } else {
+        store.Put(key, ValueOf(key));
+      }
+    }
+  });
+  std::thread reader([&] {
+    Xoshiro256 rng(47);
+    while (!stop.load(std::memory_order_relaxed)) {
+      const uint64_t key = rng.NextBounded(kKeys) * stride;
+      auto got = store.Get(key);
+      if (got.ok()) EXPECT_EQ(got.value(), ValueOf(key));
+    }
+  });
+
+  std::vector<std::thread> scanners;
+  for (int s = 0; s < 2; ++s) {
+    scanners.emplace_back([&, s] {
+      Xoshiro256 rng(63 + s);
+      std::vector<std::pair<uint64_t, uint64_t>> entries;
+      for (int iter = 0; iter < 300; ++iter) {
+        // Random window, sometimes the whole keyspace.
+        uint64_t lo = 0, hi = ~uint64_t{0};
+        if (rng.NextBounded(2) == 0) {
+          const uint64_t a = rng.NextBounded(kKeys) * stride;
+          const uint64_t b = rng.NextBounded(kKeys) * stride;
+          lo = std::min(a, b);
+          hi = std::max(a, b);
+        }
+        entries.clear();
+        store.RangeScanEntries(lo, hi, &entries);
+        uint64_t prev = 0;
+        bool first = true;
+        uint64_t stable_seen = 0;
+        for (const auto& [key, value] : entries) {
+          EXPECT_GE(key, lo);
+          EXPECT_LE(key, hi);
+          if (!first) EXPECT_GT(key, prev);  // ascending, no duplicates
+          first = false;
+          prev = key;
+          EXPECT_EQ(value, ValueOf(key));  // never torn
+          if ((key / stride) % 2 == 0 && key == (key / stride) * stride) {
+            ++stable_seen;
+          }
+        }
+        // Every stable key inside the window, exactly once.
+        uint64_t stable_expected = 0;
+        for (uint64_t i = 0; i < kKeys; i += 2) {
+          const uint64_t key = i * stride;
+          if (key >= lo && key <= hi) ++stable_expected;
+        }
+        EXPECT_EQ(stable_seen, stable_expected)
+            << "window [" << lo << ", " << hi << "]";
+      }
+    });
+  }
+  for (auto& t : scanners) t.join();
+  stop.store(true);
+  writer.join();
+  reader.join();
+}
+
 /// Property: both index kinds and several shard counts agree with
 /// std::map under a YCSB-shaped workload.
 struct KvParam {

@@ -384,6 +384,8 @@ TEST(ServiceTest, BatchedResultsIdenticalToUnbatched) {
       }
       case RequestType::kJoin:
       case RequestType::kPut:
+      case RequestType::kDelete:
+      case RequestType::kTxn:
         break;
     }
   }
@@ -669,6 +671,189 @@ TEST(ServiceTest, DumpMetricsTextExposesLiveMetrics) {
       << text;
   EXPECT_NE(text.find("gauge svc.pool.queue_depth"), std::string::npos)
       << text;
+}
+
+// --- Deletes and transactions through the service -------------------------
+
+TEST(BatcherTest, MixedPutDeleteWritesGroupAndNeverSplitOnEqualKey) {
+  BatcherOptions opts;
+  opts.max_batch = 2;
+  opts.kv_shards = 1;
+  Batcher batcher(opts);
+
+  // Sorted write order is [1, 2, 5put, 5del, 5put]. The equal-key run on
+  // key 5 mixes ops: the never-split rule must hold for the MIX, not just
+  // for puts, or a delete could land in a different batch than the put it
+  // was submitted after and apply out of order.
+  std::vector<TicketPtr> tickets;
+  tickets.push_back(MakeTicket(Request::Put(5, 50)));
+  tickets.push_back(MakeTicket(Request::Delete(5)));
+  tickets.push_back(MakeTicket(Request::Put(2, 20)));
+  tickets.push_back(MakeTicket(Request::Put(5, 52)));
+  tickets.push_back(MakeTicket(Request::Delete(1)));
+
+  auto batches = batcher.Group(std::move(tickets));
+  ASSERT_EQ(batches.size(), 2u);
+  ASSERT_EQ(batches[0].tickets.size(), 2u);
+  EXPECT_EQ(batches[0].tickets[0]->request.type, RequestType::kDelete);
+  EXPECT_EQ(batches[0].tickets[0]->request.del.key, 1u);
+  EXPECT_EQ(batches[0].tickets[1]->request.put.key, 2u);
+  // The whole key-5 run, in submission order, in one batch.
+  ASSERT_EQ(batches[1].tickets.size(), 3u);
+  EXPECT_EQ(batches[1].tickets[0]->request.type, RequestType::kPut);
+  EXPECT_EQ(batches[1].tickets[0]->request.put.value, 50u);
+  EXPECT_EQ(batches[1].tickets[1]->request.type, RequestType::kDelete);
+  EXPECT_EQ(batches[1].tickets[2]->request.type, RequestType::kPut);
+  EXPECT_EQ(batches[1].tickets[2]->request.put.value, 52u);
+}
+
+TEST(ServiceTest, DeleteRoutesToDurableStoreAndReportsPresence) {
+  dur::InMemoryFileBackend fs;
+  dur::DurableKvOptions dopts;
+  dopts.log.fsync_interval_us = 5;
+  auto db = dur::DurableKvStore::Open(&fs, "db", dopts);
+  ASSERT_TRUE(db.ok());
+
+  Service service(NoDegradeOptions(), db.value().get());
+  ASSERT_TRUE(service.Call(Request::Put(1, 10)).status.ok());
+
+  Response hit = service.Call(Request::Delete(1));
+  EXPECT_TRUE(hit.status.ok());
+  EXPECT_EQ(hit.value, 1u);  // key existed
+  Response miss = service.Call(Request::Delete(1));
+  EXPECT_TRUE(miss.status.ok());
+  EXPECT_EQ(miss.value, 0u);  // already gone
+
+  EXPECT_FALSE(db.value()->kv()->Get(1).ok());
+  service.Drain();
+  const ServiceMetrics m = service.metrics();
+  EXPECT_EQ(m.completed_by_type[static_cast<size_t>(RequestType::kDelete)],
+            2u);
+  EXPECT_EQ(m.completed_by_type[static_cast<size_t>(RequestType::kPut)], 1u);
+}
+
+// Batched deletes must answer exactly like singletons: `value` is 1 iff
+// the key existed at apply time. A concurrent flood of put/delete pairs
+// forces the batcher to form real mixed write batches.
+TEST(ServiceTest, BatchedDeletesMatchSingletonSemantics) {
+  dur::InMemoryFileBackend fs;
+  dur::DurableKvOptions dopts;
+  dopts.kv.shards = 2;
+  dopts.log.fsync_interval_us = 5;
+  auto db = dur::DurableKvStore::Open(&fs, "db", dopts);
+  ASSERT_TRUE(db.ok());
+
+  ServiceOptions opts = NoDegradeOptions();
+  opts.max_batch = 32;
+  opts.batch_window_nanos = 2'000'000;
+  Service service(opts, db.value().get());
+
+  // Even keys exist, odd keys never did.
+  std::vector<std::future<Response>> puts;
+  for (uint64_t k = 0; k < 64; k += 2) {
+    puts.push_back(service.Submit(Request::Put(k, k)));
+  }
+  for (auto& f : puts) ASSERT_TRUE(f.get().status.ok());
+
+  std::vector<std::future<Response>> deletes;
+  for (uint64_t k = 0; k < 64; ++k) {
+    deletes.push_back(service.Submit(Request::Delete(k)));
+  }
+  for (uint64_t k = 0; k < 64; ++k) {
+    Response r = deletes[static_cast<size_t>(k)].get();
+    ASSERT_TRUE(r.status.ok());
+    EXPECT_EQ(r.value, k % 2 == 0 ? 1u : 0u) << "key " << k;
+  }
+  EXPECT_EQ(db.value()->kv()->size(), 0u);
+}
+
+TEST(ServiceTest, TxnRequestRunsMultiKeyTransactionEndToEnd) {
+  dur::InMemoryFileBackend fs;
+  dur::DurableKvOptions dopts;
+  dopts.log.fsync_interval_us = 5;
+  auto db = dur::DurableKvStore::Open(&fs, "db", dopts);
+  ASSERT_TRUE(db.ok());
+
+  Service service(NoDegradeOptions(), db.value().get());
+  ASSERT_TRUE(service.Call(Request::Put(1, 100)).status.ok());
+  ASSERT_TRUE(service.Call(Request::Put(2, 200)).status.ok());
+
+  // Reads, a server-side increment, a put and a delete in one atomic txn.
+  std::vector<TxnOp> ops;
+  ops.push_back({TxnOp::Kind::kGet, 1, 0});
+  ops.push_back({TxnOp::Kind::kAdd, 2, 5});    // 200 -> 205, reports old 200
+  ops.push_back({TxnOp::Kind::kAdd, 3, 7});    // missing -> treated as 0 -> 7
+  ops.push_back({TxnOp::Kind::kPut, 4, 400});
+  ops.push_back({TxnOp::Kind::kDelete, 1, 0});
+
+  Response r = service.Call(Request::Txn(std::move(ops)));
+  ASSERT_TRUE(r.status.ok()) << r.status.ToString();
+  EXPECT_EQ(r.txn_attempts, 1u);
+  ASSERT_EQ(r.txn_values.size(), 3u);  // one slot per kGet/kAdd
+  ASSERT_EQ(r.txn_found.size(), 3u);
+  EXPECT_EQ(r.txn_values[0], 100u);
+  EXPECT_TRUE(r.txn_found[0]);
+  EXPECT_EQ(r.txn_values[1], 200u);
+  EXPECT_EQ(r.txn_values[2], 0u);
+  EXPECT_FALSE(r.txn_found[2]);
+
+  EXPECT_FALSE(db.value()->kv()->Get(1).ok());
+  EXPECT_EQ(db.value()->kv()->Get(2).value(), 205u);
+  EXPECT_EQ(db.value()->kv()->Get(3).value(), 7u);
+  EXPECT_EQ(db.value()->kv()->Get(4).value(), 400u);
+
+  service.Drain();
+  EXPECT_EQ(service.metrics()
+                .completed_by_type[static_cast<size_t>(RequestType::kTxn)],
+            1u);
+}
+
+TEST(ServiceTest, TxnOnVolatileServiceFailsPrecondition) {
+  kv::KvStore store;
+  Service service(NoDegradeOptions(), &store);
+  Response r = service.Call(Request::Txn({{TxnOp::Kind::kPut, 1, 10}}));
+  EXPECT_EQ(r.status.code(), StatusCode::kFailedPrecondition);
+}
+
+// Concurrent kAdd txns on one hot key: the service's retry budget absorbs
+// validation aborts, and OCC guarantees no increment is ever lost.
+TEST(ServiceTest, ConcurrentTxnIncrementsAreAtomic) {
+  dur::InMemoryFileBackend fs;
+  dur::DurableKvOptions dopts;
+  dopts.kv.latch_free_reads = true;
+  dopts.log.fsync_interval_us = 5;
+  auto db = dur::DurableKvStore::Open(&fs, "db", dopts);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db.value()->Put(1, 0).ok());
+
+  ServiceOptions opts = NoDegradeOptions();
+  opts.worker_threads = 4;
+  Service service(opts, db.value().get());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 50;
+  std::atomic<uint64_t> committed{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      for (int i = 0; i < kPerThread; ++i) {
+        for (;;) {
+          Response r = service.Call(
+              Request::Txn({{TxnOp::Kind::kAdd, 1, 1}}, /*max_attempts=*/8));
+          if (r.status.ok()) {
+            committed.fetch_add(1, std::memory_order_relaxed);
+            break;
+          }
+          ASSERT_EQ(r.status.code(), StatusCode::kAborted);
+        }
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(committed.load(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(db.value()->kv()->Get(1).value(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
 }
 
 }  // namespace

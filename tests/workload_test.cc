@@ -2,10 +2,12 @@
 
 #include <algorithm>
 #include <map>
+#include <set>
 #include <vector>
 
 #include "hwstar/ops/hot_cold.h"
 #include "hwstar/workload/distributions.h"
+#include "hwstar/workload/tpcc_like.h"
 #include "hwstar/workload/tpch_like.h"
 #include "hwstar/workload/ycsb_like.h"
 
@@ -328,6 +330,157 @@ TEST(LineitemStreamTest, ChunkedPullMatchesMaterializedTable) {
     EXPECT_EQ(pulled[i].partkey, table->column(1).GetInt64(r));
     EXPECT_EQ(pulled[i].extendedprice, table->column(3).GetInt64(r));
   }
+}
+
+// --- TPC-C-shaped transaction stream --------------------------------------
+
+TEST(TpccTest, KeyEncodingPartitionsByWarehouseThenTable) {
+  // Warehouse occupies the top bits: every key of warehouse w sorts below
+  // every key of warehouse w+1, which is what makes range sharding by
+  // high bits a per-warehouse partitioning.
+  EXPECT_LT(TpccOrderLineKey(0, 255, (1u << 30), 255), TpccWarehouseKey(1));
+  EXPECT_LT(TpccWarehouseKey(1), TpccDistrictKey(1, 0));
+  EXPECT_LT(TpccDistrictKey(1, 7), TpccCustomerKey(1, 0, 0));
+  EXPECT_LT(TpccCustomerKey(1, 3, 9), TpccOrderKey(1, 0, 0));
+  // Distinct coordinates produce distinct keys.
+  EXPECT_NE(TpccCustomerKey(1, 2, 3), TpccCustomerKey(1, 3, 2));
+  EXPECT_NE(TpccOrderKey(1, 2, 3), TpccOrderLineKey(1, 2, 3, 0));
+}
+
+TEST(TpccTest, LoadCoversSchemaExactlyOnce) {
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  cfg.districts_per_warehouse = 3;
+  cfg.customers_per_district = 5;
+  const auto rows = MakeTpccLoad(cfg);
+  // 2 warehouses + 6 districts + 30 customers.
+  ASSERT_EQ(rows.size(), 2u + 6u + 30u);
+  std::set<uint64_t> keys;
+  for (const auto& [key, value] : rows) {
+    EXPECT_TRUE(keys.insert(key).second) << "duplicate key " << key;
+    EXPECT_GT(value, 0u);
+  }
+}
+
+TEST(TpccTest, MixMatchesConfiguredFractions) {
+  TpccConfig cfg;
+  cfg.seed = 11;
+  TpccStream stream(cfg);
+  uint64_t counts[3] = {0, 0, 0};
+  constexpr uint64_t kTxns = 20'000;
+  for (uint64_t i = 0; i < kTxns; ++i) {
+    ++counts[static_cast<size_t>(stream.Next().kind)];
+  }
+  EXPECT_EQ(stream.emitted(), kTxns);
+  const double new_order = static_cast<double>(counts[0]) / kTxns;
+  const double payment = static_cast<double>(counts[1]) / kTxns;
+  const double delivery = static_cast<double>(counts[2]) / kTxns;
+  EXPECT_NEAR(new_order, cfg.new_order_fraction, 0.02);
+  // Early deliveries degrade to payment while queues warm up, so payment
+  // sits a little above its configured share and delivery a little below.
+  EXPECT_GT(payment, cfg.payment_fraction - 0.02);
+  EXPECT_GT(delivery, 0.05);
+}
+
+TEST(TpccTest, DeterministicForSameConfig) {
+  TpccConfig cfg;
+  cfg.seed = 23;
+  TpccStream a(cfg);
+  TpccStream b(cfg);
+  for (int i = 0; i < 500; ++i) {
+    const TpccTxn ta = a.Next();
+    const TpccTxn tb = b.Next();
+    ASSERT_EQ(ta.kind, tb.kind);
+    ASSERT_EQ(ta.ops.size(), tb.ops.size());
+    for (size_t j = 0; j < ta.ops.size(); ++j) {
+      EXPECT_EQ(ta.ops[j].kind, tb.ops[j].kind);
+      EXPECT_EQ(ta.ops[j].key, tb.ops[j].key);
+      EXPECT_EQ(ta.ops[j].value, tb.ops[j].value);
+    }
+  }
+}
+
+// Replay the stream against a reference map: every delivery must read and
+// delete an order that a previous new-order actually inserted (and that
+// is still live) — the client-side pending queue does real bookkeeping,
+// not wishful key synthesis.
+TEST(TpccTest, DeliveriesDeleteLiveOrders) {
+  TpccConfig cfg;
+  cfg.warehouses = 2;
+  cfg.seed = 31;
+  TpccStream stream(cfg);
+  std::map<uint64_t, uint64_t> model;
+  uint64_t deliveries = 0;
+  for (int i = 0; i < 10'000; ++i) {
+    const TpccTxn txn = stream.Next();
+    if (txn.kind == TpccTxnKind::kDelivery) ++deliveries;
+    for (const TpccOp& op : txn.ops) {
+      switch (op.kind) {
+        case TpccOpKind::kGet:
+          if (txn.kind == TpccTxnKind::kDelivery) {
+            ASSERT_TRUE(model.count(op.key))
+                << "delivery read of a never-inserted order";
+          }
+          break;
+        case TpccOpKind::kPut:
+          ASSERT_TRUE(model.emplace(op.key, op.value).second)
+              << "order key reused while still live";
+          break;
+        case TpccOpKind::kAdd:
+          model[op.key] += op.value;
+          break;
+        case TpccOpKind::kDelete:
+          ASSERT_EQ(model.erase(op.key), 1u)
+              << "delivery deleted a missing key";
+          break;
+      }
+    }
+  }
+  EXPECT_GT(deliveries, 100u);
+}
+
+TEST(TpccTest, ActorStridingKeepsOrderKeysDisjoint) {
+  TpccConfig cfg;
+  cfg.actors = 2;
+  std::set<uint64_t> inserted[2];
+  for (uint32_t actor = 0; actor < 2; ++actor) {
+    cfg.actor = actor;
+    TpccStream stream(cfg);
+    for (int i = 0; i < 2'000; ++i) {
+      const TpccTxn txn = stream.Next();
+      if (txn.kind != TpccTxnKind::kNewOrder) continue;
+      for (const TpccOp& op : txn.ops) {
+        if (op.kind == TpccOpKind::kPut) inserted[actor].insert(op.key);
+      }
+    }
+  }
+  for (uint64_t key : inserted[0]) {
+    EXPECT_EQ(inserted[1].count(key), 0u) << "key " << key;
+  }
+}
+
+TEST(TpccTest, RequeuedDeliveryIsReissued) {
+  TpccConfig cfg;
+  cfg.seed = 41;
+  TpccStream stream(cfg);
+  for (int i = 0; i < 50'000; ++i) {
+    const TpccTxn txn = stream.Next();
+    if (txn.kind != TpccTxnKind::kDelivery) continue;
+    const uint64_t order_key = txn.ops.front().key;
+    // Simulate an abort: the order goes back to the FRONT of its queue,
+    // so the next delivery in that district retries the same order.
+    stream.RequeueDelivery(txn);
+    for (int j = 0; j < 200'000; ++j) {
+      const TpccTxn retry = stream.Next();
+      if (retry.kind == TpccTxnKind::kDelivery &&
+          retry.ops.front().key == order_key) {
+        SUCCEED();
+        return;
+      }
+    }
+    FAIL() << "requeued order never re-delivered";
+  }
+  FAIL() << "no delivery generated";
 }
 
 }  // namespace
