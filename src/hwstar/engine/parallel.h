@@ -13,9 +13,10 @@ namespace hwstar::engine {
 /// as one task), and partial results are merged. Grouped results merge by
 /// key. This is the composition of the paper's two multicore demands:
 /// compiled-quality inner loops AND elastic scheduling on top.
+/// morsel_size 0 reads the tune::MorselRows knob.
 QueryResult ExecuteParallel(const Query& query, exec::Executor* executor,
                             const ExecuteOptions& options = {},
-                            uint64_t morsel_size = exec::kDefaultMorselRows);
+                            uint64_t morsel_size = 0);
 
 }  // namespace hwstar::engine
 

@@ -1,90 +1,89 @@
 #include "hwstar/hw/machine_model.h"
 
-#include <atomic>
 #include <sstream>
+
+#include "hwstar/tune/tunable.h"
 
 namespace hwstar::hw {
 
-namespace {
-std::atomic<uint32_t> g_probe_group_size{16};
-std::atomic<uint32_t> g_stream_batch_rows{4096};
-std::atomic<uint32_t> g_stream_max_inflight{8};
-std::atomic<uint64_t> g_stream_lateness_bound{1024};
-std::atomic<uint32_t> g_epoch_advance_interval{64};
-std::atomic<uint32_t> g_epoch_retire_batch{128};
-}  // namespace
+// The old file-local `g_probe_group_size`-style atomics are gone: every
+// default lives in the tune registry now, so clamping happens centrally
+// in each Tunable's spec and the values show up in DumpText snapshots.
 
 uint32_t DefaultProbeGroupSize() {
-  return g_probe_group_size.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(tune::ProbeGroupSize().Get());
 }
 
 void SetDefaultProbeGroupSize(uint32_t group_size) {
-  if (group_size < 1) group_size = 1;
-  if (group_size > 64) group_size = 64;
-  g_probe_group_size.store(group_size, std::memory_order_relaxed);
+  tune::ProbeGroupSize().Set(group_size);
+}
+
+uint32_t DefaultAmacRingWidth() {
+  return static_cast<uint32_t>(tune::AmacRingWidth().Get());
+}
+
+void SetDefaultAmacRingWidth(uint32_t ring_width) {
+  tune::AmacRingWidth().Set(ring_width);
+}
+
+uint64_t DefaultAmacMinTableBytes() {
+  return tune::AmacMinTableBytes().Get();
+}
+
+void SetDefaultAmacMinTableBytes(uint64_t bytes) {
+  tune::AmacMinTableBytes().Set(bytes);
 }
 
 uint32_t DefaultStreamBatchRows() {
-  return g_stream_batch_rows.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(tune::StreamBatchRows().Get());
 }
 
 void SetDefaultStreamBatchRows(uint32_t rows) {
-  if (rows < 64) rows = 64;
-  if (rows > (1u << 20)) rows = 1u << 20;
-  g_stream_batch_rows.store(rows, std::memory_order_relaxed);
+  tune::StreamBatchRows().Set(rows);
 }
 
 uint32_t DefaultStreamMaxInflight() {
-  return g_stream_max_inflight.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(tune::StreamMaxInflight().Get());
 }
 
 void SetDefaultStreamMaxInflight(uint32_t batches) {
-  if (batches < 1) batches = 1;
-  if (batches > 4096) batches = 4096;
-  g_stream_max_inflight.store(batches, std::memory_order_relaxed);
+  tune::StreamMaxInflight().Set(batches);
 }
 
 uint64_t DefaultStreamLatenessBound() {
-  return g_stream_lateness_bound.load(std::memory_order_relaxed);
+  return tune::StreamLatenessBound().Get();
 }
 
 void SetDefaultStreamLatenessBound(uint64_t bound) {
-  g_stream_lateness_bound.store(bound, std::memory_order_relaxed);
+  tune::StreamLatenessBound().Set(bound);
 }
 
 uint32_t DefaultEpochAdvanceInterval() {
-  return g_epoch_advance_interval.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(tune::EpochAdvanceInterval().Get());
 }
 
 void SetDefaultEpochAdvanceInterval(uint32_t retires) {
-  if (retires < 1) retires = 1;
-  if (retires > (1u << 20)) retires = 1u << 20;
-  g_epoch_advance_interval.store(retires, std::memory_order_relaxed);
+  tune::EpochAdvanceInterval().Set(retires);
 }
 
 uint32_t DefaultEpochRetireBatch() {
-  return g_epoch_retire_batch.load(std::memory_order_relaxed);
+  return static_cast<uint32_t>(tune::EpochRetireBatch().Get());
 }
 
 void SetDefaultEpochRetireBatch(uint32_t entries) {
-  if (entries < 1) entries = 1;
-  if (entries > (1u << 20)) entries = 1u << 20;
-  g_epoch_retire_batch.store(entries, std::memory_order_relaxed);
+  tune::EpochRetireBatch().Set(entries);
 }
 
-void MachineModel::ApplyProbeDefaults() const {
-  SetDefaultProbeGroupSize(probe_group_size);
-}
-
-void MachineModel::ApplyStreamDefaults() const {
-  SetDefaultStreamBatchRows(stream_batch_rows);
-  SetDefaultStreamMaxInflight(stream_max_inflight);
-  SetDefaultStreamLatenessBound(stream_lateness_bound);
-}
-
-void MachineModel::ApplySyncDefaults() const {
-  SetDefaultEpochAdvanceInterval(epoch_advance_interval);
-  SetDefaultEpochRetireBatch(epoch_retire_batch);
+void MachineModel::ApplyAll() const {
+  tune::ProbeGroupSize().Set(probe_group_size);
+  tune::AmacRingWidth().Set(amac_ring_width);
+  tune::AmacMinTableBytes().Set(amac_min_table_bytes);
+  tune::StreamBatchRows().Set(stream_batch_rows);
+  tune::StreamMaxInflight().Set(stream_max_inflight);
+  tune::StreamLatenessBound().Set(stream_lateness_bound);
+  tune::EpochAdvanceInterval().Set(epoch_advance_interval);
+  tune::EpochRetireBatch().Set(epoch_retire_batch);
+  tune::MorselRows().Set(morsel_rows);
 }
 
 MachineModel MachineModel::Server2013() {
@@ -135,8 +134,27 @@ MachineModel MachineModel::ManyCore() {
   // missing L3 means a micro-batch must fit the 512KB L2 alongside the
   // window state it updates.
   m.probe_group_size = 8;
+  m.amac_ring_width = 8;
   m.stream_batch_rows = 2048;
+  // No shared LLC: a table is effectively DRAM-resident once past L2, so
+  // the AMAC gate sits right above it.
+  m.amac_min_table_bytes = 2 * 512 * 1024;
   return m;
+}
+
+/// The AMAC gate from a cache hierarchy: the footprint where chain steps
+/// start missing whatever cache the table can actually occupy. With a
+/// shared last-level cache every core competes for it, so the per-core
+/// effective share (LLC / cores) is the knee; without one the last
+/// private level is. The tunable's own bounds keep degenerate topologies
+/// (tiny embedded caches, enormous LLCs) inside the measured-sane range.
+static uint64_t DeriveAmacGateBytes(const std::vector<CacheLevelSpec>& caches,
+                                    uint32_t cores) {
+  if (caches.empty()) return 2u << 20;
+  const CacheLevelSpec& last = caches.back();
+  uint64_t bytes = last.size_bytes;
+  if (last.shared && cores > 0) bytes /= cores;
+  return tune::AmacMinTableBytes().Clamp(bytes);
 }
 
 MachineModel MachineModel::FromHost(const CpuTopology& topo) {
@@ -159,6 +177,10 @@ MachineModel MachineModel::FromHost(const CpuTopology& topo) {
       ++i;
     }
   }
+  // Feed the detected hierarchy into the AMAC footprint gate instead of
+  // inheriting Server2013's constant: the whole point of FromHost is that
+  // the knobs track the machine underfoot.
+  m.amac_min_table_bytes = DeriveAmacGateBytes(m.caches, m.cores);
   return m;
 }
 

@@ -31,6 +31,14 @@ struct TlbSpec {
 /// configuration object consumed by the hwstar::sim hierarchy model, the
 /// NUMA model and the energy model, so every experiment states its machine
 /// explicitly.
+///
+/// It is also the *publication source* for the runtime's hardware knobs:
+/// the tunable fields below are a model's opinion of where each knob
+/// should sit, and ApplyAll() installs them into the hwstar::tune
+/// registry — the one named/bounded/relaxed-atomic substrate every kernel
+/// reads its defaults from (and that the tune::Calibrator overwrites with
+/// measured winners). A MachineModel is a starting point; the registry is
+/// the live truth.
 struct MachineModel {
   std::string name;
   uint32_t cores = 8;
@@ -49,17 +57,27 @@ struct MachineModel {
   double energy_pj_l3_hit = 100.0;
   double energy_pj_dram = 2000.0;
   double energy_pj_instruction = 1.0;
-  /// Default group size for the batched probe kernels in hwstar::ops (the
-  /// GP group width / AMAC ring width): the number of independent cache
-  /// misses the kernels keep in flight. The useful range is bounded by the
-  /// core's miss-handling resources (~10 line-fill buffers on 2013-era
-  /// parts), which is why the default sits at 16 rather than scaling with
-  /// table size. Call ApplyProbeDefaults() to make a model's value the
-  /// process-wide default the kernels read when callers pass 0.
-  uint32_t probe_group_size = 16;
 
-  /// Streaming knobs consumed by hwstar::stream (defaults for callers
-  /// that pass 0; see ApplyStreamDefaults()).
+  // --- Tunable fields (published into tune::Registry by ApplyAll) ------
+
+  /// Default group size for the batched GP probe kernels in hwstar::ops:
+  /// the number of independent cache misses kept in flight. The useful
+  /// range is bounded by the core's miss-handling resources (~10
+  /// line-fill buffers on 2013-era parts), which is why the default sits
+  /// at 16 rather than scaling with table size.
+  uint32_t probe_group_size = 16;
+  /// AMAC ring width for chained-bucket walks (tune::AmacRingWidth),
+  /// calibrated separately from the GP width.
+  uint32_t amac_ring_width = 16;
+  /// Table footprint below which the AMAC kernels degrade to the scalar
+  /// walk (tune::AmacMinTableBytes): a cache-resident table's chain steps
+  /// hit and the ring's state shuffle is pure overhead. FromHost() derives
+  /// this from the discovered cache hierarchy (roughly the per-core share
+  /// of the last-level cache); the hand-built models carry the 2MB the E18
+  /// measurements were taken at.
+  uint64_t amac_min_table_bytes = 2u << 20;
+
+  /// Streaming knobs consumed by hwstar::stream.
   ///
   /// Rows per micro-batch: the streaming unit of work, so it trades
   /// per-batch dispatch/partitioning overhead against emission latency
@@ -78,7 +96,7 @@ struct MachineModel {
   /// should agree on, so it lives on the same knob surface.
   uint64_t stream_lateness_bound = 1024;
 
-  /// Reclamation knobs consumed by hwstar::sync (see ApplySyncDefaults()).
+  /// Reclamation knobs consumed by hwstar::sync.
   ///
   /// Retires between epoch-advance attempts: the advance scan reads every
   /// registered thread's slot, so its cost grows with thread count and it
@@ -89,6 +107,9 @@ struct MachineModel {
   /// reclamation backlog a single writer can accumulate; the worst-case
   /// deferred footprint is roughly threads x retire_batch x object size.
   uint32_t epoch_retire_batch = 128;
+
+  /// Rows per morsel for morsel-driven parallel loops (tune::MorselRows).
+  uint64_t morsel_rows = uint64_t{1} << 16;
 
   /// A 2013-era two-socket server: 8 cores, 32KB/256KB/20MB caches, 2 NUMA
   /// nodes with 1.6x remote latency.
@@ -102,76 +123,70 @@ struct MachineModel {
   static MachineModel ManyCore();
 
   /// Builds a model from the discovered host topology, filling latencies
-  /// with the Server2013 defaults.
+  /// with the Server2013 defaults. The AMAC footprint gate is derived
+  /// from the detected cache sizes (per-core share of a shared LLC, or
+  /// the last private level when there is no shared cache) instead of the
+  /// hand-built models' constant.
   static MachineModel FromHost(const CpuTopology& topo);
 
-  /// Publishes this model's tunables (currently probe_group_size) as the
-  /// process-wide defaults consumed by the ops batched probe kernels.
-  void ApplyProbeDefaults() const;
-
-  /// Publishes this model's streaming tunables (stream_batch_rows,
-  /// stream_max_inflight, stream_lateness_bound) as the process-wide
-  /// defaults consumed by hwstar::stream when callers pass 0.
-  void ApplyStreamDefaults() const;
-
-  /// Publishes this model's reclamation tunables (epoch_advance_interval,
-  /// epoch_retire_batch) as the process-wide defaults consumed by
-  /// sync::EpochManager.
-  void ApplySyncDefaults() const;
+  /// Publishes every tunable field above into the process-wide
+  /// tune::Registry — the single publication path that replaced the old
+  /// ApplyProbeDefaults / ApplyStreamDefaults / ApplySyncDefaults trio.
+  /// Each value passes through its tunable's central clamp, so a model
+  /// carrying an out-of-range value publishes the nearest legal one.
+  void ApplyAll() const;
 
   /// One-line summary for reports.
   std::string ToString() const;
 };
 
-/// Process-wide default group size for the batched probe kernels; what the
-/// kernels use when a caller passes group_size = 0. Starts at 16 (the
-/// MachineModel default) and is runtime-tunable via
-/// SetDefaultProbeGroupSize / MachineModel::ApplyProbeDefaults. Reads and
-/// writes are relaxed atomics: the value is a performance hint, never a
-/// correctness input.
-uint32_t DefaultProbeGroupSize();
+/// Process-wide default accessors, now thin wrappers over the hwstar::tune
+/// registry (one relaxed atomic load / clamped relaxed store). They are
+/// kept because consumers read knobs through them on hot paths and the
+/// hw:: spelling documents *which* hardware assumption is being consulted;
+/// the registry is the single backing store, so tune::Registry::Global()
+/// .Set("probe.group_size", ...), a Calibrator install, and
+/// SetDefaultProbeGroupSize() are all the same write with the same bounds.
+///
+/// All values are performance hints, never correctness inputs.
 
-/// Sets the process-wide default, clamped to [1, 64]. Thread-safe.
+/// GP group width the batched probe kernels use when a caller passes 0.
+/// Clamped to a power of two in [4, 32] (the compiled kernel widths).
+uint32_t DefaultProbeGroupSize();
 void SetDefaultProbeGroupSize(uint32_t group_size);
 
-/// Process-wide default rows per streaming micro-batch; what
-/// stream::Pipeline uses when its options pass 0. Relaxed atomics, same
-/// contract as DefaultProbeGroupSize: a tuning hint, never a correctness
-/// input.
-uint32_t DefaultStreamBatchRows();
+/// AMAC ring width for chained-bucket walks when a caller passes 0.
+/// Clamped to a power of two in [4, 32].
+uint32_t DefaultAmacRingWidth();
+void SetDefaultAmacRingWidth(uint32_t ring_width);
 
-/// Sets the process-wide micro-batch default, clamped to [64, 1<<20].
-/// Thread-safe.
+/// Footprint gate below which AMAC kernels take the scalar walk.
+/// Clamped to [64KB, 1GB].
+uint64_t DefaultAmacMinTableBytes();
+void SetDefaultAmacMinTableBytes(uint64_t bytes);
+
+/// Rows per streaming micro-batch. Clamped to [64, 1<<20].
+uint32_t DefaultStreamBatchRows();
 void SetDefaultStreamBatchRows(uint32_t rows);
 
-/// Process-wide default bound on in-flight micro-batches per pipeline
-/// partition.
+/// Bound on in-flight micro-batches per pipeline partition. Clamped to
+/// [1, 4096].
 uint32_t DefaultStreamMaxInflight();
-
-/// Sets the in-flight default, clamped to [1, 4096]. Thread-safe.
 void SetDefaultStreamMaxInflight(uint32_t batches);
 
-/// Process-wide default watermark lateness bound (event-time units).
+/// Watermark lateness bound (event-time units; 0 = drop everything behind
+/// the max timestamp seen).
 uint64_t DefaultStreamLatenessBound();
-
-/// Sets the lateness default (any value, 0 = drop everything behind the
-/// max timestamp seen). Thread-safe.
 void SetDefaultStreamLatenessBound(uint64_t bound);
 
-/// Process-wide retires-per-advance-attempt cadence for
-/// sync::EpochManager. Relaxed atomics: a tuning hint read on the retire
-/// path, never a correctness input (reclamation safety comes from the
-/// epoch rule, not the cadence).
+/// Retires-per-advance-attempt cadence for sync::EpochManager. Clamped to
+/// [1, 1<<20].
 uint32_t DefaultEpochAdvanceInterval();
-
-/// Sets the advance cadence, clamped to [1, 1<<20]. Thread-safe.
 void SetDefaultEpochAdvanceInterval(uint32_t retires);
 
-/// Process-wide per-thread retire-list sweep threshold for
-/// sync::EpochManager.
+/// Per-thread retire-list sweep threshold for sync::EpochManager. Clamped
+/// to [1, 1<<20].
 uint32_t DefaultEpochRetireBatch();
-
-/// Sets the sweep threshold, clamped to [1, 1<<20]. Thread-safe.
 void SetDefaultEpochRetireBatch(uint32_t entries);
 
 }  // namespace hwstar::hw

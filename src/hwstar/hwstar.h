@@ -41,6 +41,12 @@
 #include "hwstar/sync/epoch.h"
 #include "hwstar/sync/optlock.h"
 
+// Self-tuning: the knob substrate, the offline calibrator, the online
+// controller.
+#include "hwstar/tune/calibrator.h"
+#include "hwstar/tune/controller.h"
+#include "hwstar/tune/tunable.h"
+
 // Parallel execution.
 #include "hwstar/exec/affinity.h"
 #include "hwstar/exec/executor.h"

@@ -100,19 +100,25 @@ void KvStore::MultiGet(const uint64_t* keys, size_t count, uint64_t* values,
     // acquisition (never one per key) otherwise.
     Shard& shard = *shards_[s];
     bool* run_found = found == nullptr ? nullptr : found + i;
+    // 0 forwards to the calibrated tune::ProbeGroupSize knob inside the
+    // kernel; a nonzero KvOptions::probe_group pins this store's width.
+    const uint32_t group = options_.probe_group;
     size_t hits = 0;
     if (options_.latch_free_reads) {
       if (options_.index == IndexKind::kArt) {
         sync::EpochManager::Guard guard;
-        hits = shard.art.FindBatch(keys + i, run, values + i, run_found);
+        hits = shard.art.FindBatch(keys + i, run, values + i, run_found, group);
       } else {
-        hits = shard.btree->FindBatch(keys + i, run, values + i, run_found);
+        hits =
+            shard.btree->FindBatch(keys + i, run, values + i, run_found, group);
       }
     } else {
       std::lock_guard<std::mutex> lock(shard.mutex);
       hits = options_.index == IndexKind::kArt
-                 ? shard.art.FindBatch(keys + i, run, values + i, run_found)
-                 : shard.btree->FindBatch(keys + i, run, values + i, run_found);
+                 ? shard.art.FindBatch(keys + i, run, values + i, run_found,
+                                       group)
+                 : shard.btree->FindBatch(keys + i, run, values + i, run_found,
+                                          group);
     }
     ShardStats::Lane& lane = shard.stats.MyLane();
     lane.gets.fetch_add(run, kRelaxed);

@@ -37,6 +37,11 @@ struct KvOptions {
   /// False restores fully latched reads (the pre-sync behavior; E20
   /// benchmarks the two against each other).
   bool latch_free_reads = true;
+  /// Group width for the batched probe kernels MultiGet runs. 0 (the
+  /// default) reads the calibrated tune::ProbeGroupSize knob per batch —
+  /// a Calibrator install reaches running stores; nonzero pins this
+  /// store's width (e.g. a store whose footprint the operator knows).
+  uint32_t probe_group = 0;
 };
 
 /// Operation counters (a point-in-time snapshot; see KvStore::stats()).

@@ -38,9 +38,10 @@ std::vector<GroupSum> HashAggregate(std::span<const uint64_t> keys,
 /// experiments. Sequential, auto-vectorizable.
 int64_t Sum(std::span<const int64_t> values);
 
-/// Parallel sum over the executor (morsel-driven).
+/// Parallel sum over the executor (morsel-driven; morsel_size 0 reads the
+/// tune::MorselRows knob).
 int64_t ParallelSum(std::span<const int64_t> values, exec::Executor* pool,
-                    uint64_t morsel_size = exec::kDefaultMorselRows);
+                    uint64_t morsel_size = 0);
 
 }  // namespace hwstar::ops
 

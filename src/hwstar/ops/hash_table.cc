@@ -211,17 +211,24 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
                                uint64_t* values, bool* found,
                                uint32_t group_size) const {
   size_t hits = 0;
-  if (MemoryBytes() < kAmacMinTableBytes) {
-    // Cache-resident table: the ring would only add overhead (see the
-    // kAmacMinTableBytes comment in the header).
-    for (size_t i = 0; i < n; ++i) {
-      uint64_t value = 0;
-      const bool hit = Find(keys[i], &value);
-      values[i] = hit ? value : 0;
-      if (found != nullptr) found[i] = hit;
-      hits += hit;
+  if (group_size == 0) {
+    // Auto mode: the footprint gate applies. A cache-resident table's
+    // ring would only add overhead (see the footprint-gate comment in
+    // the header); the gate is the calibrated tune::AmacMinTableBytes
+    // knob, read per batch. An explicit nonzero group_size skips the
+    // gate entirely — the caller (a Calibrator trial, a pinned-width
+    // bench arm) is asking for the ring, not for a policy decision.
+    if (MemoryBytes() < hw::DefaultAmacMinTableBytes()) {
+      for (size_t i = 0; i < n; ++i) {
+        uint64_t value = 0;
+        const bool hit = Find(keys[i], &value);
+        values[i] = hit ? value : 0;
+        if (found != nullptr) found[i] = hit;
+        hits += hit;
+      }
+      return hits;
     }
-    return hits;
+    group_size = hw::DefaultAmacRingWidth();
   }
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t K = decltype(g)::value;

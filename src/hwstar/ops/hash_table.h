@@ -237,37 +237,51 @@ class ChainedTable {
   uint32_t CountMatches(uint64_t key) const;
   bool Find(uint64_t key, uint64_t* out) const;
 
-  /// Below this footprint the table is (almost) cache-resident, chain
+  /// Below the footprint gate the table is (almost) cache-resident, chain
   /// steps hit, and the AMAC ring's state shuffling is pure overhead
   /// (E18 measured up to ~2x slowdown on an L1-resident table). FindBatch
   /// and ProbeBatch degrade to the scalar walk under it -- the paper's
   /// discipline: the right code depends on where the data lands in the
-  /// hierarchy, so the kernel checks.
+  /// hierarchy, so the kernel checks. The live gate is the
+  /// tune::AmacMinTableBytes knob (read per batch via
+  /// hw::DefaultAmacMinTableBytes): hw::MachineModel::FromHost derives it
+  /// from the discovered cache hierarchy and the tune::Calibrator
+  /// re-measures the crossover; this constant is only that knob's spec
+  /// default, kept for tests that size tables relative to it.
   static constexpr uint64_t kAmacMinTableBytes = 2u << 20;
 
   /// Batched Find via AMAC: a ring of `group_size` in-flight bucket walks
   /// (each stage prefetches its next node and yields), so chained misses
   /// overlap across keys even though each chain is serial. Bit-identical
   /// to per-key Find: values[i] = first match or 0, found[i] = hit flag
-  /// (skipped when `found` is null). Returns the number of hits. Tables
-  /// under kAmacMinTableBytes take the scalar walk instead.
+  /// (skipped when `found` is null). Returns the number of hits.
+  /// group_size 0 = auto: tables under the footprint gate take the
+  /// scalar walk and the rest read the calibrated tune::AmacRingWidth
+  /// knob; an explicit nonzero width forces the ring regardless of
+  /// footprint (Calibrator trials, pinned bench arms).
   size_t FindBatch(const uint64_t* keys, size_t n, uint64_t* values,
                    bool* found, uint32_t group_size = 0) const;
 
   /// Batched full probe via AMAC: fn(i, value) for every node matching
   /// keys[i]. Keys complete out of order (the ring interleaves walks), so
   /// callback order is unspecified across keys; within one key, matches
-  /// arrive in chain order. Returns the total match count. Tables under
-  /// kAmacMinTableBytes take the scalar walk (in order) instead.
+  /// arrive in chain order. Returns the total match count. With
+  /// group_size 0, tables under the footprint gate take the scalar walk
+  /// (in order) instead; a nonzero width forces the ring.
   template <typename Fn>
   uint64_t ProbeBatch(const uint64_t* keys, size_t n, Fn&& fn,
                       uint32_t group_size = 0) const {
     uint64_t matches = 0;
-    if (MemoryBytes() < kAmacMinTableBytes) {
-      for (size_t i = 0; i < n; ++i) {
-        matches += Probe(keys[i], [&](uint64_t value) { fn(i, value); });
+    if (group_size == 0) {
+      // Same auto-vs-forced split as FindBatch: the footprint gate only
+      // arbitrates when the caller left the width to policy.
+      if (MemoryBytes() < hw::DefaultAmacMinTableBytes()) {
+        for (size_t i = 0; i < n; ++i) {
+          matches += Probe(keys[i], [&](uint64_t value) { fn(i, value); });
+        }
+        return matches;
       }
-      return matches;
+      group_size = hw::DefaultAmacRingWidth();
     }
     WithProbeGroup(group_size, [&](auto g) {
       constexpr uint32_t K = decltype(g)::value;

@@ -40,8 +40,12 @@ namespace hwstar::ops {
 /// Group size is a compile-time constant inside the kernels (the staging
 /// arrays must live in registers / L1 and the inner loops must unroll),
 /// dispatched from a runtime value by WithProbeGroup. Callers pass 0 to
-/// use the process-wide default (hw::DefaultProbeGroupSize, tunable via
-/// hw::MachineModel::ApplyProbeDefaults).
+/// use the process-wide default: the tune::ProbeGroupSize knob (read here
+/// via hw::DefaultProbeGroupSize), published by
+/// hw::MachineModel::ApplyAll and re-measured by the tune::Calibrator.
+/// The knob is re-read on every batch, so a calibration install takes
+/// effect mid-run; results are bit-identical across a flip because group
+/// width only changes which misses overlap, never what is probed.
 ///
 /// Interaction with optimistic reads (hwstar/sync): the index FindBatch
 /// kernels run these loops inside an OLC retry scope -- version

@@ -45,7 +45,14 @@ void Pipeline::Run() {
   while (!stopped_.load(std::memory_order_acquire)) {
     batch.Clear();
     batch.watermark = 0;
-    if (!source_->NextBatch(batch_rows_, &batch)) break;
+    // A pipeline built with the default batch size re-reads the
+    // tune::StreamBatchRows knob every pump round, so a Calibrator
+    // install or a Controller nudge changes the micro-batch size of a
+    // *running* pipeline: this is the knob the online feedback loop
+    // actuates when emission p99 drifts from its target.
+    const uint32_t rows =
+        batch_rows_ != 0 ? batch_rows_ : hw::DefaultStreamBatchRows();
+    if (!source_->NextBatch(rows, &batch)) break;
     for (const uint64_t ts : batch.event_ts) tracker.Observe(ts);
     batch.watermark = tracker.watermark();
     batch.ingest_ns = NowNanos();
@@ -255,9 +262,11 @@ std::unique_ptr<Pipeline> PipelineBuilder::Build() {
   uint32_t partitions = options_.partitions;
   if (partitions == 0) partitions = executor_->num_threads();
   if (partitions == 0) partitions = 1;
-  pipeline->batch_rows_ = options_.batch_rows != 0
-                              ? options_.batch_rows
-                              : hw::DefaultStreamBatchRows();
+  // batch_rows stays 0 when defaulted: Run() resolves it against the
+  // tune::StreamBatchRows knob per pump round (live re-tuning); the
+  // other options freeze at build time (queue bounds and watermark
+  // semantics must not move under a running pipeline).
+  pipeline->batch_rows_ = options_.batch_rows;
   pipeline->max_inflight_ = options_.max_inflight != 0
                                 ? options_.max_inflight
                                 : hw::DefaultStreamMaxInflight();

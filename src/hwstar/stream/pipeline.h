@@ -64,8 +64,9 @@ struct PipelineOptions {
   /// state is single-writer; more partitions = more parallelism and
   /// smaller per-partition state.
   uint32_t partitions = 0;
-  /// Rows pulled from the source per micro-batch
-  /// (0 = hw::DefaultStreamBatchRows()).
+  /// Rows pulled from the source per micro-batch. 0 = the
+  /// tune::StreamBatchRows knob, re-read every pump round so online
+  /// re-tuning reaches a running pipeline; nonzero pins the size.
   uint32_t batch_rows = 0;
   /// Max queued micro-batches per partition
   /// (0 = hw::DefaultStreamMaxInflight()).
@@ -170,6 +171,8 @@ class Pipeline {
   Sink* sink_ = nullptr;
 
   std::string name_;
+  /// 0 = defaulted: Run() re-reads tune::StreamBatchRows each pump round
+  /// (the online Controller's actuator); nonzero = frozen by options.
   uint32_t batch_rows_ = 0;
   uint32_t max_inflight_ = 0;
   uint64_t lateness_bound_ = 0;

@@ -4,7 +4,9 @@
 #include <chrono>
 #include <vector>
 
+#include "hwstar/common/macros.h"
 #include "hwstar/dur/durable_kv_store.h"
+#include "hwstar/tune/tunable.h"
 #include "hwstar/txn/transaction.h"
 
 namespace hwstar::svc {
@@ -12,6 +14,17 @@ namespace hwstar::svc {
 namespace {
 
 constexpr auto kRelaxed = std::memory_order_relaxed;
+
+// Applies ServiceOptions::tunables through the global registry before any
+// worker starts, so a service comes up already configured. Unknown names
+// fail the HWSTAR_CHECK: a typo'd deployment config must not silently
+// leave the knob at its default.
+ServiceOptions ApplyTunables(ServiceOptions options) {
+  for (const auto& [name, value] : options.tunables) {
+    HWSTAR_CHECK(tune::Registry::Global().Set(name, value));
+  }
+  return options;
+}
 
 BatcherOptions MakeBatcherOptions(const ServiceOptions& options,
                                   kv::KvStore* kv) {
@@ -31,7 +44,7 @@ exec::ExecutorOptions MakeExecutorOptions(const ServiceOptions& options) {
 }  // namespace
 
 Service::Service(ServiceOptions options, kv::KvStore* kv)
-    : options_(std::move(options)),
+    : options_(ApplyTunables(std::move(options))),
       kv_(kv),
       policy_(options_.policy != nullptr
                   ? options_.policy
@@ -472,6 +485,16 @@ ServiceMetrics Service::metrics() const {
 
 void Service::PrintReport(const std::string& title) const {
   MetricsReport(title, metrics()).Print();
+}
+
+std::string Service::DumpMetricsText() const {
+  // Metrics first, knobs second: one scrape records both what happened
+  // and the tunable configuration that made it happen.
+  return registry_.DumpText() + DumpTunablesText();
+}
+
+std::string Service::DumpTunablesText() const {
+  return tune::Registry::Global().DumpText();
 }
 
 }  // namespace hwstar::svc

@@ -8,6 +8,8 @@
 #include <mutex>
 #include <string>
 #include <thread>
+#include <utility>
+#include <vector>
 
 #include "hwstar/exec/executor.h"
 #include "hwstar/obs/registry.h"
@@ -53,6 +55,12 @@ struct ServiceOptions {
   uint32_t max_pending_batches = 8;
   /// Degradation policy; null installs StepDownOverloadPolicy.
   std::shared_ptr<const OverloadPolicy> policy;
+  /// Tunable overrides applied (in order) through tune::Registry at
+  /// construction — the deployment-config hook for the knob substrate.
+  /// Each entry is (tunable name, value); values clamp to the tunable's
+  /// bounds like any other Set. Unknown names are a construction error
+  /// (a typo'd config should fail loudly, not silently not-tune).
+  std::vector<std::pair<std::string, uint64_t>> tunables;
 };
 
 /// The hardware-conscious request-serving front end: clients submit typed
@@ -106,8 +114,14 @@ class Service {
 
   /// Text exposition of every registered service metric (latency
   /// histograms, completion counters, worker-pool counters) — the
-  /// scrape-style view of the obs registry.
-  std::string DumpMetricsText() const { return registry_.DumpText(); }
+  /// scrape-style view of the obs registry — followed by the current
+  /// tunable values, so a scrape records the knob configuration that
+  /// produced the numbers next to the numbers themselves.
+  std::string DumpMetricsText() const;
+
+  /// Text exposition of just the tunable registry (name, current value,
+  /// default, bounds per line) — the knob half of DumpMetricsText.
+  std::string DumpTunablesText() const;
 
   /// The service's metric registry (all entries are borrowed views of
   /// live obs metrics; read-only for callers).

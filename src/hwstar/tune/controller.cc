@@ -1,0 +1,136 @@
+#include "hwstar/tune/controller.h"
+
+#include <chrono>
+#include <utility>
+
+#include "hwstar/tune/tunable.h"
+
+namespace hwstar::tune {
+
+namespace {
+
+/// One bounded multiplicative step of `t` toward `target` (never past
+/// it); returns whether the value moved. The relax-back policy: knobs
+/// pushed off their defaults by past pressure drift home one step per
+/// tick once the pressure is gone, instead of snapping (which would
+/// re-create the condition that pushed them in the first place).
+bool StepToward(Tunable& t, uint64_t target) {
+  const uint64_t cur = t.Get();
+  if (cur == target) return false;
+  if (cur < target) {
+    const uint64_t next = t.StepUp();
+    if (next > target) t.Set(target);
+    return t.Get() != cur;
+  }
+  const uint64_t next = t.StepDown();
+  if (next < target) t.Set(target);
+  return t.Get() != cur;
+}
+
+}  // namespace
+
+Controller::Controller(exec::Executor* executor, ControllerOptions options)
+    : executor_(executor), options_(options) {}
+
+Controller::~Controller() { Stop(); }
+
+void Controller::WatchStream(std::function<StreamSignals()> fn) {
+  stream_signals_ = std::move(fn);
+}
+
+void Controller::WatchEpoch(std::function<EpochSignals()> fn) {
+  epoch_signals_ = std::move(fn);
+}
+
+void Controller::Start() {
+  std::lock_guard<std::mutex> lk(mutex_);
+  if (started_) return;
+  started_ = true;
+  stopping_ = false;
+  pacer_ = std::thread([this] { PacerLoop(); });
+}
+
+void Controller::Stop() {
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    if (!started_) return;
+    stopping_ = true;
+    stop_cv_.notify_all();
+  }
+  pacer_.join();
+  {
+    // A tick submitted to the executor just before the stop may still be
+    // running; it must not outlive this object.
+    std::unique_lock<std::mutex> lk(mutex_);
+    stop_cv_.wait(lk, [&] { return inflight_ == 0; });
+    started_ = false;
+  }
+}
+
+void Controller::PacerLoop() {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lk(mutex_);
+      stop_cv_.wait_for(lk, std::chrono::milliseconds(options_.interval_ms),
+                        [&] { return stopping_; });
+      if (stopping_) return;
+      ++inflight_;
+    }
+    auto tick = [this](uint32_t /*worker*/) {
+      TickOnce();
+      std::lock_guard<std::mutex> lk(mutex_);
+      --inflight_;
+      stop_cv_.notify_all();
+    };
+    if (executor_ == nullptr || !executor_->Submit(tick)) {
+      tick(0);
+    }
+  }
+}
+
+void Controller::TickOnce() {
+  std::lock_guard<std::mutex> lk(tick_mutex_);
+  ticks_.fetch_add(1, std::memory_order_relaxed);
+  uint64_t moves = 0;
+
+  if (stream_signals_) {
+    const StreamSignals s = stream_signals_();
+    const uint64_t shed_delta = s.batches_shed - last_shed_;
+    last_shed_ = s.batches_shed;
+    Tunable& rows = StreamBatchRows();
+    const uint64_t before = rows.Get();
+    if (shed_delta > 0) {
+      // Backpressure is biting: fewer, bigger batches against the same
+      // queue bound carry more rows per queue slot.
+      rows.StepUp();
+    } else if (s.emit_p99_ns > options_.emit_p99_target_ns) {
+      rows.StepDown();
+    } else if (s.emit_p99_ns > 0 &&
+               s.emit_p99_ns * options_.headroom_divisor <
+                   options_.emit_p99_target_ns) {
+      rows.StepUp();
+    }
+    moves += rows.Get() != before;
+  }
+
+  if (epoch_signals_) {
+    const EpochSignals e = epoch_signals_();
+    Tunable& batch = EpochRetireBatch();
+    Tunable& interval = EpochAdvanceInterval();
+    if (e.retired_bytes > options_.epoch_bytes_budget) {
+      // Over budget: sweep sooner and attempt advances more often.
+      const uint64_t b = batch.Get(), i = interval.Get();
+      batch.StepDown();
+      interval.StepDown();
+      moves += batch.Get() != b;
+      moves += interval.Get() != i;
+    } else if (e.retired_bytes < options_.epoch_bytes_budget / 4) {
+      moves += StepToward(batch, batch.spec().default_value);
+      moves += StepToward(interval, interval.spec().default_value);
+    }
+  }
+
+  if (moves != 0) adjustments_.fetch_add(moves, std::memory_order_relaxed);
+}
+
+}  // namespace hwstar::tune

@@ -1,0 +1,143 @@
+#ifndef HWSTAR_TUNE_CONTROLLER_H_
+#define HWSTAR_TUNE_CONTROLLER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <thread>
+
+#include "hwstar/exec/executor.h"
+
+namespace hwstar::tune {
+
+/// What the controller observed about a streaming pipeline since the
+/// previous tick: the hwstar::obs signals it steers stream.batch_rows by.
+struct StreamSignals {
+  /// p99 of window-emission latency over the pipeline's life, in ns
+  /// (obs::Histogram::Snapshot().Quantile(0.99)); 0 = no emissions yet.
+  uint64_t emit_p99_ns = 0;
+  /// Cumulative shed sub-batches (monotonic; the controller differences
+  /// successive readings itself).
+  uint64_t batches_shed = 0;
+};
+
+/// Epoch-reclamation pressure since the previous tick.
+struct EpochSignals {
+  /// Bytes sitting retired-but-unreclaimed (the deferred-memory bound).
+  uint64_t retired_bytes = 0;
+};
+
+struct ControllerOptions {
+  /// Pacing interval between ticks when running via Start().
+  uint64_t interval_ms = 100;
+  /// Emission-latency target: p99 above it steps stream.batch_rows down
+  /// (smaller batches emit sooner), p99 under target/headroom_divisor
+  /// steps it up (amortization is free when latency has slack).
+  uint64_t emit_p99_target_ns = 50'000'000;  // 50ms
+  /// See emit_p99_target_ns; 4 = step up only under a quarter of target.
+  uint64_t headroom_divisor = 4;
+  /// Retired-bytes budget: above it the epoch knobs step toward tighter
+  /// reclamation (smaller retire batch, shorter advance interval); under
+  /// a quarter of it they relax back toward their spec defaults.
+  uint64_t epoch_bytes_budget = 64u << 20;  // 64MB
+};
+
+/// The online half of the self-tuning loop (the offline half is
+/// tune::Calibrator): a feedback controller that watches hwstar::obs
+/// signals and nudges runtime knobs in bounded multiplicative steps —
+/// Tunable::StepUp/StepDown, which double/halve and saturate at the spec
+/// bounds, so the controller can never walk a knob somewhere illegal and
+/// a misbehaving signal costs at most a few halvings.
+///
+/// Signals come in as closures rather than borrowed pipeline/manager
+/// pointers, so the controller layer depends only on exec/ and the knob
+/// substrate; callers bind whatever they want watched:
+///
+///   tune::Controller ctl(&executor);
+///   ctl.WatchStream([&] { return tune::StreamSignals{
+///       pipeline->emit_latency_histogram().Snapshot().Quantile(0.99),
+///       pipeline->batches_shed()}; });
+///   ctl.WatchEpoch([&] { return tune::EpochSignals{
+///       sync::EpochManager::Global().stats().retired_bytes}; });
+///   ctl.Start();   // paced TickOnce on the shared Executor
+///
+/// Policy per tick (deliberately boring — bounded steps, hysteresis gaps
+/// between the up and down thresholds, one move per signal per tick):
+///   - sheds since last tick > 0        -> stream.batch_rows StepUp
+///     (bigger batches = fewer enqueues against the same queue bound)
+///   - else emit p99 > target           -> stream.batch_rows StepDown
+///   - else emit p99 < target/headroom  -> stream.batch_rows StepUp
+///   - retired bytes > budget           -> epoch.retire_batch StepDown,
+///                                         epoch.advance_interval StepDown
+///   - retired bytes < budget/4         -> one step back toward the spec
+///                                         default (never past it)
+///
+/// TickOnce() is public and synchronous so tests and benches can drive
+/// the loop deterministically without the pacer thread.
+class Controller {
+ public:
+  /// `executor` runs the periodic ticks (null = tick on the pacer thread
+  /// itself); borrowed, must outlive the controller.
+  explicit Controller(exec::Executor* executor,
+                      ControllerOptions options = ControllerOptions());
+  ~Controller();
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  /// Installs the stream-signal source (replaces any previous one).
+  /// Not thread-safe against a running controller; bind before Start().
+  void WatchStream(std::function<StreamSignals()> fn);
+  /// Installs the epoch-signal source.
+  void WatchEpoch(std::function<EpochSignals()> fn);
+
+  /// Starts the pacer: every interval_ms it submits one TickOnce onto
+  /// the executor (or runs it inline when executor is null / shutting
+  /// down). Idempotent.
+  void Start();
+  /// Stops the pacer and waits for it; in-flight ticks finish. Idempotent.
+  void Stop();
+
+  /// One synchronous control step: read signals, apply the policy above.
+  void TickOnce();
+
+  uint64_t ticks() const { return ticks_.load(std::memory_order_relaxed); }
+  /// Knob moves made (a tick that changes nothing adjusts nothing).
+  uint64_t adjustments() const {
+    return adjustments_.load(std::memory_order_relaxed);
+  }
+
+  const ControllerOptions& options() const { return options_; }
+
+ private:
+  void PacerLoop();
+
+  exec::Executor* executor_;
+  ControllerOptions options_;
+
+  std::function<StreamSignals()> stream_signals_;
+  std::function<EpochSignals()> epoch_signals_;
+  /// Previous tick's cumulative shed count (sheds are monotonic
+  /// counters; the policy acts on the per-tick delta).
+  uint64_t last_shed_ = 0;
+
+  std::atomic<uint64_t> ticks_{0};
+  std::atomic<uint64_t> adjustments_{0};
+
+  /// Serializes tick bodies: a paced tick that overruns the interval may
+  /// overlap the next one (and tests drive TickOnce directly).
+  std::mutex tick_mutex_;
+
+  std::mutex mutex_;  ///< pacer lifecycle: stop flag, cv, inflight count
+  std::condition_variable stop_cv_;
+  bool stopping_ = false;
+  bool started_ = false;
+  uint64_t inflight_ = 0;  ///< executor-submitted ticks not yet finished
+  std::thread pacer_;
+};
+
+}  // namespace hwstar::tune
+
+#endif  // HWSTAR_TUNE_CONTROLLER_H_

@@ -1,0 +1,174 @@
+#ifndef HWSTAR_TUNE_TUNABLE_H_
+#define HWSTAR_TUNE_TUNABLE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace hwstar::tune {
+
+/// The self-tuning substrate's unit of configuration: one named, typed,
+/// bounded hardware knob. The paper's thesis is that software must keep
+/// tracking hardware it was never tuned for; a Tunable is the mechanism —
+/// every knob that encodes a hardware assumption (probe group width, the
+/// AMAC footprint gate, micro-batch rows, reclamation cadence, morsel
+/// size) lives behind one of these instead of a one-off global, so it can
+/// be published from a MachineModel, re-measured by the Calibrator,
+/// nudged online by the Controller, and dumped next to metrics — all
+/// through one surface.
+///
+/// Contract: values are *performance hints, never correctness inputs*.
+/// Get() is a single relaxed atomic load (hot paths read knobs every
+/// batch; the read must cost what the old raw global cost). Set() clamps
+/// into [min, max] — and rounds up to a power of two when the spec
+/// demands it — before a relaxed store, so no caller can publish an
+/// out-of-range or structurally invalid value no matter how it reaches
+/// the setter. Readers that race a Set see either the old or the new
+/// value, both of which are in bounds; kernels stay bit-identical across
+/// a flip because group width only changes miss overlap, not results.
+struct TunableSpec {
+  std::string name;           ///< dotted path, e.g. "probe.group_size"
+  uint64_t default_value = 0;
+  uint64_t min = 0;
+  uint64_t max = ~uint64_t{0};
+  /// Require a power of two (values round *up* to the next one, then
+  /// clamp). For knobs that index compiled kernel widths or size masks.
+  bool power_of_two = false;
+  std::string help;           ///< one line for DumpText readers
+};
+
+class Tunable {
+ public:
+  explicit Tunable(TunableSpec spec);
+
+  Tunable(const Tunable&) = delete;
+  Tunable& operator=(const Tunable&) = delete;
+
+  /// The current value; a relaxed load, safe and cheap on any hot path.
+  uint64_t Get() const { return value_.load(std::memory_order_relaxed); }
+
+  /// Installs Clamp(v) (relaxed store); returns what was installed.
+  uint64_t Set(uint64_t v);
+
+  /// What Set(v) would install: power-of-two rounding (up), then bounds.
+  uint64_t Clamp(uint64_t v) const;
+
+  /// Restores the spec default; returns it.
+  uint64_t Reset() { return Set(spec_.default_value); }
+
+  /// One bounded multiplicative step (the Controller's move): doubles /
+  /// halves the current value, saturating at the spec bounds. Returns the
+  /// installed value.
+  uint64_t StepUp();
+  uint64_t StepDown();
+
+  const TunableSpec& spec() const { return spec_; }
+  const std::string& name() const { return spec_.name; }
+
+ private:
+  const TunableSpec spec_;
+  std::atomic<uint64_t> value_;
+};
+
+/// The process-wide catalogue of tunables. Components register their
+/// knobs once (create-or-return by name, spec checked for agreement);
+/// the Calibrator, the Controller, ops snapshots and config hooks all
+/// address them by name through here. Registration, lookup-by-name and
+/// dumping take a mutex — they are off the hot path; hot paths hold the
+/// Tunable* (or use the inline accessors below) and pay only the relaxed
+/// load.
+class Registry {
+ public:
+  /// The process-wide registry. Never destroyed, like
+  /// sync::EpochManager::Global(): knobs are read from worker threads
+  /// that may outlive static destruction order.
+  static Registry& Global();
+
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// Create-or-return the tunable named spec.name. Re-registering with a
+  /// different default/bounds/constraint is a programmer error (checked).
+  /// The pointer stays valid for the registry's lifetime.
+  Tunable* Register(TunableSpec spec);
+
+  /// Lookup by name; null when unknown.
+  Tunable* Find(const std::string& name) const;
+
+  /// Sets a tunable by name (the config-hook path: svc options, ops
+  /// tooling). Returns false when no such tunable exists; the value is
+  /// clamped by the tunable's own spec as usual.
+  bool Set(const std::string& name, uint64_t value);
+
+  /// Restores every registered tunable to its spec default.
+  void ResetAll();
+
+  /// One line per tunable, sorted by name:
+  ///   tunable <name> <value> default=<d> min=<m> max=<M>
+  /// The format is deliberately scrape-shaped so it can ride along with
+  /// obs::Registry::DumpText in ops snapshots and bench logs.
+  std::string DumpText() const;
+
+  /// (name, current value) for every registered tunable, sorted by name.
+  std::vector<std::pair<std::string, uint64_t>> Values() const;
+
+  size_t size() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, std::unique_ptr<Tunable>> entries_;
+};
+
+/// Core knobs, registered in Registry::Global() on first use. These are
+/// the hardware-consciousness surface that used to be scattered across
+/// `g_probe_group_size`-style globals in hw/machine_model.cc; each
+/// accessor returns the same Tunable for the life of the process.
+///
+/// GP group width for the batched probe kernels (linear-probe /
+/// concurrent hash tables, ART, B+-tree, Bloom filters): the number of
+/// independent cache misses kept in flight. Power of two in [4, 32] —
+/// the widths the kernels are compiled for.
+Tunable& ProbeGroupSize();
+
+/// AMAC ring width for chained-bucket walks (the variable-length-chain
+/// discipline). Calibrated separately from the GP width because the ring
+/// keeps state live across stages and saturates differently.
+Tunable& AmacRingWidth();
+
+/// Footprint (bytes) below which AMAC degrades to the scalar walk: a
+/// cache-resident table's chain steps hit, and the ring's state shuffle
+/// is pure overhead. Derived from the machine's cache specs by
+/// MachineModel::FromHost and re-measured by the Calibrator.
+Tunable& AmacMinTableBytes();
+
+/// Rows per streaming micro-batch (dispatch amortization vs. emission
+/// latency and cache footprint).
+Tunable& StreamBatchRows();
+
+/// Max queued micro-batches per pipeline partition (the backpressure
+/// budget).
+Tunable& StreamMaxInflight();
+
+/// Watermark lateness bound in event-time units (0 = nothing may be
+/// late).
+Tunable& StreamLatenessBound();
+
+/// Retires between epoch-advance attempts (sync::EpochManager cadence).
+Tunable& EpochAdvanceInterval();
+
+/// Per-thread retire-list length that triggers a sweep (bounds deferred
+/// reclamation footprint).
+Tunable& EpochRetireBatch();
+
+/// Rows per morsel for morsel-driven parallel loops.
+Tunable& MorselRows();
+
+}  // namespace hwstar::tune
+
+#endif  // HWSTAR_TUNE_TUNABLE_H_

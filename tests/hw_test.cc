@@ -101,7 +101,7 @@ TEST(MachineModelTest, StreamKnobDefaultsAndClamping) {
   const uint32_t inflight_before = DefaultStreamMaxInflight();
   const uint64_t bound_before = DefaultStreamLatenessBound();
 
-  MachineModel{}.ApplyStreamDefaults();
+  MachineModel{}.ApplyAll();
   EXPECT_EQ(DefaultStreamBatchRows(), 4096u);
   EXPECT_EQ(DefaultStreamMaxInflight(), 8u);
   EXPECT_EQ(DefaultStreamLatenessBound(), 1024u);
@@ -130,7 +130,7 @@ TEST(MachineModelTest, SyncKnobDefaultsAndClamping) {
   const uint32_t interval_before = DefaultEpochAdvanceInterval();
   const uint32_t batch_before = DefaultEpochRetireBatch();
 
-  MachineModel{}.ApplySyncDefaults();
+  MachineModel{}.ApplyAll();
   EXPECT_EQ(DefaultEpochAdvanceInterval(), 64u);
   EXPECT_EQ(DefaultEpochRetireBatch(), 128u);
 
@@ -146,11 +146,11 @@ TEST(MachineModelTest, SyncKnobDefaultsAndClamping) {
   SetDefaultEpochRetireBatch(~0u);  // clamped down to 1M
   EXPECT_EQ(DefaultEpochRetireBatch(), 1u << 20);
 
-  // ApplySyncDefaults publishes whatever the model carries.
+  // ApplyAll publishes whatever the model carries.
   MachineModel m;
   m.epoch_advance_interval = 32;
   m.epoch_retire_batch = 512;
-  m.ApplySyncDefaults();
+  m.ApplyAll();
   EXPECT_EQ(DefaultEpochAdvanceInterval(), 32u);
   EXPECT_EQ(DefaultEpochRetireBatch(), 512u);
 
@@ -158,7 +158,7 @@ TEST(MachineModelTest, SyncKnobDefaultsAndClamping) {
   SetDefaultEpochRetireBatch(batch_before);
 }
 
-TEST(MachineModelTest, ApplyStreamDefaultsPublishesModelValues) {
+TEST(MachineModelTest, ApplyAllPublishesModelValues) {
   const uint32_t rows_before = DefaultStreamBatchRows();
   const uint32_t inflight_before = DefaultStreamMaxInflight();
   const uint64_t bound_before = DefaultStreamLatenessBound();
@@ -166,7 +166,7 @@ TEST(MachineModelTest, ApplyStreamDefaultsPublishesModelValues) {
   // ManyCore trims the micro-batch: smaller per-core caches.
   MachineModel m = MachineModel::ManyCore();
   EXPECT_LT(m.stream_batch_rows, MachineModel{}.stream_batch_rows);
-  m.ApplyStreamDefaults();
+  m.ApplyAll();
   EXPECT_EQ(DefaultStreamBatchRows(), m.stream_batch_rows);
   EXPECT_EQ(DefaultStreamMaxInflight(), m.stream_max_inflight);
   EXPECT_EQ(DefaultStreamLatenessBound(), m.stream_lateness_bound);

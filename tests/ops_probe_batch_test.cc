@@ -317,13 +317,17 @@ TEST(ProbeKernelsTest, DefaultGroupSizeRoundTripsAndClamps) {
   const uint32_t before = hw::DefaultProbeGroupSize();
   hw::SetDefaultProbeGroupSize(8);
   EXPECT_EQ(hw::DefaultProbeGroupSize(), 8u);
-  hw::SetDefaultProbeGroupSize(0);  // clamped up to 1
-  EXPECT_EQ(hw::DefaultProbeGroupSize(), 1u);
-  hw::SetDefaultProbeGroupSize(1000);  // clamped down to 64
-  EXPECT_EQ(hw::DefaultProbeGroupSize(), 64u);
+  // The registry's central clamp: power of two in [4, 32] (the compiled
+  // kernel widths), whatever path the value arrives by.
+  hw::SetDefaultProbeGroupSize(0);  // clamped up to 4
+  EXPECT_EQ(hw::DefaultProbeGroupSize(), 4u);
+  hw::SetDefaultProbeGroupSize(1000);  // clamped down to 32
+  EXPECT_EQ(hw::DefaultProbeGroupSize(), 32u);
+  hw::SetDefaultProbeGroupSize(5);  // rounded up to the next power of two
+  EXPECT_EQ(hw::DefaultProbeGroupSize(), 8u);
   hw::MachineModel model = hw::MachineModel::Desktop();
   model.probe_group_size = 16;
-  model.ApplyProbeDefaults();
+  model.ApplyAll();
   EXPECT_EQ(hw::DefaultProbeGroupSize(), 16u);
   hw::SetDefaultProbeGroupSize(before);
 }

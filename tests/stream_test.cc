@@ -738,7 +738,7 @@ TEST(PipelineTest, MetricsScrapeUnderLoad) {
 // Builder knob resolution against the hw defaults.
 
 TEST(PipelineBuilderTest, ZeroOptionsResolveToHwDefaults) {
-  hw::MachineModel{}.ApplyStreamDefaults();  // reset process knobs
+  hw::MachineModel{}.ApplyAll();  // reset process knobs
   exec::Executor executor(2);
   StreamBatch b = MakeBatch({{1, 1, 1}}, 0);
   VectorSource source({b});
