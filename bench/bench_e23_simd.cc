@@ -1,0 +1,169 @@
+// E23 -- explicit data parallelism across the ISA generations. Every arm
+// runs the *same* kernel on the same data and differs only in the
+// tune::SimdBackend knob (scalar -> SSE4.2 -> AVX2, capped at what this
+// host's cpuid reports), so the gap is purely lane width. Expected shape:
+// on cache-resident selection scans the vector backends win by the lane
+// count (the ISSUE's >= 1.5x bar for the best backend); as the footprint
+// falls out of cache the arms converge -- DRAM feeds every ISA at the
+// same rate, the paper's recurring punchline. The Bloom and hash-probe
+// arms show the composed win: SIMD hashing + whole-line block tests ride
+// on top of the group-prefetch MLP win, which vectors alone cannot buy.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "hwstar/common/random.h"
+#include "hwstar/ops/bloom_filter.h"
+#include "hwstar/ops/hash_table.h"
+#include "hwstar/ops/selection.h"
+#include "hwstar/simd/backend.h"
+#include "hwstar/tune/tunable.h"
+
+namespace {
+
+using hwstar::simd::Backend;
+using hwstar::simd::BackendName;
+
+/// Forces the simd knob for one timed region; restores on destruction.
+class ForcedBackend {
+ public:
+  explicit ForcedBackend(uint32_t b)
+      : saved_(hwstar::tune::SimdBackend().Get()) {
+    hwstar::tune::SimdBackend().Set(b);
+  }
+  ~ForcedBackend() { hwstar::tune::SimdBackend().Set(saved_); }
+
+ private:
+  uint64_t saved_;
+};
+
+// Selection-scan footprints: L1-resident through DRAM-resident.
+const std::vector<std::pair<std::string, uint64_t>>& ScanFootprints() {
+  static const std::vector<std::pair<std::string, uint64_t>> kFootprints = {
+      {"L1_16KB", 16u << 10},
+      {"L2_128KB", 128u << 10},
+      {"LLC_4MB", 4u << 20},
+      {"DRAM_64MB", 64u << 20},
+  };
+  return kFootprints;
+}
+
+const std::vector<int64_t>& ScanInput(uint64_t bytes) {
+  static std::map<uint64_t, std::unique_ptr<std::vector<int64_t>>> cache;
+  auto& slot = cache[bytes];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<int64_t>>(bytes / sizeof(int64_t));
+    hwstar::Xoshiro256 rng(bytes);
+    for (auto& v : *slot) v = static_cast<int64_t>(rng.Next() >> 1);
+  }
+  return *slot;
+}
+
+void BM_SelectionScan(benchmark::State& state, uint64_t bytes,
+                      uint32_t backend) {
+  const auto& v = ScanInput(bytes);
+  // ~50% selectivity: nonneg values uniform in [0, 2^63).
+  const int64_t hi = int64_t{1} << 62;
+  ForcedBackend forced(backend);
+  std::vector<uint32_t> out;
+  std::vector<uint64_t> scratch;
+  for (auto _ : state) {
+    uint64_t n = hwstar::ops::SelectBitmap(v, 0, hi, &out, &scratch);
+    benchmark::DoNotOptimize(n);
+  }
+  state.counters["MB"] = static_cast<double>(bytes) / (1 << 20);
+  state.counters["Mvals_per_s"] = benchmark::Counter(
+      static_cast<double>(v.size()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+// Bloom / probe arms: cache-resident structures, miss-heavy probe mix, so
+// both the hash phase and the test/scan phase are hot.
+constexpr uint64_t kBloomKeys = 1u << 16;
+constexpr uint64_t kProbeBuildKeys = 1u << 15;
+constexpr size_t kProbeCount = 1u << 16;
+
+const std::vector<uint64_t>& ProbeKeys(uint64_t build_n, uint64_t seed) {
+  static std::map<uint64_t, std::unique_ptr<std::vector<uint64_t>>> cache;
+  auto& slot = cache[seed];
+  if (slot == nullptr) {
+    slot = std::make_unique<std::vector<uint64_t>>(kProbeCount);
+    hwstar::Xoshiro256 rng(seed);
+    for (size_t i = 0; i < kProbeCount; ++i) {
+      // Half hits, half guaranteed misses.
+      (*slot)[i] = i % 2 == 0 ? rng.NextBounded(build_n) * 2 + 1
+                              : (rng.Next() << 1) | (uint64_t{1} << 63);
+    }
+  }
+  return *slot;
+}
+
+void BM_BlockedBloom(benchmark::State& state, uint32_t backend) {
+  static hwstar::ops::BlockedBloomFilter* filter = [] {
+    auto* f = new hwstar::ops::BlockedBloomFilter(kBloomKeys, 10);
+    for (uint64_t k = 0; k < kBloomKeys; ++k) f->Add(k * 2 + 1);
+    return f;
+  }();
+  const auto& keys = ProbeKeys(kBloomKeys, 101);
+  std::unique_ptr<bool[]> out(new bool[keys.size()]);
+  ForcedBackend forced(backend);
+  for (auto _ : state) {
+    filter->MayContainBatch(keys.data(), keys.size(), out.get());
+    benchmark::DoNotOptimize(out[0]);
+  }
+  state.counters["Mkeys_per_s"] = benchmark::Counter(
+      static_cast<double>(keys.size()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+void BM_LinearProbe(benchmark::State& state, uint32_t backend) {
+  static hwstar::ops::LinearProbeTable* table = [] {
+    auto* t = new hwstar::ops::LinearProbeTable(kProbeBuildKeys);
+    for (uint64_t k = 0; k < kProbeBuildKeys; ++k) t->Insert(k * 2 + 1, k);
+    return t;
+  }();
+  const auto& keys = ProbeKeys(kProbeBuildKeys, 202);
+  std::vector<uint64_t> values(keys.size());
+  ForcedBackend forced(backend);
+  for (auto _ : state) {
+    size_t hits =
+        table->FindBatch(keys.data(), keys.size(), values.data(), nullptr);
+    benchmark::DoNotOptimize(hits);
+  }
+  state.counters["Mkeys_per_s"] = benchmark::Counter(
+      static_cast<double>(keys.size()) * 1e-6,
+      benchmark::Counter::kIsIterationInvariantRate);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const uint32_t best = static_cast<uint32_t>(hwstar::simd::BestSupported());
+  // Only the backends this host can execute: a forced knob above the cap
+  // would silently measure the capped backend twice.
+  for (uint32_t b = 0; b <= best; ++b) {
+    const std::string backend = BackendName(static_cast<Backend>(b));
+    for (const auto& [label, bytes] : ScanFootprints()) {
+      benchmark::RegisterBenchmark(
+          ("scan_" + label + "_" + backend).c_str(), BM_SelectionScan, bytes,
+          b)
+          ->Iterations(bytes >= (16u << 20) ? 20 : 400);
+    }
+    benchmark::RegisterBenchmark(("bloom_blocked_" + backend).c_str(),
+                                 BM_BlockedBloom, b)
+        ->Iterations(400);
+    benchmark::RegisterBenchmark(("probe_linear_" + backend).c_str(),
+                                 BM_LinearProbe, b)
+        ->Iterations(400);
+  }
+  return hwstar::bench::RunBenchMain(
+      argc, argv,
+      "E23: simd backends (knob-forced) on selection / bloom / probe",
+      {"MB", "Mvals_per_s", "Mkeys_per_s"});
+}

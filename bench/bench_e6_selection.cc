@@ -14,6 +14,7 @@
 
 #include "bench_common.h"
 #include "hwstar/ops/selection.h"
+#include "hwstar/tune/tunable.h"
 #include "hwstar/workload/distributions.h"
 
 namespace {
@@ -74,6 +75,24 @@ void BM_Bitmap(benchmark::State& state) {
   SetCounters(state, sel);
 }
 
+// The bitmap kernel with the simd knob forced to scalar: the gap to
+// `bitmap` is the explicit-data-parallelism win at each selectivity
+// (bench_e23_simd sweeps it across footprints). Both arms are
+// bit-identical by contract -- only the lane width differs.
+void BM_BitmapScalar(benchmark::State& state) {
+  const int sel = static_cast<int>(state.range(0));
+  const auto& v = Input(sel);
+  std::vector<uint32_t> out;
+  const uint64_t saved = hwstar::tune::SimdBackend().Get();
+  hwstar::tune::SimdBackend().Set(0);
+  for (auto _ : state) {
+    uint64_t n = hwstar::ops::SelectBitmap(v, 0, kThreshold, &out);
+    benchmark::DoNotOptimize(n);
+  }
+  hwstar::tune::SimdBackend().Set(saved);
+  SetCounters(state, sel);
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -86,6 +105,9 @@ int main(int argc, char** argv) {
         ->Arg(s)
         ->Iterations(3);
     benchmark::RegisterBenchmark("bitmap", BM_Bitmap)->Arg(s)->Iterations(3);
+    benchmark::RegisterBenchmark("bitmap_scalar", BM_BitmapScalar)
+        ->Arg(s)
+        ->Iterations(3);
   }
   return hwstar::bench::RunBenchMain(
       argc, argv, "E6: selection kernels across selectivity (16M rows)",

@@ -19,6 +19,14 @@ inline uint64_t Mix64(uint64_t k) {
   return k;
 }
 
+/// Batched Mix64: out[i] = Mix64(keys[i]) for i in [0, n), bit-identical
+/// to the scalar loop. Runs data-parallel (4-wide AVX2 / 2-wide SSE4.2)
+/// on the active hwstar::simd backend — this is the hash phase of the
+/// batched probe kernels and radix partitioning. Defined in
+/// simd/kernels.cc; callers that want to pin the backend (benches,
+/// cross-backend identity tests) use simd::Mix64Batch directly.
+void Mix64Batch(const uint64_t* keys, size_t n, uint64_t* out);
+
 /// Cheap multiplicative hash (Knuth); used where speed matters more than
 /// avalanche quality (e.g., radix partitioning pre-hash).
 inline uint64_t MultiplicativeHash(uint64_t k) {

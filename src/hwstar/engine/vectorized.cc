@@ -1,12 +1,111 @@
 #include "hwstar/engine/vectorized.h"
 
 #include <algorithm>
+#include <limits>
 #include <map>
+#include <span>
 #include <vector>
 
 #include "hwstar/common/macros.h"
+#include "hwstar/ops/selection.h"
 
 namespace hwstar::engine {
+
+namespace {
+
+/// Range-filter pattern matching: folds a predicate tree of the shape
+/// `And(col >= c1, col < c2)` (any mix of Ge/Gt/Le/Lt over one column,
+/// each as `col OP const`) into a single [lo, hi) interval. Matching
+/// predicates bypass EvalBatch entirely and run the explicitly
+/// data-parallel ops::SelectBitmap kernel; anything else falls back to
+/// the interpreted primitive. Bounds that the half-open interval cannot
+/// represent are rejected rather than approximated: `col <= INT64_MAX`
+/// and `col > INT64_MAX` have no exclusive upper bound / incremented
+/// lower bound, and a predicate with no upper bound at all would need
+/// hi = 2^63 -- EvalBatch handles those, so semantics never change.
+struct RangeMatch {
+  int column = -1;
+  int64_t lo = std::numeric_limits<int64_t>::min();
+  int64_t hi = 0;
+  bool has_hi = false;
+  bool ok = true;
+};
+
+bool BindColumnConst(const Expr* e, int* column, int64_t* c) {
+  const Expr* l = e->left();
+  const Expr* r = e->right();
+  if (l == nullptr || r == nullptr) return false;
+  if (l->kind() != ExprKind::kColumn || r->kind() != ExprKind::kConstant) {
+    return false;
+  }
+  *column = l->column_index();
+  *c = r->constant_value();
+  return true;
+}
+
+void FoldPredicate(const Expr* e, RangeMatch* m) {
+  if (!m->ok || e == nullptr) {
+    m->ok = false;
+    return;
+  }
+  const ExprKind k = e->kind();
+  if (k == ExprKind::kAnd) {
+    FoldPredicate(e->left(), m);
+    FoldPredicate(e->right(), m);
+    return;
+  }
+  int column = -1;
+  int64_t c = 0;
+  if ((k != ExprKind::kGe && k != ExprKind::kGt && k != ExprKind::kLt &&
+       k != ExprKind::kLe) ||
+      !BindColumnConst(e, &column, &c)) {
+    m->ok = false;
+    return;
+  }
+  if (m->column >= 0 && column != m->column) {
+    m->ok = false;
+    return;
+  }
+  m->column = column;
+  const int64_t kMax = std::numeric_limits<int64_t>::max();
+  switch (k) {
+    case ExprKind::kGe:
+      m->lo = std::max(m->lo, c);
+      break;
+    case ExprKind::kGt:
+      if (c == kMax) {
+        m->ok = false;
+        return;
+      }
+      m->lo = std::max(m->lo, c + 1);
+      break;
+    case ExprKind::kLt:
+      m->hi = m->has_hi ? std::min(m->hi, c) : c;
+      m->has_hi = true;
+      break;
+    case ExprKind::kLe:
+      if (c == kMax) {
+        m->ok = false;
+        return;
+      }
+      m->hi = m->has_hi ? std::min(m->hi, c + 1) : c + 1;
+      m->has_hi = true;
+      break;
+    default:
+      m->ok = false;
+      return;
+  }
+}
+
+bool MatchRangeFilter(const Expr* e, RangeMatch* out) {
+  RangeMatch m;
+  FoldPredicate(e, &m);
+  if (!m.ok || !m.has_hi || m.column < 0) return false;
+  *out = m;
+  return true;
+}
+
+}  // namespace
 
 QueryResult ExecuteVectorized(const Query& query,
                               const VectorizedOptions& options) {
@@ -22,13 +121,31 @@ QueryResult ExecuteVectorized(const Query& query,
   std::vector<uint32_t> sel(batch);
   std::map<int64_t, QueryGroup> groups;
 
+  // Recognize range predicates once per query; matching filters run the
+  // SIMD selection kernel per batch instead of the interpreted EvalBatch.
+  // The bitmap scratch lives across batches (the SelectBitmap scratch
+  // overload), so the whole filter chain allocates nothing per batch
+  // after the first.
+  RangeMatch range;
+  const bool use_range_kernel =
+      query.filter != nullptr && MatchRangeFilter(query.filter.get(), &range);
+  const int64_t* range_column =
+      use_range_kernel
+          ? store.IntColumn(static_cast<size_t>(range.column)).data()
+          : nullptr;
+  std::vector<uint64_t> bitmap_scratch;
+
   for (uint64_t begin = options.row_begin; begin < n; begin += batch) {
     const uint64_t end = std::min<uint64_t>(begin + batch, n);
     const uint32_t count = static_cast<uint32_t>(end - begin);
 
     // Filter primitive: selection vector of batch-relative offsets.
     uint32_t selected = 0;
-    if (query.filter) {
+    if (use_range_kernel) {
+      selected = static_cast<uint32_t>(ops::SelectBitmap(
+          std::span<const int64_t>(range_column + begin, count), range.lo,
+          range.hi, &sel, &bitmap_scratch));
+    } else if (query.filter) {
       query.filter->EvalBatch(store, begin, end, pred.data());
       for (uint32_t i = 0; i < count; ++i) {
         sel[selected] = i;

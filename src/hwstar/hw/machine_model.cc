@@ -74,6 +74,14 @@ void SetDefaultEpochRetireBatch(uint32_t entries) {
   tune::EpochRetireBatch().Set(entries);
 }
 
+uint32_t DefaultSimdBackend() {
+  return static_cast<uint32_t>(tune::SimdBackend().Get());
+}
+
+void SetDefaultSimdBackend(uint32_t backend) {
+  tune::SimdBackend().Set(backend);
+}
+
 void MachineModel::ApplyAll() const {
   tune::ProbeGroupSize().Set(probe_group_size);
   tune::AmacRingWidth().Set(amac_ring_width);
@@ -84,6 +92,7 @@ void MachineModel::ApplyAll() const {
   tune::EpochAdvanceInterval().Set(epoch_advance_interval);
   tune::EpochRetireBatch().Set(epoch_retire_batch);
   tune::MorselRows().Set(morsel_rows);
+  tune::SimdBackend().Set(simd_backend);
 }
 
 MachineModel MachineModel::Server2013() {
@@ -181,6 +190,9 @@ MachineModel MachineModel::FromHost(const CpuTopology& topo) {
   // inheriting Server2013's constant: the whole point of FromHost is that
   // the knobs track the machine underfoot.
   m.amac_min_table_bytes = DeriveAmacGateBytes(m.caches, m.cores);
+  // Record the cpuid answer instead of the hand-built models' "best"
+  // request, so the tunables dump states which ISA this host actually ran.
+  m.simd_backend = topo.isa.avx2 ? 2u : topo.isa.sse42 ? 1u : 0u;
   return m;
 }
 
@@ -193,7 +205,9 @@ std::string MachineModel::ToString() const {
        << c.hit_latency_cycles << "cy";
   }
   os << " dram=" << dram_latency_cycles << "cy numa=" << numa_nodes << "x"
-     << numa_remote_multiplier;
+     << numa_remote_multiplier << " simd="
+     << (simd_backend >= 2 ? "avx2" : simd_backend == 1 ? "sse4.2"
+                                                        : "scalar");
   return os.str();
 }
 

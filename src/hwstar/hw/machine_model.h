@@ -111,6 +111,13 @@ struct MachineModel {
   /// Rows per morsel for morsel-driven parallel loops (tune::MorselRows).
   uint64_t morsel_rows = uint64_t{1} << 16;
 
+  /// Requested simd::Backend for the data-parallel kernels
+  /// (tune::SimdBackend): 0 = scalar, 1 = SSE4.2, 2 = AVX2. The hand-built
+  /// models ask for the best (2) and let simd::ActiveBackend cap it at
+  /// what the host cpuid actually reports; FromHost() records the detected
+  /// answer so the knob dump names the ISA the machine really ran.
+  uint32_t simd_backend = 2;
+
   /// A 2013-era two-socket server: 8 cores, 32KB/256KB/20MB caches, 2 NUMA
   /// nodes with 1.6x remote latency.
   static MachineModel Server2013();
@@ -188,6 +195,12 @@ void SetDefaultEpochAdvanceInterval(uint32_t retires);
 /// to [1, 1<<20].
 uint32_t DefaultEpochRetireBatch();
 void SetDefaultEpochRetireBatch(uint32_t entries);
+
+/// Requested SIMD backend for the hwstar::simd kernels (0 = scalar,
+/// 1 = SSE4.2, 2 = AVX2). Clamped to [0, 2]; additionally capped at the
+/// host's cpuid support when read through simd::ActiveBackend().
+uint32_t DefaultSimdBackend();
+void SetDefaultSimdBackend(uint32_t backend);
 
 }  // namespace hwstar::hw
 

@@ -45,6 +45,27 @@ std::vector<CacheLevelInfo> FallbackCaches() {
 
 }  // namespace
 
+std::string CpuIsaFeatures::ToString() const {
+  std::string out;
+  if (sse42) out += "sse4.2 ";
+  if (avx2) out += "avx2 ";
+  if (avx512f) out += "avx512f ";
+  if (out.empty()) return "none";
+  out.pop_back();  // trailing space
+  return out;
+}
+
+CpuIsaFeatures DetectIsaFeatures() {
+  CpuIsaFeatures isa;
+#if (defined(__x86_64__) || defined(__i386__)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  isa.sse42 = __builtin_cpu_supports("sse4.2") != 0;
+  isa.avx2 = __builtin_cpu_supports("avx2") != 0;
+  isa.avx512f = __builtin_cpu_supports("avx512f") != 0;
+#endif
+  return isa;
+}
+
 uint64_t CpuTopology::CacheSizeBytes(int level) const {
   for (const auto& c : caches) {
     if (c.level == level && (c.type == "Data" || c.type == "Unified")) {
@@ -61,6 +82,7 @@ std::string CpuTopology::ToString() const {
     os << " L" << c.level << (c.type == "Data" ? "d" : "")
        << "=" << (c.size_bytes >> 10) << "KB";
   }
+  os << " isa=" << isa.ToString();
   return os.str();
 }
 
@@ -68,6 +90,7 @@ CpuTopology DiscoverTopology() {
   CpuTopology topo;
   unsigned hc = std::thread::hardware_concurrency();
   topo.logical_cores = hc == 0 ? 1 : hc;
+  topo.isa = DetectIsaFeatures();
 
   const std::string base = "/sys/devices/system/cpu/cpu0/cache/index";
   for (int idx = 0; idx < 8; ++idx) {

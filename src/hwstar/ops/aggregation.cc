@@ -2,12 +2,14 @@
 
 #include <algorithm>
 #include <atomic>
+#include <limits>
 #include <mutex>
 
 #include "hwstar/common/bits.h"
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
 #include "hwstar/exec/morsel.h"
+#include "hwstar/simd/kernels.h"
 
 namespace hwstar::ops {
 
@@ -168,20 +170,29 @@ std::vector<GroupSum> HashAggregate(std::span<const uint64_t> keys,
 }
 
 int64_t Sum(std::span<const int64_t> values) {
-  int64_t sum = 0;
-  for (int64_t v : values) sum += v;
-  return sum;
+  return simd::Sum(simd::ActiveBackend(), values.data(), values.size());
+}
+
+int64_t Min(std::span<const int64_t> values) {
+  if (values.empty()) return std::numeric_limits<int64_t>::max();
+  return simd::Min(simd::ActiveBackend(), values.data(), values.size());
+}
+
+int64_t Max(std::span<const int64_t> values) {
+  if (values.empty()) return std::numeric_limits<int64_t>::min();
+  return simd::Max(simd::ActiveBackend(), values.data(), values.size());
 }
 
 int64_t ParallelSum(std::span<const int64_t> values, exec::Executor* pool,
                     uint64_t morsel_size) {
   if (pool == nullptr) return Sum(values);
+  const simd::Backend be = simd::ActiveBackend();
   std::atomic<int64_t> total{0};
   exec::ParallelForMorsels(
       pool, values.size(), morsel_size,
       [&](uint32_t /*worker*/, exec::Morsel m) {
-        int64_t local = 0;
-        for (uint64_t i = m.begin; i < m.end; ++i) local += values[i];
+        const int64_t local =
+            simd::Sum(be, values.data() + m.begin, m.end - m.begin);
         total.fetch_add(local, std::memory_order_relaxed);
       });
   return total.load(std::memory_order_relaxed);

@@ -35,11 +35,18 @@ std::vector<GroupSum> HashAggregate(std::span<const uint64_t> keys,
                                     const HashAggregateOptions& options = {});
 
 /// Plain (ungrouped) sum: the bandwidth-bound kernel used by the scaling
-/// experiments. Sequential, auto-vectorizable.
+/// experiments. Explicitly data-parallel on the active hwstar::simd
+/// backend; bit-identical to the sequential loop (mod-2^64 accumulation
+/// is reassociation-exact).
 int64_t Sum(std::span<const int64_t> values);
 
+/// Columnar min/max on the active simd backend. Empty input returns the
+/// identity (INT64_MAX for Min, INT64_MIN for Max).
+int64_t Min(std::span<const int64_t> values);
+int64_t Max(std::span<const int64_t> values);
+
 /// Parallel sum over the executor (morsel-driven; morsel_size 0 reads the
-/// tune::MorselRows knob).
+/// tune::MorselRows knob). Each morsel body runs the simd Sum kernel.
 int64_t ParallelSum(std::span<const int64_t> values, exec::Executor* pool,
                     uint64_t morsel_size = 0);
 

@@ -4,10 +4,14 @@
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
 #include "hwstar/ops/probe_kernels.h"
+#include "hwstar/simd/kernels.h"
 
 namespace hwstar::ops {
 
 namespace {
+
+/// The h2 seed both filters derive their second hash from.
+constexpr uint64_t kH2Seed = 0x9e3779b97f4a7c15ULL;
 
 /// Derives k probe positions from one 64-bit hash via double hashing
 /// (Kirsch-Mitzenmacher): position_i = h1 + i * h2. The bit count is a
@@ -25,6 +29,22 @@ uint32_t OptimalHashes(uint32_t bits_per_key) {
   return k;
 }
 
+/// Expands h2 into the 8-word (512-bit) probe mask of a blocked-filter
+/// query. Building the mask and testing (block & mask) == mask with one
+/// vector compare replaces the k-iteration bit-test loop; the set of bits
+/// is identical, so the answer is too (the scalar loop merely early-exits
+/// where the block test evaluates all words).
+inline void BuildBlockMask(uint64_t h2, uint32_t num_hashes,
+                           uint64_t mask[8]) {
+  for (int w = 0; w < 8; ++w) mask[w] = 0;
+  for (uint32_t i = 0; i < num_hashes; ++i) {
+    const uint32_t bit = static_cast<uint32_t>(
+        ((h2 >> ((i * 9) % 55)) ^ (h2 << (i % 7))) &
+        (BlockedBloomFilter::kBlockBits - 1));
+    mask[bit >> 6] |= uint64_t{1} << (bit & 63);
+  }
+}
+
 }  // namespace
 
 BloomFilter::BloomFilter(uint64_t expected, uint32_t bits_per_key) {
@@ -38,7 +58,7 @@ BloomFilter::BloomFilter(uint64_t expected, uint32_t bits_per_key) {
 
 void BloomFilter::Add(uint64_t key) {
   const uint64_t h1 = Mix64(key);
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  const uint64_t h2 = Mix64(key ^ kH2Seed) | 1;
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     const uint64_t pos = ProbePos(h1, h2, i, bit_count_ - 1);
     words_[pos >> 6] |= uint64_t{1} << (pos & 63);
@@ -47,7 +67,7 @@ void BloomFilter::Add(uint64_t key) {
 
 bool BloomFilter::MayContain(uint64_t key) const {
   const uint64_t h1 = Mix64(key);
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL) | 1;
+  const uint64_t h2 = Mix64(key ^ kH2Seed) | 1;
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     const uint64_t pos = ProbePos(h1, h2, i, bit_count_ - 1);
     if ((words_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) return false;
@@ -57,37 +77,42 @@ bool BloomFilter::MayContain(uint64_t key) const {
 
 void BloomFilter::MayContainBatch(const uint64_t* keys, size_t n, bool* out,
                                   uint32_t group_size) const {
+  const simd::Backend be = simd::ActiveBackend();
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t G = decltype(g)::value;
     uint64_t h1s[G];
     uint64_t h2s[G];
     const uint64_t mask = bit_count_ - 1;
-    GroupPrefetchLoop<G>(
-        n,
-        [&](uint32_t lane, size_t i) {
-          const uint64_t h1 = Mix64(keys[i]);
-          const uint64_t h2 = Mix64(keys[i] ^ 0x9e3779b97f4a7c15ULL) | 1;
-          h1s[lane] = h1;
-          h2s[lane] = h2;
-          HWSTAR_PREFETCH(&words_[ProbePos(h1, h2, 0, mask) >> 6]);
-        },
-        [&](uint32_t lane, size_t i) {
-          const uint64_t h1 = h1s[lane];
-          const uint64_t h2 = h2s[lane];
-          bool may = true;
-          for (uint32_t p = 0; p < num_hashes_; ++p) {
-            // Keep one probe ahead in flight within the key as well.
-            if (p + 1 < num_hashes_) {
-              HWSTAR_PREFETCH(&words_[ProbePos(h1, h2, p + 1, mask) >> 6]);
-            }
-            const uint64_t pos = ProbePos(h1, h2, p, mask);
-            if ((words_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) {
-              may = false;
-              break;
-            }
+    // Explicit group loop (rather than GroupPrefetchLoop's per-lane
+    // callbacks) so the whole group's hash phase runs as two
+    // data-parallel Mix64Batch sweeps before any prefetch issues.
+    size_t i = 0;
+    for (; i + G <= n; i += G) {
+      simd::Mix64Batch(be, keys + i, G, h1s);
+      simd::Mix64Batch(be, keys + i, G, h2s, kH2Seed);
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        h2s[lane] |= 1;
+        HWSTAR_PREFETCH(&words_[ProbePos(h1s[lane], h2s[lane], 0, mask) >> 6]);
+      }
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        const uint64_t h1 = h1s[lane];
+        const uint64_t h2 = h2s[lane];
+        bool may = true;
+        for (uint32_t p = 0; p < num_hashes_; ++p) {
+          // Keep one probe ahead in flight within the key as well.
+          if (p + 1 < num_hashes_) {
+            HWSTAR_PREFETCH(&words_[ProbePos(h1, h2, p + 1, mask) >> 6]);
           }
-          out[i] = may;
-        });
+          const uint64_t pos = ProbePos(h1, h2, p, mask);
+          if ((words_[pos >> 6] & (uint64_t{1} << (pos & 63))) == 0) {
+            may = false;
+            break;
+          }
+        }
+        out[i + lane] = may;
+      }
+    }
+    for (; i < n; ++i) out[i] = MayContain(keys[i]);
   });
 }
 
@@ -114,7 +139,7 @@ void BlockedBloomFilter::Add(uint64_t key) {
   const uint64_t h1 = Mix64(key);
   // High bits pick the block; the rest seed the in-block positions.
   const uint64_t block = h1 & (num_blocks_ - 1);  // num_blocks_ is pow2
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL);
+  const uint64_t h2 = Mix64(key ^ kH2Seed);
   uint64_t* base = &words_[block * 8];
   for (uint32_t i = 0; i < num_hashes_; ++i) {
     const uint32_t bit = static_cast<uint32_t>(
@@ -126,45 +151,42 @@ void BlockedBloomFilter::Add(uint64_t key) {
 bool BlockedBloomFilter::MayContain(uint64_t key) const {
   const uint64_t h1 = Mix64(key);
   const uint64_t block = h1 & (num_blocks_ - 1);
-  const uint64_t h2 = Mix64(key ^ 0x9e3779b97f4a7c15ULL);
-  const uint64_t* base = &words_[block * 8];
-  for (uint32_t i = 0; i < num_hashes_; ++i) {
-    const uint32_t bit = static_cast<uint32_t>(
-        ((h2 >> ((i * 9) % 55)) ^ (h2 << (i % 7))) & (kBlockBits - 1));
-    if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) return false;
-  }
-  return true;
+  const uint64_t h2 = Mix64(key ^ kH2Seed);
+  uint64_t mask[8];
+  BuildBlockMask(h2, num_hashes_, mask);
+  return simd::TestBlock512(simd::ActiveBackend(), &words_[block * 8], mask);
 }
 
 void BlockedBloomFilter::MayContainBatch(const uint64_t* keys, size_t n,
                                          bool* out,
                                          uint32_t group_size) const {
+  const simd::Backend be = simd::ActiveBackend();
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t G = decltype(g)::value;
     uint64_t blocks[G];
     uint64_t h2s[G];
-    GroupPrefetchLoop<G>(
-        n,
-        [&](uint32_t lane, size_t i) {
-          const uint64_t block = Mix64(keys[i]) & (num_blocks_ - 1);
-          blocks[lane] = block;
-          h2s[lane] = Mix64(keys[i] ^ 0x9e3779b97f4a7c15ULL);
-          HWSTAR_PREFETCH(&words_[block * 8]);
-        },
-        [&](uint32_t lane, size_t i) {
-          const uint64_t h2 = h2s[lane];
-          const uint64_t* base = &words_[blocks[lane] * 8];
-          bool may = true;
-          for (uint32_t p = 0; p < num_hashes_; ++p) {
-            const uint32_t bit = static_cast<uint32_t>(
-                ((h2 >> ((p * 9) % 55)) ^ (h2 << (p % 7))) & (kBlockBits - 1));
-            if ((base[bit >> 6] & (uint64_t{1} << (bit & 63))) == 0) {
-              may = false;
-              break;
-            }
-          }
-          out[i] = may;
-        });
+    // Explicit group loop: the hash phase runs as two data-parallel
+    // Mix64Batch sweeps over the group, each block's single line is
+    // prefetched, and the test phase answers each query with one
+    // 512-bit vector compare against the line the prefetch pulled in.
+    // Group prefetching hides the miss; SIMD collapses the k-bit-test
+    // loop that used to sit on top of the hit -- the two compose.
+    size_t i = 0;
+    for (; i + G <= n; i += G) {
+      simd::Mix64Batch(be, keys + i, G, blocks);
+      simd::Mix64Batch(be, keys + i, G, h2s, kH2Seed);
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        blocks[lane] &= num_blocks_ - 1;
+        HWSTAR_PREFETCH(&words_[blocks[lane] * 8]);
+      }
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        uint64_t mask[8];
+        BuildBlockMask(h2s[lane], num_hashes_, mask);
+        out[i + lane] =
+            simd::TestBlock512(be, &words_[blocks[lane] * 8], mask);
+      }
+    }
+    for (; i < n; ++i) out[i] = MayContain(keys[i]);
   });
 }
 

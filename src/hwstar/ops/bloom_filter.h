@@ -51,13 +51,20 @@ class BlockedBloomFilter {
   BlockedBloomFilter(uint64_t expected, uint32_t bits_per_key = 10);
 
   void Add(uint64_t key);
+
+  /// One 512-bit vector compare against the key's block: the k probe bits
+  /// are expanded into a cache-line-wide mask and tested at once on the
+  /// active hwstar::simd backend, instead of k dependent bit-test
+  /// iterations.
   bool MayContain(uint64_t key) const;
 
   /// Batched query with group prefetching. Because every query touches
   /// exactly one cache line, one prefetch per key covers the whole query:
   /// the group runs at full memory-level parallelism, which makes this
-  /// the strongest batch win of the filter pair. out[i] is bit-identical
-  /// to MayContain(keys[i]).
+  /// the strongest batch win of the filter pair. The hash phase runs
+  /// data-parallel (simd::Mix64Batch) and each test is one 512-bit vector
+  /// compare, so SIMD composes multiplicatively with the prefetch win.
+  /// out[i] is bit-identical to MayContain(keys[i]).
   void MayContainBatch(const uint64_t* keys, size_t n, bool* out,
                        uint32_t group_size = 0) const;
 

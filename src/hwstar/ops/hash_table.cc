@@ -36,16 +36,15 @@ void LinearProbeTable::Insert(uint64_t key, uint64_t value) {
 }
 
 bool LinearProbeTable::Find(uint64_t key, uint64_t* out) const {
-  uint64_t slot = HomeSlot(key);
-  for (;;) {
-    const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-    if (k == kEmpty) return false;
-    if (k == key) {
-      *out = values_[slot].load(std::memory_order_relaxed);
-      return true;
-    }
-    slot = (slot + 1) & mask_;
-  }
+  uint64_t value = 0;
+  const uint32_t matches =
+      WalkChainFrom(key, HomeSlot(key), [&](uint64_t slot) {
+        value = values_[slot].load(std::memory_order_relaxed);
+        return false;  // first match only
+      });
+  if (matches == 0) return false;
+  *out = value;
+  return true;
 }
 
 size_t LinearProbeTable::FindBatch(const uint64_t* keys, size_t n,
@@ -54,45 +53,41 @@ size_t LinearProbeTable::FindBatch(const uint64_t* keys, size_t n,
   size_t hits = 0;
   WithProbeGroup(group_size, [&](auto g) {
     constexpr uint32_t G = decltype(g)::value;
-    if (n < G) {
-      // Tiny batch: the scalar path, with no staging overhead.
-      for (size_t i = 0; i < n; ++i) {
+    const simd::Backend be = simd::ActiveBackend();
+    uint64_t slots[G];
+    // Explicit group loop: the hash phase is one data-parallel
+    // Mix64Batch sweep per group, then G prefetches go out together,
+    // then the probe phase walks chains against lines already in
+    // flight. The ragged tail (and any batch under one group) takes
+    // the scalar path with no staging overhead.
+    size_t i = 0;
+    for (; i + G <= n; i += G) {
+      simd::Mix64Batch(be, keys + i, G, slots);
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        slots[lane] >>= shift_;
+        HWSTAR_PREFETCH(&keys_[slots[lane]]);
+        HWSTAR_PREFETCH(&values_[slots[lane]]);
+      }
+      for (uint32_t lane = 0; lane < G; ++lane) {
+        const size_t idx = i + lane;
         uint64_t value = 0;
-        const bool hit = Find(keys[i], &value);
-        values[i] = hit ? value : 0;
-        if (found != nullptr) found[i] = hit;
+        const bool hit =
+            WalkChainFrom(keys[idx], slots[lane], [&](uint64_t slot) {
+              value = values_[slot].load(std::memory_order_relaxed);
+              return false;
+            }) != 0;
+        values[idx] = value;
+        if (found != nullptr) found[idx] = hit;
         hits += hit;
       }
-      return;
     }
-    uint64_t slots[G];
-    GroupPrefetchLoop<G>(
-        n,
-        [&](uint32_t lane, size_t i) {
-          const uint64_t slot = HomeSlot(keys[i]);
-          slots[lane] = slot;
-          HWSTAR_PREFETCH(&keys_[slot]);
-          HWSTAR_PREFETCH(&values_[slot]);
-        },
-        [&](uint32_t lane, size_t i) {
-          const uint64_t key = keys[i];
-          uint64_t slot = slots[lane];
-          uint64_t value = 0;
-          bool hit = false;
-          for (;;) {
-            const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-            if (k == kEmpty) break;
-            if (k == key) {
-              value = values_[slot].load(std::memory_order_relaxed);
-              hit = true;
-              break;
-            }
-            slot = (slot + 1) & mask_;
-          }
-          values[i] = value;
-          if (found != nullptr) found[i] = hit;
-          hits += hit;
-        });
+    for (; i < n; ++i) {
+      uint64_t value = 0;
+      const bool hit = Find(keys[i], &value);
+      values[i] = hit ? value : 0;
+      if (found != nullptr) found[i] = hit;
+      hits += hit;
+    }
   });
   return hits;
 }
@@ -192,7 +187,11 @@ uint32_t ChainedTable::CountMatches(uint64_t key) const {
 }
 
 bool ChainedTable::Find(uint64_t key, uint64_t* out) const {
-  const uint64_t b = HomeSlot(key);
+  return FindAtBucket(HomeSlot(key), key, out);
+}
+
+bool ChainedTable::FindAtBucket(uint64_t b, uint64_t key,
+                                uint64_t* out) const {
   const NodeBlock* blk = block_.load(std::memory_order_acquire);
   int64_t n = buckets_[b].load(std::memory_order_acquire);
   blk = Resnapshot(blk, n);
@@ -219,12 +218,24 @@ size_t ChainedTable::FindBatch(const uint64_t* keys, size_t n,
     // gate entirely — the caller (a Calibrator trial, a pinned-width
     // bench arm) is asking for the ring, not for a policy decision.
     if (MemoryBytes() < hw::DefaultAmacMinTableBytes()) {
-      for (size_t i = 0; i < n; ++i) {
-        uint64_t value = 0;
-        const bool hit = Find(keys[i], &value);
-        values[i] = hit ? value : 0;
-        if (found != nullptr) found[i] = hit;
-        hits += hit;
+      // Cache-resident walk: chain steps hit, so hashing is a real
+      // fraction of the cost -- run it data-parallel in chunks and
+      // feed the precomputed buckets to the walk.
+      const simd::Backend be = simd::ActiveBackend();
+      constexpr size_t kChunk = 256;
+      uint64_t bucket_of[kChunk];
+      for (size_t base = 0; base < n; base += kChunk) {
+        const size_t m = n - base < kChunk ? n - base : kChunk;
+        simd::Mix64Batch(be, keys + base, m, bucket_of);
+        for (size_t j = 0; j < m; ++j) {
+          const size_t i = base + j;
+          uint64_t value = 0;
+          const bool hit =
+              FindAtBucket(bucket_of[j] >> shift_, keys[i], &value);
+          values[i] = hit ? value : 0;
+          if (found != nullptr) found[i] = hit;
+          hits += hit;
+        }
       }
       return hits;
     }

@@ -5,11 +5,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
 #include "hwstar/ops/probe_kernels.h"
+#include "hwstar/simd/kernels.h"
 
 namespace hwstar::sync {
 class EpochManager;
@@ -50,18 +52,10 @@ class LinearProbeTable {
   /// in E2/A2 as a double-digit-percent probe tax).
   template <typename Fn>
   uint32_t Probe(uint64_t key, Fn&& fn) const {
-    uint64_t slot = HomeSlot(key);
-    uint32_t matches = 0;
-    for (;;) {
-      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-      if (k == kEmpty) break;
-      if (k == key) {
-        fn(values_[slot].load(std::memory_order_relaxed));
-        ++matches;
-      }
-      slot = (slot + 1) & mask_;
-    }
-    return matches;
+    return WalkChainFrom(key, HomeSlot(key), [&](uint64_t slot) {
+      fn(values_[slot].load(std::memory_order_relaxed));
+      return true;
+    });
   }
 
   /// Type-erased convenience overload for callers that already hold a
@@ -74,15 +68,8 @@ class LinearProbeTable {
   /// statistics are recorded so it is safe to call concurrently from many
   /// probe threads (the table itself is read-only here).
   HWSTAR_ALWAYS_INLINE uint32_t CountMatches(uint64_t key) const {
-    uint64_t slot = HomeSlot(key);
-    uint32_t matches = 0;
-    for (;;) {
-      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-      if (k == kEmpty) break;
-      matches += k == key;
-      slot = (slot + 1) & mask_;
-    }
-    return matches;
+    return WalkChainFrom(key, HomeSlot(key),
+                         [](uint64_t) { return true; });
   }
 
   /// Batch counting probe with *distance-pipelined* software prefetching:
@@ -125,28 +112,31 @@ class LinearProbeTable {
     uint64_t matches = 0;
     WithProbeGroup(group_size, [&](auto g) {
       constexpr uint32_t G = decltype(g)::value;
+      const simd::Backend be = simd::ActiveBackend();
       uint64_t slots[G];
-      GroupPrefetchLoop<G>(
-          n,
-          [&](uint32_t lane, size_t i) {
-            const uint64_t slot = HomeSlot(keys[i]);
-            slots[lane] = slot;
-            HWSTAR_PREFETCH(&keys_[slot]);
-            HWSTAR_PREFETCH(&values_[slot]);
-          },
-          [&](uint32_t lane, size_t i) {
-            const uint64_t key = keys[i];
-            uint64_t slot = slots[lane];
-            for (;;) {
-              const uint64_t k = keys_[slot].load(std::memory_order_acquire);
-              if (k == kEmpty) break;
-              if (k == key) {
-                fn(i, values_[slot].load(std::memory_order_relaxed));
-                ++matches;
-              }
-              slot = (slot + 1) & mask_;
-            }
+      // Explicit group loop: the whole group's hash phase is one
+      // data-parallel Mix64Batch sweep, then G prefetches issue, then
+      // the probe phase walks each chain against lines already in
+      // flight (and skips non-matching runs with vector compares).
+      size_t i = 0;
+      for (; i + G <= n; i += G) {
+        simd::Mix64Batch(be, keys + i, G, slots);
+        for (uint32_t lane = 0; lane < G; ++lane) {
+          slots[lane] >>= shift_;
+          HWSTAR_PREFETCH(&keys_[slots[lane]]);
+          HWSTAR_PREFETCH(&values_[slots[lane]]);
+        }
+        for (uint32_t lane = 0; lane < G; ++lane) {
+          const size_t idx = i + lane;
+          matches += WalkChainFrom(keys[idx], slots[lane], [&](uint64_t s) {
+            fn(idx, values_[s].load(std::memory_order_relaxed));
+            return true;
           });
+        }
+      }
+      for (; i < n; ++i) {
+        matches += Probe(keys[i], [&](uint64_t value) { fn(i, value); });
+      }
     });
     return matches;
   }
@@ -163,6 +153,67 @@ class LinearProbeTable {
   /// slot placement independent of partition membership -- otherwise all
   /// keys of one partition would pile into a handful of slots.
   uint64_t HomeSlot(uint64_t key) const { return Mix64(key) >> shift_; }
+
+  /// Walks the probe chain of `key` from `slot`, calling visit(slot) on
+  /// every match until visit returns false or the chain's terminating
+  /// empty slot is reached; returns the match count.
+  ///
+  /// On a vector backend, simd::FindKeyOrEmpty skips runs of
+  /// non-interesting slots with plain (unsynchronized) vector loads.
+  /// That is safe as an *accelerator hint*: a slot it skips was observed
+  /// non-empty and non-matching, and published keys are immutable (the
+  /// only write a slot ever sees is its one kEmpty -> key release store,
+  /// 64-bit aligned, so a plain load observes one of the two values) --
+  /// a skipped slot therefore can never have matched. Every slot the
+  /// hint *nominates* is re-read through the acquire protocol, which
+  /// stays the sole authority for termination, matches, and the
+  /// key->value ordering. A racing publication can make the hint stop
+  /// early on a slot acquire then disagrees about; the loop steps one
+  /// slot scalar and re-engages the vector scan. The kernel never scans
+  /// past the array edge (span = capacity - slot), so a wrapping chain
+  /// re-enters at slot 0 -- no out-of-bounds vector load. The scalar
+  /// backend (always selected under TSan, where plain loads of the
+  /// atomics would be miscounted as races) is the original acquire-load
+  /// loop, untouched.
+  template <typename Visit>
+  HWSTAR_ALWAYS_INLINE uint32_t WalkChainFrom(uint64_t key, uint64_t slot,
+                                              Visit&& visit) const {
+    uint32_t matches = 0;
+    const simd::Backend be = simd::ActiveBackend();
+    if (be == simd::Backend::kScalar) {
+      for (;;) {
+        const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+        if (k == kEmpty) return matches;
+        if (k == key) {
+          ++matches;
+          if (!visit(slot)) return matches;
+        }
+        slot = (slot + 1) & mask_;
+      }
+    }
+    static_assert(sizeof(std::atomic<uint64_t>) == sizeof(uint64_t));
+    const uint64_t* raw = reinterpret_cast<const uint64_t*>(keys_.get());
+    const uint64_t cap = mask_ + 1;
+    for (;;) {
+      const size_t span = static_cast<size_t>(cap - slot);
+      const size_t idx = simd::FindKeyOrEmpty(be, raw + slot, span, key,
+                                              kEmpty);
+      if (idx == span) {  // hit the array edge without a candidate: wrap
+        slot = 0;
+        continue;
+      }
+      slot += idx;
+      const uint64_t k = keys_[slot].load(std::memory_order_acquire);
+      if (k == kEmpty) return matches;
+      if (k == key) {
+        ++matches;
+        if (!visit(slot)) return matches;
+      }
+      // Match, or a racing insert made the hint stop where acquire
+      // disagrees: either way, resume the vector scan one slot on.
+      slot = (slot + 1) & mask_;
+    }
+  }
 
   std::unique_ptr<std::atomic<uint64_t>[]> keys_;
   std::unique_ptr<std::atomic<uint64_t>[]> values_;
@@ -213,20 +264,7 @@ class ChainedTable {
   /// LinearProbeTable::Probe.
   template <typename Fn>
   uint32_t Probe(uint64_t key, Fn&& fn) const {
-    const uint64_t b = HomeSlot(key);
-    const NodeBlock* blk = block_.load(std::memory_order_acquire);
-    int64_t n = buckets_[b].load(std::memory_order_acquire);
-    blk = Resnapshot(blk, n);
-    uint32_t matches = 0;
-    while (n >= 0) {
-      const Node& node = blk->nodes[static_cast<size_t>(n)];
-      if (node.key == key) {
-        fn(node.value);
-        ++matches;
-      }
-      n = node.next;
-    }
-    return matches;
+    return ProbeAtBucket(HomeSlot(key), key, std::forward<Fn>(fn));
   }
 
   /// Type-erased convenience overload; forwards to the template above.
@@ -276,8 +314,20 @@ class ChainedTable {
       // Same auto-vs-forced split as FindBatch: the footprint gate only
       // arbitrates when the caller left the width to policy.
       if (MemoryBytes() < hw::DefaultAmacMinTableBytes()) {
-        for (size_t i = 0; i < n; ++i) {
-          matches += Probe(keys[i], [&](uint64_t value) { fn(i, value); });
+        // Cache-resident walk: chain steps hit, so the remaining cost is
+        // compute -- chunk the hash phase through Mix64Batch so at least
+        // the hashing runs data-parallel.
+        const simd::Backend be = simd::ActiveBackend();
+        constexpr size_t kChunk = 256;
+        uint64_t buckets[kChunk];
+        for (size_t base = 0; base < n; base += kChunk) {
+          const size_t m = n - base < kChunk ? n - base : kChunk;
+          simd::Mix64Batch(be, keys + base, m, buckets);
+          for (size_t j = 0; j < m; ++j) {
+            const size_t i = base + j;
+            matches += ProbeAtBucket(buckets[j] >> shift_, keys[i],
+                                     [&](uint64_t value) { fn(i, value); });
+          }
         }
         return matches;
       }
@@ -369,6 +419,30 @@ class ChainedTable {
   }
 
   NodeBlock* Grow(NodeBlock* old);
+
+  /// Probe body starting from an already-computed bucket index, so the
+  /// batched paths can hash whole chunks through simd::Mix64Batch and
+  /// feed the buckets in.
+  template <typename Fn>
+  uint32_t ProbeAtBucket(uint64_t b, uint64_t key, Fn&& fn) const {
+    const NodeBlock* blk = block_.load(std::memory_order_acquire);
+    int64_t n = buckets_[b].load(std::memory_order_acquire);
+    blk = Resnapshot(blk, n);
+    uint32_t matches = 0;
+    while (n >= 0) {
+      const Node& node = blk->nodes[static_cast<size_t>(n)];
+      if (node.key == key) {
+        fn(node.value);
+        ++matches;
+      }
+      n = node.next;
+    }
+    return matches;
+  }
+
+  /// Find body starting from an already-computed bucket index (see
+  /// ProbeAtBucket); defined in the .cc next to Find.
+  bool FindAtBucket(uint64_t b, uint64_t key, uint64_t* out) const;
 
   /// High hash bits, for the same partition-independence reason as
   /// LinearProbeTable::HomeSlot.

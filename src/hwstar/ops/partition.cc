@@ -5,21 +5,26 @@
 #include "hwstar/common/bits.h"
 #include "hwstar/common/hash.h"
 #include "hwstar/common/macros.h"
+#include "hwstar/simd/kernels.h"
 
 namespace hwstar::ops {
 
 namespace {
 
-/// Must match join_radix.cc's PartitionOf so buffered and direct
-/// partitioning interoperate.
-HWSTAR_ALWAYS_INLINE uint64_t PartitionOf(uint64_t key, uint32_t radix_bits,
-                                          uint32_t shift) {
-  return bits::ExtractBits(Mix64(key), shift, radix_bits);
-}
+// Partition index: bits::ExtractBits(Mix64(key), shift, radix_bits) --
+// must match join_radix.cc's PartitionOf so buffered and direct
+// partitioning interoperate. Both passes below compute it from hashes
+// precomputed in chunks by simd::Mix64Batch (bit-identical to Mix64).
 
 /// Buffer depth: 4 tuples of (key, payload) = 64 bytes, one cache line
 /// per stream for each of keys/payloads.
 constexpr uint32_t kBufferTuples = 4;
+
+/// Hash-chunk size for the data-parallel bucket computation: both passes
+/// hash every key, so the Mix64 runs as simd::Mix64Batch sweeps over
+/// chunks this size (16KB of hashes -- L1-resident) and the partition
+/// index is extracted from the precomputed hash.
+constexpr uint64_t kHashChunk = 2048;
 
 }  // namespace
 
@@ -30,8 +35,14 @@ void RadixPartitionBuffered(const Relation& input, uint32_t radix_bits,
   const uint64_t n = input.size();
   offsets->assign(fanout + 1, 0);
 
-  for (uint64_t i = 0; i < n; ++i) {
-    ++(*offsets)[PartitionOf(input.keys[i], radix_bits, shift) + 1];
+  const simd::Backend be = simd::ActiveBackend();
+  std::vector<uint64_t> hashes(n < kHashChunk ? n : kHashChunk);
+  for (uint64_t base = 0; base < n; base += kHashChunk) {
+    const uint64_t m = n - base < kHashChunk ? n - base : kHashChunk;
+    simd::Mix64Batch(be, input.keys.data() + base, m, hashes.data());
+    for (uint64_t j = 0; j < m; ++j) {
+      ++(*offsets)[bits::ExtractBits(hashes[j], shift, radix_bits) + 1];
+    }
   }
   for (uint64_t p = 1; p <= fanout; ++p) (*offsets)[p] += (*offsets)[p - 1];
 
@@ -55,16 +66,21 @@ void RadixPartitionBuffered(const Relation& input, uint32_t radix_bits,
     cursor[p] += count;
   };
 
-  for (uint64_t i = 0; i < n; ++i) {
-    const uint64_t p = PartitionOf(input.keys[i], radix_bits, shift);
-    const uint32_t fill = buf_fill[p];
-    buf_keys[p * kBufferTuples + fill] = input.keys[i];
-    buf_payloads[p * kBufferTuples + fill] = input.payloads[i];
-    if (fill + 1 == kBufferTuples) {
-      flush(p, kBufferTuples);
-      buf_fill[p] = 0;
-    } else {
-      buf_fill[p] = static_cast<uint8_t>(fill + 1);
+  for (uint64_t base = 0; base < n; base += kHashChunk) {
+    const uint64_t m = n - base < kHashChunk ? n - base : kHashChunk;
+    simd::Mix64Batch(be, input.keys.data() + base, m, hashes.data());
+    for (uint64_t j = 0; j < m; ++j) {
+      const uint64_t i = base + j;
+      const uint64_t p = bits::ExtractBits(hashes[j], shift, radix_bits);
+      const uint32_t fill = buf_fill[p];
+      buf_keys[p * kBufferTuples + fill] = input.keys[i];
+      buf_payloads[p * kBufferTuples + fill] = input.payloads[i];
+      if (fill + 1 == kBufferTuples) {
+        flush(p, kBufferTuples);
+        buf_fill[p] = 0;
+      } else {
+        buf_fill[p] = static_cast<uint8_t>(fill + 1);
+      }
     }
   }
   for (uint64_t p = 0; p < fanout; ++p) {

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "hwstar/common/macros.h"
+#include "hwstar/simd/kernels.h"
 
 namespace hwstar::ops {
 
@@ -34,13 +35,9 @@ uint64_t SelectBranchFree(std::span<const int64_t> values, int64_t lo,
 void BuildSelectionBitmap(std::span<const int64_t> values, int64_t lo,
                           int64_t hi, std::vector<uint64_t>* bitmap) {
   const size_t n = values.size();
-  bitmap->assign((n + 63) / 64, 0);
-  uint64_t* words = bitmap->data();
-  for (size_t i = 0; i < n; ++i) {
-    const uint64_t bit = static_cast<uint64_t>(values[i] >= lo) &
-                         static_cast<uint64_t>(values[i] < hi);
-    words[i >> 6] |= bit << (i & 63);
-  }
+  bitmap->resize((n + 63) / 64);
+  simd::BuildRangeBitmap(simd::ActiveBackend(), values.data(), n, lo, hi,
+                         bitmap->data());
 }
 
 uint64_t BitmapToPositions(const std::vector<uint64_t>& bitmap,
@@ -62,18 +59,20 @@ uint64_t BitmapToPositions(const std::vector<uint64_t>& bitmap,
 uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
                       std::vector<uint32_t>* out) {
   std::vector<uint64_t> bitmap;
-  BuildSelectionBitmap(values, lo, hi, &bitmap);
-  return BitmapToPositions(bitmap, values.size(), out);
+  return SelectBitmap(values, lo, hi, out, &bitmap);
+}
+
+uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
+                      std::vector<uint32_t>* out,
+                      std::vector<uint64_t>* scratch) {
+  BuildSelectionBitmap(values, lo, hi, scratch);
+  return BitmapToPositions(*scratch, values.size(), out);
 }
 
 uint64_t CountInRange(std::span<const int64_t> values, int64_t lo,
                       int64_t hi) {
-  uint64_t count = 0;
-  for (size_t i = 0; i < values.size(); ++i) {
-    count += static_cast<uint64_t>(values[i] >= lo) &
-             static_cast<uint64_t>(values[i] < hi);
-  }
-  return count;
+  return simd::CountInRange(simd::ActiveBackend(), values.data(),
+                            values.size(), lo, hi);
 }
 
 void BitmapAnd(std::vector<uint64_t>* a, const std::vector<uint64_t>& b) {

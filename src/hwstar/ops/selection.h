@@ -26,12 +26,26 @@ uint64_t SelectBranching(std::span<const int64_t> values, int64_t lo,
 uint64_t SelectBranchFree(std::span<const int64_t> values, int64_t lo,
                           int64_t hi, std::vector<uint32_t>* out);
 
-/// Two-phase: build a bitmap of qualifying positions (word-at-a-time,
-/// auto-vectorizable), then extract positions from the bitmap.
+/// Two-phase: build a bitmap of qualifying positions (explicitly
+/// data-parallel -- vector compare + movemask on the active hwstar::simd
+/// backend), then extract positions from the bitmap. This overload
+/// heap-allocates a fresh bitmap per call; hot loops use the scratch
+/// overload below.
 uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
                       std::vector<uint32_t>* out);
 
+/// Same kernel with a caller-provided scratch bitmap, so a per-batch
+/// filter chain (the vectorized engine) reuses one allocation across
+/// every batch instead of paying malloc/free per call. `scratch` is
+/// resized and overwritten; its contents afterwards are the selection
+/// bitmap (usable for further BitmapAnd composition).
+uint64_t SelectBitmap(std::span<const int64_t> values, int64_t lo, int64_t hi,
+                      std::vector<uint32_t>* out,
+                      std::vector<uint64_t>* scratch);
+
 /// Produces only the bitmap (64 values per word, LSB = lowest index).
+/// SIMD: 64 predicate bits per word are produced by 16 AVX2 (or 32
+/// SSE4.2) compare+movemask steps, bit-identical to the scalar loop.
 void BuildSelectionBitmap(std::span<const int64_t> values, int64_t lo,
                           int64_t hi, std::vector<uint64_t>* bitmap);
 

@@ -1,0 +1,44 @@
+#include "hwstar/simd/backend.h"
+
+#include <algorithm>
+
+#include "hwstar/hw/topology.h"
+#include "hwstar/tune/tunable.h"
+
+namespace hwstar::simd {
+
+const char* BackendName(Backend b) {
+  switch (b) {
+    case Backend::kScalar:
+      return "scalar";
+    case Backend::kSse42:
+      return "sse42";
+    case Backend::kAvx2:
+      return "avx2";
+  }
+  return "unknown";
+}
+
+Backend BestSupported() {
+#if defined(HWSTAR_DISABLE_SIMD) || defined(__SANITIZE_THREAD__) || \
+    !(defined(__x86_64__) || defined(__i386__))
+  return Backend::kScalar;
+#else
+  // cpuid once; the answer cannot change while the process runs.
+  static const Backend best = [] {
+    const hw::CpuIsaFeatures isa = hw::DetectIsaFeatures();
+    if (isa.avx2) return Backend::kAvx2;
+    if (isa.sse42) return Backend::kSse42;
+    return Backend::kScalar;
+  }();
+  return best;
+#endif
+}
+
+Backend ActiveBackend() {
+  const uint64_t requested = tune::SimdBackend().Get();
+  const uint64_t best = static_cast<uint64_t>(BestSupported());
+  return static_cast<Backend>(std::min(requested, best));
+}
+
+}  // namespace hwstar::simd

@@ -2,12 +2,15 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <limits>
 #include <memory>
 #include <utility>
 
 #include "hwstar/common/timer.h"
 #include "hwstar/hw/topology.h"
 #include "hwstar/ops/hash_table.h"
+#include "hwstar/simd/backend.h"
+#include "hwstar/simd/kernels.h"
 #include "hwstar/tune/tunable.h"
 #include "hwstar/workload/distributions.h"
 
@@ -100,12 +103,25 @@ std::string CalibrationResult::ToString() const {
     std::snprintf(line, sizeof(line), " win=%u] ns/key\n", t.amac_winner);
     out += line;
   }
+  if (!simd_backends.empty()) {
+    out += "calib simd";
+    for (size_t i = 0; i < simd_backends.size(); ++i) {
+      std::snprintf(
+          line, sizeof(line), " %s[scan=%.2f probe=%.1f]",
+          simd::BackendName(static_cast<simd::Backend>(simd_backends[i])),
+          simd_scan_ns[i], simd_probe_ns[i]);
+      out += line;
+    }
+    std::snprintf(line, sizeof(line), " win=%u ns\n", simd_backend);
+    out += line;
+  }
   std::snprintf(line, sizeof(line),
                 "calib winners: probe.group_size=%u probe.amac_ring=%u "
-                "probe.amac_min_table_bytes=%llu installed=%d\n",
+                "probe.amac_min_table_bytes=%llu simd.backend=%u "
+                "installed=%d\n",
                 probe_group_size, amac_ring_width,
                 static_cast<unsigned long long>(amac_min_table_bytes),
-                installed ? 1 : 0);
+                simd_backend, installed ? 1 : 0);
   out += line;
   return out;
 }
@@ -230,6 +246,71 @@ CalibrationResult Calibrator::RunOnce() {
     result.trials.push_back(std::move(trial));
   }
 
+  // --- SIMD class: scalar vs each vector backend the host supports ----
+  // Cache-resident trials on purpose: out of cache every backend waits on
+  // DRAM equally, so the scalar<->vector crossover only shows where the
+  // data is close. Two structure classes -- the selection scan (pure
+  // data-parallel compare) and the linear-probe FindBatch (batched
+  // hashing + vector slot scan). The knob is forced around each timed
+  // region; the winner installs through the tunable's clamp below, so a
+  // measurement artifact can never publish an unsupported backend.
+  {
+    const uint32_t best_backend =
+        static_cast<uint32_t>(simd::BestSupported());
+    const uint64_t saved_backend = SimdBackend().Get();
+
+    const uint32_t scan_n = 1u << 15;  // 256KB of int64: L2-resident
+    std::vector<int64_t> scan_values(scan_n);
+    Lcg scan_rng(0x51D);
+    for (uint32_t i = 0; i < scan_n; ++i) {
+      scan_values[i] = static_cast<int64_t>(scan_rng.Next() >> 1);
+    }
+    const int64_t scan_hi =
+        std::numeric_limits<int64_t>::max() / 2;  // ~50% selectivity
+
+    const uint64_t probe_build_n = uint64_t{1} << 13;  // 256KB table
+    ops::LinearProbeTable probe_table(probe_build_n);
+    for (uint64_t i = 0; i < probe_build_n; ++i) {
+      probe_table.Insert(TrialKey(i), i);
+    }
+    const uint32_t simd_probe_count = std::max(options_.keys_per_trial, 1u);
+    const std::vector<uint64_t> probes = MakeProbeKeys(
+        probe_build_n, simd_probe_count, options_.probe_theta, /*seed=*/3);
+    std::vector<uint64_t> values(simd_probe_count);
+    volatile uint64_t sink = 0;
+
+    double scalar_total = 0.0;
+    double best_total = 0.0;
+    for (uint32_t b = 0; b <= best_backend; ++b) {
+      SimdBackend().Set(b);
+      const double scan_ns = TimeNsPerKey(reps, scan_n, [&] {
+        sink = sink + simd::CountInRange(simd::ActiveBackend(),
+                                         scan_values.data(), scan_n, 0,
+                                         scan_hi);
+      });
+      const double probe_ns = TimeNsPerKey(reps, simd_probe_count, [&] {
+        sink = sink + probe_table.FindBatch(probes.data(), simd_probe_count,
+                                            values.data(), nullptr);
+      });
+      result.simd_backends.push_back(b);
+      result.simd_scan_ns.push_back(scan_ns);
+      result.simd_probe_ns.push_back(probe_ns);
+      const double total = scan_ns + probe_ns;
+      if (b == 0) {
+        scalar_total = total;
+        best_total = total;
+        result.simd_backend = 0;
+      } else if (total * kCrossoverMargin <= scalar_total &&
+                 total < best_total) {
+        // A vector backend must beat scalar by the hysteresis margin on
+        // the combined time; among those that do, fastest wins.
+        best_total = total;
+        result.simd_backend = b;
+      }
+    }
+    SimdBackend().Set(saved_backend);
+  }
+
   // Winners. Widths: whatever won the largest (most memory-resident)
   // footprint — miss overlap is the regime the knob exists for; a scalar
   // win there (possible on tiny max_table_bytes configs) keeps the
@@ -268,12 +349,14 @@ CalibrationResult Calibrator::RunOnce() {
     ProbeGroupSize().Set(result.probe_group_size);
     AmacRingWidth().Set(result.amac_ring_width);
     AmacMinTableBytes().Set(result.amac_min_table_bytes);
+    SimdBackend().Set(result.simd_backend);
     result.installed = true;
     // Report the values as installed (post-clamp), not as measured.
     result.probe_group_size =
         static_cast<uint32_t>(ProbeGroupSize().Get());
     result.amac_ring_width = static_cast<uint32_t>(AmacRingWidth().Get());
     result.amac_min_table_bytes = AmacMinTableBytes().Get();
+    result.simd_backend = static_cast<uint32_t>(SimdBackend().Get());
   }
   return result;
 }

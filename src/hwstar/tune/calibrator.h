@@ -69,6 +69,18 @@ struct CalibrationResult {
   uint32_t probe_group_size = 0;
   uint32_t amac_ring_width = 0;
   uint64_t amac_min_table_bytes = 0;
+  /// SIMD class: the backend (0 = scalar, 1 = SSE4.2, 2 = AVX2) that won
+  /// the cache-resident trials, measured per structure class --
+  /// `simd_scan_ns` is ns/value for the selection-scan kernel and
+  /// `simd_probe_ns` ns/key for the linear-probe FindBatch, both parallel
+  /// to `simd_backends` (scalar first, up to simd::BestSupported()). A
+  /// vector backend must beat scalar by the hysteresis margin on the
+  /// combined time to win; the winner installs into tune::SimdBackend
+  /// through its clamp.
+  std::vector<uint32_t> simd_backends;
+  std::vector<double> simd_scan_ns;
+  std::vector<double> simd_probe_ns;
+  uint32_t simd_backend = 0;
   bool installed = false;
   std::vector<CalibrationTrial> trials;
   /// Multi-line human-readable table of the trials + winners.
@@ -90,6 +102,10 @@ struct CalibrationResult {
 ///  - The scalar<->AMAC crossover (tune::AmacMinTableBytes): the smallest
 ///    footprint where the ring beats the scalar walk by >= 5% — below it
 ///    chains hit in cache and the ring's state shuffle is pure overhead.
+///  - The SIMD backend (tune::SimdBackend): scalar vs every vector
+///    backend the host cpuid reports, on cache-resident selection-scan
+///    and linear-probe trials (the regime where the ISA, not DRAM, is
+///    the limiter); a vector backend must beat scalar by the same margin.
 ///
 /// RunOnce() is synchronous, allocation-heavy but bounded
 /// (max_table_bytes), and terminates unconditionally: every sweep is over

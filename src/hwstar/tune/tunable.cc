@@ -182,6 +182,14 @@ Tunable& MorselRows() {
   return *t;
 }
 
+Tunable& SimdBackend() {
+  static Tunable* t = Registry::Global().Register(
+      {"simd.backend", 2, 0, 2, /*power_of_two=*/false,
+       "data-parallel kernel backend: 0=scalar 1=sse4.2 2=avx2 "
+       "(capped at host support when read)"});
+  return *t;
+}
+
 namespace {
 // Eagerly touch every core accessor at static-init time, so by-name
 // lookups (ServiceOptions::tunables, ops tooling, dumps) see the full
@@ -198,6 +206,7 @@ const bool g_core_knobs_registered = [] {
   EpochAdvanceInterval();
   EpochRetireBatch();
   MorselRows();
+  SimdBackend();
   return true;
 }();
 }  // namespace

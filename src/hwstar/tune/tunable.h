@@ -169,6 +169,15 @@ Tunable& EpochRetireBatch();
 /// Rows per morsel for morsel-driven parallel loops.
 Tunable& MorselRows();
 
+/// Requested simd::Backend for the data-parallel kernels (0 = scalar,
+/// 1 = SSE4.2, 2 = AVX2). The default (2) means "the best the host has":
+/// simd::ActiveBackend() takes the min of this knob and the cpuid-capped
+/// simd::BestSupported(), so forcing a backend the host lacks degrades
+/// gracefully instead of faulting. The Calibrator measures scalar-vs-SIMD
+/// per structure class and installs the winner here, exactly like the
+/// GP/AMAC width knobs.
+Tunable& SimdBackend();
+
 }  // namespace hwstar::tune
 
 #endif  // HWSTAR_TUNE_TUNABLE_H_

@@ -1,7 +1,11 @@
+#include <memory>
+
 #include <gtest/gtest.h>
 
 #include "hwstar/ops/bloom_filter.h"
 #include "hwstar/ops/join_nop.h"
+#include "hwstar/simd/backend.h"
+#include "hwstar/tune/tunable.h"
 #include "hwstar/workload/distributions.h"
 
 namespace hwstar::ops {
@@ -115,6 +119,65 @@ TEST_P(BloomProperty, NeverFalseNegative) {
 
 INSTANTIATE_TEST_SUITE_P(Sizes, BloomProperty,
                          ::testing::Values(1u, 10u, 1000u, 100000u));
+
+TEST(BloomSimdTest, BatchMatchesSingleUnderEveryBackend) {
+  // MayContainBatch (group-prefetched, simd-hashed) must agree with
+  // per-key MayContain on every key, for both filter variants, under
+  // every backend the knob can force — including an odd batch length so
+  // the vectorized hash sweep leaves a scalar tail.
+  const uint64_t saved = tune::SimdBackend().Get();
+  hwstar::Xoshiro256 rng(4242);
+  const size_t n = 10007;
+  std::vector<uint64_t> keys(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Half present, half random (mostly absent).
+    keys[i] = (i % 2 == 0) ? i / 2 : rng.Next();
+  }
+  BloomFilter plain(n / 2, 10);
+  BlockedBloomFilter blocked(n / 2, 10);
+  for (size_t i = 0; i < n; i += 2) {
+    plain.Add(keys[i]);
+    blocked.Add(keys[i]);
+  }
+
+  for (uint64_t knob = 0;
+       knob <= static_cast<uint64_t>(simd::Backend::kAvx2); ++knob) {
+    tune::SimdBackend().Set(knob);
+    std::unique_ptr<bool[]> got_plain(new bool[n]);
+    std::unique_ptr<bool[]> got_blocked(new bool[n]);
+    plain.MayContainBatch(keys.data(), n, got_plain.get());
+    blocked.MayContainBatch(keys.data(), n, got_blocked.get());
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_EQ(got_plain[i], plain.MayContain(keys[i]))
+          << "knob=" << knob << " i=" << i;
+      ASSERT_EQ(got_blocked[i], blocked.MayContain(keys[i]))
+          << "knob=" << knob << " i=" << i;
+    }
+  }
+  tune::SimdBackend().Set(saved);
+}
+
+TEST(BloomSimdTest, BlockedMayContainBackendInvariant) {
+  // The single-key blocked probe runs one whole-line simd::TestBlock512;
+  // its answer must not depend on the backend.
+  const uint64_t saved = tune::SimdBackend().Get();
+  BlockedBloomFilter filter(5000, 10);
+  for (uint64_t k = 0; k < 5000; ++k) filter.Add(k * 3 + 1);
+
+  tune::SimdBackend().Set(0);
+  std::vector<bool> expect(20000);
+  for (uint64_t k = 0; k < 20000; ++k) expect[k] = filter.MayContain(k);
+
+  for (uint64_t knob = 1;
+       knob <= static_cast<uint64_t>(simd::Backend::kAvx2); ++knob) {
+    tune::SimdBackend().Set(knob);
+    for (uint64_t k = 0; k < 20000; ++k) {
+      ASSERT_EQ(filter.MayContain(k), expect[k])
+          << "knob=" << knob << " key=" << k;
+    }
+  }
+  tune::SimdBackend().Set(saved);
+}
 
 }  // namespace
 }  // namespace hwstar::ops

@@ -1,6 +1,8 @@
 #include <gtest/gtest.h>
 
 #include "hwstar/ops/selection.h"
+#include "hwstar/simd/backend.h"
+#include "hwstar/tune/tunable.h"
 #include "hwstar/workload/distributions.h"
 
 namespace hwstar::ops {
@@ -113,6 +115,46 @@ TEST_P(SelectionEquivalence, KernelsAgree) {
 INSTANTIATE_TEST_SUITE_P(Selectivities, SelectionEquivalence,
                          ::testing::Values(0.0, 0.001, 0.01, 0.1, 0.25, 0.5,
                                            0.75, 0.9, 0.99, 1.0));
+
+TEST(SelectionSimdTest, ScratchOverloadMatchesBase) {
+  auto v = workload::MakeSelectionInput(10007, 0.3, 1000, 1000000, 11);
+  std::vector<uint32_t> base, scratched;
+  std::vector<uint64_t> scratch;
+  const uint64_t na = SelectBitmap(v, 0, 1000, &base);
+  // Reuse the scratch across calls the way the engine's filter chain does.
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(SelectBitmap(v, 0, 1000, &scratched, &scratch), na);
+    EXPECT_EQ(scratched, base);
+  }
+}
+
+TEST(SelectionSimdTest, ForcedBackendsAreBitIdentical) {
+  // SelectBitmap / CountInRange must produce the same output under every
+  // simd backend the knob can request, including ones the host lacks
+  // (ActiveBackend clamps them): the bit-identity contract, observed
+  // through the ops-layer entry points.
+  const uint64_t saved = tune::SimdBackend().Get();
+  auto v = workload::MakeSelectionInput(20000, 0.4, 1000, 1000000, 13);
+  // Odd length so the vector kernels leave a ragged tail.
+  v.resize(v.size() - 3);
+
+  tune::SimdBackend().Set(0);
+  std::vector<uint32_t> expect;
+  const uint64_t n_expect = SelectBitmap(v, 0, 1000, &expect);
+  const uint64_t count_expect = CountInRange(v, 0, 1000);
+
+  for (uint64_t knob = 1;
+       knob <= static_cast<uint64_t>(simd::Backend::kAvx2); ++knob) {
+    tune::SimdBackend().Set(knob);
+    std::vector<uint32_t> got;
+    std::vector<uint64_t> scratch;
+    EXPECT_EQ(SelectBitmap(v, 0, 1000, &got, &scratch), n_expect)
+        << "knob=" << knob;
+    EXPECT_EQ(got, expect) << "knob=" << knob;
+    EXPECT_EQ(CountInRange(v, 0, 1000), count_expect) << "knob=" << knob;
+  }
+  tune::SimdBackend().Set(saved);
+}
 
 }  // namespace
 }  // namespace hwstar::ops

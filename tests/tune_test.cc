@@ -18,6 +18,7 @@
 #include "hwstar/hw/topology.h"
 #include "hwstar/kv/kv_store.h"
 #include "hwstar/ops/hash_table.h"
+#include "hwstar/simd/backend.h"
 #include "hwstar/svc/service.h"
 #include "hwstar/tune/calibrator.h"
 #include "hwstar/tune/controller.h"
@@ -93,11 +94,13 @@ TEST_F(TuneTest, DumpTextListsEveryKnob) {
   EpochAdvanceInterval();
   EpochRetireBatch();
   MorselRows();
+  SimdBackend();
   const std::string dump = Registry::Global().DumpText();
   for (const char* name :
        {"probe.group_size", "probe.amac_ring", "probe.amac_min_table_bytes",
         "stream.batch_rows", "stream.max_inflight", "stream.lateness_bound",
-        "epoch.advance_interval", "epoch.retire_batch", "exec.morsel_rows"}) {
+        "epoch.advance_interval", "epoch.retire_batch", "exec.morsel_rows",
+        "simd.backend"}) {
     EXPECT_NE(dump.find(std::string("tunable ") + name), std::string::npos)
         << name;
   }
@@ -308,6 +311,37 @@ TEST_F(TuneTest, CalibratorRunOnceTerminatesAndInstallsInBounds) {
   const CalibrationResult dry = Calibrator(opts).RunOnce();
   EXPECT_FALSE(dry.installed);
   EXPECT_EQ(ProbeGroupSize().Get(), ProbeGroupSize().spec().default_value);
+}
+
+TEST_F(TuneTest, CalibratorInstallsSimdBackendInBounds) {
+  // The SIMD trial must install a backend the *host* can execute — on a
+  // machine without AVX2 (or a scalar-only build) the winner is clamped
+  // to [0, BestSupported()], never just the compile-time maximum. The
+  // winner is a measurement so the test asserts the contract, not which
+  // backend won.
+  CalibratorOptions opts;
+  opts.footprints = {1u << 16};
+  opts.max_table_bytes = 1u << 20;
+  opts.keys_per_trial = 2048;
+  opts.repetitions = 1;
+  const CalibrationResult result = Calibrator(opts).RunOnce();
+
+  const uint32_t best = static_cast<uint32_t>(simd::BestSupported());
+  EXPECT_LE(result.simd_backend, best);
+  EXPECT_EQ(SimdBackend().Get(), result.simd_backend);
+  // The trial measured scalar plus every supported vector backend, with
+  // one scan and one probe sample per backend.
+  ASSERT_EQ(result.simd_backends.size(), static_cast<size_t>(best) + 1);
+  EXPECT_EQ(result.simd_scan_ns.size(), result.simd_backends.size());
+  EXPECT_EQ(result.simd_probe_ns.size(), result.simd_backends.size());
+  EXPECT_EQ(result.simd_backends.front(), 0u);  // scalar is always tried
+  for (size_t i = 0; i < result.simd_backends.size(); ++i) {
+    EXPECT_EQ(result.simd_backends[i], i);
+    EXPECT_GT(result.simd_scan_ns[i], 0.0);
+    EXPECT_GT(result.simd_probe_ns[i], 0.0);
+  }
+  // The report names the winning backend.
+  EXPECT_NE(result.ToString().find("simd"), std::string::npos);
 }
 
 // --- Controller --------------------------------------------------------
